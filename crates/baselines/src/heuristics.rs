@@ -1,0 +1,150 @@
+//! Forward heuristics — what a practitioner writes without the paper.
+//!
+//! All heuristics reuse the ASAP evaluator; they differ only in how the
+//! assignment sequence is produced. Comparing their makespans against
+//! [`mst_core::schedule_chain`] quantifies the value of the optimal
+//! backward construction (experiment E1 in DESIGN.md).
+
+use crate::asap::{asap_chain, TreeAsap};
+use mst_platform::{Chain, Tree};
+use mst_schedule::ChainSchedule;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Everything on processor 1 — the paper's `T_infinity` baseline.
+pub fn master_only_chain(chain: &Chain, n: usize) -> ChainSchedule {
+    asap_chain(chain, &vec![1; n])
+}
+
+/// Tasks dealt to processors `1, 2, ..., p, 1, 2, ...` cyclically — the
+/// naive load balancer, oblivious to heterogeneity.
+pub fn round_robin_chain(chain: &Chain, n: usize) -> ChainSchedule {
+    let p = chain.len();
+    let seq: Vec<usize> = (0..n).map(|i| (i % p) + 1).collect();
+    asap_chain(chain, &seq)
+}
+
+/// Uniformly random assignment (seeded) — the "no scheduler at all"
+/// baseline.
+pub fn random_chain(chain: &Chain, n: usize, seed: u64) -> ChainSchedule {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = chain.len();
+    let seq: Vec<usize> = (0..n).map(|_| rng.gen_range(1..=p)).collect();
+    asap_chain(chain, &seq)
+}
+
+/// Eager list scheduling: each task goes, in emission order, to the
+/// processor on which *it* would complete earliest given the resources
+/// committed so far. This is the strongest natural online heuristic (the
+/// master-slave analogue of HEFT's earliest-finish rule) — and still
+/// loses to the optimal backward construction, because finishing one
+/// task early can burn link capacity that later tasks need.
+pub fn eager_chain(chain: &Chain, n: usize) -> ChainSchedule {
+    let tree = Tree::from_chain(chain);
+    let mut state = TreeAsap::new(&tree);
+    let mut seq = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Probe every processor on a copy of the state.
+        let best = (1..=chain.len())
+            .min_by_key(|&v| {
+                let mut probe = state.clone();
+                probe.place(v).2
+            })
+            .expect("chain is non-empty");
+        state.place(best);
+        seq.push(best);
+    }
+    asap_chain(chain, &seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mst_platform::{GeneratorConfig, HeterogeneityProfile};
+    use mst_schedule::check_chain;
+
+    #[test]
+    fn master_only_equals_t_infinity() {
+        let chain = Chain::paper_figure2();
+        for n in 1..8 {
+            assert_eq!(master_only_chain(&chain, n).makespan(), chain.t_infinity(n));
+        }
+    }
+
+    #[test]
+    fn all_heuristics_produce_feasible_schedules() {
+        for seed in 0..30u64 {
+            let g = GeneratorConfig::new(HeterogeneityProfile::ALL[(seed % 5) as usize], seed);
+            let chain = g.chain(1 + (seed % 5) as usize);
+            let n = 1 + (seed % 8) as usize;
+            for s in [
+                master_only_chain(&chain, n),
+                round_robin_chain(&chain, n),
+                random_chain(&chain, n, seed),
+                eager_chain(&chain, n),
+            ] {
+                assert_eq!(s.n(), n);
+                check_chain(&chain, &s).assert_feasible();
+            }
+        }
+    }
+
+    #[test]
+    fn heuristics_never_beat_the_optimal_algorithm() {
+        use mst_core::schedule_chain;
+        for seed in 0..30u64 {
+            let g = GeneratorConfig::new(HeterogeneityProfile::ALL[(seed % 5) as usize], seed);
+            let chain = g.chain(1 + (seed % 5) as usize);
+            let n = 1 + (seed % 8) as usize;
+            let opt = schedule_chain(&chain, n).makespan();
+            for (name, s) in [
+                ("master-only", master_only_chain(&chain, n)),
+                ("round-robin", round_robin_chain(&chain, n)),
+                ("random", random_chain(&chain, n, seed)),
+                ("eager", eager_chain(&chain, n)),
+            ] {
+                assert!(
+                    s.makespan() >= opt,
+                    "{name} beat the provably optimal schedule (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eager_is_suboptimal_somewhere() {
+        // Documented counterexample: eager's first-task greed hurts.
+        // Search a small family for a strict gap to keep the test robust.
+        use mst_core::schedule_chain;
+        let mut found = false;
+        'outer: for seed in 0..80u64 {
+            let g = GeneratorConfig::new(HeterogeneityProfile::ALL[(seed % 5) as usize], seed);
+            for p in 2..=4usize {
+                let chain = g.chain(p);
+                for n in 2..=8 {
+                    if eager_chain(&chain, n).makespan() > schedule_chain(&chain, n).makespan() {
+                        found = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(found, "eager heuristic should be strictly suboptimal on some instance");
+    }
+
+    #[test]
+    fn round_robin_degrades_on_bad_tail_processors() {
+        // A chain whose far processor is terrible: round-robin insists on
+        // feeding it, master-only does not.
+        let chain = Chain::from_pairs(&[(1, 2), (10, 50)]).unwrap();
+        let rr = round_robin_chain(&chain, 6).makespan();
+        let mo = master_only_chain(&chain, 6).makespan();
+        assert!(rr > mo, "round-robin should lose here (rr={rr}, mo={mo})");
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let chain = Chain::paper_figure2();
+        assert_eq!(random_chain(&chain, 6, 5), random_chain(&chain, 6, 5));
+    }
+}

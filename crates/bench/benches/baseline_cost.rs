@@ -1,0 +1,44 @@
+//! Runtime of the baselines relative to the optimal algorithm: the
+//! forward heuristics are not meaningfully cheaper than the exact
+//! polynomial algorithm, and the exhaustive search explodes — the
+//! practical argument for adopting the paper's construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mst_baselines::{eager_chain, optimal_chain_makespan, round_robin_chain};
+use mst_core::schedule_chain;
+use mst_platform::{GeneratorConfig, HeterogeneityProfile};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline/schedulers_p8_n128");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    let chain = GeneratorConfig::new(HeterogeneityProfile::ALL[0], 13).chain(8);
+    group.bench_function("optimal_backward", |b| {
+        b.iter(|| schedule_chain(black_box(&chain), black_box(128)));
+    });
+    group.bench_function("eager_min_completion", |b| {
+        b.iter(|| eager_chain(black_box(&chain), black_box(128)));
+    });
+    group.bench_function("round_robin", |b| {
+        b.iter(|| round_robin_chain(black_box(&chain), black_box(128)));
+    });
+    group.finish();
+}
+
+fn bench_exact_explosion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline/exhaustive_search_p3");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(800));
+    let chain = GeneratorConfig::new(HeterogeneityProfile::ALL[0], 13).chain(3);
+    for n in [4usize, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| optimal_chain_makespan(black_box(&chain), black_box(n)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(baseline_cost, bench_schedulers, bench_exact_explosion);
+criterion_main!(baseline_cost);

@@ -1,0 +1,38 @@
+//! The fork substrate's quadratic selection cost (paper: line 4 of the
+//! spider algorithm is quadratic in the number of single-task slaves).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mst_fork::{max_tasks_fork_by_deadline, schedule_fork};
+use mst_platform::{GeneratorConfig, HeterogeneityProfile};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fork/selection_slaves16");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    let fork = GeneratorConfig::new(HeterogeneityProfile::ALL[0], 11).fork(16);
+    for n in [32usize, 64, 128, 256] {
+        let deadline = fork.makespan_upper_bound(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| max_tasks_fork_by_deadline(black_box(&fork), n, black_box(deadline)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_makespan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fork/binary_searched_makespan_n64");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    for slaves in [4usize, 16, 64] {
+        let fork = GeneratorConfig::new(HeterogeneityProfile::ALL[0], 11).fork(slaves);
+        group.bench_with_input(BenchmarkId::from_parameter(slaves), &slaves, |b, _| {
+            b.iter(|| schedule_fork(black_box(&fork), black_box(64)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(fork_scaling, bench_selection, bench_makespan);
+criterion_main!(fork_scaling);

@@ -1,0 +1,33 @@
+//! Cost of the verification oracles: the pairwise Definition-1 checker
+//! (`O(n^2 p)`) and the event-driven replay (`O(n log n)`-ish), relative
+//! to producing the schedule itself. Documents that validating every
+//! schedule in CI is affordable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mst_core::schedule_chain;
+use mst_platform::{GeneratorConfig, HeterogeneityProfile};
+use mst_schedule::check_chain;
+use mst_sim::replay_chain;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_oracles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle/n256_p16");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    let chain = GeneratorConfig::new(HeterogeneityProfile::ALL[0], 5).chain(16);
+    let schedule = schedule_chain(&chain, 256);
+    group.bench_function("schedule_chain", |b| {
+        b.iter(|| schedule_chain(black_box(&chain), black_box(256)));
+    });
+    group.bench_function("pairwise_checker", |b| {
+        b.iter(|| check_chain(black_box(&chain), black_box(&schedule)));
+    });
+    group.bench_function("event_replay", |b| {
+        b.iter(|| replay_chain(black_box(&chain), black_box(&schedule)).expect("feasible"));
+    });
+    group.finish();
+}
+
+criterion_group!(oracle_overhead, bench_oracles);
+criterion_main!(oracle_overhead);

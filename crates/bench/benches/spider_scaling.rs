@@ -1,0 +1,38 @@
+//! T2 (spider half): the `O(n^2 p^2)`-ish spider cost, measured — the
+//! deadline pass and the full binary-searched makespan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mst_platform::{GeneratorConfig, HeterogeneityProfile};
+use mst_spider::{schedule_spider, schedule_spider_by_deadline};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_deadline_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spider/deadline_pass_legs4");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    let spider = GeneratorConfig::new(HeterogeneityProfile::ALL[0], 7).spider(4, 2, 4);
+    for n in [32usize, 64, 128, 256] {
+        let deadline = spider.makespan_upper_bound(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| schedule_spider_by_deadline(black_box(&spider), n, black_box(deadline)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_makespan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spider/binary_searched_makespan");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(800));
+    for legs in [2usize, 4, 8] {
+        let spider = GeneratorConfig::new(HeterogeneityProfile::ALL[0], 7).spider(legs, 2, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(legs), &legs, |b, _| {
+            b.iter(|| schedule_spider(black_box(&spider), black_box(64)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(spider_scaling, bench_deadline_pass, bench_full_makespan);
+criterion_main!(spider_scaling);

@@ -1,0 +1,98 @@
+//! Regenerates the paper's figures from live algorithm runs.
+//!
+//! ```text
+//! cargo run -p mst-bench --bin figures            # all figures
+//! cargo run -p mst-bench --bin figures -- --f2    # one figure
+//! ```
+
+use mst_core::{schedule_chain, schedule_chain_by_deadline};
+use mst_fork::expand_slave;
+use mst_platform::{Chain, Processor, Spider};
+use mst_schedule::gantt;
+use mst_spider::{schedule_spider, transform_leg};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |flag: &str| args.is_empty() || args.iter().any(|a| a == flag);
+
+    if want("--f1") {
+        figure1();
+    }
+    if want("--f2") {
+        figure2();
+    }
+    if want("--f5") {
+        figure5();
+    }
+    if want("--f6") {
+        figure6();
+    }
+    if want("--f7") {
+        figure7();
+    }
+}
+
+/// Figure 1: the chain platform model.
+fn figure1() {
+    println!("== Figure 1: chain where the first node is the master ==");
+    let chain = Chain::paper_figure2();
+    println!("{chain}");
+    println!("p = {}, T_infinity(5) = {}\n", chain.len(), chain.t_infinity(5));
+}
+
+/// Figure 2: the worked schedule (c = (2,3), w = (3,5), n = 5).
+fn figure2() {
+    println!("== Figure 2: the paper's example schedule ==");
+    let chain = Chain::paper_figure2();
+    let schedule = schedule_chain(&chain, 5);
+    println!("{schedule}");
+    println!("{}", gantt::render_chain(&chain, &schedule));
+    println!("makespan = {} (paper: 14)\n", schedule.makespan());
+}
+
+/// Figure 5: a spider and its optimal schedule.
+fn figure5() {
+    println!("== Figure 5: a spider graph ==");
+    let spider = Spider::from_legs(&[
+        &[(2, 3), (3, 5)],
+        &[(1, 4)],
+        &[(2, 2), (2, 2)],
+    ])
+    .expect("valid spider");
+    println!("{spider}");
+    let (makespan, schedule) = schedule_spider(&spider, 8);
+    println!("optimal makespan for 8 tasks = {makespan}");
+    println!("{}", gantt::render_spider(&spider, &schedule));
+}
+
+/// Figure 6: expansion of a single node into single-task virtual slaves.
+fn figure6() {
+    println!("== Figure 6: node expansion (c_i, w_i) -> w_i + q * max(c_i, w_i) ==");
+    for (c, w) in [(2, 5), (5, 2)] {
+        let p = Processor::of(c, w);
+        let slaves = expand_slave(p, 1, 30, 6);
+        let times: Vec<String> = slaves.iter().map(|v| v.proc_time.to_string()).collect();
+        println!("node (c={c}, w={w}), m = {}: virtual times {}", p.period(), times.join(", "));
+    }
+    println!();
+}
+
+/// Figure 7: the chain-to-fork transformation of the Figure-2 instance.
+fn figure7() {
+    println!("== Figure 7: transformation of the Figure-2 example (T_lim = 14) ==");
+    let chain = Chain::paper_figure2();
+    let schedule = schedule_chain_by_deadline(&chain, 5, 14);
+    let slaves = transform_leg(0, &chain, &schedule, 14);
+    for s in &slaves {
+        let task = schedule.task(s.task_index);
+        println!(
+            "task emitted at C_1 = {:>2} (runs on processor {}) -> virtual slave (c = {}, t = {:>2})",
+            task.comms.first(),
+            task.proc,
+            s.comm,
+            s.proc_time
+        );
+    }
+    println!("paper: communication times all 2, processing times {{12, 10, 8, 6, 3}}");
+    println!("       the processor-2 task is the node of processing time 8\n");
+}

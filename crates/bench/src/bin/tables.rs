@@ -1,0 +1,65 @@
+//! Regenerates the validation and comparison tables of EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p mst-bench --release --bin tables                # all tables
+//! cargo run -p mst-bench --release --bin tables -- --optimality
+//! cargo run -p mst-bench --release --bin tables -- --quick     # small sample counts
+//! ```
+
+use mst_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let all = args.iter().all(|a| a == "--quick");
+    let want = |flag: &str| all || args.iter().any(|a| a == flag);
+    let n_small = if quick { 20 } else { 200 };
+    let n_tiny = if quick { 10 } else { 60 };
+
+    if want("--optimality") {
+        println!("== T1: Theorem 1 — chain algorithm vs exhaustive optimum ==");
+        println!("{}", experiments::optimality_table(n_small));
+    }
+    if want("--spider") {
+        println!("== T3: Theorem 3 — spider task count vs exhaustive optimum ==");
+        println!("{}", experiments::spider_table(n_tiny));
+    }
+    if want("--gap") {
+        println!("== E1: heuristic-to-optimal makespan ratios (p=8, n=64) ==");
+        println!("{}", experiments::heuristic_gap_table(n_small, 8, 64));
+        println!("== E1b: small batches (p=4, n=8) ==");
+        println!("{}", experiments::heuristic_gap_table(n_small, 4, 8));
+    }
+    if want("--steady") {
+        println!("== E2: steady-state convergence (2-leg spider, seed 3) ==");
+        println!("{}", experiments::steady_state_table(3, 2));
+        println!("== E2b: wider spider (4 legs, seed 7) ==");
+        println!("{}", experiments::steady_state_table(7, 4));
+    }
+    if want("--lemma1") {
+        println!("== F4: Lemma 1 (no crossing) and Lemma 2 (sub-chain) checks ==");
+        println!("{}", experiments::lemma_table(n_small));
+    }
+    if want("--staircase") {
+        println!("== E4: T_lim staircase on the Figure-2 chain ==");
+        println!("{}", experiments::staircase_table());
+    }
+    if want("--curve") {
+        println!("== E5: makespan curve and distribution crossover ==");
+        println!("{}", experiments::makespan_curve_table());
+    }
+    if want("--fluid") {
+        println!("== E6: quantised vs divisible-load on a star (8 slaves, seed 11) ==");
+        println!("{}", experiments::fluid_vs_quantised_table(11, 8));
+    }
+    if want("--buffers") {
+        println!("== E6b: finite-buffer ablation of the platform model ==");
+        println!("{}", experiments::buffer_ablation_table(n_small));
+    }
+    if want("--tree") {
+        println!("== E3: tree covering vs true tree optimum ==");
+        println!("{}", experiments::tree_table(n_tiny));
+        println!("== E3b: covering strategies head to head (size 7, n 6) ==");
+        println!("{}", experiments::tree_strategy_table(n_tiny, 7, 6));
+    }
+}

@@ -1,0 +1,485 @@
+//! The experiment implementations behind every table of EXPERIMENTS.md.
+
+use crate::table::Table;
+use mst_baselines::{
+    eager_chain, master_only_chain, max_tasks_by_deadline, optimal_chain_makespan,
+    optimal_tree_makespan, round_robin_chain,
+};
+use mst_baselines::bounds::{chain_lower_bound, spider_steady_state_rate};
+use mst_core::lemmas::{check_lemma1_no_crossing, check_lemma2_subchain, Lemma2Outcome};
+use mst_core::{schedule_chain, schedule_chain_by_deadline};
+use mst_platform::{Chain, GeneratorConfig, HeterogeneityProfile, Spider, Tree};
+use mst_sim::{run_parallel, simulate_online, OnlinePolicy};
+use mst_spider::{schedule_spider, schedule_spider_by_deadline};
+use mst_tree::{best_cover_schedule, schedule_tree, PathStrategy};
+
+/// T1 — Theorem 1 validation: the chain algorithm against the exhaustive
+/// optimum, per heterogeneity profile. The `optimal ratio` column must be
+/// `1.000` everywhere (and `mismatches` zero): the algorithm is exact.
+pub fn optimality_table(instances_per_profile: u64) -> Table {
+    let mut table = Table::new(vec![
+        "profile",
+        "instances",
+        "mismatches",
+        "max ratio",
+        "mean eager ratio",
+        "mean round-robin ratio",
+    ]);
+    for profile in HeterogeneityProfile::ALL {
+        let cases: Vec<(Chain, usize)> = (0..instances_per_profile)
+            .map(|seed| {
+                let g = GeneratorConfig::new(profile, seed);
+                (g.chain(1 + (seed % 4) as usize), 1 + (seed % 6) as usize)
+            })
+            .collect();
+        let rows = run_parallel(&cases, |(chain, n)| {
+            let algo = schedule_chain(chain, *n).makespan();
+            let exact = optimal_chain_makespan(chain, *n);
+            let eager = eager_chain(chain, *n).makespan();
+            let rr = round_robin_chain(chain, *n).makespan();
+            (algo, exact, eager, rr)
+        });
+        let mismatches = rows.iter().filter(|(a, e, _, _)| a != e).count();
+        let max_ratio = rows
+            .iter()
+            .map(|(a, e, _, _)| *a as f64 / *e as f64)
+            .fold(0.0f64, f64::max);
+        type Row = (i64, i64, i64, i64);
+        let mean = |f: &dyn Fn(&Row) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
+        let mean_eager = mean(&|r| r.2 as f64 / r.1 as f64);
+        let mean_rr = mean(&|r| r.3 as f64 / r.1 as f64);
+        table.row(vec![
+            profile.name().to_string(),
+            rows.len().to_string(),
+            mismatches.to_string(),
+            format!("{max_ratio:.3}"),
+            format!("{mean_eager:.3}"),
+            format!("{mean_rr:.3}"),
+        ]);
+    }
+    table
+}
+
+/// T3 — Theorem 3 validation: spider task counts by deadline against the
+/// exhaustive optimum. `mismatches` must be zero.
+pub fn spider_table(instances: u64) -> Table {
+    let mut table = Table::new(vec!["deadline", "instances", "mismatches", "mean tasks (algo)"]);
+    for deadline in [5i64, 10, 15, 20] {
+        let cases: Vec<Spider> = (0..instances)
+            .map(|seed| {
+                GeneratorConfig::new(HeterogeneityProfile::ALL[(seed % 5) as usize], seed)
+                    .spider(1 + (seed % 3) as usize, 1, 2)
+            })
+            .collect();
+        let rows = run_parallel(&cases, |spider| {
+            let algo = schedule_spider_by_deadline(spider, 5, deadline).n();
+            let exact = max_tasks_by_deadline(&Tree::from_spider(spider), deadline, 5);
+            (algo, exact)
+        });
+        let mismatches = rows.iter().filter(|(a, e)| a != e).count();
+        let mean = rows.iter().map(|(a, _)| *a as f64).sum::<f64>() / rows.len() as f64;
+        table.row(vec![
+            deadline.to_string(),
+            rows.len().to_string(),
+            mismatches.to_string(),
+            format!("{mean:.2}"),
+        ]);
+    }
+    table
+}
+
+/// E1 — the value of optimality: heuristic-to-optimal makespan ratios on
+/// larger chains, per heterogeneity regime. Shows where the backward
+/// construction wins (comm-bound platforms, long chains) and where
+/// heuristics are nearly free (compute-bound platforms).
+pub fn heuristic_gap_table(instances_per_profile: u64, p: usize, n: usize) -> Table {
+    let mut table = Table::new(vec![
+        "profile",
+        "p",
+        "n",
+        "optimal mean",
+        "eager/opt",
+        "round-robin/opt",
+        "master-only/opt",
+        "lower-bound/opt",
+    ]);
+    for profile in HeterogeneityProfile::ALL {
+        let cases: Vec<Chain> = (0..instances_per_profile)
+            .map(|seed| GeneratorConfig::new(profile, seed).chain(p))
+            .collect();
+        let rows = run_parallel(&cases, |chain| {
+            let opt = schedule_chain(chain, n).makespan() as f64;
+            (
+                opt,
+                eager_chain(chain, n).makespan() as f64 / opt,
+                round_robin_chain(chain, n).makespan() as f64 / opt,
+                master_only_chain(chain, n).makespan() as f64 / opt,
+                chain_lower_bound(chain, n) as f64 / opt,
+            )
+        });
+        let k = rows.len() as f64;
+        let mean = |idx: usize| -> f64 {
+            rows.iter()
+                .map(|r| match idx {
+                    0 => r.0,
+                    1 => r.1,
+                    2 => r.2,
+                    3 => r.3,
+                    _ => r.4,
+                })
+                .sum::<f64>()
+                / k
+        };
+        table.row(vec![
+            profile.name().to_string(),
+            p.to_string(),
+            n.to_string(),
+            format!("{:.1}", mean(0)),
+            format!("{:.3}", mean(1)),
+            format!("{:.3}", mean(2)),
+            format!("{:.3}", mean(3)),
+            format!("{:.3}", mean(4)),
+        ]);
+    }
+    table
+}
+
+/// E2 — steady-state convergence: offline-optimal and online throughput
+/// against the bandwidth-centric rate bound, as the batch grows. Both
+/// throughputs must converge towards (and never exceed) the bound.
+pub fn steady_state_table(seed: u64, legs: usize) -> Table {
+    let spider = GeneratorConfig::new(HeterogeneityProfile::ALL[0], seed).spider(legs, 1, 3);
+    let rate = spider_steady_state_rate(&spider);
+    let mut table = Table::new(vec![
+        "n",
+        "optimal makespan",
+        "optimal rate",
+        "online-eager rate",
+        "online-bc rate",
+        "rate bound",
+    ]);
+    for n in [2usize, 5, 10, 20, 40, 80] {
+        let (opt, _) = schedule_spider(&spider, n);
+        let eager = simulate_online(&spider, n, OnlinePolicy::EarliestCompletion).makespan();
+        let bc = simulate_online(&spider, n, OnlinePolicy::BandwidthCentric).makespan();
+        table.row(vec![
+            n.to_string(),
+            opt.to_string(),
+            format!("{:.4}", n as f64 / opt as f64),
+            format!("{:.4}", n as f64 / eager as f64),
+            format!("{:.4}", n as f64 / bc as f64),
+            format!("{rate:.4}"),
+        ]);
+    }
+    table
+}
+
+/// F4 — Lemma 1 and Lemma 2 structural checks over random instances:
+/// both `violations` columns must be zero.
+pub fn lemma_table(instances: u64) -> Table {
+    let mut table = Table::new(vec![
+        "profile",
+        "instances",
+        "lemma1 violations",
+        "lemma2 mismatches",
+    ]);
+    for profile in HeterogeneityProfile::ALL {
+        let cases: Vec<(Chain, usize)> = (0..instances)
+            .map(|seed| {
+                let g = GeneratorConfig::new(profile, seed);
+                (g.chain(2 + (seed % 4) as usize), 1 + (seed % 7) as usize)
+            })
+            .collect();
+        let rows = run_parallel(&cases, |(chain, n)| {
+            let l1 = check_lemma1_no_crossing(chain, *n).len();
+            let l2 = match check_lemma2_subchain(chain, *n) {
+                Lemma2Outcome::Consistent { .. } => 0,
+                Lemma2Outcome::Mismatch(_) => 1,
+            };
+            (l1, l2)
+        });
+        table.row(vec![
+            profile.name().to_string(),
+            rows.len().to_string(),
+            rows.iter().map(|r| r.0).sum::<usize>().to_string(),
+            rows.iter().map(|r| r.1).sum::<usize>().to_string(),
+        ]);
+    }
+    table
+}
+
+/// E3 — tree covering: best-strategy cover makespan against the true
+/// tree optimum on small random trees; ratio 1.0 means the cover was
+/// lossless (always the case for spider-shaped trees).
+pub fn tree_table(instances: u64) -> Table {
+    let mut table = Table::new(vec![
+        "tree size",
+        "instances",
+        "mean cover/opt",
+        "max cover/opt",
+        "lossless %",
+    ]);
+    for size in [3usize, 5, 7] {
+        let cases: Vec<Tree> = (0..instances)
+            .map(|seed| {
+                GeneratorConfig::new(HeterogeneityProfile::ALL[(seed % 5) as usize], seed + 1000)
+                    .tree(size)
+            })
+            .collect();
+        let n = 4;
+        let rows = run_parallel(&cases, |tree| {
+            let opt = optimal_tree_makespan(tree, n) as f64;
+            let cover = best_cover_schedule(tree, n).makespan as f64;
+            cover / opt
+        });
+        let mean = rows.iter().sum::<f64>() / rows.len() as f64;
+        let max = rows.iter().fold(0.0f64, |a, &b| a.max(b));
+        let lossless = rows.iter().filter(|&&r| r <= 1.0).count() as f64 / rows.len() as f64;
+        table.row(vec![
+            size.to_string(),
+            rows.len().to_string(),
+            format!("{mean:.3}"),
+            format!("{max:.3}"),
+            format!("{:.0}%", lossless * 100.0),
+        ]);
+    }
+    table
+}
+
+/// E4 — the `T_lim` staircase: tasks schedulable by each deadline on the
+/// Figure-2 chain (the monotone staircase the spider algorithm walks).
+pub fn staircase_table() -> Table {
+    let chain = Chain::paper_figure2();
+    let mut table = Table::new(vec!["deadline", "tasks", "first emission"]);
+    for deadline in (0..=20).step_by(2) {
+        let s = schedule_chain_by_deadline(&chain, 100, deadline);
+        table.row(vec![
+            deadline.to_string(),
+            s.n().to_string(),
+            s.start_time().map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    table
+}
+
+/// E5 — the makespan curve and the distribution crossover: how the
+/// optimal makespan, the marginal cost per task and the deepest used
+/// processor evolve with the batch size on the Figure-2 chain and on a
+/// deeper compute-bound chain.
+pub fn makespan_curve_table() -> Table {
+    use mst_core::analysis::{depth_usage, makespan_curve, marginal_costs};
+    let mut table = Table::new(vec!["chain", "n", "makespan", "marginal", "deepest proc"]);
+    let deep = GeneratorConfig::new(HeterogeneityProfile::ComputeBound, 5).chain(6);
+    for (name, chain) in [("figure-2", Chain::paper_figure2()), ("compute-bound p=6", deep)] {
+        let curve = makespan_curve(&chain, 32);
+        let costs = marginal_costs(&curve);
+        for n in [1usize, 2, 4, 8, 16, 32] {
+            table.row(vec![
+                name.to_string(),
+                n.to_string(),
+                curve[n - 1].to_string(),
+                costs[n - 1].to_string(),
+                depth_usage(&chain, n).to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// E6 — quantised vs fluid (divisible-load) models on a star: per-task
+/// cost of the paper's quantised optimum against the single-installment
+/// divisible-load solution. Fluid wins tiny loads (it splits tasks),
+/// quantised wins long batches (it pipelines), with the crossover in
+/// between.
+pub fn fluid_vs_quantised_table(seed: u64, slaves: usize) -> Table {
+    use mst_baselines::{divisible_star, divisible_star_period};
+    use mst_fork::schedule_fork;
+    let fork = GeneratorConfig::new(HeterogeneityProfile::ALL[0], seed).fork(slaves);
+    let period = divisible_star_period(&fork);
+    let mut table = Table::new(vec![
+        "n",
+        "quantised makespan",
+        "quantised per-task",
+        "fluid time",
+        "fluid period",
+    ]);
+    for n in [1usize, 2, 4, 8, 16, 32, 64] {
+        let (makespan, _) = schedule_fork(&fork, n);
+        let fluid = divisible_star(&fork, n as f64).time;
+        table.row(vec![
+            n.to_string(),
+            makespan.to_string(),
+            format!("{:.3}", makespan as f64 / n as f64),
+            format!("{fluid:.2}"),
+            format!("{period:.3}"),
+        ]);
+    }
+    table
+}
+
+/// E6b — the finite-buffer ablation: online makespans as the per-node
+/// waiting capacity shrinks, relative to the unbounded-buffer model the
+/// paper's Definition 1 assumes.
+pub fn buffer_ablation_table(instances: u64) -> Table {
+    use mst_sim::simulate_online_buffered;
+    let mut table = Table::new(vec![
+        "policy",
+        "instances",
+        "cap 0 / unbounded",
+        "cap 1 / unbounded",
+        "cap 2 / unbounded",
+        "strict gaps (cap 0)",
+    ]);
+    for policy in [
+        OnlinePolicy::EarliestCompletion,
+        OnlinePolicy::BandwidthCentric,
+        OnlinePolicy::RoundRobinLegs,
+    ] {
+        let cases: Vec<Spider> = (0..instances)
+            .map(|seed| {
+                GeneratorConfig::new(HeterogeneityProfile::ALL[(seed % 5) as usize], seed)
+                    .spider(1 + (seed % 4) as usize, 1, 1)
+            })
+            .collect();
+        let rows = run_parallel(&cases, |spider| {
+            let unbounded =
+                simulate_online_buffered(spider, 16, policy, usize::MAX).makespan() as f64;
+            let caps: Vec<f64> = [0usize, 1, 2]
+                .iter()
+                .map(|&c| {
+                    simulate_online_buffered(spider, 16, policy, c).makespan() as f64 / unbounded
+                })
+                .collect();
+            (caps[0], caps[1], caps[2])
+        });
+        let k = rows.len() as f64;
+        let strict = rows.iter().filter(|r| r.0 > 1.0 + 1e-9).count();
+        table.row(vec![
+            format!("{policy:?}"),
+            rows.len().to_string(),
+            format!("{:.3}", rows.iter().map(|r| r.0).sum::<f64>() / k),
+            format!("{:.3}", rows.iter().map(|r| r.1).sum::<f64>() / k),
+            format!("{:.3}", rows.iter().map(|r| r.2).sum::<f64>() / k),
+            strict.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Strategy comparison for tree covering (part of E3).
+pub fn tree_strategy_table(instances: u64, size: usize, n: usize) -> Table {
+    let mut table = Table::new(vec!["strategy", "mean makespan", "wins"]);
+    let cases: Vec<Tree> = (0..instances)
+        .map(|seed| {
+            GeneratorConfig::new(HeterogeneityProfile::ALL[(seed % 5) as usize], seed + 500)
+                .tree(size)
+        })
+        .collect();
+    let per_case: Vec<Vec<(PathStrategy, i64)>> = run_parallel(&cases, |tree| {
+        PathStrategy::ALL
+            .iter()
+            .map(|&s| (s, schedule_tree(tree, n, s).makespan))
+            .collect()
+    });
+    for (idx, strategy) in PathStrategy::ALL.iter().enumerate() {
+        let mean = per_case.iter().map(|r| r[idx].1 as f64).sum::<f64>() / per_case.len() as f64;
+        let wins = per_case
+            .iter()
+            .filter(|r| {
+                let best = r.iter().map(|(_, m)| *m).min().expect("non-empty");
+                r[idx].1 == best
+            })
+            .count();
+        table.row(vec![
+            strategy.name().to_string(),
+            format!("{mean:.1}"),
+            wins.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimality_table_reports_zero_mismatches() {
+        let t = optimality_table(8);
+        let s = t.to_string();
+        // every profile row must carry a 0 mismatch count
+        for line in s.lines().skip(2) {
+            let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+            assert_eq!(cells[3], "0", "mismatch in {line}");
+            assert_eq!(cells[4], "1.000", "ratio in {line}");
+        }
+    }
+
+    #[test]
+    fn spider_table_reports_zero_mismatches() {
+        let t = spider_table(6);
+        for line in t.to_string().lines().skip(2) {
+            let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+            assert_eq!(cells[3], "0", "mismatch in {line}");
+        }
+    }
+
+    #[test]
+    fn heuristic_gaps_are_at_least_one() {
+        let t = heuristic_gap_table(6, 5, 12);
+        for line in t.to_string().lines().skip(2) {
+            let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+            for idx in [5, 6, 7] {
+                let ratio: f64 = cells[idx].parse().expect("ratio cell");
+                assert!(ratio >= 1.0, "heuristic ratio below 1 in {line}");
+            }
+            let lb: f64 = cells[8].parse().expect("lb cell");
+            assert!(lb <= 1.0, "lower bound above optimum in {line}");
+        }
+    }
+
+    #[test]
+    fn lemma_table_is_clean() {
+        let t = lemma_table(6);
+        for line in t.to_string().lines().skip(2) {
+            let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+            assert_eq!(cells[3], "0");
+            assert_eq!(cells[4], "0");
+        }
+    }
+
+    #[test]
+    fn staircase_is_monotone() {
+        let t = staircase_table();
+        let s = t.to_string();
+        let mut prev = 0;
+        for line in s.lines().skip(2) {
+            let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+            let tasks: usize = cells[2].parse().expect("task cell");
+            assert!(tasks >= prev);
+            prev = tasks;
+        }
+        assert!(prev >= 5, "20 ticks fit at least the Figure-2 batch");
+    }
+
+    #[test]
+    fn steady_state_rates_never_exceed_bound() {
+        let t = steady_state_table(3, 2);
+        for line in t.to_string().lines().skip(2) {
+            let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+            let opt_rate: f64 = cells[3].parse().expect("rate");
+            let bound: f64 = cells[6].parse().expect("bound");
+            // Finite batches may not reach the bound but must not beat it
+            // by more than the end-effect slack of one task.
+            assert!(opt_rate <= bound * 1.35 + 0.05, "{line}");
+        }
+    }
+
+    #[test]
+    fn tree_tables_render() {
+        let t = tree_table(4);
+        assert_eq!(t.len(), 3);
+        let t = tree_strategy_table(4, 5, 3);
+        assert_eq!(t.len(), 4);
+    }
+}

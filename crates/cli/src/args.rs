@@ -1,0 +1,122 @@
+//! Minimal hand-rolled argument parsing (no external CLI framework).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand, positional arguments, and
+/// `--key value` / `--flag` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// First non-option token.
+    pub command: String,
+    /// Remaining non-option tokens, in order.
+    pub positional: Vec<String>,
+    /// `--key value` pairs; a flag without a value maps to `""`.
+    pub options: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// A token starting with `--` consumes the following token as its
+    /// value unless that token itself starts with `--` (then it is a
+    /// bare flag).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Args {
+        let tokens: Vec<String> = raw.into_iter().collect();
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            if let Some(key) = tok.strip_prefix("--") {
+                let value = match tokens.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        i += 1;
+                        v.clone()
+                    }
+                    _ => String::new(),
+                };
+                args.options.insert(key.to_string(), value);
+            } else if args.command.is_empty() {
+                args.command = tok.clone();
+            } else {
+                args.positional.push(tok.clone());
+            }
+            i += 1;
+        }
+        args
+    }
+
+    /// The value of `--key`, if present (bare flags yield `Some("")`).
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// `--key` parsed as an integer, with a default.
+    pub fn int_opt(&self, key: &str, default: i64) -> Result<i64, String> {
+        match self.opt(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got {v:?}")),
+        }
+    }
+
+    /// Whether a bare `--flag` was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
+    /// Positional argument `idx`, or an error naming it.
+    pub fn pos(&self, idx: usize, name: &str) -> Result<&str, String> {
+        self.positional
+            .get(idx)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing <{name}> argument"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_positionals_and_options() {
+        let a = parse("schedule inst.txt --tasks 10 --quiet");
+        assert_eq!(a.command, "schedule");
+        assert_eq!(a.positional, vec!["inst.txt"]);
+        assert_eq!(a.opt("tasks"), Some("10"));
+        assert!(a.flag("quiet"));
+        assert!(!a.flag("verbose"));
+    }
+
+    #[test]
+    fn int_opt_defaults_and_errors() {
+        let a = parse("x --n 5");
+        assert_eq!(a.int_opt("n", 1), Ok(5));
+        assert_eq!(a.int_opt("m", 7), Ok(7));
+        let bad = parse("x --n five");
+        assert!(bad.int_opt("n", 1).is_err());
+    }
+
+    #[test]
+    fn adjacent_flags_do_not_steal_values() {
+        let a = parse("x --quiet --tasks 3");
+        assert!(a.flag("quiet"));
+        assert_eq!(a.opt("quiet"), Some(""));
+        assert_eq!(a.opt("tasks"), Some("3"));
+    }
+
+    #[test]
+    fn pos_errors_name_the_argument() {
+        let a = parse("validate one");
+        assert_eq!(a.pos(0, "instance"), Ok("one"));
+        assert!(a.pos(1, "schedule").unwrap_err().contains("schedule"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_command() {
+        let a = parse("");
+        assert!(a.command.is_empty());
+    }
+}

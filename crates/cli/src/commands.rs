@@ -1,0 +1,480 @@
+//! The CLI subcommand implementations.
+//!
+//! Every command takes parsed [`Args`] and returns the text to print (so
+//! the integration tests exercise commands without spawning processes).
+
+use crate::args::Args;
+use mst_baselines::{eager_chain, master_only_chain, round_robin_chain};
+use mst_baselines::bounds::chain_lower_bound;
+use mst_core::{schedule_chain, schedule_chain_by_deadline};
+use mst_platform::format::{parse as parse_instance, to_text, Instance};
+use mst_platform::{GeneratorConfig, HeterogeneityProfile};
+use mst_schedule::format::{
+    chain_schedule_from_text, chain_schedule_to_text, spider_schedule_from_text,
+    spider_schedule_to_text,
+};
+use mst_schedule::{check_chain, check_spider, gantt, metrics};
+use mst_sim::{replay_chain, replay_spider};
+use mst_spider::{schedule_spider, schedule_spider_by_deadline};
+use mst_tree::best_cover_schedule;
+use std::fmt::Write as _;
+use std::fs;
+
+/// Top-level dispatch; returns the output to print or a usage error.
+pub fn run(args: &Args) -> Result<String, String> {
+    match args.command.as_str() {
+        "schedule" => cmd_schedule(args),
+        "plan" => cmd_plan(args),
+        "validate" => cmd_validate(args),
+        "gantt" => cmd_gantt(args),
+        "generate" => cmd_generate(args),
+        "stats" => cmd_stats(args),
+        "diff" => cmd_diff(args),
+        "curve" => cmd_curve(args),
+        "" | "help" | "--help" => Ok(usage()),
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    }
+}
+
+/// The help text.
+pub fn usage() -> String {
+    "mst — optimal master-slave tasking on heterogeneous processors (Dutot, IPPS 2003)
+
+USAGE:
+    mst schedule <instance> --tasks N [--out FILE] [--gantt]
+        Optimal schedule for N tasks (chain, fork, spider or tree instance).
+    mst plan <instance> --deadline T [--cap N]
+        Maximum tasks finishing by the deadline (the T_lim variant).
+    mst validate <instance> <schedule>
+        Check a schedule file: Definition-1 oracle + event replay.
+    mst gantt <instance> <schedule>
+        Render a schedule file as an ASCII Gantt chart.
+    mst generate <chain|fork|spider|tree> --size P [--profile NAME] [--seed S]
+        Emit a random instance (profiles: uniform, homogeneous, comm-bound,
+        compute-bound, bimodal).
+    mst stats <instance> --tasks N
+        Compare the optimal makespan against heuristics and bounds.
+    mst diff <instance> <schedule-a> <schedule-b>
+        Structural comparison of two chain schedules.
+    mst curve <instance> --max N
+        Optimal makespan, marginal cost and pipeline depth for 1..=N tasks.
+"
+    .to_string()
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn load_instance(path: &str) -> Result<Instance, String> {
+    parse_instance(&read_file(path)?).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_schedule(args: &Args) -> Result<String, String> {
+    let path = args.pos(0, "instance")?;
+    let n = args.int_opt("tasks", 1)? as usize;
+    if n == 0 {
+        return Err("--tasks must be at least 1".into());
+    }
+    let mut out = String::new();
+    #[allow(clippy::needless_late_init)]
+    let schedule_text;
+    match load_instance(path)? {
+        Instance::Chain(chain) => {
+            let s = schedule_chain(&chain, n);
+            writeln!(out, "platform: {chain}").unwrap();
+            writeln!(out, "optimal makespan for {n} tasks: {}", s.makespan()).unwrap();
+            if args.flag("gantt") {
+                out.push_str(&gantt::render_chain(&chain, &s));
+            }
+            out.push_str(&s.to_string());
+            schedule_text = chain_schedule_to_text(&s);
+        }
+        Instance::Fork(fork) => {
+            let (makespan, outcome) = mst_fork::schedule_fork(&fork, n);
+            writeln!(out, "platform: {fork}").unwrap();
+            writeln!(out, "optimal makespan for {n} tasks: {makespan}").unwrap();
+            if args.flag("gantt") {
+                let spider = mst_platform::Spider::from_fork(&fork);
+                out.push_str(&gantt::render_spider(&spider, &outcome.schedule));
+            }
+            out.push_str(&outcome.schedule.to_string());
+            schedule_text = spider_schedule_to_text(&outcome.schedule);
+        }
+        Instance::Spider(spider) => {
+            let (makespan, s) = schedule_spider(&spider, n);
+            writeln!(out, "platform: {spider}").unwrap();
+            writeln!(out, "optimal makespan for {n} tasks: {makespan}").unwrap();
+            if args.flag("gantt") {
+                out.push_str(&gantt::render_spider(&spider, &s));
+            }
+            out.push_str(&s.to_string());
+            schedule_text = spider_schedule_to_text(&s);
+        }
+        Instance::Tree(tree) => {
+            let outcome = best_cover_schedule(&tree, n);
+            writeln!(out, "platform: {tree}").unwrap();
+            writeln!(
+                out,
+                "best spider-cover makespan for {n} tasks: {} (covering {} of {} processors)",
+                outcome.makespan,
+                outcome.cover.covered_nodes(),
+                tree.len()
+            )
+            .unwrap();
+            if args.flag("gantt") {
+                out.push_str(&gantt::render_spider(&outcome.cover.spider, &outcome.schedule));
+            }
+            out.push_str(&outcome.schedule.to_string());
+            schedule_text = spider_schedule_to_text(&outcome.schedule);
+        }
+    }
+    if let Some(dest) = args.opt("out") {
+        fs::write(dest, schedule_text).map_err(|e| format!("cannot write {dest}: {e}"))?;
+        writeln!(out, "schedule written to {dest}").unwrap();
+    }
+    Ok(out)
+}
+
+fn cmd_plan(args: &Args) -> Result<String, String> {
+    let path = args.pos(0, "instance")?;
+    let deadline = args.int_opt("deadline", -1)?;
+    if deadline < 0 {
+        return Err("--deadline is required and must be non-negative".into());
+    }
+    let cap = args.int_opt("cap", 1_000_000)? as usize;
+    let mut out = String::new();
+    match load_instance(path)? {
+        Instance::Chain(chain) => {
+            let s = schedule_chain_by_deadline(&chain, cap, deadline);
+            writeln!(out, "{} task(s) fit by t = {deadline}", s.n()).unwrap();
+            out.push_str(&s.to_string());
+        }
+        Instance::Fork(fork) => {
+            let outcome = mst_fork::max_tasks_fork_by_deadline(&fork, cap, deadline);
+            writeln!(out, "{} task(s) fit by t = {deadline}", outcome.n()).unwrap();
+            out.push_str(&outcome.schedule.to_string());
+        }
+        Instance::Spider(spider) => {
+            let s = schedule_spider_by_deadline(&spider, cap, deadline);
+            writeln!(out, "{} task(s) fit by t = {deadline}", s.n()).unwrap();
+            out.push_str(&s.to_string());
+        }
+        Instance::Tree(_) => {
+            return Err("plan is not implemented for raw trees; cover them first".into())
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_validate(args: &Args) -> Result<String, String> {
+    let inst_path = args.pos(0, "instance")?;
+    let sched_path = args.pos(1, "schedule")?;
+    let sched_text = read_file(sched_path)?;
+    let mut out = String::new();
+    match load_instance(inst_path)? {
+        Instance::Chain(chain) => {
+            let s = chain_schedule_from_text(&chain, &sched_text)
+                .map_err(|e| format!("{sched_path}: {e}"))?;
+            let report = check_chain(&chain, &s);
+            if !report.is_feasible() {
+                let mut msg = String::from("INFEASIBLE:\n");
+                for v in &report.violations {
+                    writeln!(msg, "  - {v}").unwrap();
+                }
+                return Err(msg);
+            }
+            let trace = replay_chain(&chain, &s).map_err(|e| format!("replay failed: {e}"))?;
+            writeln!(
+                out,
+                "feasible: {} tasks, makespan {}, replayed {} events",
+                s.n(),
+                s.makespan(),
+                trace.len()
+            )
+            .unwrap();
+        }
+        Instance::Spider(spider) => {
+            let s = spider_schedule_from_text(&spider, &sched_text)
+                .map_err(|e| format!("{sched_path}: {e}"))?;
+            let report = check_spider(&spider, &s);
+            if !report.is_feasible() {
+                let mut msg = String::from("INFEASIBLE:\n");
+                for v in &report.violations {
+                    writeln!(msg, "  - {v}").unwrap();
+                }
+                return Err(msg);
+            }
+            let trace = replay_spider(&spider, &s).map_err(|e| format!("replay failed: {e}"))?;
+            writeln!(
+                out,
+                "feasible: {} tasks, makespan {}, replayed {} events",
+                s.n(),
+                s.makespan(),
+                trace.len()
+            )
+            .unwrap();
+        }
+        Instance::Fork(fork) => {
+            let spider = mst_platform::Spider::from_fork(&fork);
+            let s = spider_schedule_from_text(&spider, &sched_text)
+                .map_err(|e| format!("{sched_path}: {e}"))?;
+            let report = check_spider(&spider, &s);
+            if !report.is_feasible() {
+                return Err(format!("INFEASIBLE: {} violation(s)", report.violations.len()));
+            }
+            writeln!(out, "feasible: {} tasks, makespan {}", s.n(), s.makespan()).unwrap();
+        }
+        Instance::Tree(_) => return Err("validate expects a chain, fork or spider instance".into()),
+    }
+    Ok(out)
+}
+
+fn cmd_gantt(args: &Args) -> Result<String, String> {
+    let inst_path = args.pos(0, "instance")?;
+    let sched_path = args.pos(1, "schedule")?;
+    let sched_text = read_file(sched_path)?;
+    match load_instance(inst_path)? {
+        Instance::Chain(chain) => {
+            let s = chain_schedule_from_text(&chain, &sched_text)
+                .map_err(|e| format!("{sched_path}: {e}"))?;
+            Ok(gantt::render_chain(&chain, &s))
+        }
+        Instance::Spider(spider) => {
+            let s = spider_schedule_from_text(&spider, &sched_text)
+                .map_err(|e| format!("{sched_path}: {e}"))?;
+            Ok(gantt::render_spider(&spider, &s))
+        }
+        Instance::Fork(fork) => {
+            let spider = mst_platform::Spider::from_fork(&fork);
+            let s = spider_schedule_from_text(&spider, &sched_text)
+                .map_err(|e| format!("{sched_path}: {e}"))?;
+            Ok(gantt::render_spider(&spider, &s))
+        }
+        Instance::Tree(_) => Err("gantt expects a chain, fork or spider instance".into()),
+    }
+}
+
+fn profile_by_name(name: &str) -> Result<HeterogeneityProfile, String> {
+    Ok(match name {
+        "uniform" => HeterogeneityProfile::Uniform { c: (1, 5), w: (1, 5) },
+        "homogeneous" => HeterogeneityProfile::Homogeneous { c: 2, w: 3 },
+        "comm-bound" => HeterogeneityProfile::CommBound,
+        "compute-bound" => HeterogeneityProfile::ComputeBound,
+        "bimodal" => HeterogeneityProfile::Bimodal { fast_pct: 25 },
+        "correlated" => HeterogeneityProfile::Correlated,
+        other => return Err(format!("unknown profile {other:?}")),
+    })
+}
+
+fn cmd_generate(args: &Args) -> Result<String, String> {
+    let kind = args.pos(0, "topology")?;
+    let size = args.int_opt("size", 4)? as usize;
+    if size == 0 {
+        return Err("--size must be at least 1".into());
+    }
+    let seed = args.int_opt("seed", 0)? as u64;
+    let profile = profile_by_name(args.opt("profile").unwrap_or("uniform"))?;
+    let g = GeneratorConfig::new(profile, seed);
+    let instance = match kind {
+        "chain" => Instance::Chain(g.chain(size)),
+        "fork" => Instance::Fork(g.fork(size)),
+        "spider" => Instance::Spider(g.spider(size.clamp(1, 8), 1, 3.max(size / 2))),
+        "tree" => Instance::Tree(g.tree(size)),
+        other => return Err(format!("unknown topology {other:?}")),
+    };
+    Ok(to_text(&instance))
+}
+
+fn cmd_stats(args: &Args) -> Result<String, String> {
+    let path = args.pos(0, "instance")?;
+    let n = args.int_opt("tasks", 10)? as usize;
+    let chain = match load_instance(path)? {
+        Instance::Chain(c) => c,
+        _ => return Err("stats currently expects a chain instance".into()),
+    };
+    let opt = schedule_chain(&chain, n);
+    let m = metrics::chain_metrics(&chain, &opt);
+    let mut out = String::new();
+    writeln!(out, "platform: {chain}").unwrap();
+    writeln!(out, "tasks: {n}").unwrap();
+    writeln!(out, "optimal makespan:      {:>8}", opt.makespan()).unwrap();
+    writeln!(out, "eager heuristic:       {:>8}", eager_chain(&chain, n).makespan()).unwrap();
+    writeln!(out, "round robin:           {:>8}", round_robin_chain(&chain, n).makespan()).unwrap();
+    writeln!(out, "master only:           {:>8}", master_only_chain(&chain, n).makespan()).unwrap();
+    writeln!(out, "analytic lower bound:  {:>8}", chain_lower_bound(&chain, n)).unwrap();
+    let (rt, rd) = chain.steady_state_rate();
+    writeln!(out, "steady-state rate:     {rt}/{rd} task/tick").unwrap();
+    writeln!(out, "tasks per processor:   {:?}", m.tasks_per_proc).unwrap();
+    writeln!(out, "throughput achieved:   {:.4} task/tick", m.throughput()).unwrap();
+    Ok(out)
+}
+
+fn cmd_diff(args: &Args) -> Result<String, String> {
+    let inst_path = args.pos(0, "instance")?;
+    let a_path = args.pos(1, "schedule-a")?;
+    let b_path = args.pos(2, "schedule-b")?;
+    let chain = match load_instance(inst_path)? {
+        Instance::Chain(c) => c,
+        _ => return Err("diff currently expects a chain instance".into()),
+    };
+    let a = chain_schedule_from_text(&chain, &read_file(a_path)?)
+        .map_err(|e| format!("{a_path}: {e}"))?;
+    let b = chain_schedule_from_text(&chain, &read_file(b_path)?)
+        .map_err(|e| format!("{b_path}: {e}"))?;
+    Ok(mst_schedule::compare_chain(&a, &b).to_string())
+}
+
+fn cmd_curve(args: &Args) -> Result<String, String> {
+    use mst_core::analysis::{depth_usage, makespan_curve, marginal_costs};
+    let path = args.pos(0, "instance")?;
+    let n_max = args.int_opt("max", 16)? as usize;
+    if n_max == 0 {
+        return Err("--max must be at least 1".into());
+    }
+    let chain = match load_instance(path)? {
+        Instance::Chain(c) => c,
+        _ => return Err("curve currently expects a chain instance".into()),
+    };
+    let curve = makespan_curve(&chain, n_max);
+    let costs = marginal_costs(&curve);
+    let mut out = String::new();
+    writeln!(out, "{:>5} | {:>8} | {:>8} | {:>5}", "n", "makespan", "marginal", "depth").unwrap();
+    for n in 1..=n_max {
+        writeln!(
+            out,
+            "{:>5} | {:>8} | {:>8} | {:>5}",
+            n,
+            curve[n - 1],
+            costs[n - 1],
+            depth_usage(&chain, n)
+        )
+        .unwrap();
+    }
+    let (rt, rd) = chain.steady_state_rate();
+    writeln!(out, "steady-state period: {rd}/{rt} ticks per task").unwrap();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str, contents: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mst-cli-test-{}-{name}", std::process::id()));
+        fs::write(&p, contents).expect("write temp file");
+        p
+    }
+
+    fn run_line(line: &str) -> Result<String, String> {
+        run(&Args::parse(line.split_whitespace().map(String::from)))
+    }
+
+    #[test]
+    fn schedule_command_on_figure2() {
+        let inst = tmp("fig2.txt", "chain\n2 3\n3 5\n");
+        let out = run_line(&format!("schedule {} --tasks 5 --gantt", inst.display())).unwrap();
+        assert!(out.contains("optimal makespan for 5 tasks: 14"), "{out}");
+        assert!(out.contains("link 1"));
+    }
+
+    #[test]
+    fn schedule_and_validate_round_trip() {
+        let inst = tmp("fig2b.txt", "chain\n2 3\n3 5\n");
+        let sched = std::env::temp_dir().join(format!("mst-cli-sched-{}", std::process::id()));
+        run_line(&format!(
+            "schedule {} --tasks 5 --out {}",
+            inst.display(),
+            sched.display()
+        ))
+        .unwrap();
+        let out = run_line(&format!("validate {} {}", inst.display(), sched.display())).unwrap();
+        assert!(out.contains("feasible: 5 tasks, makespan 14"), "{out}");
+        let out = run_line(&format!("gantt {} {}", inst.display(), sched.display())).unwrap();
+        assert!(out.contains("proc 2"));
+    }
+
+    #[test]
+    fn validate_rejects_bogus_schedule() {
+        let inst = tmp("fig2c.txt", "chain\n2 3\n3 5\n");
+        // Two tasks overlapping on processor 1.
+        let sched = tmp("bogus.txt", "chain-schedule\ntask 1 2 0\ntask 1 4 2\n");
+        let err = run_line(&format!("validate {} {}", inst.display(), sched.display()))
+            .unwrap_err();
+        assert!(err.contains("INFEASIBLE"), "{err}");
+        assert!(err.contains("overlap"), "{err}");
+    }
+
+    #[test]
+    fn plan_command_counts_tasks() {
+        let inst = tmp("fig2d.txt", "chain\n2 3\n3 5\n");
+        let out = run_line(&format!("plan {} --deadline 14", inst.display())).unwrap();
+        assert!(out.contains("5 task(s) fit by t = 14"), "{out}");
+        let out = run_line(&format!("plan {} --deadline 4", inst.display())).unwrap();
+        assert!(out.contains("0 task(s)"), "{out}");
+    }
+
+    #[test]
+    fn generate_emits_parseable_instances() {
+        for kind in ["chain", "fork", "spider", "tree"] {
+            let out = run_line(&format!("generate {kind} --size 4 --seed 3")).unwrap();
+            assert!(parse_instance(&out).is_ok(), "{kind}: {out}");
+        }
+        assert!(run_line("generate ring --size 4").is_err());
+        assert!(run_line("generate chain --profile alien").is_err());
+    }
+
+    #[test]
+    fn stats_command_reports_all_lines() {
+        let inst = tmp("fig2e.txt", "chain\n2 3\n3 5\n");
+        let out = run_line(&format!("stats {} --tasks 5", inst.display())).unwrap();
+        assert!(out.contains("optimal makespan:            14"), "{out}");
+        assert!(out.contains("steady-state rate"), "{out}");
+    }
+
+    #[test]
+    fn spider_instances_schedule_and_validate() {
+        let inst = tmp("spider.txt", "spider\nleg 2 3 3 5\nleg 1 4\n");
+        let sched = std::env::temp_dir().join(format!("mst-cli-ssched-{}", std::process::id()));
+        let out = run_line(&format!(
+            "schedule {} --tasks 6 --out {}",
+            inst.display(),
+            sched.display()
+        ))
+        .unwrap();
+        assert!(out.contains("optimal makespan for 6 tasks"), "{out}");
+        let out = run_line(&format!("validate {} {}", inst.display(), sched.display())).unwrap();
+        assert!(out.contains("feasible: 6 tasks"), "{out}");
+    }
+
+    #[test]
+    fn diff_command_reports_differences() {
+        let inst = tmp("fig2f.txt", "chain\n2 3\n3 5\n");
+        let a = tmp("a.sched", "chain-schedule\ntask 1 2 0\ntask 2 9 2 4\n");
+        let b = tmp("b.sched", "chain-schedule\ntask 1 2 0\ntask 1 5 2\n");
+        let out = run_line(&format!("diff {} {} {}", inst.display(), a.display(), b.display()))
+            .unwrap();
+        assert!(out.contains("task 2: runs on processor 2 vs 1"), "{out}");
+        let same =
+            run_line(&format!("diff {} {} {}", inst.display(), a.display(), a.display())).unwrap();
+        assert!(same.contains("identical"), "{same}");
+    }
+
+    #[test]
+    fn curve_command_prints_staircase() {
+        let inst = tmp("fig2g.txt", "chain\n2 3\n3 5\n");
+        let out = run_line(&format!("curve {} --max 5", inst.display())).unwrap();
+        assert!(out.contains("steady-state period: 2/1"), "{out}");
+        // n = 5 row carries the Figure-2 makespan.
+        assert!(out.lines().any(|l| l.contains("5 |       14")), "{out}");
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run_line("help").unwrap().contains("USAGE"));
+        assert!(run_line("frobnicate").unwrap_err().contains("unknown command"));
+        assert!(run_line("").unwrap().contains("USAGE"));
+    }
+}

@@ -1,0 +1,19 @@
+//! `mst` — the command-line entry point.
+//!
+//! See [`commands::usage`] (or run `mst help`) for the subcommands.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let parsed = Args::parse(std::env::args().skip(1));
+    match commands::run(&parsed) {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+}

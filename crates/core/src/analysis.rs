@@ -1,0 +1,134 @@
+//! Batch-size analysis of optimal chain schedules.
+//!
+//! Utilities answering the questions the paper's motivation raises but
+//! its worked example only hints at: how does the optimal makespan grow
+//! with the batch, when does the schedule start using deep processors,
+//! and how fast does the marginal cost per task converge to the
+//! steady-state period?
+
+use crate::algorithm::schedule_chain;
+use mst_platform::{Chain, Time};
+
+/// Optimal makespans for batches `1..=n_max` — the makespan curve.
+///
+/// `O(n_max^2 p^2)` total (one full run per batch size); fine for the
+/// curve sizes the experiments use.
+///
+/// ```
+/// use mst_platform::Chain;
+/// use mst_core::analysis::makespan_curve;
+/// let curve = makespan_curve(&Chain::paper_figure2(), 5);
+/// assert_eq!(curve, vec![5, 8, 10, 12, 14]);
+/// ```
+pub fn makespan_curve(chain: &Chain, n_max: usize) -> Vec<Time> {
+    (1..=n_max).map(|n| schedule_chain(chain, n).makespan()).collect()
+}
+
+/// Marginal cost of each additional task: `curve[i] - curve[i-1]`
+/// (first element is the one-task makespan).
+pub fn marginal_costs(curve: &[Time]) -> Vec<Time> {
+    let mut out = Vec::with_capacity(curve.len());
+    let mut prev = 0;
+    for &m in curve {
+        out.push(m - prev);
+        prev = m;
+    }
+    out
+}
+
+/// The deepest processor used by the optimal schedule for `n` tasks.
+pub fn depth_usage(chain: &Chain, n: usize) -> usize {
+    schedule_chain(chain, n)
+        .tasks()
+        .iter()
+        .map(|t| t.proc)
+        .max()
+        .expect("n >= 1")
+}
+
+/// The smallest batch size (up to `n_max`) at which the optimal schedule
+/// first forwards work past processor 1, or `None` if processor 1 always
+/// suffices. This is the "distribution pays off" crossover the layered
+/// network example displays.
+pub fn distribution_crossover(chain: &Chain, n_max: usize) -> Option<usize> {
+    (1..=n_max).find(|&n| depth_usage(chain, n) >= 2)
+}
+
+/// Estimate of the asymptotic per-task period from the tail of a
+/// makespan curve: the mean of the last `window` marginal costs.
+///
+/// For long batches this converges to `1 / rate` where `rate` is
+/// [`Chain::steady_state_rate`]; the steady-state experiment prints both.
+pub fn tail_period_estimate(curve: &[Time], window: usize) -> f64 {
+    assert!(!curve.is_empty() && window >= 1);
+    let costs = marginal_costs(curve);
+    let w = window.min(costs.len());
+    costs[costs.len() - w..].iter().sum::<Time>() as f64 / w as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mst_platform::{GeneratorConfig, HeterogeneityProfile};
+
+    #[test]
+    fn curve_is_monotone_and_bounded() {
+        for seed in 0..10u64 {
+            let g = GeneratorConfig::new(HeterogeneityProfile::ALL[(seed % 5) as usize], seed);
+            let chain = g.chain(1 + (seed % 5) as usize);
+            let curve = makespan_curve(&chain, 12);
+            for w in curve.windows(2) {
+                assert!(w[0] <= w[1], "makespan decreased (seed {seed})");
+            }
+            for (i, &m) in curve.iter().enumerate() {
+                assert!(m <= chain.t_infinity(i + 1), "above master-only (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn marginal_costs_reconstruct_the_curve() {
+        let chain = Chain::paper_figure2();
+        let curve = makespan_curve(&chain, 8);
+        let costs = marginal_costs(&curve);
+        let mut acc = 0;
+        for (c, m) in costs.iter().zip(&curve) {
+            acc += c;
+            assert_eq!(acc, *m);
+        }
+    }
+
+    #[test]
+    fn figure2_tail_period_matches_steady_state() {
+        // Figure-2 chain rate = 1/2 task per tick, so the marginal cost
+        // settles at 2 ticks per task.
+        let chain = Chain::paper_figure2();
+        let curve = makespan_curve(&chain, 40);
+        let est = tail_period_estimate(&curve, 10);
+        assert!((est - 2.0).abs() < 0.35, "tail period {est}");
+    }
+
+    #[test]
+    fn crossover_is_where_depth_first_reaches_two() {
+        let chain = Chain::paper_figure2();
+        let cross = distribution_crossover(&chain, 10).expect("fig2 uses processor 2");
+        assert!(cross >= 2, "a single task stays on processor 1");
+        assert!(depth_usage(&chain, cross) == 2);
+        assert!(depth_usage(&chain, cross - 1) == 1);
+        // A chain with a useless tail never crosses over.
+        let lonely = Chain::from_pairs(&[(1, 1), (50, 50)]).unwrap();
+        assert_eq!(distribution_crossover(&lonely, 8), None);
+    }
+
+    #[test]
+    fn depth_usage_is_monotone_in_n_on_figure2() {
+        let chain = Chain::paper_figure2();
+        let mut prev = 0;
+        for n in 1..=10 {
+            let d = depth_usage(&chain, n);
+            assert!(d >= prev || d == prev, "depth usage should not shrink here");
+            prev = d.max(prev);
+        }
+        assert_eq!(prev, 2);
+    }
+}

@@ -1,0 +1,184 @@
+//! Machine checks for the structural lemmas of Sections 4–5.
+//!
+//! The paper's optimality proof rests on two structural properties of the
+//! backward construction. They are proved on paper; here they are
+//! *checked on instances*, both as regression tests and as the `--lemma1`
+//! table of the experiment harness (experiment F4 in DESIGN.md).
+
+use crate::algorithm::{schedule_chain, BackwardScheduler};
+use mst_platform::{Chain, Time};
+
+/// A violation of Lemma 1 found while replaying the construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossingViolation {
+    /// Backward step index (0 = last task).
+    pub step: usize,
+    /// The two candidate processors whose vectors cross.
+    pub k: usize,
+    /// See `k`.
+    pub l: usize,
+    /// The suffix start `q` at which the order flipped.
+    pub q: usize,
+}
+
+/// Checks **Lemma 1** (no crossing) on the full backward run for `n`
+/// tasks: whenever candidate `kC(i)` precedes `lC(i)`, every common
+/// suffix `{.C_q, ..}` must preserve that order — geometrically, two
+/// candidate communication vectors of one task never cross (Figure 4).
+///
+/// Returns all violations (empty = lemma holds on this instance).
+pub fn check_lemma1_no_crossing(chain: &Chain, n: usize) -> Vec<CrossingViolation> {
+    let mut violations = Vec::new();
+    let mut scheduler = BackwardScheduler::new(chain, chain.t_infinity(n));
+    for step_idx in 0..n {
+        let step = scheduler.step();
+        let cands = &step.candidates;
+        for k in 1..=cands.len() {
+            for l in 1..=cands.len() {
+                if k == l {
+                    continue;
+                }
+                let (ck, cl) = (&cands[k - 1], &cands[l - 1]);
+                if !ck.precedes(cl) {
+                    continue;
+                }
+                for q in 1..=k.min(l) {
+                    let sk = ck.suffix(q);
+                    let sl = cl.suffix(q);
+                    if !sk.precedes(&sl) && sk != sl {
+                        violations.push(CrossingViolation { step: step_idx, k, l, q });
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// The outcome of the Lemma-2 consistency check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lemma2Outcome {
+    /// The restriction of the chain schedule to processors `>= 2` equals
+    /// the algorithm's schedule on the sub-chain, up to the stated time
+    /// shift. Carries the number of forwarded tasks `n'`.
+    Consistent {
+        /// Number of tasks forwarded past processor 1.
+        forwarded: usize,
+    },
+    /// A structural mismatch, described for debugging.
+    Mismatch(String),
+}
+
+/// Checks **Lemma 2** (sub-chain consistency): the tasks that the
+/// `n`-task schedule places on processors `2..=p` form, after the shift
+/// `T_shift = min_i C^i_2`, exactly the schedule our algorithm produces
+/// for that many tasks on the sub-chain `(c_i, w_i)_{i >= 2}`.
+pub fn check_lemma2_subchain(chain: &Chain, n: usize) -> Lemma2Outcome {
+    let full = schedule_chain(chain, n);
+    let forwarded: Vec<_> = full.tasks().iter().filter(|t| t.proc >= 2).collect();
+    let n_prime = forwarded.len();
+    if n_prime == 0 {
+        return Lemma2Outcome::Consistent { forwarded: 0 };
+    }
+    let sub_chain = match chain.subchain(2) {
+        Some(c) => c,
+        None => {
+            return Lemma2Outcome::Mismatch("tasks forwarded past a single-processor chain".into())
+        }
+    };
+    let sub = schedule_chain(&sub_chain, n_prime);
+    let t_shift: Time = forwarded.iter().map(|t| t.comms.get(2)).min().expect("n' >= 1");
+
+    // Forwarded tasks, ordered by their link-2 emission (their emission
+    // order on the sub-chain).
+    let mut by_link2 = forwarded.clone();
+    by_link2.sort_by_key(|t| t.comms.get(2));
+
+    for (idx, task) in by_link2.iter().enumerate() {
+        let hat = sub.task(idx + 1);
+        if hat.proc != task.proc - 1 {
+            return Lemma2Outcome::Mismatch(format!(
+                "task {}: sub-chain processor {} vs expected {}",
+                idx + 1,
+                hat.proc,
+                task.proc - 1
+            ));
+        }
+        if hat.start != task.start - t_shift {
+            return Lemma2Outcome::Mismatch(format!(
+                "task {}: sub-chain start {} vs expected {}",
+                idx + 1,
+                hat.start,
+                task.start - t_shift
+            ));
+        }
+        for q in 2..=task.proc {
+            if hat.comms.get(q - 1) != task.comms.get(q) - t_shift {
+                return Lemma2Outcome::Mismatch(format!(
+                    "task {}: emission on link {} is {} vs expected {}",
+                    idx + 1,
+                    q,
+                    hat.comms.get(q - 1),
+                    task.comms.get(q) - t_shift
+                ));
+            }
+        }
+    }
+    Lemma2Outcome::Consistent { forwarded: n_prime }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mst_platform::{GeneratorConfig, HeterogeneityProfile};
+
+    #[test]
+    fn lemma1_holds_on_figure2() {
+        assert!(check_lemma1_no_crossing(&Chain::paper_figure2(), 5).is_empty());
+    }
+
+    #[test]
+    fn lemma1_holds_on_random_instances() {
+        for seed in 0..40u64 {
+            let profile = HeterogeneityProfile::ALL[(seed % 5) as usize];
+            let g = GeneratorConfig::new(profile, seed);
+            let chain = g.chain(2 + (seed % 5) as usize);
+            let n = 1 + (seed % 8) as usize;
+            let v = check_lemma1_no_crossing(&chain, n);
+            assert!(v.is_empty(), "Lemma 1 violated at seed {seed}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn lemma2_holds_on_figure2() {
+        assert_eq!(
+            check_lemma2_subchain(&Chain::paper_figure2(), 5),
+            Lemma2Outcome::Consistent { forwarded: 1 }
+        );
+    }
+
+    #[test]
+    fn lemma2_holds_on_random_instances() {
+        for seed in 0..40u64 {
+            let profile = HeterogeneityProfile::ALL[(seed % 5) as usize];
+            let g = GeneratorConfig::new(profile, seed);
+            let chain = g.chain(2 + (seed % 5) as usize);
+            let n = 1 + (seed % 8) as usize;
+            match check_lemma2_subchain(&chain, n) {
+                Lemma2Outcome::Consistent { .. } => {}
+                Lemma2Outcome::Mismatch(m) => panic!("Lemma 2 violated at seed {seed}: {m}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lemma2_trivial_when_nothing_forwarded() {
+        // A chain whose second processor is useless: everything stays on
+        // processor 1.
+        let chain = Chain::from_pairs(&[(1, 1), (100, 100)]).unwrap();
+        assert_eq!(
+            check_lemma2_subchain(&chain, 6),
+            Lemma2Outcome::Consistent { forwarded: 0 }
+        );
+    }
+}

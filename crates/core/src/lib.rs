@@ -1,0 +1,44 @@
+//! # mst-core — the optimal chain-scheduling algorithm of Dutot (IPPS 2003)
+//!
+//! The paper's primary contribution: scheduling `n` independent identical
+//! tasks on a heterogeneous [`Chain`](mst_platform::Chain) of processors
+//! under the one-port model, **optimally in makespan**, in `O(n p^2)`.
+//!
+//! The algorithm (Section 3 of the paper) builds the schedule *backwards*
+//! from an anchor time: it keeps, per link, a *hull* `h_k` (the earliest
+//! already-reserved use of the link) and, per processor, an *occupancy*
+//! `o_k` (the earliest already-reserved execution start), schedules the
+//! last task first, and for each task picks the greatest candidate
+//! communication vector in the Definition-3 order — i.e. the placement
+//! that emits as late as possible, tie-breaking towards the processor
+//! closest to the master.
+//!
+//! Two entry points drive the same backward machinery:
+//!
+//! * [`schedule_chain`] — the makespan variant: anchors at
+//!   `T_infinity = c_1 + (n-1) max(w_1, c_1) + w_1` and schedules all `n`
+//!   tasks; Theorem 1 proves the result optimal.
+//! * [`schedule_chain_by_deadline`] — the `T_lim` variant of Section 7:
+//!   anchors at a caller-supplied deadline and schedules as many tasks as
+//!   possible (at most `n`) finishing by that deadline, stopping when a
+//!   task would have to be emitted before time 0. The spider algorithm is
+//!   built on this variant.
+//!
+//! [`BackwardScheduler`] exposes the per-task candidate vectors so that
+//! the Lemma-1/Lemma-2 structural properties can be checked (see
+//! [`lemmas`]), and [`fast`] holds an algebraically equivalent variant
+//! with a prefix-min candidate-front evaluation used by the ablation
+//! benchmarks.
+
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod analysis;
+pub mod fast;
+pub mod lemmas;
+pub mod state;
+
+pub use analysis::{depth_usage, distribution_crossover, makespan_curve, marginal_costs};
+pub use algorithm::{schedule_chain, schedule_chain_by_deadline, BackwardScheduler, Step};
+pub use fast::schedule_chain_fast;
+pub use state::BackwardState;

@@ -1,0 +1,111 @@
+//! The hull / occupancy state of the backward construction.
+
+use mst_schedule::CommVector;
+use mst_platform::Time;
+
+/// The mutable state of the backward greedy construction (Section 3).
+///
+/// * `hull[k]` (paper: `h_k`) — the earliest emission time already
+///   reserved on link `k`; a new (earlier) communication on link `k` must
+///   finish by `hull[k]`, i.e. be emitted at or before `hull[k] - c_k`.
+/// * `occupancy[k]` (paper: `o_k`) — the earliest execution start already
+///   reserved on processor `k`; a new (earlier) execution must finish by
+///   `occupancy[k]`, i.e. start at or before `occupancy[k] - w_k`.
+///
+/// Both vectors are initialised to the anchor time (`T_infinity` or
+/// `T_lim`): before any task is placed, every resource is free up to the
+/// anchor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackwardState {
+    hull: Vec<Time>,
+    occupancy: Vec<Time>,
+}
+
+impl BackwardState {
+    /// Fresh state for a chain of `p` processors anchored at `horizon`.
+    pub fn new(p: usize, horizon: Time) -> Self {
+        assert!(p >= 1);
+        BackwardState { hull: vec![horizon; p], occupancy: vec![horizon; p] }
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hull.len()
+    }
+
+    /// `true` iff the state tracks no processors (never constructible).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.hull.is_empty()
+    }
+
+    /// Hull `h_k` of link `k` (**1-based**).
+    #[inline]
+    pub fn hull(&self, k: usize) -> Time {
+        self.hull[k - 1]
+    }
+
+    /// Occupancy `o_k` of processor `k` (**1-based**).
+    #[inline]
+    pub fn occupancy(&self, k: usize) -> Time {
+        self.occupancy[k - 1]
+    }
+
+    /// Commits a scheduling decision: the task runs on processor
+    /// `vector.len()` starting at `start`, with communication vector
+    /// `vector`. Updates `o_{P}` to the start time and `h_k` to the new
+    /// (earlier) emissions for every crossed link, as in the paper's
+    /// pseudo-code.
+    pub fn commit(&mut self, vector: &CommVector, start: Time) {
+        let p_i = vector.len();
+        debug_assert!(p_i >= 1 && p_i <= self.len());
+        debug_assert!(
+            start <= self.occupancy[p_i - 1],
+            "backward construction must move towards earlier times"
+        );
+        self.occupancy[p_i - 1] = start;
+        for k in 1..=p_i {
+            debug_assert!(vector.get(k) <= self.hull[k - 1]);
+            self.hull[k - 1] = vector.get(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_state_is_anchored() {
+        let s = BackwardState::new(3, 100);
+        for k in 1..=3 {
+            assert_eq!(s.hull(k), 100);
+            assert_eq!(s.occupancy(k), 100);
+        }
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn commit_updates_hull_and_occupancy() {
+        let mut s = BackwardState::new(3, 100);
+        // Task on processor 2: emissions {90, 95}, start 97.
+        s.commit(&CommVector::new(vec![90, 95]), 97);
+        assert_eq!(s.occupancy(2), 97);
+        assert_eq!(s.occupancy(1), 100); // untouched
+        assert_eq!(s.hull(1), 90);
+        assert_eq!(s.hull(2), 95);
+        assert_eq!(s.hull(3), 100); // untouched
+    }
+
+    #[test]
+    fn successive_commits_move_backward() {
+        let mut s = BackwardState::new(2, 50);
+        s.commit(&CommVector::new(vec![40]), 45);
+        s.commit(&CommVector::new(vec![30, 35]), 44);
+        assert_eq!(s.hull(1), 30);
+        assert_eq!(s.hull(2), 35);
+        assert_eq!(s.occupancy(1), 45);
+        assert_eq!(s.occupancy(2), 44);
+    }
+}

@@ -1,0 +1,213 @@
+//! The bandwidth-centric greedy and the executable fork schedule.
+
+use crate::expand::{expand_fork, VirtualSlave};
+use crate::jackson::{EddSet, Item};
+use mst_platform::{Fork, NodeId, Time};
+use mst_schedule::{CommVector, SpiderSchedule, SpiderTask};
+
+/// Result of the deadline-driven fork algorithm.
+#[derive(Debug, Clone)]
+pub struct ForkOutcome {
+    /// The selected virtual slaves with their master-emission start
+    /// times, in emission order (decreasing virtual processing time).
+    pub selected: Vec<(VirtualSlave, Time)>,
+    /// The executable schedule (a spider schedule over legs of length 1).
+    pub schedule: SpiderSchedule,
+}
+
+impl ForkOutcome {
+    /// Number of scheduled tasks.
+    pub fn n(&self) -> usize {
+        self.selected.len()
+    }
+}
+
+/// The fork-graph algorithm of the paper's reference [2]: schedules the
+/// maximum number of tasks (at most `max_tasks`) on `fork`, all
+/// completing by `deadline`.
+///
+/// Expansion (Figure 6) turns every node into single-task virtual
+/// slaves; virtual slaves are considered by **ascending link latency,
+/// ties by ascending processing time**, and greedily kept whenever the
+/// growing set stays feasible under Jackson's rule. The witness schedule
+/// serialises the kept communications back to back in decreasing
+/// processing-time order.
+pub fn max_tasks_fork_by_deadline(fork: &Fork, max_tasks: usize, deadline: Time) -> ForkOutcome {
+    let mut virtuals = expand_fork(fork, deadline, max_tasks);
+    virtuals.sort_by_key(|v| (v.comm, v.proc_time));
+
+    let mut set: EddSet<VirtualSlave> = EddSet::new(deadline);
+    for v in virtuals {
+        if set.len() == max_tasks {
+            break;
+        }
+        set.try_insert(Item { comm: v.comm, proc_time: v.proc_time, payload: v });
+    }
+
+    let emissions = set.emission_times();
+    let selected: Vec<(VirtualSlave, Time)> = set
+        .items()
+        .iter()
+        .zip(&emissions)
+        .map(|(item, &t)| (item.payload, t))
+        .collect();
+
+    ForkOutcome { schedule: realise(fork, &selected, deadline), selected }
+}
+
+/// Converts selected virtual slaves + emission times into an executable
+/// star schedule: each physical node runs its tasks back to back in
+/// arrival order. Completion by `deadline` is guaranteed by the
+/// expansion's slack encoding and asserted in debug builds.
+fn realise(fork: &Fork, selected: &[(VirtualSlave, Time)], deadline: Time) -> SpiderSchedule {
+    let mut proc_free = vec![0; fork.len() + 1];
+    // Emission order is the serialisation order; arrivals at a node are in
+    // emission order, so a single pass suffices.
+    let mut tasks = Vec::with_capacity(selected.len());
+    for &(v, emit) in selected {
+        let arrival = emit + v.comm;
+        let start = arrival.max(proc_free[v.source]);
+        let end = start + fork.w(v.source);
+        proc_free[v.source] = end;
+        debug_assert!(
+            end <= deadline,
+            "realised task ends at {end}, past the deadline {deadline}"
+        );
+        tasks.push(SpiderTask::new(
+            NodeId { leg: v.source - 1, depth: 1 },
+            start,
+            CommVector::new(vec![emit]),
+            fork.w(v.source),
+        ));
+    }
+    SpiderSchedule::new(tasks)
+}
+
+/// Minimum-makespan schedule of exactly `n` tasks on a fork, by binary
+/// search over the deadline. Returns `(makespan, outcome)`.
+///
+/// The task count achievable by a deadline is non-decreasing in the
+/// deadline, so the binary search is exact; the upper bound seeds from
+/// running everything on the best single slave.
+///
+/// ```
+/// use mst_platform::Fork;
+/// use mst_fork::schedule_fork;
+/// let fork = Fork::from_pairs(&[(1, 4), (2, 3)]).unwrap();
+/// let (makespan, outcome) = schedule_fork(&fork, 6);
+/// assert_eq!(outcome.n(), 6);
+/// assert!(makespan <= fork.makespan_upper_bound(6));
+/// ```
+pub fn schedule_fork(fork: &Fork, n: usize) -> (Time, ForkOutcome) {
+    assert!(n >= 1, "schedule_fork requires at least one task");
+    let mut lo = 1; // no task can finish by tick 0 (c, w >= 1)
+    let mut hi = fork.makespan_upper_bound(n);
+    debug_assert!(max_tasks_fork_by_deadline(fork, n, hi).n() == n);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if max_tasks_fork_by_deadline(fork, n, mid).n() >= n {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    (lo, max_tasks_fork_by_deadline(fork, n, lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mst_platform::{GeneratorConfig, HeterogeneityProfile, Spider, Tree};
+    use mst_schedule::check_spider;
+
+    fn spider_of(fork: &Fork) -> Spider {
+        Spider::from_fork(fork)
+    }
+
+    #[test]
+    fn single_slave_matches_pipeline_capacity() {
+        let fork = Fork::from_pairs(&[(2, 5)]).unwrap();
+        for deadline in 0..40 {
+            let out = max_tasks_fork_by_deadline(&fork, 100, deadline);
+            // capacity: largest k with c + w + (k-1)*max(c,w) <= deadline
+            let mut cap = 0;
+            while 2 + 5 + cap as Time * 5 <= deadline {
+                cap += 1;
+            }
+            assert_eq!(out.n(), cap, "deadline {deadline}");
+            check_spider(&spider_of(&fork), &out.schedule).assert_feasible();
+        }
+    }
+
+    #[test]
+    fn greedy_prefers_cheap_links() {
+        // Two identical CPUs, one behind a fast link: with a deadline that
+        // fits only a few tasks, the fast link gets them.
+        let fork = Fork::from_pairs(&[(1, 4), (4, 4)]).unwrap();
+        let out = max_tasks_fork_by_deadline(&fork, 10, 9);
+        assert!(out.n() >= 2);
+        let fast: usize = out.selected.iter().filter(|(v, _)| v.source == 1).count();
+        let slow: usize = out.selected.iter().filter(|(v, _)| v.source == 2).count();
+        assert!(fast >= slow, "fast-link slave should carry at least as many tasks");
+        check_spider(&spider_of(&fork), &out.schedule).assert_feasible();
+    }
+
+    #[test]
+    fn schedules_are_feasible_and_meet_deadline() {
+        for seed in 0..30u64 {
+            let g = GeneratorConfig::new(HeterogeneityProfile::ALL[(seed % 5) as usize], seed);
+            let fork = g.fork(1 + (seed % 6) as usize);
+            for deadline in [3, 8, 15, 30] {
+                let out = max_tasks_fork_by_deadline(&fork, 20, deadline);
+                check_spider(&spider_of(&fork), &out.schedule).assert_feasible();
+                for t in out.schedule.tasks() {
+                    assert!(t.end() <= deadline);
+                }
+                assert_eq!(out.schedule.n(), out.n());
+            }
+        }
+    }
+
+    #[test]
+    fn task_count_matches_exhaustive_optimum() {
+        // The substrate's own optimality (Beaumont et al.), validated
+        // against exhaustive search on small stars.
+        use mst_baselines::max_tasks_by_deadline;
+        for seed in 0..25u64 {
+            let g = GeneratorConfig::new(HeterogeneityProfile::ALL[(seed % 5) as usize], seed);
+            let fork = g.fork(1 + (seed % 3) as usize);
+            let tree = Tree::from_spider(&spider_of(&fork));
+            for deadline in [4, 9, 14, 22] {
+                let algo = max_tasks_fork_by_deadline(&fork, 5, deadline).n();
+                let exact = max_tasks_by_deadline(&tree, deadline, 5);
+                assert_eq!(algo, exact, "seed {seed}, deadline {deadline}, {fork}");
+            }
+        }
+    }
+
+    #[test]
+    fn binary_searched_makespan_matches_exhaustive_optimum() {
+        use mst_baselines::optimal_spider_makespan;
+        for seed in 0..20u64 {
+            let g = GeneratorConfig::new(HeterogeneityProfile::ALL[(seed % 5) as usize], seed);
+            let fork = g.fork(1 + (seed % 3) as usize);
+            let n = 1 + (seed % 5) as usize;
+            let (makespan, out) = schedule_fork(&fork, n);
+            assert_eq!(out.n(), n);
+            check_spider(&spider_of(&fork), &out.schedule).assert_feasible();
+            let exact = optimal_spider_makespan(&spider_of(&fork), n);
+            assert_eq!(makespan, exact, "seed {seed}, n {n}, {fork}");
+        }
+    }
+
+    #[test]
+    fn count_is_monotone_in_deadline() {
+        let fork = Fork::from_pairs(&[(2, 3), (1, 6), (4, 2)]).unwrap();
+        let mut prev = 0;
+        for deadline in 0..40 {
+            let k = max_tasks_fork_by_deadline(&fork, 50, deadline).n();
+            assert!(k >= prev, "deadline {deadline}: {k} < {prev}");
+            prev = k;
+        }
+    }
+}

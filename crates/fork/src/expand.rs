@@ -1,0 +1,126 @@
+//! Node expansion: Figure 6 of the paper.
+
+use mst_platform::{Fork, Processor, Time};
+
+/// A single-task virtual slave produced by expanding a physical node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualSlave {
+    /// Link latency (equal to the physical node's `c_i`).
+    pub comm: Time,
+    /// Virtual processing time `w_i + rank * max(c_i, w_i)`.
+    pub proc_time: Time,
+    /// The physical slave this came from (**1-based** fork index).
+    pub source: usize,
+    /// `rank = q`: this virtual slave stands for the `(q+1)`-th-from-last
+    /// task executed on the physical node.
+    pub rank: usize,
+}
+
+impl VirtualSlave {
+    /// Latest tick at which this slave's communication may *start* and
+    /// still meet `deadline`.
+    #[inline]
+    pub fn latest_emission(&self, deadline: Time) -> Time {
+        deadline - self.proc_time - self.comm
+    }
+}
+
+/// Expands physical slave `source` (**1-based**) into its virtual slaves
+/// that can possibly finish by `deadline`, capped at `max_tasks` ranks.
+///
+/// Rank `q` has processing time `w + q * max(c, w)`; it is usable only if
+/// `c + w + q * m <= deadline`, so the expansion is finite even though
+/// the paper draws it as unbounded.
+pub fn expand_slave(
+    proc: Processor,
+    source: usize,
+    deadline: Time,
+    max_tasks: usize,
+) -> Vec<VirtualSlave> {
+    let m = proc.period();
+    let mut out = Vec::new();
+    for rank in 0..max_tasks {
+        let proc_time = proc.work + rank as Time * m;
+        if proc.comm + proc_time > deadline {
+            break;
+        }
+        out.push(VirtualSlave { comm: proc.comm, proc_time, source, rank });
+    }
+    out
+}
+
+/// Expands every slave of a fork; the result is unsorted.
+pub fn expand_fork(fork: &Fork, deadline: Time, max_tasks: usize) -> Vec<VirtualSlave> {
+    let mut out = Vec::new();
+    for (idx, &p) in fork.slaves().iter().enumerate() {
+        out.extend(expand_slave(p, idx + 1, deadline, max_tasks));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_uses_period_max_c_w() {
+        // Figure 6: processing times w, w + m, w + 2m with m = max(c, w).
+        let p = Processor::of(2, 5); // m = 5
+        let vs = expand_slave(p, 1, 100, 4);
+        let times: Vec<Time> = vs.iter().map(|v| v.proc_time).collect();
+        assert_eq!(times, vec![5, 10, 15, 20]);
+        assert!(vs.iter().all(|v| v.comm == 2 && v.source == 1));
+
+        let p = Processor::of(5, 2); // comm-bound: m = 5
+        let vs = expand_slave(p, 3, 100, 3);
+        let times: Vec<Time> = vs.iter().map(|v| v.proc_time).collect();
+        assert_eq!(times, vec![2, 7, 12]);
+    }
+
+    #[test]
+    fn expansion_truncates_at_deadline() {
+        let p = Processor::of(2, 5);
+        // c + w + q*5 <= 14  =>  q <= 1.4  =>  ranks 0 and 1
+        let vs = expand_slave(p, 1, 14, 10);
+        assert_eq!(vs.len(), 2);
+        // deadline too tight for even one task
+        assert!(expand_slave(p, 1, 6, 10).is_empty());
+        assert_eq!(expand_slave(p, 1, 7, 10).len(), 1);
+    }
+
+    #[test]
+    fn expansion_count_matches_single_node_capacity() {
+        // The number of virtual slaves usable by `deadline` must equal the
+        // number of tasks the physical node can complete by `deadline`
+        // (pipeline: c + w + q * max(c, w)) — the equivalence Figure 6
+        // claims.
+        for (c, w) in [(2, 5), (5, 2), (3, 3), (1, 7), (7, 1)] {
+            let p = Processor::of(c, w);
+            for deadline in 0..40 {
+                let by_expansion = expand_slave(p, 1, deadline, 100).len();
+                // direct count: largest k with c + w + (k-1)*m <= deadline
+                let m = p.period();
+                let mut direct = 0;
+                while c + w + direct as Time * m <= deadline {
+                    direct += 1;
+                }
+                assert_eq!(by_expansion, direct, "c={c}, w={w}, deadline={deadline}");
+            }
+        }
+    }
+
+    #[test]
+    fn fork_expansion_tags_sources() {
+        let fork = Fork::from_pairs(&[(1, 2), (3, 4)]).unwrap();
+        let vs = expand_fork(&fork, 20, 3);
+        assert!(vs.iter().any(|v| v.source == 1));
+        assert!(vs.iter().any(|v| v.source == 2));
+        assert!(vs.iter().all(|v| v.source == 1 && v.comm == 1 || v.source == 2 && v.comm == 3));
+    }
+
+    #[test]
+    fn latest_emission_accounts_for_comm_and_proc() {
+        let v = VirtualSlave { comm: 2, proc_time: 8, source: 1, rank: 0 };
+        assert_eq!(v.latest_emission(14), 4);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type shared by all platform constructors and parsers.
+
+use std::fmt;
+
+/// Errors produced while building or parsing a platform description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlatformError {
+    /// A latency or processing time was zero or negative.
+    ///
+    /// The paper assumes strictly positive `c_i` and `w_i`: a zero latency
+    /// would let the master flood a link, and a zero processing time would
+    /// make a processor infinitely fast, both of which break the one-port
+    /// reasoning of Definition 1.
+    NonPositiveTime {
+        /// Which field was invalid (`"c"` or `"w"`).
+        field: &'static str,
+        /// 1-based processor index, when meaningful.
+        index: usize,
+        /// The offending value.
+        value: i64,
+    },
+    /// A topology was empty where at least one processor is required.
+    EmptyTopology(&'static str),
+    /// A structural rule was violated (e.g. a spider chain of length zero,
+    /// a tree edge pointing to a missing node, a cycle in a tree).
+    Structure(String),
+    /// The instance text format could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::NonPositiveTime { field, index, value } => write!(
+                f,
+                "{field}_{index} = {value} must be strictly positive"
+            ),
+            PlatformError::EmptyTopology(what) => {
+                write!(f, "{what} must contain at least one processor")
+            }
+            PlatformError::Structure(msg) => write!(f, "invalid structure: {msg}"),
+            PlatformError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PlatformError::NonPositiveTime { field: "c", index: 3, value: 0 };
+        assert_eq!(e.to_string(), "c_3 = 0 must be strictly positive");
+        let e = PlatformError::EmptyTopology("chain");
+        assert!(e.to_string().contains("chain"));
+        let e = PlatformError::Parse { line: 7, message: "bad token".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

@@ -1,0 +1,242 @@
+//! A tiny line-oriented text format for platform instances.
+//!
+//! Rather than pulling a serialization framework, instances are stored in
+//! a human-editable format:
+//!
+//! ```text
+//! # comments start with '#'
+//! chain
+//! 2 3     # c_1 w_1
+//! 3 5     # c_2 w_2
+//! ```
+//!
+//! ```text
+//! spider
+//! leg 2 3  3 5      # one leg per line: c_1 w_1  c_2 w_2 ...
+//! leg 1 4
+//! ```
+//!
+//! ```text
+//! tree
+//! node 0 1 2        # parent c w (ids assigned 1.. in file order)
+//! node 1 2 3
+//! ```
+//!
+//! Forks are written as `fork` followed by `c w` lines, like chains.
+
+use crate::chain::Chain;
+use crate::error::PlatformError;
+use crate::fork::Fork;
+use crate::spider::Spider;
+use crate::time::Time;
+use crate::tree::Tree;
+use std::fmt::Write as _;
+
+/// Any parsed platform instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instance {
+    /// A chain of processors.
+    Chain(Chain),
+    /// A fork (star).
+    Fork(Fork),
+    /// A spider.
+    Spider(Spider),
+    /// A general tree.
+    Tree(Tree),
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> PlatformError {
+    PlatformError::Parse { line, message: message.into() }
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn parse_times(tokens: &[&str], line_no: usize) -> Result<Vec<Time>, PlatformError> {
+    tokens
+        .iter()
+        .map(|t| {
+            t.parse::<Time>()
+                .map_err(|_| parse_err(line_no, format!("expected an integer, found {t:?}")))
+        })
+        .collect()
+}
+
+/// Parses an instance from its text form.
+///
+/// ```
+/// use mst_platform::format::{parse, Instance};
+/// let inst = parse("chain\n2 3\n3 5\n").unwrap();
+/// let Instance::Chain(chain) = inst else { panic!() };
+/// assert_eq!(chain.len(), 2);
+/// ```
+pub fn parse(text: &str) -> Result<Instance, PlatformError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, strip_comment(l).trim()))
+        .filter(|(_, l)| !l.is_empty());
+
+    let (header_line, header) = lines.next().ok_or_else(|| parse_err(1, "empty instance"))?;
+    match header {
+        "chain" | "fork" => {
+            let mut pairs = Vec::new();
+            for (no, line) in lines {
+                let tokens: Vec<&str> = line.split_whitespace().collect();
+                let values = parse_times(&tokens, no)?;
+                if values.len() != 2 {
+                    return Err(parse_err(no, "expected exactly `c w`"));
+                }
+                pairs.push((values[0], values[1]));
+            }
+            if header == "chain" {
+                Chain::from_pairs(&pairs).map(Instance::Chain)
+            } else {
+                Fork::from_pairs(&pairs).map(Instance::Fork)
+            }
+        }
+        "spider" => {
+            let mut legs: Vec<Vec<(Time, Time)>> = Vec::new();
+            for (no, line) in lines {
+                let tokens: Vec<&str> = line.split_whitespace().collect();
+                match tokens.split_first() {
+                    Some((&"leg", rest)) => {
+                        let values = parse_times(rest, no)?;
+                        if values.is_empty() || values.len() % 2 != 0 {
+                            return Err(parse_err(no, "leg needs pairs `c w  c w ...`"));
+                        }
+                        legs.push(values.chunks(2).map(|cw| (cw[0], cw[1])).collect());
+                    }
+                    _ => return Err(parse_err(no, "expected `leg c w ...`")),
+                }
+            }
+            let refs: Vec<&[(Time, Time)]> = legs.iter().map(Vec::as_slice).collect();
+            Spider::from_legs(&refs).map(Instance::Spider)
+        }
+        "tree" => {
+            let mut triples = Vec::new();
+            for (no, line) in lines {
+                let tokens: Vec<&str> = line.split_whitespace().collect();
+                match tokens.split_first() {
+                    Some((&"node", rest)) if rest.len() == 3 => {
+                        let parent: usize = rest[0]
+                            .parse()
+                            .map_err(|_| parse_err(no, "bad parent id"))?;
+                        let values = parse_times(&rest[1..], no)?;
+                        triples.push((parent, values[0], values[1]));
+                    }
+                    _ => return Err(parse_err(no, "expected `node parent c w`")),
+                }
+            }
+            Tree::from_triples(&triples).map(Instance::Tree)
+        }
+        other => Err(parse_err(header_line, format!("unknown topology {other:?}"))),
+    }
+}
+
+/// Serializes an instance to the text form accepted by [`parse`].
+pub fn to_text(instance: &Instance) -> String {
+    let mut out = String::new();
+    match instance {
+        Instance::Chain(chain) => {
+            out.push_str("chain\n");
+            for p in chain.processors() {
+                writeln!(out, "{} {}", p.comm, p.work).unwrap();
+            }
+        }
+        Instance::Fork(fork) => {
+            out.push_str("fork\n");
+            for p in fork.slaves() {
+                writeln!(out, "{} {}", p.comm, p.work).unwrap();
+            }
+        }
+        Instance::Spider(spider) => {
+            out.push_str("spider\n");
+            for leg in spider.legs() {
+                out.push_str("leg");
+                for p in leg.processors() {
+                    write!(out, " {} {}", p.comm, p.work).unwrap();
+                }
+                out.push('\n');
+            }
+        }
+        Instance::Tree(tree) => {
+            out.push_str("tree\n");
+            for n in tree.nodes() {
+                writeln!(out, "node {} {} {}", n.parent, n.comm, n.work).unwrap();
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, HeterogeneityProfile};
+
+    #[test]
+    fn chain_round_trip() {
+        let inst = Instance::Chain(Chain::paper_figure2());
+        let text = to_text(&inst);
+        assert_eq!(parse(&text).unwrap(), inst);
+    }
+
+    #[test]
+    fn fork_round_trip() {
+        let inst = Instance::Fork(Fork::from_pairs(&[(1, 2), (3, 4), (5, 6)]).unwrap());
+        assert_eq!(parse(&to_text(&inst)).unwrap(), inst);
+    }
+
+    #[test]
+    fn spider_round_trip() {
+        let spider = Spider::from_legs(&[&[(2, 3), (3, 5)], &[(1, 4)]]).unwrap();
+        let inst = Instance::Spider(spider);
+        assert_eq!(parse(&to_text(&inst)).unwrap(), inst);
+    }
+
+    #[test]
+    fn tree_round_trip() {
+        let tree = Tree::from_triples(&[(0, 1, 2), (1, 2, 3), (1, 3, 4)]).unwrap();
+        let inst = Instance::Tree(tree);
+        assert_eq!(parse(&to_text(&inst)).unwrap(), inst);
+    }
+
+    #[test]
+    fn random_instances_round_trip() {
+        for seed in 0..20 {
+            let g = GeneratorConfig::new(HeterogeneityProfile::ALL[seed as usize % 5], seed);
+            for inst in [
+                Instance::Chain(g.chain(6)),
+                Instance::Fork(g.fork(5)),
+                Instance::Spider(g.spider(3, 1, 3)),
+                Instance::Tree(g.tree(7)),
+            ] {
+                assert_eq!(parse(&to_text(&inst)).unwrap(), inst, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a chain\nchain\n\n2 3   # first\n3 5\n";
+        assert_eq!(parse(text).unwrap(), Instance::Chain(Chain::paper_figure2()));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        match parse("chain\n2\n") {
+            Err(PlatformError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(parse("").is_err());
+        assert!(parse("pentagon\n1 2\n").is_err());
+        assert!(parse("spider\nleg 1\n").is_err());
+        assert!(parse("tree\nnode 0 1\n").is_err());
+        assert!(parse("chain\nx y\n").is_err());
+    }
+}

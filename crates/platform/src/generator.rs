@@ -1,0 +1,224 @@
+//! Seeded synthetic instance generators.
+//!
+//! The paper motivates the problem with volunteer-computing platforms
+//! (SETI@home, the Mersenne prime search): large pools of commodity
+//! machines with wildly different link and CPU speeds. No trace of those
+//! platforms is available, so the experiment harness draws platforms from
+//! parametric heterogeneity regimes instead. All generators are fully
+//! deterministic given a seed, so every experiment in `EXPERIMENTS.md` is
+//! reproducible bit-for-bit.
+
+use crate::chain::Chain;
+use crate::fork::Fork;
+use crate::processor::Processor;
+use crate::spider::Spider;
+use crate::time::Time;
+use crate::tree::{Tree, TreeNode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The heterogeneity regime from which `(c_i, w_i)` pairs are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeterogeneityProfile {
+    /// `c` and `w` drawn independently and uniformly from the given
+    /// inclusive ranges. The workhorse profile.
+    Uniform {
+        /// Inclusive range for link latencies.
+        c: (Time, Time),
+        /// Inclusive range for processing times.
+        w: (Time, Time),
+    },
+    /// Identical processors — the degenerate case covered by the divisible
+    /// load literature the paper compares against.
+    Homogeneous {
+        /// Common link latency.
+        c: Time,
+        /// Common processing time.
+        w: Time,
+    },
+    /// Slow links, fast CPUs (`c` in the high range, `w` in the low one):
+    /// distribution cost dominates, so the optimal schedule keeps work
+    /// close to the master.
+    CommBound,
+    /// Fast links, slow CPUs: computation dominates, so the optimal
+    /// schedule spreads work deep into the platform.
+    ComputeBound,
+    /// Two populations: a fraction of "fast" nodes (small `w`) among slow
+    /// ones, modelling a volunteer pool with a few dedicated servers.
+    Bimodal {
+        /// Percentage (0–100) of fast nodes.
+        fast_pct: u8,
+    },
+    /// `w` positively correlated with `c` (a far-away node is also slow),
+    /// modelling distance-decaying platforms such as the layered networks
+    /// of the paper's reference [7].
+    Correlated,
+}
+
+impl HeterogeneityProfile {
+    /// All named profiles, for sweep-style experiments.
+    pub const ALL: [HeterogeneityProfile; 5] = [
+        HeterogeneityProfile::Uniform { c: (1, 5), w: (1, 5) },
+        HeterogeneityProfile::Homogeneous { c: 2, w: 3 },
+        HeterogeneityProfile::CommBound,
+        HeterogeneityProfile::ComputeBound,
+        HeterogeneityProfile::Bimodal { fast_pct: 25 },
+    ];
+
+    /// A short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HeterogeneityProfile::Uniform { .. } => "uniform",
+            HeterogeneityProfile::Homogeneous { .. } => "homogeneous",
+            HeterogeneityProfile::CommBound => "comm-bound",
+            HeterogeneityProfile::ComputeBound => "compute-bound",
+            HeterogeneityProfile::Bimodal { .. } => "bimodal",
+            HeterogeneityProfile::Correlated => "correlated",
+        }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> Processor {
+        let (c, w) = match *self {
+            HeterogeneityProfile::Uniform { c, w } => {
+                (rng.gen_range(c.0..=c.1), rng.gen_range(w.0..=w.1))
+            }
+            HeterogeneityProfile::Homogeneous { c, w } => (c, w),
+            HeterogeneityProfile::CommBound => (rng.gen_range(4..=9), rng.gen_range(1..=3)),
+            HeterogeneityProfile::ComputeBound => (rng.gen_range(1..=3), rng.gen_range(4..=9)),
+            HeterogeneityProfile::Bimodal { fast_pct } => {
+                let c = rng.gen_range(1..=4);
+                let w = if rng.gen_range(0..100) < fast_pct as u32 {
+                    rng.gen_range(1..=2)
+                } else {
+                    rng.gen_range(6..=10)
+                };
+                (c, w)
+            }
+            HeterogeneityProfile::Correlated => {
+                let c = rng.gen_range(1..=6);
+                let w = c + rng.gen_range(0..=2);
+                (c, w)
+            }
+        };
+        debug_assert!(c > 0 && w > 0);
+        Processor { comm: c, work: w }
+    }
+}
+
+/// A seeded generator of platforms.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Heterogeneity regime.
+    pub profile: HeterogeneityProfile,
+    /// RNG seed; equal seeds yield equal instances.
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// Builds a generator with the given profile and seed.
+    pub fn new(profile: HeterogeneityProfile, seed: u64) -> Self {
+        GeneratorConfig { profile, seed }
+    }
+
+    fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+
+    /// A random chain of `p` processors.
+    pub fn chain(&self, p: usize) -> Chain {
+        assert!(p >= 1);
+        let mut rng = self.rng();
+        let procs = (0..p).map(|_| self.profile.sample(&mut rng)).collect();
+        Chain::new(procs).expect("p >= 1")
+    }
+
+    /// A random fork of `p` slaves.
+    pub fn fork(&self, p: usize) -> Fork {
+        assert!(p >= 1);
+        let mut rng = self.rng();
+        let slaves = (0..p).map(|_| self.profile.sample(&mut rng)).collect();
+        Fork::new(slaves).expect("p >= 1")
+    }
+
+    /// A random spider with `legs` legs of length between `min_len` and
+    /// `max_len` (inclusive).
+    pub fn spider(&self, legs: usize, min_len: usize, max_len: usize) -> Spider {
+        assert!(legs >= 1 && min_len >= 1 && max_len >= min_len);
+        let mut rng = self.rng();
+        let mut chains = Vec::with_capacity(legs);
+        for _ in 0..legs {
+            let len = rng.gen_range(min_len..=max_len);
+            let procs = (0..len).map(|_| self.profile.sample(&mut rng)).collect();
+            chains.push(Chain::new(procs).expect("len >= 1"));
+        }
+        Spider::new(chains).expect("legs >= 1")
+    }
+
+    /// A random tree of `size` processors in which each new node attaches
+    /// to a uniformly random earlier node (or the master), giving the
+    /// classic random recursive tree shape.
+    pub fn tree(&self, size: usize) -> Tree {
+        assert!(size >= 1);
+        let mut rng = self.rng();
+        let mut nodes = Vec::with_capacity(size);
+        for id in 1..=size {
+            let parent = rng.gen_range(0..id);
+            let p = self.profile.sample(&mut rng);
+            nodes.push(TreeNode { parent, comm: p.comm, work: p.work });
+        }
+        Tree::new(nodes).expect("parents precede children by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_instance() {
+        let a = GeneratorConfig::new(HeterogeneityProfile::ALL[0], 42);
+        let b = GeneratorConfig::new(HeterogeneityProfile::ALL[0], 42);
+        assert_eq!(a.chain(8), b.chain(8));
+        assert_eq!(a.spider(3, 1, 4), b.spider(3, 1, 4));
+        assert_eq!(a.tree(12), b.tree(12));
+        assert_eq!(a.fork(6), b.fork(6));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = GeneratorConfig::new(HeterogeneityProfile::ALL[0], 1);
+        let b = GeneratorConfig::new(HeterogeneityProfile::ALL[0], 2);
+        // With 16 processors over a 5x5 grid of values a collision is
+        // astronomically unlikely; treat equality as a bug.
+        assert_ne!(a.chain(16), b.chain(16));
+    }
+
+    #[test]
+    fn profiles_respect_their_regimes() {
+        let comm = GeneratorConfig::new(HeterogeneityProfile::CommBound, 7).chain(32);
+        assert!(comm.processors().iter().all(|p| p.comm >= p.work));
+        let compute = GeneratorConfig::new(HeterogeneityProfile::ComputeBound, 7).chain(32);
+        assert!(compute.processors().iter().all(|p| p.comm <= p.work));
+        let homo = GeneratorConfig::new(HeterogeneityProfile::Homogeneous { c: 2, w: 3 }, 7).chain(8);
+        assert!(homo.processors().iter().all(|p| p.comm == 2 && p.work == 3));
+        let corr = GeneratorConfig::new(HeterogeneityProfile::Correlated, 7).chain(32);
+        assert!(corr.processors().iter().all(|p| p.work >= p.comm));
+    }
+
+    #[test]
+    fn generated_sizes_match_requests() {
+        let g = GeneratorConfig::new(HeterogeneityProfile::ALL[0], 3);
+        assert_eq!(g.chain(5).len(), 5);
+        assert_eq!(g.fork(7).len(), 7);
+        let s = g.spider(4, 2, 3);
+        assert_eq!(s.num_legs(), 4);
+        assert!(s.legs().iter().all(|l| (2..=3).contains(&l.len())));
+        assert_eq!(g.tree(9).len(), 9);
+    }
+
+    #[test]
+    fn profile_names_are_stable() {
+        assert_eq!(HeterogeneityProfile::CommBound.name(), "comm-bound");
+        assert_eq!(HeterogeneityProfile::Bimodal { fast_pct: 10 }.name(), "bimodal");
+    }
+}

@@ -1,0 +1,134 @@
+//! Named platform presets modelling the paper's motivating scenarios.
+//!
+//! The introduction motivates the problem with wide-area volunteer
+//! computing (SETI@home, the Mersenne prime search) and the related-work
+//! section with layered networks reduced to heterogeneous chains
+//! (reference [7], Li 2002). These presets give the examples,
+//! experiments and docs a shared, recognisable vocabulary of platforms —
+//! all deterministic, no RNG involved.
+
+use crate::chain::Chain;
+use crate::fork::Fork;
+use crate::spider::Spider;
+use crate::time::Time;
+
+/// The paper's own worked instance (Figure 2): `c = (2, 3)`,
+/// `w = (3, 5)`. Identical to [`Chain::paper_figure2`], re-exported here
+/// so all presets live in one namespace.
+pub fn figure2_chain() -> Chain {
+    Chain::paper_figure2()
+}
+
+/// A layered network à la the paper's reference [7]: `depth` stages,
+/// links slowing with distance (aggregation cost) while the folded
+/// compute stages speed up — the platform where the optimal schedule's
+/// "how deep to forward" decision is most visible.
+pub fn layered_network(depth: usize) -> Chain {
+    assert!((1..=64).contains(&depth), "depth out of the sensible range");
+    let pairs: Vec<(Time, Time)> = (0..depth)
+        .map(|d| (1 + d as Time, 1 + 2 * (depth - d) as Time))
+        .collect();
+    Chain::from_pairs(&pairs).expect("positive by construction")
+}
+
+/// A campus cluster: a handful of identical machines behind one switch
+/// (a homogeneous fork) — the degenerate case where the divisible-load
+/// bus results of the paper's reference [10] apply.
+pub fn campus_cluster(machines: usize, comm: Time, work: Time) -> Fork {
+    assert!(machines >= 1);
+    Fork::from_pairs(&vec![(comm, work); machines]).expect("positive parameters")
+}
+
+/// A volunteer pool in the SETI@home spirit: a few fast dedicated sites
+/// on good links plus a tail of slow home machines on poor links,
+/// arranged as a fork (every volunteer talks directly to the master).
+pub fn volunteer_pool(fast_sites: usize, slow_sites: usize) -> Fork {
+    assert!(fast_sites + slow_sites >= 1);
+    let mut pairs = Vec::with_capacity(fast_sites + slow_sites);
+    for i in 0..fast_sites {
+        pairs.push((1 + (i as Time % 2), 2 + (i as Time % 3)));
+    }
+    for i in 0..slow_sites {
+        pairs.push((3 + (i as Time % 4), 8 + (i as Time % 5)));
+    }
+    Fork::from_pairs(&pairs).expect("positive parameters")
+}
+
+/// A federation of laboratories: each lab is a short chain (gateway then
+/// workers) hanging off the master — the spider of the paper's
+/// Section 7 in its most natural clothing.
+pub fn lab_federation(labs: usize) -> Spider {
+    assert!((1..=16).contains(&labs));
+    let mut legs: Vec<Vec<(Time, Time)>> = Vec::with_capacity(labs);
+    for l in 0..labs as Time {
+        // Gateway: decent link, modest compute; workers behind it.
+        legs.push(vec![
+            (1 + l % 3, 4 + l % 2),
+            (2, 2 + l % 4),
+            (1 + l % 2, 3),
+        ]);
+    }
+    let refs: Vec<&[(Time, Time)]> = legs.iter().map(Vec::as_slice).collect();
+    Spider::from_legs(&refs).expect("positive parameters")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_alias_matches() {
+        assert_eq!(figure2_chain(), Chain::paper_figure2());
+    }
+
+    #[test]
+    fn layered_network_shapes() {
+        let c = layered_network(6);
+        assert_eq!(c.len(), 6);
+        // Links slow down with depth, compute speeds up.
+        for d in 1..6 {
+            assert!(c.c(d + 1) > c.c(d));
+            assert!(c.w(d + 1) < c.w(d));
+        }
+        assert_eq!(layered_network(1).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sensible range")]
+    fn layered_network_rejects_zero_depth() {
+        let _ = layered_network(0);
+    }
+
+    #[test]
+    fn campus_cluster_is_homogeneous() {
+        let f = campus_cluster(5, 2, 7);
+        assert_eq!(f.len(), 5);
+        assert!(f.slaves().iter().all(|p| p.comm == 2 && p.work == 7));
+    }
+
+    #[test]
+    fn volunteer_pool_mixes_fast_and_slow() {
+        let f = volunteer_pool(2, 6);
+        assert_eq!(f.len(), 8);
+        let fastest = f.slaves().iter().map(|p| p.work).min().unwrap();
+        let slowest = f.slaves().iter().map(|p| p.work).max().unwrap();
+        assert!(slowest >= 3 * fastest, "pool should be strongly bimodal");
+        // degenerate but valid: all-slow pool
+        assert_eq!(volunteer_pool(0, 3).len(), 3);
+    }
+
+    #[test]
+    fn lab_federation_is_a_proper_spider() {
+        let s = lab_federation(4);
+        assert_eq!(s.num_legs(), 4);
+        assert!(s.legs().iter().all(|leg| leg.len() == 3));
+        assert!(!s.is_fork());
+    }
+
+    #[test]
+    fn presets_are_deterministic() {
+        assert_eq!(lab_federation(3), lab_federation(3));
+        assert_eq!(volunteer_pool(2, 2), volunteer_pool(2, 2));
+        assert_eq!(layered_network(4), layered_network(4));
+    }
+}

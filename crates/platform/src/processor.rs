@@ -1,0 +1,102 @@
+//! A single heterogeneous processor: incoming-link latency and work time.
+
+use crate::error::PlatformError;
+use crate::time::Time;
+use std::fmt;
+
+/// One processor of the platform, bundled with its *incoming* link.
+///
+/// Following the paper's Figure 1, processor `i` is reached through a link
+/// of latency `c_i` and processes one task in `w_i` ticks. Both values are
+/// strictly positive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Processor {
+    /// Latency of the incoming communication link (`c_i`).
+    pub comm: Time,
+    /// Time to process one task (`w_i`).
+    pub work: Time,
+}
+
+impl Processor {
+    /// Builds a processor, validating positivity of both parameters.
+    pub fn new(comm: Time, work: Time) -> Result<Self, PlatformError> {
+        if comm <= 0 {
+            return Err(PlatformError::NonPositiveTime { field: "c", index: 0, value: comm });
+        }
+        if work <= 0 {
+            return Err(PlatformError::NonPositiveTime { field: "w", index: 0, value: work });
+        }
+        Ok(Processor { comm, work })
+    }
+
+    /// Builds a processor without validation. Panics (debug) on invalid data.
+    ///
+    /// Convenient in tests and generators where positivity is known.
+    #[inline]
+    pub fn of(comm: Time, work: Time) -> Self {
+        debug_assert!(comm > 0 && work > 0, "Processor::of({comm}, {work})");
+        Processor { comm, work }
+    }
+
+    /// `m_i = max(c_i, w_i)` — the node-expansion period of the paper's
+    /// Figure 6: the `q`-th virtual single-task slave of this node has
+    /// processing time `w_i + q * m_i`.
+    ///
+    /// Intuition: a node can absorb one task every `m_i` ticks in steady
+    /// state (it is limited either by its link or by its CPU), so the
+    /// `q`-th-from-last task on this node needs `q` extra periods of slack.
+    #[inline]
+    pub fn period(&self) -> Time {
+        self.comm.max(self.work)
+    }
+
+    /// Whether this processor is communication-bound (`c_i >= w_i`).
+    #[inline]
+    pub fn comm_bound(&self) -> bool {
+        self.comm >= self.work
+    }
+}
+
+impl fmt::Display for Processor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(c={}, w={})", self.comm, self.work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_positivity() {
+        assert!(Processor::new(1, 1).is_ok());
+        assert!(matches!(
+            Processor::new(0, 1),
+            Err(PlatformError::NonPositiveTime { field: "c", .. })
+        ));
+        assert!(matches!(
+            Processor::new(1, 0),
+            Err(PlatformError::NonPositiveTime { field: "w", .. })
+        ));
+        assert!(Processor::new(-3, 5).is_err());
+    }
+
+    #[test]
+    fn period_is_max_of_comm_and_work() {
+        assert_eq!(Processor::of(2, 5).period(), 5);
+        assert_eq!(Processor::of(5, 2).period(), 5);
+        assert_eq!(Processor::of(4, 4).period(), 4);
+    }
+
+    #[test]
+    fn comm_bound_classification() {
+        assert!(Processor::of(5, 2).comm_bound());
+        assert!(Processor::of(4, 4).comm_bound());
+        assert!(!Processor::of(2, 5).comm_bound());
+    }
+
+    #[test]
+    fn display_round_trip_readable() {
+        assert_eq!(Processor::of(2, 5).to_string(), "(c=2, w=5)");
+    }
+}

@@ -1,0 +1,171 @@
+//! Integer time, as used throughout the paper.
+//!
+//! The paper types all starting and emission times in `N` (Definition 1).
+//! We use a signed 64-bit tick so that the backward construction of the
+//! chain algorithm may transiently produce *negative* candidate emission
+//! times: in the `T_lim` variant of Section 7 a negative first-link
+//! emission time is precisely the stop condition.
+
+/// One scheduling tick. All latencies, processing times, start times and
+/// emission times are expressed in this unit.
+pub type Time = i64;
+
+/// A time value larger than any quantity a well-formed instance can
+/// produce, usable as "+infinity" without risking overflow when a few
+/// latencies are subtracted from it.
+pub const TIME_INFINITY: Time = i64::MAX / 4;
+
+/// Saturating ceiling division of two non-negative times.
+///
+/// Used by analytic bounds (e.g. steady-state task counts within a
+/// deadline). Panics in debug builds if either operand is negative.
+#[inline]
+pub fn div_ceil(num: Time, den: Time) -> Time {
+    debug_assert!(num >= 0 && den > 0, "div_ceil expects num >= 0, den > 0");
+    (num + den - 1) / den
+}
+
+/// Inclusive-exclusive occupation interval `[start, end)` of a resource
+/// (a link transferring one task, or a processor computing one task).
+///
+/// Intervals are half-open: a communication of latency `c` emitted at `t`
+/// occupies `[t, t + c)`, so another emission may start exactly at
+/// `t + c` — this matches properties (1)–(4) of Definition 1, which all
+/// use non-strict inequalities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Interval {
+    /// First tick during which the resource is busy.
+    pub start: Time,
+    /// First tick at which the resource is free again.
+    pub end: Time,
+}
+
+impl Interval {
+    /// Builds `[start, end)`. Panics if `end < start`.
+    #[inline]
+    pub fn new(start: Time, end: Time) -> Self {
+        assert!(end >= start, "interval end {end} precedes start {start}");
+        Interval { start, end }
+    }
+
+    /// Builds `[start, start + len)`. Panics if `len < 0`.
+    #[inline]
+    pub fn with_len(start: Time, len: Time) -> Self {
+        assert!(len >= 0, "interval length {len} is negative");
+        Interval { start, end: start + len }
+    }
+
+    /// Duration of the interval.
+    #[inline]
+    pub fn len(&self) -> Time {
+        self.end - self.start
+    }
+
+    /// Whether the interval is empty (zero duration).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether two intervals share at least one tick.
+    ///
+    /// Empty intervals never overlap anything.
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        !self.is_empty() && !other.is_empty() && self.start < other.end && other.start < self.end
+    }
+
+    /// Whether `t` lies inside the interval.
+    #[inline]
+    pub fn contains(&self, t: Time) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// The interval shifted by `delta` ticks (possibly negative).
+    #[inline]
+    pub fn shifted(&self, delta: Time) -> Interval {
+        Interval { start: self.start + delta, end: self.end + delta }
+    }
+}
+
+/// Returns `true` if no two intervals in the (arbitrarily ordered) slice
+/// overlap. `O(m log m)`.
+pub fn pairwise_disjoint(intervals: &[Interval]) -> bool {
+    let mut sorted: Vec<Interval> = intervals.iter().filter(|iv| !iv.is_empty()).copied().collect();
+    sorted.sort();
+    sorted.windows(2).all(|w| w[0].end <= w[1].start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_basic_properties() {
+        let iv = Interval::new(3, 7);
+        assert_eq!(iv.len(), 4);
+        assert!(!iv.is_empty());
+        assert!(iv.contains(3));
+        assert!(iv.contains(6));
+        assert!(!iv.contains(7));
+        assert!(!iv.contains(2));
+    }
+
+    #[test]
+    fn interval_with_len_matches_new() {
+        assert_eq!(Interval::with_len(5, 2), Interval::new(5, 7));
+        assert_eq!(Interval::with_len(5, 0), Interval::new(5, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes")]
+    fn interval_rejects_negative_span() {
+        let _ = Interval::new(7, 3);
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_half_open() {
+        let a = Interval::new(0, 4);
+        let b = Interval::new(4, 8);
+        let c = Interval::new(3, 5);
+        // touching at the boundary is NOT an overlap: half-open semantics
+        assert!(!a.overlaps(&b));
+        assert!(!b.overlaps(&a));
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&b));
+    }
+
+    #[test]
+    fn empty_intervals_never_overlap() {
+        let e = Interval::new(2, 2);
+        let a = Interval::new(0, 4);
+        assert!(!e.overlaps(&a));
+        assert!(!a.overlaps(&e));
+        assert!(!e.overlaps(&e));
+    }
+
+    #[test]
+    fn shifted_moves_both_ends() {
+        assert_eq!(Interval::new(1, 3).shifted(10), Interval::new(11, 13));
+        assert_eq!(Interval::new(1, 3).shifted(-1), Interval::new(0, 2));
+    }
+
+    #[test]
+    fn pairwise_disjoint_detects_conflicts() {
+        let free = vec![Interval::new(0, 2), Interval::new(2, 4), Interval::new(10, 11)];
+        assert!(pairwise_disjoint(&free));
+        let clash = vec![Interval::new(0, 3), Interval::new(2, 4)];
+        assert!(!pairwise_disjoint(&clash));
+        // empty intervals are ignored
+        let with_empty = vec![Interval::new(0, 3), Interval::new(1, 1)];
+        assert!(pairwise_disjoint(&with_empty));
+    }
+
+    #[test]
+    fn div_ceil_rounds_up() {
+        assert_eq!(div_ceil(0, 3), 0);
+        assert_eq!(div_ceil(1, 3), 1);
+        assert_eq!(div_ceil(3, 3), 1);
+        assert_eq!(div_ceil(4, 3), 2);
+    }
+}

@@ -1,0 +1,290 @@
+//! General out-trees of processors, rooted at the master.
+//!
+//! The paper's conclusion names scheduling on general trees as the long
+//! term objective, to be approached by "covering those graphs with simpler
+//! structures" (chains and spiders). This module provides the tree
+//! representation used by the `mst-tree` covering heuristics and by the
+//! exact baselines (chains and spiders embed into trees, so a single exact
+//! evaluator over trees covers every topology).
+
+use crate::chain::Chain;
+use crate::error::PlatformError;
+use crate::processor::Processor;
+use crate::spider::Spider;
+use crate::time::Time;
+use std::fmt;
+
+/// One processor of a [`Tree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TreeNode {
+    /// Parent node id; `0` is the master (which is not itself a
+    /// [`TreeNode`]), other values refer to 1-based node ids.
+    pub parent: usize,
+    /// Latency of the link from `parent` to this node.
+    pub comm: Time,
+    /// Per-task processing time of this node.
+    pub work: Time,
+}
+
+/// An out-tree of heterogeneous processors rooted at the master.
+///
+/// Node ids are **1-based** (`1..=len`); id `0` denotes the master, which
+/// stores the tasks and computes nothing. Every node obeys the one-port
+/// model: one incoming communication at a time (its parent link) and one
+/// outgoing communication at a time (shared among *all* its children
+/// links) — this shared out-port is what makes trees hard and what the
+/// spider algorithm handles specially at the master.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tree {
+    nodes: Vec<TreeNode>,
+}
+
+impl Tree {
+    /// Builds a tree, checking that parents precede children (which also
+    /// rules out cycles) and that all times are positive.
+    pub fn new(nodes: Vec<TreeNode>) -> Result<Self, PlatformError> {
+        if nodes.is_empty() {
+            return Err(PlatformError::EmptyTopology("tree"));
+        }
+        for (idx, node) in nodes.iter().enumerate() {
+            let id = idx + 1;
+            if node.parent >= id {
+                return Err(PlatformError::Structure(format!(
+                    "node {id} has parent {} >= its own id (nodes must be listed parents-first)",
+                    node.parent
+                )));
+            }
+            if node.comm <= 0 {
+                return Err(PlatformError::NonPositiveTime { field: "c", index: id, value: node.comm });
+            }
+            if node.work <= 0 {
+                return Err(PlatformError::NonPositiveTime { field: "w", index: id, value: node.work });
+            }
+        }
+        Ok(Tree { nodes })
+    }
+
+    /// Builds a tree from `(parent, c, w)` triples (ids assigned 1..).
+    pub fn from_triples(triples: &[(usize, Time, Time)]) -> Result<Self, PlatformError> {
+        Tree::new(
+            triples
+                .iter()
+                .map(|&(parent, comm, work)| TreeNode { parent, comm, work })
+                .collect(),
+        )
+    }
+
+    /// Embeds a chain: node `i`'s parent is `i - 1`.
+    pub fn from_chain(chain: &Chain) -> Tree {
+        let nodes = chain
+            .processors()
+            .iter()
+            .enumerate()
+            .map(|(idx, p)| TreeNode { parent: idx, comm: p.comm, work: p.work })
+            .collect();
+        Tree { nodes }
+    }
+
+    /// Embeds a spider: each leg becomes a root-anchored path.
+    pub fn from_spider(spider: &Spider) -> Tree {
+        let mut nodes = Vec::with_capacity(spider.num_processors());
+        for leg in spider.legs() {
+            let mut parent = 0usize;
+            for p in leg.processors() {
+                nodes.push(TreeNode { parent, comm: p.comm, work: p.work });
+                parent = nodes.len();
+            }
+        }
+        Tree { nodes }
+    }
+
+    /// Number of processors (master excluded).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` iff the tree has no processors (never constructible).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node `id` (**1-based**).
+    #[inline]
+    pub fn node(&self, id: usize) -> TreeNode {
+        self.nodes[id - 1]
+    }
+
+    /// All nodes; index `i` holds node id `i + 1`.
+    #[inline]
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+
+    /// Children lists indexed by node id (`children[0]` = master's).
+    pub fn children(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.nodes.len() + 1];
+        for (idx, node) in self.nodes.iter().enumerate() {
+            out[node.parent].push(idx + 1);
+        }
+        out
+    }
+
+    /// Ids of leaf nodes (no children).
+    pub fn leaves(&self) -> Vec<usize> {
+        let children = self.children();
+        (1..=self.len()).filter(|&id| children[id].is_empty()).collect()
+    }
+
+    /// The path of node ids from the master's child down to `id`
+    /// (inclusive), i.e. the route a task for `id` travels.
+    pub fn path_from_root(&self, id: usize) -> Vec<usize> {
+        let mut path = Vec::new();
+        let mut cur = id;
+        while cur != 0 {
+            path.push(cur);
+            cur = self.node(cur).parent;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Depth of node `id` (1 for a child of the master).
+    pub fn depth(&self, id: usize) -> usize {
+        self.path_from_root(id).len()
+    }
+
+    /// `true` iff no node has more than one child, and the master has
+    /// exactly one — i.e. the tree is a chain.
+    pub fn is_chain(&self) -> bool {
+        let children = self.children();
+        children[0].len() == 1 && (1..=self.len()).all(|id| children[id].len() <= 1)
+    }
+
+    /// `true` iff only the master has arity possibly exceeding one — i.e.
+    /// the tree is a spider.
+    pub fn is_spider(&self) -> bool {
+        let children = self.children();
+        (1..=self.len()).all(|id| children[id].len() <= 1)
+    }
+
+    /// Converts to a [`Spider`] when [`Tree::is_spider`] holds.
+    pub fn to_spider(&self) -> Option<Spider> {
+        if !self.is_spider() {
+            return None;
+        }
+        let children = self.children();
+        let mut legs = Vec::new();
+        for &head in &children[0] {
+            let mut procs = Vec::new();
+            let mut cur = head;
+            loop {
+                let node = self.node(cur);
+                procs.push(Processor { comm: node.comm, work: node.work });
+                match children[cur].first() {
+                    Some(&next) => cur = next,
+                    None => break,
+                }
+            }
+            legs.push(Chain::new(procs).expect("non-empty leg"));
+        }
+        Spider::new(legs).ok()
+    }
+
+    /// The chain formed by the nodes along the root path of `leaf`
+    /// (used by covering heuristics: a root-to-leaf path is a chain).
+    pub fn path_chain(&self, leaf: usize) -> Chain {
+        let procs = self
+            .path_from_root(leaf)
+            .iter()
+            .map(|&id| {
+                let n = self.node(id);
+                Processor { comm: n.comm, work: n.work }
+            })
+            .collect();
+        Chain::new(procs).expect("path is non-empty")
+    }
+}
+
+impl fmt::Display for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "tree ({} nodes):", self.nodes.len())?;
+        for (idx, n) in self.nodes.iter().enumerate() {
+            writeln!(f, "  {} <- parent {} (c={}, w={})", idx + 1, n.parent, n.comm, n.work)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// master -> 1 -> {2, 3}; master -> 4
+    fn sample() -> Tree {
+        Tree::from_triples(&[(0, 1, 2), (1, 2, 3), (1, 3, 4), (0, 4, 5)]).unwrap()
+    }
+
+    #[test]
+    fn validates_parent_ordering_and_positivity() {
+        assert!(Tree::from_triples(&[]).is_err());
+        assert!(Tree::from_triples(&[(1, 1, 1)]).is_err()); // self/forward parent
+        assert!(Tree::from_triples(&[(0, 0, 1)]).is_err());
+        assert!(Tree::from_triples(&[(0, 1, -2)]).is_err());
+        assert!(sample().len() == 4);
+    }
+
+    #[test]
+    fn children_and_leaves() {
+        let t = sample();
+        let ch = t.children();
+        assert_eq!(ch[0], vec![1, 4]);
+        assert_eq!(ch[1], vec![2, 3]);
+        assert!(ch[2].is_empty());
+        assert_eq!(t.leaves(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn paths_and_depths() {
+        let t = sample();
+        assert_eq!(t.path_from_root(3), vec![1, 3]);
+        assert_eq!(t.path_from_root(4), vec![4]);
+        assert_eq!(t.depth(3), 2);
+        assert_eq!(t.depth(4), 1);
+    }
+
+    #[test]
+    fn shape_detection() {
+        let t = sample();
+        assert!(!t.is_chain());
+        assert!(!t.is_spider()); // node 1 has two children
+        let chain_tree = Tree::from_chain(&Chain::paper_figure2());
+        assert!(chain_tree.is_chain());
+        assert!(chain_tree.is_spider());
+        let spider = Spider::from_legs(&[&[(1, 1), (2, 2)], &[(3, 3)]]).unwrap();
+        let spider_tree = Tree::from_spider(&spider);
+        assert!(!spider_tree.is_chain());
+        assert!(spider_tree.is_spider());
+        assert_eq!(spider_tree.to_spider().unwrap(), spider);
+        assert!(t.to_spider().is_none());
+    }
+
+    #[test]
+    fn path_chain_extracts_route() {
+        let t = sample();
+        let chain = t.path_chain(3);
+        assert_eq!(chain.len(), 2);
+        assert_eq!((chain.c(1), chain.w(1)), (1, 2));
+        assert_eq!((chain.c(2), chain.w(2)), (3, 4));
+    }
+
+    #[test]
+    fn chain_round_trip() {
+        let chain = Chain::paper_figure2();
+        let t = Tree::from_chain(&chain);
+        let spider = t.to_spider().unwrap();
+        assert!(spider.is_chain());
+        assert_eq!(spider.leg(0), &chain);
+    }
+}

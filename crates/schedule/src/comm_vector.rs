@@ -1,0 +1,237 @@
+//! Communication vectors and the Definition-3 total order.
+
+use mst_platform::Time;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The communication vector `C(i)` of a task (Definition 1): element `j`
+/// (1-based) is the emission time `C^i_j` of the communication carrying
+/// the task from processor `j - 1` (the master for `j = 1`) to processor
+/// `j`. Its length equals the index `P(i)` of the processor executing the
+/// task.
+///
+/// # The Definition-3 order
+///
+/// `A ≺ B` ("A is inferior to B") iff either
+///
+/// * the first differing coordinate `l` has `a_l < b_l`, or
+/// * `A` is strictly longer than `B` and `B` is a prefix of `A`.
+///
+/// The second clause makes a *shorter* vector (execution closer to the
+/// master) superior when emissions tie — the backward-greedy algorithm
+/// always picks the *greatest* candidate vector, i.e. the one emitting as
+/// late as possible and, on ties, travelling the least.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct CommVector(Vec<Time>);
+
+impl CommVector {
+    /// Builds a vector from emission times ordered link 1 outwards.
+    pub fn new(times: Vec<Time>) -> Self {
+        CommVector(times)
+    }
+
+    /// The empty vector (a task that never leaves the master — only used
+    /// as a sentinel; every real task crosses at least link 1).
+    pub fn empty() -> Self {
+        CommVector(Vec::new())
+    }
+
+    /// Number of links crossed, i.e. the processor index `P(i)`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` iff the vector is the sentinel empty vector.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Emission time `C^i_j` on link `j` (**1-based**).
+    #[inline]
+    pub fn get(&self, j: usize) -> Time {
+        self.0[j - 1]
+    }
+
+    /// Emission on the first link (the master's out-port usage start).
+    ///
+    /// Panics on the empty sentinel.
+    #[inline]
+    pub fn first(&self) -> Time {
+        self.0[0]
+    }
+
+    /// Emission on the last link (the one entering `P(i)`).
+    #[inline]
+    pub fn last(&self) -> Time {
+        *self.0.last().expect("communication vector is non-empty")
+    }
+
+    /// All emission times, link 1 outwards.
+    #[inline]
+    pub fn times(&self) -> &[Time] {
+        &self.0
+    }
+
+    /// The vector with every emission shifted by `delta`.
+    pub fn shifted(&self, delta: Time) -> CommVector {
+        CommVector(self.0.iter().map(|t| t + delta).collect())
+    }
+
+    /// In-place variant of [`CommVector::shifted`].
+    pub fn shift(&mut self, delta: Time) {
+        for t in &mut self.0 {
+            *t += delta;
+        }
+    }
+
+    /// The suffix starting at link `from` (**1-based**): the vector of the
+    /// same task on the sub-chain dropping processors `< from`, as used by
+    /// Lemma 2.
+    pub fn suffix(&self, from: usize) -> CommVector {
+        CommVector(self.0[from - 1..].to_vec())
+    }
+
+    /// Definition-3 comparison. Returns [`Ordering::Equal`] only for
+    /// identical vectors.
+    pub fn def3_cmp(&self, other: &CommVector) -> Ordering {
+        for (a, b) in self.0.iter().zip(other.0.iter()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                diff => return diff,
+            }
+        }
+        // Common prefix identical: the longer vector is inferior.
+        other.0.len().cmp(&self.0.len())
+    }
+
+    /// `true` iff `self ≺ other` in the Definition-3 order.
+    #[inline]
+    pub fn precedes(&self, other: &CommVector) -> bool {
+        self.def3_cmp(other) == Ordering::Less
+    }
+}
+
+impl PartialOrd for CommVector {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CommVector {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.def3_cmp(other)
+    }
+}
+
+impl fmt::Display for CommVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl From<Vec<Time>> for CommVector {
+    fn from(v: Vec<Time>) -> Self {
+        CommVector(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cv(times: &[Time]) -> CommVector {
+        CommVector::new(times.to_vec())
+    }
+
+    #[test]
+    fn first_difference_decides() {
+        assert!(cv(&[1, 5]).precedes(&cv(&[2, 0])));
+        assert!(cv(&[2, 0]) > cv(&[1, 5]));
+        assert!(cv(&[3, 4, 1]).precedes(&cv(&[3, 5])));
+    }
+
+    #[test]
+    fn prefix_rule_prefers_shorter() {
+        // A = {4, 7, 9} is an extension of B = {4, 7}: A ≺ B.
+        assert!(cv(&[4, 7, 9]).precedes(&cv(&[4, 7])));
+        assert!(cv(&[4, 7]) > cv(&[4, 7, 9]));
+        // ... regardless of the extension's values.
+        assert!(cv(&[4, 7, -100]).precedes(&cv(&[4, 7])));
+    }
+
+    #[test]
+    fn equality_only_for_identical() {
+        assert_eq!(cv(&[1, 2]).def3_cmp(&cv(&[1, 2])), Ordering::Equal);
+        assert_ne!(cv(&[1, 2]).def3_cmp(&cv(&[1, 2, 3])), Ordering::Equal);
+    }
+
+    #[test]
+    fn empty_sentinel_is_superior_to_everything_nonpositive() {
+        // The algorithm initialises C(i) to a sentinel and replaces it when
+        // a candidate is strictly greater. The empty vector is a prefix of
+        // every vector, so every non-empty vector precedes it.
+        assert!(cv(&[100]).precedes(&CommVector::empty()));
+        assert!(!CommVector::empty().precedes(&cv(&[100])));
+    }
+
+    #[test]
+    fn order_is_total_and_consistent() {
+        let vs = [
+            cv(&[0]),
+            cv(&[0, 5]),
+            cv(&[1]),
+            cv(&[1, 0]),
+            cv(&[1, 2]),
+            cv(&[1, 2, 3]),
+        ];
+        // antisymmetry + transitivity smoke check via sort stability
+        let mut sorted = vs.to_vec();
+        sorted.sort();
+        // {0,5} ≺ {0} (prefix rule), {1,2,3} ≺ {1,2} ≺ {1,0}? no: {1,0} vs
+        // {1,2}: first diff 0 < 2 so {1,0} ≺ {1,2}.
+        let expect = [
+            cv(&[0, 5]),
+            cv(&[0]),
+            cv(&[1, 0]),
+            cv(&[1, 2, 3]),
+            cv(&[1, 2]),
+            cv(&[1]),
+        ];
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn accessors_are_one_based() {
+        let v = cv(&[10, 20, 30]);
+        assert_eq!(v.get(1), 10);
+        assert_eq!(v.get(3), 30);
+        assert_eq!(v.first(), 10);
+        assert_eq!(v.last(), 30);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn shift_and_suffix() {
+        let v = cv(&[10, 20, 30]);
+        assert_eq!(v.shifted(-10), cv(&[0, 10, 20]));
+        assert_eq!(v.suffix(2), cv(&[20, 30]));
+        assert_eq!(v.suffix(1), v);
+        let mut w = v.clone();
+        w.shift(5);
+        assert_eq!(w, cv(&[15, 25, 35]));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(cv(&[1, 2, 3]).to_string(), "{1; 2; 3}");
+    }
+}

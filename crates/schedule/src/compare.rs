@@ -1,0 +1,216 @@
+//! Structural comparison of two schedules on the same platform.
+//!
+//! Used by the CLI's `diff` command and by tests that want to explain
+//! *how* two schedules differ rather than merely that they do (e.g. when
+//! comparing a heuristic against the optimum, or two algorithm variants
+//! against each other).
+
+use crate::schedule::ChainSchedule;
+use mst_platform::Time;
+use std::fmt;
+
+/// One difference between two chain schedules, task by task in emission
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleDiff {
+    /// The schedules place a task on different processors.
+    Placement {
+        /// Task index (1-based, emission order).
+        task: usize,
+        /// Processor in the left schedule.
+        left: usize,
+        /// Processor in the right schedule.
+        right: usize,
+    },
+    /// Same processor, different execution start.
+    Start {
+        /// Task index.
+        task: usize,
+        /// Start in the left schedule.
+        left: Time,
+        /// Start in the right schedule.
+        right: Time,
+    },
+    /// Same processor and start, different communication vector.
+    Emissions {
+        /// Task index.
+        task: usize,
+    },
+    /// The schedules have different task counts.
+    Length {
+        /// Tasks in the left schedule.
+        left: usize,
+        /// Tasks in the right schedule.
+        right: usize,
+    },
+}
+
+impl fmt::Display for ScheduleDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleDiff::Placement { task, left, right } => {
+                write!(f, "task {task}: runs on processor {left} vs {right}")
+            }
+            ScheduleDiff::Start { task, left, right } => {
+                write!(f, "task {task}: starts at {left} vs {right}")
+            }
+            ScheduleDiff::Emissions { task } => {
+                write!(f, "task {task}: same placement, different emission times")
+            }
+            ScheduleDiff::Length { left, right } => {
+                write!(f, "different task counts: {left} vs {right}")
+            }
+        }
+    }
+}
+
+/// A full comparison report.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ComparisonReport {
+    /// Every difference found, in task order.
+    pub diffs: Vec<ScheduleDiff>,
+    /// Makespan of the left schedule.
+    pub left_makespan: Time,
+    /// Makespan of the right schedule.
+    pub right_makespan: Time,
+}
+
+impl ComparisonReport {
+    /// `true` iff the schedules are identical.
+    pub fn identical(&self) -> bool {
+        self.diffs.is_empty()
+    }
+
+    /// `right_makespan - left_makespan` (positive: left is faster).
+    pub fn makespan_delta(&self) -> Time {
+        self.right_makespan - self.left_makespan
+    }
+}
+
+impl fmt::Display for ComparisonReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "makespans: {} vs {} (delta {:+})",
+            self.left_makespan,
+            self.right_makespan,
+            self.makespan_delta()
+        )?;
+        if self.diffs.is_empty() {
+            writeln!(f, "schedules are identical")?;
+        }
+        for d in &self.diffs {
+            writeln!(f, "  - {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Compares two chain schedules task by task (emission order).
+///
+/// ```
+/// use mst_schedule::{compare_chain, ChainSchedule};
+/// let empty = ChainSchedule::empty();
+/// assert!(compare_chain(&empty, &empty).identical());
+/// ```
+pub fn compare_chain(left: &ChainSchedule, right: &ChainSchedule) -> ComparisonReport {
+    let mut diffs = Vec::new();
+    if left.n() != right.n() {
+        diffs.push(ScheduleDiff::Length { left: left.n(), right: right.n() });
+    }
+    for i in 1..=left.n().min(right.n()) {
+        let (a, b) = (left.task(i), right.task(i));
+        if a.proc != b.proc {
+            diffs.push(ScheduleDiff::Placement { task: i, left: a.proc, right: b.proc });
+        } else if a.start != b.start {
+            diffs.push(ScheduleDiff::Start { task: i, left: a.start, right: b.start });
+        } else if a.comms != b.comms {
+            diffs.push(ScheduleDiff::Emissions { task: i });
+        }
+    }
+    ComparisonReport {
+        diffs,
+        left_makespan: left.makespan(),
+        right_makespan: right.makespan(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm_vector::CommVector;
+    use crate::schedule::TaskAssignment;
+
+    fn cv(times: &[Time]) -> CommVector {
+        CommVector::new(times.to_vec())
+    }
+
+    fn base() -> ChainSchedule {
+        ChainSchedule::new(vec![
+            TaskAssignment::new(1, 2, cv(&[0]), 3),
+            TaskAssignment::new(2, 9, cv(&[2, 4]), 5),
+        ])
+    }
+
+    #[test]
+    fn identical_schedules_report_clean() {
+        let r = compare_chain(&base(), &base());
+        assert!(r.identical());
+        assert_eq!(r.makespan_delta(), 0);
+        assert!(r.to_string().contains("identical"));
+    }
+
+    #[test]
+    fn placement_difference_detected() {
+        let other = ChainSchedule::new(vec![
+            TaskAssignment::new(1, 2, cv(&[0]), 3),
+            TaskAssignment::new(1, 5, cv(&[2]), 3),
+        ]);
+        let r = compare_chain(&base(), &other);
+        assert_eq!(
+            r.diffs,
+            vec![ScheduleDiff::Placement { task: 2, left: 2, right: 1 }]
+        );
+        assert_eq!(r.left_makespan, 14);
+        assert_eq!(r.right_makespan, 8);
+        assert_eq!(r.makespan_delta(), -6);
+    }
+
+    #[test]
+    fn start_and_emission_differences_detected() {
+        let shifted_start = ChainSchedule::new(vec![
+            TaskAssignment::new(1, 3, cv(&[0]), 3),
+            TaskAssignment::new(2, 9, cv(&[2, 4]), 5),
+        ]);
+        let r = compare_chain(&base(), &shifted_start);
+        assert_eq!(r.diffs, vec![ScheduleDiff::Start { task: 1, left: 2, right: 3 }]);
+
+        let shifted_comm = ChainSchedule::new(vec![
+            TaskAssignment::new(1, 2, cv(&[0]), 3),
+            TaskAssignment::new(2, 9, cv(&[2, 4]), 5),
+        ]);
+        let mut tasks = shifted_comm.tasks().to_vec();
+        tasks[1] = TaskAssignment::new(2, 9, cv(&[2, 3]), 5);
+        let shifted_comm = ChainSchedule::new(tasks);
+        let r = compare_chain(&base(), &shifted_comm);
+        assert_eq!(r.diffs, vec![ScheduleDiff::Emissions { task: 2 }]);
+    }
+
+    #[test]
+    fn length_mismatch_detected_and_prefix_compared() {
+        let longer = ChainSchedule::new(vec![
+            TaskAssignment::new(1, 2, cv(&[0]), 3),
+            TaskAssignment::new(2, 9, cv(&[2, 4]), 5),
+            TaskAssignment::new(1, 8, cv(&[5]), 3),
+        ]);
+        let r = compare_chain(&base(), &longer);
+        assert!(matches!(r.diffs[0], ScheduleDiff::Length { left: 2, right: 3 }));
+        assert_eq!(r.diffs.len(), 1, "common prefix is identical");
+    }
+
+    #[test]
+    fn diff_display_is_readable() {
+        let d = ScheduleDiff::Placement { task: 3, left: 1, right: 2 };
+        assert_eq!(d.to_string(), "task 3: runs on processor 1 vs 2");
+    }
+}

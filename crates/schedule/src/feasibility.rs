@@ -1,0 +1,448 @@
+//! Machine-checked feasibility: the four properties of Definition 1.
+//!
+//! This module is the workspace's *oracle*: it re-checks, from scratch and
+//! with code independent of every scheduling algorithm, that a schedule is
+//! feasible. The paper leaves the feasibility proof of the chain algorithm
+//! "to the reader"; here the reader is a test suite.
+//!
+//! For a chain, a schedule is feasible iff (numbering as in the paper):
+//!
+//! 1. `C^i_{k-1} + c_{k-1} <= C^i_k` — a task is not re-emitted by a
+//!    processor before it has been fully received;
+//! 2. `C^i_{P(i)} + c_{P(i)} <= T(i)` — execution starts after reception;
+//! 3. two tasks on one processor do not overlap in execution
+//!    (`|T(i) - T(j)| >= w_{P(i)}`);
+//! 4. two communications on one link do not overlap
+//!    (`|C^i_k - C^j_k| >= c_k`).
+//!
+//! For a spider, the same properties hold within each leg, plus the master
+//! one-port rule: the first-link communications of *all* legs are
+//! pairwise non-overlapping (the master sends one task at a time, whatever
+//! the destination leg).
+
+use crate::schedule::{ChainSchedule, SpiderSchedule};
+use mst_platform::time::Interval;
+use mst_platform::{Chain, Spider, Time};
+use std::fmt;
+
+/// One broken feasibility rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// `P(i)` does not name a processor of the platform.
+    BadProcessor {
+        /// Task index (1-based).
+        task: usize,
+        /// The offending processor index.
+        proc: usize,
+    },
+    /// Property (1): re-emission before full reception.
+    ReemittedBeforeReceived {
+        /// Task index.
+        task: usize,
+        /// Link `k` on which the task was re-emitted too early.
+        link: usize,
+        /// Arrival time at processor `k - 1`.
+        arrival: Time,
+        /// Emission time on link `k`.
+        emission: Time,
+    },
+    /// Property (2): execution starts before the task is received.
+    StartedBeforeReceived {
+        /// Task index.
+        task: usize,
+        /// Arrival time at the executing processor.
+        arrival: Time,
+        /// Execution start `T(i)`.
+        start: Time,
+    },
+    /// Property (3): two executions overlap on one processor.
+    ExecutionOverlap {
+        /// First task index.
+        a: usize,
+        /// Second task index.
+        b: usize,
+        /// The shared processor.
+        proc: usize,
+    },
+    /// Property (4): two communications overlap on one link.
+    CommunicationOverlap {
+        /// First task index.
+        a: usize,
+        /// Second task index.
+        b: usize,
+        /// The shared link.
+        link: usize,
+    },
+    /// The master emitted two tasks at once (spiders only).
+    MasterPortOverlap {
+        /// First task index.
+        a: usize,
+        /// Second task index.
+        b: usize,
+    },
+    /// A time is negative (the paper types schedules in `N`).
+    NegativeTime {
+        /// Task index.
+        task: usize,
+        /// Human-readable description of the negative quantity.
+        what: String,
+    },
+    /// The stored per-task `work` hint disagrees with the platform.
+    WorkMismatch {
+        /// Task index.
+        task: usize,
+        /// The stored value.
+        stored: Time,
+        /// The platform's value.
+        actual: Time,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::BadProcessor { task, proc } => {
+                write!(f, "task {task}: P = {proc} is not a processor")
+            }
+            Violation::ReemittedBeforeReceived { task, link, arrival, emission } => write!(
+                f,
+                "task {task}: re-emitted on link {link} at {emission} before arrival at {arrival}"
+            ),
+            Violation::StartedBeforeReceived { task, arrival, start } => {
+                write!(f, "task {task}: starts at {start} before arrival at {arrival}")
+            }
+            Violation::ExecutionOverlap { a, b, proc } => {
+                write!(f, "tasks {a} and {b} overlap in execution on processor {proc}")
+            }
+            Violation::CommunicationOverlap { a, b, link } => {
+                write!(f, "tasks {a} and {b} overlap in communication on link {link}")
+            }
+            Violation::MasterPortOverlap { a, b } => {
+                write!(f, "tasks {a} and {b} overlap on the master's out-port")
+            }
+            Violation::NegativeTime { task, what } => {
+                write!(f, "task {task}: negative time ({what})")
+            }
+            Violation::WorkMismatch { task, stored, actual } => {
+                write!(f, "task {task}: stored work {stored} but platform says {actual}")
+            }
+        }
+    }
+}
+
+/// The outcome of a feasibility check.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FeasibilityReport {
+    /// Every violated rule found (empty means feasible).
+    pub violations: Vec<Violation>,
+}
+
+impl FeasibilityReport {
+    /// `true` iff the schedule satisfies every rule.
+    #[inline]
+    pub fn is_feasible(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics with a readable message when infeasible — for tests.
+    #[track_caller]
+    pub fn assert_feasible(&self) {
+        assert!(
+            self.is_feasible(),
+            "schedule is infeasible:\n{}",
+            self.violations.iter().map(|v| format!("  - {v}\n")).collect::<String>()
+        );
+    }
+}
+
+/// Checks a chain schedule against Definition 1. `O(n^2 p)`.
+pub fn check_chain(chain: &Chain, schedule: &ChainSchedule) -> FeasibilityReport {
+    let mut violations = Vec::new();
+    let p = chain.len();
+    let n = schedule.n();
+
+    for i in 1..=n {
+        let t = schedule.task(i);
+        if t.proc < 1 || t.proc > p {
+            violations.push(Violation::BadProcessor { task: i, proc: t.proc });
+            continue;
+        }
+        if t.work != chain.w(t.proc) {
+            violations.push(Violation::WorkMismatch {
+                task: i,
+                stored: t.work,
+                actual: chain.w(t.proc),
+            });
+        }
+        if t.comms.first() < 0 {
+            violations.push(Violation::NegativeTime {
+                task: i,
+                what: format!("first emission {}", t.comms.first()),
+            });
+        }
+        // Property (1): pipeline ordering along the route.
+        for k in 2..=t.proc {
+            let arrival = t.comms.get(k - 1) + chain.c(k - 1);
+            let emission = t.comms.get(k);
+            if arrival > emission {
+                violations.push(Violation::ReemittedBeforeReceived {
+                    task: i,
+                    link: k,
+                    arrival,
+                    emission,
+                });
+            }
+        }
+        // Property (2): reception precedes execution.
+        let arrival = t.comms.get(t.proc) + chain.c(t.proc);
+        if arrival > t.start {
+            violations.push(Violation::StartedBeforeReceived { task: i, arrival, start: t.start });
+        }
+    }
+
+    // Properties (3) and (4): pairwise resource exclusivity.
+    for i in 1..=n {
+        let a = schedule.task(i);
+        if a.proc < 1 || a.proc > p {
+            continue;
+        }
+        for j in (i + 1)..=n {
+            let b = schedule.task(j);
+            if b.proc < 1 || b.proc > p {
+                continue;
+            }
+            if a.proc == b.proc {
+                let ia = Interval::with_len(a.start, chain.w(a.proc));
+                let ib = Interval::with_len(b.start, chain.w(b.proc));
+                if ia.overlaps(&ib) {
+                    violations.push(Violation::ExecutionOverlap { a: i, b: j, proc: a.proc });
+                }
+            }
+            let shared = a.proc.min(b.proc);
+            for k in 1..=shared {
+                let ia = Interval::with_len(a.comms.get(k), chain.c(k));
+                let ib = Interval::with_len(b.comms.get(k), chain.c(k));
+                if ia.overlaps(&ib) {
+                    violations.push(Violation::CommunicationOverlap { a: i, b: j, link: k });
+                }
+            }
+        }
+    }
+
+    FeasibilityReport { violations }
+}
+
+/// Checks a spider schedule: per-leg chain rules plus the master one-port
+/// rule.
+pub fn check_spider(spider: &Spider, schedule: &SpiderSchedule) -> FeasibilityReport {
+    let mut violations = Vec::new();
+
+    // Per-leg: restrict and reuse the chain checker. Task indices inside
+    // leg reports refer to positions within the leg restriction; remap to
+    // global indices for readability.
+    for (l, chain) in spider.legs().iter().enumerate() {
+        let leg_schedule = schedule.leg_schedule(l);
+        let global: Vec<usize> = (1..=schedule.n())
+            .filter(|&i| schedule.task(i).node.leg == l)
+            .collect();
+        let report = check_chain(chain, &leg_schedule);
+        for v in report.violations {
+            violations.push(remap_violation(v, &global));
+        }
+    }
+
+    // Master one-port: first-link emissions across all legs are pairwise
+    // disjoint, each occupying the port for the latency of its own leg's
+    // first link.
+    let n = schedule.n();
+    for i in 1..=n {
+        let a = schedule.task(i);
+        let ca = spider.leg(a.node.leg).c(1);
+        for j in (i + 1)..=n {
+            let b = schedule.task(j);
+            let cb = spider.leg(b.node.leg).c(1);
+            let ia = Interval::with_len(a.comms.first(), ca);
+            let ib = Interval::with_len(b.comms.first(), cb);
+            if ia.overlaps(&ib) {
+                violations.push(Violation::MasterPortOverlap { a: i, b: j });
+            }
+        }
+    }
+
+    FeasibilityReport { violations }
+}
+
+fn remap_violation(v: Violation, global: &[usize]) -> Violation {
+    let g = |local: usize| global[local - 1];
+    match v {
+        Violation::BadProcessor { task, proc } => Violation::BadProcessor { task: g(task), proc },
+        Violation::ReemittedBeforeReceived { task, link, arrival, emission } => {
+            Violation::ReemittedBeforeReceived { task: g(task), link, arrival, emission }
+        }
+        Violation::StartedBeforeReceived { task, arrival, start } => {
+            Violation::StartedBeforeReceived { task: g(task), arrival, start }
+        }
+        Violation::ExecutionOverlap { a, b, proc } => {
+            Violation::ExecutionOverlap { a: g(a), b: g(b), proc }
+        }
+        Violation::CommunicationOverlap { a, b, link } => {
+            Violation::CommunicationOverlap { a: g(a), b: g(b), link }
+        }
+        Violation::MasterPortOverlap { a, b } => Violation::MasterPortOverlap { a: g(a), b: g(b) },
+        Violation::NegativeTime { task, what } => Violation::NegativeTime { task: g(task), what },
+        Violation::WorkMismatch { task, stored, actual } => {
+            Violation::WorkMismatch { task: g(task), stored, actual }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm_vector::CommVector;
+    use crate::schedule::{SpiderTask, TaskAssignment};
+    use mst_platform::NodeId;
+
+    fn cv(times: &[Time]) -> CommVector {
+        CommVector::new(times.to_vec())
+    }
+
+    fn figure2_schedule() -> ChainSchedule {
+        ChainSchedule::new(vec![
+            TaskAssignment::new(1, 2, cv(&[0]), 3),
+            TaskAssignment::new(1, 5, cv(&[2]), 3),
+            TaskAssignment::new(2, 9, cv(&[4, 6]), 5),
+            TaskAssignment::new(1, 8, cv(&[6]), 3),
+            TaskAssignment::new(1, 11, cv(&[9]), 3),
+        ])
+    }
+
+    #[test]
+    fn figure2_schedule_is_feasible() {
+        let chain = Chain::paper_figure2();
+        check_chain(&chain, &figure2_schedule()).assert_feasible();
+    }
+
+    #[test]
+    fn detects_property1_violation() {
+        let chain = Chain::paper_figure2();
+        // Task re-emitted on link 2 at time 5 but only arrives at 0+2=2...
+        // make it arrive at 6 (emission 4) and re-emit at 5: violation.
+        let s = ChainSchedule::new(vec![TaskAssignment::new(2, 10, cv(&[4, 5]), 5)]);
+        let r = check_chain(&chain, &s);
+        assert!(matches!(
+            r.violations.as_slice(),
+            [Violation::ReemittedBeforeReceived { task: 1, link: 2, arrival: 6, emission: 5 }]
+        ));
+    }
+
+    #[test]
+    fn detects_property2_violation() {
+        let chain = Chain::paper_figure2();
+        // Arrives at 0 + 2 = 2 but starts at 1.
+        let s = ChainSchedule::new(vec![TaskAssignment::new(1, 1, cv(&[0]), 3)]);
+        let r = check_chain(&chain, &s);
+        assert!(matches!(
+            r.violations.as_slice(),
+            [Violation::StartedBeforeReceived { task: 1, arrival: 2, start: 1 }]
+        ));
+    }
+
+    #[test]
+    fn detects_property3_violation() {
+        let chain = Chain::paper_figure2();
+        // Two tasks on processor 1 at overlapping times.
+        let s = ChainSchedule::new(vec![
+            TaskAssignment::new(1, 2, cv(&[0]), 3),
+            TaskAssignment::new(1, 4, cv(&[2]), 3),
+        ]);
+        let r = check_chain(&chain, &s);
+        assert!(r
+            .violations
+            .contains(&Violation::ExecutionOverlap { a: 1, b: 2, proc: 1 }));
+    }
+
+    #[test]
+    fn detects_property4_violation() {
+        let chain = Chain::paper_figure2();
+        // Emissions at 0 and 1 on link 1 (latency 2) overlap.
+        let s = ChainSchedule::new(vec![
+            TaskAssignment::new(1, 2, cv(&[0]), 3),
+            TaskAssignment::new(1, 5, cv(&[1]), 3),
+        ]);
+        let r = check_chain(&chain, &s);
+        assert!(r
+            .violations
+            .contains(&Violation::CommunicationOverlap { a: 1, b: 2, link: 1 }));
+    }
+
+    #[test]
+    fn detects_bad_processor_and_negative_time() {
+        let chain = Chain::paper_figure2();
+        let s = ChainSchedule::new(vec![TaskAssignment::new(3, 9, cv(&[0, 2, 5]), 1)]);
+        let r = check_chain(&chain, &s);
+        assert!(matches!(r.violations.as_slice(), [Violation::BadProcessor { task: 1, proc: 3 }]));
+
+        let s = ChainSchedule::new(vec![TaskAssignment::new(1, 0, cv(&[-2]), 3)]);
+        let r = check_chain(&chain, &s);
+        assert!(r.violations.iter().any(|v| matches!(v, Violation::NegativeTime { .. })));
+    }
+
+    #[test]
+    fn detects_work_mismatch() {
+        let chain = Chain::paper_figure2();
+        let s = ChainSchedule::new(vec![TaskAssignment::new(1, 2, cv(&[0]), 99)]);
+        let r = check_chain(&chain, &s);
+        assert!(r.violations.iter().any(|v| matches!(v, Violation::WorkMismatch { .. })));
+    }
+
+    #[test]
+    fn boundary_touching_is_feasible() {
+        // Emissions exactly c apart and executions exactly w apart are OK
+        // (the paper's inequalities are non-strict).
+        let chain = Chain::from_pairs(&[(2, 3)]).unwrap();
+        let s = ChainSchedule::new(vec![
+            TaskAssignment::new(1, 2, cv(&[0]), 3),
+            TaskAssignment::new(1, 5, cv(&[2]), 3),
+        ]);
+        check_chain(&chain, &s).assert_feasible();
+    }
+
+    #[test]
+    fn spider_master_port_conflict_detected() {
+        let spider = Spider::from_legs(&[&[(2, 3)], &[(3, 4)]]).unwrap();
+        // Two emissions from the master overlapping: [0,2) on leg 0 and
+        // [1,4) on leg 1.
+        let s = SpiderSchedule::new(vec![
+            SpiderTask::new(NodeId { leg: 0, depth: 1 }, 2, cv(&[0]), 3),
+            SpiderTask::new(NodeId { leg: 1, depth: 1 }, 4, cv(&[1]), 4),
+        ]);
+        let r = check_spider(&spider, &s);
+        assert!(r.violations.contains(&Violation::MasterPortOverlap { a: 1, b: 2 }));
+    }
+
+    #[test]
+    fn spider_serialized_emissions_feasible() {
+        let spider = Spider::from_legs(&[&[(2, 3)], &[(3, 4)]]).unwrap();
+        let s = SpiderSchedule::new(vec![
+            SpiderTask::new(NodeId { leg: 0, depth: 1 }, 2, cv(&[0]), 3),
+            SpiderTask::new(NodeId { leg: 1, depth: 1 }, 5, cv(&[2]), 4),
+        ]);
+        check_spider(&spider, &s).assert_feasible();
+    }
+
+    #[test]
+    fn spider_per_leg_violations_remap_to_global_indices() {
+        let spider = Spider::from_legs(&[&[(2, 3)], &[(3, 4)]]).unwrap();
+        // Leg 1's single task starts before arrival; it is global task 2.
+        let s = SpiderSchedule::new(vec![
+            SpiderTask::new(NodeId { leg: 0, depth: 1 }, 2, cv(&[0]), 3),
+            SpiderTask::new(NodeId { leg: 1, depth: 1 }, 4, cv(&[2]), 4),
+        ]);
+        let r = check_spider(&spider, &s);
+        assert!(matches!(
+            r.violations.as_slice(),
+            [Violation::StartedBeforeReceived { task: 2, arrival: 5, start: 4 }]
+        ));
+    }
+}

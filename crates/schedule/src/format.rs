@@ -1,0 +1,225 @@
+//! Text (de)serialization of schedules.
+//!
+//! Schedules are stored line-oriented, mirroring the paper's `(P, T, C)`
+//! triple per task:
+//!
+//! ```text
+//! chain-schedule
+//! task 1 2 0          # P(i) T(i) C^i_1 .. C^i_P
+//! task 2 9 4 6
+//! ```
+//!
+//! ```text
+//! spider-schedule
+//! task 0 1 2 0        # leg depth T C_1 .. C_depth
+//! ```
+//!
+//! The format stores no processing times: they are recomputed against the
+//! platform at load time, which doubles as a consistency check.
+
+use crate::comm_vector::CommVector;
+use crate::schedule::{ChainSchedule, SpiderSchedule, SpiderTask, TaskAssignment};
+use mst_platform::{Chain, NodeId, PlatformError, Spider, Time};
+use std::fmt::Write as _;
+
+fn parse_err(line: usize, message: impl Into<String>) -> PlatformError {
+    PlatformError::Parse { line, message: message.into() }
+}
+
+fn body_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines()
+        .enumerate()
+        .map(|(i, l)| {
+            let l = match l.find('#') {
+                Some(pos) => &l[..pos],
+                None => l,
+            };
+            (i + 1, l.trim())
+        })
+        .filter(|(_, l)| !l.is_empty())
+}
+
+fn parse_numbers(tokens: &[&str], line: usize) -> Result<Vec<Time>, PlatformError> {
+    tokens
+        .iter()
+        .map(|t| t.parse::<Time>().map_err(|_| parse_err(line, format!("bad integer {t:?}"))))
+        .collect()
+}
+
+/// Serializes a chain schedule.
+pub fn chain_schedule_to_text(schedule: &ChainSchedule) -> String {
+    let mut out = String::from("chain-schedule\n");
+    for t in schedule.tasks() {
+        write!(out, "task {} {}", t.proc, t.start).unwrap();
+        for &c in t.comms.times() {
+            write!(out, " {c}").unwrap();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a chain schedule against its platform (recomputing per-task
+/// processing times, which validates processor indices).
+pub fn chain_schedule_from_text(chain: &Chain, text: &str) -> Result<ChainSchedule, PlatformError> {
+    let mut lines = body_lines(text);
+    match lines.next() {
+        Some((_, "chain-schedule")) => {}
+        Some((no, other)) => return Err(parse_err(no, format!("expected header, got {other:?}"))),
+        None => return Err(parse_err(1, "empty schedule")),
+    }
+    let mut tasks = Vec::new();
+    for (no, line) in lines {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.split_first() {
+            Some((&"task", rest)) if rest.len() >= 3 => {
+                let nums = parse_numbers(rest, no)?;
+                let proc = nums[0] as usize;
+                if proc < 1 || proc > chain.len() {
+                    return Err(parse_err(no, format!("processor {proc} out of range")));
+                }
+                let comms = nums[2..].to_vec();
+                if comms.len() != proc {
+                    return Err(parse_err(no, "P(i) must equal the number of emissions"));
+                }
+                tasks.push(TaskAssignment::new(
+                    proc,
+                    nums[1],
+                    CommVector::new(comms),
+                    chain.w(proc),
+                ));
+            }
+            _ => return Err(parse_err(no, "expected `task P T C_1 .. C_P`")),
+        }
+    }
+    tasks.sort_by_key(|t| t.comms.first());
+    Ok(ChainSchedule::new(tasks))
+}
+
+/// Serializes a spider schedule.
+pub fn spider_schedule_to_text(schedule: &SpiderSchedule) -> String {
+    let mut out = String::from("spider-schedule\n");
+    for t in schedule.tasks() {
+        write!(out, "task {} {} {}", t.node.leg, t.node.depth, t.start).unwrap();
+        for &c in t.comms.times() {
+            write!(out, " {c}").unwrap();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a spider schedule against its platform.
+pub fn spider_schedule_from_text(
+    spider: &Spider,
+    text: &str,
+) -> Result<SpiderSchedule, PlatformError> {
+    let mut lines = body_lines(text);
+    match lines.next() {
+        Some((_, "spider-schedule")) => {}
+        Some((no, other)) => return Err(parse_err(no, format!("expected header, got {other:?}"))),
+        None => return Err(parse_err(1, "empty schedule")),
+    }
+    let mut tasks = Vec::new();
+    for (no, line) in lines {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.split_first() {
+            Some((&"task", rest)) if rest.len() >= 4 => {
+                let nums = parse_numbers(rest, no)?;
+                let leg = nums[0] as usize;
+                let depth = nums[1] as usize;
+                if leg >= spider.num_legs() {
+                    return Err(parse_err(no, format!("leg {leg} out of range")));
+                }
+                if depth < 1 || depth > spider.leg(leg).len() {
+                    return Err(parse_err(no, format!("depth {depth} out of range on leg {leg}")));
+                }
+                let comms = nums[3..].to_vec();
+                if comms.len() != depth {
+                    return Err(parse_err(no, "depth must equal the number of emissions"));
+                }
+                tasks.push(SpiderTask::new(
+                    NodeId { leg, depth },
+                    nums[2],
+                    CommVector::new(comms),
+                    spider.leg(leg).w(depth),
+                ));
+            }
+            _ => return Err(parse_err(no, "expected `task leg depth T C_1 .. C_depth`")),
+        }
+    }
+    Ok(SpiderSchedule::new(tasks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cv(times: &[Time]) -> CommVector {
+        CommVector::new(times.to_vec())
+    }
+
+    fn figure2_schedule() -> ChainSchedule {
+        ChainSchedule::new(vec![
+            TaskAssignment::new(1, 2, cv(&[0]), 3),
+            TaskAssignment::new(1, 5, cv(&[2]), 3),
+            TaskAssignment::new(2, 9, cv(&[4, 6]), 5),
+            TaskAssignment::new(1, 8, cv(&[6]), 3),
+            TaskAssignment::new(1, 11, cv(&[9]), 3),
+        ])
+    }
+
+    #[test]
+    fn chain_schedule_round_trips() {
+        let chain = Chain::paper_figure2();
+        let s = figure2_schedule();
+        let text = chain_schedule_to_text(&s);
+        let parsed = chain_schedule_from_text(&chain, &text).expect("round trip");
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn spider_schedule_round_trips() {
+        let spider = Spider::from_legs(&[&[(2, 3)], &[(3, 4)]]).unwrap();
+        let s = SpiderSchedule::new(vec![
+            SpiderTask::new(NodeId { leg: 0, depth: 1 }, 2, cv(&[0]), 3),
+            SpiderTask::new(NodeId { leg: 1, depth: 1 }, 5, cv(&[2]), 4),
+        ]);
+        let text = spider_schedule_to_text(&s);
+        let parsed = spider_schedule_from_text(&spider, &text).expect("round trip");
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn rejects_malformed_schedules() {
+        let chain = Chain::paper_figure2();
+        assert!(chain_schedule_from_text(&chain, "").is_err());
+        assert!(chain_schedule_from_text(&chain, "nope\n").is_err());
+        // out-of-range processor
+        assert!(chain_schedule_from_text(&chain, "chain-schedule\ntask 3 0 0 0 0\n").is_err());
+        // arity mismatch: P = 2 but one emission
+        assert!(chain_schedule_from_text(&chain, "chain-schedule\ntask 2 9 4\n").is_err());
+        // non-numeric
+        assert!(chain_schedule_from_text(&chain, "chain-schedule\ntask x 0 0\n").is_err());
+
+        let spider = Spider::from_legs(&[&[(2, 3)]]).unwrap();
+        assert!(spider_schedule_from_text(&spider, "spider-schedule\ntask 1 1 2 0\n").is_err());
+        assert!(spider_schedule_from_text(&spider, "spider-schedule\ntask 0 2 2 0\n").is_err());
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let chain = Chain::paper_figure2();
+        let text = "# optimal\nchain-schedule\ntask 1 2 0  # first task\n";
+        let s = chain_schedule_from_text(&chain, text).expect("parses");
+        assert_eq!(s.n(), 1);
+    }
+
+    #[test]
+    fn work_times_are_recomputed_from_platform() {
+        let chain = Chain::paper_figure2();
+        let text = "chain-schedule\ntask 2 9 4 6\n";
+        let s = chain_schedule_from_text(&chain, text).expect("parses");
+        assert_eq!(s.task(1).work, 5);
+    }
+}

@@ -1,0 +1,192 @@
+//! ASCII Gantt charts, in the spirit of the paper's Figure 2.
+//!
+//! Each resource (link or processor) gets one row; time flows left to
+//! right, one column per tick (scaled down for long schedules). Busy ticks
+//! show the task's id as a base-36 digit (task 10 = 'a'); idle ticks show
+//! '.'.
+
+use crate::schedule::{ChainSchedule, SpiderSchedule};
+use mst_platform::{Chain, Spider, Time};
+use std::fmt::Write as _;
+
+/// Maximum number of character columns in a rendered chart.
+const MAX_COLUMNS: usize = 120;
+
+/// Renders one resource row: `intervals` holds `(task, start, end)`.
+fn render_row(label: &str, intervals: &[(usize, Time, Time)], horizon: Time, scale: Time) -> String {
+    let cols = (horizon as usize).div_ceil(scale as usize);
+    let mut row = vec!['.'; cols];
+    for &(task, start, end) in intervals {
+        let lo = (start / scale) as usize;
+        let hi = (((end + scale - 1) / scale) as usize).min(cols);
+        for cell in row.iter_mut().take(hi).skip(lo) {
+            let g = glyph(task);
+            *cell = if *cell == '.' || *cell == g { g } else { '#' };
+        }
+    }
+    format!("{label:>8} |{}|", row.into_iter().collect::<String>())
+}
+
+fn glyph(task_index: usize) -> char {
+    const GLYPHS: &[u8] = b"123456789abcdefghijklmnopqrstuvwxyz";
+    GLYPHS[(task_index - 1) % GLYPHS.len()] as char
+}
+
+fn pick_scale(horizon: Time) -> Time {
+    let mut scale = 1;
+    while (horizon / scale) as usize > MAX_COLUMNS {
+        scale *= 2;
+    }
+    scale
+}
+
+/// Renders a chain schedule as an ASCII Gantt chart.
+pub fn render_chain(chain: &Chain, schedule: &ChainSchedule) -> String {
+    let horizon = schedule.makespan().max(1);
+    let scale = pick_scale(horizon);
+    let mut out = String::new();
+    writeln!(out, "time 0..{horizon} (1 column = {scale} tick(s))").unwrap();
+    for k in 1..=chain.len() {
+        let comms: Vec<(usize, Time, Time)> = schedule
+            .tasks()
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.proc >= k)
+            .map(|(i, t)| (i + 1, t.comms.get(k), t.comms.get(k) + chain.c(k)))
+            .collect();
+        out.push_str(&render_row(&format!("link {k}"), &comms, horizon, scale));
+        out.push('\n');
+        let execs: Vec<(usize, Time, Time)> = schedule
+            .tasks()
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.proc == k)
+            .map(|(i, t)| (i + 1, t.start, t.start + chain.w(k)))
+            .collect();
+        out.push_str(&render_row(&format!("proc {k}"), &execs, horizon, scale));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a spider schedule: the master port row, then per-leg rows.
+pub fn render_spider(spider: &Spider, schedule: &SpiderSchedule) -> String {
+    let horizon = schedule.makespan().max(1);
+    let scale = pick_scale(horizon);
+    let mut out = String::new();
+    writeln!(out, "time 0..{horizon} (1 column = {scale} tick(s))").unwrap();
+
+    let port: Vec<(usize, Time, Time)> = schedule
+        .tasks()
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let c1 = spider.leg(t.node.leg).c(1);
+            (i + 1, t.comms.first(), t.comms.first() + c1)
+        })
+        .collect();
+    out.push_str(&render_row("master", &port, horizon, scale));
+    out.push('\n');
+
+    for (l, chain) in spider.legs().iter().enumerate() {
+        for depth in 1..=chain.len() {
+            let comms: Vec<(usize, Time, Time)> = schedule
+                .tasks()
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.node.leg == l && t.node.depth >= depth)
+                .map(|(i, t)| (i + 1, t.comms.get(depth), t.comms.get(depth) + chain.c(depth)))
+                .collect();
+            out.push_str(&render_row(&format!("l{l}.c{depth}"), &comms, horizon, scale));
+            out.push('\n');
+            let execs: Vec<(usize, Time, Time)> = schedule
+                .tasks()
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.node.leg == l && t.node.depth == depth)
+                .map(|(i, t)| (i + 1, t.start, t.start + chain.w(depth)))
+                .collect();
+            out.push_str(&render_row(&format!("l{l}.p{depth}"), &execs, horizon, scale));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm_vector::CommVector;
+    use crate::schedule::{SpiderTask, TaskAssignment};
+    use mst_platform::NodeId;
+
+    fn cv(times: &[Time]) -> CommVector {
+        CommVector::new(times.to_vec())
+    }
+
+    fn figure2_schedule() -> ChainSchedule {
+        ChainSchedule::new(vec![
+            TaskAssignment::new(1, 2, cv(&[0]), 3),
+            TaskAssignment::new(1, 5, cv(&[2]), 3),
+            TaskAssignment::new(2, 9, cv(&[4, 6]), 5),
+            TaskAssignment::new(1, 8, cv(&[6]), 3),
+            TaskAssignment::new(1, 11, cv(&[9]), 3),
+        ])
+    }
+
+    #[test]
+    fn chain_chart_shows_all_rows() {
+        let chart = render_chain(&Chain::paper_figure2(), &figure2_schedule());
+        assert!(chart.contains("link 1"));
+        assert!(chart.contains("proc 1"));
+        assert!(chart.contains("link 2"));
+        assert!(chart.contains("proc 2"));
+        assert!(chart.contains("time 0..14"));
+        // Task 1 occupies link 1 during [0, 2): first two columns are '1'.
+        let link1 = chart.lines().find(|l| l.contains("link 1")).unwrap();
+        let cells: String = link1.chars().skip_while(|&c| c != '|').skip(1).collect();
+        assert!(cells.starts_with("11"));
+        // No resource conflicts rendered.
+        assert!(!chart.contains('#'));
+    }
+
+    #[test]
+    fn conflicting_tasks_render_a_hash() {
+        let chain = Chain::from_pairs(&[(4, 2)]).unwrap();
+        let s = ChainSchedule::new(vec![
+            TaskAssignment::new(1, 4, cv(&[0]), 2),
+            TaskAssignment::new(1, 6, cv(&[2]), 2), // overlaps on link 1
+        ]);
+        let chart = render_chain(&chain, &s);
+        assert!(chart.contains('#'));
+    }
+
+    #[test]
+    fn long_schedules_are_scaled() {
+        let chain = Chain::from_pairs(&[(1, 1000)]).unwrap();
+        let s = ChainSchedule::new(vec![TaskAssignment::new(1, 1, cv(&[0]), 1000)]);
+        let chart = render_chain(&chain, &s);
+        assert!(chart.lines().all(|l| l.len() <= MAX_COLUMNS + 12));
+        assert!(chart.contains("1 column = "));
+    }
+
+    #[test]
+    fn spider_chart_has_master_row() {
+        let spider = Spider::from_legs(&[&[(2, 3)], &[(3, 4)]]).unwrap();
+        let s = SpiderSchedule::new(vec![
+            SpiderTask::new(NodeId { leg: 0, depth: 1 }, 2, cv(&[0]), 3),
+            SpiderTask::new(NodeId { leg: 1, depth: 1 }, 5, cv(&[2]), 4),
+        ]);
+        let chart = render_spider(&spider, &s);
+        assert!(chart.contains("master"));
+        assert!(chart.contains("l0.p1"));
+        assert!(chart.contains("l1.c1"));
+        assert!(!chart.contains('#'));
+    }
+
+    #[test]
+    fn empty_schedule_renders() {
+        let chart = render_chain(&Chain::paper_figure2(), &ChainSchedule::empty());
+        assert!(chart.contains("time 0..1"));
+    }
+}

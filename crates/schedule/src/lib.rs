@@ -1,0 +1,32 @@
+//! # mst-schedule — schedules, feasibility, and the communication-vector order
+//!
+//! This crate contains everything the paper's Definitions 1–3 describe:
+//!
+//! * [`CommVector`] — the *communication vector* `C(i)` of a task: the
+//!   emission times of its communication on every link it crosses,
+//!   totally ordered by Definition 3 (the order driving the greedy choice
+//!   of the chain algorithm).
+//! * [`ChainSchedule`] / [`SpiderSchedule`] — complete schedules: for each
+//!   task, where it runs (`P(i)`), when it starts (`T(i)`) and its
+//!   communication vector (`C(i)`).
+//! * [`feasibility`] — an independent machine-checked oracle for the four
+//!   feasibility properties of Definition 1 (plus the master one-port rule
+//!   for spiders). Every algorithm in the workspace is validated against
+//!   it.
+//! * [`gantt`] — ASCII Gantt charts (the paper's Figure 2 rendering).
+//! * [`metrics`] — utilization / idle-time / throughput summaries.
+
+#![warn(missing_docs)]
+
+pub mod comm_vector;
+pub mod compare;
+pub mod feasibility;
+pub mod format;
+pub mod gantt;
+pub mod metrics;
+pub mod schedule;
+
+pub use comm_vector::CommVector;
+pub use compare::{compare_chain, ComparisonReport, ScheduleDiff};
+pub use feasibility::{check_chain, check_spider, FeasibilityReport, Violation};
+pub use schedule::{ChainSchedule, SpiderSchedule, SpiderTask, TaskAssignment};

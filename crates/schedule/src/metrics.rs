@@ -1,0 +1,182 @@
+//! Summary metrics of a schedule: utilization, idle time, throughput.
+//!
+//! The paper's objective is the makespan alone, but the experiment
+//! harness also reports resource utilization to show *why* a schedule
+//! wins (e.g. the optimal backward schedule saturates link 1 while eager
+//! heuristics leave it idle in bursts).
+
+use crate::schedule::{ChainSchedule, SpiderSchedule};
+use mst_platform::{Chain, Spider, Time};
+
+/// Aggregate statistics of a chain schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainMetrics {
+    /// Definition-2 makespan.
+    pub makespan: Time,
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Busy ticks of each link (1-based position `k-1`).
+    pub link_busy: Vec<Time>,
+    /// Busy ticks of each processor.
+    pub proc_busy: Vec<Time>,
+    /// Tasks executed per processor.
+    pub tasks_per_proc: Vec<usize>,
+}
+
+impl ChainMetrics {
+    /// Utilization of processor `k` (**1-based**) in `[0, 1]`.
+    pub fn proc_utilization(&self, k: usize) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.proc_busy[k - 1] as f64 / self.makespan as f64
+    }
+
+    /// Utilization of link `k` (**1-based**) in `[0, 1]`.
+    pub fn link_utilization(&self, k: usize) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.link_busy[k - 1] as f64 / self.makespan as f64
+    }
+
+    /// Tasks completed per tick.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.tasks as f64 / self.makespan as f64
+    }
+}
+
+/// Computes [`ChainMetrics`] for a schedule.
+pub fn chain_metrics(chain: &Chain, schedule: &ChainSchedule) -> ChainMetrics {
+    let p = chain.len();
+    let mut link_busy = vec![0; p];
+    let mut proc_busy = vec![0; p];
+    let mut tasks_per_proc = vec![0; p];
+    for t in schedule.tasks() {
+        for k in 1..=t.proc {
+            link_busy[k - 1] += chain.c(k);
+        }
+        proc_busy[t.proc - 1] += chain.w(t.proc);
+        tasks_per_proc[t.proc - 1] += 1;
+    }
+    ChainMetrics {
+        makespan: schedule.makespan_on(chain),
+        tasks: schedule.n(),
+        link_busy,
+        proc_busy,
+        tasks_per_proc,
+    }
+}
+
+/// Aggregate statistics of a spider schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpiderMetrics {
+    /// Definition-2 makespan.
+    pub makespan: Time,
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Busy ticks of the master's out-port.
+    pub master_port_busy: Time,
+    /// Tasks routed to each leg.
+    pub tasks_per_leg: Vec<usize>,
+}
+
+impl SpiderMetrics {
+    /// Utilization of the master's out-port in `[0, 1]` — the paper's
+    /// key shared resource.
+    pub fn master_port_utilization(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.master_port_busy as f64 / self.makespan as f64
+    }
+
+    /// Tasks completed per tick.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.tasks as f64 / self.makespan as f64
+    }
+}
+
+/// Computes [`SpiderMetrics`] for a schedule.
+pub fn spider_metrics(spider: &Spider, schedule: &SpiderSchedule) -> SpiderMetrics {
+    let mut master_port_busy = 0;
+    let mut tasks_per_leg = vec![0; spider.num_legs()];
+    for t in schedule.tasks() {
+        master_port_busy += spider.leg(t.node.leg).c(1);
+        tasks_per_leg[t.node.leg] += 1;
+    }
+    SpiderMetrics {
+        makespan: schedule.makespan_on(spider),
+        tasks: schedule.n(),
+        master_port_busy,
+        tasks_per_leg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm_vector::CommVector;
+    use crate::schedule::{SpiderTask, TaskAssignment};
+    use mst_platform::NodeId;
+
+    fn cv(times: &[Time]) -> CommVector {
+        CommVector::new(times.to_vec())
+    }
+
+    fn figure2_schedule() -> ChainSchedule {
+        ChainSchedule::new(vec![
+            TaskAssignment::new(1, 2, cv(&[0]), 3),
+            TaskAssignment::new(1, 5, cv(&[2]), 3),
+            TaskAssignment::new(2, 9, cv(&[4, 6]), 5),
+            TaskAssignment::new(1, 8, cv(&[6]), 3),
+            TaskAssignment::new(1, 11, cv(&[9]), 3),
+        ])
+    }
+
+    #[test]
+    fn figure2_metrics() {
+        let chain = Chain::paper_figure2();
+        let m = chain_metrics(&chain, &figure2_schedule());
+        assert_eq!(m.makespan, 14);
+        assert_eq!(m.tasks, 5);
+        // link 1 carries all 5 tasks at c=2 each; link 2 one task at c=3
+        assert_eq!(m.link_busy, vec![10, 3]);
+        // proc 1 runs 4 tasks of w=3, proc 2 one of w=5
+        assert_eq!(m.proc_busy, vec![12, 5]);
+        assert_eq!(m.tasks_per_proc, vec![4, 1]);
+        assert!((m.proc_utilization(1) - 12.0 / 14.0).abs() < 1e-12);
+        assert!((m.link_utilization(1) - 10.0 / 14.0).abs() < 1e-12);
+        assert!((m.throughput() - 5.0 / 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_schedule_metrics_are_zero() {
+        let chain = Chain::paper_figure2();
+        let m = chain_metrics(&chain, &ChainSchedule::empty());
+        assert_eq!(m.makespan, 0);
+        assert_eq!(m.throughput(), 0.0);
+        assert_eq!(m.proc_utilization(1), 0.0);
+    }
+
+    #[test]
+    fn spider_metrics_count_master_port() {
+        let spider = Spider::from_legs(&[&[(2, 3)], &[(3, 4)]]).unwrap();
+        let s = SpiderSchedule::new(vec![
+            SpiderTask::new(NodeId { leg: 0, depth: 1 }, 2, cv(&[0]), 3),
+            SpiderTask::new(NodeId { leg: 1, depth: 1 }, 5, cv(&[2]), 4),
+        ]);
+        let m = spider_metrics(&spider, &s);
+        assert_eq!(m.makespan, 9);
+        assert_eq!(m.master_port_busy, 5);
+        assert_eq!(m.tasks_per_leg, vec![1, 1]);
+        assert!((m.master_port_utilization() - 5.0 / 9.0).abs() < 1e-12);
+        assert!((m.throughput() - 2.0 / 9.0).abs() < 1e-12);
+    }
+}

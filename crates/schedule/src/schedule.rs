@@ -1,0 +1,395 @@
+//! Complete schedules for chains and spiders.
+
+use crate::comm_vector::CommVector;
+use mst_platform::{Chain, NodeId, Spider, Time};
+use std::fmt;
+
+/// The scheduling decision for one task on a chain (Definition 1): the
+/// executing processor `P(i)`, the start time `T(i)` and the
+/// communication vector `C(i)`.
+///
+/// Assignments additionally carry the processing time of the chosen
+/// processor (`work`) so that completion times and makespans can be
+/// queried without re-threading the chain through every call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskAssignment {
+    /// Executing processor `P(i)` (**1-based**). Always equals
+    /// `comms.len()`.
+    pub proc: usize,
+    /// Execution start time `T(i)`.
+    pub start: Time,
+    /// Communication vector `C(i)`.
+    pub comms: CommVector,
+    /// Processing time `w_{P(i)}` of the executing processor.
+    pub work: Time,
+}
+
+impl TaskAssignment {
+    /// Builds an assignment, checking the structural invariant
+    /// `P(i) == |C(i)|`.
+    pub fn new(proc: usize, start: Time, comms: CommVector, work: Time) -> Self {
+        assert_eq!(proc, comms.len(), "P(i) must equal the communication vector length");
+        TaskAssignment { proc, start, comms, work }
+    }
+
+    /// Completion time `T(i) + w_{P(i)}`.
+    #[inline]
+    pub fn end(&self) -> Time {
+        self.start + self.work
+    }
+}
+
+/// A complete schedule of `n` tasks on a [`Chain`].
+///
+/// Task indices are **1-based** like in the paper; tasks are stored (and
+/// must be kept) in master-emission order: `C^1_1 <= C^2_1 <= ...`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChainSchedule {
+    tasks: Vec<TaskAssignment>,
+}
+
+impl ChainSchedule {
+    /// Builds a schedule from assignments in emission order.
+    pub fn new(tasks: Vec<TaskAssignment>) -> Self {
+        debug_assert!(
+            tasks.windows(2).all(|w| w[0].comms.first() <= w[1].comms.first()),
+            "tasks must be listed in master-emission order"
+        );
+        ChainSchedule { tasks }
+    }
+
+    /// An empty schedule (zero tasks — the `T_lim` variant may produce it).
+    pub fn empty() -> Self {
+        ChainSchedule { tasks: Vec::new() }
+    }
+
+    /// Number of scheduled tasks `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` iff no task is scheduled.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The assignment of task `i` (**1-based**).
+    #[inline]
+    pub fn task(&self, i: usize) -> &TaskAssignment {
+        &self.tasks[i - 1]
+    }
+
+    /// All assignments in emission order.
+    #[inline]
+    pub fn tasks(&self) -> &[TaskAssignment] {
+        &self.tasks
+    }
+
+    /// The makespan `max_i (T(i) + w_{P(i)})` relative to time zero
+    /// (Definition 2). Returns 0 for an empty schedule.
+    pub fn makespan(&self) -> Time {
+        self.tasks.iter().map(TaskAssignment::end).max().unwrap_or(0)
+    }
+
+    /// Makespan recomputed against the chain, ignoring the stored `work`
+    /// values (used by the feasibility oracle to cross-check them).
+    pub fn makespan_on(&self, chain: &Chain) -> Time {
+        self.tasks.iter().map(|t| t.start + chain.w(t.proc)).max().unwrap_or(0)
+    }
+
+    /// Earliest event in the schedule: the first master emission.
+    /// `None` when empty.
+    pub fn start_time(&self) -> Option<Time> {
+        self.tasks.iter().map(|t| t.comms.first()).min()
+    }
+
+    /// Shifts every time in the schedule by `delta`.
+    pub fn shift(&mut self, delta: Time) {
+        for t in &mut self.tasks {
+            t.start += delta;
+            t.comms.shift(delta);
+        }
+    }
+
+    /// A copy shifted by `delta`.
+    pub fn shifted(&self, delta: Time) -> ChainSchedule {
+        let mut s = self.clone();
+        s.shift(delta);
+        s
+    }
+
+    /// Indices (1-based) of the tasks executing on processor `k`.
+    pub fn tasks_on(&self, k: usize) -> Vec<usize> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.proc == k)
+            .map(|(i, _)| i + 1)
+            .collect()
+    }
+
+    /// Number of tasks whose route crosses link `k` (`P(i) >= k`).
+    pub fn tasks_crossing_link(&self, k: usize) -> usize {
+        self.tasks.iter().filter(|t| t.proc >= k).count()
+    }
+}
+
+impl fmt::Display for ChainSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.tasks.iter().enumerate() {
+            writeln!(
+                f,
+                "task {:>3}: P = {:>3}, T = {:>6}, C = {}",
+                i + 1,
+                t.proc,
+                t.start,
+                t.comms
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The placement of one task on a spider.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpiderTask {
+    /// Executing node.
+    pub node: NodeId,
+    /// Execution start time.
+    pub start: Time,
+    /// Communication vector along the task's leg; element 1 is the master
+    /// emission (the shared out-port usage), element `j` the emission on
+    /// the leg's link `j`. Its length equals `node.depth`.
+    pub comms: CommVector,
+    /// Processing time at the executing node.
+    pub work: Time,
+}
+
+impl SpiderTask {
+    /// Builds a spider task placement; checks `depth == |C|`.
+    pub fn new(node: NodeId, start: Time, comms: CommVector, work: Time) -> Self {
+        assert_eq!(node.depth, comms.len(), "depth must equal communication vector length");
+        SpiderTask { node, start, comms, work }
+    }
+
+    /// Completion time.
+    #[inline]
+    pub fn end(&self) -> Time {
+        self.start + self.work
+    }
+}
+
+/// A complete schedule on a [`Spider`], tasks kept in master-emission
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpiderSchedule {
+    tasks: Vec<SpiderTask>,
+}
+
+impl SpiderSchedule {
+    /// Builds a spider schedule; placements are sorted into
+    /// master-emission order.
+    pub fn new(mut tasks: Vec<SpiderTask>) -> Self {
+        tasks.sort_by_key(|t| t.comms.first());
+        SpiderSchedule { tasks }
+    }
+
+    /// An empty schedule.
+    pub fn empty() -> Self {
+        SpiderSchedule { tasks: Vec::new() }
+    }
+
+    /// Number of scheduled tasks.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` iff no task is scheduled.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// All placements in emission order.
+    #[inline]
+    pub fn tasks(&self) -> &[SpiderTask] {
+        &self.tasks
+    }
+
+    /// The placement of task `i` (**1-based**).
+    #[inline]
+    pub fn task(&self, i: usize) -> &SpiderTask {
+        &self.tasks[i - 1]
+    }
+
+    /// Makespan relative to time zero.
+    pub fn makespan(&self) -> Time {
+        self.tasks.iter().map(SpiderTask::end).max().unwrap_or(0)
+    }
+
+    /// Makespan recomputed against the spider (ignores stored `work`).
+    pub fn makespan_on(&self, spider: &Spider) -> Time {
+        self.tasks
+            .iter()
+            .map(|t| t.start + spider.node(t.node).work)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Shifts every time by `delta`.
+    pub fn shift(&mut self, delta: Time) {
+        for t in &mut self.tasks {
+            t.start += delta;
+            t.comms.shift(delta);
+        }
+    }
+
+    /// Number of tasks placed on leg `l`.
+    pub fn tasks_on_leg(&self, l: usize) -> usize {
+        self.tasks.iter().filter(|t| t.node.leg == l).count()
+    }
+
+    /// The restriction of this schedule to leg `l`, re-expressed as a
+    /// [`ChainSchedule`] on that leg's chain (times keep their absolute
+    /// values).
+    pub fn leg_schedule(&self, l: usize) -> ChainSchedule {
+        let tasks = self
+            .tasks
+            .iter()
+            .filter(|t| t.node.leg == l)
+            .map(|t| TaskAssignment::new(t.node.depth, t.start, t.comms.clone(), t.work))
+            .collect();
+        ChainSchedule::new(tasks)
+    }
+}
+
+impl fmt::Display for SpiderSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.tasks.iter().enumerate() {
+            writeln!(
+                f,
+                "task {:>3}: node = {}, T = {:>6}, C = {}",
+                i + 1,
+                t.node,
+                t.start,
+                t.comms
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cv(times: &[Time]) -> CommVector {
+        CommVector::new(times.to_vec())
+    }
+
+    /// The Figure-2 schedule, written down by hand:
+    /// chain c = (2, 3), w = (3, 5); emissions {0, 2, 4, 6, 9};
+    /// the task emitted at 4 goes to processor 2.
+    pub(crate) fn figure2_schedule() -> ChainSchedule {
+        ChainSchedule::new(vec![
+            TaskAssignment::new(1, 2, cv(&[0]), 3),
+            TaskAssignment::new(1, 5, cv(&[2]), 3), // buffered: received at 4
+            TaskAssignment::new(2, 9, cv(&[4, 6]), 5),
+            TaskAssignment::new(1, 8, cv(&[6]), 3),
+            TaskAssignment::new(1, 11, cv(&[9]), 3),
+        ])
+    }
+
+    #[test]
+    fn invariant_p_equals_vector_length() {
+        let t = TaskAssignment::new(2, 10, cv(&[0, 5]), 4);
+        assert_eq!(t.proc, 2);
+        assert_eq!(t.end(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "P(i) must equal")]
+    fn mismatched_length_panics() {
+        let _ = TaskAssignment::new(3, 10, cv(&[0, 5]), 4);
+    }
+
+    #[test]
+    fn figure2_makespan_is_14() {
+        let chain = Chain::paper_figure2();
+        let s = figure2_schedule();
+        assert_eq!(s.makespan(), 14);
+        assert_eq!(s.makespan_on(&chain), 14);
+        assert_eq!(s.n(), 5);
+        assert_eq!(s.start_time(), Some(0));
+    }
+
+    #[test]
+    fn task_queries() {
+        let s = figure2_schedule();
+        assert_eq!(s.tasks_on(1), vec![1, 2, 4, 5]);
+        assert_eq!(s.tasks_on(2), vec![3]);
+        assert_eq!(s.tasks_crossing_link(1), 5);
+        assert_eq!(s.tasks_crossing_link(2), 1);
+        assert_eq!(s.task(3).proc, 2);
+    }
+
+    #[test]
+    fn shift_moves_everything() {
+        let mut s = figure2_schedule();
+        s.shift(10);
+        assert_eq!(s.start_time(), Some(10));
+        assert_eq!(s.makespan(), 24);
+        assert_eq!(s.task(3).comms, cv(&[14, 16]));
+        let back = s.shifted(-10);
+        assert_eq!(back, figure2_schedule());
+    }
+
+    #[test]
+    fn spider_schedule_sorts_by_emission() {
+        let tasks = vec![
+            SpiderTask::new(NodeId { leg: 1, depth: 1 }, 5, cv(&[3]), 4),
+            SpiderTask::new(NodeId { leg: 0, depth: 1 }, 2, cv(&[0]), 3),
+        ];
+        let s = SpiderSchedule::new(tasks);
+        assert_eq!(s.task(1).node.leg, 0);
+        assert_eq!(s.task(2).node.leg, 1);
+        assert_eq!(s.n(), 2);
+        assert_eq!(s.makespan(), 9);
+        assert_eq!(s.tasks_on_leg(0), 1);
+        assert_eq!(s.tasks_on_leg(1), 1);
+    }
+
+    #[test]
+    fn leg_schedule_restricts() {
+        let tasks = vec![
+            SpiderTask::new(NodeId { leg: 0, depth: 1 }, 2, cv(&[0]), 3),
+            SpiderTask::new(NodeId { leg: 1, depth: 2 }, 9, cv(&[3, 6]), 2),
+            SpiderTask::new(NodeId { leg: 0, depth: 1 }, 7, cv(&[5]), 3),
+        ];
+        let s = SpiderSchedule::new(tasks);
+        let leg0 = s.leg_schedule(0);
+        assert_eq!(leg0.n(), 2);
+        assert_eq!(leg0.tasks_on(1), vec![1, 2]);
+        let leg1 = s.leg_schedule(1);
+        assert_eq!(leg1.n(), 1);
+        assert_eq!(leg1.task(1).proc, 2);
+    }
+
+    #[test]
+    fn display_lists_tasks() {
+        let out = figure2_schedule().to_string();
+        assert!(out.contains("task   1"));
+        assert!(out.contains("{4; 6}"));
+    }
+
+    #[test]
+    fn empty_schedules() {
+        assert_eq!(ChainSchedule::empty().makespan(), 0);
+        assert!(ChainSchedule::empty().is_empty());
+        assert_eq!(SpiderSchedule::empty().makespan(), 0);
+        assert_eq!(ChainSchedule::empty().start_time(), None);
+    }
+}

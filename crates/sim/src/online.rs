@@ -1,0 +1,200 @@
+//! Online (demand-driven) scheduling policies, simulated forward.
+//!
+//! The paper's algorithms are *offline*: they know `n` in advance and
+//! build the schedule backwards from the end. A deployed master instead
+//! decides task by task. This module simulates such masters on spider
+//! platforms so the experiments can measure what clairvoyance is worth
+//! (experiment E2: the gap closes as `n` grows — both approaches converge
+//! to the steady-state rate — but stays visible for finite batches).
+
+use mst_platform::{NodeId, Spider, Time};
+use mst_schedule::{CommVector, SpiderSchedule, SpiderTask};
+
+/// A demand-driven master policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OnlinePolicy {
+    /// Send each task to the node where it would complete earliest given
+    /// everything committed so far (eager earliest-finish).
+    EarliestCompletion,
+    /// Serve legs in fixed priority of ascending first-link latency
+    /// (`c_1`), each leg's tasks going to its first processor — the
+    /// bandwidth-centric rule of the steady-state literature, applied
+    /// naively.
+    BandwidthCentric,
+    /// Deal tasks to the first processor of each leg cyclically.
+    RoundRobinLegs,
+}
+
+/// Forward state of one simulated spider platform.
+#[derive(Debug, Clone)]
+struct ForwardState<'a> {
+    spider: &'a Spider,
+    master_port_free: Time,
+    /// `out_port_free[leg][depth - 1]`: out-port of node (leg, depth)
+    /// (used when forwarding deeper along the leg). Index 0 of a leg is
+    /// the first processor's out-port, not the master's.
+    out_port_free: Vec<Vec<Time>>,
+    /// `cpu_free[leg][depth - 1]`.
+    cpu_free: Vec<Vec<Time>>,
+}
+
+impl<'a> ForwardState<'a> {
+    fn new(spider: &'a Spider) -> Self {
+        let zeros: Vec<Vec<Time>> =
+            spider.legs().iter().map(|c| vec![0; c.len()]).collect();
+        ForwardState {
+            spider,
+            master_port_free: 0,
+            out_port_free: zeros.clone(),
+            cpu_free: zeros,
+        }
+    }
+
+    /// Routes one task to `node` ASAP; returns the placement.
+    fn place(&mut self, node: NodeId) -> SpiderTask {
+        let chain = self.spider.leg(node.leg);
+        let mut emissions = Vec::with_capacity(node.depth);
+        let mut available = 0;
+        for depth in 1..=node.depth {
+            let port_free = if depth == 1 {
+                self.master_port_free
+            } else {
+                self.out_port_free[node.leg][depth - 2]
+            };
+            let emit = available.max(port_free);
+            let latency = chain.c(depth);
+            if depth == 1 {
+                self.master_port_free = emit + latency;
+            } else {
+                self.out_port_free[node.leg][depth - 2] = emit + latency;
+            }
+            emissions.push(emit);
+            available = emit + latency;
+        }
+        let start = available.max(self.cpu_free[node.leg][node.depth - 1]);
+        let work = chain.w(node.depth);
+        self.cpu_free[node.leg][node.depth - 1] = start + work;
+        SpiderTask::new(node, start, CommVector::new(emissions), work)
+    }
+
+    /// Completion time `place(node)` would produce, without committing.
+    fn probe(&self, node: NodeId) -> Time {
+        let mut copy = self.clone();
+        copy.place(node).end()
+    }
+}
+
+/// Simulates `n` tasks dispatched by `policy`; returns the resulting
+/// schedule (always feasible by construction — resources are only ever
+/// claimed when free).
+pub fn simulate_online(spider: &Spider, n: usize, policy: OnlinePolicy) -> SpiderSchedule {
+    let mut state = ForwardState::new(spider);
+    let mut tasks = Vec::with_capacity(n);
+    // Fixed priority order for the bandwidth-centric policy.
+    let mut legs_by_c1: Vec<usize> = (0..spider.num_legs()).collect();
+    legs_by_c1.sort_by_key(|&l| spider.leg(l).c(1));
+
+    for i in 0..n {
+        let node = match policy {
+            OnlinePolicy::EarliestCompletion => spider
+                .node_ids()
+                .min_by_key(|&id| state.probe(id))
+                .expect("spider has nodes"),
+            OnlinePolicy::BandwidthCentric => {
+                // The fastest-link leg whose head CPU will be free by the
+                // time a task could arrive; fall back to the overall
+                // fastest link.
+                let pick = legs_by_c1
+                    .iter()
+                    .copied()
+                    .find(|&l| {
+                        let arrival = state.master_port_free.max(0) + spider.leg(l).c(1);
+                        state.cpu_free[l][0] <= arrival
+                    })
+                    .unwrap_or(legs_by_c1[0]);
+                NodeId { leg: pick, depth: 1 }
+            }
+            OnlinePolicy::RoundRobinLegs => NodeId { leg: i % spider.num_legs(), depth: 1 },
+        };
+        tasks.push(state.place(node));
+    }
+    SpiderSchedule::new(tasks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mst_platform::{GeneratorConfig, HeterogeneityProfile};
+    use mst_schedule::check_spider;
+
+    #[test]
+    fn online_schedules_are_always_feasible() {
+        for seed in 0..25u64 {
+            let g = GeneratorConfig::new(HeterogeneityProfile::ALL[(seed % 5) as usize], seed);
+            let spider = g.spider(1 + (seed % 4) as usize, 1, 3);
+            for policy in [
+                OnlinePolicy::EarliestCompletion,
+                OnlinePolicy::BandwidthCentric,
+                OnlinePolicy::RoundRobinLegs,
+            ] {
+                let s = simulate_online(&spider, 8, policy);
+                assert_eq!(s.n(), 8);
+                check_spider(&spider, &s).assert_feasible();
+            }
+        }
+    }
+
+    #[test]
+    fn online_never_beats_offline_optimal() {
+        use mst_spider::schedule_spider;
+        for seed in 0..20u64 {
+            let g = GeneratorConfig::new(HeterogeneityProfile::ALL[(seed % 5) as usize], seed);
+            let spider = g.spider(1 + (seed % 3) as usize, 1, 2);
+            let n = 1 + (seed % 6) as usize;
+            let (opt, _) = schedule_spider(&spider, n);
+            for policy in [
+                OnlinePolicy::EarliestCompletion,
+                OnlinePolicy::BandwidthCentric,
+                OnlinePolicy::RoundRobinLegs,
+            ] {
+                let m = simulate_online(&spider, n, policy).makespan();
+                assert!(m >= opt, "policy {policy:?} beat the optimum (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn earliest_completion_uses_deep_nodes_when_worthwhile() {
+        // Head CPU is terrible, second node is fast: the eager policy
+        // must route past the head.
+        let spider = Spider::from_legs(&[&[(1, 50), (1, 2)]]).unwrap();
+        let s = simulate_online(&spider, 4, OnlinePolicy::EarliestCompletion);
+        assert!(s.tasks().iter().any(|t| t.node.depth == 2));
+    }
+
+    #[test]
+    fn bandwidth_centric_prefers_fast_links() {
+        // The fast-link leg is first priority; the slow leg only absorbs
+        // overflow while the fast CPU is busy, so it never gets *more*.
+        let spider = Spider::from_legs(&[&[(5, 3)], &[(1, 3)]]).unwrap();
+        let s = simulate_online(&spider, 6, OnlinePolicy::BandwidthCentric);
+        let fast = s.tasks_on_leg(1);
+        let slow = s.tasks_on_leg(0);
+        assert!(fast >= slow, "fast leg got {fast}, slow leg {slow}");
+        // With a fast CPU behind the fast link there is no overflow at
+        // all: everything goes to the fast leg.
+        let spider = Spider::from_legs(&[&[(5, 3)], &[(1, 1)]]).unwrap();
+        let s = simulate_online(&spider, 6, OnlinePolicy::BandwidthCentric);
+        assert_eq!(s.tasks_on_leg(1), 6);
+        assert_eq!(s.tasks_on_leg(0), 0);
+    }
+
+    #[test]
+    fn round_robin_spreads_evenly() {
+        let spider = Spider::from_legs(&[&[(2, 2)], &[(2, 2)], &[(2, 2)]]).unwrap();
+        let s = simulate_online(&spider, 9, OnlinePolicy::RoundRobinLegs);
+        for l in 0..3 {
+            assert_eq!(s.tasks_on_leg(l), 3);
+        }
+    }
+}

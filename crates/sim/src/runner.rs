@@ -1,0 +1,78 @@
+//! A minimal parallel sweep executor for the experiment harness.
+//!
+//! Experiments evaluate thousands of independent (instance, scheduler)
+//! pairs; this helper fans them out over all cores with crossbeam scoped
+//! threads and a shared atomic work index — no dependency on a full
+//! task-parallel runtime, and results come back in input order.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item on all available cores; returns results in
+/// input order.
+///
+/// `f` must be `Sync` (shared by reference across workers). Panics in a
+/// worker propagate after the scope joins, so a failing experiment fails
+/// loudly rather than silently dropping results.
+pub fn run_parallel<I, R, F>(items: &[I], f: F) -> Vec<R>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(&I) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = threads.min(items.len().max(1));
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= items.len() {
+                    break;
+                }
+                let r = f(&items[idx]);
+                results.lock()[idx] = Some(r);
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every index visited"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = run_parallel(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_empty_and_single_inputs() {
+        let empty: Vec<u64> = vec![];
+        assert!(run_parallel(&empty, |&x| x).is_empty());
+        assert_eq!(run_parallel(&[7u64], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_real_workload() {
+        use mst_platform::{Chain, GeneratorConfig, HeterogeneityProfile};
+        let chains: Vec<Chain> = (0..64)
+            .map(|seed| GeneratorConfig::new(HeterogeneityProfile::ALL[seed as usize % 5], seed).chain(4))
+            .collect();
+        // A toy metric (t_infinity) computed both ways.
+        let par = run_parallel(&chains, |c| c.t_infinity(10));
+        let ser: Vec<_> = chains.iter().map(|c| c.t_infinity(10)).collect();
+        assert_eq!(par, ser);
+    }
+}

@@ -1,0 +1,148 @@
+//! Event traces produced by the simulator.
+
+use mst_platform::Time;
+use std::fmt;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A communication towards node `(leg, depth)` started on the link
+    /// entering that depth.
+    CommStart {
+        /// Destination leg (0 for chains).
+        leg: usize,
+        /// Link index along the leg (**1-based**).
+        link: usize,
+    },
+    /// The matching communication completed (the task is now buffered at
+    /// the receiving node).
+    CommEnd {
+        /// Destination leg.
+        leg: usize,
+        /// Link index.
+        link: usize,
+    },
+    /// Execution started.
+    ExecStart {
+        /// Leg of the executing node.
+        leg: usize,
+        /// Depth of the executing node (**1-based**).
+        depth: usize,
+    },
+    /// Execution completed (the task is done).
+    ExecEnd {
+        /// Leg of the executing node.
+        leg: usize,
+        /// Depth of the executing node.
+        depth: usize,
+    },
+}
+
+/// One timestamped simulator event, tagged with the task it concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Event {
+    /// Simulation time of the event.
+    pub time: Time,
+    /// Task index (**1-based**, emission order).
+    pub task: usize,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// A completed simulation: the ordered event log.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<Event>,
+}
+
+impl Trace {
+    /// Builds a trace, sorting events by time (stable on ties).
+    pub fn new(mut events: Vec<Event>) -> Self {
+        events.sort_by_key(|e| e.time);
+        Trace { events }
+    }
+
+    /// All events in time order.
+    #[inline]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` iff nothing happened.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Time of the last event (the simulated makespan for a complete
+    /// run). Zero for an empty trace.
+    pub fn end_time(&self) -> Time {
+        self.events.last().map(|e| e.time).unwrap_or(0)
+    }
+
+    /// Number of `ExecEnd` events — completed tasks.
+    pub fn completed_tasks(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ExecEnd { .. }))
+            .count()
+    }
+
+    /// Events concerning one task, in time order.
+    pub fn task_events(&self, task: usize) -> Vec<Event> {
+        self.events.iter().filter(|e| e.task == task).copied().collect()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            let what = match e.kind {
+                EventKind::CommStart { leg, link } => format!("comm-start  leg {leg} link {link}"),
+                EventKind::CommEnd { leg, link } => format!("comm-end    leg {leg} link {link}"),
+                EventKind::ExecStart { leg, depth } => format!("exec-start  leg {leg} node {depth}"),
+                EventKind::ExecEnd { leg, depth } => format!("exec-end    leg {leg} node {depth}"),
+            };
+            writeln!(f, "[t={:>6}] task {:>3}: {what}", e.time, e.task)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_sorts_and_summarises() {
+        let t = Trace::new(vec![
+            Event { time: 5, task: 1, kind: EventKind::ExecEnd { leg: 0, depth: 1 } },
+            Event { time: 0, task: 1, kind: EventKind::CommStart { leg: 0, link: 1 } },
+            Event { time: 2, task: 1, kind: EventKind::CommEnd { leg: 0, link: 1 } },
+            Event { time: 2, task: 1, kind: EventKind::ExecStart { leg: 0, depth: 1 } },
+        ]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.end_time(), 5);
+        assert_eq!(t.completed_tasks(), 1);
+        assert_eq!(t.events()[0].time, 0);
+        assert_eq!(t.task_events(1).len(), 4);
+        assert!(t.task_events(2).is_empty());
+        let s = t.to_string();
+        assert!(s.contains("comm-start"));
+        assert!(s.contains("exec-end"));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.end_time(), 0);
+        assert_eq!(t.completed_tasks(), 0);
+    }
+}

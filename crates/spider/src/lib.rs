@@ -1,0 +1,33 @@
+//! # mst-spider — optimal scheduling on spider graphs (Section 7)
+//!
+//! A spider is a tree whose only node of arity greater than two is the
+//! master. The paper's algorithm composes the two substrates:
+//!
+//! 1. run the **chain algorithm's `T_lim` variant** on every leg
+//!    independently (as if each leg had the master to itself);
+//! 2. **transform** (Figure 7) each leg schedule into single-task virtual
+//!    slaves: the task emitted at `C^i_1` becomes a slave with link
+//!    latency `c_1` (the leg's first link) and processing time
+//!    `T_lim - C^i_1 - c_1` — everything that must happen after its
+//!    master emission is folded into one opaque "processing" interval;
+//! 3. run the **fork-graph selection** (Jackson greedy) over the pooled
+//!    virtual slaves to decide how many tasks each leg receives and when
+//!    the master's shared out-port serves them;
+//! 4. **revert**: each selected virtual slave maps back to its chain
+//!    task, which keeps its in-leg schedule but adopts the (earlier or
+//!    equal) master emission chosen by the fork algorithm — Lemma 3
+//!    shows the result stays feasible, Lemma 4 that no schedule does
+//!    better.
+//!
+//! [`schedule_spider_by_deadline`] implements steps 1–4 (optimal task
+//! count by Theorem 3); [`schedule_spider`] wraps a binary search over
+//! `T_lim` to obtain the minimum makespan for exactly `n` tasks, in
+//! `O(n^2 p^2 log)` overall.
+
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod transform;
+
+pub use algorithm::{schedule_spider, schedule_spider_by_deadline};
+pub use transform::{transform_leg, ChainVirtualSlave};

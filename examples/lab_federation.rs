@@ -1,0 +1,68 @@
+//! A federation of laboratories scheduled as a spider, using the named
+//! platform presets.
+//!
+//! Each lab is a short chain (gateway, then workers) hanging off the
+//! master — the spider topology of the paper's Section 7 in its most
+//! natural clothing. The example contrasts three management policies a
+//! federation operator could adopt:
+//!
+//! 1. optimal offline scheduling over the whole spider (the paper);
+//! 2. treating each lab as a black box and using only its gateway
+//!    (a fork over the gateways — what reference [2] solves);
+//! 3. sending everything to the single best lab (a chain).
+//!
+//! ```text
+//! cargo run --release --example lab_federation
+//! ```
+
+use master_slave_tasking::prelude::*;
+use mst_core::schedule_chain;
+use mst_fork::schedule_fork;
+use mst_platform::presets;
+use mst_schedule::check_spider;
+
+fn main() {
+    let federation = presets::lab_federation(5);
+    println!("{federation}");
+
+    let batch = 30;
+
+    // 1. The full spider, scheduled optimally.
+    let (spider_makespan, schedule) = schedule_spider(&federation, batch);
+    check_spider(&federation, &schedule).assert_feasible();
+    println!("full spider, optimal: makespan {spider_makespan}");
+    for l in 0..federation.num_legs() {
+        let deep = schedule
+            .tasks()
+            .iter()
+            .filter(|t| t.node.leg == l && t.node.depth > 1)
+            .count();
+        println!(
+            "  lab {l}: {} work units ({} forwarded past the gateway)",
+            schedule.tasks_on_leg(l),
+            deep
+        );
+    }
+
+    // 2. Gateways only: the fork over each lab's first processor.
+    let gateways = federation.head_fork();
+    let (fork_makespan, _) = schedule_fork(&gateways, batch);
+    println!("gateways only (fork): makespan {fork_makespan}");
+
+    // 3. Best single lab, used as a chain.
+    let best_chain = federation
+        .legs()
+        .iter()
+        .map(|leg| schedule_chain(leg, batch).makespan())
+        .min()
+        .expect("legs");
+    println!("best single lab (chain): makespan {best_chain}");
+
+    assert!(spider_makespan <= fork_makespan);
+    assert!(spider_makespan <= best_chain);
+    println!(
+        "\nusing every lab's depth is worth {:.0}% over gateways-only and {:.0}% over the best lab",
+        100.0 * (fork_makespan - spider_makespan) as f64 / spider_makespan as f64,
+        100.0 * (best_chain - spider_makespan) as f64 / spider_makespan as f64
+    );
+}

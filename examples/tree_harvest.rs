@@ -1,0 +1,41 @@
+//! Covering a general tree with a spider (the paper's future work).
+//!
+//! ```text
+//! cargo run --example tree_harvest
+//! ```
+
+use master_slave_tasking::prelude::*;
+use mst_baselines::optimal_tree_makespan;
+use mst_schedule::check_spider;
+use mst_tree::{best_cover_schedule, schedule_tree, PathStrategy};
+
+fn main() {
+    // A small random tree of 7 processors.
+    let tree = GeneratorConfig::new(HeterogeneityProfile::Uniform { c: (1, 4), w: (1, 6) }, 17)
+        .tree(7);
+    println!("tree platform:\n{tree}");
+
+    let n = 6;
+    println!("strategy results for {n} tasks:");
+    for strategy in PathStrategy::ALL {
+        let out = schedule_tree(&tree, n, strategy);
+        check_spider(&out.cover.spider, &out.schedule).assert_feasible();
+        println!(
+            "  {:<17} makespan {:>3}, covers {} of {} processors (paths {:?})",
+            strategy.name(),
+            out.makespan,
+            out.cover.covered_nodes(),
+            tree.len(),
+            out.cover.node_map
+        );
+    }
+
+    let best = best_cover_schedule(&tree, n);
+    let opt = optimal_tree_makespan(&tree, n);
+    println!("\nbest cover makespan: {}", best.makespan);
+    println!("true tree optimum (exhaustive): {opt}");
+    println!(
+        "covering gap: {:+.1}% — the price of idling off-path processors",
+        100.0 * (best.makespan - opt) as f64 / opt as f64
+    );
+}

@@ -1,0 +1,58 @@
+//! A SETI@home-style campaign: a volunteer pool modelled as a spider.
+//!
+//! The paper's introduction motivates the problem with volunteer
+//! computing (SETI@home, the Mersenne prime search): a master holds a
+//! batch of identical work units and volunteers sit behind links of very
+//! different speeds. This example builds a bimodal volunteer pool,
+//! schedules a batch optimally, and compares against the demand-driven
+//! dispatchers a deployed master would otherwise use.
+//!
+//! ```text
+//! cargo run --release --example volunteer_campaign
+//! ```
+
+use master_slave_tasking::prelude::*;
+use mst_schedule::{check_spider, metrics};
+use mst_sim::{simulate_online, OnlinePolicy};
+
+fn main() {
+    // 6 volunteer sites; a quarter have fast dedicated machines.
+    let pool = GeneratorConfig::new(HeterogeneityProfile::Bimodal { fast_pct: 25 }, 2003)
+        .spider(6, 1, 3);
+    println!("volunteer pool:\n{pool}");
+
+    let batch = 40;
+    let (makespan, schedule) = schedule_spider(&pool, batch);
+    check_spider(&pool, &schedule).assert_feasible();
+    println!("optimal (clairvoyant) makespan for {batch} work units: {makespan} ticks");
+
+    let m = metrics::spider_metrics(&pool, &schedule);
+    println!(
+        "master out-port busy {:.0}% of the time; work units per site: {:?}",
+        100.0 * m.master_port_utilization(),
+        m.tasks_per_leg
+    );
+
+    println!("\ndemand-driven dispatchers on the same pool:");
+    for policy in [
+        OnlinePolicy::EarliestCompletion,
+        OnlinePolicy::BandwidthCentric,
+        OnlinePolicy::RoundRobinLegs,
+    ] {
+        let s = simulate_online(&pool, batch, policy);
+        check_spider(&pool, &s).assert_feasible();
+        println!(
+            "  {policy:?}: makespan {} ticks ({:+.1}% vs optimal)",
+            s.makespan(),
+            100.0 * (s.makespan() - makespan) as f64 / makespan as f64
+        );
+    }
+
+    // How big a batch fits before the nightly deadline?
+    let deadline = makespan + 20;
+    let s = mst_spider::schedule_spider_by_deadline(&pool, 10_000, deadline);
+    println!(
+        "\nif the campaign must end by t = {deadline}, at most {} work units can be finished",
+        s.n()
+    );
+}

@@ -1,0 +1,45 @@
+//! # master-slave-tasking — facade crate
+//!
+//! A production-oriented Rust reproduction of Pierre-François Dutot,
+//! *"Master-slave Tasking on Heterogeneous Processors"*, IPPS 2003.
+//!
+//! The workspace implements the paper's optimal scheduling algorithms for
+//! independent identical tasks on heterogeneous one-port platforms:
+//!
+//! * the backward-greedy **chain** algorithm (optimal makespan, `O(n p^2)`),
+//! * its **deadline (`T_lim`) variant** (maximum task count by a deadline),
+//! * the **fork-graph** substrate of Beaumont et al. (IPDPS 2002),
+//! * the **spider** algorithm combining both (optimal, polynomial),
+//! * exhaustive and heuristic **baselines**, a discrete-event **simulator**
+//!   and a **tree-covering** extension.
+//!
+//! This crate re-exports the public APIs of every member crate so that a
+//! downstream user can depend on a single package:
+//!
+//! ```
+//! use master_slave_tasking::prelude::*;
+//!
+//! // The worked example of the paper's Figure 2.
+//! let chain = Chain::paper_figure2();
+//! let schedule = schedule_chain(&chain, 5);
+//! assert_eq!(schedule.makespan(), 14);
+//! ```
+
+pub use mst_baselines as baselines;
+pub use mst_core as core_algorithm;
+pub use mst_fork as fork;
+pub use mst_platform as platform;
+pub use mst_schedule as schedule;
+pub use mst_sim as sim;
+pub use mst_spider as spider;
+pub use mst_tree as tree;
+
+/// Convenient glob import bringing the most common items into scope.
+pub mod prelude {
+    pub use mst_core::{schedule_chain, schedule_chain_by_deadline};
+    pub use mst_platform::{
+        Chain, Fork, GeneratorConfig, HeterogeneityProfile, NodeId, Processor, Spider, Time, Tree,
+    };
+    pub use mst_schedule::{ChainSchedule, CommVector, SpiderSchedule};
+    pub use mst_spider::{schedule_spider, schedule_spider_by_deadline};
+}

@@ -1,0 +1,104 @@
+//! Edge-case coverage of the public API surface that the main test
+//! suites exercise only incidentally.
+
+use master_slave_tasking::prelude::*;
+use mst_fork::jackson::EddSet;
+use mst_fork::{max_tasks_fork_by_deadline, schedule_fork};
+use mst_platform::presets;
+use mst_platform::Fork;
+use mst_schedule::metrics::spider_metrics;
+use mst_schedule::CommVector as CV;
+
+#[test]
+fn comm_vector_conversions_and_hash() {
+    use std::collections::HashSet;
+    let v: CV = vec![1i64, 2, 3].into();
+    assert_eq!(v, CV::new(vec![1, 2, 3]));
+    let mut set = HashSet::new();
+    set.insert(v.clone());
+    set.insert(CV::new(vec![1, 2, 3]));
+    assert_eq!(set.len(), 1, "equal vectors must hash equally");
+    assert!(set.contains(&v));
+}
+
+#[test]
+fn single_processor_platforms_across_all_apis() {
+    // The smallest possible platform must work everywhere.
+    let chain = Chain::from_pairs(&[(3, 4)]).unwrap();
+    assert_eq!(schedule_chain(&chain, 1).makespan(), 7);
+    let fork = Fork::from_pairs(&[(3, 4)]).unwrap();
+    assert_eq!(schedule_fork(&fork, 1).0, 7);
+    let spider = Spider::from_legs(&[&[(3, 4)]]).unwrap();
+    assert_eq!(schedule_spider(&spider, 1).0, 7);
+}
+
+#[test]
+fn empty_edd_set_reports_cleanly() {
+    let set: EddSet<()> = EddSet::new(10);
+    assert!(set.is_empty());
+    assert_eq!(set.len(), 0);
+    assert!(set.emission_times().is_empty());
+    assert!(set.items().is_empty());
+}
+
+#[test]
+fn zero_cap_fork_request_yields_empty_outcome() {
+    let fork = Fork::from_pairs(&[(1, 1)]).unwrap();
+    let out = max_tasks_fork_by_deadline(&fork, 0, 100);
+    assert_eq!(out.n(), 0);
+    assert!(out.schedule.is_empty());
+}
+
+#[test]
+fn spider_metrics_on_empty_schedule() {
+    let spider = presets::lab_federation(2);
+    let m = spider_metrics(&spider, &mst_schedule::SpiderSchedule::empty());
+    assert_eq!(m.tasks, 0);
+    assert_eq!(m.master_port_busy, 0);
+    assert_eq!(m.master_port_utilization(), 0.0);
+    assert_eq!(m.tasks_per_leg, vec![0, 0]);
+}
+
+#[test]
+fn presets_schedule_end_to_end() {
+    // Every preset must be consumable by its natural scheduler.
+    let chain = presets::layered_network(4);
+    assert!(schedule_chain(&chain, 6).makespan() <= chain.t_infinity(6));
+
+    let pool = presets::volunteer_pool(2, 3);
+    let (makespan, out) = schedule_fork(&pool, 6);
+    assert_eq!(out.n(), 6);
+    assert!(makespan <= pool.makespan_upper_bound(6));
+
+    let federation = presets::lab_federation(3);
+    let (makespan, s) = schedule_spider(&federation, 6);
+    assert_eq!(s.n(), 6);
+    assert!(makespan <= federation.makespan_upper_bound(6));
+
+    let cluster = presets::campus_cluster(4, 2, 2);
+    // Homogeneous bus: with c == w the port saturates; n tasks take
+    // about (n + 1) * c once the pipeline is full.
+    let (makespan, _) = schedule_fork(&cluster, 8);
+    assert_eq!(makespan, 2 * 8 + 2);
+}
+
+#[test]
+fn one_task_deadline_edge_is_exact() {
+    // The minimal completion c1 + w1 (or deeper) gates the first task.
+    let chain = Chain::from_pairs(&[(2, 9), (1, 1)]).unwrap();
+    // Best single task: via proc 2: 2 + 1 + 1 = 4.
+    assert!(schedule_chain_by_deadline(&chain, 1, 3).is_empty());
+    assert_eq!(schedule_chain_by_deadline(&chain, 1, 4).n(), 1);
+    assert_eq!(schedule_chain(&chain, 1).makespan(), 4);
+}
+
+#[test]
+fn gantt_glyphs_wrap_after_35_tasks() {
+    use mst_schedule::gantt::render_chain;
+    let chain = Chain::from_pairs(&[(1, 1)]).unwrap();
+    let s = schedule_chain(&chain, 40);
+    let chart = render_chain(&chain, &s);
+    // Task 37 reuses glyph '1': no panic, no '#' conflicts.
+    assert!(!chart.contains('#'));
+    assert!(chart.contains('z'), "late tasks use letter glyphs");
+}

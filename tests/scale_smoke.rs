@@ -1,0 +1,68 @@
+//! Large-instance smoke tests: the polynomial algorithms must stay
+//! correct (feasible, bound-respecting, replayable) and comfortably fast
+//! well beyond the sizes the exhaustive validators can reach.
+
+use master_slave_tasking::prelude::*;
+use mst_baselines::bounds::chain_lower_bound;
+use mst_core::schedule_chain_fast;
+use mst_schedule::{check_chain, check_spider};
+use mst_sim::{replay_chain, replay_spider};
+use std::time::Instant;
+
+#[test]
+fn chain_at_scale_n2000_p64() {
+    let chain = GeneratorConfig::new(HeterogeneityProfile::ALL[0], 99).chain(64);
+    let n = 2000;
+    let started = Instant::now();
+    let s = schedule_chain(&chain, n);
+    let elapsed = started.elapsed();
+    assert_eq!(s.n(), n);
+    // O(n p^2) with tiny constants: seconds would indicate a regression.
+    assert!(elapsed.as_secs() < 30, "scheduling took {elapsed:?}");
+
+    check_chain(&chain, &s).assert_feasible();
+    let trace = replay_chain(&chain, &s).expect("replays");
+    assert_eq!(trace.end_time(), s.makespan());
+
+    // Sandwiched between the analytic bound and the master-only pipeline.
+    assert!(s.makespan() >= chain_lower_bound(&chain, n));
+    assert!(s.makespan() <= chain.t_infinity(n));
+
+    // The fast variant agrees bit for bit even at this size.
+    assert_eq!(schedule_chain_fast(&chain, n), s);
+}
+
+#[test]
+fn spider_at_scale_n500_8legs() {
+    let spider = GeneratorConfig::new(HeterogeneityProfile::ALL[4], 7).spider(8, 2, 5);
+    let n = 500;
+    let started = Instant::now();
+    let (makespan, s) = schedule_spider(&spider, n);
+    let elapsed = started.elapsed();
+    assert_eq!(s.n(), n);
+    assert!(elapsed.as_secs() < 60, "spider scheduling took {elapsed:?}");
+
+    check_spider(&spider, &s).assert_feasible();
+    let trace = replay_spider(&spider, &s).expect("replays");
+    assert_eq!(trace.end_time(), makespan);
+    assert!(makespan <= spider.makespan_upper_bound(n));
+}
+
+#[test]
+fn deadline_variant_at_scale_counts_thousands() {
+    let chain = GeneratorConfig::new(HeterogeneityProfile::ComputeBound, 3).chain(32);
+    // A generous deadline admits a large batch; the count must stay
+    // consistent with re-solving the makespan for that exact batch.
+    let deadline = 4000;
+    let s = schedule_chain_by_deadline(&chain, 100_000, deadline);
+    assert!(s.n() > 500, "expected a large batch, got {}", s.n());
+    check_chain(&chain, &s).assert_feasible();
+    for t in s.tasks().iter().step_by(97) {
+        assert!(t.end() <= deadline);
+    }
+    // Optimality linkage: the n-task optimum fits the deadline, and
+    // n + 1 tasks do not.
+    let n = s.n();
+    assert!(schedule_chain(&chain, n).makespan() <= deadline);
+    assert!(schedule_chain(&chain, n + 1).makespan() > deadline);
+}
