@@ -1,0 +1,212 @@
+//! The [`Batch`] engine: sweep instance sets across all cores.
+
+use crate::error::SolveError;
+use crate::instance::Instance;
+use crate::registry::SolverRegistry;
+use crate::solution::Solution;
+use mst_platform::Time;
+use mst_sim::run_parallel;
+use std::fmt;
+
+/// Sweeps many [`Instance`]s through one registry solver in parallel —
+/// the building block for the experiment harness and for service-style
+/// traffic.
+///
+/// Work fans out over all cores through
+/// [`mst_sim::run_parallel`]; results come back in input order, each
+/// instance's failure isolated in its own `Result`.
+///
+/// ```
+/// use mst_api::{Batch, Instance, SolverRegistry, TopologyKind};
+/// use mst_platform::HeterogeneityProfile;
+///
+/// let instances: Vec<Instance> = (0..64)
+///     .map(|seed| Instance::generate(
+///         TopologyKind::Chain, HeterogeneityProfile::ALL[0], seed, 4, 6,
+///     ))
+///     .collect();
+/// let batch = Batch::new(SolverRegistry::with_defaults());
+/// let results = batch.solve_all(&instances);
+/// assert!(results.iter().all(|r| r.is_ok()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Batch {
+    registry: SolverRegistry,
+    solver: String,
+}
+
+impl Batch {
+    /// A batch engine solving with the dispatching `"optimal"` solver.
+    pub fn new(registry: SolverRegistry) -> Batch {
+        Batch { registry, solver: "optimal".to_string() }
+    }
+
+    /// Switches the batch to another registered solver.
+    pub fn with_solver(mut self, name: impl Into<String>) -> Batch {
+        self.solver = name.into();
+        self
+    }
+
+    /// The registry backing this batch.
+    pub fn registry(&self) -> &SolverRegistry {
+        &self.registry
+    }
+
+    /// The solver name used by [`Batch::solve_all`].
+    pub fn solver(&self) -> &str {
+        &self.solver
+    }
+
+    /// Solves every instance on all available cores; results in input
+    /// order.
+    pub fn solve_all(&self, instances: &[Instance]) -> Vec<Result<Solution, SolveError>> {
+        run_parallel(instances, |instance| self.registry.solve(&self.solver, instance))
+    }
+
+    /// Deadline-solves every instance on all available cores.
+    pub fn solve_all_by_deadline(
+        &self,
+        instances: &[Instance],
+        deadline: Time,
+    ) -> Vec<Result<Solution, SolveError>> {
+        run_parallel(instances, |instance| {
+            self.registry.solve_by_deadline(&self.solver, instance, deadline)
+        })
+    }
+
+    /// Solves and folds the results into a [`BatchSummary`].
+    pub fn run(&self, instances: &[Instance]) -> BatchSummary {
+        BatchSummary::of(&self.solve_all(instances))
+    }
+}
+
+/// Aggregate statistics over one batch run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSummary {
+    /// Instances solved successfully.
+    pub solved: usize,
+    /// Instances that returned an error.
+    pub failed: usize,
+    /// Tasks scheduled across all solved instances, counted from the
+    /// witness schedules — solvers that return unwitnessed solutions
+    /// (relaxations, makespan-only exact results) contribute 0 here
+    /// even though they solved their instances.
+    pub total_tasks: usize,
+    /// Sum of makespans of solved instances.
+    pub total_makespan: Time,
+    /// Largest single-instance makespan.
+    pub max_makespan: Time,
+}
+
+impl BatchSummary {
+    /// Folds solver results into a summary.
+    pub fn of(results: &[Result<Solution, SolveError>]) -> BatchSummary {
+        let mut summary = BatchSummary {
+            solved: 0,
+            failed: 0,
+            total_tasks: 0,
+            total_makespan: 0,
+            max_makespan: 0,
+        };
+        for result in results {
+            match result {
+                Ok(solution) => {
+                    summary.solved += 1;
+                    summary.total_tasks += solution.n();
+                    summary.total_makespan += solution.makespan();
+                    summary.max_makespan = summary.max_makespan.max(solution.makespan());
+                }
+                Err(_) => summary.failed += 1,
+            }
+        }
+        summary
+    }
+
+    /// Mean makespan over solved instances (0.0 when none solved).
+    pub fn mean_makespan(&self) -> f64 {
+        if self.solved == 0 {
+            return 0.0;
+        }
+        self.total_makespan as f64 / self.solved as f64
+    }
+}
+
+impl fmt::Display for BatchSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} solved, {} failed; {} scheduled task(s); mean makespan {:.2}, max {}",
+            self.solved,
+            self.failed,
+            self.total_tasks,
+            self.mean_makespan(),
+            self.max_makespan
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::TopologyKind;
+    use crate::solution::verify;
+    use mst_platform::HeterogeneityProfile;
+
+    fn mixed_instances(count: u64) -> Vec<Instance> {
+        (0..count)
+            .map(|seed| {
+                let kind = TopologyKind::ALL[(seed % 3) as usize]; // chain/fork/spider
+                Instance::generate(
+                    kind,
+                    HeterogeneityProfile::ALL[(seed % 5) as usize],
+                    seed,
+                    1 + (seed % 4) as usize,
+                    1 + (seed % 6) as usize,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_serial_solving() {
+        let instances = mixed_instances(48);
+        let batch = Batch::new(SolverRegistry::with_defaults());
+        let parallel = batch.solve_all(&instances);
+        for (instance, result) in instances.iter().zip(&parallel) {
+            let serial = batch.registry().solve("optimal", instance);
+            assert_eq!(result, &serial, "{instance}");
+            let solution = result.as_ref().unwrap();
+            assert!(verify(instance, solution).unwrap().is_feasible());
+        }
+    }
+
+    #[test]
+    fn summary_counts_failures_separately() {
+        let mut instances = mixed_instances(10);
+        instances.push(Instance::new(mst_platform::Chain::paper_figure2(), 0)); // ZeroTasks
+        let batch = Batch::new(SolverRegistry::with_defaults());
+        let summary = batch.run(&instances);
+        assert_eq!(summary.solved, 10);
+        assert_eq!(summary.failed, 1);
+        assert!(summary.max_makespan >= 1);
+        assert!(summary.mean_makespan() > 0.0);
+        assert!(summary.to_string().contains("10 solved, 1 failed"));
+    }
+
+    #[test]
+    fn deadline_batches_cap_and_respect_the_deadline() {
+        let instances = mixed_instances(24);
+        let batch = Batch::new(SolverRegistry::with_defaults());
+        for result in batch.solve_all_by_deadline(&instances, 12) {
+            let solution = result.unwrap();
+            assert!(solution.makespan() <= 12);
+        }
+    }
+
+    #[test]
+    fn unknown_solver_fails_every_instance() {
+        let batch = Batch::new(SolverRegistry::with_defaults()).with_solver("nope");
+        let results = batch.solve_all(&mixed_instances(3));
+        assert!(results.iter().all(|r| matches!(r, Err(SolveError::UnknownSolver { .. }))));
+    }
+}

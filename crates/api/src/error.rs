@@ -1,0 +1,98 @@
+//! Errors produced by the unified solving surface.
+
+use crate::platform::TopologyKind;
+use mst_platform::PlatformError;
+use std::fmt;
+
+/// Why a [`crate::Solver`] could not produce a [`crate::Solution`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The solver does not handle the instance's topology family.
+    UnsupportedTopology {
+        /// Solver name.
+        solver: String,
+        /// The rejected topology.
+        kind: TopologyKind,
+    },
+    /// The solver has no deadline (`T_lim`) variant but
+    /// [`crate::Solver::solve_by_deadline`] was called.
+    DeadlineUnsupported {
+        /// Solver name.
+        solver: String,
+    },
+    /// No solver with this name is registered.
+    UnknownSolver {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// The instance asks for zero tasks; every algorithm in the
+    /// workspace requires at least one.
+    ZeroTasks,
+    /// The platform failed validation or parsing.
+    Platform(PlatformError),
+    /// The solution cannot be checked against this instance (e.g. a
+    /// chain schedule presented for a spider platform).
+    MalformedSolution {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::UnsupportedTopology { solver, kind } => {
+                write!(f, "solver {solver:?} does not support {kind} platforms")
+            }
+            SolveError::DeadlineUnsupported { solver } => {
+                write!(f, "solver {solver:?} has no deadline (T_lim) variant")
+            }
+            SolveError::UnknownSolver { name } => {
+                write!(f, "no solver named {name:?} is registered")
+            }
+            SolveError::ZeroTasks => write!(f, "instances must carry at least one task"),
+            SolveError::Platform(e) => write!(f, "invalid platform: {e}"),
+            SolveError::MalformedSolution { reason } => {
+                write!(f, "malformed solution: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveError::Platform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlatformError> for SolveError {
+    fn from(e: PlatformError) -> SolveError {
+        SolveError::Platform(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_parties() {
+        let e = SolveError::UnsupportedTopology {
+            solver: "chain-optimal".into(),
+            kind: TopologyKind::Tree,
+        };
+        assert!(e.to_string().contains("chain-optimal"));
+        assert!(e.to_string().contains("tree"));
+        assert!(SolveError::UnknownSolver { name: "nope".into() }.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn platform_errors_convert() {
+        let e: SolveError = PlatformError::EmptyTopology("chain").into();
+        assert!(matches!(e, SolveError::Platform(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,111 @@
+//! The unified problem [`Instance`]: a platform plus a task budget.
+
+use crate::error::SolveError;
+use crate::platform::{Platform, TopologyKind};
+use mst_platform::{GeneratorConfig, HeterogeneityProfile, PlatformError};
+use std::fmt;
+
+/// One scheduling problem: `tasks` identical tasks to place on a
+/// [`Platform`].
+///
+/// For makespan solving (`Solver::solve`) `tasks` is the exact batch
+/// size; for deadline solving (`Solver::solve_by_deadline`) it acts as a
+/// cap on how many tasks may be scheduled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// The platform to schedule on.
+    pub platform: Platform,
+    /// Number of identical tasks held by the master.
+    pub tasks: usize,
+}
+
+impl Instance {
+    /// Builds an instance. `tasks` may not be zero (every algorithm in
+    /// the workspace schedules at least one task); a zero budget is
+    /// reported lazily by the solvers as [`SolveError::ZeroTasks`], so
+    /// construction itself never fails.
+    pub fn new(platform: impl Into<Platform>, tasks: usize) -> Instance {
+        Instance { platform: platform.into(), tasks }
+    }
+
+    /// Parses `platform` from the instance text format.
+    pub fn parse(text: &str, tasks: usize) -> Result<Instance, PlatformError> {
+        Ok(Instance { platform: Platform::parse(text)?, tasks })
+    }
+
+    /// The platform's topology family.
+    pub fn kind(&self) -> TopologyKind {
+        self.platform.kind()
+    }
+
+    /// Checks the instance is solvable at all (non-zero task budget).
+    pub fn validate(&self) -> Result<(), SolveError> {
+        if self.tasks == 0 {
+            return Err(SolveError::ZeroTasks);
+        }
+        Ok(())
+    }
+
+    /// A seeded random instance of the given topology family — the
+    /// building block for batch sweeps and property tests. The CLI's
+    /// `generate` command uses this same mapping, so a batch instance
+    /// can always be reproduced from its `(kind, profile, seed, size)`.
+    ///
+    /// `size` controls the processor count; spiders get
+    /// `size.clamp(1, 8)` legs of length `1..=max(3, size / 2)`.
+    pub fn generate(
+        kind: TopologyKind,
+        profile: HeterogeneityProfile,
+        seed: u64,
+        size: usize,
+        tasks: usize,
+    ) -> Instance {
+        let g = GeneratorConfig::new(profile, seed);
+        let platform = match kind {
+            TopologyKind::Chain => Platform::Chain(g.chain(size)),
+            TopologyKind::Fork => Platform::Fork(g.fork(size)),
+            TopologyKind::Spider => {
+                Platform::Spider(g.spider(size.clamp(1, 8), 1, 3.max(size / 2)))
+            }
+            TopologyKind::Tree => Platform::Tree(g.tree(size)),
+        };
+        Instance { platform, tasks }
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} task(s) on {}", self.tasks, self.platform)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_sized() {
+        for kind in TopologyKind::ALL {
+            let a = Instance::generate(kind, HeterogeneityProfile::ALL[0], 9, 4, 7);
+            let b = Instance::generate(kind, HeterogeneityProfile::ALL[0], 9, 4, 7);
+            assert_eq!(a, b);
+            assert_eq!(a.kind(), kind);
+            assert_eq!(a.tasks, 7);
+            assert!(a.platform.num_processors() >= 1);
+        }
+    }
+
+    #[test]
+    fn zero_tasks_fail_validation() {
+        let inst = Instance::new(mst_platform::Chain::paper_figure2(), 0);
+        assert_eq!(inst.validate(), Err(SolveError::ZeroTasks));
+        assert!(Instance::new(mst_platform::Chain::paper_figure2(), 1).validate().is_ok());
+    }
+
+    #[test]
+    fn parse_builds_platforms() {
+        let inst = Instance::parse("chain\n2 3\n3 5\n", 5).unwrap();
+        assert_eq!(inst.kind(), TopologyKind::Chain);
+        assert_eq!(inst.platform.num_processors(), 2);
+    }
+}

@@ -1,0 +1,54 @@
+//! # mst-api — the unified `Platform`/`Solver` surface
+//!
+//! Every topology and algorithm of the workspace behind **one**
+//! entry point:
+//!
+//! * [`Platform`] — chain, fork, spider or tree, with uniform
+//!   construction, validation, accessors and text-format round-trip;
+//! * [`Instance`] — a platform plus a task budget;
+//! * [`Solver`] — `solve(&Instance) -> Result<Solution, SolveError>`,
+//!   with a [`Solver::by_deadline`] capability flag for the paper's
+//!   `T_lim` variants, implemented by the optimal algorithms, every
+//!   baseline heuristic, the exact branch-and-bound and the
+//!   divisible-load relaxation;
+//! * [`SolverRegistry`] — solvers keyed by name for CLI/bench lookup;
+//! * [`Solution`] — one makespan/feasibility/Gantt/metrics interface
+//!   over the per-topology schedule structs, checked by the single
+//!   [`verify`] oracle;
+//! * [`Batch`] — `Batch::new(registry).solve_all(&instances)` sweeps
+//!   instance sets across all cores.
+//!
+//! ```
+//! use mst_api::{Instance, Platform, SolverRegistry, verify};
+//!
+//! let registry = SolverRegistry::with_defaults();
+//! // The paper's Figure-2 chain, through the text format.
+//! let instance = Instance::new(Platform::parse("chain\n2 3\n3 5\n")?, 5);
+//! let solution = registry.solve("optimal", &instance)?;
+//! assert_eq!(solution.makespan(), 14);
+//! assert!(verify(&instance, &solution)?.is_feasible());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The per-crate entry points (`mst_core::schedule_chain`,
+//! `mst_spider::schedule_spider`, ...) remain public and unchanged —
+//! this crate wraps them, so downstream code migrates at its own pace.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod error;
+pub mod instance;
+pub mod platform;
+pub mod registry;
+pub mod solution;
+pub mod solver;
+pub mod solvers;
+
+pub use batch::{Batch, BatchSummary};
+pub use error::SolveError;
+pub use instance::Instance;
+pub use platform::{Platform, TopologyKind};
+pub use registry::SolverRegistry;
+pub use solution::{verify, ScheduleRepr, Solution};
+pub use solver::Solver;

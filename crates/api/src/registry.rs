@@ -1,0 +1,182 @@
+//! The [`SolverRegistry`]: solvers keyed by name for CLI and bench
+//! lookup.
+
+use crate::error::SolveError;
+use crate::instance::Instance;
+use crate::platform::TopologyKind;
+use crate::solution::Solution;
+use crate::solver::Solver;
+use crate::solvers::{
+    ChainFastSolver, ChainOptimalSolver, DivisibleSolver, ExactSolver, ForkOptimalSolver,
+    HeuristicSolver, OptimalSolver, SpiderOptimalSolver, TreeCoverSolver,
+};
+use mst_platform::Time;
+use std::sync::Arc;
+
+/// A set of named [`Solver`]s.
+///
+/// Registration order is preserved (it drives `mst solvers` and the
+/// README table); names must be unique. The registry is cheap to clone
+/// — solvers are shared behind [`Arc`] — and `Send + Sync`, so one
+/// registry serves all worker threads of a [`crate::Batch`].
+#[derive(Clone, Default)]
+pub struct SolverRegistry {
+    solvers: Vec<Arc<dyn Solver>>,
+}
+
+impl SolverRegistry {
+    /// An empty registry.
+    pub fn new() -> SolverRegistry {
+        SolverRegistry::default()
+    }
+
+    /// Every built-in solver: the dispatching `optimal`, the three
+    /// per-topology optimal algorithms, the tree-cover heuristic, the
+    /// forward heuristics, the exhaustive `exact` search and the
+    /// `divisible` fluid relaxation.
+    pub fn with_defaults() -> SolverRegistry {
+        let mut registry = SolverRegistry::new();
+        registry.register(OptimalSolver);
+        registry.register(ChainOptimalSolver);
+        registry.register(ChainFastSolver);
+        registry.register(ForkOptimalSolver);
+        registry.register(SpiderOptimalSolver);
+        registry.register(TreeCoverSolver);
+        registry.register(HeuristicSolver::eager());
+        registry.register(HeuristicSolver::round_robin());
+        registry.register(HeuristicSolver::bandwidth_centric());
+        registry.register(HeuristicSolver::master_only());
+        registry.register(HeuristicSolver::random(2003));
+        registry.register(ExactSolver);
+        registry.register(DivisibleSolver);
+        registry
+    }
+
+    /// Adds a solver. Panics if the name is already taken — duplicate
+    /// registration is a programming error, not a runtime condition.
+    pub fn register(&mut self, solver: impl Solver + 'static) {
+        self.register_arc(Arc::new(solver));
+    }
+
+    /// [`SolverRegistry::register`] for an already-shared solver.
+    pub fn register_arc(&mut self, solver: Arc<dyn Solver>) {
+        assert!(
+            self.get(solver.name()).is_none(),
+            "a solver named {:?} is already registered",
+            solver.name()
+        );
+        self.solvers.push(solver);
+    }
+
+    /// Looks a solver up by name.
+    pub fn get(&self, name: &str) -> Option<&dyn Solver> {
+        self.solvers.iter().find(|s| s.name() == name).map(|s| s.as_ref())
+    }
+
+    /// Looks a solver up by name, erroring with
+    /// [`SolveError::UnknownSolver`].
+    pub fn resolve(&self, name: &str) -> Result<&dyn Solver, SolveError> {
+        self.get(name).ok_or_else(|| SolveError::UnknownSolver { name: name.to_string() })
+    }
+
+    /// Solves `instance` with the named solver.
+    pub fn solve(&self, name: &str, instance: &Instance) -> Result<Solution, SolveError> {
+        self.resolve(name)?.solve(instance)
+    }
+
+    /// Deadline-solves `instance` with the named solver.
+    pub fn solve_by_deadline(
+        &self,
+        name: &str,
+        instance: &Instance,
+        deadline: Time,
+    ) -> Result<Solution, SolveError> {
+        self.resolve(name)?.solve_by_deadline(instance, deadline)
+    }
+
+    /// All solvers, in registration order.
+    pub fn solvers(&self) -> impl Iterator<Item = &dyn Solver> {
+        self.solvers.iter().map(|s| s.as_ref())
+    }
+
+    /// All solver names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.solvers.iter().map(|s| s.name()).collect()
+    }
+
+    /// Solvers that handle the given topology family.
+    pub fn supporting(&self, kind: TopologyKind) -> Vec<&dyn Solver> {
+        self.solvers().filter(|s| s.supports(kind)).collect()
+    }
+
+    /// Number of registered solvers.
+    pub fn len(&self) -> usize {
+        self.solvers.len()
+    }
+
+    /// `true` iff no solver is registered.
+    pub fn is_empty(&self) -> bool {
+        self.solvers.is_empty()
+    }
+}
+
+impl std::fmt::Debug for SolverRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverRegistry").field("solvers", &self.names()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mst_platform::Chain;
+
+    #[test]
+    fn defaults_cover_every_topology_and_the_required_names() {
+        let registry = SolverRegistry::with_defaults();
+        for required in [
+            "optimal",
+            "chain-optimal",
+            "spider-optimal",
+            "fork-optimal",
+            "eager",
+            "round-robin",
+            "exact",
+        ] {
+            assert!(registry.get(required).is_some(), "missing {required}");
+        }
+        assert!(registry.len() >= 6);
+        for kind in TopologyKind::ALL {
+            assert!(!registry.supporting(kind).is_empty(), "no solver for {kind}");
+        }
+    }
+
+    #[test]
+    fn solve_by_name_and_unknown_names() {
+        let registry = SolverRegistry::with_defaults();
+        let instance = Instance::new(Chain::paper_figure2(), 5);
+        assert_eq!(registry.solve("optimal", &instance).unwrap().makespan(), 14);
+        assert_eq!(registry.solve_by_deadline("chain-optimal", &instance, 14).unwrap().n(), 5);
+        assert!(matches!(registry.solve("nope", &instance), Err(SolveError::UnknownSolver { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_names_panic() {
+        let mut registry = SolverRegistry::with_defaults();
+        registry.register(OptimalSolver);
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let registry = SolverRegistry::with_defaults();
+        let instance = Instance::new(Chain::paper_figure2(), 5);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    assert_eq!(registry.solve("optimal", &instance).unwrap().makespan(), 14);
+                });
+            }
+        });
+    }
+}

@@ -91,12 +91,7 @@ pub fn asap_chain(chain: &Chain, sequence: &[usize]) -> ChainSchedule {
     let mut tasks = Vec::with_capacity(sequence.len());
     for &proc in sequence {
         let (emissions, start, _) = state.place(proc);
-        tasks.push(TaskAssignment::new(
-            proc,
-            start,
-            CommVector::new(emissions),
-            chain.w(proc),
-        ));
+        tasks.push(TaskAssignment::new(proc, start, CommVector::new(emissions), chain.w(proc)));
     }
     ChainSchedule::new(tasks)
 }

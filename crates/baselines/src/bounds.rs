@@ -45,10 +45,7 @@ pub fn spider_lower_bound(spider: &Spider, n: usize) -> Time {
         .legs()
         .iter()
         .map(|l| {
-            (1..=l.len())
-                .map(|k| l.travel_time(k) - l.c(1) + l.w(k))
-                .min()
-                .expect("leg non-empty")
+            (1..=l.len()).map(|k| l.travel_time(k) - l.c(1) + l.w(k)).min().expect("leg non-empty")
         })
         .min()
         .expect("legs");

@@ -174,10 +174,7 @@ mod tests {
         let chain = Chain::paper_figure2();
         let spider = Spider::from_chain(chain.clone());
         for n in 1..=5 {
-            assert_eq!(
-                optimal_spider_makespan(&spider, n),
-                optimal_chain_makespan(&chain, n)
-            );
+            assert_eq!(optimal_spider_makespan(&spider, n), optimal_chain_makespan(&chain, n));
         }
     }
 

@@ -1,0 +1,36 @@
+//! Measures what the unified API costs over calling the algorithms
+//! directly: `SolverRegistry::solve` resolves a name, validates the
+//! instance, dispatches on the topology and wraps the result in a
+//! `Solution` — all of which must be noise next to the `O(n p^2)`
+//! scheduling work itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mst_api::{Instance, SolverRegistry};
+use mst_core::schedule_chain;
+use mst_platform::{GeneratorConfig, HeterogeneityProfile};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let registry = SolverRegistry::with_defaults();
+    let mut group = c.benchmark_group("dispatch_overhead");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    for n in [16usize, 256] {
+        let chain = GeneratorConfig::new(HeterogeneityProfile::ALL[0], 42).chain(8);
+        let instance = Instance::new(chain.clone(), n);
+        group.bench_with_input(BenchmarkId::new("direct_schedule_chain", n), &n, |b, &n| {
+            b.iter(|| schedule_chain(black_box(&chain), black_box(n)));
+        });
+        group.bench_with_input(BenchmarkId::new("registry_chain_optimal", n), &n, |b, _| {
+            b.iter(|| registry.solve(black_box("chain-optimal"), black_box(&instance)));
+        });
+        group.bench_with_input(BenchmarkId::new("registry_optimal_dispatch", n), &n, |b, _| {
+            b.iter(|| registry.solve(black_box("optimal"), black_box(&instance)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(dispatch_overhead, bench_dispatch);
+criterion_main!(dispatch_overhead);

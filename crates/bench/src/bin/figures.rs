@@ -53,12 +53,8 @@ fn figure2() {
 /// Figure 5: a spider and its optimal schedule.
 fn figure5() {
     println!("== Figure 5: a spider graph ==");
-    let spider = Spider::from_legs(&[
-        &[(2, 3), (3, 5)],
-        &[(1, 4)],
-        &[(2, 2), (2, 2)],
-    ])
-    .expect("valid spider");
+    let spider = Spider::from_legs(&[&[(2, 3), (3, 5)], &[(1, 4)], &[(2, 2), (2, 2)]])
+        .expect("valid spider");
     println!("{spider}");
     let (makespan, schedule) = schedule_spider(&spider, 8);
     println!("optimal makespan for 8 tasks = {makespan}");

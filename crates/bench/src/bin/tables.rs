@@ -56,6 +56,10 @@ fn main() {
         println!("== E6b: finite-buffer ablation of the platform model ==");
         println!("{}", experiments::buffer_ablation_table(n_small));
     }
+    if want("--registry") {
+        println!("== E7: unified solver registry across all topologies ==");
+        println!("{}", experiments::registry_table(n_tiny));
+    }
     if want("--tree") {
         println!("== E3: tree covering vs true tree optimum ==");
         println!("{}", experiments::tree_table(n_tiny));

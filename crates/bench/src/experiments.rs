@@ -1,22 +1,44 @@
 //! The experiment implementations behind every table of EXPERIMENTS.md.
+//!
+//! Validation and comparison experiments run through the unified
+//! [`mst_api`] surface: instance sets are built once, then swept through
+//! registry solvers by the [`Batch`] engine (which fans out over all
+//! cores); only the structural analyses (lemma checks, candidate
+//! curves) still reach for the per-crate entry points directly.
 
 use crate::table::Table;
-use mst_baselines::{
-    eager_chain, master_only_chain, max_tasks_by_deadline, optimal_chain_makespan,
-    optimal_tree_makespan, round_robin_chain,
-};
+use mst_api::{Batch, Instance, Solution, SolveError, SolverRegistry, TopologyKind};
 use mst_baselines::bounds::{chain_lower_bound, spider_steady_state_rate};
+use mst_baselines::{max_tasks_by_deadline, optimal_tree_makespan};
 use mst_core::lemmas::{check_lemma1_no_crossing, check_lemma2_subchain, Lemma2Outcome};
-use mst_core::{schedule_chain, schedule_chain_by_deadline};
+use mst_core::schedule_chain_by_deadline;
 use mst_platform::{Chain, GeneratorConfig, HeterogeneityProfile, Spider, Tree};
 use mst_sim::{run_parallel, simulate_online, OnlinePolicy};
-use mst_spider::{schedule_spider, schedule_spider_by_deadline};
+use mst_spider::schedule_spider;
 use mst_tree::{best_cover_schedule, schedule_tree, PathStrategy};
+
+/// Sweeps `instances` through one registry solver and returns the
+/// makespans, panicking loudly on any per-instance failure (experiments
+/// must not silently drop cases).
+fn makespans(registry: &SolverRegistry, solver: &str, instances: &[Instance]) -> Vec<i64> {
+    sweep(registry, solver, instances).into_iter().map(|s| s.makespan()).collect()
+}
+
+/// Sweeps `instances` through one registry solver via [`Batch`].
+fn sweep(registry: &SolverRegistry, solver: &str, instances: &[Instance]) -> Vec<Solution> {
+    Batch::new(registry.clone())
+        .with_solver(solver)
+        .solve_all(instances)
+        .into_iter()
+        .collect::<Result<Vec<_>, SolveError>>()
+        .expect("experiment sweep failed")
+}
 
 /// T1 — Theorem 1 validation: the chain algorithm against the exhaustive
 /// optimum, per heterogeneity profile. The `optimal ratio` column must be
 /// `1.000` everywhere (and `mismatches` zero): the algorithm is exact.
 pub fn optimality_table(instances_per_profile: u64) -> Table {
+    let registry = SolverRegistry::with_defaults();
     let mut table = Table::new(vec![
         "profile",
         "instances",
@@ -26,35 +48,31 @@ pub fn optimality_table(instances_per_profile: u64) -> Table {
         "mean round-robin ratio",
     ]);
     for profile in HeterogeneityProfile::ALL {
-        let cases: Vec<(Chain, usize)> = (0..instances_per_profile)
+        let instances: Vec<Instance> = (0..instances_per_profile)
             .map(|seed| {
                 let g = GeneratorConfig::new(profile, seed);
-                (g.chain(1 + (seed % 4) as usize), 1 + (seed % 6) as usize)
+                Instance::new(g.chain(1 + (seed % 4) as usize), 1 + (seed % 6) as usize)
             })
             .collect();
-        let rows = run_parallel(&cases, |(chain, n)| {
-            let algo = schedule_chain(chain, *n).makespan();
-            let exact = optimal_chain_makespan(chain, *n);
-            let eager = eager_chain(chain, *n).makespan();
-            let rr = round_robin_chain(chain, *n).makespan();
-            (algo, exact, eager, rr)
-        });
-        let mismatches = rows.iter().filter(|(a, e, _, _)| a != e).count();
-        let max_ratio = rows
-            .iter()
-            .map(|(a, e, _, _)| *a as f64 / *e as f64)
-            .fold(0.0f64, f64::max);
-        type Row = (i64, i64, i64, i64);
-        let mean = |f: &dyn Fn(&Row) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
-        let mean_eager = mean(&|r| r.2 as f64 / r.1 as f64);
-        let mean_rr = mean(&|r| r.3 as f64 / r.1 as f64);
+        let algo = makespans(&registry, "chain-optimal", &instances);
+        let exact = makespans(&registry, "exact", &instances);
+        let eager = makespans(&registry, "eager", &instances);
+        let rr = makespans(&registry, "round-robin", &instances);
+
+        let mismatches = algo.iter().zip(&exact).filter(|(a, e)| a != e).count();
+        let max_ratio =
+            algo.iter().zip(&exact).map(|(a, e)| *a as f64 / *e as f64).fold(0.0f64, f64::max);
+        let mean_vs_exact = |xs: &[i64]| {
+            xs.iter().zip(&exact).map(|(x, e)| *x as f64 / *e as f64).sum::<f64>()
+                / exact.len() as f64
+        };
         table.row(vec![
             profile.name().to_string(),
-            rows.len().to_string(),
+            instances.len().to_string(),
             mismatches.to_string(),
             format!("{max_ratio:.3}"),
-            format!("{mean_eager:.3}"),
-            format!("{mean_rr:.3}"),
+            format!("{:.3}", mean_vs_exact(&eager)),
+            format!("{:.3}", mean_vs_exact(&rr)),
         ]);
     }
     table
@@ -63,24 +81,32 @@ pub fn optimality_table(instances_per_profile: u64) -> Table {
 /// T3 — Theorem 3 validation: spider task counts by deadline against the
 /// exhaustive optimum. `mismatches` must be zero.
 pub fn spider_table(instances: u64) -> Table {
+    let registry = SolverRegistry::with_defaults();
     let mut table = Table::new(vec!["deadline", "instances", "mismatches", "mean tasks (algo)"]);
     for deadline in [5i64, 10, 15, 20] {
-        let cases: Vec<Spider> = (0..instances)
+        let cases: Vec<Instance> = (0..instances)
             .map(|seed| {
-                GeneratorConfig::new(HeterogeneityProfile::ALL[(seed % 5) as usize], seed)
-                    .spider(1 + (seed % 3) as usize, 1, 2)
+                let spider =
+                    GeneratorConfig::new(HeterogeneityProfile::ALL[(seed % 5) as usize], seed)
+                        .spider(1 + (seed % 3) as usize, 1, 2);
+                Instance::new(spider, 5)
             })
             .collect();
-        let rows = run_parallel(&cases, |spider| {
-            let algo = schedule_spider_by_deadline(spider, 5, deadline).n();
-            let exact = max_tasks_by_deadline(&Tree::from_spider(spider), deadline, 5);
-            (algo, exact)
+        let algo: Vec<usize> = Batch::new(registry.clone())
+            .with_solver("spider-optimal")
+            .solve_all_by_deadline(&cases, deadline)
+            .into_iter()
+            .map(|r| r.expect("spider deadline sweep").n())
+            .collect();
+        let exact = run_parallel(&cases, |instance| {
+            let spider = instance.platform.as_spider().expect("spider case");
+            max_tasks_by_deadline(&Tree::from_spider(spider), deadline, 5)
         });
-        let mismatches = rows.iter().filter(|(a, e)| a != e).count();
-        let mean = rows.iter().map(|(a, _)| *a as f64).sum::<f64>() / rows.len() as f64;
+        let mismatches = algo.iter().zip(&exact).filter(|(a, e)| a != e).count();
+        let mean = algo.iter().map(|&a| a as f64).sum::<f64>() / algo.len() as f64;
         table.row(vec![
             deadline.to_string(),
-            rows.len().to_string(),
+            algo.len().to_string(),
             mismatches.to_string(),
             format!("{mean:.2}"),
         ]);
@@ -103,42 +129,40 @@ pub fn heuristic_gap_table(instances_per_profile: u64, p: usize, n: usize) -> Ta
         "master-only/opt",
         "lower-bound/opt",
     ]);
+    let registry = SolverRegistry::with_defaults();
     for profile in HeterogeneityProfile::ALL {
-        let cases: Vec<Chain> = (0..instances_per_profile)
-            .map(|seed| GeneratorConfig::new(profile, seed).chain(p))
+        let instances: Vec<Instance> = (0..instances_per_profile)
+            .map(|seed| Instance::new(GeneratorConfig::new(profile, seed).chain(p), n))
             .collect();
-        let rows = run_parallel(&cases, |chain| {
-            let opt = schedule_chain(chain, n).makespan() as f64;
-            (
-                opt,
-                eager_chain(chain, n).makespan() as f64 / opt,
-                round_robin_chain(chain, n).makespan() as f64 / opt,
-                master_only_chain(chain, n).makespan() as f64 / opt,
-                chain_lower_bound(chain, n) as f64 / opt,
-            )
-        });
-        let k = rows.len() as f64;
-        let mean = |idx: usize| -> f64 {
-            rows.iter()
-                .map(|r| match idx {
-                    0 => r.0,
-                    1 => r.1,
-                    2 => r.2,
-                    3 => r.3,
-                    _ => r.4,
-                })
+        let opt = makespans(&registry, "chain-optimal", &instances);
+        let k = opt.len() as f64;
+        let mean_opt = opt.iter().map(|&m| m as f64).sum::<f64>() / k;
+        let mean_ratio = |solver: &str| {
+            makespans(&registry, solver, &instances)
+                .iter()
+                .zip(&opt)
+                .map(|(h, o)| *h as f64 / *o as f64)
                 .sum::<f64>()
                 / k
         };
+        let mean_lb = instances
+            .iter()
+            .zip(&opt)
+            .map(|(instance, o)| {
+                let chain = instance.platform.as_chain().expect("chain case");
+                chain_lower_bound(chain, n) as f64 / *o as f64
+            })
+            .sum::<f64>()
+            / k;
         table.row(vec![
             profile.name().to_string(),
             p.to_string(),
             n.to_string(),
-            format!("{:.1}", mean(0)),
-            format!("{:.3}", mean(1)),
-            format!("{:.3}", mean(2)),
-            format!("{:.3}", mean(3)),
-            format!("{:.3}", mean(4)),
+            format!("{mean_opt:.1}"),
+            format!("{:.3}", mean_ratio("eager")),
+            format!("{:.3}", mean_ratio("round-robin")),
+            format!("{:.3}", mean_ratio("master-only")),
+            format!("{mean_lb:.3}"),
         ]);
     }
     table
@@ -177,12 +201,8 @@ pub fn steady_state_table(seed: u64, legs: usize) -> Table {
 /// F4 — Lemma 1 and Lemma 2 structural checks over random instances:
 /// both `violations` columns must be zero.
 pub fn lemma_table(instances: u64) -> Table {
-    let mut table = Table::new(vec![
-        "profile",
-        "instances",
-        "lemma1 violations",
-        "lemma2 mismatches",
-    ]);
+    let mut table =
+        Table::new(vec!["profile", "instances", "lemma1 violations", "lemma2 mismatches"]);
     for profile in HeterogeneityProfile::ALL {
         let cases: Vec<(Chain, usize)> = (0..instances)
             .map(|seed| {
@@ -212,13 +232,8 @@ pub fn lemma_table(instances: u64) -> Table {
 /// tree optimum on small random trees; ratio 1.0 means the cover was
 /// lossless (always the case for spider-shaped trees).
 pub fn tree_table(instances: u64) -> Table {
-    let mut table = Table::new(vec![
-        "tree size",
-        "instances",
-        "mean cover/opt",
-        "max cover/opt",
-        "lossless %",
-    ]);
+    let mut table =
+        Table::new(vec!["tree size", "instances", "mean cover/opt", "max cover/opt", "lossless %"]);
     for size in [3usize, 5, 7] {
         let cases: Vec<Tree> = (0..instances)
             .map(|seed| {
@@ -335,12 +350,13 @@ pub fn buffer_ablation_table(instances: u64) -> Table {
         OnlinePolicy::BandwidthCentric,
         OnlinePolicy::RoundRobinLegs,
     ] {
-        let cases: Vec<Spider> = (0..instances)
-            .map(|seed| {
-                GeneratorConfig::new(HeterogeneityProfile::ALL[(seed % 5) as usize], seed)
-                    .spider(1 + (seed % 4) as usize, 1, 1)
-            })
-            .collect();
+        let cases: Vec<Spider> =
+            (0..instances)
+                .map(|seed| {
+                    GeneratorConfig::new(HeterogeneityProfile::ALL[(seed % 5) as usize], seed)
+                        .spider(1 + (seed % 4) as usize, 1, 1)
+                })
+                .collect();
         let rows = run_parallel(&cases, |spider| {
             let unbounded =
                 simulate_online_buffered(spider, 16, policy, usize::MAX).makespan() as f64;
@@ -376,10 +392,7 @@ pub fn tree_strategy_table(instances: u64, size: usize, n: usize) -> Table {
         })
         .collect();
     let per_case: Vec<Vec<(PathStrategy, i64)>> = run_parallel(&cases, |tree| {
-        PathStrategy::ALL
-            .iter()
-            .map(|&s| (s, schedule_tree(tree, n, s).makespan))
-            .collect()
+        PathStrategy::ALL.iter().map(|&s| (s, schedule_tree(tree, n, s).makespan)).collect()
     });
     for (idx, strategy) in PathStrategy::ALL.iter().enumerate() {
         let mean = per_case.iter().map(|r| r[idx].1 as f64).sum::<f64>() / per_case.len() as f64;
@@ -390,11 +403,50 @@ pub fn tree_strategy_table(instances: u64, size: usize, n: usize) -> Table {
                 r[idx].1 == best
             })
             .count();
-        table.row(vec![
-            strategy.name().to_string(),
-            format!("{mean:.1}"),
-            wins.to_string(),
-        ]);
+        table.row(vec![strategy.name().to_string(), format!("{mean:.1}"), wins.to_string()]);
+    }
+    table
+}
+
+/// E7 — the unified-registry sweep: every registry solver against every
+/// topology it supports, one shared seeded instance set per topology,
+/// all dispatched through [`Batch`]. The `infeasible` column must stay
+/// zero: every witnessed solution passes the [`mst_api::verify`] oracle.
+pub fn registry_table(instances_per_topology: u64) -> Table {
+    let registry = SolverRegistry::with_defaults();
+    let mut table =
+        Table::new(vec!["solver", "topology", "instances", "mean makespan", "infeasible"]);
+    for kind in TopologyKind::ALL {
+        let instances: Vec<Instance> = (0..instances_per_topology)
+            .map(|seed| {
+                Instance::generate(
+                    kind,
+                    HeterogeneityProfile::ALL[(seed % 5) as usize],
+                    seed,
+                    3,
+                    1 + (seed % 5) as usize, // small enough for `exact`
+                )
+            })
+            .collect();
+        for solver in registry.supporting(kind) {
+            let solutions = sweep(&registry, solver.name(), &instances);
+            let infeasible = instances
+                .iter()
+                .zip(&solutions)
+                .filter(|(instance, solution)| {
+                    !mst_api::verify(instance, solution).map(|r| r.is_feasible()).unwrap_or(false)
+                })
+                .count();
+            let mean =
+                solutions.iter().map(|s| s.makespan() as f64).sum::<f64>() / solutions.len() as f64;
+            table.row(vec![
+                solver.name().to_string(),
+                kind.name().to_string(),
+                solutions.len().to_string(),
+                format!("{mean:.1}"),
+                infeasible.to_string(),
+            ]);
+        }
     }
     table
 }
@@ -422,6 +474,21 @@ mod tests {
             let cells: Vec<&str> = line.split('|').map(str::trim).collect();
             assert_eq!(cells[3], "0", "mismatch in {line}");
         }
+    }
+
+    #[test]
+    fn registry_table_is_fully_feasible() {
+        let t = registry_table(5);
+        let s = t.to_string();
+        let mut rows = 0;
+        for line in s.lines().skip(2) {
+            let last =
+                line.split('|').map(str::trim).rfind(|c| !c.is_empty()).expect("infeasible cell");
+            assert_eq!(last, "0", "infeasible in {line}");
+            rows += 1;
+        }
+        // Every topology must be served by several solvers.
+        assert!(rows >= 4 * 3, "registry sweep covered only {rows} (solver, topology) pairs");
     }
 
     #[test]

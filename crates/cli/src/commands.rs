@@ -2,21 +2,22 @@
 //!
 //! Every command takes parsed [`Args`] and returns the text to print (so
 //! the integration tests exercise commands without spawning processes).
+//!
+//! Scheduling commands route through the unified [`mst_api`] surface:
+//! one [`SolverRegistry`] resolves `--solver` names, one
+//! [`mst_api::verify`] oracle checks results, and `mst batch` sweeps
+//! generated instance sets across cores with [`Batch`].
 
 use crate::args::Args;
-use mst_baselines::{eager_chain, master_only_chain, round_robin_chain};
-use mst_baselines::bounds::chain_lower_bound;
-use mst_core::{schedule_chain, schedule_chain_by_deadline};
-use mst_platform::format::{parse as parse_instance, to_text, Instance};
-use mst_platform::{GeneratorConfig, HeterogeneityProfile};
+use mst_api::{Batch, Instance, Platform, ScheduleRepr, SolverRegistry, TopologyKind};
+use mst_platform::format::to_text;
+use mst_platform::HeterogeneityProfile;
 use mst_schedule::format::{
     chain_schedule_from_text, chain_schedule_to_text, spider_schedule_from_text,
     spider_schedule_to_text,
 };
 use mst_schedule::{check_chain, check_spider, gantt, metrics};
 use mst_sim::{replay_chain, replay_spider};
-use mst_spider::{schedule_spider, schedule_spider_by_deadline};
-use mst_tree::best_cover_schedule;
 use std::fmt::Write as _;
 use std::fs;
 
@@ -31,6 +32,8 @@ pub fn run(args: &Args) -> Result<String, String> {
         "stats" => cmd_stats(args),
         "diff" => cmd_diff(args),
         "curve" => cmd_curve(args),
+        "solvers" => cmd_solvers(),
+        "batch" => cmd_batch(args),
         "" | "help" | "--help" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n\n{}", usage())),
     }
@@ -41,10 +44,16 @@ pub fn usage() -> String {
     "mst — optimal master-slave tasking on heterogeneous processors (Dutot, IPPS 2003)
 
 USAGE:
-    mst schedule <instance> --tasks N [--out FILE] [--gantt]
-        Optimal schedule for N tasks (chain, fork, spider or tree instance).
-    mst plan <instance> --deadline T [--cap N]
+    mst schedule <instance> --tasks N [--solver NAME] [--out FILE] [--gantt]
+        Schedule N tasks (chain, fork, spider or tree instance) with any
+        registered solver (default: optimal).
+    mst plan <instance> --deadline T [--cap N] [--solver NAME]
         Maximum tasks finishing by the deadline (the T_lim variant).
+    mst solvers
+        List the solver registry: names, topologies, deadline support.
+    mst batch <chain|fork|spider|tree> --count K --tasks N [--size P]
+              [--solver NAME] [--profile NAME] [--deadline T]
+        Generate K seeded instances and sweep them across all cores.
     mst validate <instance> <schedule>
         Check a schedule file: Definition-1 oracle + event replay.
     mst gantt <instance> <schedule>
@@ -62,75 +71,70 @@ USAGE:
     .to_string()
 }
 
+/// `--key` parsed as a strictly positive integer (rejects 0 and
+/// negatives before any `as usize`/`as u64` cast can wrap).
+fn positive_opt(args: &Args, key: &str, default: i64) -> Result<i64, String> {
+    let value = args.int_opt(key, default)?;
+    if value <= 0 {
+        return Err(format!("--{key} must be at least 1, got {value}"));
+    }
+    Ok(value)
+}
+
 fn read_file(path: &str) -> Result<String, String> {
     fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
 }
 
-fn load_instance(path: &str) -> Result<Instance, String> {
-    parse_instance(&read_file(path)?).map_err(|e| format!("{path}: {e}"))
+fn load_platform(path: &str) -> Result<Platform, String> {
+    Platform::parse(&read_file(path)?).map_err(|e| format!("{path}: {e}"))
+}
+
+/// The schedule text form of a solution, for `--out` files.
+fn solution_to_text(solution: &mst_api::Solution) -> Option<String> {
+    match solution.schedule()? {
+        ScheduleRepr::Chain(s) => Some(chain_schedule_to_text(s)),
+        ScheduleRepr::Spider(s) => Some(spider_schedule_to_text(s)),
+    }
 }
 
 fn cmd_schedule(args: &Args) -> Result<String, String> {
     let path = args.pos(0, "instance")?;
-    let n = args.int_opt("tasks", 1)? as usize;
-    if n == 0 {
-        return Err("--tasks must be at least 1".into());
-    }
+    let n = positive_opt(args, "tasks", 1)? as usize;
+    let solver_name = args.opt("solver").unwrap_or("optimal");
+    let registry = SolverRegistry::with_defaults();
+    let instance = Instance::new(load_platform(path)?, n);
+    let solution = registry.solve(solver_name, &instance).map_err(|e| e.to_string())?;
+
     let mut out = String::new();
-    #[allow(clippy::needless_late_init)]
-    let schedule_text;
-    match load_instance(path)? {
-        Instance::Chain(chain) => {
-            let s = schedule_chain(&chain, n);
-            writeln!(out, "platform: {chain}").unwrap();
-            writeln!(out, "optimal makespan for {n} tasks: {}", s.makespan()).unwrap();
-            if args.flag("gantt") {
-                out.push_str(&gantt::render_chain(&chain, &s));
-            }
-            out.push_str(&s.to_string());
-            schedule_text = chain_schedule_to_text(&s);
+    writeln!(out, "platform: {}", instance.platform).unwrap();
+    if let Some(cover) = solution.sub_platform() {
+        // Tree solved through a spider cover: say which part of the
+        // platform actually works.
+        writeln!(
+            out,
+            "best spider-cover makespan for {n} tasks: {} (covering {} of {} processors)",
+            solution.makespan(),
+            cover.num_processors(),
+            instance.platform.num_processors()
+        )
+        .unwrap();
+    } else {
+        writeln!(out, "{solver_name} makespan for {n} tasks: {}", solution.makespan()).unwrap();
+    }
+    if args.flag("gantt") {
+        if let Some(chart) = solution.gantt(&instance.platform) {
+            out.push_str(&chart);
         }
-        Instance::Fork(fork) => {
-            let (makespan, outcome) = mst_fork::schedule_fork(&fork, n);
-            writeln!(out, "platform: {fork}").unwrap();
-            writeln!(out, "optimal makespan for {n} tasks: {makespan}").unwrap();
-            if args.flag("gantt") {
-                let spider = mst_platform::Spider::from_fork(&fork);
-                out.push_str(&gantt::render_spider(&spider, &outcome.schedule));
-            }
-            out.push_str(&outcome.schedule.to_string());
-            schedule_text = spider_schedule_to_text(&outcome.schedule);
-        }
-        Instance::Spider(spider) => {
-            let (makespan, s) = schedule_spider(&spider, n);
-            writeln!(out, "platform: {spider}").unwrap();
-            writeln!(out, "optimal makespan for {n} tasks: {makespan}").unwrap();
-            if args.flag("gantt") {
-                out.push_str(&gantt::render_spider(&spider, &s));
-            }
-            out.push_str(&s.to_string());
-            schedule_text = spider_schedule_to_text(&s);
-        }
-        Instance::Tree(tree) => {
-            let outcome = best_cover_schedule(&tree, n);
-            writeln!(out, "platform: {tree}").unwrap();
-            writeln!(
-                out,
-                "best spider-cover makespan for {n} tasks: {} (covering {} of {} processors)",
-                outcome.makespan,
-                outcome.cover.covered_nodes(),
-                tree.len()
-            )
-            .unwrap();
-            if args.flag("gantt") {
-                out.push_str(&gantt::render_spider(&outcome.cover.spider, &outcome.schedule));
-            }
-            out.push_str(&outcome.schedule.to_string());
-            schedule_text = spider_schedule_to_text(&outcome.schedule);
-        }
+    }
+    match solution.schedule() {
+        Some(ScheduleRepr::Chain(s)) => out.push_str(&s.to_string()),
+        Some(ScheduleRepr::Spider(s)) => out.push_str(&s.to_string()),
+        None => writeln!(out, "({solver_name} reports a makespan without a schedule)").unwrap(),
     }
     if let Some(dest) = args.opt("out") {
-        fs::write(dest, schedule_text).map_err(|e| format!("cannot write {dest}: {e}"))?;
+        let text = solution_to_text(&solution)
+            .ok_or_else(|| format!("solver {solver_name} produces no schedule to write"))?;
+        fs::write(dest, text).map_err(|e| format!("cannot write {dest}: {e}"))?;
         writeln!(out, "schedule written to {dest}").unwrap();
     }
     Ok(out)
@@ -142,28 +146,96 @@ fn cmd_plan(args: &Args) -> Result<String, String> {
     if deadline < 0 {
         return Err("--deadline is required and must be non-negative".into());
     }
-    let cap = args.int_opt("cap", 1_000_000)? as usize;
+    let cap = positive_opt(args, "cap", 1_000_000)? as usize;
+    let solver_name = args.opt("solver").unwrap_or("optimal");
+    let registry = SolverRegistry::with_defaults();
+    let instance = Instance::new(load_platform(path)?, cap);
+    let solution =
+        registry.solve_by_deadline(solver_name, &instance, deadline).map_err(|e| e.to_string())?;
     let mut out = String::new();
-    match load_instance(path)? {
-        Instance::Chain(chain) => {
-            let s = schedule_chain_by_deadline(&chain, cap, deadline);
-            writeln!(out, "{} task(s) fit by t = {deadline}", s.n()).unwrap();
-            out.push_str(&s.to_string());
-        }
-        Instance::Fork(fork) => {
-            let outcome = mst_fork::max_tasks_fork_by_deadline(&fork, cap, deadline);
-            writeln!(out, "{} task(s) fit by t = {deadline}", outcome.n()).unwrap();
-            out.push_str(&outcome.schedule.to_string());
-        }
-        Instance::Spider(spider) => {
-            let s = schedule_spider_by_deadline(&spider, cap, deadline);
-            writeln!(out, "{} task(s) fit by t = {deadline}", s.n()).unwrap();
-            out.push_str(&s.to_string());
-        }
-        Instance::Tree(_) => {
-            return Err("plan is not implemented for raw trees; cover them first".into())
-        }
+    writeln!(out, "{} task(s) fit by t = {deadline}", solution.n()).unwrap();
+    match solution.schedule() {
+        Some(ScheduleRepr::Chain(s)) => out.push_str(&s.to_string()),
+        Some(ScheduleRepr::Spider(s)) => out.push_str(&s.to_string()),
+        None => {}
     }
+    Ok(out)
+}
+
+fn cmd_solvers() -> Result<String, String> {
+    let registry = SolverRegistry::with_defaults();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<18} {:<7} {:<6} {:<7} {:<5} {:<9} description",
+        "name", "chain", "fork", "spider", "tree", "deadline"
+    )
+    .unwrap();
+    for solver in registry.solvers() {
+        let tick = |kind| if solver.supports(kind) { "yes" } else { "-" };
+        writeln!(
+            out,
+            "{:<18} {:<7} {:<6} {:<7} {:<5} {:<9} {}",
+            solver.name(),
+            tick(TopologyKind::Chain),
+            tick(TopologyKind::Fork),
+            tick(TopologyKind::Spider),
+            tick(TopologyKind::Tree),
+            if solver.by_deadline() { "yes" } else { "-" },
+            solver.description(),
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+fn topology_by_name(name: &str) -> Result<TopologyKind, String> {
+    TopologyKind::ALL
+        .into_iter()
+        .find(|k| k.name() == name)
+        .ok_or_else(|| format!("unknown topology {name:?}"))
+}
+
+fn cmd_batch(args: &Args) -> Result<String, String> {
+    let kind = topology_by_name(args.pos(0, "topology")?)?;
+    let count = positive_opt(args, "count", 100)? as u64;
+    let tasks = positive_opt(args, "tasks", 8)? as usize;
+    let size = positive_opt(args, "size", 4)? as usize;
+    let solver_name = args.opt("solver").unwrap_or("optimal").to_string();
+    let profile = profile_by_name(args.opt("profile").unwrap_or("uniform"))?;
+
+    let instances: Vec<Instance> =
+        (0..count).map(|seed| Instance::generate(kind, profile, seed, size, tasks)).collect();
+    let batch = Batch::new(SolverRegistry::with_defaults()).with_solver(&solver_name);
+    let started = std::time::Instant::now();
+    let results = if args.opt("deadline").is_some() {
+        let deadline = args.int_opt("deadline", 0)?;
+        if deadline < 0 {
+            return Err("--deadline must be non-negative".into());
+        }
+        batch.solve_all_by_deadline(&instances, deadline)
+    } else {
+        batch.solve_all(&instances)
+    };
+    let elapsed = started.elapsed();
+    let summary = mst_api::BatchSummary::of(&results);
+    if let Some(first_err) = results.iter().find_map(|r| r.as_ref().err()) {
+        return Err(format!("batch failed ({} instance(s)): {first_err}", summary.failed));
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "swept {count} {kind} instance(s) (size {size}, {tasks} task cap) with {solver_name}",
+    )
+    .unwrap();
+    writeln!(out, "{summary}").unwrap();
+    writeln!(
+        out,
+        "wall time {:.3}s ({:.0} instances/s)",
+        elapsed.as_secs_f64(),
+        count as f64 / elapsed.as_secs_f64().max(1e-9)
+    )
+    .unwrap();
     Ok(out)
 }
 
@@ -172,8 +244,8 @@ fn cmd_validate(args: &Args) -> Result<String, String> {
     let sched_path = args.pos(1, "schedule")?;
     let sched_text = read_file(sched_path)?;
     let mut out = String::new();
-    match load_instance(inst_path)? {
-        Instance::Chain(chain) => {
+    match load_platform(inst_path)? {
+        Platform::Chain(chain) => {
             let s = chain_schedule_from_text(&chain, &sched_text)
                 .map_err(|e| format!("{sched_path}: {e}"))?;
             let report = check_chain(&chain, &s);
@@ -194,7 +266,7 @@ fn cmd_validate(args: &Args) -> Result<String, String> {
             )
             .unwrap();
         }
-        Instance::Spider(spider) => {
+        Platform::Spider(spider) => {
             let s = spider_schedule_from_text(&spider, &sched_text)
                 .map_err(|e| format!("{sched_path}: {e}"))?;
             let report = check_spider(&spider, &s);
@@ -215,7 +287,7 @@ fn cmd_validate(args: &Args) -> Result<String, String> {
             )
             .unwrap();
         }
-        Instance::Fork(fork) => {
+        Platform::Fork(fork) => {
             let spider = mst_platform::Spider::from_fork(&fork);
             let s = spider_schedule_from_text(&spider, &sched_text)
                 .map_err(|e| format!("{sched_path}: {e}"))?;
@@ -225,7 +297,7 @@ fn cmd_validate(args: &Args) -> Result<String, String> {
             }
             writeln!(out, "feasible: {} tasks, makespan {}", s.n(), s.makespan()).unwrap();
         }
-        Instance::Tree(_) => return Err("validate expects a chain, fork or spider instance".into()),
+        Platform::Tree(_) => return Err("validate expects a chain, fork or spider instance".into()),
     }
     Ok(out)
 }
@@ -234,24 +306,24 @@ fn cmd_gantt(args: &Args) -> Result<String, String> {
     let inst_path = args.pos(0, "instance")?;
     let sched_path = args.pos(1, "schedule")?;
     let sched_text = read_file(sched_path)?;
-    match load_instance(inst_path)? {
-        Instance::Chain(chain) => {
+    match load_platform(inst_path)? {
+        Platform::Chain(chain) => {
             let s = chain_schedule_from_text(&chain, &sched_text)
                 .map_err(|e| format!("{sched_path}: {e}"))?;
             Ok(gantt::render_chain(&chain, &s))
         }
-        Instance::Spider(spider) => {
+        Platform::Spider(spider) => {
             let s = spider_schedule_from_text(&spider, &sched_text)
                 .map_err(|e| format!("{sched_path}: {e}"))?;
             Ok(gantt::render_spider(&spider, &s))
         }
-        Instance::Fork(fork) => {
+        Platform::Fork(fork) => {
             let spider = mst_platform::Spider::from_fork(&fork);
             let s = spider_schedule_from_text(&spider, &sched_text)
                 .map_err(|e| format!("{sched_path}: {e}"))?;
             Ok(gantt::render_spider(&spider, &s))
         }
-        Instance::Tree(_) => Err("gantt expects a chain, fork or spider instance".into()),
+        Platform::Tree(_) => Err("gantt expects a chain, fork or spider instance".into()),
     }
 }
 
@@ -269,39 +341,39 @@ fn profile_by_name(name: &str) -> Result<HeterogeneityProfile, String> {
 
 fn cmd_generate(args: &Args) -> Result<String, String> {
     let kind = args.pos(0, "topology")?;
-    let size = args.int_opt("size", 4)? as usize;
-    if size == 0 {
-        return Err("--size must be at least 1".into());
-    }
+    let size = positive_opt(args, "size", 4)? as usize;
     let seed = args.int_opt("seed", 0)? as u64;
     let profile = profile_by_name(args.opt("profile").unwrap_or("uniform"))?;
-    let g = GeneratorConfig::new(profile, seed);
-    let instance = match kind {
-        "chain" => Instance::Chain(g.chain(size)),
-        "fork" => Instance::Fork(g.fork(size)),
-        "spider" => Instance::Spider(g.spider(size.clamp(1, 8), 1, 3.max(size / 2))),
-        "tree" => Instance::Tree(g.tree(size)),
-        other => return Err(format!("unknown topology {other:?}")),
-    };
-    Ok(to_text(&instance))
+    // Same mapping as `mst batch`: a batch instance regenerates from its
+    // (topology, profile, seed, size).
+    let kind = topology_by_name(kind)?;
+    let platform = Instance::generate(kind, profile, seed, size, 1).platform;
+    Ok(to_text(&platform.into()))
 }
 
 fn cmd_stats(args: &Args) -> Result<String, String> {
+    use mst_baselines::bounds::chain_lower_bound;
     let path = args.pos(0, "instance")?;
-    let n = args.int_opt("tasks", 10)? as usize;
-    let chain = match load_instance(path)? {
-        Instance::Chain(c) => c,
-        _ => return Err("stats currently expects a chain instance".into()),
+    let n = positive_opt(args, "tasks", 10)? as usize;
+    let platform = load_platform(path)?;
+    let chain = platform
+        .as_chain()
+        .ok_or_else(|| "stats currently expects a chain instance".to_string())?
+        .clone();
+    let registry = SolverRegistry::with_defaults();
+    let instance = Instance::new(platform.clone(), n);
+    let makespan_of = |solver: &str| -> Result<i64, String> {
+        Ok(registry.solve(solver, &instance).map_err(|e| e.to_string())?.makespan())
     };
-    let opt = schedule_chain(&chain, n);
-    let m = metrics::chain_metrics(&chain, &opt);
+    let opt = registry.solve("optimal", &instance).map_err(|e| e.to_string())?;
+    let m = metrics::chain_metrics(&chain, opt.chain_schedule().expect("chain instance"));
     let mut out = String::new();
     writeln!(out, "platform: {chain}").unwrap();
     writeln!(out, "tasks: {n}").unwrap();
     writeln!(out, "optimal makespan:      {:>8}", opt.makespan()).unwrap();
-    writeln!(out, "eager heuristic:       {:>8}", eager_chain(&chain, n).makespan()).unwrap();
-    writeln!(out, "round robin:           {:>8}", round_robin_chain(&chain, n).makespan()).unwrap();
-    writeln!(out, "master only:           {:>8}", master_only_chain(&chain, n).makespan()).unwrap();
+    writeln!(out, "eager heuristic:       {:>8}", makespan_of("eager")?).unwrap();
+    writeln!(out, "round robin:           {:>8}", makespan_of("round-robin")?).unwrap();
+    writeln!(out, "master only:           {:>8}", makespan_of("master-only")?).unwrap();
     writeln!(out, "analytic lower bound:  {:>8}", chain_lower_bound(&chain, n)).unwrap();
     let (rt, rd) = chain.steady_state_rate();
     writeln!(out, "steady-state rate:     {rt}/{rd} task/tick").unwrap();
@@ -314,13 +386,12 @@ fn cmd_diff(args: &Args) -> Result<String, String> {
     let inst_path = args.pos(0, "instance")?;
     let a_path = args.pos(1, "schedule-a")?;
     let b_path = args.pos(2, "schedule-b")?;
-    let chain = match load_instance(inst_path)? {
-        Instance::Chain(c) => c,
-        _ => return Err("diff currently expects a chain instance".into()),
-    };
-    let a = chain_schedule_from_text(&chain, &read_file(a_path)?)
+    let platform = load_platform(inst_path)?;
+    let chain =
+        platform.as_chain().ok_or_else(|| "diff currently expects a chain instance".to_string())?;
+    let a = chain_schedule_from_text(chain, &read_file(a_path)?)
         .map_err(|e| format!("{a_path}: {e}"))?;
-    let b = chain_schedule_from_text(&chain, &read_file(b_path)?)
+    let b = chain_schedule_from_text(chain, &read_file(b_path)?)
         .map_err(|e| format!("{b_path}: {e}"))?;
     Ok(mst_schedule::compare_chain(&a, &b).to_string())
 }
@@ -328,15 +399,12 @@ fn cmd_diff(args: &Args) -> Result<String, String> {
 fn cmd_curve(args: &Args) -> Result<String, String> {
     use mst_core::analysis::{depth_usage, makespan_curve, marginal_costs};
     let path = args.pos(0, "instance")?;
-    let n_max = args.int_opt("max", 16)? as usize;
-    if n_max == 0 {
-        return Err("--max must be at least 1".into());
-    }
-    let chain = match load_instance(path)? {
-        Instance::Chain(c) => c,
-        _ => return Err("curve currently expects a chain instance".into()),
-    };
-    let curve = makespan_curve(&chain, n_max);
+    let n_max = positive_opt(args, "max", 16)? as usize;
+    let platform = load_platform(path)?;
+    let chain = platform
+        .as_chain()
+        .ok_or_else(|| "curve currently expects a chain instance".to_string())?;
+    let curve = makespan_curve(chain, n_max);
     let costs = marginal_costs(&curve);
     let mut out = String::new();
     writeln!(out, "{:>5} | {:>8} | {:>8} | {:>5}", "n", "makespan", "marginal", "depth").unwrap();
@@ -347,7 +415,7 @@ fn cmd_curve(args: &Args) -> Result<String, String> {
             n,
             curve[n - 1],
             costs[n - 1],
-            depth_usage(&chain, n)
+            depth_usage(chain, n)
         )
         .unwrap();
     }
@@ -359,6 +427,8 @@ fn cmd_curve(args: &Args) -> Result<String, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mst_api::verify;
+    use mst_platform::format::parse as parse_instance;
     use std::path::PathBuf;
 
     fn tmp(name: &str, contents: &str) -> PathBuf {
@@ -381,15 +451,25 @@ mod tests {
     }
 
     #[test]
+    fn schedule_accepts_registry_solvers() {
+        let inst = tmp("fig2solver.txt", "chain\n2 3\n3 5\n");
+        let out =
+            run_line(&format!("schedule {} --tasks 5 --solver eager", inst.display())).unwrap();
+        assert!(out.contains("eager makespan for 5 tasks:"), "{out}");
+        let out =
+            run_line(&format!("schedule {} --tasks 5 --solver exact", inst.display())).unwrap();
+        assert!(out.contains("exact makespan for 5 tasks: 14"), "{out}");
+        let err =
+            run_line(&format!("schedule {} --tasks 5 --solver nope", inst.display())).unwrap_err();
+        assert!(err.contains("no solver named"), "{err}");
+    }
+
+    #[test]
     fn schedule_and_validate_round_trip() {
         let inst = tmp("fig2b.txt", "chain\n2 3\n3 5\n");
         let sched = std::env::temp_dir().join(format!("mst-cli-sched-{}", std::process::id()));
-        run_line(&format!(
-            "schedule {} --tasks 5 --out {}",
-            inst.display(),
-            sched.display()
-        ))
-        .unwrap();
+        run_line(&format!("schedule {} --tasks 5 --out {}", inst.display(), sched.display()))
+            .unwrap();
         let out = run_line(&format!("validate {} {}", inst.display(), sched.display())).unwrap();
         assert!(out.contains("feasible: 5 tasks, makespan 14"), "{out}");
         let out = run_line(&format!("gantt {} {}", inst.display(), sched.display())).unwrap();
@@ -401,8 +481,8 @@ mod tests {
         let inst = tmp("fig2c.txt", "chain\n2 3\n3 5\n");
         // Two tasks overlapping on processor 1.
         let sched = tmp("bogus.txt", "chain-schedule\ntask 1 2 0\ntask 1 4 2\n");
-        let err = run_line(&format!("validate {} {}", inst.display(), sched.display()))
-            .unwrap_err();
+        let err =
+            run_line(&format!("validate {} {}", inst.display(), sched.display())).unwrap_err();
         assert!(err.contains("INFEASIBLE"), "{err}");
         assert!(err.contains("overlap"), "{err}");
     }
@@ -438,15 +518,63 @@ mod tests {
     fn spider_instances_schedule_and_validate() {
         let inst = tmp("spider.txt", "spider\nleg 2 3 3 5\nleg 1 4\n");
         let sched = std::env::temp_dir().join(format!("mst-cli-ssched-{}", std::process::id()));
-        let out = run_line(&format!(
-            "schedule {} --tasks 6 --out {}",
-            inst.display(),
-            sched.display()
-        ))
-        .unwrap();
+        let out =
+            run_line(&format!("schedule {} --tasks 6 --out {}", inst.display(), sched.display()))
+                .unwrap();
         assert!(out.contains("optimal makespan for 6 tasks"), "{out}");
         let out = run_line(&format!("validate {} {}", inst.display(), sched.display())).unwrap();
         assert!(out.contains("feasible: 6 tasks"), "{out}");
+    }
+
+    #[test]
+    fn tree_instances_report_their_cover() {
+        let inst = tmp("tree.txt", "tree\nnode 0 1 2\nnode 1 2 3\nnode 1 1 1\n");
+        let out = run_line(&format!("schedule {} --tasks 4", inst.display())).unwrap();
+        assert!(out.contains("best spider-cover makespan for 4 tasks"), "{out}");
+        assert!(out.contains("of 3 processors"), "{out}");
+        // A non-cover solver on a tree must not claim a cover.
+        let out =
+            run_line(&format!("schedule {} --tasks 2 --solver exact", inst.display())).unwrap();
+        assert!(out.contains("exact makespan for 2 tasks"), "{out}");
+        assert!(!out.contains("spider-cover"), "{out}");
+    }
+
+    #[test]
+    fn solvers_command_lists_the_registry() {
+        let out = run_line("solvers").unwrap();
+        for name in [
+            "optimal",
+            "chain-optimal",
+            "fork-optimal",
+            "spider-optimal",
+            "eager",
+            "round-robin",
+            "exact",
+            "divisible",
+        ] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+        assert!(out.contains("deadline"), "{out}");
+    }
+
+    #[test]
+    fn batch_command_sweeps_instances() {
+        let out = run_line("batch chain --count 32 --tasks 6 --size 3").unwrap();
+        assert!(out.contains("swept 32 chain instance(s)"), "{out}");
+        assert!(out.contains("32 solved, 0 failed"), "{out}");
+        let out =
+            run_line("batch spider --count 8 --tasks 5 --size 3 --solver spider-optimal").unwrap();
+        assert!(out.contains("8 solved, 0 failed"), "{out}");
+        let out = run_line("batch chain --count 8 --tasks 9 --deadline 12").unwrap();
+        assert!(out.contains("8 solved"), "{out}");
+        let err = run_line("batch chain --count 8 --deadline -3").unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
+        let err = run_line("batch chain --count -1").unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        assert!(run_line("batch ring --count 2").is_err());
+        // A solver that rejects the topology fails the batch loudly.
+        let err = run_line("batch tree --count 2 --solver chain-optimal").unwrap_err();
+        assert!(err.contains("does not support"), "{err}");
     }
 
     #[test]
@@ -454,8 +582,8 @@ mod tests {
         let inst = tmp("fig2f.txt", "chain\n2 3\n3 5\n");
         let a = tmp("a.sched", "chain-schedule\ntask 1 2 0\ntask 2 9 2 4\n");
         let b = tmp("b.sched", "chain-schedule\ntask 1 2 0\ntask 1 5 2\n");
-        let out = run_line(&format!("diff {} {} {}", inst.display(), a.display(), b.display()))
-            .unwrap();
+        let out =
+            run_line(&format!("diff {} {} {}", inst.display(), a.display(), b.display())).unwrap();
         assert!(out.contains("task 2: runs on processor 2 vs 1"), "{out}");
         let same =
             run_line(&format!("diff {} {} {}", inst.display(), a.display(), a.display())).unwrap();
@@ -476,5 +604,21 @@ mod tests {
         assert!(run_line("help").unwrap().contains("USAGE"));
         assert!(run_line("frobnicate").unwrap_err().contains("unknown command"));
         assert!(run_line("").unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn every_solution_from_the_cli_path_verifies() {
+        // The command layer must never bypass the oracle: re-check the
+        // solutions the schedule command would print.
+        let registry = SolverRegistry::with_defaults();
+        let instance = Instance::new(Platform::parse("spider\nleg 2 3 3 5\nleg 1 4\n").unwrap(), 6);
+        for solver in registry.supporting(TopologyKind::Spider) {
+            let solution = solver.solve(&instance).unwrap();
+            assert!(
+                verify(&instance, &solution).unwrap().is_feasible(),
+                "{} produced an infeasible schedule",
+                solver.name()
+            );
+        }
     }
 }

@@ -155,16 +155,17 @@ pub fn schedule_chain(chain: &Chain, n: usize) -> ChainSchedule {
 /// // ... and nothing fits before one task can complete (c1 + w1 = 5).
 /// assert!(schedule_chain_by_deadline(&chain, 100, 4).is_empty());
 /// ```
-pub fn schedule_chain_by_deadline(chain: &Chain, max_tasks: usize, deadline: Time) -> ChainSchedule {
+pub fn schedule_chain_by_deadline(
+    chain: &Chain,
+    max_tasks: usize,
+    deadline: Time,
+) -> ChainSchedule {
     let mut scheduler = BackwardScheduler::new(chain, deadline);
     let mut rev: Vec<TaskAssignment> = Vec::new();
     while rev.len() < max_tasks {
         // Peek: evaluate the best candidate without committing.
         let p = chain.len();
-        let best = (1..=p)
-            .map(|k| scheduler.candidate(k))
-            .max()
-            .expect("p >= 1");
+        let best = (1..=p).map(|k| scheduler.candidate(k)).max().expect("p >= 1");
         if best.first() < 0 {
             break;
         }

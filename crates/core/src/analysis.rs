@@ -38,12 +38,7 @@ pub fn marginal_costs(curve: &[Time]) -> Vec<Time> {
 
 /// The deepest processor used by the optimal schedule for `n` tasks.
 pub fn depth_usage(chain: &Chain, n: usize) -> usize {
-    schedule_chain(chain, n)
-        .tasks()
-        .iter()
-        .map(|t| t.proc)
-        .max()
-        .expect("n >= 1")
+    schedule_chain(chain, n).tasks().iter().map(|t| t.proc).max().expect("n >= 1")
 }
 
 /// The smallest batch size (up to `n_max`) at which the optimal schedule

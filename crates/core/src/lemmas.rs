@@ -176,9 +176,6 @@ mod tests {
         // A chain whose second processor is useless: everything stays on
         // processor 1.
         let chain = Chain::from_pairs(&[(1, 1), (100, 100)]).unwrap();
-        assert_eq!(
-            check_lemma2_subchain(&chain, 6),
-            Lemma2Outcome::Consistent { forwarded: 0 }
-        );
+        assert_eq!(check_lemma2_subchain(&chain, 6), Lemma2Outcome::Consistent { forwarded: 0 });
     }
 }

@@ -38,7 +38,7 @@ pub mod fast;
 pub mod lemmas;
 pub mod state;
 
-pub use analysis::{depth_usage, distribution_crossover, makespan_curve, marginal_costs};
 pub use algorithm::{schedule_chain, schedule_chain_by_deadline, BackwardScheduler, Step};
+pub use analysis::{depth_usage, distribution_crossover, makespan_curve, marginal_costs};
 pub use fast::schedule_chain_fast;
 pub use state::BackwardState;

@@ -1,7 +1,7 @@
 //! The hull / occupancy state of the backward construction.
 
-use mst_schedule::CommVector;
 use mst_platform::Time;
+use mst_schedule::CommVector;
 
 /// The mutable state of the backward greedy construction (Section 3).
 ///

@@ -45,12 +45,8 @@ pub fn max_tasks_fork_by_deadline(fork: &Fork, max_tasks: usize, deadline: Time)
     }
 
     let emissions = set.emission_times();
-    let selected: Vec<(VirtualSlave, Time)> = set
-        .items()
-        .iter()
-        .zip(&emissions)
-        .map(|(item, &t)| (item.payload, t))
-        .collect();
+    let selected: Vec<(VirtualSlave, Time)> =
+        set.items().iter().zip(&emissions).map(|(item, &t)| (item.payload, t)).collect();
 
     ForkOutcome { schedule: realise(fork, &selected, deadline), selected }
 }
@@ -69,10 +65,7 @@ fn realise(fork: &Fork, selected: &[(VirtualSlave, Time)], deadline: Time) -> Sp
         let start = arrival.max(proc_free[v.source]);
         let end = start + fork.w(v.source);
         proc_free[v.source] = end;
-        debug_assert!(
-            end <= deadline,
-            "realised task ends at {end}, past the deadline {deadline}"
-        );
+        debug_assert!(end <= deadline, "realised task ends at {end}, past the deadline {deadline}");
         tasks.push(SpiderTask::new(
             NodeId { leg: v.source - 1, depth: 1 },
             start,

@@ -168,8 +168,8 @@ mod tests {
         let mut set = EddSet::new(20);
         assert!(set.try_insert(it(5, 10))); // due 10, ends 5
         assert!(set.try_insert(it(5, 15))); // due 5, inserted first, ends 5; pushes (5,10) to end 10
-        // Now inserting (5, 12): would go between; its own end 10 <= 8? due
-        // is 20-12=8 < 10 -> infeasible.
+                                            // Now inserting (5, 12): would go between; its own end 10 <= 8? due
+                                            // is 20-12=8 < 10 -> infeasible.
         assert!(!set.try_insert(it(5, 12)));
         // Inserting (10, 1): due 19; prefix 10+10+10=30 > 19 -> infeasible.
         assert!(!set.try_insert(it(10, 1)));

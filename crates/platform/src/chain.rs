@@ -51,10 +51,18 @@ impl Chain {
         let mut procs = Vec::with_capacity(pairs.len());
         for (idx, &(c, w)) in pairs.iter().enumerate() {
             if c <= 0 {
-                return Err(PlatformError::NonPositiveTime { field: "c", index: idx + 1, value: c });
+                return Err(PlatformError::NonPositiveTime {
+                    field: "c",
+                    index: idx + 1,
+                    value: c,
+                });
             }
             if w <= 0 {
-                return Err(PlatformError::NonPositiveTime { field: "w", index: idx + 1, value: w });
+                return Err(PlatformError::NonPositiveTime {
+                    field: "w",
+                    index: idx + 1,
+                    value: w,
+                });
             }
             procs.push(Processor { comm: c, work: w });
         }
@@ -199,7 +207,11 @@ impl Chain {
 }
 
 fn gcd(a: u64, b: u64) -> u64 {
-    if b == 0 { a.max(1) } else { gcd(b, a % b) }
+    if b == 0 {
+        a.max(1)
+    } else {
+        gcd(b, a % b)
+    }
 }
 
 impl fmt::Display for Chain {

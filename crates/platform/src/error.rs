@@ -36,10 +36,9 @@ pub enum PlatformError {
 impl fmt::Display for PlatformError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PlatformError::NonPositiveTime { field, index, value } => write!(
-                f,
-                "{field}_{index} = {value} must be strictly positive"
-            ),
+            PlatformError::NonPositiveTime { field, index, value } => {
+                write!(f, "{field}_{index} = {value} must be strictly positive")
+            }
             PlatformError::EmptyTopology(what) => {
                 write!(f, "{what} must contain at least one processor")
             }

@@ -34,10 +34,18 @@ impl Fork {
         let mut slaves = Vec::with_capacity(pairs.len());
         for (idx, &(c, w)) in pairs.iter().enumerate() {
             if c <= 0 {
-                return Err(PlatformError::NonPositiveTime { field: "c", index: idx + 1, value: c });
+                return Err(PlatformError::NonPositiveTime {
+                    field: "c",
+                    index: idx + 1,
+                    value: c,
+                });
             }
             if w <= 0 {
-                return Err(PlatformError::NonPositiveTime { field: "w", index: idx + 1, value: w });
+                return Err(PlatformError::NonPositiveTime {
+                    field: "w",
+                    index: idx + 1,
+                    value: w,
+                });
             }
             slaves.push(Processor { comm: c, work: w });
         }

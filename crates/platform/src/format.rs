@@ -123,9 +123,8 @@ pub fn parse(text: &str) -> Result<Instance, PlatformError> {
                 let tokens: Vec<&str> = line.split_whitespace().collect();
                 match tokens.split_first() {
                     Some((&"node", rest)) if rest.len() == 3 => {
-                        let parent: usize = rest[0]
-                            .parse()
-                            .map_err(|_| parse_err(no, "bad parent id"))?;
+                        let parent: usize =
+                            rest[0].parse().map_err(|_| parse_err(no, "bad parent id"))?;
                         let values = parse_times(&rest[1..], no)?;
                         triples.push((parent, values[0], values[1]));
                     }

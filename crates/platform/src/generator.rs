@@ -87,7 +87,7 @@ impl HeterogeneityProfile {
             HeterogeneityProfile::ComputeBound => (rng.gen_range(1..=3), rng.gen_range(4..=9)),
             HeterogeneityProfile::Bimodal { fast_pct } => {
                 let c = rng.gen_range(1..=4);
-                let w = if rng.gen_range(0..100) < fast_pct as u32 {
+                let w = if rng.gen_range(0u32..100) < fast_pct as u32 {
                     rng.gen_range(1..=2)
                 } else {
                     rng.gen_range(6..=10)
@@ -96,7 +96,7 @@ impl HeterogeneityProfile {
             }
             HeterogeneityProfile::Correlated => {
                 let c = rng.gen_range(1..=6);
-                let w = c + rng.gen_range(0..=2);
+                let w = c + rng.gen_range(0i64..=2);
                 (c, w)
             }
         };
@@ -199,7 +199,8 @@ mod tests {
         assert!(comm.processors().iter().all(|p| p.comm >= p.work));
         let compute = GeneratorConfig::new(HeterogeneityProfile::ComputeBound, 7).chain(32);
         assert!(compute.processors().iter().all(|p| p.comm <= p.work));
-        let homo = GeneratorConfig::new(HeterogeneityProfile::Homogeneous { c: 2, w: 3 }, 7).chain(8);
+        let homo =
+            GeneratorConfig::new(HeterogeneityProfile::Homogeneous { c: 2, w: 3 }, 7).chain(8);
         assert!(homo.processors().iter().all(|p| p.comm == 2 && p.work == 3));
         let corr = GeneratorConfig::new(HeterogeneityProfile::Correlated, 7).chain(32);
         assert!(corr.processors().iter().all(|p| p.work >= p.comm));

@@ -25,9 +25,8 @@ pub fn figure2_chain() -> Chain {
 /// "how deep to forward" decision is most visible.
 pub fn layered_network(depth: usize) -> Chain {
     assert!((1..=64).contains(&depth), "depth out of the sensible range");
-    let pairs: Vec<(Time, Time)> = (0..depth)
-        .map(|d| (1 + d as Time, 1 + 2 * (depth - d) as Time))
-        .collect();
+    let pairs: Vec<(Time, Time)> =
+        (0..depth).map(|d| (1 + d as Time, 1 + 2 * (depth - d) as Time)).collect();
     Chain::from_pairs(&pairs).expect("positive by construction")
 }
 
@@ -62,11 +61,7 @@ pub fn lab_federation(labs: usize) -> Spider {
     let mut legs: Vec<Vec<(Time, Time)>> = Vec::with_capacity(labs);
     for l in 0..labs as Time {
         // Gateway: decent link, modest compute; workers behind it.
-        legs.push(vec![
-            (1 + l % 3, 4 + l % 2),
-            (2, 2 + l % 4),
-            (1 + l % 2, 3),
-        ]);
+        legs.push(vec![(1 + l % 3, 4 + l % 2), (2, 2 + l % 4), (1 + l % 2, 3)]);
     }
     let refs: Vec<&[(Time, Time)]> = legs.iter().map(Vec::as_slice).collect();
     Spider::from_legs(&refs).expect("positive parameters")

@@ -102,9 +102,10 @@ impl Spider {
 
     /// Iterator over every node address.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.legs.iter().enumerate().flat_map(|(leg, chain)| {
-            (1..=chain.len()).map(move |depth| NodeId { leg, depth })
-        })
+        self.legs
+            .iter()
+            .enumerate()
+            .flat_map(|(leg, chain)| (1..=chain.len()).map(move |depth| NodeId { leg, depth }))
     }
 
     /// An always-feasible makespan upper bound for `n` tasks: the best

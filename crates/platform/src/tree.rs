@@ -55,10 +55,18 @@ impl Tree {
                 )));
             }
             if node.comm <= 0 {
-                return Err(PlatformError::NonPositiveTime { field: "c", index: id, value: node.comm });
+                return Err(PlatformError::NonPositiveTime {
+                    field: "c",
+                    index: id,
+                    value: node.comm,
+                });
             }
             if node.work <= 0 {
-                return Err(PlatformError::NonPositiveTime { field: "w", index: id, value: node.work });
+                return Err(PlatformError::NonPositiveTime {
+                    field: "w",
+                    index: id,
+                    value: node.work,
+                });
             }
         }
         Ok(Tree { nodes })
@@ -67,10 +75,7 @@ impl Tree {
     /// Builds a tree from `(parent, c, w)` triples (ids assigned 1..).
     pub fn from_triples(triples: &[(usize, Time, Time)]) -> Result<Self, PlatformError> {
         Tree::new(
-            triples
-                .iter()
-                .map(|&(parent, comm, work)| TreeNode { parent, comm, work })
-                .collect(),
+            triples.iter().map(|&(parent, comm, work)| TreeNode { parent, comm, work }).collect(),
         )
     }
 

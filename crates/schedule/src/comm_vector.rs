@@ -185,27 +185,13 @@ mod tests {
 
     #[test]
     fn order_is_total_and_consistent() {
-        let vs = [
-            cv(&[0]),
-            cv(&[0, 5]),
-            cv(&[1]),
-            cv(&[1, 0]),
-            cv(&[1, 2]),
-            cv(&[1, 2, 3]),
-        ];
+        let vs = [cv(&[0]), cv(&[0, 5]), cv(&[1]), cv(&[1, 0]), cv(&[1, 2]), cv(&[1, 2, 3])];
         // antisymmetry + transitivity smoke check via sort stability
         let mut sorted = vs.to_vec();
         sorted.sort();
         // {0,5} ≺ {0} (prefix rule), {1,2,3} ≺ {1,2} ≺ {1,0}? no: {1,0} vs
         // {1,2}: first diff 0 < 2 so {1,0} ≺ {1,2}.
-        let expect = [
-            cv(&[0, 5]),
-            cv(&[0]),
-            cv(&[1, 0]),
-            cv(&[1, 2, 3]),
-            cv(&[1, 2]),
-            cv(&[1]),
-        ];
+        let expect = [cv(&[0, 5]), cv(&[0]), cv(&[1, 0]), cv(&[1, 2, 3]), cv(&[1, 2]), cv(&[1])];
         assert_eq!(sorted, expect);
     }
 

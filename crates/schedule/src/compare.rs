@@ -128,11 +128,7 @@ pub fn compare_chain(left: &ChainSchedule, right: &ChainSchedule) -> ComparisonR
             diffs.push(ScheduleDiff::Emissions { task: i });
         }
     }
-    ComparisonReport {
-        diffs,
-        left_makespan: left.makespan(),
-        right_makespan: right.makespan(),
-    }
+    ComparisonReport { diffs, left_makespan: left.makespan(), right_makespan: right.makespan() }
 }
 
 #[cfg(test)]
@@ -167,10 +163,7 @@ mod tests {
             TaskAssignment::new(1, 5, cv(&[2]), 3),
         ]);
         let r = compare_chain(&base(), &other);
-        assert_eq!(
-            r.diffs,
-            vec![ScheduleDiff::Placement { task: 2, left: 2, right: 1 }]
-        );
+        assert_eq!(r.diffs, vec![ScheduleDiff::Placement { task: 2, left: 2, right: 1 }]);
         assert_eq!(r.left_makespan, 14);
         assert_eq!(r.right_makespan, 8);
         assert_eq!(r.makespan_delta(), -6);

@@ -242,9 +242,8 @@ pub fn check_spider(spider: &Spider, schedule: &SpiderSchedule) -> FeasibilityRe
     // global indices for readability.
     for (l, chain) in spider.legs().iter().enumerate() {
         let leg_schedule = schedule.leg_schedule(l);
-        let global: Vec<usize> = (1..=schedule.n())
-            .filter(|&i| schedule.task(i).node.leg == l)
-            .collect();
+        let global: Vec<usize> =
+            (1..=schedule.n()).filter(|&i| schedule.task(i).node.leg == l).collect();
         let report = check_chain(chain, &leg_schedule);
         for v in report.violations {
             violations.push(remap_violation(v, &global));
@@ -357,9 +356,7 @@ mod tests {
             TaskAssignment::new(1, 4, cv(&[2]), 3),
         ]);
         let r = check_chain(&chain, &s);
-        assert!(r
-            .violations
-            .contains(&Violation::ExecutionOverlap { a: 1, b: 2, proc: 1 }));
+        assert!(r.violations.contains(&Violation::ExecutionOverlap { a: 1, b: 2, proc: 1 }));
     }
 
     #[test]
@@ -371,9 +368,7 @@ mod tests {
             TaskAssignment::new(1, 5, cv(&[1]), 3),
         ]);
         let r = check_chain(&chain, &s);
-        assert!(r
-            .violations
-            .contains(&Violation::CommunicationOverlap { a: 1, b: 2, link: 1 }));
+        assert!(r.violations.contains(&Violation::CommunicationOverlap { a: 1, b: 2, link: 1 }));
     }
 
     #[test]

@@ -13,7 +13,12 @@ use std::fmt::Write as _;
 const MAX_COLUMNS: usize = 120;
 
 /// Renders one resource row: `intervals` holds `(task, start, end)`.
-fn render_row(label: &str, intervals: &[(usize, Time, Time)], horizon: Time, scale: Time) -> String {
+fn render_row(
+    label: &str,
+    intervals: &[(usize, Time, Time)],
+    horizon: Time,
+    scale: Time,
+) -> String {
     let cols = (horizon as usize).div_ceil(scale as usize);
     let mut row = vec!['.'; cols];
     for &(task, start, end) in intervals {

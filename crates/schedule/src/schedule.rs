@@ -122,12 +122,7 @@ impl ChainSchedule {
 
     /// Indices (1-based) of the tasks executing on processor `k`.
     pub fn tasks_on(&self, k: usize) -> Vec<usize> {
-        self.tasks
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| t.proc == k)
-            .map(|(i, _)| i + 1)
-            .collect()
+        self.tasks.iter().enumerate().filter(|(_, t)| t.proc == k).map(|(i, _)| i + 1).collect()
     }
 
     /// Number of tasks whose route crosses link `k` (`P(i) >= k`).
@@ -232,11 +227,7 @@ impl SpiderSchedule {
 
     /// Makespan recomputed against the spider (ignores stored `work`).
     pub fn makespan_on(&self, spider: &Spider) -> Time {
-        self.tasks
-            .iter()
-            .map(|t| t.start + spider.node(t.node).work)
-            .max()
-            .unwrap_or(0)
+        self.tasks.iter().map(|t| t.start + spider.node(t.node).work).max().unwrap_or(0)
     }
 
     /// Shifts every time by `delta`.

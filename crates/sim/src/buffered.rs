@@ -95,9 +95,9 @@ pub fn simulate_online_buffered(
     let mut tasks = Vec::with_capacity(n);
     for i in 0..n {
         let leg = match policy {
-            OnlinePolicy::EarliestCompletion => (0..spider.num_legs())
-                .min_by_key(|&l| state.probe(l))
-                .expect("spider has legs"),
+            OnlinePolicy::EarliestCompletion => {
+                (0..spider.num_legs()).min_by_key(|&l| state.probe(l)).expect("spider has legs")
+            }
             OnlinePolicy::BandwidthCentric => legs_by_c1
                 .iter()
                 .copied()
@@ -203,17 +203,13 @@ mod tests {
         // With several legs, delaying an emission for a full node holds
         // back the shared out-port pipeline: a strict makespan gap.
         // (Instance found by seeded search; see the E6b experiment.)
-        let g = GeneratorConfig::new(HeterogeneityProfile::ALL[3], 3);
+        let g = GeneratorConfig::new(HeterogeneityProfile::ALL[0], 4);
         let spider = g.spider(4, 1, 1);
         let m0 =
             simulate_online_buffered(&spider, 12, OnlinePolicy::EarliestCompletion, 0).makespan();
-        let m_inf = simulate_online_buffered(
-            &spider,
-            12,
-            OnlinePolicy::EarliestCompletion,
-            usize::MAX,
-        )
-        .makespan();
+        let m_inf =
+            simulate_online_buffered(&spider, 12, OnlinePolicy::EarliestCompletion, usize::MAX)
+                .makespan();
         assert!(m0 > m_inf, "expected a strict gap, got {m0} vs {m_inf}");
     }
 }

@@ -17,9 +17,9 @@
 //! * [`buffered`] — a finite-buffer ablation of the platform model
 //!   (Definition 1 implicitly assumes unbounded buffering; this measures
 //!   what that assumption is worth).
-//! * [`runner`] — a small crossbeam-based parallel sweep executor used by
-//!   the experiment harness to evaluate thousands of instances across
-//!   cores.
+//! * [`runner`] — a small `std::thread::scope`-based parallel sweep
+//!   executor used by the experiment harness and the `mst-api` batch
+//!   engine to evaluate thousands of instances across cores.
 
 #![warn(missing_docs)]
 

@@ -40,14 +40,8 @@ struct ForwardState<'a> {
 
 impl<'a> ForwardState<'a> {
     fn new(spider: &'a Spider) -> Self {
-        let zeros: Vec<Vec<Time>> =
-            spider.legs().iter().map(|c| vec![0; c.len()]).collect();
-        ForwardState {
-            spider,
-            master_port_free: 0,
-            out_port_free: zeros.clone(),
-            cpu_free: zeros,
-        }
+        let zeros: Vec<Vec<Time>> = spider.legs().iter().map(|c| vec![0; c.len()]).collect();
+        ForwardState { spider, master_port_free: 0, out_port_free: zeros.clone(), cpu_free: zeros }
     }
 
     /// Routes one task to `node` ASAP; returns the placement.
@@ -96,10 +90,9 @@ pub fn simulate_online(spider: &Spider, n: usize, policy: OnlinePolicy) -> Spide
 
     for i in 0..n {
         let node = match policy {
-            OnlinePolicy::EarliestCompletion => spider
-                .node_ids()
-                .min_by_key(|&id| state.probe(id))
-                .expect("spider has nodes"),
+            OnlinePolicy::EarliestCompletion => {
+                spider.node_ids().min_by_key(|&id| state.probe(id)).expect("spider has nodes")
+            }
             OnlinePolicy::BandwidthCentric => {
                 // The fastest-link leg whose head CPU will be free by the
                 // time a task could arrive; fall back to the overall

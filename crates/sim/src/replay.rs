@@ -112,14 +112,7 @@ pub fn replay_spider(spider: &Spider, schedule: &SpiderSchedule) -> Result<Trace
     let tasks: Vec<(usize, Time, Vec<Time>, Time)> = schedule
         .tasks()
         .iter()
-        .map(|t| {
-            (
-                t.node.leg,
-                t.start,
-                t.comms.times().to_vec(),
-                spider.node(t.node).work,
-            )
-        })
+        .map(|t| (t.node.leg, t.start, t.comms.times().to_vec(), spider.node(t.node).work))
         .collect();
     replay_impl(spider, &tasks)
 }
@@ -149,11 +142,8 @@ fn replay_impl(
     // Resource state: master port, per (leg, link) in-ports (the link
     // *is* the sender's out-port in a chain), per (leg, depth) CPUs.
     let mut master = Port::default();
-    let mut links: Vec<Vec<Port>> = spider
-        .legs()
-        .iter()
-        .map(|c| vec![Port::default(); c.len()])
-        .collect();
+    let mut links: Vec<Vec<Port>> =
+        spider.legs().iter().map(|c| vec![Port::default(); c.len()]).collect();
     let mut cpus: Vec<Vec<Port>> = links.clone();
     // arrival[task] at current frontier node; start with time 0 at master.
     let mut arrived_at: Vec<(usize, Time)> = tasks.iter().map(|_| (0usize, 0)).collect();
@@ -244,8 +234,8 @@ fn replay_impl(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mst_schedule::{CommVector, SpiderTask, TaskAssignment};
     use mst_platform::NodeId;
+    use mst_schedule::{CommVector, SpiderTask, TaskAssignment};
 
     fn cv(times: &[Time]) -> CommVector {
         CommVector::new(times.to_vec())

@@ -1,12 +1,12 @@
 //! A minimal parallel sweep executor for the experiment harness.
 //!
 //! Experiments evaluate thousands of independent (instance, scheduler)
-//! pairs; this helper fans them out over all cores with crossbeam scoped
-//! threads and a shared atomic work index — no dependency on a full
+//! pairs; this helper fans them out over all cores with `std::thread`
+//! scoped threads and a shared atomic work index — no dependency on a
 //! task-parallel runtime, and results come back in input order.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Applies `f` to every item on all available cores; returns results in
 /// input order.
@@ -25,22 +25,22 @@ where
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 if idx >= items.len() {
                     break;
                 }
                 let r = f(&items[idx]);
-                results.lock()[idx] = Some(r);
+                results.lock().expect("no worker poisoned the results")[idx] = Some(r);
             });
         }
-    })
-    .expect("experiment worker panicked");
+    });
 
     results
         .into_inner()
+        .expect("scope joined every worker")
         .into_iter()
         .map(|r| r.expect("every index visited"))
         .collect()
@@ -68,7 +68,9 @@ mod tests {
     fn parallel_matches_serial_for_real_workload() {
         use mst_platform::{Chain, GeneratorConfig, HeterogeneityProfile};
         let chains: Vec<Chain> = (0..64)
-            .map(|seed| GeneratorConfig::new(HeterogeneityProfile::ALL[seed as usize % 5], seed).chain(4))
+            .map(|seed| {
+                GeneratorConfig::new(HeterogeneityProfile::ALL[seed as usize % 5], seed).chain(4)
+            })
             .collect();
         // A toy metric (t_infinity) computed both ways.
         let par = run_parallel(&chains, |c| c.t_infinity(10));

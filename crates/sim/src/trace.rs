@@ -88,10 +88,7 @@ impl Trace {
 
     /// Number of `ExecEnd` events — completed tasks.
     pub fn completed_tasks(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e.kind, EventKind::ExecEnd { .. }))
-            .count()
+        self.events.iter().filter(|e| matches!(e.kind, EventKind::ExecEnd { .. })).count()
     }
 
     /// Events concerning one task, in time order.
@@ -106,7 +103,9 @@ impl fmt::Display for Trace {
             let what = match e.kind {
                 EventKind::CommStart { leg, link } => format!("comm-start  leg {leg} link {link}"),
                 EventKind::CommEnd { leg, link } => format!("comm-end    leg {leg} link {link}"),
-                EventKind::ExecStart { leg, depth } => format!("exec-start  leg {leg} node {depth}"),
+                EventKind::ExecStart { leg, depth } => {
+                    format!("exec-start  leg {leg} node {depth}")
+                }
                 EventKind::ExecEnd { leg, depth } => format!("exec-end    leg {leg} node {depth}"),
             };
             writeln!(f, "[t={:>6}] task {:>3}: {what}", e.time, e.task)?;

@@ -193,8 +193,7 @@ mod tests {
 
     #[test]
     fn task_count_monotone_in_deadline() {
-        let spider =
-            Spider::from_legs(&[&[(2, 3), (3, 5)], &[(1, 4)], &[(2, 2)]]).unwrap();
+        let spider = Spider::from_legs(&[&[(2, 3), (3, 5)], &[(1, 4)], &[(2, 2)]]).unwrap();
         let mut prev = 0;
         for deadline in 0..40 {
             let k = schedule_spider_by_deadline(&spider, 50, deadline).n();

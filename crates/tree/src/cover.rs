@@ -126,10 +126,7 @@ pub fn cover_tree(tree: &Tree, strategy: PathStrategy) -> SpiderCover {
         legs.push(chain_of(tree, &best));
         node_map.push(best);
     }
-    SpiderCover {
-        spider: Spider::new(legs).expect("master has at least one child"),
-        node_map,
-    }
+    SpiderCover { spider: Spider::new(legs).expect("master has at least one child"), node_map }
 }
 
 /// Enumerates **every** spider cover of the tree (the Cartesian product
@@ -137,8 +134,7 @@ pub fn cover_tree(tree: &Tree, strategy: PathStrategy) -> SpiderCover {
 /// covering experiments only.
 pub fn all_covers(tree: &Tree) -> Vec<SpiderCover> {
     let children = tree.children();
-    let per_head: Vec<Vec<Vec<usize>>> =
-        children[0].iter().map(|&h| paths_from(tree, h)).collect();
+    let per_head: Vec<Vec<Vec<usize>>> = children[0].iter().map(|&h| paths_from(tree, h)).collect();
     let mut covers = vec![Vec::new()];
     for head_paths in &per_head {
         let mut next = Vec::with_capacity(covers.len() * head_paths.len());

@@ -2,30 +2,31 @@
 //!
 //! Section 7 rewrites the chain algorithm to take a deadline and
 //! maximise the number of scheduled tasks. This example sweeps deadlines
-//! over a heterogeneous chain and prints the resulting staircase — the
-//! curve a capacity planner reads to answer "how much work fits before
-//! the maintenance window?".
+//! over a heterogeneous chain through the unified
+//! [`SolverRegistry::solve_by_deadline`] entry point and prints the
+//! resulting staircase — the curve a capacity planner reads to answer
+//! "how much work fits before the maintenance window?".
 //!
 //! ```text
 //! cargo run --example deadline_planner
 //! ```
 
 use master_slave_tasking::prelude::*;
-use mst_schedule::check_chain;
 
 fn main() {
-    let chain = GeneratorConfig::new(
-        HeterogeneityProfile::Uniform { c: (1, 4), w: (2, 6) },
-        7,
-    )
-    .chain(5);
-    println!("platform: {chain}\n");
+    let registry = SolverRegistry::with_defaults();
+    let chain =
+        GeneratorConfig::new(HeterogeneityProfile::Uniform { c: (1, 4), w: (2, 6) }, 7).chain(5);
+    let instance = Instance::new(chain, 1_000);
+    println!("platform: {}\n", instance.platform);
     println!("{:>8} | {:>5} | {:>14} | bar", "deadline", "tasks", "first emission");
 
     let mut prev = usize::MAX;
     for deadline in (0..=60).step_by(3) {
-        let s = schedule_chain_by_deadline(&chain, 1_000, deadline);
-        check_chain(&chain, &s).assert_feasible();
+        let solution =
+            registry.solve_by_deadline("optimal", &instance, deadline).expect("deadline solves");
+        assert!(verify(&instance, &solution).expect("checkable").is_feasible());
+        let s = solution.chain_schedule().expect("chain schedule");
         for t in s.tasks() {
             assert!(t.end() <= deadline);
         }

@@ -1,10 +1,11 @@
 //! A federation of laboratories scheduled as a spider, using the named
-//! platform presets.
+//! platform presets and the unified solver API.
 //!
 //! Each lab is a short chain (gateway, then workers) hanging off the
 //! master — the spider topology of the paper's Section 7 in its most
 //! natural clothing. The example contrasts three management policies a
-//! federation operator could adopt:
+//! federation operator could adopt, each expressed as one
+//! [`SolverRegistry::solve`] call on a different [`Platform`] view:
 //!
 //! 1. optimal offline scheduling over the whole spider (the paper);
 //! 2. treating each lab as a black box and using only its gateway
@@ -16,27 +17,24 @@
 //! ```
 
 use master_slave_tasking::prelude::*;
-use mst_core::schedule_chain;
-use mst_fork::schedule_fork;
 use mst_platform::presets;
-use mst_schedule::check_spider;
 
 fn main() {
+    let registry = SolverRegistry::with_defaults();
     let federation = presets::lab_federation(5);
     println!("{federation}");
 
     let batch = 30;
 
     // 1. The full spider, scheduled optimally.
-    let (spider_makespan, schedule) = schedule_spider(&federation, batch);
-    check_spider(&federation, &schedule).assert_feasible();
+    let instance = Instance::new(federation.clone(), batch);
+    let solution = registry.solve("optimal", &instance).expect("spider solves");
+    assert!(verify(&instance, &solution).expect("checkable").is_feasible());
+    let spider_makespan = solution.makespan();
     println!("full spider, optimal: makespan {spider_makespan}");
+    let schedule = solution.spider_schedule().expect("spider schedule");
     for l in 0..federation.num_legs() {
-        let deep = schedule
-            .tasks()
-            .iter()
-            .filter(|t| t.node.leg == l && t.node.depth > 1)
-            .count();
+        let deep = schedule.tasks().iter().filter(|t| t.node.leg == l && t.node.depth > 1).count();
         println!(
             "  lab {l}: {} work units ({} forwarded past the gateway)",
             schedule.tasks_on_leg(l),
@@ -44,16 +42,22 @@ fn main() {
         );
     }
 
-    // 2. Gateways only: the fork over each lab's first processor.
-    let gateways = federation.head_fork();
-    let (fork_makespan, _) = schedule_fork(&gateways, batch);
+    // 2. Gateways only: the fork over each lab's first processor —
+    // the same solve() call on a different platform view.
+    let gateways = Instance::new(federation.head_fork(), batch);
+    let fork_makespan = registry.solve("fork-optimal", &gateways).expect("fork solves").makespan();
     println!("gateways only (fork): makespan {fork_makespan}");
 
     // 3. Best single lab, used as a chain.
     let best_chain = federation
         .legs()
         .iter()
-        .map(|leg| schedule_chain(leg, batch).makespan())
+        .map(|leg| {
+            registry
+                .solve("chain-optimal", &Instance::new(leg.clone(), batch))
+                .expect("chain solves")
+                .makespan()
+        })
         .min()
         .expect("legs");
     println!("best single lab (chain): makespan {best_chain}");

@@ -4,18 +4,18 @@
 //! linear array*: each layer of the grid aggregates into one stage of a
 //! chain whose effective link and compute speeds differ per depth. This
 //! example builds such a depth-decaying chain, schedules growing batches
-//! and shows where the optimal schedule places the crossover from
-//! "keep everything close to the master" to "pipeline deep".
+//! through the unified registry and shows where the optimal schedule
+//! places the crossover from "keep everything close to the master" to
+//! "pipeline deep".
 //!
 //! ```text
 //! cargo run --release --example layered_network
 //! ```
 
 use master_slave_tasking::prelude::*;
-use mst_baselines::{eager_chain, master_only_chain};
-use mst_schedule::{check_chain, metrics};
 
 fn main() {
+    let registry = SolverRegistry::with_defaults();
     // A 6-layer network: links get slower with depth (aggregation cost),
     // compute gets faster (more nodes per layer folded into one stage).
     let layers: Vec<(Time, Time)> = (0..6).map(|d| (1 + d as Time, 7 - d as Time)).collect();
@@ -27,16 +27,18 @@ fn main() {
         "n", "optimal", "master-only", "eager"
     );
     for n in [1usize, 2, 4, 8, 16, 32, 64] {
-        let s = schedule_chain(&chain, n);
-        check_chain(&chain, &s).assert_feasible();
-        let m = metrics::chain_metrics(&chain, &s);
+        let instance = Instance::new(chain.clone(), n);
+        let optimal = registry.solve("optimal", &instance).expect("chain solves");
+        assert!(verify(&instance, &optimal).expect("checkable").is_feasible());
+        let makespan_of =
+            |solver: &str| registry.solve(solver, &instance).expect("chain solvers").makespan();
         println!(
             "{:>5} | {:>8} | {:>12} | {:>10} | {:?}",
             n,
-            s.makespan(),
-            master_only_chain(&chain, n).makespan(),
-            eager_chain(&chain, n).makespan(),
-            m.tasks_per_proc
+            optimal.makespan(),
+            makespan_of("master-only"),
+            makespan_of("eager"),
+            optimal.tasks_per_processor(&instance.platform).expect("witnessed")
         );
     }
 

@@ -1,49 +1,54 @@
-//! Quickstart: schedule the paper's worked example and inspect it.
+//! Quickstart: schedule the paper's worked example through the unified
+//! API and inspect it.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
 use master_slave_tasking::prelude::*;
-use mst_schedule::{check_chain, gantt, metrics};
 use mst_sim::replay_chain;
 
 fn main() {
     // The chain of the paper's Figure 2: the master feeds processor 1
     // (c_1 = 2, w_1 = 3) which feeds processor 2 (c_2 = 3, w_2 = 5).
-    let chain = Chain::paper_figure2();
-    println!("platform: {chain}");
+    // One registry serves every topology and algorithm in the workspace.
+    let registry = SolverRegistry::with_defaults();
+    let instance = Instance::new(Chain::paper_figure2(), 5);
+    println!("instance: {instance}");
 
-    // Optimal schedule for five tasks (Theorem 1).
-    let schedule = schedule_chain(&chain, 5);
-    println!("\noptimal schedule for 5 tasks:\n{schedule}");
-    println!("{}", gantt::render_chain(&chain, &schedule));
-    println!("makespan: {} ticks (the paper's Figure 2 shows 14)", schedule.makespan());
+    // Optimal schedule for five tasks (Theorem 1), one solve() call.
+    let solution = registry.solve("optimal", &instance).expect("figure-2 solves");
+    println!("\n{solution}");
+    println!("{}", solution.gantt(&instance.platform).expect("witnessed"));
+    println!("makespan: {} ticks (the paper's Figure 2 shows 14)", solution.makespan());
 
     // Independently verify the four feasibility properties of
-    // Definition 1 ...
-    check_chain(&chain, &schedule).assert_feasible();
+    // Definition 1 through the unified oracle ...
+    assert!(verify(&instance, &solution).expect("checkable").is_feasible());
     println!("feasibility oracle: all four Definition-1 properties hold");
 
     // ... and actually execute it in the discrete-event simulator.
-    let trace = replay_chain(&chain, &schedule).expect("schedule must replay");
-    println!(
-        "simulator replay: {} events, finished at t = {}",
-        trace.len(),
-        trace.end_time()
-    );
+    let chain = instance.platform.as_chain().expect("chain instance");
+    let schedule = solution.chain_schedule().expect("chain schedule");
+    let trace = replay_chain(chain, schedule).expect("schedule must replay");
+    println!("simulator replay: {} events, finished at t = {}", trace.len(), trace.end_time());
 
-    // Utilization summary.
-    let m = metrics::chain_metrics(&chain, &schedule);
-    for k in 1..=chain.len() {
-        println!(
-            "processor {k}: {} task(s), busy {:.0}% of the makespan",
-            m.tasks_per_proc[k - 1],
-            100.0 * m.proc_utilization(k)
-        );
+    // Utilization summary through the unified solution type.
+    let per_proc = solution.tasks_per_processor(&instance.platform).expect("witnessed");
+    for (k, count) in per_proc.iter().enumerate() {
+        println!("processor {}: {count} task(s)", k + 1);
+    }
+    println!("throughput: {:.3} task/tick", solution.throughput());
+
+    // The same instance through other registered solvers.
+    for name in ["eager", "round-robin", "exact"] {
+        let s = registry.solve(name, &instance).expect("chain solvers");
+        println!("{name:>12}: makespan {}", s.makespan());
     }
 
     // The deadline variant (Section 7): how many tasks fit in 10 ticks?
-    let by_10 = schedule_chain_by_deadline(&chain, 100, 10);
+    let by_10 = registry
+        .solve_by_deadline("optimal", &Instance::new(chain.clone(), 100), 10)
+        .expect("deadline solve");
     println!("\nwithin a 10-tick deadline, {} tasks fit", by_10.n());
 }

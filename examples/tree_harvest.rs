@@ -5,14 +5,14 @@
 //! ```
 
 use master_slave_tasking::prelude::*;
-use mst_baselines::optimal_tree_makespan;
 use mst_schedule::check_spider;
-use mst_tree::{best_cover_schedule, schedule_tree, PathStrategy};
+use mst_tree::{schedule_tree, PathStrategy};
 
 fn main() {
+    let registry = SolverRegistry::with_defaults();
     // A small random tree of 7 processors.
-    let tree = GeneratorConfig::new(HeterogeneityProfile::Uniform { c: (1, 4), w: (1, 6) }, 17)
-        .tree(7);
+    let tree =
+        GeneratorConfig::new(HeterogeneityProfile::Uniform { c: (1, 4), w: (1, 6) }, 17).tree(7);
     println!("tree platform:\n{tree}");
 
     let n = 6;
@@ -30,12 +30,21 @@ fn main() {
         );
     }
 
-    let best = best_cover_schedule(&tree, n);
-    let opt = optimal_tree_makespan(&tree, n);
-    println!("\nbest cover makespan: {}", best.makespan);
+    // The unified surface: `optimal` picks the best cover, `exact` is
+    // the exhaustive ground truth (makespan-only on general trees).
+    let instance = Instance::new(tree, n);
+    let best = registry.solve("optimal", &instance).expect("tree solves");
+    assert!(verify(&instance, &best).expect("checkable").is_feasible());
+    let opt = registry.solve("exact", &instance).expect("exhaustive solves").makespan();
+    println!("\nbest cover makespan: {}", best.makespan());
+    println!(
+        "  (covering {} of {} processors)",
+        best.sub_platform().expect("tree cover").num_processors(),
+        instance.platform.num_processors()
+    );
     println!("true tree optimum (exhaustive): {opt}");
     println!(
         "covering gap: {:+.1}% — the price of idling off-path processors",
-        100.0 * (best.makespan - opt) as f64 / opt as f64
+        100.0 * (best.makespan() - opt) as f64 / opt as f64
     );
 }

@@ -5,28 +5,31 @@
 //! batch of identical work units and volunteers sit behind links of very
 //! different speeds. This example builds a bimodal volunteer pool,
 //! schedules a batch optimally, and compares against the demand-driven
-//! dispatchers a deployed master would otherwise use.
+//! dispatchers a deployed master would otherwise use — optimal and
+//! dispatchers alike resolved from the one solver registry.
 //!
 //! ```text
 //! cargo run --release --example volunteer_campaign
 //! ```
 
 use master_slave_tasking::prelude::*;
-use mst_schedule::{check_spider, metrics};
-use mst_sim::{simulate_online, OnlinePolicy};
+use mst_schedule::metrics;
 
 fn main() {
+    let registry = SolverRegistry::with_defaults();
     // 6 volunteer sites; a quarter have fast dedicated machines.
-    let pool = GeneratorConfig::new(HeterogeneityProfile::Bimodal { fast_pct: 25 }, 2003)
-        .spider(6, 1, 3);
+    let pool =
+        GeneratorConfig::new(HeterogeneityProfile::Bimodal { fast_pct: 25 }, 2003).spider(6, 1, 3);
     println!("volunteer pool:\n{pool}");
 
     let batch = 40;
-    let (makespan, schedule) = schedule_spider(&pool, batch);
-    check_spider(&pool, &schedule).assert_feasible();
+    let instance = Instance::new(pool.clone(), batch);
+    let optimal = registry.solve("optimal", &instance).expect("spider solves");
+    assert!(verify(&instance, &optimal).expect("checkable").is_feasible());
+    let makespan = optimal.makespan();
     println!("optimal (clairvoyant) makespan for {batch} work units: {makespan} ticks");
 
-    let m = metrics::spider_metrics(&pool, &schedule);
+    let m = metrics::spider_metrics(&pool, optimal.spider_schedule().expect("spider schedule"));
     println!(
         "master out-port busy {:.0}% of the time; work units per site: {:?}",
         100.0 * m.master_port_utilization(),
@@ -34,15 +37,11 @@ fn main() {
     );
 
     println!("\ndemand-driven dispatchers on the same pool:");
-    for policy in [
-        OnlinePolicy::EarliestCompletion,
-        OnlinePolicy::BandwidthCentric,
-        OnlinePolicy::RoundRobinLegs,
-    ] {
-        let s = simulate_online(&pool, batch, policy);
-        check_spider(&pool, &s).assert_feasible();
+    for dispatcher in ["eager", "bandwidth-centric", "round-robin"] {
+        let s = registry.solve(dispatcher, &instance).expect("dispatcher solves");
+        assert!(verify(&instance, &s).expect("checkable").is_feasible());
         println!(
-            "  {policy:?}: makespan {} ticks ({:+.1}% vs optimal)",
+            "  {dispatcher}: makespan {} ticks ({:+.1}% vs optimal)",
             s.makespan(),
             100.0 * (s.makespan() - makespan) as f64 / makespan as f64
         );
@@ -50,7 +49,8 @@ fn main() {
 
     // How big a batch fits before the nightly deadline?
     let deadline = makespan + 20;
-    let s = mst_spider::schedule_spider_by_deadline(&pool, 10_000, deadline);
+    let open_ended = Instance::new(pool, 10_000);
+    let s = registry.solve_by_deadline("optimal", &open_ended, deadline).expect("deadline solves");
     println!(
         "\nif the campaign must end by t = {deadline}, at most {} work units can be finished",
         s.n()

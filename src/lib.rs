@@ -13,18 +13,33 @@
 //! * exhaustive and heuristic **baselines**, a discrete-event **simulator**
 //!   and a **tree-covering** extension.
 //!
-//! This crate re-exports the public APIs of every member crate so that a
-//! downstream user can depend on a single package:
+//! Since the unified-API redesign, the primary public surface is
+//! [`mst_api`] (re-exported as [`api`]): any topology, any algorithm,
+//! one `solve()` call, one feasibility oracle, and a parallel [`Batch`]
+//! engine for instance sweeps:
 //!
 //! ```
 //! use master_slave_tasking::prelude::*;
 //!
-//! // The worked example of the paper's Figure 2.
+//! // The worked example of the paper's Figure 2, via the unified API.
+//! let registry = SolverRegistry::with_defaults();
+//! let instance = Instance::new(Chain::paper_figure2(), 5);
+//! let solution = registry.solve("optimal", &instance).unwrap();
+//! assert_eq!(solution.makespan(), 14);
+//! assert!(verify(&instance, &solution).unwrap().is_feasible());
+//! ```
+//!
+//! The per-topology entry points remain available and unchanged:
+//!
+//! ```
+//! use master_slave_tasking::prelude::*;
+//!
 //! let chain = Chain::paper_figure2();
 //! let schedule = schedule_chain(&chain, 5);
 //! assert_eq!(schedule.makespan(), 14);
 //! ```
 
+pub use mst_api as api;
 pub use mst_baselines as baselines;
 pub use mst_core as core_algorithm;
 pub use mst_fork as fork;
@@ -35,7 +50,15 @@ pub use mst_spider as spider;
 pub use mst_tree as tree;
 
 /// Convenient glob import bringing the most common items into scope.
+///
+/// The unified API (`Platform`, `Instance`, `SolverRegistry`, `Solution`,
+/// `Batch`, `verify`) comes first; the historical per-topology entry
+/// points stay exported so existing code keeps compiling.
 pub mod prelude {
+    pub use mst_api::{
+        verify, Batch, BatchSummary, Instance, Platform, ScheduleRepr, Solution, SolveError,
+        Solver, SolverRegistry, TopologyKind,
+    };
     pub use mst_core::{schedule_chain, schedule_chain_by_deadline};
     pub use mst_platform::{
         Chain, Fork, GeneratorConfig, HeterogeneityProfile, NodeId, Processor, Spider, Time, Tree,

@@ -102,3 +102,80 @@ fn gantt_glyphs_wrap_after_35_tasks() {
     assert!(!chart.contains('#'));
     assert!(chart.contains('z'), "late tasks use letter glyphs");
 }
+
+// ---------------------------------------------------------------------------
+// Unified-API edge cases (mst-api surface).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unified_single_processor_platforms_across_all_solvers() {
+    // The smallest possible platform must work through every applicable
+    // registry solver — and they must all agree on a one-task makespan.
+    let registry = SolverRegistry::with_defaults();
+    let platforms = [
+        Platform::chain(&[(3, 4)]).unwrap(),
+        Platform::fork(&[(3, 4)]).unwrap(),
+        Platform::spider(&[&[(3, 4)]]).unwrap(),
+        Platform::tree(&[(0, 3, 4)]).unwrap(),
+    ];
+    for platform in platforms {
+        let instance = Instance::new(platform, 1);
+        for solver in registry.supporting(instance.kind()) {
+            let solution = solver.solve(&instance).unwrap();
+            if solution.is_witnessed() {
+                assert_eq!(solution.makespan(), 7, "{} on {}", solver.name(), instance.kind());
+            }
+            assert!(verify(&instance, &solution).unwrap().is_feasible());
+        }
+    }
+}
+
+#[test]
+fn unified_errors_are_precise() {
+    let registry = SolverRegistry::with_defaults();
+    let chain = Instance::new(Chain::paper_figure2(), 5);
+    let tree = Instance::new(Tree::from_triples(&[(0, 1, 1)]).unwrap(), 1);
+
+    assert!(matches!(
+        registry.solve("does-not-exist", &chain),
+        Err(SolveError::UnknownSolver { .. })
+    ));
+    assert!(matches!(
+        registry.solve("divisible", &chain),
+        Err(SolveError::UnsupportedTopology { .. })
+    ));
+    assert!(matches!(
+        registry.solve("optimal", &Instance::new(Chain::paper_figure2(), 0)),
+        Err(SolveError::ZeroTasks)
+    ));
+    assert!(matches!(
+        registry.solve_by_deadline("eager", &chain, 10),
+        Err(SolveError::DeadlineUnsupported { .. })
+    ));
+    assert!(matches!(
+        registry.solve("chain-optimal", &tree),
+        Err(SolveError::UnsupportedTopology { .. })
+    ));
+}
+
+#[test]
+fn unified_text_round_trip_through_instance() {
+    for text in ["chain\n2 3\n3 5\n", "fork\n1 2\n3 4\n", "spider\nleg 2 3\nleg 1 4\n"] {
+        let instance = Instance::parse(text, 3).unwrap();
+        let reparsed = Platform::parse(&instance.platform.to_text()).unwrap();
+        assert_eq!(reparsed, instance.platform);
+    }
+    assert!(Instance::parse("ring\n1 2\n", 3).is_err());
+}
+
+#[test]
+fn zero_deadline_fits_nothing_across_topologies() {
+    let registry = SolverRegistry::with_defaults();
+    for text in ["chain\n2 3\n", "fork\n1 2\n", "spider\nleg 2 3\nleg 1 4\n"] {
+        let instance = Instance::parse(text, 10).unwrap();
+        let solution = registry.solve_by_deadline("optimal", &instance, 0).unwrap();
+        assert_eq!(solution.n(), 0, "{text}");
+        assert_eq!(solution.makespan(), 0);
+        assert!(verify(&instance, &solution).unwrap().is_feasible());
+    }
+}

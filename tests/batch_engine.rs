@@ -1,0 +1,106 @@
+//! The batch engine at fleet scale: `Batch::solve_all` must sweep a
+//! four-digit instance set across cores, agree with serial solving
+//! bit-for-bit, and hand back solutions the oracle accepts.
+
+use master_slave_tasking::prelude::*;
+
+/// A reproducible mixed fleet: chains, forks and spiders over every
+/// heterogeneity profile.
+fn fleet(count: u64) -> Vec<Instance> {
+    (0..count)
+        .map(|seed| {
+            let kind = [TopologyKind::Chain, TopologyKind::Fork, TopologyKind::Spider]
+                [(seed % 3) as usize];
+            Instance::generate(
+                kind,
+                HeterogeneityProfile::ALL[(seed % 5) as usize],
+                seed,
+                1 + (seed % 5) as usize,
+                1 + (seed % 9) as usize,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn thousand_instance_sweep_solves_and_verifies() {
+    let instances = fleet(1000);
+    let batch = Batch::new(SolverRegistry::with_defaults());
+    let results = batch.solve_all(&instances);
+    assert_eq!(results.len(), 1000);
+
+    let summary = BatchSummary::of(&results);
+    assert_eq!(summary.solved, 1000, "no instance may fail: {summary}");
+    assert_eq!(summary.failed, 0);
+    assert_eq!(
+        summary.total_tasks,
+        instances.iter().map(|i| i.tasks).sum::<usize>(),
+        "makespan solving schedules every task"
+    );
+
+    for (instance, result) in instances.iter().zip(&results) {
+        let solution = result.as_ref().expect("solved");
+        assert_eq!(solution.n(), instance.tasks, "{instance}");
+        assert!(
+            verify(instance, solution).expect("checkable").is_feasible(),
+            "infeasible solution for {instance}"
+        );
+    }
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let instances = fleet(300);
+    let batch = Batch::new(SolverRegistry::with_defaults());
+    let parallel = batch.solve_all(&instances);
+    for (instance, result) in instances.iter().zip(parallel) {
+        let serial = batch.registry().solve("optimal", instance);
+        assert_eq!(result, serial, "{instance}");
+    }
+}
+
+#[test]
+fn deadline_sweep_respects_the_deadline_everywhere() {
+    let instances = fleet(400);
+    let batch = Batch::new(SolverRegistry::with_defaults());
+    for deadline in [0, 7, 19] {
+        for (instance, result) in
+            instances.iter().zip(batch.solve_all_by_deadline(&instances, deadline))
+        {
+            let solution = result.expect("deadline solves");
+            assert!(solution.makespan() <= deadline, "{instance}");
+            assert!(solution.n() <= instance.tasks, "{instance}");
+            assert!(verify(instance, &solution).expect("checkable").is_feasible());
+        }
+    }
+}
+
+#[test]
+fn batch_runs_any_registered_solver() {
+    // A chain-only fleet through a non-default solver.
+    let instances: Vec<Instance> = (0..200u64)
+        .map(|seed| {
+            Instance::generate(
+                TopologyKind::Chain,
+                HeterogeneityProfile::ALL[(seed % 5) as usize],
+                seed,
+                1 + (seed % 6) as usize,
+                1 + (seed % 8) as usize,
+            )
+        })
+        .collect();
+    let registry = SolverRegistry::with_defaults();
+    let optimal: Vec<i64> = Batch::new(registry.clone())
+        .solve_all(&instances)
+        .into_iter()
+        .map(|r| r.expect("solves").makespan())
+        .collect();
+    let eager = Batch::new(registry).with_solver("eager");
+    assert_eq!(eager.solver(), "eager");
+    for ((instance, result), opt) in instances.iter().zip(eager.solve_all(&instances)).zip(optimal)
+    {
+        let solution = result.expect("eager solves");
+        assert!(solution.makespan() >= opt, "eager beat optimal on {instance}");
+        assert!(verify(instance, &solution).expect("checkable").is_feasible());
+    }
+}

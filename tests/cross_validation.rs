@@ -91,11 +91,9 @@ fn heuristics_bracket_the_optimum() {
         let chain = g.chain(1 + (seed % 5) as usize);
         let n = 1 + (seed % 9) as usize;
         let opt = schedule_chain(&chain, n).makespan();
-        for s in [
-            eager_chain(&chain, n),
-            round_robin_chain(&chain, n),
-            master_only_chain(&chain, n),
-        ] {
+        for s in
+            [eager_chain(&chain, n), round_robin_chain(&chain, n), master_only_chain(&chain, n)]
+        {
             assert!(s.makespan() >= opt, "seed {seed}");
             check_chain(&chain, &s).assert_feasible();
             // And they replay too — the simulator accepts any feasible
@@ -137,10 +135,6 @@ fn instance_files_round_trip_through_schedulers() {
             other => panic!("wrong topology {other:?}"),
         };
         // Scheduling the parsed instance gives identical results.
-        assert_eq!(
-            schedule_chain(&parsed, 5),
-            schedule_chain(&chain, 5),
-            "seed {seed}"
-        );
+        assert_eq!(schedule_chain(&parsed, 5), schedule_chain(&chain, 5), "seed {seed}");
     }
 }

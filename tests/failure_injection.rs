@@ -9,8 +9,8 @@
 
 use master_slave_tasking::prelude::*;
 use mst_core::schedule_chain;
-use mst_schedule::{check_chain, CommVector, TaskAssignment};
 use mst_schedule::schedule::ChainSchedule as CS;
+use mst_schedule::{check_chain, CommVector, TaskAssignment};
 use mst_sim::replay_chain;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -28,16 +28,15 @@ fn mutate(schedule: &CS, chain: &Chain, rng: &mut StdRng) -> Option<CS> {
         // Shift one emission by a small delta.
         0 => {
             let link = rng.gen_range(1..=t.proc);
-            let delta = *[-3i64, -2, -1, 1, 2, 3].get(rng.gen_range(0..6)).expect("index");
+            let delta = *[-3i64, -2, -1, 1, 2, 3].get(rng.gen_range(0usize..6)).expect("index");
             let mut times = t.comms.times().to_vec();
             times[link - 1] += delta;
             tasks[victim] = TaskAssignment::new(t.proc, t.start, CommVector::new(times), t.work);
         }
         // Shift the execution start.
         1 => {
-            let delta = *[-3i64, -2, -1, 1, 2, 3].get(rng.gen_range(0..6)).expect("index");
-            tasks[victim] =
-                TaskAssignment::new(t.proc, t.start + delta, t.comms.clone(), t.work);
+            let delta = *[-3i64, -2, -1, 1, 2, 3].get(rng.gen_range(0usize..6)).expect("index");
+            tasks[victim] = TaskAssignment::new(t.proc, t.start + delta, t.comms.clone(), t.work);
         }
         // Truncate the route: run the task one hop earlier, keeping times.
         2 => {
@@ -46,12 +45,8 @@ fn mutate(schedule: &CS, chain: &Chain, rng: &mut StdRng) -> Option<CS> {
             }
             let new_proc = t.proc - 1;
             let times = t.comms.times()[..new_proc].to_vec();
-            tasks[victim] = TaskAssignment::new(
-                new_proc,
-                t.start,
-                CommVector::new(times),
-                chain.w(new_proc),
-            );
+            tasks[victim] =
+                TaskAssignment::new(new_proc, t.start, CommVector::new(times), chain.w(new_proc));
         }
         // Duplicate a task verbatim (guaranteed resource conflicts).
         _ => {
@@ -77,10 +72,7 @@ fn oracle_and_replay_agree_on_mutants() {
             let Some(mutant) = mutate(&base, &chain, &mut rng) else { continue };
             let oracle_ok = check_chain(&chain, &mutant).is_feasible();
             let replay_ok = replay_chain(&chain, &mutant).is_ok();
-            assert_eq!(
-                oracle_ok, replay_ok,
-                "oracle and replay disagree (seed {seed}):\n{mutant}"
-            );
+            assert_eq!(oracle_ok, replay_ok, "oracle and replay disagree (seed {seed}):\n{mutant}");
             checked += 1;
             if !oracle_ok {
                 rejected += 1;
@@ -91,10 +83,7 @@ fn oracle_and_replay_agree_on_mutants() {
     // Small perturbations of tight optimal schedules are almost always
     // infeasible; if most mutants pass, the mutator is too gentle to
     // exercise the validators.
-    assert!(
-        rejected * 2 > checked,
-        "only {rejected}/{checked} mutants were rejected"
-    );
+    assert!(rejected * 2 > checked, "only {rejected}/{checked} mutants were rejected");
 }
 
 #[test]

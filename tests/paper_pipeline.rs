@@ -76,10 +76,7 @@ fn paper_chain_as_spider_leg_among_others() {
 fn lemmas_hold_on_the_paper_instance() {
     let chain = Chain::paper_figure2();
     assert!(check_lemma1_no_crossing(&chain, 5).is_empty());
-    assert_eq!(
-        check_lemma2_subchain(&chain, 5),
-        Lemma2Outcome::Consistent { forwarded: 1 }
-    );
+    assert_eq!(check_lemma2_subchain(&chain, 5), Lemma2Outcome::Consistent { forwarded: 1 });
 }
 
 #[test]

@@ -1,0 +1,344 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this shim vendors the
+//! subset of proptest that the workspace's property tests consume:
+//!
+//! * the [`proptest!`] macro (with the `#![proptest_config(...)]`
+//!   header, `arg in strategy` bindings and plain `#[test]` bodies);
+//! * [`Strategy`] with [`Strategy::prop_map`], implemented for integer
+//!   ranges, 2-/3-tuples, and charclass-pattern strings
+//!   (`"[chars]{min,max}"`);
+//! * [`collection::vec`] (reachable as `prop::collection::vec`);
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Differences from the real crate: cases are drawn from a seed derived
+//! deterministically from the test name and case index (reproducible
+//! across runs), failures report the failing case number but are **not
+//! shrunk**, and `prop_assert*` aborts the whole test rather than the
+//! case. For the sizes used here (≤ 256 cases of small instances) that
+//! trade-off costs little; swapping the real crate back in is a one-line
+//! `Cargo.toml` change.
+
+#![warn(missing_docs)]
+
+use std::hash::{Hash, Hasher};
+use std::ops::{Range, RangeInclusive};
+
+pub use rand; // the RNG backend, re-exported for the macro expansion
+
+/// Per-property configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The random source handed to strategies: a seeded [`rand::rngs::StdRng`].
+#[derive(Debug, Clone)]
+pub struct TestRng(pub rand::rngs::StdRng);
+
+impl TestRng {
+    /// Deterministic RNG for one case of one named property: the seed is
+    /// a hash of `(name, case)`, so failures reproduce across runs.
+    pub fn for_case(name: &str, case: u32) -> TestRng {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        name.hash(&mut hasher);
+        case.hash(&mut hasher);
+        TestRng(<rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(hasher.finish()))
+    }
+}
+
+/// A generator of random values, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(&mut rng.0, self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(&mut rng.0, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+/// String strategies from a `"[chars]{min,max}"` character-class pattern
+/// (the only regex shape the workspace's tests use).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_charclass_pattern(self);
+        let len = rand::Rng::gen_range(&mut rng.0, min..=max);
+        (0..len).map(|_| alphabet[rand::Rng::gen_range(&mut rng.0, 0..alphabet.len())]).collect()
+    }
+}
+
+fn parse_charclass_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    fn unsupported(pattern: &str) -> ! {
+        panic!(
+            "proptest-shim supports only \"[chars]{{min,max}}\" string patterns, got {pattern:?}"
+        )
+    }
+    let rest = pattern.strip_prefix('[').unwrap_or_else(|| unsupported(pattern));
+    let (class, counts) = rest.split_once(']').unwrap_or_else(|| unsupported(pattern));
+    let counts = counts
+        .strip_prefix('{')
+        .and_then(|c| c.strip_suffix('}'))
+        .unwrap_or_else(|| unsupported(pattern));
+    let (min, max) = counts.split_once(',').unwrap_or((counts, counts));
+    let (min, max) = (
+        min.trim().parse::<usize>().unwrap_or_else(|_| unsupported(pattern)),
+        max.trim().parse::<usize>().unwrap_or_else(|_| unsupported(pattern)),
+    );
+
+    let chars: Vec<char> = class.chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // `a-z` ranges; a '-' that is first, last, or follows a consumed
+        // range is a literal, matching regex character-class rules.
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+            assert!(lo <= hi, "bad range in pattern {pattern:?}");
+            alphabet.extend((lo..=hi).filter_map(char::from_u32));
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty character class in {pattern:?}");
+    (alphabet, min, max)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive size range for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        /// Smallest allowed length.
+        pub min: usize,
+        /// Largest allowed length.
+        pub max: usize,
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s whose length lies in `size`, elements drawn from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rand::Rng::gen_range(&mut rng.0, self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `prop::` namespace of the real crate (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Asserts a condition inside a property body (no shrinking: delegates to
+/// [`assert!`]).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body (delegates to [`assert_eq!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)`
+/// becomes a plain `#[test]` running `cases` seeded draws of the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(<$crate::ProptestConfig as Default>::default(); $($rest)*);
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    let outcome = ::std::panic::catch_unwind(
+                        ::core::panic::AssertUnwindSafe(|| { $body })
+                    );
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest-shim: property {} failed at case {case} (seeded by name+case; rerun reproduces it)",
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn charclass_parsing_handles_ranges_escapes_and_trailing_dash() {
+        let (alphabet, min, max) = parse_charclass_pattern("[a-c9 \n#-]{0,7}");
+        assert_eq!(min, 0);
+        assert_eq!(max, 7);
+        for c in ['a', 'b', 'c', '9', ' ', '\n', '#', '-'] {
+            assert!(alphabet.contains(&c), "missing {c:?}");
+        }
+        assert_eq!(alphabet.len(), 8);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name_and_case() {
+        let strat = prop::collection::vec((1i64..=8, 1i64..=8), 1..=6);
+        let a = strat.generate(&mut TestRng::for_case("x", 3));
+        let b = strat.generate(&mut TestRng::for_case("x", 3));
+        let c = strat.generate(&mut TestRng::for_case("x", 4));
+        assert_eq!(a, b);
+        assert!(a != c || a.len() <= 1, "different cases should usually differ");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_and_respects_bounds(
+            pair in (1i64..=8, 1i64..=8),
+            v in prop::collection::vec(0usize..5, 1..=10),
+            s in "[a-z]{0,12}",
+        ) {
+            prop_assert!((1..=8).contains(&pair.0) && (1..=8).contains(&pair.1));
+            prop_assert!(!v.is_empty() && v.len() <= 10);
+            prop_assert!(v.iter().all(|&x| x < 5));
+            prop_assert!(s.len() <= 12 && s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn prop_map_applies(
+            doubled in (1i64..=4).prop_map(|x| x * 2),
+        ) {
+            prop_assert!([2, 4, 6, 8].contains(&doubled));
+        }
+    }
+}

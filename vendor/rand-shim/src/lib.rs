@@ -1,0 +1,172 @@
+//! A minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so instead of the real
+//! `rand` this workspace vendors the *exact subset* it consumes:
+//!
+//! * [`rngs::StdRng`] — a deterministic 64-bit generator (SplitMix64,
+//!   Steele et al., OOPSLA 2014 — full-period, passes BigCrush on the
+//!   low 32 bits, more than enough for seeded test-instance generation);
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`Rng::gen_range`] over integer `Range` / `RangeInclusive` bounds.
+//!
+//! The stream differs from the real `rand::rngs::StdRng` (ChaCha12), so
+//! seeds produce different instances than upstream `rand` would — every
+//! consumer in this workspace only relies on *determinism per seed*, not
+//! on a particular stream. Swapping the real crate back in is a one-line
+//! `Cargo.toml` change.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// A deterministic pseudo-random generator (SplitMix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Avalanche the seed once so that consecutive seeds (0, 1, 2,
+            // ... as the experiment sweeps use) start from well-mixed
+            // states.
+            let mut rng = StdRng { state: seed };
+            let _ = crate::next_u64(&mut rng.state);
+            rng
+        }
+    }
+}
+
+/// Construction of a generator from a seed, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose output is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn next_u64(state: &mut u64) -> u64 {
+    // SplitMix64: increment by the golden-gamma constant, then finalize.
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A half-open or inclusive integer range that can be sampled uniformly.
+///
+/// Mirrors `rand::distributions::uniform::SampleRange`: the output type
+/// `T` is a trait parameter (not an associated type) so that the literal
+/// type of `rng.gen_range(1..=6)` is inferred from how the result is
+/// used, exactly as with the real crate.
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range. Panics on empty ranges.
+    fn sample_from(self, rng: &mut rngs::StdRng) -> T;
+}
+
+fn uniform_below(state: &mut u64, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Debiased multiply-shift (Lemire): rejection keeps the draw exactly
+    // uniform even when `span` does not divide 2^64.
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let x = next_u64(state);
+        let m = (x as u128) * (span as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_below(&mut rng.state, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut rngs::StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + uniform_below(&mut rng.state, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// The sampling surface of a generator, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Draws a uniform value from an integer range (`a..b` or `a..=b`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+
+    /// Draws a `true` with probability `p` (0.0 ≤ `p` ≤ 1.0).
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for rngs::StdRng {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of [0, 1]");
+        // 53 uniform mantissa bits, the usual open [0, 1) construction.
+        let unit = (next_u64(&mut self.state) >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(7);
+        let mut b = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+        let mut c = rngs::StdRng::seed_from_u64(8);
+        let left: Vec<u64> = (0..16).map(|_| a.gen_range(0..1_000_000)).collect();
+        let right: Vec<u64> = (0..16).map(|_| c.gen_range(0..1_000_000)).collect();
+        assert_ne!(left, right);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..2000 {
+            let x = rng.gen_range(3i64..=9);
+            assert!((3..=9).contains(&x));
+            let y = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&y));
+            let z = rng.gen_range(0usize..1);
+            assert_eq!(z, 0);
+        }
+    }
+
+    #[test]
+    fn all_values_of_small_range_appear() {
+        let mut rng = rngs::StdRng::seed_from_u64(1);
+        let mut seen = [false; 6];
+        for _ in 0..600 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "uniform draw misses values: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = rngs::StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}
