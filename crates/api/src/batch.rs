@@ -5,19 +5,23 @@ use crate::instance::Instance;
 use crate::registry::SolverRegistry;
 use crate::solution::Solution;
 use mst_platform::Time;
-use mst_sim::run_parallel;
+use mst_sim::{shared_pool, WorkerPool};
 use std::fmt;
+use std::sync::Arc;
 
 /// Sweeps many [`Instance`]s through one registry solver in parallel —
 /// the building block for the experiment harness and for service-style
 /// traffic.
 ///
-/// Work fans out over all cores through
-/// [`mst_sim::run_parallel`]; results come back in input order, each
-/// instance's failure isolated in its own `Result`.
+/// Work fans out over a persistent [`WorkerPool`] (by default the
+/// process-wide [`mst_sim::shared_pool`], so consecutive `solve_all`
+/// calls reuse the same sleeping threads and spawn nothing); results
+/// come back in input order, each instance's failure isolated in its own
+/// `Result`. The solver name is resolved **once per batch call**, not
+/// once per instance.
 ///
 /// ```
-/// use mst_api::{Batch, Instance, SolverRegistry, TopologyKind};
+/// use mst_api::{Batch, Instance, TopologyKind};
 /// use mst_platform::HeterogeneityProfile;
 ///
 /// let instances: Vec<Instance> = (0..64)
@@ -25,7 +29,7 @@ use std::fmt;
 ///         TopologyKind::Chain, HeterogeneityProfile::ALL[0], seed, 4, 6,
 ///     ))
 ///     .collect();
-/// let batch = Batch::new(SolverRegistry::with_defaults());
+/// let batch = Batch::default(); // global registry + shared pool
 /// let results = batch.solve_all(&instances);
 /// assert!(results.iter().all(|r| r.is_ok()));
 /// ```
@@ -33,17 +37,26 @@ use std::fmt;
 pub struct Batch {
     registry: SolverRegistry,
     solver: String,
+    pool: Arc<WorkerPool>,
 }
 
 impl Batch {
-    /// A batch engine solving with the dispatching `"optimal"` solver.
+    /// A batch engine solving with the dispatching `"optimal"` solver
+    /// over the process-wide shared worker pool.
     pub fn new(registry: SolverRegistry) -> Batch {
-        Batch { registry, solver: "optimal".to_string() }
+        Batch { registry, solver: "optimal".to_string(), pool: shared_pool() }
     }
 
     /// Switches the batch to another registered solver.
     pub fn with_solver(mut self, name: impl Into<String>) -> Batch {
         self.solver = name.into();
+        self
+    }
+
+    /// Runs this batch's sweeps on a dedicated pool instead of the
+    /// process-wide shared one (e.g. to cap a tenant's parallelism).
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Batch {
+        self.pool = pool;
         self
     }
 
@@ -57,10 +70,18 @@ impl Batch {
         &self.solver
     }
 
+    /// The worker pool this batch sweeps on.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
     /// Solves every instance on all available cores; results in input
     /// order.
     pub fn solve_all(&self, instances: &[Instance]) -> Vec<Result<Solution, SolveError>> {
-        run_parallel(instances, |instance| self.registry.solve(&self.solver, instance))
+        match self.registry.resolve(&self.solver) {
+            Ok(solver) => self.pool.run(instances, |instance| solver.solve(instance)),
+            Err(err) => instances.iter().map(|_| Err(err.clone())).collect(),
+        }
     }
 
     /// Deadline-solves every instance on all available cores.
@@ -69,14 +90,25 @@ impl Batch {
         instances: &[Instance],
         deadline: Time,
     ) -> Vec<Result<Solution, SolveError>> {
-        run_parallel(instances, |instance| {
-            self.registry.solve_by_deadline(&self.solver, instance, deadline)
-        })
+        match self.registry.resolve(&self.solver) {
+            Ok(solver) => {
+                self.pool.run(instances, |instance| solver.solve_by_deadline(instance, deadline))
+            }
+            Err(err) => instances.iter().map(|_| Err(err.clone())).collect(),
+        }
     }
 
     /// Solves and folds the results into a [`BatchSummary`].
     pub fn run(&self, instances: &[Instance]) -> BatchSummary {
         BatchSummary::of(&self.solve_all(instances))
+    }
+}
+
+impl Default for Batch {
+    /// The service-default engine: the [`SolverRegistry::global`]
+    /// registry (built once per process) over the shared pool.
+    fn default() -> Batch {
+        Batch::new(SolverRegistry::global().clone())
     }
 }
 
@@ -208,5 +240,34 @@ mod tests {
         let batch = Batch::new(SolverRegistry::with_defaults()).with_solver("nope");
         let results = batch.solve_all(&mixed_instances(3));
         assert!(results.iter().all(|r| matches!(r, Err(SolveError::UnknownSolver { .. }))));
+        let results = batch.solve_all_by_deadline(&mixed_instances(3), 9);
+        assert!(results.iter().all(|r| matches!(r, Err(SolveError::UnknownSolver { .. }))));
+    }
+
+    #[test]
+    fn consecutive_sweeps_reuse_one_pool_without_spawning() {
+        // A dedicated pool so the job counter is not shared with other
+        // tests: three sweeps, one thread set, job count == sweep count.
+        let pool = Arc::new(mst_sim::WorkerPool::with_workers(2));
+        let batch = Batch::default().with_pool(Arc::clone(&pool));
+        let instances = mixed_instances(30);
+        let first = batch.solve_all(&instances);
+        for round in 0..2 {
+            let again = batch.solve_all(&instances);
+            assert_eq!(again, first, "round {round} must be bit-identical");
+        }
+        assert_eq!(pool.workers(), 2, "no threads appear after construction");
+        assert_eq!(pool.jobs_submitted(), 3, "three sweeps = three published jobs");
+        assert!(Arc::ptr_eq(batch.pool(), &pool));
+    }
+
+    #[test]
+    fn default_batch_uses_global_registry_and_shared_pool() {
+        let batch = Batch::default();
+        assert_eq!(batch.solver(), "optimal");
+        assert_eq!(batch.registry().names(), SolverRegistry::global().names());
+        assert!(Arc::ptr_eq(batch.pool(), &mst_sim::shared_pool()));
+        let empty: Vec<Instance> = vec![];
+        assert!(batch.solve_all(&empty).is_empty(), "empty batches cost nothing");
     }
 }

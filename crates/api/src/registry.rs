@@ -11,7 +11,7 @@ use crate::solvers::{
     HeuristicSolver, OptimalSolver, SpiderOptimalSolver, TreeCoverSolver,
 };
 use mst_platform::Time;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A set of named [`Solver`]s.
 ///
@@ -50,6 +50,20 @@ impl SolverRegistry {
         registry.register(ExactSolver);
         registry.register(DivisibleSolver);
         registry
+    }
+
+    /// The process-wide default registry: [`SolverRegistry::with_defaults`]
+    /// built once behind a `OnceLock` and shared from then on — the fast
+    /// path for CLI invocations and batch construction, which previously
+    /// re-instantiated all thirteen solvers per call.
+    ///
+    /// The registry is immutable; to register custom solvers, build your
+    /// own with [`SolverRegistry::with_defaults`] and
+    /// [`SolverRegistry::register`]. Cloning the returned reference is
+    /// cheap (solvers are shared behind [`Arc`]).
+    pub fn global() -> &'static SolverRegistry {
+        static GLOBAL: OnceLock<SolverRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(SolverRegistry::with_defaults)
     }
 
     /// Adds a solver. Panics if the name is already taken — duplicate
@@ -165,6 +179,17 @@ mod tests {
     fn duplicate_names_panic() {
         let mut registry = SolverRegistry::with_defaults();
         registry.register(OptimalSolver);
+    }
+
+    #[test]
+    fn global_registry_is_built_once_and_matches_defaults() {
+        let a = SolverRegistry::global();
+        let b = SolverRegistry::global();
+        assert!(std::ptr::eq(a, b), "OnceLock must hand out one instance");
+        assert_eq!(a.names(), SolverRegistry::with_defaults().names());
+        // Clones share the solver Arcs, so they are cheap and identical.
+        let clone = a.clone();
+        assert_eq!(clone.len(), a.len());
     }
 
     #[test]

@@ -5,11 +5,42 @@
 //! scheduling work itself.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mst_api::{Instance, SolverRegistry};
+use mst_api::{Batch, Instance, SolverRegistry, TopologyKind};
 use mst_core::schedule_chain;
 use mst_platform::{GeneratorConfig, HeterogeneityProfile};
 use std::hint::black_box;
 use std::time::Duration;
+
+/// The batch fast path: construction through the `OnceLock` global
+/// registry vs re-instantiating all solvers, and a small sweep where the
+/// solver is resolved once per batch (not once per instance).
+fn bench_batch_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_fast_path");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    group.bench_function("registry_with_defaults", |b| {
+        b.iter(SolverRegistry::with_defaults);
+    });
+    group.bench_function("registry_global_clone", |b| {
+        b.iter(|| SolverRegistry::global().clone());
+    });
+    let instances: Vec<Instance> = (0..64u64)
+        .map(|seed| {
+            Instance::generate(
+                TopologyKind::Chain,
+                HeterogeneityProfile::ALL[(seed % 5) as usize],
+                seed,
+                4,
+                6,
+            )
+        })
+        .collect();
+    let batch = Batch::default();
+    group.bench_function("solve_all_64_chains", |b| {
+        b.iter(|| batch.solve_all(black_box(&instances)));
+    });
+    group.finish();
+}
 
 fn bench_dispatch(c: &mut Criterion) {
     let registry = SolverRegistry::with_defaults();
@@ -32,5 +63,5 @@ fn bench_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(dispatch_overhead, bench_dispatch);
+criterion_group!(dispatch_overhead, bench_dispatch, bench_batch_paths);
 criterion_main!(dispatch_overhead);

@@ -2,10 +2,42 @@
 //! spider algorithm is quadratic in the number of single-task slaves).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mst_fork::{max_tasks_fork_by_deadline, schedule_fork};
+use mst_fork::{
+    count_tasks_fork_by_deadline, expand_fork, expand_fork_sorted, max_tasks_fork_by_deadline,
+    schedule_fork, ForkScratch,
+};
 use mst_platform::{GeneratorConfig, HeterogeneityProfile};
 use std::hint::black_box;
 use std::time::Duration;
+
+/// The expansion guard: the merging iterator must never lose to the
+/// reference materialise-and-sort it replaced on the hot path.
+fn bench_expansion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fork/expand_fork_slaves16");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    let fork = GeneratorConfig::new(HeterogeneityProfile::ALL[0], 11).fork(16);
+    for n in [64usize, 256] {
+        let deadline = fork.makespan_upper_bound(n);
+        group.bench_with_input(BenchmarkId::new("reference_sort", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut v = expand_fork(black_box(&fork), black_box(deadline), n);
+                v.sort_by_key(|s| (s.comm, s.proc_time));
+                v
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("merged", n), &n, |b, &n| {
+            b.iter(|| expand_fork_sorted(black_box(&fork), black_box(deadline), n));
+        });
+        group.bench_with_input(BenchmarkId::new("counting_probe", n), &n, |b, &n| {
+            let mut scratch = ForkScratch::new();
+            b.iter(|| {
+                count_tasks_fork_by_deadline(black_box(&fork), n, black_box(deadline), &mut scratch)
+            });
+        });
+    }
+    group.finish();
+}
 
 fn bench_selection(c: &mut Criterion) {
     let mut group = c.benchmark_group("fork/selection_slaves16");
@@ -34,5 +66,5 @@ fn bench_makespan(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(fork_scaling, bench_selection, bench_makespan);
+criterion_group!(fork_scaling, bench_expansion, bench_selection, bench_makespan);
 criterion_main!(fork_scaling);

@@ -1,0 +1,108 @@
+//! `bench` — the perf-trajectory tracker.
+//!
+//! Times the two service-critical hot paths and writes the numbers to
+//! `BENCH_batch.json` so every PR can compare against the recorded
+//! trajectory:
+//!
+//! * **batch throughput** — `Batch::solve_all` over a mixed fleet of
+//!   chain/fork/spider instances (the `mst batch` / service workload),
+//!   reported as instances per second;
+//! * **fork expansion** — one `max_tasks_fork_by_deadline` selection on
+//!   a 16-slave star (the inner loop of every deadline sweep), reported
+//!   as nanoseconds per op;
+//! * **deadline search** — one full `schedule_fork` binary search
+//!   (expansion machinery reused across probes), nanoseconds per op.
+//!
+//! ```text
+//! cargo run --release -p mst-bench --bin bench            # full run (10k instances)
+//! cargo run --release -p mst-bench --bin bench -- --smoke # CI smoke (500 instances)
+//! ```
+//!
+//! The JSON is flat `{"key": number}` pairs written to the working
+//! directory — no serde dependency, just formatted text.
+
+use mst_api::{Batch, Instance, SolverRegistry, TopologyKind};
+use mst_fork::{max_tasks_fork_by_deadline, schedule_fork};
+use mst_platform::{GeneratorConfig, HeterogeneityProfile};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The reproducible mixed fleet every batch measurement uses: chains,
+/// forks and spiders over all five heterogeneity profiles.
+fn fleet(count: u64) -> Vec<Instance> {
+    (0..count)
+        .map(|seed| {
+            let kind = [TopologyKind::Chain, TopologyKind::Fork, TopologyKind::Spider]
+                [(seed % 3) as usize];
+            Instance::generate(
+                kind,
+                HeterogeneityProfile::ALL[(seed % 5) as usize],
+                seed,
+                1 + (seed % 5) as usize,
+                1 + (seed % 9) as usize,
+            )
+        })
+        .collect()
+}
+
+/// Median of `runs` timings of `f`, in seconds.
+fn median_secs<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let started = Instant::now();
+            f();
+            started.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (instances_n, runs, expansion_iters) =
+        if smoke { (500u64, 3, 200u64) } else { (10_000u64, 5, 5_000u64) };
+
+    // --- Batch throughput: solve_all over the mixed fleet. -------------
+    let instances = fleet(instances_n);
+    let batch = Batch::new(SolverRegistry::with_defaults());
+    // Warm-up pass (pool construction, page faults) before measuring.
+    let warm = batch.solve_all(&instances);
+    assert!(warm.iter().all(|r| r.is_ok()), "the benchmark fleet must solve cleanly");
+    let secs = median_secs(runs, || {
+        black_box(batch.solve_all(black_box(&instances)));
+    });
+    let solve_throughput = instances_n as f64 / secs;
+
+    // Deadline sweeps: the T_lim service path over the same fleet.
+    let secs = median_secs(runs, || {
+        black_box(batch.solve_all_by_deadline(black_box(&instances), 19));
+    });
+    let deadline_throughput = instances_n as f64 / secs;
+
+    // --- Fork expansion + selection: the deadline-sweep inner loop. ----
+    let fork = GeneratorConfig::new(HeterogeneityProfile::ALL[0], 11).fork(16);
+    let n = 256usize;
+    let deadline = fork.makespan_upper_bound(n);
+    let secs = median_secs(runs, || {
+        for _ in 0..expansion_iters {
+            black_box(max_tasks_fork_by_deadline(black_box(&fork), n, black_box(deadline)));
+        }
+    });
+    let expansion_ns = secs * 1e9 / expansion_iters as f64;
+
+    // --- Full binary-searched makespan (the schedule_fork sweep). ------
+    let search_iters = expansion_iters / 10;
+    let secs = median_secs(runs, || {
+        for _ in 0..search_iters {
+            black_box(schedule_fork(black_box(&fork), black_box(64)));
+        }
+    });
+    let search_ns = secs * 1e9 / search_iters as f64;
+
+    let json = format!(
+        "{{\n  \"instances\": {instances_n},\n  \"solve_all_instances_per_sec\": {solve_throughput:.0},\n  \"solve_all_by_deadline_instances_per_sec\": {deadline_throughput:.0},\n  \"fork_selection_ns_per_op\": {expansion_ns:.0},\n  \"schedule_fork_ns_per_op\": {search_ns:.0}\n}}\n"
+    );
+    std::fs::write("BENCH_batch.json", &json).expect("write BENCH_batch.json");
+    print!("{json}");
+}

@@ -101,7 +101,7 @@ fn cmd_schedule(args: &Args) -> Result<String, String> {
     let path = args.pos(0, "instance")?;
     let n = positive_opt(args, "tasks", 1)? as usize;
     let solver_name = args.opt("solver").unwrap_or("optimal");
-    let registry = SolverRegistry::with_defaults();
+    let registry = SolverRegistry::global();
     let instance = Instance::new(load_platform(path)?, n);
     let solution = registry.solve(solver_name, &instance).map_err(|e| e.to_string())?;
 
@@ -148,7 +148,7 @@ fn cmd_plan(args: &Args) -> Result<String, String> {
     }
     let cap = positive_opt(args, "cap", 1_000_000)? as usize;
     let solver_name = args.opt("solver").unwrap_or("optimal");
-    let registry = SolverRegistry::with_defaults();
+    let registry = SolverRegistry::global();
     let instance = Instance::new(load_platform(path)?, cap);
     let solution =
         registry.solve_by_deadline(solver_name, &instance, deadline).map_err(|e| e.to_string())?;
@@ -163,7 +163,7 @@ fn cmd_plan(args: &Args) -> Result<String, String> {
 }
 
 fn cmd_solvers() -> Result<String, String> {
-    let registry = SolverRegistry::with_defaults();
+    let registry = SolverRegistry::global();
     let mut out = String::new();
     writeln!(
         out,
@@ -206,7 +206,7 @@ fn cmd_batch(args: &Args) -> Result<String, String> {
 
     let instances: Vec<Instance> =
         (0..count).map(|seed| Instance::generate(kind, profile, seed, size, tasks)).collect();
-    let batch = Batch::new(SolverRegistry::with_defaults()).with_solver(&solver_name);
+    let batch = Batch::default().with_solver(&solver_name);
     let started = std::time::Instant::now();
     let results = if args.opt("deadline").is_some() {
         let deadline = args.int_opt("deadline", 0)?;
@@ -360,7 +360,7 @@ fn cmd_stats(args: &Args) -> Result<String, String> {
         .as_chain()
         .ok_or_else(|| "stats currently expects a chain instance".to_string())?
         .clone();
-    let registry = SolverRegistry::with_defaults();
+    let registry = SolverRegistry::global();
     let instance = Instance::new(platform.clone(), n);
     let makespan_of = |solver: &str| -> Result<i64, String> {
         Ok(registry.solve(solver, &instance).map_err(|e| e.to_string())?.makespan())
@@ -610,7 +610,7 @@ mod tests {
     fn every_solution_from_the_cli_path_verifies() {
         // The command layer must never bypass the oracle: re-check the
         // solutions the schedule command would print.
-        let registry = SolverRegistry::with_defaults();
+        let registry = SolverRegistry::global();
         let instance = Instance::new(Platform::parse("spider\nleg 2 3 3 5\nleg 1 4\n").unwrap(), 6);
         for solver in registry.supporting(TopologyKind::Spider) {
             let solution = solver.solve(&instance).unwrap();

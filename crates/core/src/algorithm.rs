@@ -85,6 +85,34 @@ impl<'a> BackwardScheduler<'a> {
         Step { candidates, chosen, start }
     }
 
+    /// One backward step that commits **only if** the best candidate's
+    /// first-link emission is still non-negative (i.e. the task fits the
+    /// deadline anchor); returns the committed vector and start, or
+    /// `None` without mutating anything.
+    ///
+    /// This is [`BackwardScheduler::step`] minus the diagnostic
+    /// [`Step`]: candidates are evaluated once (the peek-then-step
+    /// pattern evaluated all `p` of them twice) and nothing but the
+    /// chosen vector is materialised — the hot path of every `T_lim`
+    /// probe in the spider deadline search.
+    pub fn step_if_feasible(&mut self) -> Option<(CommVector, Time)> {
+        let p = self.chain.len();
+        let mut chosen = self.candidate(1);
+        for k in 2..=p {
+            let candidate = self.candidate(k);
+            if candidate > chosen {
+                chosen = candidate;
+            }
+        }
+        if chosen.first() < 0 {
+            return None;
+        }
+        let proc = chosen.len();
+        let start = self.state.occupancy(proc) - self.chain.w(proc);
+        self.state.commit(&chosen, start);
+        Some((chosen, start))
+    }
+
     /// Runs `count` backward steps and returns the schedule in emission
     /// order, **without** any time shift (times are relative to the
     /// anchor; the first emission may be negative).
@@ -163,16 +191,9 @@ pub fn schedule_chain_by_deadline(
     let mut scheduler = BackwardScheduler::new(chain, deadline);
     let mut rev: Vec<TaskAssignment> = Vec::new();
     while rev.len() < max_tasks {
-        // Peek: evaluate the best candidate without committing.
-        let p = chain.len();
-        let best = (1..=p).map(|k| scheduler.candidate(k)).max().expect("p >= 1");
-        if best.first() < 0 {
-            break;
-        }
-        let step = scheduler.step();
-        debug_assert_eq!(step.chosen, best);
-        let proc = step.chosen.len();
-        rev.push(TaskAssignment::new(proc, step.start, step.chosen, chain.w(proc)));
+        let Some((chosen, start)) = scheduler.step_if_feasible() else { break };
+        let proc = chosen.len();
+        rev.push(TaskAssignment::new(proc, start, chosen, chain.w(proc)));
     }
     rev.reverse();
     ChainSchedule::new(rev)

@@ -1,9 +1,17 @@
 //! The bandwidth-centric greedy and the executable fork schedule.
+//!
+//! The selection hot path is allocation-free steady-state: virtual
+//! slaves stream out of a reusable [`ExpansionMerge`] (no
+//! materialise-then-sort), the greedy's [`EddSet`] keeps its buffer
+//! across probes, and [`schedule_fork`]'s binary search counts through
+//! one [`ForkScratch`] — only the final witness materialises a
+//! [`ForkOutcome`].
 
-use crate::expand::{expand_fork, VirtualSlave};
+use crate::expand::{ExpansionMerge, VirtualSlave};
 use crate::jackson::{EddSet, Item};
 use mst_platform::{Fork, NodeId, Time};
 use mst_schedule::{CommVector, SpiderSchedule, SpiderTask};
+use std::cell::RefCell;
 
 /// Result of the deadline-driven fork algorithm.
 #[derive(Debug, Clone)]
@@ -33,21 +41,78 @@ impl ForkOutcome {
 /// serialises the kept communications back to back in decreasing
 /// processing-time order.
 pub fn max_tasks_fork_by_deadline(fork: &Fork, max_tasks: usize, deadline: Time) -> ForkOutcome {
-    let mut virtuals = expand_fork(fork, deadline, max_tasks);
-    virtuals.sort_by_key(|v| (v.comm, v.proc_time));
+    SCRATCH.with_borrow_mut(|scratch| {
+        max_tasks_fork_by_deadline_scratch(fork, max_tasks, deadline, scratch)
+    })
+}
 
-    let mut set: EddSet<VirtualSlave> = EddSet::new(deadline);
-    for v in virtuals {
-        if set.len() == max_tasks {
-            break;
-        }
-        set.try_insert(Item { comm: v.comm, proc_time: v.proc_time, payload: v });
+thread_local! {
+    /// Per-thread scratch backing the buffer-less entry points, so batch
+    /// traffic calling [`max_tasks_fork_by_deadline`] in a loop reuses
+    /// one set of buffers per worker thread.
+    static SCRATCH: RefCell<ForkScratch> = RefCell::new(ForkScratch::new());
+}
+
+/// Reusable working memory for the fork selection: the merging-expansion
+/// heap and the greedy's feasible set. One value threaded through a
+/// deadline sweep makes the probes allocation-free steady-state.
+#[derive(Debug, Clone)]
+pub struct ForkScratch {
+    merge: ExpansionMerge,
+    set: EddSet<VirtualSlave>,
+}
+
+impl ForkScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> ForkScratch {
+        ForkScratch { merge: ExpansionMerge::new(), set: EddSet::new(0) }
     }
+}
 
-    let emissions = set.emission_times();
+impl Default for ForkScratch {
+    fn default() -> ForkScratch {
+        ForkScratch::new()
+    }
+}
+
+/// Runs the greedy selection, leaving the selected items in
+/// `scratch.set`; returns the number selected. Allocation-free once the
+/// scratch buffers have grown.
+///
+/// This is also the binary-search probe: the achievable task count by
+/// `deadline`, computed without materialising a witness.
+pub fn count_tasks_fork_by_deadline(
+    fork: &Fork,
+    max_tasks: usize,
+    deadline: Time,
+    scratch: &mut ForkScratch,
+) -> usize {
+    scratch.merge.begin(fork, deadline, max_tasks);
+    scratch.set.reset(deadline);
+    while scratch.set.len() < max_tasks {
+        let Some(v) = scratch.merge.next_slave() else { break };
+        scratch.set.try_insert(Item { comm: v.comm, proc_time: v.proc_time, payload: v });
+    }
+    scratch.set.len()
+}
+
+/// [`max_tasks_fork_by_deadline`] through caller-owned scratch buffers.
+pub fn max_tasks_fork_by_deadline_scratch(
+    fork: &Fork,
+    max_tasks: usize,
+    deadline: Time,
+    scratch: &mut ForkScratch,
+) -> ForkOutcome {
+    count_tasks_fork_by_deadline(fork, max_tasks, deadline, scratch);
+    materialise(fork, deadline, scratch)
+}
+
+/// Converts the selection sitting in `scratch.set` into an owned
+/// [`ForkOutcome`] — the only allocating step of the pipeline.
+fn materialise(fork: &Fork, deadline: Time, scratch: &ForkScratch) -> ForkOutcome {
+    let emissions = scratch.set.emission_times();
     let selected: Vec<(VirtualSlave, Time)> =
-        set.items().iter().zip(&emissions).map(|(item, &t)| (item.payload, t)).collect();
-
+        scratch.set.items().iter().zip(&emissions).map(|(item, &t)| (item.payload, t)).collect();
     ForkOutcome { schedule: realise(fork, &selected, deadline), selected }
 }
 
@@ -93,18 +158,52 @@ fn realise(fork: &Fork, selected: &[(VirtualSlave, Time)], deadline: Time) -> Sp
 /// ```
 pub fn schedule_fork(fork: &Fork, n: usize) -> (Time, ForkOutcome) {
     assert!(n >= 1, "schedule_fork requires at least one task");
-    let mut lo = 1; // no task can finish by tick 0 (c, w >= 1)
-    let mut hi = fork.makespan_upper_bound(n);
-    debug_assert!(max_tasks_fork_by_deadline(fork, n, hi).n() == n);
+    SCRATCH.with_borrow_mut(|scratch| {
+        // lo = 1: no task can finish by tick 0 (c, w >= 1).
+        let (makespan, cached) = search_min_deadline(1, fork.makespan_upper_bound(n), n, |d| {
+            count_tasks_fork_by_deadline(fork, n, d, scratch)
+        });
+        if !cached {
+            count_tasks_fork_by_deadline(fork, n, makespan, scratch);
+        }
+        (makespan, materialise(fork, makespan, scratch))
+    })
+}
+
+/// Exact binary search for the smallest deadline whose `probe` count
+/// reaches `target` — the shared skeleton of the incremental deadline
+/// searches (`schedule_fork`, `mst_spider::schedule_spider`).
+///
+/// `probe` is expected to leave its selection in caller-owned scratch
+/// state; the returned flag says whether the **final** probe ran at the
+/// returned deadline (the caller can then materialise its witness from
+/// the scratch without re-probing). The probe count must be
+/// non-decreasing in the deadline, and `hi` must be feasible (asserted
+/// in debug builds).
+pub fn search_min_deadline(
+    mut lo: Time,
+    mut hi: Time,
+    target: usize,
+    mut probe: impl FnMut(Time) -> usize,
+) -> (Time, bool) {
+    #[cfg(not(debug_assertions))]
+    let mut probed: Option<Time> = None;
+    #[cfg(debug_assertions)]
+    let mut probed: Option<Time> = {
+        assert_eq!(probe(hi), target, "the upper bound must be feasible");
+        Some(hi)
+    };
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        if max_tasks_fork_by_deadline(fork, n, mid).n() >= n {
+        let feasible = probe(mid) >= target;
+        probed = Some(mid);
+        if feasible {
             hi = mid;
         } else {
             lo = mid + 1;
         }
     }
-    (lo, max_tasks_fork_by_deadline(fork, n, lo))
+    (lo, probed == Some(lo))
 }
 
 #[cfg(test)]

@@ -1,4 +1,20 @@
 //! Node expansion: Figure 6 of the paper.
+//!
+//! Two implementations produce the same virtual-slave sequence:
+//!
+//! * [`expand_fork`] — the reference: materialise every `(node, rank)`
+//!   pair into a `Vec` (the caller sorts it). Kept for tests and as the
+//!   parity oracle.
+//! * [`ExpansionMerge`] — the hot path: each node's virtual slaves are
+//!   already emitted in ascending `(comm, proc_time)` order (the comm is
+//!   constant and `proc_time` grows by the node's period per rank), so a
+//!   k-way merge over per-node rank streams yields the globally sorted
+//!   order lazily, without materialising or sorting anything. Its heap
+//!   buffer is reusable across calls, so a deadline sweep allocates
+//!   nothing steady-state.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 use mst_platform::{Fork, Processor, Time};
 
@@ -58,9 +74,151 @@ pub fn expand_fork(fork: &Fork, deadline: Time, max_tasks: usize) -> Vec<Virtual
     out
 }
 
+/// A k-way merge cursor: the next unconsumed virtual slave of one node.
+///
+/// Ordered **descending** by `(comm, proc_time, source, rank)` so that
+/// [`BinaryHeap`] (a max-heap) pops the *smallest* key first — the exact
+/// order `expand_fork` + stable sort by `(comm, proc_time)` produces,
+/// since the reference generates ties in ascending `(source, rank)`
+/// order and stable sorting preserves that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Cursor(VirtualSlave);
+
+impl Cursor {
+    #[inline]
+    fn key(&self) -> (Time, Time, usize, usize) {
+        (self.0.comm, self.0.proc_time, self.0.source, self.0.rank)
+    }
+}
+
+impl Ord for Cursor {
+    fn cmp(&self, other: &Cursor) -> Ordering {
+        other.key().cmp(&self.key())
+    }
+}
+
+impl PartialOrd for Cursor {
+    fn partial_cmp(&self, other: &Cursor) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The merging expansion: streams a fork's virtual slaves in globally
+/// ascending `(comm, proc_time)` order without materialising them.
+///
+/// Construction is `O(p)` pushes; each [`ExpansionMerge::next_slave`] is
+/// one heap pop plus at most one push (`O(log p)`), so consuming `k`
+/// slaves costs `O((p + k) log p)` against the reference's
+/// `O(V log V)` sort over all `V` virtual slaves — and a consumer that
+/// stops early (the greedy caps at `max_tasks` accepted) never pays for
+/// the tail at all. Reuse one value across calls ([`ExpansionMerge::begin`]
+/// clears but keeps the buffers) to run allocation-free steady-state.
+#[derive(Debug, Clone, Default)]
+pub struct ExpansionMerge {
+    heap: BinaryHeap<Cursor>,
+    /// Per-node steady-state period `max(c_i, w_i)`, indexed by
+    /// `source - 1`; cached so successor cursors need no platform
+    /// lookups.
+    periods: Vec<Time>,
+    max_tasks: usize,
+    deadline: Time,
+}
+
+impl ExpansionMerge {
+    /// An empty merge; call [`ExpansionMerge::begin`] to seed it.
+    pub fn new() -> ExpansionMerge {
+        ExpansionMerge::default()
+    }
+
+    /// (Re)seeds the merge over `fork`'s per-node rank streams, keeping
+    /// previously grown buffer capacity.
+    pub fn begin(&mut self, fork: &Fork, deadline: Time, max_tasks: usize) {
+        self.heap.clear();
+        self.periods.clear();
+        self.max_tasks = max_tasks;
+        self.deadline = deadline;
+        for (idx, &p) in fork.slaves().iter().enumerate() {
+            self.periods.push(p.period());
+            if max_tasks > 0 && p.comm + p.work <= deadline {
+                self.heap.push(Cursor(VirtualSlave {
+                    comm: p.comm,
+                    proc_time: p.work,
+                    source: idx + 1,
+                    rank: 0,
+                }));
+            }
+        }
+    }
+
+    /// The next virtual slave in ascending `(comm, proc_time)` order
+    /// (ties: ascending `(source, rank)`), or `None` when every stream
+    /// is exhausted under the deadline/rank caps.
+    pub fn next_slave(&mut self) -> Option<VirtualSlave> {
+        let Cursor(v) = self.heap.pop()?;
+        let successor_proc = v.proc_time + self.periods[v.source - 1];
+        if v.rank + 1 < self.max_tasks && v.comm + successor_proc <= self.deadline {
+            self.heap.push(Cursor(VirtualSlave {
+                comm: v.comm,
+                proc_time: successor_proc,
+                source: v.source,
+                rank: v.rank + 1,
+            }));
+        }
+        Some(v)
+    }
+}
+
+/// Expands every slave of a fork in globally sorted `(comm, proc_time)`
+/// order via the merging iterator — the sequence `expand_fork` + stable
+/// sort produces, computed lazily.
+pub fn expand_fork_sorted(fork: &Fork, deadline: Time, max_tasks: usize) -> Vec<VirtualSlave> {
+    let mut merge = ExpansionMerge::new();
+    merge.begin(fork, deadline, max_tasks);
+    let mut out = Vec::new();
+    while let Some(v) = merge.next_slave() {
+        out.push(v);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merged_expansion_equals_sorted_reference() {
+        use mst_platform::{GeneratorConfig, HeterogeneityProfile};
+        for seed in 0..40u64 {
+            let g = GeneratorConfig::new(HeterogeneityProfile::ALL[(seed % 5) as usize], seed);
+            let fork = g.fork(1 + (seed % 7) as usize);
+            for deadline in [0, 3, 9, 17, 40] {
+                for max_tasks in [0, 1, 5, 50] {
+                    let mut reference = expand_fork(&fork, deadline, max_tasks);
+                    reference.sort_by_key(|v| (v.comm, v.proc_time));
+                    let merged = expand_fork_sorted(&fork, deadline, max_tasks);
+                    assert_eq!(merged, reference, "seed {seed}, T {deadline}, cap {max_tasks}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_reuse_keeps_streams_independent() {
+        let fork = Fork::from_pairs(&[(2, 5), (1, 3)]).unwrap();
+        let mut merge = ExpansionMerge::new();
+        merge.begin(&fork, 30, 10);
+        let first: Vec<VirtualSlave> = std::iter::from_fn(|| merge.next_slave()).collect();
+        // Re-begin on the same buffers: identical stream.
+        merge.begin(&fork, 30, 10);
+        let second: Vec<VirtualSlave> = std::iter::from_fn(|| merge.next_slave()).collect();
+        assert_eq!(first, second);
+        // A different deadline truncates, it doesn't leak prior state.
+        merge.begin(&fork, 9, 10);
+        let truncated: Vec<VirtualSlave> = std::iter::from_fn(|| merge.next_slave()).collect();
+        let mut reference = expand_fork(&fork, 9, 10);
+        reference.sort_by_key(|v| (v.comm, v.proc_time));
+        assert_eq!(truncated, reference);
+    }
 
     #[test]
     fn expansion_uses_period_max_c_w() {

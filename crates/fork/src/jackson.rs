@@ -48,6 +48,21 @@ impl<P: Copy> EddSet<P> {
         EddSet { deadline, items: Vec::new() }
     }
 
+    /// Empties the set and retargets it at a new deadline, keeping the
+    /// grown buffer capacity — the scratch-reuse hook that lets a
+    /// deadline sweep (binary search probes, batch traffic) run
+    /// allocation-free steady-state.
+    pub fn reset(&mut self, deadline: Time) {
+        self.items.clear();
+        self.deadline = deadline;
+    }
+
+    /// The deadline (`T_lim`) this set is feasible against.
+    #[inline]
+    pub fn deadline(&self) -> Time {
+        self.deadline
+    }
+
     /// Number of selected items.
     #[inline]
     pub fn len(&self) -> usize {
@@ -150,6 +165,18 @@ mod tests {
         // actually proc 2 fails, proc 1 fits: check boundary precisely).
         assert!(!set.clone().try_insert(it(2, 3)));
         assert!(set.clone().try_insert(it(2, 2)));
+    }
+
+    #[test]
+    fn reset_clears_items_and_retargets_the_deadline() {
+        let mut set = EddSet::new(10);
+        assert!(set.try_insert(it(2, 8)));
+        set.reset(5);
+        assert!(set.is_empty());
+        assert_eq!(set.deadline(), 5);
+        // The old deadline's feasibility must not leak through.
+        assert!(!set.try_insert(it(2, 8)));
+        assert!(set.try_insert(it(2, 3)));
     }
 
     #[test]

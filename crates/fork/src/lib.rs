@@ -35,6 +35,9 @@ pub mod algorithm;
 pub mod expand;
 pub mod jackson;
 
-pub use algorithm::{max_tasks_fork_by_deadline, schedule_fork, ForkOutcome};
-pub use expand::{expand_fork, expand_slave, VirtualSlave};
+pub use algorithm::{
+    count_tasks_fork_by_deadline, max_tasks_fork_by_deadline, max_tasks_fork_by_deadline_scratch,
+    schedule_fork, search_min_deadline, ForkOutcome, ForkScratch,
+};
+pub use expand::{expand_fork, expand_fork_sorted, expand_slave, ExpansionMerge, VirtualSlave};
 pub use jackson::{EddSet, Item};

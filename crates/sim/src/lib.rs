@@ -17,20 +17,25 @@
 //! * [`buffered`] — a finite-buffer ablation of the platform model
 //!   (Definition 1 implicitly assumes unbounded buffering; this measures
 //!   what that assumption is worth).
-//! * [`runner`] — a small `std::thread::scope`-based parallel sweep
-//!   executor used by the experiment harness and the `mst-api` batch
-//!   engine to evaluate thousands of instances across cores.
+//! * [`pool`] — a persistent [`pool::WorkerPool`]: threads spawned
+//!   once, parked between sweeps, contention-free per-slot result
+//!   writes.
+//! * [`runner`] — the parallel sweep entry point used by the experiment
+//!   harness and the `mst-api` batch engine to evaluate thousands of
+//!   instances across cores, backed by one process-wide pool.
 
 #![warn(missing_docs)]
 
 pub mod buffered;
 pub mod online;
+pub mod pool;
 pub mod replay;
 pub mod runner;
 pub mod trace;
 
 pub use buffered::simulate_online_buffered;
 pub use online::{simulate_online, OnlinePolicy};
+pub use pool::WorkerPool;
 pub use replay::{replay_chain, replay_spider, SimError};
-pub use runner::run_parallel;
+pub use runner::{run_parallel, shared_pool};
 pub use trace::{Event, EventKind, Trace};

@@ -1,0 +1,479 @@
+//! A persistent worker pool: spawn threads once, reuse them for every
+//! sweep.
+//!
+//! The experiment harness and the `mst-api` batch engine evaluate
+//! thousands of independent instances per call — and a service-style
+//! deployment makes those calls in a loop. Spawning a fresh
+//! `std::thread::scope` per call (the previous [`crate::run_parallel`]
+//! implementation) costs thread creation, stack setup and teardown on
+//! every batch; funnelling results through one `Mutex<Vec<Option<R>>>`
+//! serialises every completion. [`WorkerPool`] fixes both:
+//!
+//! * **threads are spawned once** (at pool construction) and parked on a
+//!   condvar between jobs — [`WorkerPool::run`] only publishes a job
+//!   descriptor and wakes them;
+//! * **work distribution** stays an atomic claim counter (the cheapest
+//!   dynamic load balancer there is), but **results are written into
+//!   per-slot cells** — each index is claimed by exactly one worker, so
+//!   the writes are disjoint and contention-free, with the completion
+//!   countdown providing the happens-before edge back to the caller;
+//! * the **caller participates**: the submitting thread claims items
+//!   like any worker, so a pool sized `available_parallelism - 1`
+//!   saturates the machine and a pool with zero workers still makes
+//!   progress;
+//! * **empty input never wakes a worker** ([`WorkerPool::run`] returns
+//!   before touching the queue), and a **panic in the closure is caught,
+//!   carried back and re-raised on the caller** after every in-flight
+//!   item has finished — a failing sweep fails loudly, never silently,
+//!   and never unwinds while workers still borrow the inputs.
+//!
+//! Safety rests on one invariant: `run` does not return (normally or by
+//! panic) until every claimed item has finished executing, so the
+//! borrowed `items`, closure and result slots outlive all worker access.
+//! Stale job descriptors keep a dangling data pointer after `run`
+//! returns, but their claim counter is exhausted (`next >= len`), so no
+//! worker ever dereferences it again.
+
+use std::cell::{Cell, UnsafeCell};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+thread_local! {
+    /// Identity (shared-state address) of the pool whose job this thread
+    /// is currently executing, or 0. A nested `run` on the **same** pool
+    /// falls back to inline execution instead of deadlocking on the
+    /// submit lock; a nested `run` on a *different* pool may still fan
+    /// out (it only `try_lock`s, so no submit-lock cycle can form).
+    static ACTIVE_POOL: Cell<usize> = const { Cell::new(0) };
+}
+
+/// A long-lived set of worker threads executing sweeps on demand.
+///
+/// ```
+/// use mst_sim::WorkerPool;
+/// let pool = WorkerPool::new();
+/// let items: Vec<u64> = (0..100).collect();
+/// let doubled = pool.run(&items, |&x| x * 2);
+/// assert_eq!(doubled[99], 198);
+/// // The same threads serve every subsequent call.
+/// assert_eq!(pool.run(&items, |&x| x + 1)[0], 1);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    /// Serialises job submission: one sweep owns the workers at a time.
+    submit: Mutex<()>,
+    handles: Vec<JoinHandle<()>>,
+    /// Jobs published to the workers since construction (== the epoch).
+    jobs: AtomicU64,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    job_ready: Condvar,
+}
+
+struct State {
+    /// Bumped once per published job; workers compare against the last
+    /// epoch they served to detect fresh work.
+    epoch: u64,
+    job: Option<Job>,
+    shutdown: bool,
+}
+
+/// A type-erased sweep: `call(data, idx)` runs item `idx` and stores its
+/// result. `data` borrows the caller's stack; see the module invariant.
+#[derive(Clone)]
+struct Job {
+    data: DataPtr,
+    call: unsafe fn(*const (), usize),
+    next: Arc<AtomicUsize>,
+    len: usize,
+    status: Arc<JobStatus>,
+}
+
+#[derive(Clone, Copy)]
+struct DataPtr(*const ());
+// SAFETY: the pointee is a `Ctx` on the submitting caller's stack, kept
+// alive until every worker is done with it (`run` blocks on the
+// completion countdown before returning).
+unsafe impl Send for DataPtr {}
+
+struct JobStatus {
+    /// Items not yet finished; the worker that takes it to zero signals
+    /// `finished`.
+    remaining: AtomicUsize,
+    done: Mutex<bool>,
+    finished: Condvar,
+    /// First panic payload raised by the closure, re-raised by `run`.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// One result slot, written by exactly one worker (the claimer of its
+/// index) and read by the caller only after the completion countdown.
+#[repr(transparent)]
+struct Slot<R>(UnsafeCell<Option<R>>);
+// SAFETY: disjoint indices guarantee at most one writer per slot; the
+// `remaining` countdown (AcqRel) orders all writes before the caller's
+// reads.
+unsafe impl<R: Send> Sync for Slot<R> {}
+
+impl WorkerPool {
+    /// A pool sized for the machine: `available_parallelism - 1` workers
+    /// (the caller thread participates in every sweep, completing the
+    /// set).
+    pub fn new() -> WorkerPool {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        WorkerPool::with_workers(cores.saturating_sub(1))
+    }
+
+    /// A pool with exactly `workers` background threads. `0` is valid:
+    /// every sweep then runs inline on the caller.
+    pub fn with_workers(workers: usize) -> WorkerPool {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { epoch: 0, job: None, shutdown: false }),
+            job_ready: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name("mst-pool-worker".into())
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, submit: Mutex::new(()), handles, jobs: AtomicU64::new(0) }
+    }
+
+    /// Number of background worker threads (the caller adds one more to
+    /// every sweep).
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// This pool's identity: the address of its shared state, matching
+    /// what `worker_loop` sees. Used by the nested-`run` guard.
+    fn id(&self) -> usize {
+        Arc::as_ptr(&self.shared) as usize
+    }
+
+    /// Jobs published to the worker threads so far. Stays at zero for
+    /// empty and single-item sweeps (which never wake a worker) — the
+    /// regression guard for the no-wakeup fast path.
+    pub fn jobs_submitted(&self) -> u64 {
+        self.jobs.load(Ordering::Relaxed)
+    }
+
+    /// Applies `f` to every item, fanning out over the pool; results
+    /// come back in input order.
+    ///
+    /// A panic inside `f` is re-raised here once all in-flight items
+    /// have finished. Empty input returns immediately; single-item input
+    /// and zero-worker pools run inline on the caller.
+    pub fn run<I, R, F>(&self, items: &[I], f: F) -> Vec<R>
+    where
+        I: Sync,
+        R: Send,
+        F: Fn(&I) -> R + Sync,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        // Inline paths: nothing to fan out, or this thread is already
+        // executing one of *this* pool's jobs (a same-pool nested sweep
+        // would deadlock on the submit lock).
+        let nested_in = ACTIVE_POOL.with(Cell::get);
+        if items.len() == 1 || self.workers() == 0 || nested_in == self.id() {
+            return items.iter().map(f).collect();
+        }
+
+        // One sweep owns the workers at a time. Top-level submitters
+        // queue on the lock: waiting one sweep and then fanning out
+        // beats computing a large batch single-threaded (and is
+        // cycle-free — this thread holds no pool resources anyone else
+        // waits on). From inside *another* pool's job, never block
+        // (blocking could close a submit-lock cycle across pools):
+        // take the lock if free, otherwise run inline. A panicking
+        // sweep re-raises below while still holding the guard,
+        // poisoning the lock — harmless, since its claimed items are
+        // fully drained first, so recover instead of cascading.
+        let _submitting = if nested_in == 0 {
+            self.submit.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        } else {
+            match self.submit.try_lock() {
+                Ok(guard) => guard,
+                Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    return items.iter().map(f).collect();
+                }
+            }
+        };
+
+        let slots: Vec<Slot<R>> = (0..items.len()).map(|_| Slot(UnsafeCell::new(None))).collect();
+        struct Ctx<'a, I, R, F> {
+            items: &'a [I],
+            f: &'a F,
+            slots: &'a [Slot<R>],
+        }
+        /// SAFETY: `data` must point at a live `Ctx<I, R, F>` and `idx`
+        /// must be claimed by exactly one caller.
+        unsafe fn call_one<I, R, F: Fn(&I) -> R>(data: *const (), idx: usize) {
+            let ctx = &*data.cast::<Ctx<'_, I, R, F>>();
+            let result = (ctx.f)(&ctx.items[idx]);
+            *ctx.slots[idx].0.get() = Some(result);
+        }
+
+        let ctx = Ctx { items, f: &f, slots: &slots };
+        let status = Arc::new(JobStatus {
+            remaining: AtomicUsize::new(items.len()),
+            done: Mutex::new(false),
+            finished: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        let job = Job {
+            data: DataPtr((&raw const ctx).cast()),
+            call: call_one::<I, R, F>,
+            next: Arc::new(AtomicUsize::new(0)),
+            len: items.len(),
+            status: Arc::clone(&status),
+        };
+
+        {
+            let mut state = self.shared.state.lock().expect("workers never poison the state");
+            state.epoch += 1;
+            state.job = Some(job.clone());
+        }
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+        // Wake only as many workers as there are items beyond the one
+        // the caller covers — `notify_all` on a small sweep would herd
+        // every worker through the state mutex just to find the claim
+        // counter exhausted. Un-woken workers keep sleeping with a stale
+        // epoch and simply skip ahead to whatever job is current when
+        // next notified.
+        for _ in 0..self.workers().min(items.len() - 1) {
+            self.shared.job_ready.notify_one();
+        }
+
+        // The caller claims items alongside the workers, then waits for
+        // the stragglers — `ctx` must stay borrowed until then.
+        execute(&job, self.id());
+        let mut done = status.done.lock().expect("completion flag is never poisoned");
+        while !*done {
+            done = status.finished.wait(done).expect("completion wait");
+        }
+        drop(done);
+
+        if let Some(payload) = status.panic.lock().expect("panic slot").take() {
+            resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.0.into_inner().expect("every claimed index wrote its slot"))
+            .collect()
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> WorkerPool {
+        WorkerPool::new()
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers())
+            .field("jobs_submitted", &self.jobs_submitted())
+            .finish()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("workers never poison the state");
+            state.shutdown = true;
+        }
+        self.shared.job_ready.notify_all();
+        for handle in self.handles.drain(..) {
+            handle.join().expect("pool worker exits cleanly");
+        }
+    }
+}
+
+/// The background thread body: sleep until a fresh epoch (or shutdown),
+/// serve the published job, repeat.
+fn worker_loop(shared: &Shared) {
+    let mut served = 0u64;
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("submitters never poison the state");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch != served {
+                    served = state.epoch;
+                    break state.job.clone().expect("a bumped epoch always publishes a job");
+                }
+                state = shared.job_ready.wait(state).expect("job wait");
+            }
+        };
+        execute(&job, shared as *const Shared as usize);
+    }
+}
+
+/// Claims and runs items until the job's counter is exhausted. Panics in
+/// the closure are recorded (first wins) and never unwind past here.
+/// `pool_id` marks this thread as busy with that pool for the duration
+/// (restoring the previous marker, so cross-pool nesting unwinds
+/// correctly).
+fn execute(job: &Job, pool_id: usize) {
+    let previous = ACTIVE_POOL.with(|active| active.replace(pool_id));
+    loop {
+        let idx = job.next.fetch_add(1, Ordering::Relaxed);
+        if idx >= job.len {
+            break;
+        }
+        // SAFETY: `idx < len` is claimed exactly once, and the submitter
+        // keeps `data` alive until `remaining` reaches zero.
+        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (job.call)(job.data.0, idx) }));
+        if let Err(payload) = outcome {
+            {
+                let mut slot = job.status.panic.lock().expect("panic slot");
+                slot.get_or_insert(payload);
+            }
+            // The sweep is failing — drain the unclaimed tail instead of
+            // paying for it. In-flight items on other workers still
+            // finish (the safety invariant needs only *claimed* items to
+            // complete); the bulk decrement cannot take `remaining` to
+            // zero because this item's own decrement below is still
+            // pending, so the completion signal stays on the normal path.
+            let claimed = job.next.swap(job.len, Ordering::Relaxed).min(job.len);
+            let unclaimed = job.len - claimed;
+            if unclaimed > 0 {
+                let before = job.status.remaining.fetch_sub(unclaimed, Ordering::AcqRel);
+                debug_assert!(before > unclaimed, "this item has not been counted down yet");
+            }
+        }
+        // AcqRel: the worker driving this to zero has acquired every
+        // earlier worker's slot writes, and its release below makes them
+        // visible to the caller through the `done` mutex.
+        if job.status.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut done = job.status.done.lock().expect("completion flag");
+            *done = true;
+            job.status.finished.notify_all();
+        }
+    }
+    ACTIVE_POOL.with(|active| active.set(previous));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_input_order_across_reuse() {
+        // Explicit worker count: machine-sized pools have zero workers
+        // on single-core machines and would run inline.
+        let pool = WorkerPool::with_workers(3);
+        let items: Vec<u64> = (0..5000).collect();
+        for round in 0..3u64 {
+            let out = pool.run(&items, |&x| x * 2 + round);
+            assert_eq!(out, items.iter().map(|x| x * 2 + round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input_returns_without_waking_workers() {
+        let pool = WorkerPool::with_workers(2);
+        let empty: Vec<u64> = vec![];
+        assert!(pool.run(&empty, |&x| x).is_empty());
+        assert_eq!(pool.jobs_submitted(), 0, "empty sweeps must not publish a job");
+        // Single items run inline on the caller, also without a wakeup.
+        assert_eq!(pool.run(&[7u64], |&x| x + 1), vec![8]);
+        assert_eq!(pool.jobs_submitted(), 0);
+        // A real sweep does publish.
+        pool.run(&[1u64, 2, 3], |&x| x);
+        assert_eq!(pool.jobs_submitted(), 1);
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = WorkerPool::with_workers(0);
+        assert_eq!(pool.workers(), 0);
+        let items: Vec<u64> = (0..100).collect();
+        assert_eq!(pool.run(&items, |&x| x + 1)[99], 100);
+        assert_eq!(pool.jobs_submitted(), 0);
+    }
+
+    #[test]
+    fn panics_propagate_loudly_after_the_sweep_drains() {
+        let pool = WorkerPool::with_workers(2);
+        let items: Vec<u64> = (0..256).collect();
+        let executed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&items, |&x| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                assert!(x != 40, "injected failure");
+                x
+            })
+        }));
+        assert!(result.is_err(), "the sweep must re-raise the worker panic");
+        // Every *claimed* item ran to completion before the unwind (the
+        // borrowed inputs were never freed under a live worker), and the
+        // failing item itself was among them; the unclaimed tail is
+        // drained without running.
+        let ran = executed.load(Ordering::Relaxed);
+        assert!((41..=256).contains(&ran), "claimed items only, got {ran}");
+        // The pool survives a panicked sweep and serves the next one.
+        assert_eq!(pool.run(&items, |&x| x)[10], 10);
+    }
+
+    #[test]
+    fn nested_runs_fall_back_inline_instead_of_deadlocking() {
+        let pool = WorkerPool::with_workers(2);
+        let outer: Vec<u64> = (0..16).collect();
+        let out = pool.run(&outer, |&x| {
+            let inner: Vec<u64> = (0..4).collect();
+            pool.run(&inner, |&y| y).iter().sum::<u64>() + x
+        });
+        assert_eq!(out[0], 6);
+        assert_eq!(out[15], 21);
+    }
+
+    #[test]
+    fn cross_pool_nesting_completes_and_may_fan_out() {
+        // A job on pool A sweeping on pool B must neither deadlock nor
+        // lose results; B's workers serve it when B's submit lock is
+        // free (contended A-items fall back inline, still correct).
+        let a = WorkerPool::with_workers(2);
+        let b = WorkerPool::with_workers(2);
+        let outer: Vec<u64> = (0..8).collect();
+        let out = a.run(&outer, |&x| {
+            let inner: Vec<u64> = (0..50).collect();
+            b.run(&inner, |&y| y * 2).iter().sum::<u64>() + x
+        });
+        for (x, total) in outer.iter().zip(&out) {
+            assert_eq!(*total, 2450 + x);
+        }
+    }
+
+    #[test]
+    fn concurrent_submitters_serialise_safely() {
+        let pool = WorkerPool::with_workers(2);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let pool = &pool;
+                scope.spawn(move || {
+                    let items: Vec<u64> = (0..500).collect();
+                    let out = pool.run(&items, |&x| x + t);
+                    assert_eq!(out[499], 499 + t);
+                });
+            }
+        });
+    }
+}

@@ -1,49 +1,37 @@
-//! A minimal parallel sweep executor for the experiment harness.
+//! The parallel sweep entry point, backed by the shared [`WorkerPool`].
 //!
 //! Experiments evaluate thousands of independent (instance, scheduler)
-//! pairs; this helper fans them out over all cores with `std::thread`
-//! scoped threads and a shared atomic work index — no dependency on a
-//! task-parallel runtime, and results come back in input order.
+//! pairs; [`run_parallel`] fans them out over all cores. Since the
+//! hot-path overhaul it no longer spawns threads per call: the first
+//! call builds one process-wide [`WorkerPool`] and every later call
+//! reuses its sleeping workers — no scope setup, no result mutex, and
+//! results still come back in input order.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use crate::pool::WorkerPool;
+use std::sync::{Arc, OnceLock};
+
+/// The process-wide pool shared by [`run_parallel`] and (by default)
+/// every `mst_api::Batch`. Built on first use, sized to the machine;
+/// its workers sleep between sweeps and are never respawned.
+pub fn shared_pool() -> Arc<WorkerPool> {
+    static POOL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+    Arc::clone(POOL.get_or_init(|| Arc::new(WorkerPool::new())))
+}
 
 /// Applies `f` to every item on all available cores; returns results in
 /// input order.
 ///
 /// `f` must be `Sync` (shared by reference across workers). Panics in a
-/// worker propagate after the scope joins, so a failing experiment fails
-/// loudly rather than silently dropping results.
+/// worker propagate after the sweep drains, so a failing experiment
+/// fails loudly rather than silently dropping results. Empty input
+/// returns immediately without waking a single worker.
 pub fn run_parallel<I, R, F>(items: &[I], f: F) -> Vec<R>
 where
     I: Sync,
     R: Send,
     F: Fn(&I) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let threads = threads.min(items.len().max(1));
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= items.len() {
-                    break;
-                }
-                let r = f(&items[idx]);
-                results.lock().expect("no worker poisoned the results")[idx] = Some(r);
-            });
-        }
-    });
-
-    results
-        .into_inner()
-        .expect("scope joined every worker")
-        .into_iter()
-        .map(|r| r.expect("every index visited"))
-        .collect()
+    shared_pool().run(items, f)
 }
 
 #[cfg(test)]
@@ -62,6 +50,15 @@ mod tests {
         let empty: Vec<u64> = vec![];
         assert!(run_parallel(&empty, |&x| x).is_empty());
         assert_eq!(run_parallel(&[7u64], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn shared_pool_is_reused_across_calls() {
+        let before = Arc::as_ptr(&shared_pool());
+        let items: Vec<u64> = (0..64).collect();
+        run_parallel(&items, |&x| x);
+        run_parallel(&items, |&x| x + 1);
+        assert_eq!(Arc::as_ptr(&shared_pool()), before, "one pool for the whole process");
     }
 
     #[test]

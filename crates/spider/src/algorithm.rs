@@ -1,54 +1,86 @@
 //! The spider algorithm: per-leg chains, fork selection, revert.
+//!
+//! The deadline search is incremental: binary-search probes run the
+//! selection (steps (1)–(4)) through a reusable [`SpiderScratch`]
+//! without materialising a witness, and step (5)'s revert runs **once**,
+//! on the final deadline — the same hot-path structure as
+//! `mst_fork::schedule_fork`.
 
-use crate::transform::{transform_leg, ChainVirtualSlave};
+use crate::transform::{transform_leg_into, ChainVirtualSlave};
 use mst_core::schedule_chain_by_deadline;
 use mst_fork::jackson::{EddSet, Item};
+use mst_fork::search_min_deadline;
 use mst_platform::{NodeId, Spider, Time};
 use mst_schedule::{ChainSchedule, CommVector, SpiderSchedule, SpiderTask};
+use std::cell::RefCell;
 
-/// The `T_lim` spider algorithm (Section 7, steps (1)–(5)): schedules
-/// the **maximum number of tasks** — at most `max_tasks` — on `spider`,
-/// all completing by `deadline`. Optimal in task count by Theorem 3.
-///
-/// Complexity: `O(n p^2)` for the per-leg chain schedules plus
-/// `O((n k)^2)` for the fork selection (`k` legs), i.e. the paper's
-/// `O(n^2 p^2)` bound.
-pub fn schedule_spider_by_deadline(
+thread_local! {
+    /// Per-thread scratch backing the buffer-less entry points, so batch
+    /// traffic reuses one set of buffers per worker thread.
+    static SCRATCH: RefCell<SpiderScratch> = RefCell::new(SpiderScratch::new());
+}
+
+/// Reusable working memory for the spider selection: the per-leg chain
+/// schedules, the pooled virtual-slave buffer and the greedy's feasible
+/// set, kept across binary-search probes and across instances.
+#[derive(Debug, Clone)]
+struct SpiderScratch {
+    leg_schedules: Vec<ChainSchedule>,
+    virtuals: Vec<ChainVirtualSlave>,
+    set: EddSet<ChainVirtualSlave>,
+}
+
+impl SpiderScratch {
+    fn new() -> SpiderScratch {
+        SpiderScratch { leg_schedules: Vec::new(), virtuals: Vec::new(), set: EddSet::new(0) }
+    }
+}
+
+/// Steps (1)–(4): per-leg `T_lim` chains, pooled transformation, greedy
+/// selection. Leaves the selection in `scratch` (the revert needs the
+/// leg schedules too) and returns the task count — the binary-search
+/// probe, with no witness built.
+fn select_into(
     spider: &Spider,
     max_tasks: usize,
     deadline: Time,
-) -> SpiderSchedule {
+    scratch: &mut SpiderScratch,
+) -> usize {
     // (2) optimal T_lim chain schedule per leg.
-    let leg_schedules: Vec<ChainSchedule> = spider
-        .legs()
-        .iter()
-        .map(|chain| schedule_chain_by_deadline(chain, max_tasks, deadline))
-        .collect();
+    scratch.leg_schedules.clear();
+    scratch.leg_schedules.extend(
+        spider.legs().iter().map(|chain| schedule_chain_by_deadline(chain, max_tasks, deadline)),
+    );
 
     // (3) pooled fork graph of virtual slaves.
-    let mut virtuals: Vec<ChainVirtualSlave> = Vec::new();
+    scratch.virtuals.clear();
     for (l, chain) in spider.legs().iter().enumerate() {
-        virtuals.extend(transform_leg(l, chain, &leg_schedules[l], deadline));
+        let (schedules, virtuals) = (&scratch.leg_schedules, &mut scratch.virtuals);
+        transform_leg_into(l, chain, &schedules[l], deadline, virtuals);
     }
-    virtuals.sort_by_key(|v| (v.comm, v.proc_time));
+    scratch.virtuals.sort_by_key(|v| (v.comm, v.proc_time));
 
     // (4) bandwidth-centric greedy selection under Jackson's rule.
-    let mut set: EddSet<ChainVirtualSlave> = EddSet::new(deadline);
-    for v in virtuals {
-        if set.len() == max_tasks {
+    scratch.set.reset(deadline);
+    for &v in &scratch.virtuals {
+        if scratch.set.len() == max_tasks {
             break;
         }
-        set.try_insert(Item { comm: v.comm, proc_time: v.proc_time, payload: v });
+        scratch.set.try_insert(Item { comm: v.comm, proc_time: v.proc_time, payload: v });
     }
+    scratch.set.len()
+}
 
-    // (5) revert to a spider schedule: every selected virtual slave is its
-    // original chain task, with the master emission moved to the slot the
-    // fork algorithm chose (never later than the original — Lemma 3).
-    let emissions = set.emission_times();
-    let mut tasks = Vec::with_capacity(set.len());
-    for (item, emit) in set.items().iter().zip(emissions) {
+/// Step (5): revert the selection sitting in `scratch` to a spider
+/// schedule — every selected virtual slave is its original chain task,
+/// with the master emission moved to the slot the fork algorithm chose
+/// (never later than the original — Lemma 3).
+fn revert(scratch: &SpiderScratch) -> SpiderSchedule {
+    let emissions = scratch.set.emission_times();
+    let mut tasks = Vec::with_capacity(scratch.set.len());
+    for (item, emit) in scratch.set.items().iter().zip(emissions) {
         let v = item.payload;
-        let chain_task = leg_schedules[v.leg].task(v.task_index);
+        let chain_task = scratch.leg_schedules[v.leg].task(v.task_index);
         debug_assert!(
             emit <= chain_task.comms.first(),
             "fork emission must not be later than the chain emission"
@@ -63,6 +95,24 @@ pub fn schedule_spider_by_deadline(
         ));
     }
     SpiderSchedule::new(tasks)
+}
+
+/// The `T_lim` spider algorithm (Section 7, steps (1)–(5)): schedules
+/// the **maximum number of tasks** — at most `max_tasks` — on `spider`,
+/// all completing by `deadline`. Optimal in task count by Theorem 3.
+///
+/// Complexity: `O(n p^2)` for the per-leg chain schedules plus
+/// `O((n k)^2)` for the fork selection (`k` legs), i.e. the paper's
+/// `O(n^2 p^2)` bound.
+pub fn schedule_spider_by_deadline(
+    spider: &Spider,
+    max_tasks: usize,
+    deadline: Time,
+) -> SpiderSchedule {
+    SCRATCH.with_borrow_mut(|scratch| {
+        select_into(spider, max_tasks, deadline, scratch);
+        revert(scratch)
+    })
 }
 
 /// Minimum-makespan schedule of exactly `n` tasks on a spider, by binary
@@ -84,18 +134,15 @@ pub fn schedule_spider_by_deadline(
 /// ```
 pub fn schedule_spider(spider: &Spider, n: usize) -> (Time, SpiderSchedule) {
     assert!(n >= 1, "schedule_spider requires at least one task");
-    let mut lo = 1;
-    let mut hi = spider.makespan_upper_bound(n);
-    debug_assert_eq!(schedule_spider_by_deadline(spider, n, hi).n(), n);
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        if schedule_spider_by_deadline(spider, n, mid).n() >= n {
-            hi = mid;
-        } else {
-            lo = mid + 1;
+    SCRATCH.with_borrow_mut(|scratch| {
+        let (makespan, cached) = search_min_deadline(1, spider.makespan_upper_bound(n), n, |d| {
+            select_into(spider, n, d, scratch)
+        });
+        if !cached {
+            select_into(spider, n, makespan, scratch);
         }
-    }
-    (lo, schedule_spider_by_deadline(spider, n, lo))
+        (makespan, revert(scratch))
+    })
 }
 
 #[cfg(test)]

@@ -30,4 +30,4 @@ pub mod algorithm;
 pub mod transform;
 
 pub use algorithm::{schedule_spider, schedule_spider_by_deadline};
-pub use transform::{transform_leg, ChainVirtualSlave};
+pub use transform::{transform_leg, transform_leg_into, ChainVirtualSlave};

@@ -64,5 +64,6 @@ pub mod prelude {
         Chain, Fork, GeneratorConfig, HeterogeneityProfile, NodeId, Processor, Spider, Time, Tree,
     };
     pub use mst_schedule::{ChainSchedule, CommVector, SpiderSchedule};
+    pub use mst_sim::{run_parallel, shared_pool, WorkerPool};
     pub use mst_spider::{schedule_spider, schedule_spider_by_deadline};
 }
