@@ -16,7 +16,9 @@
 //!   over the per-topology schedule structs, checked by the single
 //!   [`verify`] oracle;
 //! * [`Batch`] — `Batch::new(registry).solve_all(&instances)` sweeps
-//!   instance sets across all cores.
+//!   instance sets across all cores;
+//! * [`wire`] — the dependency-free JSON codec carrying instances,
+//!   solutions and errors over the `mst-serve` HTTP front-end.
 //!
 //! ```
 //! use mst_api::{Instance, Platform, SolverRegistry, verify};
@@ -44,6 +46,7 @@ pub mod registry;
 pub mod solution;
 pub mod solver;
 pub mod solvers;
+pub mod wire;
 
 pub use batch::{Batch, BatchSummary};
 pub use error::SolveError;

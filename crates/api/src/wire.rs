@@ -1,0 +1,618 @@
+//! The JSON wire format for service traffic: a dependency-free codec
+//! for [`Instance`] requests, [`Solution`] responses and [`SolveError`]
+//! bodies.
+//!
+//! The build environment is offline, so there is no serde; this module
+//! hand-rolls the small JSON subset the `mst-serve` front-end needs:
+//!
+//! * [`Json`] — a parsed JSON value with a strict recursive-descent
+//!   parser ([`Json::parse`], depth-capped so adversarial nesting cannot
+//!   blow the stack) and a compact serializer (`to_string()`, via
+//!   [`fmt::Display`]);
+//! * [`instance_to_json`] / [`instance_from_json`] — an instance travels
+//!   as `{"platform": "<instance text format>", "tasks": N}`, reusing
+//!   the existing [`crate::Platform::parse`]/[`crate::Platform::to_text`]
+//!   round-trip for the topology itself;
+//! * [`solution_to_json`] — makespan, scheduled-task count and (for
+//!   witnessed solutions) the full schedule, task by task;
+//! * [`error_to_json`] / [`error_kind`] — every [`SolveError`] becomes a
+//!   structured `{"error": {"kind": ..., "message": ...}}` body, so
+//!   clients can dispatch on a stable kind string instead of scraping
+//!   the human-readable message.
+//!
+//! ```
+//! use mst_api::wire::{instance_from_json, solution_to_json, Json};
+//! use mst_api::SolverRegistry;
+//!
+//! let body = r#"{"platform": "chain\n2 3\n3 5\n", "tasks": 5}"#;
+//! let instance = instance_from_json(&Json::parse(body)?)?;
+//! let solution = SolverRegistry::global().solve("optimal", &instance)?;
+//! let reply = solution_to_json(&solution);
+//! assert_eq!(reply.get("makespan").and_then(Json::as_i64), Some(14));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::error::SolveError;
+use crate::instance::Instance;
+use crate::solution::{ScheduleRepr, Solution};
+use std::fmt;
+
+/// Deepest permitted nesting while parsing — adversarial `[[[[...]]]]`
+/// bodies fail fast instead of exhausting the stack.
+const MAX_DEPTH: usize = 64;
+
+/// A parse or decode failure, with a human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    message: String,
+}
+
+impl WireError {
+    fn new(message: impl Into<String>) -> WireError {
+        WireError { message: message.into() }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A JSON value: the wire representation of every request and response
+/// body.
+///
+/// Objects preserve insertion order (they are association lists, not
+/// maps) so serialized bodies are deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses `text` as a single JSON value; trailing non-whitespace is
+    /// an error, as is nesting deeper than an internal cap.
+    pub fn parse(text: &str) -> Result<Json, WireError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_whitespace(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(WireError::new(format!("trailing data at byte {pos}")));
+        }
+        Ok(value)
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an integer, if it is one exactly.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 => {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup (first match; `None` on non-objects too).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj(members: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// An integer number value (every count and makespan on the wire).
+    pub fn int(n: i64) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+}
+
+impl fmt::Display for Json {
+    /// Compact serialization: no whitespace, keys in insertion order,
+    /// integral numbers without a fractional part.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    item.fmt(f)?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(members) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, key)?;
+                    f.write_str(":")?;
+                    value.fmt(f)?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for ch in s.chars() {
+        match ch {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+fn skip_whitespace(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, WireError> {
+    if depth > MAX_DEPTH {
+        return Err(WireError::new("JSON nested too deeply"));
+    }
+    skip_whitespace(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(WireError::new("unexpected end of input")),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_whitespace(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_whitespace(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(WireError::new(format!("expected ',' or ']' at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_whitespace(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_whitespace(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_whitespace(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(WireError::new(format!("expected ':' at byte {pos}")));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                members.push((key, value));
+                skip_whitespace(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(WireError::new(format!("expected ',' or '}}' at byte {pos}"))),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => Err(WireError::new(format!("unexpected byte {:?} at {pos}", *c as char))),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Json,
+) -> Result<Json, WireError> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(WireError::new(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, WireError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| WireError::new("non-UTF-8 number"))?;
+    let n: f64 =
+        text.parse().map_err(|_| WireError::new(format!("invalid number {text:?} at {start}")))?;
+    if !n.is_finite() {
+        return Err(WireError::new(format!("non-finite number {text:?}")));
+    }
+    Ok(Json::Num(n))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, WireError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(WireError::new(format!("expected string at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(WireError::new("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| WireError::new("truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| WireError::new("invalid \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| WireError::new(format!("invalid \\u escape {hex:?}")))?;
+                        // Surrogates are not paired up — the wire format
+                        // never emits them; reject rather than mangle.
+                        let ch = char::from_u32(code).ok_or_else(|| {
+                            WireError::new(format!("invalid codepoint {code:#x}"))
+                        })?;
+                        out.push(ch);
+                        *pos += 4;
+                    }
+                    _ => return Err(WireError::new(format!("invalid escape at byte {pos}"))),
+                }
+                *pos += 1;
+            }
+            Some(&c) if c < 0x20 => {
+                return Err(WireError::new("unescaped control character in string"));
+            }
+            Some(_) => {
+                // Copy one UTF-8 scalar (1..=4 bytes) verbatim.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| WireError::new("non-UTF-8 string content"))?;
+                let ch = rest.chars().next().expect("non-empty by the match above");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Instance / Solution / error codecs.
+// ---------------------------------------------------------------------------
+
+/// Encodes an instance as `{"platform": <text format>, "tasks": N}`.
+pub fn instance_to_json(instance: &Instance) -> Json {
+    Json::obj([
+        ("platform", Json::str(instance.platform.to_text())),
+        ("tasks", Json::int(instance.tasks as i64)),
+    ])
+}
+
+/// Decodes an instance from its wire object.
+///
+/// `platform` carries the workspace instance text format (the same text
+/// `mst generate` emits and [`crate::Platform::parse`] reads); `tasks`
+/// must be a positive integer.
+pub fn instance_from_json(json: &Json) -> Result<Instance, WireError> {
+    let text = json
+        .get("platform")
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError::new("missing string field \"platform\""))?;
+    let tasks = json
+        .get("tasks")
+        .and_then(Json::as_i64)
+        .ok_or_else(|| WireError::new("missing integer field \"tasks\""))?;
+    if tasks <= 0 {
+        return Err(WireError::new(format!("\"tasks\" must be at least 1, got {tasks}")));
+    }
+    let instance = Instance::parse(text, tasks as usize)
+        .map_err(|e| WireError::new(format!("invalid platform: {e}")))?;
+    Ok(instance)
+}
+
+/// Encodes a solution: makespan, scheduled-task count, and (when
+/// witnessed) the schedule itself, task by task in emission order.
+pub fn solution_to_json(solution: &Solution) -> Json {
+    let schedule = match solution.schedule() {
+        None => Json::Null,
+        Some(ScheduleRepr::Chain(s)) => Json::obj([
+            ("repr", Json::str("chain")),
+            (
+                "tasks",
+                Json::Arr(
+                    s.tasks()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| {
+                            Json::obj([
+                                ("task", Json::int(i as i64 + 1)),
+                                ("proc", Json::int(t.proc as i64)),
+                                ("start", Json::int(t.start)),
+                                ("end", Json::int(t.end())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        Some(ScheduleRepr::Spider(s)) => Json::obj([
+            ("repr", Json::str("spider")),
+            (
+                "tasks",
+                Json::Arr(
+                    s.tasks()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| {
+                            Json::obj([
+                                ("task", Json::int(i as i64 + 1)),
+                                ("leg", Json::int(t.node.leg as i64)),
+                                ("depth", Json::int(t.node.depth as i64)),
+                                ("start", Json::int(t.start)),
+                                ("end", Json::int(t.end())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    };
+    let relaxed = match solution.relaxed_makespan() {
+        Some(t) => Json::Num(t),
+        None => Json::Null,
+    };
+    Json::obj([
+        ("solver", Json::str(solution.solver())),
+        ("makespan", Json::int(solution.makespan())),
+        ("scheduled", Json::int(solution.n() as i64)),
+        ("witnessed", Json::Bool(solution.is_witnessed())),
+        ("schedule", schedule),
+        ("relaxed_makespan", relaxed),
+    ])
+}
+
+/// The stable machine-readable kind string of a [`SolveError`], used by
+/// clients (and the service's status-code mapping) to dispatch without
+/// scraping messages.
+pub fn error_kind(error: &SolveError) -> &'static str {
+    match error {
+        SolveError::UnsupportedTopology { .. } => "unsupported-topology",
+        SolveError::DeadlineUnsupported { .. } => "deadline-unsupported",
+        SolveError::UnknownSolver { .. } => "unknown-solver",
+        SolveError::ZeroTasks => "zero-tasks",
+        SolveError::Platform(_) => "invalid-platform",
+        SolveError::MalformedSolution { .. } => "malformed-solution",
+    }
+}
+
+/// Encodes a solve failure as `{"error": {"kind": ..., "message": ...}}`.
+pub fn error_to_json(error: &SolveError) -> Json {
+    Json::obj([(
+        "error",
+        Json::obj([
+            ("kind", Json::str(error_kind(error))),
+            ("message", Json::str(error.to_string())),
+        ]),
+    )])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+    use crate::registry::SolverRegistry;
+
+    #[test]
+    fn values_round_trip_through_text() {
+        let cases = [
+            "null",
+            "true",
+            "-12",
+            "3.5",
+            "\"a\\nb\\\"c\\\\d\"",
+            "[1,[2,3],{\"x\":null}]",
+            "{\"platform\":\"chain\\n2 3\\n\",\"tasks\":5}",
+        ];
+        for case in cases {
+            let parsed = Json::parse(case).unwrap();
+            assert_eq!(Json::parse(&parsed.to_string()).unwrap(), parsed, "{case}");
+        }
+    }
+
+    #[test]
+    fn malformed_bodies_error_not_panic() {
+        let cases = [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "01x",
+            "{\"a\":1}trailing",
+            "\"bad \\q escape\"",
+            "1e999",
+            "nan",
+            "--3",
+            "\"\\u12\"",
+            "\u{7}",
+        ];
+        for case in cases {
+            assert!(Json::parse(case).is_err(), "{case:?} must fail to parse");
+        }
+        // Depth bombing fails cleanly instead of recursing without bound.
+        let deep = "[".repeat(10_000) + &"]".repeat(10_000);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn instances_round_trip() {
+        let instance = Instance::new(Platform::parse("spider\nleg 2 3 3 5\nleg 1 4\n").unwrap(), 6);
+        let json = instance_to_json(&instance);
+        let back = instance_from_json(&Json::parse(&json.to_string()).unwrap()).unwrap();
+        assert_eq!(back, instance);
+    }
+
+    #[test]
+    fn instance_decoding_rejects_bad_fields() {
+        for body in [
+            "{}",
+            "{\"platform\":3,\"tasks\":1}",
+            "{\"platform\":\"chain\\n2 3\\n\"}",
+            "{\"platform\":\"chain\\n2 3\\n\",\"tasks\":0}",
+            "{\"platform\":\"chain\\n2 3\\n\",\"tasks\":-4}",
+            "{\"platform\":\"chain\\n2 3\\n\",\"tasks\":1.5}",
+            "{\"platform\":\"ring\\n1 1\\n\",\"tasks\":2}",
+        ] {
+            let parsed = Json::parse(body).unwrap();
+            assert!(instance_from_json(&parsed).is_err(), "{body} must be rejected");
+        }
+    }
+
+    #[test]
+    fn solutions_carry_their_schedules() {
+        let instance = Instance::new(Platform::parse("chain\n2 3\n3 5\n").unwrap(), 5);
+        let solution = SolverRegistry::global().solve("optimal", &instance).unwrap();
+        let json = solution_to_json(&solution);
+        assert_eq!(json.get("makespan").and_then(Json::as_i64), Some(14));
+        assert_eq!(json.get("scheduled").and_then(Json::as_i64), Some(5));
+        assert_eq!(json.get("witnessed").and_then(Json::as_bool), Some(true));
+        let tasks = json.get("schedule").unwrap().get("tasks").unwrap().as_arr().unwrap();
+        assert_eq!(tasks.len(), 5);
+        assert_eq!(tasks[0].get("task").and_then(Json::as_i64), Some(1));
+        // The serialized text parses back to the identical value.
+        assert_eq!(Json::parse(&json.to_string()).unwrap(), json);
+
+        // Unwitnessed solutions say so.
+        let fork = Instance::new(Platform::fork(&[(1, 2), (2, 2)]).unwrap(), 4);
+        let relaxed = SolverRegistry::global().solve("divisible", &fork).unwrap();
+        let json = solution_to_json(&relaxed);
+        assert_eq!(json.get("witnessed").and_then(Json::as_bool), Some(false));
+        assert_eq!(json.get("schedule"), Some(&Json::Null));
+        assert!(json.get("relaxed_makespan").unwrap().as_f64().is_some());
+    }
+
+    #[test]
+    fn errors_expose_stable_kinds() {
+        let err = SolveError::UnknownSolver { name: "nope".into() };
+        let json = error_to_json(&err);
+        let inner = json.get("error").unwrap();
+        assert_eq!(inner.get("kind").and_then(Json::as_str), Some("unknown-solver"));
+        assert!(inner.get("message").and_then(Json::as_str).unwrap().contains("nope"));
+        assert_eq!(error_kind(&SolveError::ZeroTasks), "zero-tasks");
+    }
+}

@@ -3,7 +3,7 @@
 //!
 //! The paper's introduction contrasts its *quantised* tasks ("quantums of
 //! workload") with the divisible-load literature (Robertazzi et al.,
-//! references [1], [4], [5], [10]) where the workload splits into
+//! references \[1], \[4], \[5], \[10]) where the workload splits into
 //! fractions of any size. This module implements the classic
 //! single-installment star solution so the experiments can show the two
 //! models converging as the batch grows — and diverging for small

@@ -2,7 +2,7 @@
 //!
 //! All heuristics reuse the ASAP evaluator; they differ only in how the
 //! assignment sequence is produced. Comparing their makespans against
-//! [`mst_core::schedule_chain`] quantifies the value of the optimal
+//! `mst_core::schedule_chain` quantifies the value of the optimal
 //! backward construction (experiment E1 in DESIGN.md).
 
 use crate::asap::{asap_chain, TreeAsap};

@@ -18,9 +18,22 @@
 //! cargo run --release -p mst-bench --bin bench -- --smoke # CI smoke (500 instances)
 //! ```
 //!
-//! The JSON is flat `{"key": number}` pairs written to the working
-//! directory — no serde dependency, just formatted text.
+//! Flags:
+//!
+//! * `--smoke` — the small CI configuration (500 instances);
+//! * `--out <path>` — where to write the JSON (default
+//!   `BENCH_batch.json`; CI writes elsewhere so a smoke run never
+//!   clobbers the committed baseline);
+//! * `--check <baseline.json>` — regression guard: compare the fresh
+//!   throughput numbers against a recorded baseline and exit non-zero
+//!   when either drops by more than the tolerance;
+//! * `--tolerance <fraction>` — allowed drop for `--check`
+//!   (default 0.30).
+//!
+//! The JSON is flat `{"key": number}` pairs — no serde dependency, just
+//! formatted text (read back via `mst_api::wire::Json`).
 
+use mst_api::wire::Json;
 use mst_api::{Batch, Instance, SolverRegistry, TopologyKind};
 use mst_fork::{max_tasks_fork_by_deadline, schedule_fork};
 use mst_platform::{GeneratorConfig, HeterogeneityProfile};
@@ -58,8 +71,56 @@ fn median_secs<F: FnMut()>(runs: usize, mut f: F) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// The throughput keys guarded by `--check` (higher is better; the
+/// ns-per-op keys are too noisy on shared CI boxes to gate on).
+const GUARDED_KEYS: [&str; 2] =
+    ["solve_all_instances_per_sec", "solve_all_by_deadline_instances_per_sec"];
+
+/// Compares fresh results against a recorded baseline; returns the
+/// regressions as `(key, fresh, floor)` triples.
+fn regressions_against(
+    baseline: &Json,
+    fresh: &Json,
+    tolerance: f64,
+) -> Vec<(&'static str, f64, f64)> {
+    let mut failures = Vec::new();
+    for key in GUARDED_KEYS {
+        let Some(recorded) = baseline.get(key).and_then(Json::as_f64) else {
+            continue; // older baselines may lack a key; nothing to guard
+        };
+        let measured = fresh.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+        let floor = recorded * (1.0 - tolerance);
+        if measured < floor {
+            failures.push((key, measured, floor));
+        }
+    }
+    failures
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    // A value-taking flag must be followed by an actual value — silently
+    // consuming the next `--flag` would e.g. skip the regression check.
+    let flag_value = |name: &str| -> Option<&str> {
+        let i = args.iter().position(|a| a == name)?;
+        match args.get(i + 1).map(String::as_str) {
+            Some(value) if !value.starts_with("--") => Some(value),
+            _ => {
+                eprintln!("{name} expects a value");
+                std::process::exit(2);
+            }
+        }
+    };
+    let out_path = flag_value("--out").unwrap_or("BENCH_batch.json").to_string();
+    let check_path = flag_value("--check").map(str::to_string);
+    let tolerance: f64 = match flag_value("--tolerance") {
+        None => 0.30,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("--tolerance expects a fraction, got {raw:?}");
+            std::process::exit(2);
+        }),
+    };
     let (instances_n, runs, expansion_iters) =
         if smoke { (500u64, 3, 200u64) } else { (10_000u64, 5, 5_000u64) };
 
@@ -103,6 +164,79 @@ fn main() {
     let json = format!(
         "{{\n  \"instances\": {instances_n},\n  \"solve_all_instances_per_sec\": {solve_throughput:.0},\n  \"solve_all_by_deadline_instances_per_sec\": {deadline_throughput:.0},\n  \"fork_selection_ns_per_op\": {expansion_ns:.0},\n  \"schedule_fork_ns_per_op\": {search_ns:.0}\n}}\n"
     );
-    std::fs::write("BENCH_batch.json", &json).expect("write BENCH_batch.json");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     print!("{json}");
+
+    if let Some(baseline_path) = check_path {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let baseline = Json::parse(&text)
+            .unwrap_or_else(|e| panic!("baseline {baseline_path} is not valid JSON: {e}"));
+        let fresh = Json::parse(&json).expect("own output is valid JSON");
+        let failures = regressions_against(&baseline, &fresh, tolerance);
+        if failures.is_empty() {
+            println!(
+                "regression check passed against {baseline_path} (tolerance {:.0}%)",
+                tolerance * 100.0
+            );
+        } else {
+            for (key, measured, floor) in &failures {
+                eprintln!(
+                    "PERF REGRESSION {key}: {measured:.0} instances/s is below the \
+                     {floor:.0} floor ({:.0}% of the recorded baseline)",
+                    (1.0 - tolerance) * 100.0
+                );
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn results(solve: f64, deadline: f64) -> Json {
+        Json::obj([
+            ("solve_all_instances_per_sec", Json::Num(solve)),
+            ("solve_all_by_deadline_instances_per_sec", Json::Num(deadline)),
+        ])
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let baseline = results(100_000.0, 400_000.0);
+        // A 25% drop stays inside the 30% budget.
+        assert!(regressions_against(&baseline, &results(75_000.0, 300_000.0), 0.30).is_empty());
+        // Improvements obviously pass.
+        assert!(regressions_against(&baseline, &results(150_000.0, 500_000.0), 0.30).is_empty());
+    }
+
+    #[test]
+    fn deep_drops_fail_per_key() {
+        let baseline = results(100_000.0, 400_000.0);
+        let failures = regressions_against(&baseline, &results(60_000.0, 390_000.0), 0.30);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, "solve_all_instances_per_sec");
+        // A missing key in the fresh run counts as zero throughput.
+        let failures = regressions_against(&baseline, &Json::obj([]), 0.30);
+        assert_eq!(failures.len(), 2);
+    }
+
+    #[test]
+    fn missing_baseline_keys_are_not_guarded() {
+        let baseline = Json::obj([("unrelated", Json::Num(1.0))]);
+        assert!(regressions_against(&baseline, &results(1.0, 1.0), 0.30).is_empty());
+    }
+
+    #[test]
+    fn committed_baseline_parses_and_has_the_guarded_keys() {
+        let text =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json"))
+                .expect("committed baseline exists");
+        let baseline = Json::parse(&text).expect("baseline is valid JSON");
+        for key in GUARDED_KEYS {
+            assert!(baseline.get(key).and_then(Json::as_f64).is_some(), "missing {key}");
+        }
+    }
 }

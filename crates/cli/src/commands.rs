@@ -34,6 +34,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "curve" => cmd_curve(args),
         "solvers" => cmd_solvers(),
         "batch" => cmd_batch(args),
+        "serve" => cmd_serve(args),
         "" | "help" | "--help" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n\n{}", usage())),
     }
@@ -54,6 +55,10 @@ USAGE:
     mst batch <chain|fork|spider|tree> --count K --tasks N [--size P]
               [--solver NAME] [--profile NAME] [--deadline T]
         Generate K seeded instances and sweep them across all cores.
+    mst serve [--addr HOST:PORT] [--threads N]
+        Serve the solver API over HTTP (default 127.0.0.1:8080):
+        POST /solve, POST /batch, GET /solvers, /healthz, /metrics.
+        Stops gracefully on ctrl-c.
     mst validate <instance> <schedule>
         Check a schedule file: Definition-1 oracle + event replay.
     mst gantt <instance> <schedule>
@@ -239,6 +244,25 @@ fn cmd_batch(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+fn cmd_serve(args: &Args) -> Result<String, String> {
+    let addr = args.opt("addr").unwrap_or("127.0.0.1:8080").to_string();
+    let threads = match args.opt("threads") {
+        None => None,
+        Some(_) => Some(positive_opt(args, "threads", 1)? as usize),
+    };
+    let config = mst_serve::ServeConfig { addr, threads, ..mst_serve::ServeConfig::default() };
+    let server = mst_serve::Server::bind(config).map_err(|e| format!("cannot serve: {e}"))?;
+    mst_serve::install_sigint_handler();
+    // Announce readiness before blocking so scripts (and the CI smoke)
+    // know when to start talking to us.
+    println!("mst-serve listening on http://{} (ctrl-c to stop)", server.addr());
+    let report = server.run().map_err(|e| format!("server failed: {e}"))?;
+    Ok(format!(
+        "shut down after {} connection(s), {} request(s), {} instance(s) solved\n",
+        report.connections, report.requests, report.solved
+    ))
+}
+
 fn cmd_validate(args: &Args) -> Result<String, String> {
     let inst_path = args.pos(0, "instance")?;
     let sched_path = args.pos(1, "schedule")?;
@@ -328,15 +352,7 @@ fn cmd_gantt(args: &Args) -> Result<String, String> {
 }
 
 fn profile_by_name(name: &str) -> Result<HeterogeneityProfile, String> {
-    Ok(match name {
-        "uniform" => HeterogeneityProfile::Uniform { c: (1, 5), w: (1, 5) },
-        "homogeneous" => HeterogeneityProfile::Homogeneous { c: 2, w: 3 },
-        "comm-bound" => HeterogeneityProfile::CommBound,
-        "compute-bound" => HeterogeneityProfile::ComputeBound,
-        "bimodal" => HeterogeneityProfile::Bimodal { fast_pct: 25 },
-        "correlated" => HeterogeneityProfile::Correlated,
-        other => return Err(format!("unknown profile {other:?}")),
-    })
+    HeterogeneityProfile::by_name(name).ok_or_else(|| format!("unknown profile {name:?}"))
 }
 
 fn cmd_generate(args: &Args) -> Result<String, String> {
@@ -600,8 +616,39 @@ mod tests {
     }
 
     #[test]
+    fn serve_command_rejects_bad_arguments() {
+        let err = run_line("serve --addr not-an-address").unwrap_err();
+        assert!(err.contains("cannot serve"), "{err}");
+        let err = run_line("serve --threads 0").unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn serve_command_answers_health_and_shuts_down() {
+        use std::io::{Read as _, Write as _};
+        // Drive the server exactly as cmd_serve wires it, but on an
+        // ephemeral port with a programmatic shutdown.
+        let config = mst_serve::ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            ..mst_serve::ServeConfig::default()
+        };
+        let server = mst_serve::Server::bind(config).unwrap();
+        let (addr, handle) = (server.addr(), server.handle());
+        let runner = std::thread::spawn(move || server.run().unwrap());
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+        handle.shutdown();
+        let report = runner.join().unwrap();
+        assert_eq!(report.requests, 1);
+    }
+
+    #[test]
     fn help_and_unknown_commands() {
         assert!(run_line("help").unwrap().contains("USAGE"));
+        assert!(run_line("help").unwrap().contains("serve"));
         assert!(run_line("frobnicate").unwrap_err().contains("unknown command"));
         assert!(run_line("").unwrap().contains("USAGE"));
     }

@@ -30,7 +30,7 @@ impl ForkOutcome {
     }
 }
 
-/// The fork-graph algorithm of the paper's reference [2]: schedules the
+/// The fork-graph algorithm of the paper's reference \[2]: schedules the
 /// maximum number of tasks (at most `max_tasks`) on `fork`, all
 /// completing by `deadline`.
 ///

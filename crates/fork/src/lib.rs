@@ -1,7 +1,7 @@
 //! # mst-fork — the fork-graph (star) scheduling substrate
 //!
 //! Re-implementation of the fork-graph algorithm of Beaumont, Carter,
-//! Ferrante, Legrand and Robert (IPDPS 2002) — the paper's reference [2]
+//! Ferrante, Legrand and Robert (IPDPS 2002) — the paper's reference \[2]
 //! — which Section 6 of Dutot's paper summarises and Section 7 reuses for
 //! spiders. Given a star of heterogeneous slaves, a task budget `n` and a
 //! deadline `T_lim`, the algorithm schedules the **maximum number of

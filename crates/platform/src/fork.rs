@@ -9,7 +9,7 @@ use std::fmt;
 /// link of latency `c_i`, computing one task in `w_i`.
 ///
 /// This is the topology solved by Beaumont, Carter, Ferrante, Legrand and
-/// Robert (IPDPS 2002) — the paper's reference [2] — whose algorithm the
+/// Robert (IPDPS 2002) — the paper's reference \[2] — whose algorithm the
 /// spider construction of Section 7 reuses. The master obeys the one-port
 /// model: it sends at most one task at a time, over whichever link.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]

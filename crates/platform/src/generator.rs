@@ -51,7 +51,7 @@ pub enum HeterogeneityProfile {
     },
     /// `w` positively correlated with `c` (a far-away node is also slow),
     /// modelling distance-decaying platforms such as the layered networks
-    /// of the paper's reference [7].
+    /// of the paper's reference \[7].
     Correlated,
 }
 
@@ -64,6 +64,22 @@ impl HeterogeneityProfile {
         HeterogeneityProfile::ComputeBound,
         HeterogeneityProfile::Bimodal { fast_pct: 25 },
     ];
+
+    /// The profile a stable name refers to, with the default
+    /// parameterisation — the inverse of [`HeterogeneityProfile::name`]
+    /// used by the CLI and the service front-end to resolve
+    /// `--profile`/`"profile"` arguments.
+    pub fn by_name(name: &str) -> Option<HeterogeneityProfile> {
+        Some(match name {
+            "uniform" => HeterogeneityProfile::Uniform { c: (1, 5), w: (1, 5) },
+            "homogeneous" => HeterogeneityProfile::Homogeneous { c: 2, w: 3 },
+            "comm-bound" => HeterogeneityProfile::CommBound,
+            "compute-bound" => HeterogeneityProfile::ComputeBound,
+            "bimodal" => HeterogeneityProfile::Bimodal { fast_pct: 25 },
+            "correlated" => HeterogeneityProfile::Correlated,
+            _ => return None,
+        })
+    }
 
     /// A short stable name for reports.
     pub fn name(&self) -> &'static str {
@@ -221,5 +237,15 @@ mod tests {
     fn profile_names_are_stable() {
         assert_eq!(HeterogeneityProfile::CommBound.name(), "comm-bound");
         assert_eq!(HeterogeneityProfile::Bimodal { fast_pct: 10 }.name(), "bimodal");
+    }
+
+    #[test]
+    fn profile_lookup_inverts_names() {
+        for profile in HeterogeneityProfile::ALL {
+            assert_eq!(HeterogeneityProfile::by_name(profile.name()), Some(profile));
+        }
+        let corr = HeterogeneityProfile::Correlated;
+        assert_eq!(HeterogeneityProfile::by_name(corr.name()), Some(corr));
+        assert_eq!(HeterogeneityProfile::by_name("alien"), None);
     }
 }

@@ -22,7 +22,7 @@
 //!
 //! The crate also ships seeded random [`generator`]s for the heterogeneity
 //! regimes exercised by the experiment harness, and a small hand-rolled
-//! text [`format`] so instances can be stored in files without pulling a
+//! text [`mod@format`] so instances can be stored in files without pulling a
 //! serialization framework.
 
 #![warn(missing_docs)]

@@ -3,7 +3,7 @@
 //! The introduction motivates the problem with wide-area volunteer
 //! computing (SETI@home, the Mersenne prime search) and the related-work
 //! section with layered networks reduced to heterogeneous chains
-//! (reference [7], Li 2002). These presets give the examples,
+//! (reference \[7], Li 2002). These presets give the examples,
 //! experiments and docs a shared, recognisable vocabulary of platforms —
 //! all deterministic, no RNG involved.
 
@@ -19,7 +19,7 @@ pub fn figure2_chain() -> Chain {
     Chain::paper_figure2()
 }
 
-/// A layered network à la the paper's reference [7]: `depth` stages,
+/// A layered network à la the paper's reference \[7]: `depth` stages,
 /// links slowing with distance (aggregation cost) while the folded
 /// compute stages speed up — the platform where the optimal schedule's
 /// "how deep to forward" decision is most visible.
@@ -32,7 +32,7 @@ pub fn layered_network(depth: usize) -> Chain {
 
 /// A campus cluster: a handful of identical machines behind one switch
 /// (a homogeneous fork) — the degenerate case where the divisible-load
-/// bus results of the paper's reference [10] apply.
+/// bus results of the paper's reference \[10] apply.
 pub fn campus_cluster(machines: usize, comm: Time, work: Time) -> Fork {
     assert!(machines >= 1);
     Fork::from_pairs(&vec![(comm, work); machines]).expect("positive parameters")

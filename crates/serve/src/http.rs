@@ -1,0 +1,285 @@
+//! Minimal HTTP/1.1 request parsing and response writing over raw
+//! streams.
+//!
+//! The build environment is offline, so there is no hyper/tokio; this
+//! module hand-rolls exactly what the service front-end needs — one
+//! request per connection, `Content-Length` bodies, hard caps on header
+//! and body size so a hostile peer cannot make the server buffer without
+//! bound, and structured failures that the caller turns into 4xx
+//! responses (a malformed request must never panic or hang a handler
+//! thread).
+
+use std::io::{Read, Write};
+
+/// Largest accepted request head (request line + headers). Anything
+/// bigger is rejected before buffering more.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path with any query string stripped.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read. Every variant maps to a status code
+/// via [`HttpError::status`]; I/O failures mean the peer is gone and the
+/// connection is simply dropped.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, header, or truncated body: 400.
+    BadRequest(String),
+    /// The declared `Content-Length` exceeds the configured cap: 413.
+    PayloadTooLarge(usize),
+    /// The peer stalled past the socket read timeout: 408.
+    Timeout,
+    /// The peer disconnected before sending a full request head.
+    Disconnected,
+}
+
+impl HttpError {
+    /// The response status this error maps to (`Disconnected` keeps 400
+    /// for uniformity, though nobody is left to read it).
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::PayloadTooLarge(_) => 413,
+            HttpError::Timeout => 408,
+            HttpError::Disconnected => 400,
+        }
+    }
+
+    /// Human-readable reason carried in the error body.
+    pub fn message(&self) -> String {
+        match self {
+            HttpError::BadRequest(reason) => reason.clone(),
+            HttpError::PayloadTooLarge(cap) => {
+                format!("request body exceeds the {cap}-byte limit")
+            }
+            HttpError::Timeout => "request timed out".to_string(),
+            HttpError::Disconnected => "client disconnected mid-request".to_string(),
+        }
+    }
+}
+
+fn io_error(e: std::io::Error) -> HttpError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::Timeout,
+        std::io::ErrorKind::UnexpectedEof => {
+            HttpError::BadRequest("truncated request body".to_string())
+        }
+        _ => HttpError::Disconnected,
+    }
+}
+
+/// Reads and parses one request, enforcing the head cap and `max_body`.
+///
+/// Blocks until a full request arrives, the stream's read timeout fires,
+/// or a cap trips — never longer, and never unboundedly buffering.
+pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, HttpError> {
+    // Accumulate until the blank line ending the head. A peer that
+    // trickles garbage runs into MAX_HEAD_BYTES; one that stalls runs
+    // into the socket timeout.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(end) = find_head_end(&buf) {
+            break end;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::BadRequest("request head too large".to_string()));
+        }
+        let n = stream.read(&mut chunk).map_err(io_error)?;
+        if n == 0 {
+            return Err(if buf.is_empty() {
+                HttpError::Disconnected
+            } else {
+                HttpError::BadRequest("truncated request head".to_string())
+            });
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::BadRequest("request head is not UTF-8".to_string()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request line".to_string()))?
+        .to_ascii_uppercase();
+    let target =
+        parts.next().ok_or_else(|| HttpError::BadRequest("missing request path".to_string()))?;
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!("unsupported protocol {version:?}")));
+    }
+    let path = target.split('?').next().unwrap_or("").to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::BadRequest(format!("bad Content-Length {value:?}")))?;
+        } else if name == "transfer-encoding" && value.to_ascii_lowercase().contains("chunked") {
+            return Err(HttpError::BadRequest("chunked bodies are not supported".to_string()));
+        }
+    }
+    if content_length > max_body {
+        return Err(HttpError::PayloadTooLarge(max_body));
+    }
+
+    // The head buffer may already hold a body prefix; read the rest.
+    let mut body = buf[head_end + 4..].to_vec();
+    if body.len() > content_length {
+        // More bytes than declared: pipelined data we do not support.
+        body.truncate(content_length);
+    }
+    let mut remaining = content_length - body.len();
+    while remaining > 0 {
+        let want = remaining.min(chunk.len());
+        let n = stream.read(&mut chunk[..want]).map_err(io_error)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("truncated request body".to_string()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+        remaining -= n;
+    }
+    Ok(Request { method, path, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// An HTTP response: a status code and a JSON body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (200, 400, ...).
+    pub status: u16,
+    /// The serialized JSON body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl std::fmt::Display) -> Response {
+        Response { status, body: body.to_string() }
+    }
+
+    /// The standard reason phrase for this response's status.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Writes the response (with `Connection: close`) to the stream.
+    /// Write failures are returned but callers may ignore them — the
+    /// peer may legitimately have hung up already.
+    pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            self.status,
+            self.reason(),
+            self.body.len(),
+            self.body
+        )?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut std::io::Cursor::new(raw.to_vec()), 1024)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            parse(b"POST /solve?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nbody").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/solve");
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        assert!(matches!(parse(b"\r\n\r\n"), Err(HttpError::BadRequest(_))));
+        assert!(matches!(parse(b"GET\r\n\r\n"), Err(HttpError::BadRequest(_))));
+        assert!(matches!(parse(b"GET / SPDY/3\r\n\r\n"), Err(HttpError::BadRequest(_))));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_declarations_and_truncated_bodies() {
+        let over = parse(b"POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n");
+        assert!(matches!(over, Err(HttpError::PayloadTooLarge(1024))));
+        let truncated = parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort");
+        assert!(matches!(truncated, Err(HttpError::BadRequest(_))));
+        // An endless head trips the head cap rather than buffering forever.
+        let mut junk = b"GET /".to_vec();
+        junk.extend(std::iter::repeat_n(b'a', 64 * 1024));
+        assert!(matches!(parse(&junk), Err(HttpError::BadRequest(_))));
+    }
+
+    #[test]
+    fn empty_connection_is_a_disconnect() {
+        assert!(matches!(parse(b""), Err(HttpError::Disconnected)));
+    }
+
+    #[test]
+    fn error_statuses_are_4xx() {
+        assert_eq!(HttpError::BadRequest("x".into()).status(), 400);
+        assert_eq!(HttpError::PayloadTooLarge(1).status(), 413);
+        assert_eq!(HttpError::Timeout.status(), 408);
+        assert_eq!(HttpError::Disconnected.status(), 400);
+    }
+
+    #[test]
+    fn responses_carry_length_and_close() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("{\"ok\":true}"), "{text}");
+    }
+}

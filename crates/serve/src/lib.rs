@@ -1,0 +1,58 @@
+//! # mst-serve — the HTTP front-end over the pooled solve engine
+//!
+//! Turns the workspace into a deployable service: a dependency-free
+//! HTTP/1.1 server on `std::net` (the build environment is offline, so
+//! no hyper/tokio) exposing the unified [`mst_api`] surface over the
+//! network. A bounded accept loop feeds a fixed set of handler threads;
+//! solving fans out through the same persistent [`mst_sim::WorkerPool`]
+//! the library's [`mst_api::Batch`] engine uses, so service traffic
+//! inherits every hot-path optimisation for free.
+//!
+//! Endpoints:
+//!
+//! * `GET /healthz` — liveness and uptime;
+//! * `GET /solvers` — the registry listing (names, topologies, `T_lim`
+//!   support);
+//! * `GET /metrics` — request/solve counters and instances/s;
+//! * `POST /solve` — one instance, solver selectable by registry name,
+//!   optional deadline and oracle verification;
+//! * `POST /batch` — an instance sweep (explicit list or generator
+//!   spec) through the worker pool.
+//!
+//! Requests and responses use the JSON wire codec of [`mst_api::wire`];
+//! failures are structured `{"error": {"kind", "message"}}` bodies.
+//! Run it from the CLI as `mst serve --addr 127.0.0.1:8080 --threads 4`,
+//! or embed it:
+//!
+//! ```
+//! use mst_serve::{Server, ServeConfig};
+//! use std::io::{Read, Write};
+//!
+//! let server = Server::bind(ServeConfig {
+//!     addr: "127.0.0.1:0".into(), // port 0: pick a free port
+//!     ..ServeConfig::default()
+//! })?;
+//! let (addr, handle) = (server.addr(), server.handle());
+//! let runner = std::thread::spawn(move || server.run());
+//!
+//! let mut stream = std::net::TcpStream::connect(addr)?;
+//! stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n")?;
+//! let mut reply = String::new();
+//! stream.read_to_string(&mut reply)?;
+//! assert!(reply.starts_with("HTTP/1.1 200 OK"));
+//!
+//! handle.shutdown(); // graceful: drains, joins, returns the report
+//! runner.join().unwrap()?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod routes;
+pub mod server;
+
+pub use http::{HttpError, Request, Response};
+pub use server::{
+    install_sigint_handler, Metrics, ServeConfig, ServeReport, Server, ServerHandle, ServiceState,
+};

@@ -1,0 +1,442 @@
+//! Endpoint routing and handlers: the service surface over the pooled
+//! [`Batch`](mst_api::Batch) engine.
+//!
+//! | Endpoint        | Body                                             |
+//! |-----------------|--------------------------------------------------|
+//! | `GET /healthz`  | liveness + uptime                                |
+//! | `GET /solvers`  | the solver registry (names, topologies, T_lim)   |
+//! | `GET /metrics`  | request/solve counters + instances/s             |
+//! | `POST /solve`   | one instance, solver selectable by registry name |
+//! | `POST /batch`   | an instance sweep through the worker pool        |
+//!
+//! Every error is a structured JSON body `{"error": {"kind", "message"}}`
+//! with a 4xx status for client mistakes (malformed JSON, unknown
+//! solvers, oversized sweeps) and 5xx only for genuine server-side
+//! failures (an oracle-rejected solution, which would be a solver bug).
+
+use crate::http::{Request, Response};
+use crate::server::ServiceState;
+use mst_api::wire::{error_to_json, instance_from_json, solution_to_json, Json};
+use mst_api::{verify, BatchSummary, Instance, SolveError, TopologyKind};
+use mst_platform::HeterogeneityProfile;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+/// Dispatches one parsed request to its handler.
+pub fn route(request: &Request, state: &ServiceState) -> Response {
+    state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/") => index(),
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/solvers") => solvers(state),
+        ("GET", "/metrics") => metrics(state),
+        ("POST", "/solve") => solve(request, state),
+        ("POST", "/batch") => batch(request, state),
+        (_, "/" | "/healthz" | "/solvers" | "/metrics" | "/solve" | "/batch") => error_response(
+            405,
+            "method-not-allowed",
+            &format!("{} does not accept {}", request.path, request.method),
+        ),
+        (_, path) => error_response(404, "not-found", &format!("no endpoint {path}")),
+    }
+}
+
+/// A structured error response: `{"error": {"kind", "message"}}`.
+fn error_response(status: u16, kind: &str, message: &str) -> Response {
+    Response::json(
+        status,
+        Json::obj([(
+            "error",
+            Json::obj([("kind", Json::str(kind)), ("message", Json::str(message))]),
+        )]),
+    )
+}
+
+/// The status a [`SolveError`] maps to: unknown names are 404, every
+/// other solve failure is the client's request (400).
+fn solve_error_response(error: &SolveError) -> Response {
+    let status = match error {
+        SolveError::UnknownSolver { .. } => 404,
+        SolveError::MalformedSolution { .. } => 500,
+        _ => 400,
+    };
+    Response::json(status, error_to_json(error))
+}
+
+fn index() -> Response {
+    Response::json(
+        200,
+        Json::obj([
+            ("service", Json::str("mst-serve")),
+            (
+                "endpoints",
+                Json::Arr(
+                    ["GET /healthz", "GET /solvers", "GET /metrics", "POST /solve", "POST /batch"]
+                        .iter()
+                        .map(|e| Json::str(*e))
+                        .collect(),
+                ),
+            ),
+        ]),
+    )
+}
+
+fn healthz(state: &ServiceState) -> Response {
+    Response::json(
+        200,
+        Json::obj([
+            ("status", Json::str("ok")),
+            ("uptime_secs", Json::Num(state.started.elapsed().as_secs_f64())),
+        ]),
+    )
+}
+
+fn solvers(state: &ServiceState) -> Response {
+    let list: Vec<Json> = state
+        .batch
+        .registry()
+        .solvers()
+        .map(|solver| {
+            let topologies = TopologyKind::ALL
+                .iter()
+                .filter(|k| solver.supports(**k))
+                .map(|k| Json::str(k.name()))
+                .collect();
+            Json::obj([
+                ("name", Json::str(solver.name())),
+                ("description", Json::str(solver.description())),
+                ("topologies", Json::Arr(topologies)),
+                ("deadline", Json::Bool(solver.by_deadline())),
+            ])
+        })
+        .collect();
+    Response::json(200, Json::obj([("solvers", Json::Arr(list))]))
+}
+
+fn metrics(state: &ServiceState) -> Response {
+    let m = &state.metrics;
+    let load = |c: &std::sync::atomic::AtomicU64| Json::int(c.load(Ordering::Relaxed) as i64);
+    Response::json(
+        200,
+        Json::obj([
+            ("uptime_secs", Json::Num(state.started.elapsed().as_secs_f64())),
+            ("connections_total", load(&m.connections_total)),
+            ("connections_rejected", load(&m.connections_rejected)),
+            ("requests_total", load(&m.requests_total)),
+            ("http_errors_total", load(&m.http_errors_total)),
+            ("solved_total", load(&m.solved_total)),
+            ("failed_total", load(&m.failed_total)),
+            ("solve_secs_total", Json::Num(m.solve_ns_total.load(Ordering::Relaxed) as f64 / 1e9)),
+            ("instances_per_sec", Json::Num(m.instances_per_sec())),
+            ("pool_workers", Json::int(state.batch.pool().workers() as i64)),
+            ("pool_jobs_submitted", Json::int(state.batch.pool().jobs_submitted() as i64)),
+        ]),
+    )
+}
+
+/// Parses the request body as a JSON object, with structured failures.
+fn parse_body(request: &Request) -> Result<Json, Response> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| error_response(400, "bad-request", "body is not UTF-8"))?;
+    if text.trim().is_empty() {
+        return Err(error_response(400, "bad-request", "empty body; expected a JSON object"));
+    }
+    Json::parse(text).map_err(|e| error_response(400, "bad-json", &e.to_string()))
+}
+
+/// Optional string field; `Err` when present with the wrong type.
+fn opt_str<'a>(body: &'a Json, key: &str) -> Result<Option<&'a str>, Response> {
+    match body.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(value) => value.as_str().map(Some).ok_or_else(|| {
+            error_response(400, "bad-request", &format!("\"{key}\" must be a string"))
+        }),
+    }
+}
+
+/// Optional non-negative integer field; `Err` when present but invalid.
+fn opt_int(body: &Json, key: &str) -> Result<Option<i64>, Response> {
+    match body.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(value) => match value.as_i64() {
+            Some(n) if n >= 0 => Ok(Some(n)),
+            _ => Err(error_response(
+                400,
+                "bad-request",
+                &format!("\"{key}\" must be a non-negative integer"),
+            )),
+        },
+    }
+}
+
+/// Optional boolean field, defaulting to `false`.
+fn opt_flag(body: &Json, key: &str) -> Result<bool, Response> {
+    match body.get(key) {
+        None | Some(Json::Null) => Ok(false),
+        Some(value) => value.as_bool().ok_or_else(|| {
+            error_response(400, "bad-request", &format!("\"{key}\" must be a boolean"))
+        }),
+    }
+}
+
+/// `POST /solve` — one instance through a named solver.
+///
+/// Body: `{"platform": <text>, "tasks": N, "solver"?: name,
+/// "deadline"?: T, "verify"?: bool}`. With `"verify": true` the solution
+/// is checked by the [`verify`] oracle before it is returned and the
+/// response carries `"feasible": true` — an infeasible witness would be
+/// a solver bug and answers 500.
+fn solve(request: &Request, state: &ServiceState) -> Response {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let instance = match instance_from_json(&body) {
+        Ok(instance) => instance,
+        Err(e) => return error_response(400, "bad-instance", &e.to_string()),
+    };
+    if let Err(response) = check_task_budget(&instance, state) {
+        return response;
+    }
+    let (solver_name, deadline, check) =
+        match (opt_str(&body, "solver"), opt_int(&body, "deadline"), opt_flag(&body, "verify")) {
+            (Ok(s), Ok(d), Ok(v)) => (s.unwrap_or("optimal"), d, v),
+            (Err(r), _, _) | (_, Err(r), _) | (_, _, Err(r)) => return r,
+        };
+    let registry = state.batch.registry();
+    let started = Instant::now();
+    let result = match deadline {
+        Some(t) => registry.solve_by_deadline(solver_name, &instance, t),
+        None => registry.solve(solver_name, &instance),
+    };
+    let elapsed = started.elapsed();
+    let solution = match result {
+        Ok(solution) => {
+            state.metrics.record_solve(1, 0, elapsed);
+            solution
+        }
+        Err(e) => {
+            state.metrics.record_solve(0, 1, elapsed);
+            return solve_error_response(&e);
+        }
+    };
+    let mut reply = match solution_to_json(&solution) {
+        Json::Obj(members) => members,
+        other => return Response::json(200, other),
+    };
+    if check {
+        match verify(&instance, &solution) {
+            Ok(report) if report.is_feasible() => {
+                reply.push(("feasible".to_string(), Json::Bool(true)));
+            }
+            Ok(report) => {
+                return error_response(
+                    500,
+                    "infeasible-solution",
+                    &format!(
+                        "solver {solver_name} produced a schedule the oracle rejects ({} violation(s))",
+                        report.violations.len()
+                    ),
+                );
+            }
+            Err(e) => return solve_error_response(&e),
+        }
+    }
+    Response::json(200, Json::Obj(reply))
+}
+
+/// Rejects task budgets beyond the configured cap — a bare number in
+/// the body must not be able to request unbounded scheduling work.
+fn check_task_budget(instance: &Instance, state: &ServiceState) -> Result<(), Response> {
+    let cap = state.config.max_tasks_per_instance;
+    if instance.tasks > cap {
+        return Err(error_response(
+            400,
+            "too-many-tasks",
+            &format!("{} tasks exceed the per-instance cap of {cap}", instance.tasks),
+        ));
+    }
+    Ok(())
+}
+
+/// Decodes the `/batch` instance set: either an explicit `"instances"`
+/// array or a `"generate"` sweep spec
+/// (`{"kind", "count", "size"?, "tasks"?, "profile"?, "seed"?}`).
+fn batch_instances(body: &Json, state: &ServiceState) -> Result<Vec<Instance>, Response> {
+    let cap = state.config.max_batch_instances;
+    let too_many = |n: usize| {
+        error_response(
+            400,
+            "too-many-instances",
+            &format!("{n} instances exceed the per-request cap of {cap}"),
+        )
+    };
+    if let Some(items) = body.get("instances") {
+        let items = items
+            .as_arr()
+            .ok_or_else(|| error_response(400, "bad-request", "\"instances\" must be an array"))?;
+        if items.len() > cap {
+            return Err(too_many(items.len()));
+        }
+        let mut instances = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let instance = instance_from_json(item).map_err(|e| {
+                error_response(400, "bad-instance", &format!("instances[{i}]: {e}"))
+            })?;
+            check_task_budget(&instance, state)?;
+            instances.push(instance);
+        }
+        return Ok(instances);
+    }
+    let Some(spec) = body.get("generate") else {
+        return Err(error_response(
+            400,
+            "bad-request",
+            "body needs either \"instances\" or \"generate\"",
+        ));
+    };
+    let kind_name = opt_str(spec, "kind")?
+        .ok_or_else(|| error_response(400, "bad-request", "\"generate.kind\" is required"))?;
+    let kind = TopologyKind::ALL.into_iter().find(|k| k.name() == kind_name).ok_or_else(|| {
+        error_response(400, "bad-request", &format!("unknown topology {kind_name:?}"))
+    })?;
+    let count = opt_int(spec, "count")?
+        .ok_or_else(|| error_response(400, "bad-request", "\"generate.count\" is required"))?;
+    if count == 0 {
+        return Err(error_response(400, "bad-request", "\"generate.count\" must be at least 1"));
+    }
+    if count as usize > cap {
+        return Err(too_many(count as usize));
+    }
+    let size = opt_int(spec, "size")?.unwrap_or(4).max(1) as usize;
+    if size > state.config.max_platform_processors {
+        return Err(error_response(
+            400,
+            "too-many-processors",
+            &format!(
+                "\"generate.size\" of {size} exceeds the {} processor cap",
+                state.config.max_platform_processors
+            ),
+        ));
+    }
+    let tasks = opt_int(spec, "tasks")?.unwrap_or(8).max(1) as usize;
+    if tasks > state.config.max_tasks_per_instance {
+        return Err(error_response(
+            400,
+            "too-many-tasks",
+            &format!(
+                "\"generate.tasks\" of {tasks} exceeds the {} task cap",
+                state.config.max_tasks_per_instance
+            ),
+        ));
+    }
+    let seed0 = opt_int(spec, "seed")?.unwrap_or(0) as u64;
+    let profile_name = opt_str(spec, "profile")?.unwrap_or("uniform");
+    let profile = HeterogeneityProfile::by_name(profile_name).ok_or_else(|| {
+        error_response(400, "bad-request", &format!("unknown profile {profile_name:?}"))
+    })?;
+    Ok((0..count as u64)
+        .map(|i| Instance::generate(kind, profile, seed0 + i, size, tasks))
+        .collect())
+}
+
+/// `POST /batch` — a sweep dispatched through the worker pool.
+///
+/// Body: `{"instances": [...]} | {"generate": {...}}`, plus `"solver"?`,
+/// `"deadline"?`, `"verify"?` and `"include_results"?`. The response
+/// always carries the summary; per-instance solutions ride along only
+/// when `"include_results": true` (a 100k-instance sweep should not
+/// serialize 100k schedules by accident).
+fn batch(request: &Request, state: &ServiceState) -> Response {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let instances = match batch_instances(&body, state) {
+        Ok(instances) => instances,
+        Err(response) => return response,
+    };
+    let (solver_name, deadline) = match (opt_str(&body, "solver"), opt_int(&body, "deadline")) {
+        (Ok(s), Ok(d)) => (s.unwrap_or("optimal"), d),
+        (Err(r), _) | (_, Err(r)) => return r,
+    };
+    let (check, include_results) =
+        match (opt_flag(&body, "verify"), opt_flag(&body, "include_results")) {
+            (Ok(c), Ok(i)) => (c, i),
+            (Err(r), _) | (_, Err(r)) => return r,
+        };
+    // Resolve the name up front so an unknown solver is one 404, not a
+    // thousand per-instance errors.
+    if let Err(e) = state.batch.registry().resolve(solver_name) {
+        return solve_error_response(&e);
+    }
+    let engine = state.batch.clone().with_solver(solver_name);
+    let started = Instant::now();
+    let results = match deadline {
+        Some(t) => engine.solve_all_by_deadline(&instances, t),
+        None => engine.solve_all(&instances),
+    };
+    let elapsed = started.elapsed();
+    let summary = BatchSummary::of(&results);
+    state.metrics.record_solve(summary.solved as u64, summary.failed as u64, elapsed);
+
+    let mut infeasible = 0usize;
+    if check {
+        for (instance, result) in instances.iter().zip(&results) {
+            if let Ok(solution) = result {
+                match verify(instance, solution) {
+                    Ok(report) if report.is_feasible() => {}
+                    _ => infeasible += 1,
+                }
+            }
+        }
+    }
+
+    let mut reply = vec![
+        ("count".to_string(), Json::int(instances.len() as i64)),
+        ("solver".to_string(), Json::str(solver_name)),
+        ("solved".to_string(), Json::int(summary.solved as i64)),
+        ("failed".to_string(), Json::int(summary.failed as i64)),
+        ("total_tasks".to_string(), Json::int(summary.total_tasks as i64)),
+        ("mean_makespan".to_string(), Json::Num(summary.mean_makespan())),
+        ("max_makespan".to_string(), Json::int(summary.max_makespan)),
+        ("elapsed_secs".to_string(), Json::Num(elapsed.as_secs_f64())),
+        (
+            "instances_per_sec".to_string(),
+            Json::Num(instances.len() as f64 / elapsed.as_secs_f64().max(1e-9)),
+        ),
+        ("verified".to_string(), Json::Bool(check)),
+    ];
+    if check {
+        reply.push(("infeasible".to_string(), Json::int(infeasible as i64)));
+    }
+    if include_results {
+        let rendered: Vec<Json> = results
+            .iter()
+            .map(|r| match r {
+                Ok(solution) => solution_to_json(solution),
+                Err(e) => error_to_json(e),
+            })
+            .collect();
+        reply.push(("results".to_string(), Json::Arr(rendered)));
+    }
+    if infeasible > 0 {
+        // An oracle-rejected witness is a solver bug: fail the request
+        // loudly but keep the diagnostic body.
+        reply.insert(
+            0,
+            (
+                "error".to_string(),
+                Json::obj([
+                    ("kind", Json::str("infeasible-solution")),
+                    (
+                        "message",
+                        Json::str(format!("{infeasible} solution(s) rejected by the oracle")),
+                    ),
+                ]),
+            ),
+        );
+        return Response::json(500, Json::Obj(reply));
+    }
+    Response::json(200, Json::Obj(reply))
+}

@@ -1,0 +1,420 @@
+//! The [`Server`]: a bounded accept loop on `std::net` feeding handler
+//! threads, with live metrics and graceful shutdown.
+//!
+//! Architecture (everything `std`, nothing async):
+//!
+//! * the **accept loop** polls a non-blocking [`TcpListener`] and pushes
+//!   connections into a **bounded** queue (`mpsc::sync_channel`); when
+//!   the queue is full the connection is answered `503` immediately
+//!   instead of piling up — backpressure by refusal, not by buffering;
+//! * a fixed set of **connection threads** drains the queue, parses one
+//!   request per connection ([`crate::http`]) and routes it
+//!   ([`crate::routes`]);
+//! * **solving** goes through the pooled [`mst_api::Batch`] engine — the
+//!   same persistent [`mst_sim::WorkerPool`] the library batch path
+//!   uses, sized by [`ServeConfig::threads`] (or the process-wide shared
+//!   pool when unset);
+//! * **shutdown** is a flag checked every accept-poll tick: set by
+//!   [`ServerHandle::shutdown`], or by SIGINT/ctrl-c once
+//!   [`install_sigint_handler`] is active. The loop then stops
+//!   accepting, drains queued connections, joins every handler thread
+//!   and returns a [`ServeReport`] — no thread is left stuck.
+
+use crate::http::{HttpError, Response};
+use crate::routes;
+use mst_api::wire::Json;
+use mst_api::Batch;
+use mst_sim::WorkerPool;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How the service is wired: address, parallelism and safety caps.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind, e.g. `127.0.0.1:8080` (port 0 picks a free one).
+    pub addr: String,
+    /// Total solve parallelism. `None` uses the process-wide shared
+    /// pool; `Some(n)` gives the server a dedicated
+    /// [`WorkerPool::with_parallelism`] pool of `n`.
+    pub threads: Option<usize>,
+    /// Connection-handler threads (HTTP parsing and routing).
+    pub conn_threads: usize,
+    /// Pending-connection queue bound; beyond it, new connections get
+    /// an immediate `503`.
+    pub backlog: usize,
+    /// Largest accepted request body, in bytes.
+    pub max_body_bytes: usize,
+    /// Largest instance count a single `/batch` request may solve.
+    pub max_batch_instances: usize,
+    /// Largest task budget a single instance may carry — a bare number
+    /// in the body must not be able to request an unbounded amount of
+    /// scheduling work.
+    pub max_tasks_per_instance: usize,
+    /// Largest processor count a `/batch` generator spec may ask for
+    /// (explicit platforms are already bounded by
+    /// [`ServeConfig::max_body_bytes`], but `"size"` is just a number).
+    pub max_platform_processors: usize,
+    /// Socket read/write timeout for client connections.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:8080".to_string(),
+            threads: None,
+            conn_threads: 8,
+            backlog: 64,
+            max_body_bytes: 1024 * 1024,
+            max_batch_instances: 100_000,
+            max_tasks_per_instance: 1_000_000,
+            max_platform_processors: 10_000,
+            io_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Live request/solve counters, served by `GET /metrics`.
+///
+/// All counters are monotone atomics; `instances_per_sec` in the
+/// endpoint's body is derived as `solved_total / solve_secs_total`
+/// (solve wall time only, so idle time does not dilute the number).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Connections accepted by the listener.
+    pub connections_total: AtomicU64,
+    /// Connections refused with `503` because the queue was full.
+    pub connections_rejected: AtomicU64,
+    /// Requests routed (any method, any path).
+    pub requests_total: AtomicU64,
+    /// Responses with a 4xx/5xx status.
+    pub http_errors_total: AtomicU64,
+    /// Instances solved successfully (single solves and batch members).
+    pub solved_total: AtomicU64,
+    /// Instances whose solve returned an error.
+    pub failed_total: AtomicU64,
+    /// Nanoseconds spent inside `Batch`/solver calls.
+    pub solve_ns_total: AtomicU64,
+}
+
+impl Metrics {
+    /// Records one solving run: `solved`/`failed` instance outcomes and
+    /// the wall time the run took.
+    pub fn record_solve(&self, solved: u64, failed: u64, elapsed: Duration) {
+        self.solved_total.fetch_add(solved, Ordering::Relaxed);
+        self.failed_total.fetch_add(failed, Ordering::Relaxed);
+        self.solve_ns_total.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Solve throughput so far, in instances per second of solve wall
+    /// time (0.0 before the first solve).
+    pub fn instances_per_sec(&self) -> f64 {
+        let ns = self.solve_ns_total.load(Ordering::Relaxed);
+        if ns == 0 {
+            return 0.0;
+        }
+        self.solved_total.load(Ordering::Relaxed) as f64 / (ns as f64 / 1e9)
+    }
+}
+
+/// Shared service state: the pooled batch engine, metrics, caps and the
+/// shutdown flag.
+pub struct ServiceState {
+    /// The pooled solve engine (registry + worker pool).
+    pub batch: Batch,
+    /// Live counters.
+    pub metrics: Metrics,
+    /// Config snapshot (caps consulted by the routes).
+    pub config: ServeConfig,
+    /// When the server started (uptime reporting).
+    pub started: Instant,
+    shutdown: AtomicBool,
+}
+
+impl ServiceState {
+    /// Whether shutdown has been requested (handle or SIGINT).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed) || SIGINT_RECEIVED.load(Ordering::Relaxed)
+    }
+}
+
+/// A clonable remote control for a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServiceState>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests graceful shutdown: the accept loop stops within one
+    /// poll tick, queued connections drain, handler threads join.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// The shared state (metrics inspection in tests and the CLI).
+    pub fn state(&self) -> &ServiceState {
+        &self.state
+    }
+}
+
+/// What a completed [`Server::run`] saw, for operator logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Requests routed.
+    pub requests: u64,
+    /// Instances solved.
+    pub solved: u64,
+}
+
+/// The HTTP front-end: bind, then [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServiceState>,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds the configured address and prepares the solve engine. The
+    /// listener is non-blocking — [`Server::run`] polls it so shutdown
+    /// requests are honoured within milliseconds.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let addrs: Vec<SocketAddr> = config
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?
+            .collect();
+        let listener = TcpListener::bind(&addrs[..])?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let batch = match config.threads {
+            Some(threads) => {
+                Batch::default().with_pool(Arc::new(WorkerPool::with_parallelism(threads)))
+            }
+            None => Batch::default(),
+        };
+        let state = Arc::new(ServiceState {
+            batch,
+            metrics: Metrics::default(),
+            config,
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+        });
+        Ok(Server { listener, state, addr })
+    }
+
+    /// The bound address (resolves a requested port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle for shutting the server down from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { state: Arc::clone(&self.state), addr: self.addr }
+    }
+
+    /// Serves until shutdown is requested, then drains and joins every
+    /// handler thread before returning the lifetime counters.
+    pub fn run(self) -> io::Result<ServeReport> {
+        let Server { listener, state, .. } = self;
+        let (queue, rx) = mpsc::sync_channel::<TcpStream>(state.config.backlog);
+        let rx = Arc::new(Mutex::new(rx));
+        let handlers: Vec<_> = (0..state.config.conn_threads.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name("mst-serve-conn".into())
+                    .spawn(move || loop {
+                        // Holding the lock only for the dequeue keeps the
+                        // other handlers runnable while this one serves.
+                        let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                        match next {
+                            Ok(stream) => serve_connection(stream, &state),
+                            Err(_) => return, // queue closed: shutdown
+                        }
+                    })
+                    .expect("spawn connection handler")
+            })
+            .collect();
+
+        while !state.shutdown_requested() {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    state.metrics.connections_total.fetch_add(1, Ordering::Relaxed);
+                    if let Err(mpsc::TrySendError::Full(mut stream)) = queue.try_send(stream) {
+                        // Queue full: refuse loudly rather than buffer.
+                        state.metrics.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                        let _ = error_body(503, "overloaded", "connection queue is full; retry")
+                            .write_to(&mut stream);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    // Listener failure: shut down cleanly rather than spin.
+                    drop(queue);
+                    for handle in handlers {
+                        let _ = handle.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+
+        // Graceful exit: close the queue (handlers finish in-flight and
+        // queued requests, then see the hangup) and join them all.
+        drop(queue);
+        for handle in handlers {
+            handle.join().expect("connection handler exits cleanly");
+        }
+        Ok(ServeReport {
+            connections: state.metrics.connections_total.load(Ordering::Relaxed),
+            requests: state.metrics.requests_total.load(Ordering::Relaxed),
+            solved: state.metrics.solved_total.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Serves one connection: parse, route, respond, close. A panic inside
+/// routing (a solver bug) is caught here so it costs one response, not
+/// a handler thread.
+fn serve_connection(mut stream: TcpStream, state: &ServiceState) {
+    // The listener is non-blocking; on BSD-derived platforms accepted
+    // sockets inherit that flag (Linux clears it), which would turn the
+    // blocking reads below into instant WouldBlock/408s.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(state.config.io_timeout));
+    let _ = stream.set_write_timeout(Some(state.config.io_timeout));
+    let _ = stream.set_nodelay(true);
+    let response = match crate::http::read_request(&mut stream, state.config.max_body_bytes) {
+        Ok(request) => {
+            let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                routes::route(&request, state)
+            }));
+            routed.unwrap_or_else(|_| {
+                error_body(500, "internal-error", "request handler panicked; see server logs")
+            })
+        }
+        // A connection that never sent a byte (port scanners, load
+        // balancer liveness probes) is not a request: no counters, no
+        // response to a peer that already hung up.
+        Err(HttpError::Disconnected) => return,
+        Err(e) => {
+            state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+            error_body(e.status(), "bad-request", &e.message())
+        }
+    };
+    if response.status >= 400 {
+        state.metrics.http_errors_total.fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = response.write_to(&mut stream);
+}
+
+/// A structured `{"error": {"kind", "message"}}` response.
+fn error_body(status: u16, kind: &str, message: &str) -> Response {
+    Response::json(
+        status,
+        Json::obj([(
+            "error",
+            Json::obj([("kind", Json::str(kind)), ("message", Json::str(message))]),
+        )]),
+    )
+}
+
+/// Set by the SIGINT handler; checked by every running server.
+static SIGINT_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_sigint(_signum: i32) {
+    // Only async-signal-safe work here: one atomic store.
+    SIGINT_RECEIVED.store(true, Ordering::Relaxed);
+}
+
+/// Installs a SIGINT (ctrl-c) handler that gracefully stops every
+/// running [`Server`] in the process. Call once before [`Server::run`];
+/// a no-op on non-unix targets.
+pub fn install_sigint_handler() {
+    #[cfg(unix)]
+    {
+        const SIGINT: i32 = 2;
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        // SAFETY: registering an async-signal-safe handler (it performs
+        // a single atomic store) for a standard signal number.
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+
+    fn request(addr: SocketAddr, raw: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn binds_serves_and_shuts_down_cleanly() {
+        let server =
+            Server::bind(ServeConfig { addr: "127.0.0.1:0".into(), ..ServeConfig::default() })
+                .expect("bind");
+        let handle = server.handle();
+        let addr = server.addr();
+        let runner = std::thread::spawn(move || server.run().expect("run"));
+
+        let health = request(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        assert!(health.contains("\"status\":\"ok\""), "{health}");
+
+        handle.shutdown();
+        let report = runner.join().expect("runner joins");
+        assert_eq!(report.connections, 1);
+        assert_eq!(report.requests, 1);
+    }
+
+    #[test]
+    fn dedicated_thread_pools_are_honoured() {
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: Some(3),
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        assert_eq!(server.handle().state().batch.pool().workers(), 2);
+        // Unset threads share the process-wide pool.
+        let shared =
+            Server::bind(ServeConfig { addr: "127.0.0.1:0".into(), ..ServeConfig::default() })
+                .expect("bind");
+        assert!(Arc::ptr_eq(shared.handle().state().batch.pool(), &mst_sim::shared_pool()));
+    }
+
+    #[test]
+    fn metrics_throughput_is_zero_before_any_solve() {
+        let metrics = Metrics::default();
+        assert_eq!(metrics.instances_per_sec(), 0.0);
+        metrics.record_solve(100, 0, Duration::from_millis(10));
+        assert!(metrics.instances_per_sec() > 0.0);
+    }
+}

@@ -128,6 +128,17 @@ impl WorkerPool {
         WorkerPool::with_workers(cores.saturating_sub(1))
     }
 
+    /// A pool saturating `threads` total concurrent executors: the
+    /// caller participates in every sweep, so this spawns `threads - 1`
+    /// background workers. `with_parallelism(1)` is a fully inline pool.
+    ///
+    /// This is the sizing a service front-end wants for its `--threads`
+    /// knob — the operator states total solve parallelism, not the
+    /// background-thread count.
+    pub fn with_parallelism(threads: usize) -> WorkerPool {
+        WorkerPool::with_workers(threads.max(1) - 1)
+    }
+
     /// A pool with exactly `workers` background threads. `0` is valid:
     /// every sweep then runs inline on the caller.
     pub fn with_workers(workers: usize) -> WorkerPool {
@@ -399,6 +410,14 @@ mod tests {
         // A real sweep does publish.
         pool.run(&[1u64, 2, 3], |&x| x);
         assert_eq!(pool.jobs_submitted(), 1);
+    }
+
+    #[test]
+    fn parallelism_counts_the_caller() {
+        assert_eq!(WorkerPool::with_parallelism(1).workers(), 0);
+        assert_eq!(WorkerPool::with_parallelism(4).workers(), 3);
+        // Zero asks for no concurrency at all; clamp to the inline pool.
+        assert_eq!(WorkerPool::with_parallelism(0).workers(), 0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The spider algorithm: per-leg chains, fork selection, revert.
 //!
 //! The deadline search is incremental: binary-search probes run the
-//! selection (steps (1)–(4)) through a reusable [`SpiderScratch`]
+//! selection (steps (1)–(4)) through a reusable `SpiderScratch`
 //! without materialising a witness, and step (5)'s revert runs **once**,
 //! on the final deadline — the same hot-path structure as
 //! `mst_fork::schedule_fork`.

@@ -1,0 +1,64 @@
+//! Serve the solver API over HTTP and talk to it — in one process.
+//!
+//! Starts `mst-serve` on an ephemeral port, round-trips a `/solve` for
+//! the paper's Figure-2 chain, sweeps 500 generated instances through
+//! `/batch`, prints the live `/metrics`, then shuts down gracefully.
+//!
+//! ```text
+//! cargo run --release --example serve_roundtrip
+//! ```
+
+use master_slave_tasking::prelude::*;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: example\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("receive");
+    reply.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or(reply)
+}
+
+fn main() {
+    let server = Server::bind(ServeConfig { addr: "127.0.0.1:0".into(), ..ServeConfig::default() })
+        .expect("bind");
+    let addr = server.addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run().expect("server run"));
+    println!("serving on http://{addr}");
+
+    // One instance, verified by the oracle before it comes back.
+    let solve = request(
+        addr,
+        "POST",
+        "/solve",
+        r#"{"platform": "chain\n2 3\n3 5\n", "tasks": 5, "verify": true}"#,
+    );
+    println!("\nPOST /solve (Figure 2, 5 tasks):\n{solve}");
+
+    // A 500-instance sweep through the pooled batch engine.
+    let batch = request(
+        addr,
+        "POST",
+        "/batch",
+        r#"{"generate": {"kind": "spider", "count": 500, "size": 4, "tasks": 8},
+            "verify": true}"#,
+    );
+    println!("\nPOST /batch (500 spiders):\n{batch}");
+
+    let metrics = request(addr, "GET", "/metrics", "");
+    println!("\nGET /metrics:\n{metrics}");
+
+    handle.shutdown();
+    let report = runner.join().expect("runner");
+    println!(
+        "\nshut down: {} connections, {} requests, {} instances solved",
+        report.connections, report.requests, report.solved
+    );
+}

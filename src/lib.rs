@@ -15,8 +15,9 @@
 //!
 //! Since the unified-API redesign, the primary public surface is
 //! [`mst_api`] (re-exported as [`api`]): any topology, any algorithm,
-//! one `solve()` call, one feasibility oracle, and a parallel [`Batch`]
-//! engine for instance sweeps:
+//! one `solve()` call, one feasibility oracle, and a parallel
+//! [`Batch`](mst_api::Batch) engine for instance sweeps — served over
+//! HTTP by [`mst_serve`] (re-exported as [`serve`]):
 //!
 //! ```
 //! use master_slave_tasking::prelude::*;
@@ -45,6 +46,7 @@ pub use mst_core as core_algorithm;
 pub use mst_fork as fork;
 pub use mst_platform as platform;
 pub use mst_schedule as schedule;
+pub use mst_serve as serve;
 pub use mst_sim as sim;
 pub use mst_spider as spider;
 pub use mst_tree as tree;
@@ -64,6 +66,7 @@ pub mod prelude {
         Chain, Fork, GeneratorConfig, HeterogeneityProfile, NodeId, Processor, Spider, Time, Tree,
     };
     pub use mst_schedule::{ChainSchedule, CommVector, SpiderSchedule};
+    pub use mst_serve::{ServeConfig, Server, ServerHandle};
     pub use mst_sim::{run_parallel, shared_pool, WorkerPool};
     pub use mst_spider::{schedule_spider, schedule_spider_by_deadline};
 }

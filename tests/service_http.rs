@@ -1,0 +1,380 @@
+//! End-to-end tests of the `mst-serve` HTTP front-end over real
+//! `TcpStream`s: wire-layer robustness (malformed, truncated and
+//! oversized bodies answer structured 4xx — never a panic or a hang),
+//! solver parity with the direct `Batch` path under 32 concurrent
+//! clients, and graceful shutdown that leaves no stuck threads.
+
+use master_slave_tasking::api::wire::{instance_to_json, solution_to_json, Json};
+use master_slave_tasking::prelude::*;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Binds a server on an ephemeral port and runs it on a background
+/// thread. Returns the address, the shutdown handle and the runner.
+fn start_server() -> (SocketAddr, ServerHandle, std::thread::JoinHandle<mst_serve::ServeReport>) {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        conn_threads: 8,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, runner)
+}
+
+/// Sends raw bytes, returns `(status, body)`. The read timeout
+/// guarantees these tests fail loudly instead of hanging when the
+/// server stops responding.
+fn raw_request(addr: SocketAddr, raw: &[u8], half_close: bool) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    stream.write_all(raw).expect("send request");
+    if half_close {
+        stream.shutdown(Shutdown::Write).expect("half-close");
+    }
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("read response");
+    let reply = String::from_utf8_lossy(&reply).to_string();
+    let status: u16 = reply
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {reply:?}"));
+    let body = reply.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    raw_request(addr, format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(), false)
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let raw =
+        format!("POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}", body.len());
+    raw_request(addr, raw.as_bytes(), false)
+}
+
+/// The `error.kind` field of a structured error body.
+fn error_kind_of(body: &str) -> String {
+    Json::parse(body)
+        .ok()
+        .and_then(|j| j.get("error")?.get("kind")?.as_str().map(String::from))
+        .unwrap_or_else(|| panic!("no error kind in {body:?}"))
+}
+
+#[test]
+fn read_endpoints_round_trip() {
+    let (addr, handle, runner) = start_server();
+
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+    let (status, body) = get(addr, "/solvers");
+    assert_eq!(status, 200);
+    let solvers = Json::parse(&body).unwrap();
+    let names: Vec<String> = solvers
+        .get("solvers")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|s| s.get("name").unwrap().as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(names, SolverRegistry::global().names(), "registry listing must match");
+
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let metrics = Json::parse(&body).unwrap();
+    for key in
+        ["uptime_secs", "requests_total", "solved_total", "instances_per_sec", "pool_workers"]
+    {
+        assert!(metrics.get(key).is_some(), "missing {key} in {body}");
+    }
+
+    let (status, body) = get(addr, "/");
+    assert_eq!(status, 200);
+    assert!(body.contains("mst-serve"), "{body}");
+
+    // Unknown paths and wrong methods answer structured errors.
+    let (status, body) = get(addr, "/nope");
+    assert_eq!(status, 404);
+    assert_eq!(error_kind_of(&body), "not-found");
+    let (status, body) = post(addr, "/healthz", "{}");
+    assert_eq!(status, 405);
+    assert_eq!(error_kind_of(&body), "method-not-allowed");
+
+    handle.shutdown();
+    runner.join().unwrap();
+}
+
+#[test]
+fn solve_round_trip_matches_the_direct_path_and_verifies() {
+    let (addr, handle, runner) = start_server();
+    let instance = Instance::new(Platform::parse("chain\n2 3\n3 5\n").unwrap(), 5);
+
+    let mut request = match instance_to_json(&instance) {
+        Json::Obj(members) => members,
+        _ => unreachable!(),
+    };
+    request.push(("verify".to_string(), Json::Bool(true)));
+    let (status, body) = post(addr, "/solve", &Json::Obj(request).to_string());
+    assert_eq!(status, 200, "{body}");
+
+    let reply = Json::parse(&body).unwrap();
+    assert_eq!(reply.get("makespan").and_then(Json::as_i64), Some(14));
+    assert_eq!(reply.get("scheduled").and_then(Json::as_i64), Some(5));
+    assert_eq!(reply.get("feasible").and_then(Json::as_bool), Some(true));
+
+    // Everything except the appended verification flag must be exactly
+    // the wire encoding of the direct library solve.
+    let direct = SolverRegistry::global().solve("optimal", &instance).unwrap();
+    let mut members = match reply {
+        Json::Obj(members) => members,
+        _ => panic!("object expected"),
+    };
+    assert_eq!(members.pop().map(|(k, _)| k), Some("feasible".to_string()));
+    assert_eq!(Json::Obj(members), solution_to_json(&direct));
+
+    // The deadline (T_lim) variant rides the same endpoint.
+    let (status, body) = post(
+        addr,
+        "/solve",
+        r#"{"platform": "chain\n2 3\n3 5\n", "tasks": 9, "deadline": 14, "verify": true}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let reply = Json::parse(&body).unwrap();
+    assert_eq!(reply.get("scheduled").and_then(Json::as_i64), Some(5));
+    assert!(reply.get("makespan").and_then(Json::as_i64).unwrap() <= 14);
+
+    handle.shutdown();
+    runner.join().unwrap();
+}
+
+#[test]
+fn wire_layer_rejects_bad_bodies_with_structured_4xx() {
+    let (addr, handle, runner) = start_server();
+
+    // Not JSON at all.
+    let (status, body) = post(addr, "/solve", "{{{never json");
+    assert_eq!(status, 400, "{body}");
+    assert_eq!(error_kind_of(&body), "bad-json");
+
+    // Valid JSON, not a valid instance.
+    for bad in [
+        "{}",
+        r#"{"platform": 7, "tasks": 3}"#,
+        r#"{"platform": "chain\n2 3\n", "tasks": 0}"#,
+        r#"{"platform": "ring\n2 3\n", "tasks": 3}"#,
+        r#"{"platform": "chain\n2 3\n"}"#,
+    ] {
+        let (status, body) = post(addr, "/solve", bad);
+        assert_eq!(status, 400, "{bad} -> {body}");
+        assert_eq!(error_kind_of(&body), "bad-instance", "{bad}");
+    }
+
+    // Unknown solver names are a structured 404.
+    let (status, body) =
+        post(addr, "/solve", r#"{"platform": "chain\n2 3\n", "tasks": 3, "solver": "nope"}"#);
+    assert_eq!(status, 404, "{body}");
+    assert_eq!(error_kind_of(&body), "unknown-solver");
+
+    // Wrongly-typed option fields.
+    let (status, body) =
+        post(addr, "/solve", r#"{"platform": "chain\n2 3\n", "tasks": 3, "deadline": -4}"#);
+    assert_eq!(status, 400);
+    assert_eq!(error_kind_of(&body), "bad-request", "{body}");
+
+    // Resource caps: a bare number must not buy unbounded work. The
+    // default config caps tasks per instance and generated platform
+    // sizes; exceeding either is a structured 400, not an allocation.
+    let (status, body) =
+        post(addr, "/solve", r#"{"platform": "chain\n2 3\n", "tasks": 100000000000}"#);
+    assert_eq!(status, 400, "{body}");
+    assert_eq!(error_kind_of(&body), "too-many-tasks");
+    let (status, body) = post(
+        addr,
+        "/batch",
+        r#"{"generate": {"kind": "chain", "count": 1, "size": 100000000000}}"#,
+    );
+    assert_eq!(status, 400, "{body}");
+    assert_eq!(error_kind_of(&body), "too-many-processors");
+    let (status, body) = post(
+        addr,
+        "/batch",
+        r#"{"generate": {"kind": "chain", "count": 1, "tasks": 100000000000}}"#,
+    );
+    assert_eq!(status, 400, "{body}");
+    assert_eq!(error_kind_of(&body), "too-many-tasks");
+    let (status, body) = post(
+        addr,
+        "/batch",
+        r#"{"instances": [{"platform": "chain\n2 3\n", "tasks": 100000000000}]}"#,
+    );
+    assert_eq!(status, 400, "{body}");
+    assert_eq!(error_kind_of(&body), "too-many-tasks");
+
+    // A declared body that never arrives: truncated, answered 400, no
+    // hang (the request helper enforces a read timeout).
+    let (status, body) =
+        raw_request(addr, b"POST /solve HTTP/1.1\r\nContent-Length: 400\r\n\r\n{\"plat", true);
+    assert_eq!(status, 400, "{body}");
+
+    // A body bigger than the cap is refused up front.
+    let (status, body) =
+        raw_request(addr, b"POST /solve HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n", true);
+    assert_eq!(status, 413, "{body}");
+
+    // Empty and non-HTTP requests answer 400 instead of wedging a
+    // handler thread.
+    let (status, _) = raw_request(addr, b"\r\n\r\n", true);
+    assert_eq!(status, 400);
+    let (status, _) = raw_request(addr, b"FROB / SPDY/3\r\n\r\n", true);
+    assert_eq!(status, 400);
+
+    handle.shutdown();
+    runner.join().unwrap();
+}
+
+#[test]
+fn batch_endpoint_sweeps_generates_and_verifies() {
+    let (addr, handle, runner) = start_server();
+
+    let (status, body) = post(
+        addr,
+        "/batch",
+        r#"{"generate": {"kind": "chain", "count": 64, "size": 3, "tasks": 6},
+            "verify": true}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let reply = Json::parse(&body).unwrap();
+    assert_eq!(reply.get("count").and_then(Json::as_i64), Some(64));
+    assert_eq!(reply.get("solved").and_then(Json::as_i64), Some(64));
+    assert_eq!(reply.get("failed").and_then(Json::as_i64), Some(0));
+    assert_eq!(reply.get("infeasible").and_then(Json::as_i64), Some(0));
+    assert_eq!(reply.get("verified").and_then(Json::as_bool), Some(true));
+    assert!(reply.get("results").is_none(), "results only on request");
+
+    // Explicit instance lists with results; entries match direct solves.
+    let fig2 = Instance::new(Platform::parse("chain\n2 3\n3 5\n").unwrap(), 5);
+    let body_json = Json::obj([
+        ("instances", Json::Arr(vec![instance_to_json(&fig2)])),
+        ("include_results", Json::Bool(true)),
+    ]);
+    let (status, body) = post(addr, "/batch", &body_json.to_string());
+    assert_eq!(status, 200, "{body}");
+    let reply = Json::parse(&body).unwrap();
+    let results = reply.get("results").unwrap().as_arr().unwrap();
+    let direct = SolverRegistry::global().solve("optimal", &fig2).unwrap();
+    assert_eq!(results, [solution_to_json(&direct)]);
+
+    // Caps and bad specs are structured 400s.
+    let (status, body) =
+        post(addr, "/batch", r#"{"generate": {"kind": "chain", "count": 999999999}}"#);
+    assert_eq!(status, 400);
+    assert_eq!(error_kind_of(&body), "too-many-instances");
+    for bad in [
+        r#"{"generate": {"kind": "ring", "count": 2}}"#,
+        r#"{"generate": {"kind": "chain", "count": 0}}"#,
+        r#"{"generate": {"kind": "chain", "count": 2, "profile": "alien"}}"#,
+        r#"{"generate": {"count": 2}}"#,
+        r#"{"instances": 3}"#,
+        r#"{}"#,
+    ] {
+        let (status, _) = post(addr, "/batch", bad);
+        assert_eq!(status, 400, "{bad}");
+    }
+    let (status, body) =
+        post(addr, "/batch", r#"{"generate": {"kind": "chain", "count": 2}, "solver": "nope"}"#);
+    assert_eq!(status, 404);
+    assert_eq!(error_kind_of(&body), "unknown-solver");
+
+    handle.shutdown();
+    runner.join().unwrap();
+}
+
+#[test]
+fn thirty_two_concurrent_clients_match_direct_batch_results() {
+    let (addr, handle, runner) = start_server();
+
+    // A mixed fleet, solved directly through the library Batch engine...
+    let instances: Vec<Instance> = (0..32)
+        .map(|seed| {
+            let kind = TopologyKind::ALL[(seed % 3) as usize];
+            Instance::generate(
+                kind,
+                HeterogeneityProfile::ALL[(seed % 5) as usize],
+                seed,
+                1 + (seed % 4) as usize,
+                1 + (seed % 6) as usize,
+            )
+        })
+        .collect();
+    let direct = Batch::default().solve_all(&instances);
+
+    // ...and concurrently over HTTP by 32 clients, one instance each.
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = instances
+            .iter()
+            .zip(&direct)
+            .map(|(instance, expected)| {
+                scope.spawn(move || {
+                    let mut request = match instance_to_json(instance) {
+                        Json::Obj(members) => members,
+                        _ => unreachable!(),
+                    };
+                    request.push(("verify".to_string(), Json::Bool(true)));
+                    let (status, body) = post(addr, "/solve", &Json::Obj(request).to_string());
+                    assert_eq!(status, 200, "{instance}: {body}");
+                    let mut members = match Json::parse(&body).unwrap() {
+                        Json::Obj(members) => members,
+                        _ => panic!("object expected"),
+                    };
+                    assert_eq!(members.pop().map(|(k, _)| k), Some("feasible".to_string()));
+                    let expected = expected.as_ref().expect("fleet solves cleanly");
+                    assert_eq!(
+                        Json::Obj(members),
+                        solution_to_json(expected),
+                        "served solution diverges from the direct Batch result for {instance}"
+                    );
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+    });
+
+    // The metrics saw all 32 solves.
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let metrics = Json::parse(&body).unwrap();
+    assert!(metrics.get("solved_total").and_then(Json::as_i64).unwrap() >= 32, "{body}");
+
+    handle.shutdown();
+    let report = runner.join().unwrap();
+    assert!(report.solved >= 32);
+}
+
+#[test]
+fn graceful_shutdown_drains_and_joins_every_thread() {
+    let (addr, handle, runner) = start_server();
+    let (status, _) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+
+    handle.shutdown();
+    // `run` only returns once the accept loop stopped and every handler
+    // thread joined — a stuck thread would hang this join (and the
+    // test harness would flag it), not leak silently.
+    let report = runner.join().expect("no stuck threads");
+    assert_eq!(report.connections, 1);
+    assert_eq!(report.requests, 1);
+
+    // A second shutdown is a no-op, and the handle stays usable.
+    handle.shutdown();
+    assert!(handle.state().shutdown_requested());
+    assert_eq!(handle.addr(), addr);
+}

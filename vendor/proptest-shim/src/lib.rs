@@ -180,7 +180,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// An inclusive size range for [`vec`].
+    /// An inclusive size range for [`vec()`](fn@vec).
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         /// Smallest allowed length.
@@ -208,7 +208,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`](fn@vec).
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
