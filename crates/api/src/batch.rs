@@ -53,6 +53,15 @@ impl Batch {
         self
     }
 
+    /// Swaps the registry this batch resolves solver names against —
+    /// e.g. a tenant's overlay from [`crate::config`] — keeping the
+    /// solver name and worker pool. Cheap: registries share their
+    /// solvers and layers behind [`Arc`].
+    pub fn with_registry(mut self, registry: SolverRegistry) -> Batch {
+        self.registry = registry;
+        self
+    }
+
     /// Runs this batch's sweeps on a dedicated pool instead of the
     /// process-wide shared one (e.g. to cap a tenant's parallelism).
     pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Batch {

@@ -1,0 +1,511 @@
+//! Config-driven solver registries: the JSON format behind
+//! `mst serve --solvers-config` and `mst solvers --config`.
+//!
+//! A **registry spec** describes one [`SolverRegistry`] as a layer over
+//! a base:
+//!
+//! ```json
+//! {
+//!   "base": "defaults",
+//!   "solvers": [
+//!     {"solver": "random", "name": "random-7", "seed": 7},
+//!     {"solver": "alias", "name": "fast", "target": "chain-fast"}
+//!   ],
+//!   "only": ["optimal", "exact", "random-7", "fast"]
+//! }
+//! ```
+//!
+//! * `"base"` — `"defaults"` (every built-in, the default) or
+//!   `"empty"`;
+//! * `"solvers"` — instantiations stacked as an overlay, in order. Each
+//!   entry names a built-in constructor (`"solver"`), may rename it
+//!   (`"name"`, shadowing included), and may carry constructor
+//!   parameters (currently `"seed"` for `random`). The pseudo-solver
+//!   `"alias"` binds a new name to an already-visible solver
+//!   (`"target"`);
+//! * `"only"` — optional restriction: the registry exposes exactly
+//!   these names, in this order (applied last, so it can pin aliases).
+//!
+//! A **registry set** ([`RegistrySet`]) is either a single spec (it
+//! becomes the default registry) or a document with named per-tenant
+//! registries:
+//!
+//! ```json
+//! {
+//!   "default": {"base": "defaults"},
+//!   "registries": {
+//!     "lean": {"base": "empty", "solvers": [{"solver": "optimal"}]}
+//!   }
+//! }
+//! ```
+//!
+//! `mst-serve` resolves the `"registry"` field of `/solve` and `/batch`
+//! bodies against the set, so tenants can pin solver sets per request.
+//!
+//! Because [`crate::Solver::name`] returns `&'static str` (names flow
+//! into [`crate::Solution`]s on hot paths), configured names are
+//! interned once into a process-wide leak-free-enough pool — config
+//! loading happens at startup, not per request.
+
+use crate::registry::SolverRegistry;
+use crate::solver::Solver;
+use crate::solvers::{
+    ChainFastSolver, ChainOptimalSolver, DivisibleSolver, ExactSolver, ForkOptimalSolver,
+    HeuristicSolver, OptimalSolver, SpiderOptimalSolver, TreeCoverSolver,
+};
+use crate::wire::Json;
+use crate::{instance::Instance, platform::TopologyKind, solution::Solution, SolveError};
+use mst_platform::Time;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Why a solver configuration could not be parsed or built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    fn new(message: impl Into<String>) -> ConfigError {
+        ConfigError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "solver config: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Interns a configured name, handing out a `&'static str` without
+/// leaking duplicates across repeated config loads.
+fn intern(name: &str) -> &'static str {
+    static POOL: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut pool = POOL.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(&existing) = pool.get(name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    pool.insert(leaked);
+    leaked
+}
+
+/// A solver re-registered under a configured name: delegates everything
+/// to the wrapped solver but answers lookups (and capability listings)
+/// under its own name. Solutions keep reporting the wrapped solver's
+/// canonical name — an alias changes how you *address* an algorithm,
+/// not what it *is*.
+struct RenamedSolver {
+    name: &'static str,
+    description: &'static str,
+    inner: Arc<dyn Solver>,
+}
+
+impl Solver for RenamedSolver {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn description(&self) -> &'static str {
+        self.description
+    }
+
+    fn supports(&self, kind: TopologyKind) -> bool {
+        self.inner.supports(kind)
+    }
+
+    fn by_deadline(&self) -> bool {
+        self.inner.by_deadline()
+    }
+
+    fn solve(&self, instance: &Instance) -> Result<Solution, SolveError> {
+        self.inner.solve(instance)
+    }
+
+    fn solve_by_deadline(
+        &self,
+        instance: &Instance,
+        deadline: Time,
+    ) -> Result<Solution, SolveError> {
+        self.inner.solve_by_deadline(instance, deadline)
+    }
+}
+
+/// Instantiates a built-in solver constructor by its canonical name.
+fn instantiate(kind: &str, spec: &Json) -> Result<Arc<dyn Solver>, ConfigError> {
+    let seed = match spec.get("seed") {
+        None | Some(Json::Null) => None,
+        Some(value) => Some(
+            value
+                .as_i64()
+                .filter(|&s| s >= 0)
+                .ok_or_else(|| ConfigError::new("\"seed\" must be a non-negative integer"))?
+                as u64,
+        ),
+    };
+    if seed.is_some() && kind != "random" {
+        return Err(ConfigError::new(format!("solver {kind:?} takes no \"seed\"")));
+    }
+    Ok(match kind {
+        "optimal" => Arc::new(OptimalSolver),
+        "chain-optimal" => Arc::new(ChainOptimalSolver),
+        "chain-fast" => Arc::new(ChainFastSolver),
+        "fork-optimal" => Arc::new(ForkOptimalSolver),
+        "spider-optimal" => Arc::new(SpiderOptimalSolver),
+        "tree-cover" => Arc::new(TreeCoverSolver),
+        "eager" => Arc::new(HeuristicSolver::eager()),
+        "round-robin" => Arc::new(HeuristicSolver::round_robin()),
+        "bandwidth-centric" => Arc::new(HeuristicSolver::bandwidth_centric()),
+        "master-only" => Arc::new(HeuristicSolver::master_only()),
+        "random" => Arc::new(HeuristicSolver::random(seed.unwrap_or(2003))),
+        "exact" => Arc::new(ExactSolver),
+        "divisible" => Arc::new(DivisibleSolver),
+        other => return Err(ConfigError::new(format!("unknown solver constructor {other:?}"))),
+    })
+}
+
+/// Rejects keys outside `allowed` — a typo'd key must fail loudly at
+/// load time, not silently drop a tenant registry or a parameter.
+fn check_keys(obj: &Json, allowed: &[&str], what: &str) -> Result<(), ConfigError> {
+    for (key, _) in obj.as_obj().into_iter().flatten() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(ConfigError::new(format!(
+                "{what}: unknown key {key:?} (expected one of {allowed:?})"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Builds one [`SolverRegistry`] from a registry-spec object.
+pub fn registry_from_spec(spec: &Json) -> Result<SolverRegistry, ConfigError> {
+    if spec.as_obj().is_none() {
+        return Err(ConfigError::new("a registry spec must be a JSON object"));
+    }
+    check_keys(spec, &["base", "solvers", "only"], "registry spec")?;
+    let mut registry = match spec.get("base").and_then(Json::as_str) {
+        None | Some("defaults") => SolverRegistry::global().overlay(),
+        Some("empty") => SolverRegistry::new(),
+        Some(other) => {
+            return Err(ConfigError::new(format!(
+                "unknown base {other:?} (expected \"defaults\" or \"empty\")"
+            )));
+        }
+    };
+    if let Some(base) = spec.get("base") {
+        if base.as_str().is_none() {
+            return Err(ConfigError::new("\"base\" must be a string"));
+        }
+    }
+
+    if let Some(entries) = spec.get("solvers") {
+        let entries = entries
+            .as_arr()
+            .ok_or_else(|| ConfigError::new("\"solvers\" must be an array of objects"))?;
+        for (i, entry) in entries.iter().enumerate() {
+            let at = |msg: String| ConfigError::new(format!("solvers[{i}]: {msg}"));
+            check_keys(entry, &["solver", "name", "seed", "target"], &format!("solvers[{i}]"))?;
+            let kind = entry
+                .get("solver")
+                .and_then(Json::as_str)
+                .ok_or_else(|| at("missing string field \"solver\"".into()))?;
+            let name = match entry.get("name") {
+                None | Some(Json::Null) => None,
+                Some(value) => {
+                    Some(value.as_str().ok_or_else(|| at("\"name\" must be a string".into()))?)
+                }
+            };
+            let solver: Arc<dyn Solver> = if kind == "alias" {
+                if entry.get("seed").is_some() {
+                    // An alias shares its target's instance; a seed here
+                    // would be silently ignored — reject it instead.
+                    return Err(at("an alias takes no \"seed\" (reseed the target entry)".into()));
+                }
+                let target = entry
+                    .get("target")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| at("an alias needs a string \"target\"".into()))?;
+                let inner = registry
+                    .get_arc(target)
+                    .ok_or_else(|| at(format!("alias target {target:?} is not registered")))?;
+                let name = name.ok_or_else(|| at("an alias needs a \"name\" to bind".into()))?;
+                Arc::new(RenamedSolver {
+                    name: intern(name),
+                    description: intern(&format!("alias of {target}")),
+                    inner,
+                })
+            } else {
+                if entry.get("target").is_some() {
+                    return Err(at(format!("only aliases take a \"target\", {kind:?} does not")));
+                }
+                let inner = instantiate(kind, entry).map_err(|e| at(e.message))?;
+                match name {
+                    Some(name) if name != inner.name() => Arc::new(RenamedSolver {
+                        name: intern(name),
+                        description: inner.description(),
+                        inner,
+                    }),
+                    _ => inner,
+                }
+            };
+            // Shadowing a *base* name is the supported override; naming
+            // two config entries identically is a mistake — fail with a
+            // typed error instead of letting `register_arc` panic.
+            if registry.defines_locally(solver.name()) {
+                return Err(at(format!("{:?} is defined twice in this config", solver.name())));
+            }
+            registry.register_arc(solver);
+        }
+    }
+
+    if let Some(only) = spec.get("only") {
+        let names = only
+            .as_arr()
+            .ok_or_else(|| ConfigError::new("\"only\" must be an array of solver names"))?
+            .iter()
+            .map(|n| n.as_str().ok_or_else(|| ConfigError::new("\"only\" entries must be strings")))
+            .collect::<Result<Vec<&str>, ConfigError>>()?;
+        if let Some(dup) =
+            names.iter().enumerate().find_map(|(i, n)| names[..i].contains(n).then_some(*n))
+        {
+            return Err(ConfigError::new(format!("\"only\" lists {dup:?} twice")));
+        }
+        registry = registry
+            .restricted_to(&names)
+            .map_err(|e| ConfigError::new(format!("\"only\": {e}")))?;
+    }
+    Ok(registry)
+}
+
+/// A set of config-built registries: one default plus named per-tenant
+/// overlays, as served by `mst serve --solvers-config`.
+#[derive(Debug, Clone)]
+pub struct RegistrySet {
+    default: SolverRegistry,
+    named: Vec<(String, SolverRegistry)>,
+}
+
+impl RegistrySet {
+    /// A set holding just the built-in default registry.
+    pub fn builtin() -> RegistrySet {
+        RegistrySet { default: SolverRegistry::global().clone(), named: Vec::new() }
+    }
+
+    /// Parses a config document. Two shapes are accepted:
+    ///
+    /// * a document with `"default"` and/or `"registries"` members —
+    ///   each value is a registry spec;
+    /// * a bare registry spec, which becomes the default registry.
+    pub fn parse(text: &str) -> Result<RegistrySet, ConfigError> {
+        let json = Json::parse(text).map_err(|e| ConfigError::new(format!("invalid JSON: {e}")))?;
+        if json.as_obj().is_none() {
+            return Err(ConfigError::new("the config must be a JSON object"));
+        }
+        let is_set = json.get("default").is_some() || json.get("registries").is_some();
+        if !is_set {
+            // A bare registry spec; its own key whitelist rejects typos
+            // like "registeries" instead of silently dropping tenants.
+            return Ok(RegistrySet { default: registry_from_spec(&json)?, named: Vec::new() });
+        }
+        check_keys(&json, &["default", "registries"], "config")?;
+        let default = match json.get("default") {
+            Some(spec) => registry_from_spec(spec)
+                .map_err(|e| ConfigError::new(format!("\"default\": {}", e.message)))?,
+            None => SolverRegistry::global().clone(),
+        };
+        let mut named = Vec::new();
+        if let Some(registries) = json.get("registries") {
+            let members = registries
+                .as_obj()
+                .ok_or_else(|| ConfigError::new("\"registries\" must be an object"))?;
+            for (name, spec) in members {
+                if name == "default" || named.iter().any(|(n, _)| n == name) {
+                    return Err(ConfigError::new(format!("registry {name:?} defined twice")));
+                }
+                let registry = registry_from_spec(spec)
+                    .map_err(|e| ConfigError::new(format!("registry {name:?}: {}", e.message)))?;
+                named.push((name.clone(), registry));
+            }
+        }
+        Ok(RegistrySet { default, named })
+    }
+
+    /// The default registry (requests that pin nothing).
+    pub fn default_registry(&self) -> &SolverRegistry {
+        &self.default
+    }
+
+    /// A named tenant registry; `None` (not the default!) when unknown,
+    /// so callers can distinguish a typo from an intentional fallback.
+    pub fn get(&self, name: &str) -> Option<&SolverRegistry> {
+        self.named.iter().find(|(n, _)| n == name).map(|(_, r)| r)
+    }
+
+    /// The tenant registry names, in config order.
+    pub fn names(&self) -> Vec<&str> {
+        self.named.iter().map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mst_platform::Chain;
+
+    fn spec(text: &str) -> Result<SolverRegistry, ConfigError> {
+        registry_from_spec(&Json::parse(text).expect("test specs are valid JSON"))
+    }
+
+    #[test]
+    fn empty_spec_overlays_the_defaults_transparently() {
+        let registry = spec("{}").unwrap();
+        assert_eq!(registry.names(), SolverRegistry::global().names());
+        let instance = Instance::new(Chain::paper_figure2(), 5);
+        assert_eq!(registry.solve("optimal", &instance).unwrap().makespan(), 14);
+    }
+
+    #[test]
+    fn parameterised_and_renamed_solvers_register() {
+        let registry = spec(
+            r#"{"solvers": [
+                {"solver": "random", "name": "random-7", "seed": 7},
+                {"solver": "random", "name": "random-11", "seed": 11}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(registry.get("random-7").is_some());
+        assert!(registry.get("random-11").is_some());
+        assert!(registry.get("random").is_some(), "the base's default-seed random survives");
+        let instance = Instance::new(Chain::paper_figure2(), 6);
+        let a = registry.solve("random-7", &instance).unwrap();
+        let b = registry.solve("random-11", &instance).unwrap();
+        // Different seeds are genuinely different solver instances
+        // (registered under different names; makespans may still tie).
+        assert_eq!(a.solver(), "random", "solutions report the canonical algorithm");
+        assert!(a.n() == 6 && b.n() == 6);
+    }
+
+    #[test]
+    fn aliases_resolve_and_report_their_target() {
+        let registry =
+            spec(r#"{"solvers": [{"solver": "alias", "name": "default", "target": "optimal"}]}"#)
+                .unwrap();
+        let solver = registry.get("default").unwrap();
+        assert_eq!(solver.description(), "alias of optimal");
+        assert!(solver.by_deadline(), "capabilities delegate to the target");
+        let instance = Instance::new(Chain::paper_figure2(), 5);
+        assert_eq!(registry.solve("default", &instance).unwrap().makespan(), 14);
+    }
+
+    #[test]
+    fn empty_base_plus_only_pins_a_tenant_set() {
+        let registry = spec(r#"{"base": "defaults", "only": ["exact", "optimal"]}"#).unwrap();
+        assert_eq!(registry.names(), vec!["exact", "optimal"]);
+        let empty = spec(r#"{"base": "empty"}"#).unwrap();
+        assert!(empty.is_empty());
+        let one = spec(r#"{"base": "empty", "solvers": [{"solver": "chain-optimal"}]}"#).unwrap();
+        assert_eq!(one.names(), vec!["chain-optimal"]);
+    }
+
+    #[test]
+    fn bad_specs_report_typed_errors() {
+        for (text, needle) in [
+            (r#"[]"#, "object"),
+            (r#"{"base": "bogus"}"#, "unknown base"),
+            (r#"{"base": 3}"#, "base"),
+            (r#"{"solvers": 3}"#, "array"),
+            (r#"{"solvers": [{}]}"#, "solver"),
+            (r#"{"solvers": [{"solver": "warp-drive"}]}"#, "unknown solver constructor"),
+            (r#"{"solvers": [{"solver": "exact", "seed": 3}]}"#, "seed"),
+            (r#"{"solvers": [{"solver": "random", "seed": -1}]}"#, "seed"),
+            (r#"{"solvers": [{"solver": "alias", "name": "x"}]}"#, "target"),
+            (r#"{"solvers": [{"solver": "alias", "target": "optimal"}]}"#, "name"),
+            (
+                r#"{"solvers": [{"solver": "alias", "name": "x", "target": "nope"}]}"#,
+                "not registered",
+            ),
+            (r#"{"only": ["nope"]}"#, "nope"),
+            (r#"{"only": 3}"#, "only"),
+            (r#"{"only": ["optimal", "exact", "optimal"]}"#, "twice"),
+            (r#"{"solvres": []}"#, "unknown key"),
+            (r#"{"solvers": [{"solver": "optimal", "sede": 3}]}"#, "unknown key"),
+            (
+                r#"{"solvers": [{"solver": "alias", "name": "x", "target": "optimal", "seed": 9}]}"#,
+                "no \"seed\"",
+            ),
+            (r#"{"solvers": [{"solver": "optimal", "target": "exact"}]}"#, "only aliases"),
+        ] {
+            let err = spec(text).expect_err(text).to_string();
+            assert!(err.contains(needle), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn duplicate_names_in_one_config_fail_cleanly() {
+        let err = spec(
+            r#"{"solvers": [
+                {"solver": "random", "name": "r", "seed": 1},
+                {"solver": "random", "name": "r", "seed": 2}
+            ]}"#,
+        )
+        .expect_err("duplicate must fail");
+        assert!(err.to_string().contains("twice"), "{err}");
+    }
+
+    #[test]
+    fn registry_sets_parse_both_shapes() {
+        // A bare spec is the default registry.
+        let set = RegistrySet::parse(r#"{"base": "defaults"}"#).unwrap();
+        assert!(set.names().is_empty());
+        assert_eq!(set.default_registry().names(), SolverRegistry::global().names());
+
+        // A full set with tenants.
+        let set = RegistrySet::parse(
+            r#"{
+                "default": {"solvers": [{"solver": "random", "name": "random-9", "seed": 9}]},
+                "registries": {
+                    "lean": {"base": "empty", "solvers": [{"solver": "optimal"}, {"solver": "exact"}]},
+                    "aliased": {"solvers": [{"solver": "alias", "name": "best", "target": "optimal"}]}
+                }
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(set.names(), vec!["lean", "aliased"]);
+        assert!(set.default_registry().get("random-9").is_some());
+        assert_eq!(set.get("lean").unwrap().names(), vec!["optimal", "exact"]);
+        assert!(set.get("aliased").unwrap().get("best").is_some());
+        assert!(set.get("nope").is_none());
+
+        // The builtin set is the no-config fallback.
+        assert_eq!(RegistrySet::builtin().default_registry().len(), SolverRegistry::global().len());
+    }
+
+    #[test]
+    fn registry_set_rejects_duplicates_and_garbage() {
+        assert!(RegistrySet::parse("not json").is_err());
+        assert!(RegistrySet::parse("[1,2]").is_err());
+        let err = RegistrySet::parse(r#"{"registries": {"default": {"base": "empty"}}}"#)
+            .expect_err("shadowing the default name is ambiguous");
+        assert!(err.to_string().contains("twice"), "{err}");
+        assert!(RegistrySet::parse(r#"{"registries": 3}"#).is_err());
+        let err = RegistrySet::parse(r#"{"default": {"base": "?"}}"#).unwrap_err();
+        assert!(err.to_string().contains("default"), "{err}");
+        // A typo'd top-level key must fail loudly, not silently drop
+        // every tenant registry.
+        let err = RegistrySet::parse(r#"{"registeries": {"lean": {"base": "empty"}}}"#)
+            .expect_err("typo must be rejected");
+        assert!(err.to_string().contains("unknown key"), "{err}");
+        let err = RegistrySet::parse(r#"{"default": {"base": "empty"}, "extra": 1}"#).unwrap_err();
+        assert!(err.to_string().contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn interned_names_are_stable_across_loads() {
+        let a = intern("tenant-solver-x");
+        let b = intern("tenant-solver-x");
+        assert!(std::ptr::eq(a.as_ptr(), b.as_ptr()), "re-interning must not re-leak");
+    }
+}

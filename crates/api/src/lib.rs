@@ -11,7 +11,11 @@
 //!   `T_lim` variants, implemented by the optimal algorithms, every
 //!   baseline heuristic, the exact branch-and-bound and the
 //!   divisible-load relaxation;
-//! * [`SolverRegistry`] — solvers keyed by name for CLI/bench lookup;
+//! * [`SolverRegistry`] — a **layered** registry: an immutable built-in
+//!   base ([`SolverRegistry::global`]) plus mutable overlays
+//!   ([`SolverRegistry::overlay`]) that add, shadow or pin solvers —
+//!   buildable from JSON configuration ([`config`], `mst serve
+//!   --solvers-config`);
 //! * [`Solution`] — one makespan/feasibility/Gantt/metrics interface
 //!   over the per-topology schedule structs, checked by the single
 //!   [`verify`] oracle;
@@ -39,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod config;
 pub mod error;
 pub mod instance;
 pub mod platform;
@@ -49,6 +54,7 @@ pub mod solvers;
 pub mod wire;
 
 pub use batch::{Batch, BatchSummary};
+pub use config::{ConfigError, RegistrySet};
 pub use error::SolveError;
 pub use instance::Instance;
 pub use platform::{Platform, TopologyKind};

@@ -5,7 +5,8 @@ use crate::instance::Instance;
 use crate::platform::Platform;
 use mst_platform::{Spider, Time};
 use mst_schedule::{
-    check_chain, check_spider, gantt, ChainSchedule, FeasibilityReport, SpiderSchedule,
+    check_chain, check_spider, check_tree, gantt, ChainSchedule, FeasibilityReport, SpiderSchedule,
+    TreeSchedule,
 };
 use std::fmt;
 
@@ -17,14 +18,19 @@ pub enum ScheduleRepr {
     Chain(ChainSchedule),
     /// A spider schedule (fork, spider, and covered-tree platforms).
     Spider(SpiderSchedule),
+    /// A tree schedule, addressed by tree node ids — valid for **any**
+    /// platform, since chains, forks and spiders embed into trees.
+    Tree(TreeSchedule),
 }
 
 /// The result of solving one [`Instance`]: a makespan plus (for every
 /// schedule-producing solver) the witness schedule behind it.
 ///
-/// Relaxations (the divisible-load fluid bound) and makespan-only exact
-/// searches return solutions without a schedule; [`Solution::is_witnessed`]
-/// distinguishes the two.
+/// Every schedule-constructing solver — including the exact
+/// branch-and-bound on general trees, via [`ScheduleRepr::Tree`] —
+/// emits a checkable witness; only relaxations (the divisible-load
+/// fluid bound) return solutions without a schedule, and
+/// [`Solution::is_witnessed`] distinguishes the two.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Solution {
     solver: &'static str,
@@ -72,6 +78,18 @@ impl Solution {
         }
     }
 
+    /// A solution witnessed by a tree schedule (any platform — chains,
+    /// forks and spiders embed into trees).
+    pub fn from_tree(solver: &'static str, schedule: TreeSchedule) -> Solution {
+        Solution {
+            solver,
+            makespan: schedule.makespan(),
+            schedule: Some(ScheduleRepr::Tree(schedule)),
+            sub_platform: None,
+            relaxed_makespan: None,
+        }
+    }
+
     /// A makespan-only solution (no witness schedule).
     pub fn from_makespan(solver: &'static str, makespan: Time) -> Solution {
         Solution { solver, makespan, schedule: None, sub_platform: None, relaxed_makespan: None }
@@ -106,6 +124,7 @@ impl Solution {
         match &self.schedule {
             Some(ScheduleRepr::Chain(s)) => s.n(),
             Some(ScheduleRepr::Spider(s)) => s.n(),
+            Some(ScheduleRepr::Tree(s)) => s.n(),
             None => 0,
         }
     }
@@ -132,6 +151,14 @@ impl Solution {
     pub fn spider_schedule(&self) -> Option<&SpiderSchedule> {
         match &self.schedule {
             Some(ScheduleRepr::Spider(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The tree schedule, if this solution carries one.
+    pub fn tree_schedule(&self) -> Option<&TreeSchedule> {
+        match &self.schedule {
+            Some(ScheduleRepr::Tree(s)) => Some(s),
             _ => None,
         }
     }
@@ -182,6 +209,20 @@ impl Solution {
                 }
                 Some(counts)
             }
+            (Some(ScheduleRepr::Tree(s)), _) => {
+                // Tree node ids follow the platform's processors() order
+                // for every topology (Tree::from_chain / from_spider
+                // number leg by leg). Out-of-range ids (an untrusted
+                // decoded witness) are skipped — they are the oracle's
+                // to report, not this accessor's to panic on.
+                let mut counts = vec![0; platform.num_processors()];
+                for t in s.tasks() {
+                    if let Some(slot) = t.node.checked_sub(1).and_then(|i| counts.get_mut(i)) {
+                        *slot += 1;
+                    }
+                }
+                Some(counts)
+            }
             _ => None,
         }
     }
@@ -208,32 +249,43 @@ impl fmt::Display for Solution {
         match &self.schedule {
             Some(ScheduleRepr::Chain(s)) => write!(f, "{s}"),
             Some(ScheduleRepr::Spider(s)) => write!(f, "{s}"),
+            Some(ScheduleRepr::Tree(s)) => write!(f, "{s}"),
             None => Ok(()),
         }
     }
 }
 
-/// The unified feasibility oracle: dispatches the Definition-1 checkers
-/// of `mst-schedule` against the instance's platform.
+/// The unified — and **total** — feasibility oracle: dispatches the
+/// Definition-1 checkers of `mst-schedule` against the instance's
+/// platform. Every solution any registered solver produces, on every
+/// topology, lands in a checker:
 ///
 /// * chain platforms check with [`check_chain`];
 /// * fork platforms check with [`check_spider`] on the equivalent
 ///   single-processor-leg spider;
 /// * spider platforms check with [`check_spider`];
-/// * tree platforms check the solution's recorded spider cover
-///   ([`Solution::sub_platform`]) — feasible on the cover implies
-///   feasible on the tree, off-cover processors simply idling.
+/// * tree platforms with a spider-repr solution check the recorded
+///   spider cover ([`Solution::sub_platform`]) — feasible on the cover
+///   implies feasible on the tree, off-cover processors simply idling;
+/// * **tree-repr solutions check with [`check_tree`] on any platform**:
+///   chains, forks and spiders embed losslessly into trees
+///   ([`Platform::to_tree`]), so the tree checker is the universal
+///   fallback that makes the oracle total.
 ///
-/// Unwitnessed solutions (relaxations, makespan-only exact results)
-/// verify vacuously: there is no schedule to falsify.
+/// Unwitnessed solutions (fluid relaxations) verify vacuously: there is
+/// no schedule to falsify, and the returned report echoes the
+/// solution's claimed makespan. Witnessed solutions get their makespan
+/// recomputed independently ([`FeasibilityReport::makespan`]), so a
+/// solver cannot claim a makespan its own schedule does not achieve.
 ///
-/// Errors with [`SolveError::MalformedSolution`] when the schedule
-/// representation cannot belong to the platform (e.g. a chain schedule
-/// for a spider instance).
+/// Errors with [`SolveError::MalformedSolution`] only for pairings no
+/// solver produces: a chain schedule presented for a non-chain
+/// platform, or a tree solution in spider coordinates that lost its
+/// cover.
 pub fn verify(instance: &Instance, solution: &Solution) -> Result<FeasibilityReport, SolveError> {
     let malformed = |reason: &str| SolveError::MalformedSolution { reason: reason.to_string() };
     let Some(schedule) = &solution.schedule else {
-        return Ok(FeasibilityReport::default());
+        return Ok(FeasibilityReport::feasible(0, solution.makespan));
     };
     match (&instance.platform, schedule) {
         (Platform::Chain(chain), ScheduleRepr::Chain(s)) => Ok(check_chain(chain, s)),
@@ -253,8 +305,9 @@ pub fn verify(instance: &Instance, solution: &Solution) -> Result<FeasibilityRep
                 .ok_or_else(|| malformed("tree solution lacks its spider cover"))?;
             Ok(check_spider(cover, s))
         }
-        (platform, _) => Err(malformed(&format!(
-            "schedule representation does not fit a {} platform",
+        (platform, ScheduleRepr::Tree(s)) => Ok(check_tree(&platform.to_tree(), s)),
+        (platform, ScheduleRepr::Chain(_)) => Err(malformed(&format!(
+            "a chain schedule cannot witness a {} platform",
             platform.kind()
         ))),
     }
@@ -283,10 +336,64 @@ mod tests {
     #[test]
     fn unwitnessed_solutions_verify_vacuously() {
         let instance = Instance::new(Chain::paper_figure2(), 5);
-        let solution = Solution::from_makespan("exact", 14);
+        let solution = Solution::from_makespan("divisible", 14);
         assert!(!solution.is_witnessed());
         assert_eq!(solution.n(), 0);
+        let report = verify(&instance, &solution).unwrap();
+        assert!(report.is_feasible());
+        assert_eq!(report.makespan, 14, "vacuous reports echo the claimed makespan");
+    }
+
+    #[test]
+    fn tree_schedules_witness_any_platform() {
+        use mst_tree::tree_schedule_from_sequence;
+        // On the tree itself.
+        let tree = mst_platform::Tree::from_triples(&[(0, 1, 2), (1, 2, 3), (1, 1, 1)]).unwrap();
+        let witness = tree_schedule_from_sequence(&tree, &[2, 3, 1]);
+        let solution = Solution::from_tree("exact", witness);
+        let instance = Instance::new(tree, 3);
+        assert!(solution.is_witnessed());
+        assert_eq!(solution.n(), 3);
+        assert!(solution.tree_schedule().is_some());
+        let report = verify(&instance, &solution).unwrap();
+        assert!(report.is_feasible());
+        assert_eq!(report.makespan, solution.makespan());
+        assert_eq!(solution.tasks_per_processor(&instance.platform), Some(vec![1, 1, 1]));
+
+        // On a chain, via the embedding.
+        let chain = Chain::paper_figure2();
+        let embedded = mst_platform::Tree::from_chain(&chain);
+        let witness = tree_schedule_from_sequence(&embedded, &[1, 1, 2]);
+        let solution = Solution::from_tree("exact", witness);
+        let instance = Instance::new(chain, 3);
         assert!(verify(&instance, &solution).unwrap().is_feasible());
+        assert_eq!(solution.tasks_per_processor(&instance.platform), Some(vec![2, 1]));
+
+        // An untrusted witness naming a node the platform lacks: the
+        // accessor skips it (the oracle reports it), no panic.
+        let rogue = Solution::from_tree(
+            "x",
+            mst_schedule::TreeSchedule::new(vec![mst_schedule::TreeTask::new(
+                99,
+                5,
+                mst_schedule::CommVector::new(vec![0]),
+                3,
+            )]),
+        );
+        assert_eq!(rogue.tasks_per_processor(&instance.platform), Some(vec![0, 0]));
+        assert!(!verify(&instance, &rogue).unwrap().is_feasible(), "the oracle flags it");
+    }
+
+    #[test]
+    fn oracle_recomputes_makespans_independently() {
+        // A witness whose stored work lies about the platform: the
+        // report's makespan comes from the platform, not the claim.
+        let chain = Chain::paper_figure2();
+        let instance = Instance::new(chain.clone(), 1);
+        let solution = Solution::from_chain("chain-optimal", mst_core::schedule_chain(&chain, 1));
+        let report = verify(&instance, &solution).unwrap();
+        assert_eq!(report.makespan, solution.makespan());
+        assert_eq!(report.tasks, 1);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use mst_platform::{NodeId, Spider, Time, Tree};
 use mst_schedule::{CommVector, SpiderSchedule, SpiderTask};
 use mst_sim::{simulate_online, OnlinePolicy};
 use mst_spider::{schedule_spider, schedule_spider_by_deadline};
-use mst_tree::{best_cover_schedule, cover_tree, PathStrategy};
+use mst_tree::{best_cover_schedule, cover_tree, tree_schedule_from_sequence, PathStrategy};
 
 /// The dispatching optimal solver: routes every topology to the
 /// strongest algorithm the workspace has for it.
@@ -407,10 +407,12 @@ impl Solver for HeuristicSolver {
 /// Exponential in the task count: meant for the small instances of the
 /// validation experiments (`n ≤ 8`, `p ≤ 5`). Unlike the raw
 /// `mst_baselines::exact` functions this solver also reconstructs the
-/// witness schedule for chains, forks and spiders, so its solutions pass
-/// the same [`crate::verify`] oracle as everyone else's; general trees
-/// report makespan-only solutions (spider schedules cannot express
-/// interior branching).
+/// witness schedule on **every** topology — chains and spiders in their
+/// native representations, general trees as a
+/// [`mst_schedule::TreeSchedule`] (replaying the optimal assignment
+/// sequence through the same greedy evaluator the search uses) — so all
+/// its solutions pass the same [`crate::verify`] oracle as everyone
+/// else's.
 pub struct ExactSolver;
 
 impl Solver for ExactSolver {
@@ -445,8 +447,10 @@ impl Solver for ExactSolver {
                 ))
             }
             Platform::Tree(tree) => {
-                let (makespan, _) = best_sequence(tree, n);
-                Ok(Solution::from_makespan(self.name(), makespan))
+                let (makespan, sequence) = best_sequence(tree, n);
+                let witness = tree_schedule_from_sequence(tree, &sequence);
+                debug_assert_eq!(witness.makespan(), makespan, "replay must match the search");
+                Ok(Solution::from_tree(self.name(), witness))
             }
         }
     }
@@ -636,6 +640,25 @@ mod tests {
         // The optimal spider algorithm must agree with the exhaustive optimum.
         let optimal = OptimalSolver.solve(&spider).unwrap();
         assert_eq!(optimal.makespan(), solution.makespan(), "Theorem 3");
+    }
+
+    #[test]
+    fn exact_tree_witnesses_verify_and_bound_the_cover() {
+        // The hole the tree-schedule representation closes: `exact` on a
+        // general (non-spider) tree now carries a full witness the
+        // oracle checks, instead of a bare makespan.
+        let tree = Tree::from_triples(&[(0, 1, 9), (1, 1, 3), (1, 1, 3)]).unwrap();
+        let instance = Instance::new(tree, 6);
+        let solution = ExactSolver.solve(&instance).unwrap();
+        assert!(solution.is_witnessed(), "tree exact solutions are witnessed now");
+        assert_eq!(solution.n(), 6);
+        let report = verify(&instance, &solution).unwrap();
+        assert!(report.is_feasible());
+        assert_eq!(report.makespan, solution.makespan());
+        // The cover heuristic can only be as good as the true optimum —
+        // and on this interior fork it is strictly worse.
+        let cover = OptimalSolver.solve(&instance).unwrap();
+        assert!(cover.makespan() > solution.makespan());
     }
 
     #[test]

@@ -14,7 +14,12 @@
 //!   the existing [`crate::Platform::parse`]/[`crate::Platform::to_text`]
 //!   round-trip for the topology itself;
 //! * [`solution_to_json`] — makespan, scheduled-task count and (for
-//!   witnessed solutions) the full schedule, task by task;
+//!   witnessed solutions) the full schedule, task by task, **losslessly**:
+//!   every task carries its complete communication vector and work time,
+//!   so clients can reconstruct and re-verify the witness;
+//! * [`tree_schedule_to_json`] / [`tree_schedule_from_json`] — the
+//!   round-trip for the universal tree witness format, validating types
+//!   without trusting the payload (feasibility stays the oracle's job);
 //! * [`error_to_json`] / [`error_kind`] — every [`SolveError`] becomes a
 //!   structured `{"error": {"kind": ..., "message": ...}}` body, so
 //!   clients can dispatch on a stable kind string instead of scraping
@@ -35,6 +40,7 @@
 use crate::error::SolveError;
 use crate::instance::Instance;
 use crate::solution::{ScheduleRepr, Solution};
+use mst_schedule::{CommVector, TreeSchedule, TreeTask};
 use std::fmt;
 
 /// Deepest permitted nesting while parsing — adversarial `[[[[...]]]]`
@@ -423,8 +429,100 @@ pub fn instance_from_json(json: &Json) -> Result<Instance, WireError> {
     Ok(instance)
 }
 
+/// Encodes a tree schedule as
+/// `{"repr": "tree", "tasks": [{"task", "node", "start", "end", "work",
+/// "comms"}]}` — lossless: `comms` lists every emission time along the
+/// task's root path, so the witness reconstructs exactly.
+pub fn tree_schedule_to_json(schedule: &TreeSchedule) -> Json {
+    Json::obj([
+        ("repr", Json::str("tree")),
+        (
+            "tasks",
+            Json::Arr(
+                schedule
+                    .tasks()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        Json::obj([
+                            ("task", Json::int(i as i64 + 1)),
+                            ("node", Json::int(t.node as i64)),
+                            ("start", Json::int(t.start)),
+                            ("end", Json::int(t.end())),
+                            ("work", Json::int(t.work)),
+                            ("comms", comms_to_json(&t.comms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes a tree schedule from its wire object.
+///
+/// Validates shape and types only — node ids, route lengths and times
+/// are deliberately *not* checked against any platform here; that is
+/// the feasibility oracle's job ([`crate::verify`] /
+/// [`mst_schedule::check_tree`]), which reports structured violations
+/// instead of rejecting the decode.
+pub fn tree_schedule_from_json(json: &Json) -> Result<TreeSchedule, WireError> {
+    match json.get("repr").and_then(Json::as_str) {
+        Some("tree") => {}
+        Some(other) => {
+            return Err(WireError::new(format!("expected repr \"tree\", got {other:?}")));
+        }
+        None => return Err(WireError::new("missing string field \"repr\"")),
+    }
+    let items = json
+        .get("tasks")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| WireError::new("missing array field \"tasks\""))?;
+    let mut tasks = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let field = |key: &str| -> Result<i64, WireError> {
+            item.get(key)
+                .and_then(Json::as_i64)
+                .ok_or_else(|| WireError::new(format!("tasks[{i}]: missing integer \"{key}\"")))
+        };
+        let node = field("node")?;
+        if node < 1 {
+            return Err(WireError::new(format!("tasks[{i}]: node must be at least 1, got {node}")));
+        }
+        let start = field("start")?;
+        let work = field("work")?;
+        let comms = item
+            .get("comms")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| WireError::new(format!("tasks[{i}]: missing array \"comms\"")))?
+            .iter()
+            .map(|t| {
+                t.as_i64()
+                    .ok_or_else(|| WireError::new(format!("tasks[{i}]: non-integer emission time")))
+            })
+            .collect::<Result<Vec<i64>, WireError>>()?;
+        if comms.is_empty() {
+            // Every node sits below at least one link, so a routable
+            // task has at least one emission time.
+            return Err(WireError::new(format!("tasks[{i}]: \"comms\" must not be empty")));
+        }
+        tasks.push(TreeTask::new(node as usize, start, CommVector::new(comms), work));
+    }
+    Ok(TreeSchedule::new(tasks))
+}
+
+/// The emission times of a communication vector as a JSON array.
+fn comms_to_json(comms: &CommVector) -> Json {
+    Json::Arr(comms.times().iter().map(|&t| Json::int(t)).collect())
+}
+
 /// Encodes a solution: makespan, scheduled-task count, and (when
 /// witnessed) the schedule itself, task by task in emission order.
+///
+/// The encoding is lossless: each task carries its full communication
+/// vector (`"comms"`) and per-task work alongside the derived
+/// `start`/`end`, so a client can rebuild the exact witness — tree
+/// witnesses round-trip through [`tree_schedule_from_json`].
 pub fn solution_to_json(solution: &Solution) -> Json {
     let schedule = match solution.schedule() {
         None => Json::Null,
@@ -442,6 +540,8 @@ pub fn solution_to_json(solution: &Solution) -> Json {
                                 ("proc", Json::int(t.proc as i64)),
                                 ("start", Json::int(t.start)),
                                 ("end", Json::int(t.end())),
+                                ("work", Json::int(t.work)),
+                                ("comms", comms_to_json(&t.comms)),
                             ])
                         })
                         .collect(),
@@ -463,12 +563,15 @@ pub fn solution_to_json(solution: &Solution) -> Json {
                                 ("depth", Json::int(t.node.depth as i64)),
                                 ("start", Json::int(t.start)),
                                 ("end", Json::int(t.end())),
+                                ("work", Json::int(t.work)),
+                                ("comms", comms_to_json(&t.comms)),
                             ])
                         })
                         .collect(),
                 ),
             ),
         ]),
+        Some(ScheduleRepr::Tree(s)) => tree_schedule_to_json(s),
     };
     let relaxed = match solution.relaxed_makespan() {
         Some(t) => Json::Num(t),
@@ -604,6 +707,63 @@ mod tests {
         assert_eq!(json.get("witnessed").and_then(Json::as_bool), Some(false));
         assert_eq!(json.get("schedule"), Some(&Json::Null));
         assert!(json.get("relaxed_makespan").unwrap().as_f64().is_some());
+    }
+
+    #[test]
+    fn tree_schedules_round_trip_losslessly() {
+        let tree = mst_platform::Tree::from_triples(&[(0, 1, 2), (1, 2, 3), (1, 1, 1), (0, 4, 5)])
+            .unwrap();
+        let schedule = mst_tree::tree_schedule_from_sequence(&tree, &[2, 4, 3, 1]);
+        let json = tree_schedule_to_json(&schedule);
+        let text = json.to_string();
+        let back = tree_schedule_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, schedule, "wire round-trip must be lossless");
+
+        // The exact solver's /solve response carries the same object.
+        let instance = Instance::new(Platform::Tree(tree), 3);
+        let solution = SolverRegistry::global().solve("exact", &instance).unwrap();
+        let reply = solution_to_json(&solution);
+        assert_eq!(reply.get("witnessed").and_then(Json::as_bool), Some(true));
+        let schedule_json = reply.get("schedule").unwrap();
+        assert_eq!(schedule_json.get("repr").and_then(Json::as_str), Some("tree"));
+        let decoded = tree_schedule_from_json(schedule_json).unwrap();
+        assert_eq!(Some(&decoded), solution.tree_schedule());
+    }
+
+    #[test]
+    fn tree_schedule_decoding_rejects_bad_shapes() {
+        for body in [
+            r#"{"tasks": []}"#,
+            r#"{"repr": "chain", "tasks": []}"#,
+            r#"{"repr": "tree"}"#,
+            r#"{"repr": "tree", "tasks": [{"node": 0, "start": 1, "work": 1, "comms": [0]}]}"#,
+            r#"{"repr": "tree", "tasks": [{"node": 1, "work": 1, "comms": [0]}]}"#,
+            r#"{"repr": "tree", "tasks": [{"node": 1, "start": 1, "work": 1, "comms": [0.5]}]}"#,
+            r#"{"repr": "tree", "tasks": [{"node": 1, "start": 1, "work": 1}]}"#,
+            r#"{"repr": "tree", "tasks": [{"node": 1, "start": 1, "work": 1, "comms": []}]}"#,
+        ] {
+            let parsed = Json::parse(body).unwrap();
+            assert!(tree_schedule_from_json(&parsed).is_err(), "{body} must be rejected");
+        }
+        // An empty schedule is fine.
+        let empty = Json::parse(r#"{"repr": "tree", "tasks": []}"#).unwrap();
+        assert!(tree_schedule_from_json(&empty).unwrap().is_empty());
+    }
+
+    #[test]
+    fn witnessed_solutions_are_lossless_on_the_wire() {
+        // Chain and spider encodings carry full comm vectors and work.
+        let instance = Instance::new(Platform::parse("chain\n2 3\n3 5\n").unwrap(), 5);
+        let solution = SolverRegistry::global().solve("optimal", &instance).unwrap();
+        let json = solution_to_json(&solution);
+        let tasks = json.get("schedule").unwrap().get("tasks").unwrap().as_arr().unwrap();
+        let original = solution.chain_schedule().unwrap();
+        for (encoded, task) in tasks.iter().zip(original.tasks()) {
+            assert_eq!(encoded.get("work").and_then(Json::as_i64), Some(task.work));
+            let comms = encoded.get("comms").unwrap().as_arr().unwrap();
+            assert_eq!(comms.len(), task.comms.len());
+            assert_eq!(comms[0].as_i64(), Some(task.comms.first()));
+        }
     }
 
     #[test]

@@ -5,8 +5,11 @@
 //! trajectory:
 //!
 //! * **batch throughput** — `Batch::solve_all` over a mixed fleet of
-//!   chain/fork/spider instances (the `mst batch` / service workload),
-//!   reported as instances per second;
+//!   chain/fork/spider/tree instances (the `mst batch` / service
+//!   workload), reported as instances per second;
+//! * **tree exact** — `Batch::solve_all` with the `exact`
+//!   branch-and-bound over a fleet of small general trees (the witness
+//!   reconstruction path guarded end-to-end), instances per second;
 //! * **fork expansion** — one `max_tasks_fork_by_deadline` selection on
 //!   a 16-slave star (the inner loop of every deadline sweep), reported
 //!   as nanoseconds per op;
@@ -41,18 +44,39 @@ use std::hint::black_box;
 use std::time::Instant;
 
 /// The reproducible mixed fleet every batch measurement uses: chains,
-/// forks and spiders over all five heterogeneity profiles.
+/// forks, spiders and general trees over all five heterogeneity
+/// profiles (trees route through the spider-cover heuristic under the
+/// default `optimal` solver).
 fn fleet(count: u64) -> Vec<Instance> {
     (0..count)
         .map(|seed| {
-            let kind = [TopologyKind::Chain, TopologyKind::Fork, TopologyKind::Spider]
-                [(seed % 3) as usize];
+            let kind =
+                [TopologyKind::Chain, TopologyKind::Fork, TopologyKind::Spider, TopologyKind::Tree]
+                    [(seed % 4) as usize];
             Instance::generate(
                 kind,
                 HeterogeneityProfile::ALL[(seed % 5) as usize],
                 seed,
                 1 + (seed % 5) as usize,
                 1 + (seed % 9) as usize,
+            )
+        })
+        .collect()
+}
+
+/// Small general trees for the `exact` branch-and-bound sweep: the
+/// search is exponential in the task count, so sizes stay in the
+/// validation-experiment regime (the point is to guard the witness
+/// reconstruction path, not to race the heuristics).
+fn exact_tree_fleet(count: u64) -> Vec<Instance> {
+    (0..count)
+        .map(|seed| {
+            Instance::generate(
+                TopologyKind::Tree,
+                HeterogeneityProfile::ALL[(seed % 5) as usize],
+                seed,
+                2 + (seed % 3) as usize, // 2..=4 nodes
+                1 + (seed % 5) as usize, // 1..=5 tasks
             )
         })
         .collect()
@@ -73,8 +97,11 @@ fn median_secs<F: FnMut()>(runs: usize, mut f: F) -> f64 {
 
 /// The throughput keys guarded by `--check` (higher is better; the
 /// ns-per-op keys are too noisy on shared CI boxes to gate on).
-const GUARDED_KEYS: [&str; 2] =
-    ["solve_all_instances_per_sec", "solve_all_by_deadline_instances_per_sec"];
+const GUARDED_KEYS: [&str; 3] = [
+    "solve_all_instances_per_sec",
+    "solve_all_by_deadline_instances_per_sec",
+    "tree_exact_instances_per_sec",
+];
 
 /// Compares fresh results against a recorded baseline; returns the
 /// regressions as `(key, fresh, floor)` triples.
@@ -141,6 +168,17 @@ fn main() {
     });
     let deadline_throughput = instances_n as f64 / secs;
 
+    // --- Exact branch-and-bound on general trees (witnessed). ----------
+    let exact_n = instances_n / 5;
+    let exact_instances = exact_tree_fleet(exact_n);
+    let exact_batch = batch.clone().with_solver("exact");
+    let warm = exact_batch.solve_all(&exact_instances);
+    assert!(warm.iter().all(|r| r.is_ok()), "the exact tree fleet must solve cleanly");
+    let secs = median_secs(runs, || {
+        black_box(exact_batch.solve_all(black_box(&exact_instances)));
+    });
+    let exact_throughput = exact_n as f64 / secs;
+
     // --- Fork expansion + selection: the deadline-sweep inner loop. ----
     let fork = GeneratorConfig::new(HeterogeneityProfile::ALL[0], 11).fork(16);
     let n = 256usize;
@@ -162,7 +200,7 @@ fn main() {
     let search_ns = secs * 1e9 / search_iters as f64;
 
     let json = format!(
-        "{{\n  \"instances\": {instances_n},\n  \"solve_all_instances_per_sec\": {solve_throughput:.0},\n  \"solve_all_by_deadline_instances_per_sec\": {deadline_throughput:.0},\n  \"fork_selection_ns_per_op\": {expansion_ns:.0},\n  \"schedule_fork_ns_per_op\": {search_ns:.0}\n}}\n"
+        "{{\n  \"instances\": {instances_n},\n  \"solve_all_instances_per_sec\": {solve_throughput:.0},\n  \"solve_all_by_deadline_instances_per_sec\": {deadline_throughput:.0},\n  \"tree_exact_instances\": {exact_n},\n  \"tree_exact_instances_per_sec\": {exact_throughput:.0},\n  \"fork_selection_ns_per_op\": {expansion_ns:.0},\n  \"schedule_fork_ns_per_op\": {search_ns:.0}\n}}\n"
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     print!("{json}");

@@ -32,7 +32,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "stats" => cmd_stats(args),
         "diff" => cmd_diff(args),
         "curve" => cmd_curve(args),
-        "solvers" => cmd_solvers(),
+        "solvers" => cmd_solvers(args),
         "batch" => cmd_batch(args),
         "serve" => cmd_serve(args),
         "" | "help" | "--help" => Ok(usage()),
@@ -50,15 +50,18 @@ USAGE:
         registered solver (default: optimal).
     mst plan <instance> --deadline T [--cap N] [--solver NAME]
         Maximum tasks finishing by the deadline (the T_lim variant).
-    mst solvers
+    mst solvers [--config FILE] [--registry NAME]
         List the solver registry: names, topologies, deadline support.
+        --config loads a JSON registry config (overlays, aliases,
+        restrictions); --registry picks one of its named registries.
     mst batch <chain|fork|spider|tree> --count K --tasks N [--size P]
               [--solver NAME] [--profile NAME] [--deadline T]
         Generate K seeded instances and sweep them across all cores.
-    mst serve [--addr HOST:PORT] [--threads N]
+    mst serve [--addr HOST:PORT] [--threads N] [--solvers-config FILE]
         Serve the solver API over HTTP (default 127.0.0.1:8080):
         POST /solve, POST /batch, GET /solvers, /healthz, /metrics.
-        Stops gracefully on ctrl-c.
+        --solvers-config loads per-tenant registries selectable by the
+        registry request field. Stops gracefully on ctrl-c.
     mst validate <instance> <schedule>
         Check a schedule file: Definition-1 oracle + event replay.
     mst gantt <instance> <schedule>
@@ -94,11 +97,13 @@ fn load_platform(path: &str) -> Result<Platform, String> {
     Platform::parse(&read_file(path)?).map_err(|e| format!("{path}: {e}"))
 }
 
-/// The schedule text form of a solution, for `--out` files.
+/// The schedule text form of a solution, for `--out` files (tree
+/// schedules have no text format yet; they travel as wire JSON).
 fn solution_to_text(solution: &mst_api::Solution) -> Option<String> {
     match solution.schedule()? {
         ScheduleRepr::Chain(s) => Some(chain_schedule_to_text(s)),
         ScheduleRepr::Spider(s) => Some(spider_schedule_to_text(s)),
+        ScheduleRepr::Tree(_) => None,
     }
 }
 
@@ -134,6 +139,7 @@ fn cmd_schedule(args: &Args) -> Result<String, String> {
     match solution.schedule() {
         Some(ScheduleRepr::Chain(s)) => out.push_str(&s.to_string()),
         Some(ScheduleRepr::Spider(s)) => out.push_str(&s.to_string()),
+        Some(ScheduleRepr::Tree(s)) => out.push_str(&s.to_string()),
         None => writeln!(out, "({solver_name} reports a makespan without a schedule)").unwrap(),
     }
     if let Some(dest) = args.opt("out") {
@@ -162,14 +168,41 @@ fn cmd_plan(args: &Args) -> Result<String, String> {
     match solution.schedule() {
         Some(ScheduleRepr::Chain(s)) => out.push_str(&s.to_string()),
         Some(ScheduleRepr::Spider(s)) => out.push_str(&s.to_string()),
+        Some(ScheduleRepr::Tree(s)) => out.push_str(&s.to_string()),
         None => {}
     }
     Ok(out)
 }
 
-fn cmd_solvers() -> Result<String, String> {
-    let registry = SolverRegistry::global();
+/// Loads a [`mst_api::RegistrySet`] from `--config`/`--solvers-config`.
+fn load_registry_set(args: &Args, flag: &str) -> Result<Option<mst_api::RegistrySet>, String> {
+    let Some(path) = args.opt(flag) else { return Ok(None) };
+    if path.is_empty() {
+        return Err(format!("--{flag} expects a file path"));
+    }
+    let text = read_file(path)?;
+    mst_api::RegistrySet::parse(&text).map(Some).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_solvers(args: &Args) -> Result<String, String> {
+    let set = load_registry_set(args, "config")?;
+    let registry = match (&set, args.opt("registry")) {
+        (None, Some(_)) => return Err("--registry needs --config".into()),
+        (None, None) => SolverRegistry::global().clone(),
+        (Some(set), None) => set.default_registry().clone(),
+        (Some(set), Some(name)) => set
+            .get(name)
+            .ok_or_else(|| {
+                format!("no registry named {name:?} in the config (available: {:?})", set.names())
+            })?
+            .clone(),
+    };
     let mut out = String::new();
+    if let Some(set) = &set {
+        if !set.names().is_empty() {
+            writeln!(out, "named registries: {}", set.names().join(", ")).unwrap();
+        }
+    }
     writeln!(
         out,
         "{:<18} {:<7} {:<6} {:<7} {:<5} {:<9} description",
@@ -250,7 +283,9 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         None => None,
         Some(_) => Some(positive_opt(args, "threads", 1)? as usize),
     };
-    let config = mst_serve::ServeConfig { addr, threads, ..mst_serve::ServeConfig::default() };
+    let registries = load_registry_set(args, "solvers-config")?;
+    let config =
+        mst_serve::ServeConfig { addr, threads, registries, ..mst_serve::ServeConfig::default() };
     let server = mst_serve::Server::bind(config).map_err(|e| format!("cannot serve: {e}"))?;
     mst_serve::install_sigint_handler();
     // Announce readiness before blocking so scripts (and the CI smoke)
@@ -571,6 +606,55 @@ mod tests {
             assert!(out.contains(name), "missing {name} in:\n{out}");
         }
         assert!(out.contains("deadline"), "{out}");
+    }
+
+    #[test]
+    fn solvers_command_loads_registry_configs() {
+        let config = tmp(
+            "solvers.json",
+            r#"{
+                "default": {"solvers": [{"solver": "random", "name": "random-41", "seed": 41}]},
+                "registries": {
+                    "lean": {"base": "empty", "solvers": [
+                        {"solver": "optimal"},
+                        {"solver": "alias", "name": "best", "target": "optimal"}
+                    ]}
+                }
+            }"#,
+        );
+        let out = run_line(&format!("solvers --config {}", config.display())).unwrap();
+        assert!(out.contains("random-41"), "{out}");
+        assert!(out.contains("named registries: lean"), "{out}");
+        let out =
+            run_line(&format!("solvers --config {} --registry lean", config.display())).unwrap();
+        assert!(out.contains("best"), "{out}");
+        assert!(!out.contains("eager"), "pinned registries hide unlisted solvers: {out}");
+
+        let err = run_line(&format!("solvers --config {} --registry nope", config.display()))
+            .unwrap_err();
+        assert!(err.contains("no registry named"), "{err}");
+        assert!(run_line("solvers --registry lean").is_err(), "--registry needs --config");
+        let bad = tmp("solvers-bad.json", r#"{"solvers": [{"solver": "warp-drive"}]}"#);
+        let err = run_line(&format!("solvers --config {}", bad.display())).unwrap_err();
+        assert!(err.contains("unknown solver constructor"), "{err}");
+    }
+
+    #[test]
+    fn exact_tree_schedules_print_their_witness() {
+        let inst = tmp("tree-exact.txt", "tree\nnode 0 1 9\nnode 1 1 3\nnode 1 1 3\n");
+        let out =
+            run_line(&format!("schedule {} --tasks 4 --solver exact", inst.display())).unwrap();
+        assert!(out.contains("exact makespan for 4 tasks: 9"), "{out}");
+        assert!(out.contains("node ="), "the tree witness is printed:\n{out}");
+        // Tree schedules have no text file format yet: --out must say so.
+        let dest = std::env::temp_dir().join(format!("mst-cli-tsched-{}", std::process::id()));
+        let err = run_line(&format!(
+            "schedule {} --tasks 2 --solver exact --out {}",
+            inst.display(),
+            dest.display()
+        ))
+        .unwrap_err();
+        assert!(err.contains("no schedule to write"), "{err}");
     }
 
     #[test]

@@ -19,10 +19,19 @@
 //! one-port rule: the first-link communications of *all* legs are
 //! pairwise non-overlapping (the master sends one task at a time, whatever
 //! the destination leg).
+//!
+//! For a general tree ([`check_tree`]) the same four properties hold
+//! along every task's root path, and the one-port rule generalises to
+//! **every** node: the emissions of one sender — the master or any
+//! interior node — towards *all* of its children are pairwise
+//! non-overlapping. On a chain-shaped or spider-shaped tree this reduces
+//! exactly to the chain/spider rules above, which is what makes the tree
+//! checker a total oracle over every topology of the workspace.
 
 use crate::schedule::{ChainSchedule, SpiderSchedule};
+use crate::tree_schedule::TreeSchedule;
 use mst_platform::time::Interval;
-use mst_platform::{Chain, Spider, Time};
+use mst_platform::{Chain, Spider, Time, Tree};
 use std::fmt;
 
 /// One broken feasibility rule.
@@ -73,12 +82,33 @@ pub enum Violation {
         /// The shared link.
         link: usize,
     },
-    /// The master emitted two tasks at once (spiders only).
+    /// The master emitted two tasks at once (spiders and trees).
     MasterPortOverlap {
         /// First task index.
         a: usize,
         /// Second task index.
         b: usize,
+    },
+    /// An interior node emitted towards two children at once (trees
+    /// only — the shared out-port of the one-port model).
+    PortOverlap {
+        /// First task index.
+        a: usize,
+        /// Second task index.
+        b: usize,
+        /// The sending node whose out-port double-booked.
+        node: usize,
+    },
+    /// The communication vector's length does not match the route to the
+    /// executing node (trees only; chains and spiders enforce this
+    /// structurally at construction).
+    RouteMismatch {
+        /// Task index.
+        task: usize,
+        /// Depth of the executing node (the expected vector length).
+        expected: usize,
+        /// The stored vector length.
+        got: usize,
     },
     /// A time is negative (the paper types schedules in `N`).
     NegativeTime {
@@ -120,6 +150,15 @@ impl fmt::Display for Violation {
             Violation::MasterPortOverlap { a, b } => {
                 write!(f, "tasks {a} and {b} overlap on the master's out-port")
             }
+            Violation::PortOverlap { a, b, node } => {
+                write!(f, "tasks {a} and {b} overlap on node {node}'s out-port")
+            }
+            Violation::RouteMismatch { task, expected, got } => {
+                write!(
+                    f,
+                    "task {task}: communication vector has {got} entries, route needs {expected}"
+                )
+            }
             Violation::NegativeTime { task, what } => {
                 write!(f, "task {task}: negative time ({what})")
             }
@@ -135,9 +174,22 @@ impl fmt::Display for Violation {
 pub struct FeasibilityReport {
     /// Every violated rule found (empty means feasible).
     pub violations: Vec<Violation>,
+    /// The makespan recomputed by the checker from the schedule against
+    /// the platform — independent of whatever the producing solver
+    /// claims, so callers can cross-check the two.
+    pub makespan: Time,
+    /// Number of task placements the checker examined.
+    pub tasks: usize,
 }
 
 impl FeasibilityReport {
+    /// A feasible report vouching for `tasks` placements with the given
+    /// independently established makespan (used for vacuous checks of
+    /// unwitnessed solutions, where the caller supplies the claim).
+    pub fn feasible(tasks: usize, makespan: Time) -> FeasibilityReport {
+        FeasibilityReport { violations: Vec::new(), makespan, tasks }
+    }
+
     /// `true` iff the schedule satisfies every rule.
     #[inline]
     pub fn is_feasible(&self) -> bool {
@@ -229,7 +281,7 @@ pub fn check_chain(chain: &Chain, schedule: &ChainSchedule) -> FeasibilityReport
         }
     }
 
-    FeasibilityReport { violations }
+    FeasibilityReport { violations, makespan: schedule.makespan_on(chain), tasks: n }
 }
 
 /// Checks a spider schedule: per-leg chain rules plus the master one-port
@@ -268,7 +320,123 @@ pub fn check_spider(spider: &Spider, schedule: &SpiderSchedule) -> FeasibilityRe
         }
     }
 
-    FeasibilityReport { violations }
+    FeasibilityReport { violations, makespan: schedule.makespan_on(spider), tasks: n }
+}
+
+/// Checks a tree schedule against the Definition-1 properties,
+/// generalised to arbitrary out-trees:
+///
+/// * every task's communication vector must match its route
+///   ([`Violation::RouteMismatch`]) and respect the pipeline ordering
+///   along it (property 1) before execution starts (property 2);
+/// * executions on one node are pairwise non-overlapping (property 3);
+/// * every sender's out-port — the master's and every interior node's —
+///   carries one communication at a time; two tasks clashing on the same
+///   link report [`Violation::CommunicationOverlap`] (property 4),
+///   clashes between different children of one sender report
+///   [`Violation::MasterPortOverlap`] / [`Violation::PortOverlap`].
+///
+/// `O(n^2 d^2)` for `n` tasks at route depth `d` — the same shape as the
+/// chain checker, and like it written independently of every scheduling
+/// algorithm in the workspace.
+pub fn check_tree(tree: &Tree, schedule: &TreeSchedule) -> FeasibilityReport {
+    let mut violations = Vec::new();
+    let n = schedule.n();
+
+    // Per-task route validation; tasks failing it are excluded from the
+    // pairwise phase (their vectors cannot be addressed by depth).
+    let mut routes: Vec<Option<Vec<usize>>> = Vec::with_capacity(n);
+    for i in 1..=n {
+        let t = schedule.task(i);
+        if t.node < 1 || t.node > tree.len() {
+            violations.push(Violation::BadProcessor { task: i, proc: t.node });
+            routes.push(None);
+            continue;
+        }
+        let path = tree.path_from_root(t.node);
+        if t.comms.len() != path.len() {
+            violations.push(Violation::RouteMismatch {
+                task: i,
+                expected: path.len(),
+                got: t.comms.len(),
+            });
+            routes.push(None);
+            continue;
+        }
+        if t.work != tree.node(t.node).work {
+            violations.push(Violation::WorkMismatch {
+                task: i,
+                stored: t.work,
+                actual: tree.node(t.node).work,
+            });
+        }
+        if t.comms.first() < 0 {
+            violations.push(Violation::NegativeTime {
+                task: i,
+                what: format!("first emission {}", t.comms.first()),
+            });
+        }
+        // Property (1): pipeline ordering along the route.
+        for d in 2..=path.len() {
+            let arrival = t.comms.get(d - 1) + tree.node(path[d - 2]).comm;
+            let emission = t.comms.get(d);
+            if arrival > emission {
+                violations.push(Violation::ReemittedBeforeReceived {
+                    task: i,
+                    link: d,
+                    arrival,
+                    emission,
+                });
+            }
+        }
+        // Property (2): reception precedes execution.
+        let arrival = t.comms.get(path.len()) + tree.node(t.node).comm;
+        if arrival > t.start {
+            violations.push(Violation::StartedBeforeReceived { task: i, arrival, start: t.start });
+        }
+        routes.push(Some(path));
+    }
+
+    // Pairwise exclusivity: executions per node (property 3) and the
+    // one-port rule at every sender (property 4 plus out-port sharing).
+    for i in 1..=n {
+        let Some(path_a) = &routes[i - 1] else { continue };
+        let a = schedule.task(i);
+        for j in (i + 1)..=n {
+            let Some(path_b) = &routes[j - 1] else { continue };
+            let b = schedule.task(j);
+            if a.node == b.node {
+                let w = tree.node(a.node).work;
+                let ia = Interval::with_len(a.start, w);
+                let ib = Interval::with_len(b.start, w);
+                if ia.overlaps(&ib) {
+                    violations.push(Violation::ExecutionOverlap { a: i, b: j, proc: a.node });
+                }
+            }
+            for (da, &hop_a) in path_a.iter().enumerate() {
+                let sender = tree.node(hop_a).parent;
+                for (db, &hop_b) in path_b.iter().enumerate() {
+                    if tree.node(hop_b).parent != sender {
+                        continue;
+                    }
+                    let ia = Interval::with_len(a.comms.get(da + 1), tree.node(hop_a).comm);
+                    let ib = Interval::with_len(b.comms.get(db + 1), tree.node(hop_b).comm);
+                    if !ia.overlaps(&ib) {
+                        continue;
+                    }
+                    violations.push(if hop_a == hop_b {
+                        Violation::CommunicationOverlap { a: i, b: j, link: hop_a }
+                    } else if sender == 0 {
+                        Violation::MasterPortOverlap { a: i, b: j }
+                    } else {
+                        Violation::PortOverlap { a: i, b: j, node: sender }
+                    });
+                }
+            }
+        }
+    }
+
+    FeasibilityReport { violations, makespan: schedule.makespan_on(tree), tasks: n }
 }
 
 fn remap_violation(v: Violation, global: &[usize]) -> Violation {
@@ -288,6 +456,10 @@ fn remap_violation(v: Violation, global: &[usize]) -> Violation {
             Violation::CommunicationOverlap { a: g(a), b: g(b), link }
         }
         Violation::MasterPortOverlap { a, b } => Violation::MasterPortOverlap { a: g(a), b: g(b) },
+        Violation::PortOverlap { a, b, node } => Violation::PortOverlap { a: g(a), b: g(b), node },
+        Violation::RouteMismatch { task, expected, got } => {
+            Violation::RouteMismatch { task: g(task), expected, got }
+        }
         Violation::NegativeTime { task, what } => Violation::NegativeTime { task: g(task), what },
         Violation::WorkMismatch { task, stored, actual } => {
             Violation::WorkMismatch { task: g(task), stored, actual }
@@ -424,6 +596,130 @@ mod tests {
             SpiderTask::new(NodeId { leg: 1, depth: 1 }, 5, cv(&[2]), 4),
         ]);
         check_spider(&spider, &s).assert_feasible();
+    }
+
+    #[test]
+    fn report_carries_recomputed_makespan_and_task_count() {
+        let chain = Chain::paper_figure2();
+        let report = check_chain(&chain, &figure2_schedule());
+        assert!(report.is_feasible());
+        assert_eq!(report.makespan, 14);
+        assert_eq!(report.tasks, 5);
+        assert_eq!(FeasibilityReport::feasible(3, 9).makespan, 9);
+        assert!(FeasibilityReport::feasible(3, 9).is_feasible());
+    }
+
+    /// master -> 1 -> {2, 3}: c/w as in the interior-fork sample tree.
+    fn fork_tree() -> Tree {
+        Tree::from_triples(&[(0, 1, 2), (1, 2, 3), (1, 1, 1)]).unwrap()
+    }
+
+    fn tt(node: usize, start: Time, times: &[Time], work: Time) -> crate::TreeTask {
+        crate::TreeTask::new(node, start, cv(times), work)
+    }
+
+    #[test]
+    fn tree_checker_accepts_a_hand_built_schedule() {
+        // t1 -> node 2: master 0..1, node1 forwards 1..3, exec 3..6.
+        // t2 -> node 3: master 1..2, node1 forwards 3..4, exec 4..5.
+        // t3 -> node 1: master 2..3, exec 3..5? node 1 busy? node 1 never
+        // executes here; exec 3..5 on node 1 is free.
+        let s =
+            TreeSchedule::new(vec![tt(2, 3, &[0, 1], 3), tt(3, 4, &[1, 3], 1), tt(1, 3, &[2], 2)]);
+        let report = check_tree(&fork_tree(), &s);
+        report.assert_feasible();
+        assert_eq!(report.makespan, 6);
+        assert_eq!(report.tasks, 3);
+    }
+
+    #[test]
+    fn tree_checker_matches_chain_checker_on_chain_shaped_trees() {
+        // The Figure-2 schedule, re-addressed by tree node ids.
+        let tree = Tree::from_chain(&Chain::paper_figure2());
+        let tree_schedule = TreeSchedule::new(
+            figure2_schedule()
+                .tasks()
+                .iter()
+                .map(|t| crate::TreeTask::new(t.proc, t.start, t.comms.clone(), t.work))
+                .collect(),
+        );
+        let report = check_tree(&tree, &tree_schedule);
+        report.assert_feasible();
+        assert_eq!(report.makespan, 14);
+    }
+
+    #[test]
+    fn tree_checker_detects_interior_port_overlap() {
+        // Node 1 forwards to both children at overlapping times.
+        let s = TreeSchedule::new(vec![
+            tt(2, 5, &[0, 3], 3),
+            tt(3, 5, &[1, 3], 1), // node 1's port busy 3..5 for t1
+        ]);
+        let r = check_tree(&fork_tree(), &s);
+        assert!(
+            r.violations.iter().any(|v| matches!(v, Violation::PortOverlap { node: 1, .. })),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn tree_checker_detects_master_port_and_link_overlaps() {
+        // master -> {1, 2}.
+        let tree = Tree::from_triples(&[(0, 3, 1), (0, 2, 1)]).unwrap();
+        let s = TreeSchedule::new(vec![tt(1, 3, &[0], 1), tt(2, 4, &[1], 1)]);
+        let r = check_tree(&tree, &s);
+        assert!(r.violations.contains(&Violation::MasterPortOverlap { a: 1, b: 2 }));
+        // Same link twice, overlapping.
+        let s = TreeSchedule::new(vec![tt(1, 3, &[0], 1), tt(1, 6, &[1], 1)]);
+        let r = check_tree(&tree, &s);
+        assert!(r.violations.contains(&Violation::CommunicationOverlap { a: 1, b: 2, link: 1 }));
+    }
+
+    #[test]
+    fn tree_checker_flags_route_and_node_errors() {
+        let tree = fork_tree();
+        // Node 2 sits at depth 2; a single-entry vector cannot route there.
+        let r = check_tree(&tree, &TreeSchedule::new(vec![tt(2, 5, &[0], 3)]));
+        assert!(matches!(
+            r.violations.as_slice(),
+            [Violation::RouteMismatch { task: 1, expected: 2, got: 1 }]
+        ));
+        let r = check_tree(&tree, &TreeSchedule::new(vec![tt(9, 5, &[0], 3)]));
+        assert!(matches!(r.violations.as_slice(), [Violation::BadProcessor { task: 1, proc: 9 }]));
+        // Wrong work hint and negative emission.
+        let r = check_tree(&tree, &TreeSchedule::new(vec![tt(1, 3, &[-1], 99)]));
+        assert!(r.violations.iter().any(|v| matches!(v, Violation::WorkMismatch { .. })));
+        assert!(r.violations.iter().any(|v| matches!(v, Violation::NegativeTime { .. })));
+    }
+
+    #[test]
+    fn tree_checker_flags_pipeline_and_execution_violations() {
+        let tree = fork_tree();
+        // Re-emitted on link 2 before arrival (arrives at node 1 at 1).
+        let r = check_tree(&tree, &TreeSchedule::new(vec![tt(2, 9, &[0, 0], 3)]));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ReemittedBeforeReceived { link: 2, .. })));
+        // Starts before reception (arrives at node 2 at 1+2=3... start 2).
+        let r = check_tree(&tree, &TreeSchedule::new(vec![tt(2, 2, &[0, 1], 3)]));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::StartedBeforeReceived { start: 2, .. })));
+        // Two executions overlapping on node 1.
+        let s = TreeSchedule::new(vec![tt(1, 3, &[0], 2), tt(1, 4, &[1], 2)]);
+        let r = check_tree(&tree, &s);
+        assert!(r.violations.contains(&Violation::ExecutionOverlap { a: 1, b: 2, proc: 1 }));
+    }
+
+    #[test]
+    fn tree_empty_schedule_is_feasible() {
+        let r = check_tree(&fork_tree(), &TreeSchedule::empty());
+        assert!(r.is_feasible());
+        assert_eq!(r.makespan, 0);
+        assert_eq!(r.tasks, 0);
     }
 
     #[test]

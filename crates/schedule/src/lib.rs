@@ -6,13 +6,15 @@
 //!   emission times of its communication on every link it crosses,
 //!   totally ordered by Definition 3 (the order driving the greedy choice
 //!   of the chain algorithm).
-//! * [`ChainSchedule`] / [`SpiderSchedule`] — complete schedules: for each
-//!   task, where it runs (`P(i)`), when it starts (`T(i)`) and its
-//!   communication vector (`C(i)`).
+//! * [`ChainSchedule`] / [`SpiderSchedule`] / [`TreeSchedule`] — complete
+//!   schedules: for each task, where it runs (`P(i)`), when it starts
+//!   (`T(i)`) and its communication vector (`C(i)`). Tree schedules
+//!   address arbitrary out-tree nodes, so every topology of the
+//!   workspace has a witness format.
 //! * [`feasibility`] — an independent machine-checked oracle for the four
-//!   feasibility properties of Definition 1 (plus the master one-port rule
-//!   for spiders). Every algorithm in the workspace is validated against
-//!   it.
+//!   feasibility properties of Definition 1 (plus the one-port rule at
+//!   the master for spiders, and at every sender for trees). Every
+//!   algorithm in the workspace is validated against it.
 //! * [`gantt`] — ASCII Gantt charts (the paper's Figure 2 rendering).
 //! * [`metrics`] — utilization / idle-time / throughput summaries.
 
@@ -25,8 +27,10 @@ pub mod format;
 pub mod gantt;
 pub mod metrics;
 pub mod schedule;
+pub mod tree_schedule;
 
 pub use comm_vector::CommVector;
 pub use compare::{compare_chain, ComparisonReport, ScheduleDiff};
-pub use feasibility::{check_chain, check_spider, FeasibilityReport, Violation};
+pub use feasibility::{check_chain, check_spider, check_tree, FeasibilityReport, Violation};
 pub use schedule::{ChainSchedule, SpiderSchedule, SpiderTask, TaskAssignment};
+pub use tree_schedule::{TreeSchedule, TreeTask};

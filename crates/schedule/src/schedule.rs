@@ -95,8 +95,15 @@ impl ChainSchedule {
 
     /// Makespan recomputed against the chain, ignoring the stored `work`
     /// values (used by the feasibility oracle to cross-check them).
+    /// Tasks naming a processor the chain does not have contribute
+    /// nothing — they are the oracle's to report.
     pub fn makespan_on(&self, chain: &Chain) -> Time {
-        self.tasks.iter().map(|t| t.start + chain.w(t.proc)).max().unwrap_or(0)
+        self.tasks
+            .iter()
+            .filter(|t| t.proc >= 1 && t.proc <= chain.len())
+            .map(|t| t.start + chain.w(t.proc))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Earliest event in the schedule: the first master emission.
@@ -225,9 +232,19 @@ impl SpiderSchedule {
         self.tasks.iter().map(SpiderTask::end).max().unwrap_or(0)
     }
 
-    /// Makespan recomputed against the spider (ignores stored `work`).
+    /// Makespan recomputed against the spider (ignores stored `work`;
+    /// tasks naming a node the spider does not have contribute nothing).
     pub fn makespan_on(&self, spider: &Spider) -> Time {
-        self.tasks.iter().map(|t| t.start + spider.node(t.node).work).max().unwrap_or(0)
+        self.tasks
+            .iter()
+            .filter(|t| {
+                t.node.leg < spider.num_legs()
+                    && t.node.depth >= 1
+                    && t.node.depth <= spider.leg(t.node.leg).len()
+            })
+            .map(|t| t.start + spider.node(t.node).work)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Shifts every time by `delta`.

@@ -1,0 +1,211 @@
+//! Complete schedules on general out-trees.
+//!
+//! Chains and spiders address processors positionally (`P(i)`, or
+//! `(leg, depth)`); a general tree addresses them by **node id** (the
+//! 1-based ids of [`mst_platform::Tree`]). A [`TreeTask`] therefore
+//! records the executing node and the emission times along the task's
+//! root path — the tree generalisation of the paper's communication
+//! vector `C(i)` — and a [`TreeSchedule`] is the witness format every
+//! solver can emit for every topology (chains, forks and spiders embed
+//! into trees losslessly).
+//!
+//! Unlike [`crate::TaskAssignment`], a [`TreeTask`] cannot structurally
+//! assert `|C(i)|` against its route (the route depends on the tree), so
+//! construction never panics; the [`crate::feasibility::check_tree`]
+//! oracle reports a [`crate::Violation::RouteMismatch`] instead. That
+//! makes the type safe to decode from untrusted wire bodies.
+
+use crate::comm_vector::CommVector;
+use mst_platform::{Time, Tree};
+use std::fmt;
+
+/// The placement of one task on a [`Tree`] platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeTask {
+    /// Executing node id (**1-based**, as in [`Tree`]).
+    pub node: usize,
+    /// Execution start time `T(i)`.
+    pub start: Time,
+    /// Communication vector along the task's root path: element `d` is
+    /// the emission time on the `d`-th link of the route from the master
+    /// down to [`TreeTask::node`]. Its length must equal the node's
+    /// depth (checked by the oracle, not by construction).
+    pub comms: CommVector,
+    /// Processing time at the executing node.
+    pub work: Time,
+}
+
+impl TreeTask {
+    /// Builds a tree task placement. No structural invariant is
+    /// enforced here — the feasibility oracle validates the route
+    /// length against the actual tree.
+    pub fn new(node: usize, start: Time, comms: CommVector, work: Time) -> TreeTask {
+        TreeTask { node, start, comms, work }
+    }
+
+    /// Completion time `T(i) + w`.
+    #[inline]
+    pub fn end(&self) -> Time {
+        self.start + self.work
+    }
+}
+
+/// A complete schedule of identical tasks on a [`Tree`], tasks kept in
+/// master-emission order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TreeSchedule {
+    tasks: Vec<TreeTask>,
+}
+
+impl TreeSchedule {
+    /// Builds a tree schedule; placements are sorted into
+    /// master-emission order. Tasks with an empty communication vector
+    /// (never routable — the oracle reports them) sort first rather
+    /// than panicking, keeping construction total for decoded input.
+    pub fn new(mut tasks: Vec<TreeTask>) -> TreeSchedule {
+        tasks.sort_by_key(|t| t.comms.times().first().copied().unwrap_or(Time::MIN));
+        TreeSchedule { tasks }
+    }
+
+    /// An empty schedule (the `T_lim` variant may produce it).
+    pub fn empty() -> TreeSchedule {
+        TreeSchedule { tasks: Vec::new() }
+    }
+
+    /// Number of scheduled tasks.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` iff no task is scheduled.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The placement of task `i` (**1-based**).
+    #[inline]
+    pub fn task(&self, i: usize) -> &TreeTask {
+        &self.tasks[i - 1]
+    }
+
+    /// All placements in emission order.
+    #[inline]
+    pub fn tasks(&self) -> &[TreeTask] {
+        &self.tasks
+    }
+
+    /// The makespan `max_i (T(i) + w)` relative to time zero.
+    pub fn makespan(&self) -> Time {
+        self.tasks.iter().map(TreeTask::end).max().unwrap_or(0)
+    }
+
+    /// Makespan recomputed against the tree, ignoring the stored `work`
+    /// values (used by the feasibility oracle to cross-check them).
+    /// Tasks naming a node the tree does not have contribute nothing.
+    pub fn makespan_on(&self, tree: &Tree) -> Time {
+        self.tasks
+            .iter()
+            .filter(|t| t.node >= 1 && t.node <= tree.len())
+            .map(|t| t.start + tree.node(t.node).work)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Shifts every time in the schedule by `delta`.
+    pub fn shift(&mut self, delta: Time) {
+        for t in &mut self.tasks {
+            t.start += delta;
+            t.comms.shift(delta);
+        }
+    }
+
+    /// Indices (1-based) of the tasks executing on node `id`.
+    pub fn tasks_on(&self, id: usize) -> Vec<usize> {
+        self.tasks.iter().enumerate().filter(|(_, t)| t.node == id).map(|(i, _)| i + 1).collect()
+    }
+}
+
+impl fmt::Display for TreeSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.tasks.iter().enumerate() {
+            writeln!(
+                f,
+                "task {:>3}: node = {:>3}, T = {:>6}, C = {}",
+                i + 1,
+                t.node,
+                t.start,
+                t.comms
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cv(times: &[Time]) -> CommVector {
+        CommVector::new(times.to_vec())
+    }
+
+    /// master -> 1 -> {2, 3}: three nodes, one interior fork.
+    fn sample_tree() -> Tree {
+        Tree::from_triples(&[(0, 1, 2), (1, 2, 3), (1, 1, 1)]).unwrap()
+    }
+
+    fn sample_schedule() -> TreeSchedule {
+        TreeSchedule::new(vec![
+            TreeTask::new(1, 1, cv(&[0]), 2),
+            TreeTask::new(2, 5, cv(&[1, 3]), 3),
+            TreeTask::new(3, 6, cv(&[2, 5]), 1),
+        ])
+    }
+
+    #[test]
+    fn sorts_by_emission_and_reports_makespan() {
+        let s = TreeSchedule::new(vec![
+            TreeTask::new(2, 5, cv(&[1, 3]), 3),
+            TreeTask::new(1, 1, cv(&[0]), 2),
+        ]);
+        assert_eq!(s.task(1).node, 1);
+        assert_eq!(s.task(2).node, 2);
+        assert_eq!(s.n(), 2);
+        assert_eq!(s.makespan(), 8);
+        assert_eq!(s.makespan_on(&sample_tree()), 8);
+    }
+
+    #[test]
+    fn task_queries_and_shift() {
+        let mut s = sample_schedule();
+        assert_eq!(s.tasks_on(1), vec![1]);
+        assert_eq!(s.tasks_on(2), vec![2]);
+        assert_eq!(s.task(3).end(), 7);
+        s.shift(10);
+        assert_eq!(s.task(1).start, 11);
+        assert_eq!(s.task(1).comms, cv(&[10]));
+        assert_eq!(s.makespan(), 18);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        assert_eq!(TreeSchedule::empty().makespan(), 0);
+        assert!(TreeSchedule::empty().is_empty());
+        assert_eq!(TreeSchedule::empty().makespan_on(&sample_tree()), 0);
+    }
+
+    #[test]
+    fn makespan_on_skips_unknown_nodes() {
+        let s = TreeSchedule::new(vec![TreeTask::new(99, 5, cv(&[0]), 3)]);
+        assert_eq!(s.makespan_on(&sample_tree()), 0, "bad node ids are the oracle's to report");
+    }
+
+    #[test]
+    fn display_lists_tasks() {
+        let out = sample_schedule().to_string();
+        assert!(out.contains("task   1"));
+        assert!(out.contains("node =   2"));
+    }
+}

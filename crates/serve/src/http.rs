@@ -2,12 +2,20 @@
 //! streams.
 //!
 //! The build environment is offline, so there is no hyper/tokio; this
-//! module hand-rolls exactly what the service front-end needs — one
-//! request per connection, `Content-Length` bodies, hard caps on header
-//! and body size so a hostile peer cannot make the server buffer without
-//! bound, and structured failures that the caller turns into 4xx
-//! responses (a malformed request must never panic or hang a handler
-//! thread).
+//! module hand-rolls exactly what the service front-end needs —
+//! `Content-Length` bodies, hard caps on header and body size so a
+//! hostile peer cannot make the server buffer without bound, and
+//! structured failures that the caller turns into 4xx responses (a
+//! malformed request must never panic or hang a handler thread).
+//!
+//! Connections are **persistent** (HTTP/1.1 keep-alive): a
+//! [`RequestReader`] carries bytes read past the current request over
+//! to the next one, so sequential — and even pipelined — requests on
+//! one `TcpStream` each parse cleanly. A request's
+//! [`Request::keep_alive`] reflects the negotiated default
+//! (`HTTP/1.1` keeps alive unless `Connection: close`; `HTTP/1.0`
+//! closes unless `Connection: keep-alive`); the server layer bounds
+//! requests-per-connection on top.
 
 use std::io::{Read, Write};
 
@@ -22,8 +30,26 @@ pub struct Request {
     pub method: String,
     /// Request path with any query string stripped.
     pub path: String,
+    /// The raw query string (without the `?`; empty when absent).
+    pub query: String,
     /// Raw body bytes (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// Whether the client may reuse the connection after the response:
+    /// the HTTP-version default overridden by any `Connection` header.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// The value of query parameter `key` (first occurrence,
+    /// `key=value` pairs separated by `&`; no percent-decoding — the
+    /// service's parameter values never need it).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .split('&')
+            .filter_map(|pair| pair.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
 }
 
 /// Why a request could not be read. Every variant maps to a status code
@@ -76,85 +102,132 @@ fn io_error(e: std::io::Error) -> HttpError {
     }
 }
 
-/// Reads and parses one request, enforcing the head cap and `max_body`.
-///
-/// Blocks until a full request arrives, the stream's read timeout fires,
-/// or a cap trips — never longer, and never unboundedly buffering.
+/// A per-connection request parser: bytes read past the end of one
+/// request (a pipelined follow-up) carry over to the next call, which
+/// is what makes keep-alive connections parse every request cleanly.
+#[derive(Debug, Default)]
+pub struct RequestReader {
+    buf: Vec<u8>,
+}
+
+impl RequestReader {
+    /// A fresh reader with an empty carry-over buffer.
+    pub fn new() -> RequestReader {
+        RequestReader { buf: Vec::with_capacity(1024) }
+    }
+
+    /// Whether a previous read left buffered (pipelined) bytes behind.
+    pub fn has_buffered(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Reads and parses one request, enforcing the head cap and
+    /// `max_body`.
+    ///
+    /// Blocks until a full request arrives, the stream's read timeout
+    /// fires, or a cap trips — never longer, and never unboundedly
+    /// buffering. A peer that closes between requests (no bytes of a
+    /// next head) reports [`HttpError::Disconnected`].
+    pub fn read_request(
+        &mut self,
+        stream: &mut impl Read,
+        max_body: usize,
+    ) -> Result<Request, HttpError> {
+        // Accumulate until the blank line ending the head. A peer that
+        // trickles garbage runs into MAX_HEAD_BYTES; one that stalls
+        // runs into the socket timeout.
+        let mut chunk = [0u8; 1024];
+        let head_end = loop {
+            if let Some(end) = find_head_end(&self.buf) {
+                break end;
+            }
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Err(HttpError::BadRequest("request head too large".to_string()));
+            }
+            let n = stream.read(&mut chunk).map_err(io_error)?;
+            if n == 0 {
+                return Err(if self.buf.is_empty() {
+                    HttpError::Disconnected
+                } else {
+                    HttpError::BadRequest("truncated request head".to_string())
+                });
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+
+        let head = std::str::from_utf8(&self.buf[..head_end])
+            .map_err(|_| HttpError::BadRequest("request head is not UTF-8".to_string()))?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split_whitespace();
+        let method = parts
+            .next()
+            .ok_or_else(|| HttpError::BadRequest("empty request line".to_string()))?
+            .to_ascii_uppercase();
+        let target = parts
+            .next()
+            .ok_or_else(|| HttpError::BadRequest("missing request path".to_string()))?;
+        let version = parts.next().unwrap_or("");
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::BadRequest(format!("unsupported protocol {version:?}")));
+        }
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), q.to_string()),
+            None => (target.to_string(), String::new()),
+        };
+
+        // HTTP/1.1 keeps the connection alive by default; 1.0 closes.
+        let mut keep_alive = version != "HTTP/1.0";
+        let mut content_length = 0usize;
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else { continue };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if name == "content-length" {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::BadRequest(format!("bad Content-Length {value:?}")))?;
+            } else if name == "transfer-encoding" && value.to_ascii_lowercase().contains("chunked")
+            {
+                return Err(HttpError::BadRequest("chunked bodies are not supported".to_string()));
+            } else if name == "connection" {
+                let value = value.to_ascii_lowercase();
+                if value.contains("close") {
+                    keep_alive = false;
+                } else if value.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+        }
+        if content_length > max_body {
+            return Err(HttpError::PayloadTooLarge(max_body));
+        }
+
+        // The buffer may already hold a body prefix — and beyond it, the
+        // head of a pipelined next request, which must stay buffered.
+        let mut body: Vec<u8> = self.buf.split_off(head_end + 4);
+        self.buf.clear(); // the consumed head
+        if body.len() > content_length {
+            self.buf = body.split_off(content_length);
+        }
+        let mut remaining = content_length - body.len();
+        while remaining > 0 {
+            let want = remaining.min(chunk.len());
+            let n = stream.read(&mut chunk[..want]).map_err(io_error)?;
+            if n == 0 {
+                return Err(HttpError::BadRequest("truncated request body".to_string()));
+            }
+            body.extend_from_slice(&chunk[..n]);
+            remaining -= n;
+        }
+        Ok(Request { method, path, query, body, keep_alive })
+    }
+}
+
+/// One-shot convenience over [`RequestReader`] for single-request
+/// callers and tests; pipelined surplus bytes are dropped.
 pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, HttpError> {
-    // Accumulate until the blank line ending the head. A peer that
-    // trickles garbage runs into MAX_HEAD_BYTES; one that stalls runs
-    // into the socket timeout.
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 1024];
-    let head_end = loop {
-        if let Some(end) = find_head_end(&buf) {
-            break end;
-        }
-        if buf.len() > MAX_HEAD_BYTES {
-            return Err(HttpError::BadRequest("request head too large".to_string()));
-        }
-        let n = stream.read(&mut chunk).map_err(io_error)?;
-        if n == 0 {
-            return Err(if buf.is_empty() {
-                HttpError::Disconnected
-            } else {
-                HttpError::BadRequest("truncated request head".to_string())
-            });
-        }
-        buf.extend_from_slice(&chunk[..n]);
-    };
-
-    let head = std::str::from_utf8(&buf[..head_end])
-        .map_err(|_| HttpError::BadRequest("request head is not UTF-8".to_string()))?;
-    let mut lines = head.split("\r\n");
-    let request_line = lines.next().unwrap_or("");
-    let mut parts = request_line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or_else(|| HttpError::BadRequest("empty request line".to_string()))?
-        .to_ascii_uppercase();
-    let target =
-        parts.next().ok_or_else(|| HttpError::BadRequest("missing request path".to_string()))?;
-    let version = parts.next().unwrap_or("");
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::BadRequest(format!("unsupported protocol {version:?}")));
-    }
-    let path = target.split('?').next().unwrap_or("").to_string();
-
-    let mut content_length = 0usize;
-    for line in lines {
-        let Some((name, value)) = line.split_once(':') else { continue };
-        let name = name.trim().to_ascii_lowercase();
-        let value = value.trim();
-        if name == "content-length" {
-            content_length = value
-                .parse()
-                .map_err(|_| HttpError::BadRequest(format!("bad Content-Length {value:?}")))?;
-        } else if name == "transfer-encoding" && value.to_ascii_lowercase().contains("chunked") {
-            return Err(HttpError::BadRequest("chunked bodies are not supported".to_string()));
-        }
-    }
-    if content_length > max_body {
-        return Err(HttpError::PayloadTooLarge(max_body));
-    }
-
-    // The head buffer may already hold a body prefix; read the rest.
-    let mut body = buf[head_end + 4..].to_vec();
-    if body.len() > content_length {
-        // More bytes than declared: pipelined data we do not support.
-        body.truncate(content_length);
-    }
-    let mut remaining = content_length - body.len();
-    while remaining > 0 {
-        let want = remaining.min(chunk.len());
-        let n = stream.read(&mut chunk[..want]).map_err(io_error)?;
-        if n == 0 {
-            return Err(HttpError::BadRequest("truncated request body".to_string()));
-        }
-        body.extend_from_slice(&chunk[..n]);
-        remaining -= n;
-    }
-    Ok(Request { method, path, body })
+    RequestReader::new().read_request(stream, max_body)
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -195,12 +268,23 @@ impl Response {
     /// Write failures are returned but callers may ignore them — the
     /// peer may legitimately have hung up already.
     pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        self.write_with_connection(stream, false)
+    }
+
+    /// Writes the response, advertising `Connection: keep-alive` or
+    /// `Connection: close` as the server's connection loop decided.
+    pub fn write_with_connection(
+        &self,
+        stream: &mut impl Write,
+        keep_alive: bool,
+    ) -> std::io::Result<()> {
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
             self.status,
             self.reason(),
             self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
             self.body
         )?;
         stream.flush()
@@ -221,7 +305,38 @@ mod tests {
             parse(b"POST /solve?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nbody").unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/solve");
+        assert_eq!(req.query, "x=1");
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.query_param("y"), None);
         assert_eq!(req.body, b"body");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_negotiation_follows_version_and_header() {
+        let close = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!close.keep_alive);
+        let old = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!old.keep_alive, "HTTP/1.0 defaults to close");
+        let old_keep = parse(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(old_keep.keep_alive);
+    }
+
+    #[test]
+    fn sequential_requests_parse_through_one_reader() {
+        let raw =
+            b"POST /solve HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcGET /healthz HTTP/1.1\r\n\r\n";
+        let mut cursor = std::io::Cursor::new(raw.to_vec());
+        let mut reader = RequestReader::new();
+        let first = reader.read_request(&mut cursor, 1024).unwrap();
+        assert_eq!(first.path, "/solve");
+        assert_eq!(first.body, b"abc");
+        assert!(reader.has_buffered(), "the pipelined head stays buffered");
+        let second = reader.read_request(&mut cursor, 1024).unwrap();
+        assert_eq!(second.path, "/healthz");
+        assert!(second.body.is_empty());
+        // Nothing left: the peer is done.
+        assert!(matches!(reader.read_request(&mut cursor, 1024), Err(HttpError::Disconnected)));
     }
 
     #[test]

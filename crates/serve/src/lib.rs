@@ -4,9 +4,12 @@
 //! HTTP/1.1 server on `std::net` (the build environment is offline, so
 //! no hyper/tokio) exposing the unified [`mst_api`] surface over the
 //! network. A bounded accept loop feeds a fixed set of handler threads;
-//! solving fans out through the same persistent [`mst_sim::WorkerPool`]
-//! the library's [`mst_api::Batch`] engine uses, so service traffic
-//! inherits every hot-path optimisation for free.
+//! connections are persistent (keep-alive, bounded requests per
+//! connection) and solving fans out through the same persistent
+//! [`mst_sim::WorkerPool`] the library's [`mst_api::Batch`] engine
+//! uses, so service traffic inherits every hot-path optimisation for
+//! free. With `--solvers-config`, requests can pin per-tenant solver
+//! registries (see [`mst_api::config`]).
 //!
 //! Endpoints:
 //!
@@ -36,7 +39,7 @@
 //! let runner = std::thread::spawn(move || server.run());
 //!
 //! let mut stream = std::net::TcpStream::connect(addr)?;
-//! stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n")?;
+//! stream.write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")?;
 //! let mut reply = String::new();
 //! stream.read_to_string(&mut reply)?;
 //! assert!(reply.starts_with("HTTP/1.1 200 OK"));
@@ -52,7 +55,7 @@ pub mod http;
 pub mod routes;
 pub mod server;
 
-pub use http::{HttpError, Request, Response};
+pub use http::{HttpError, Request, RequestReader, Response};
 pub use server::{
     install_sigint_handler, Metrics, ServeConfig, ServeReport, Server, ServerHandle, ServiceState,
 };

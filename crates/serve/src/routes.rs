@@ -9,6 +9,12 @@
 //! | `POST /solve`   | one instance, solver selectable by registry name |
 //! | `POST /batch`   | an instance sweep through the worker pool        |
 //!
+//! When the server was configured with named registries (`mst serve
+//! --solvers-config`), `/solve` and `/batch` accept a `"registry"` body
+//! field pinning the request to that tenant's solver set, and
+//! `GET /solvers?registry=NAME` lists a tenant's view; unknown names
+//! answer 404 `unknown-registry` rather than silently falling back.
+//!
 //! Every error is a structured JSON body `{"error": {"kind", "message"}}`
 //! with a 4xx status for client mistakes (malformed JSON, unknown
 //! solvers, oversized sweeps) and 5xx only for genuine server-side
@@ -28,7 +34,7 @@ pub fn route(request: &Request, state: &ServiceState) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/") => index(),
         ("GET", "/healthz") => healthz(state),
-        ("GET", "/solvers") => solvers(state),
+        ("GET", "/solvers") => solvers(request, state),
         ("GET", "/metrics") => metrics(state),
         ("POST", "/solve") => solve(request, state),
         ("POST", "/batch") => batch(request, state),
@@ -91,9 +97,11 @@ fn healthz(state: &ServiceState) -> Response {
     )
 }
 
-fn solvers(state: &ServiceState) -> Response {
-    let list: Vec<Json> = state
-        .batch
+fn solvers(request: &Request, state: &ServiceState) -> Response {
+    let Some(batch) = state.batch_for(request.query_param("registry")) else {
+        return unknown_registry(request.query_param("registry").unwrap_or(""), state);
+    };
+    let list: Vec<Json> = batch
         .registry()
         .solvers()
         .map(|solver| {
@@ -110,7 +118,30 @@ fn solvers(state: &ServiceState) -> Response {
             ])
         })
         .collect();
-    Response::json(200, Json::obj([("solvers", Json::Arr(list))]))
+    let registries: Vec<Json> = state.tenant_names().into_iter().map(Json::str).collect();
+    Response::json(
+        200,
+        Json::obj([("solvers", Json::Arr(list)), ("registries", Json::Arr(registries))]),
+    )
+}
+
+/// 404 for a `"registry"` selector that names no configured registry.
+fn unknown_registry(name: &str, state: &ServiceState) -> Response {
+    error_response(
+        404,
+        "unknown-registry",
+        &format!(
+            "no registry named {name:?} is configured (available: {:?})",
+            state.tenant_names()
+        ),
+    )
+}
+
+/// Resolves the optional `"registry"` body field to the engine the
+/// request solves through (shared by `/solve` and `/batch`).
+fn select_batch<'a>(body: &Json, state: &'a ServiceState) -> Result<&'a mst_api::Batch, Response> {
+    let selector = opt_str(body, "registry")?;
+    state.batch_for(selector).ok_or_else(|| unknown_registry(selector.unwrap_or(""), state))
 }
 
 fn metrics(state: &ServiceState) -> Response {
@@ -182,10 +213,10 @@ fn opt_flag(body: &Json, key: &str) -> Result<bool, Response> {
 /// `POST /solve` — one instance through a named solver.
 ///
 /// Body: `{"platform": <text>, "tasks": N, "solver"?: name,
-/// "deadline"?: T, "verify"?: bool}`. With `"verify": true` the solution
-/// is checked by the [`verify`] oracle before it is returned and the
-/// response carries `"feasible": true` — an infeasible witness would be
-/// a solver bug and answers 500.
+/// "registry"?: name, "deadline"?: T, "verify"?: bool}`. With
+/// `"verify": true` the solution is checked by the [`verify`] oracle
+/// before it is returned and the response carries `"feasible": true` —
+/// an infeasible witness would be a solver bug and answers 500.
 fn solve(request: &Request, state: &ServiceState) -> Response {
     let body = match parse_body(request) {
         Ok(body) => body,
@@ -203,7 +234,11 @@ fn solve(request: &Request, state: &ServiceState) -> Response {
             (Ok(s), Ok(d), Ok(v)) => (s.unwrap_or("optimal"), d, v),
             (Err(r), _, _) | (_, Err(r), _) | (_, _, Err(r)) => return r,
         };
-    let registry = state.batch.registry();
+    let batch = match select_batch(&body, state) {
+        Ok(batch) => batch,
+        Err(response) => return response,
+    };
+    let registry = batch.registry();
     let started = Instant::now();
     let result = match deadline {
         Some(t) => registry.solve_by_deadline(solver_name, &instance, t),
@@ -343,10 +378,10 @@ fn batch_instances(body: &Json, state: &ServiceState) -> Result<Vec<Instance>, R
 /// `POST /batch` — a sweep dispatched through the worker pool.
 ///
 /// Body: `{"instances": [...]} | {"generate": {...}}`, plus `"solver"?`,
-/// `"deadline"?`, `"verify"?` and `"include_results"?`. The response
-/// always carries the summary; per-instance solutions ride along only
-/// when `"include_results": true` (a 100k-instance sweep should not
-/// serialize 100k schedules by accident).
+/// `"registry"?`, `"deadline"?`, `"verify"?` and `"include_results"?`.
+/// The response always carries the summary; per-instance solutions ride
+/// along only when `"include_results": true` (a 100k-instance sweep
+/// should not serialize 100k schedules by accident).
 fn batch(request: &Request, state: &ServiceState) -> Response {
     let body = match parse_body(request) {
         Ok(body) => body,
@@ -365,12 +400,16 @@ fn batch(request: &Request, state: &ServiceState) -> Response {
             (Ok(c), Ok(i)) => (c, i),
             (Err(r), _) | (_, Err(r)) => return r,
         };
+    let tenant_batch = match select_batch(&body, state) {
+        Ok(batch) => batch,
+        Err(response) => return response,
+    };
     // Resolve the name up front so an unknown solver is one 404, not a
     // thousand per-instance errors.
-    if let Err(e) = state.batch.registry().resolve(solver_name) {
+    if let Err(e) = tenant_batch.registry().resolve(solver_name) {
         return solve_error_response(&e);
     }
-    let engine = state.batch.clone().with_solver(solver_name);
+    let engine = tenant_batch.clone().with_solver(solver_name);
     let started = Instant::now();
     let results = match deadline {
         Some(t) => engine.solve_all_by_deadline(&instances, t),

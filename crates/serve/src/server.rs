@@ -7,9 +7,11 @@
 //!   connections into a **bounded** queue (`mpsc::sync_channel`); when
 //!   the queue is full the connection is answered `503` immediately
 //!   instead of piling up — backpressure by refusal, not by buffering;
-//! * a fixed set of **connection threads** drains the queue, parses one
-//!   request per connection ([`crate::http`]) and routes it
-//!   ([`crate::routes`]);
+//! * a fixed set of **connection threads** drains the queue, parses
+//!   requests ([`crate::http`]) and routes them ([`crate::routes`]);
+//!   connections are **persistent** (HTTP/1.1 keep-alive) up to
+//!   [`ServeConfig::max_requests_per_connection`], so a client sweeping
+//!   many instances pays the TCP handshake once;
 //! * **solving** goes through the pooled [`mst_api::Batch`] engine — the
 //!   same persistent [`mst_sim::WorkerPool`] the library batch path
 //!   uses, sized by [`ServeConfig::threads`] (or the process-wide shared
@@ -20,11 +22,11 @@
 //!   accepting, drains queued connections, joins every handler thread
 //!   and returns a [`ServeReport`] — no thread is left stuck.
 
-use crate::http::{HttpError, Response};
+use crate::http::{HttpError, RequestReader, Response};
 use crate::routes;
 use mst_api::wire::Json;
-use mst_api::Batch;
-use mst_sim::WorkerPool;
+use mst_api::{Batch, RegistrySet};
+use mst_sim::{shared_pool, WorkerPool};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -57,8 +59,26 @@ pub struct ServeConfig {
     /// (explicit platforms are already bounded by
     /// [`ServeConfig::max_body_bytes`], but `"size"` is just a number).
     pub max_platform_processors: usize,
-    /// Socket read/write timeout for client connections.
+    /// Socket read/write timeout for client connections (applies while
+    /// a request is in flight).
     pub io_timeout: Duration,
+    /// How long a keep-alive connection may sit **idle** between
+    /// requests before the server closes it. Deliberately much shorter
+    /// than [`ServeConfig::io_timeout`]: an idle socket occupies a
+    /// handler thread, so the worst-case hold per connection is
+    /// `max_requests_per_connection × (keep_alive_timeout + request
+    /// time)` — a silent peer costs at most one `keep_alive_timeout`.
+    pub keep_alive_timeout: Duration,
+    /// Requests served over one keep-alive connection before the server
+    /// forces `Connection: close` — with
+    /// [`ServeConfig::keep_alive_timeout`], bounds how long one client
+    /// can hold a handler thread.
+    pub max_requests_per_connection: usize,
+    /// Config-driven solver registries (`mst serve --solvers-config`):
+    /// the set's default registry backs every request, and its named
+    /// registries are selectable per request via the `"registry"` body
+    /// field. `None` serves the built-in global registry.
+    pub registries: Option<RegistrySet>,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +93,9 @@ impl Default for ServeConfig {
             max_tasks_per_instance: 1_000_000,
             max_platform_processors: 10_000,
             io_timeout: Duration::from_secs(5),
+            keep_alive_timeout: Duration::from_secs(1),
+            max_requests_per_connection: 256,
+            registries: None,
         }
     }
 }
@@ -123,8 +146,12 @@ impl Metrics {
 /// Shared service state: the pooled batch engine, metrics, caps and the
 /// shutdown flag.
 pub struct ServiceState {
-    /// The pooled solve engine (registry + worker pool).
+    /// The pooled solve engine over the **default** registry.
     pub batch: Batch,
+    /// Per-tenant engines keyed by configured registry name, all
+    /// sharing the default engine's worker pool — a tenant pins a
+    /// solver set, not a thread set.
+    tenants: Vec<(String, Batch)>,
     /// Live counters.
     pub metrics: Metrics,
     /// Config snapshot (caps consulted by the routes).
@@ -138,6 +165,21 @@ impl ServiceState {
     /// Whether shutdown has been requested (handle or SIGINT).
     pub fn shutdown_requested(&self) -> bool {
         self.shutdown.load(Ordering::Relaxed) || SIGINT_RECEIVED.load(Ordering::Relaxed)
+    }
+
+    /// The engine a request resolves against: the default batch, or the
+    /// named tenant registry's; `None` when the name is not configured
+    /// (the routes answer 404 rather than silently falling back).
+    pub fn batch_for(&self, registry: Option<&str>) -> Option<&Batch> {
+        match registry {
+            None => Some(&self.batch),
+            Some(name) => self.tenants.iter().find(|(n, _)| n == name).map(|(_, b)| b),
+        }
+    }
+
+    /// The configured tenant registry names, in config order.
+    pub fn tenant_names(&self) -> Vec<&str> {
+        self.tenants.iter().map(|(n, _)| n.as_str()).collect()
     }
 }
 
@@ -197,14 +239,32 @@ impl Server {
         let listener = TcpListener::bind(&addrs[..])?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let batch = match config.threads {
-            Some(threads) => {
-                Batch::default().with_pool(Arc::new(WorkerPool::with_parallelism(threads)))
+        let pool = match config.threads {
+            Some(threads) => Arc::new(WorkerPool::with_parallelism(threads)),
+            None => shared_pool(),
+        };
+        let (batch, tenants) = match &config.registries {
+            Some(set) => {
+                let default =
+                    Batch::new(set.default_registry().clone()).with_pool(Arc::clone(&pool));
+                let tenants = set
+                    .names()
+                    .iter()
+                    .map(|name| {
+                        let registry = set.get(name).expect("names() lists configured registries");
+                        (
+                            name.to_string(),
+                            Batch::new(registry.clone()).with_pool(Arc::clone(&pool)),
+                        )
+                    })
+                    .collect();
+                (default, tenants)
             }
-            None => Batch::default(),
+            None => (Batch::default().with_pool(Arc::clone(&pool)), Vec::new()),
         };
         let state = Arc::new(ServiceState {
             batch,
+            tenants,
             metrics: Metrics::default(),
             config,
             started: Instant::now(),
@@ -288,9 +348,10 @@ impl Server {
     }
 }
 
-/// Serves one connection: parse, route, respond, close. A panic inside
-/// routing (a solver bug) is caught here so it costs one response, not
-/// a handler thread.
+/// Serves one connection: parse, route, respond — repeatedly, honouring
+/// HTTP keep-alive up to the configured requests-per-connection bound.
+/// A panic inside routing (a solver bug) is caught here so it costs one
+/// response (and the connection), not a handler thread.
 fn serve_connection(mut stream: TcpStream, state: &ServiceState) {
     // The listener is non-blocking; on BSD-derived platforms accepted
     // sockets inherit that flag (Linux clears it), which would turn the
@@ -299,28 +360,63 @@ fn serve_connection(mut stream: TcpStream, state: &ServiceState) {
     let _ = stream.set_read_timeout(Some(state.config.io_timeout));
     let _ = stream.set_write_timeout(Some(state.config.io_timeout));
     let _ = stream.set_nodelay(true);
-    let response = match crate::http::read_request(&mut stream, state.config.max_body_bytes) {
-        Ok(request) => {
-            let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                routes::route(&request, state)
-            }));
-            routed.unwrap_or_else(|_| {
-                error_body(500, "internal-error", "request handler panicked; see server logs")
-            })
+    let mut reader = RequestReader::new();
+    let max_requests = state.config.max_requests_per_connection.max(1);
+    for served in 0..max_requests {
+        // Waiting for the *next* request on an idle keep-alive
+        // connection uses the short keep-alive timeout, so a silent
+        // peer cannot pin this handler thread for a full io_timeout per
+        // request slot; the first request and pipelined follow-ups get
+        // the ordinary io_timeout.
+        let idle = served > 0 && !reader.has_buffered();
+        let _ = stream.set_read_timeout(Some(if idle {
+            state.config.keep_alive_timeout
+        } else {
+            state.config.io_timeout
+        }));
+        let (response, keep_alive) =
+            match reader.read_request(&mut stream, state.config.max_body_bytes) {
+                Ok(request) => {
+                    let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        routes::route(&request, state)
+                    }));
+                    match routed {
+                        // The client may ask to keep the connection, but
+                        // the server bounds it and closes on shutdown.
+                        Ok(response) => {
+                            let keep = request.keep_alive
+                                && served + 1 < max_requests
+                                && !state.shutdown_requested();
+                            (response, keep)
+                        }
+                        Err(_) => (
+                            error_body(
+                                500,
+                                "internal-error",
+                                "request handler panicked; see server logs",
+                            ),
+                            false,
+                        ),
+                    }
+                }
+                // A connection that never sent a byte (port scanners, load
+                // balancer liveness probes) is not a request; neither is a
+                // keep-alive client hanging up — or idling out — between
+                // requests. No counters, no response to a gone peer.
+                Err(HttpError::Disconnected) => return,
+                Err(HttpError::Timeout) if served > 0 && !reader.has_buffered() => return,
+                Err(e) => {
+                    state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+                    (error_body(e.status(), "bad-request", &e.message()), false)
+                }
+            };
+        if response.status >= 400 {
+            state.metrics.http_errors_total.fetch_add(1, Ordering::Relaxed);
         }
-        // A connection that never sent a byte (port scanners, load
-        // balancer liveness probes) is not a request: no counters, no
-        // response to a peer that already hung up.
-        Err(HttpError::Disconnected) => return,
-        Err(e) => {
-            state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-            error_body(e.status(), "bad-request", &e.message())
+        if response.write_with_connection(&mut stream, keep_alive).is_err() || !keep_alive {
+            return;
         }
-    };
-    if response.status >= 400 {
-        state.metrics.http_errors_total.fetch_add(1, Ordering::Relaxed);
     }
-    let _ = response.write_to(&mut stream);
 }
 
 /// A structured `{"error": {"kind", "message"}}` response.
@@ -384,14 +480,129 @@ mod tests {
         let addr = server.addr();
         let runner = std::thread::spawn(move || server.run().expect("run"));
 
-        let health = request(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        let health = request(addr, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
         assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
         assert!(health.contains("\"status\":\"ok\""), "{health}");
+        assert!(health.contains("Connection: close"), "{health}");
 
         handle.shutdown();
         let report = runner.join().expect("runner joins");
         assert_eq!(report.connections, 1);
         assert_eq!(report.requests, 1);
+    }
+
+    #[test]
+    fn keep_alive_connections_serve_multiple_requests() {
+        let server =
+            Server::bind(ServeConfig { addr: "127.0.0.1:0".into(), ..ServeConfig::default() })
+                .expect("bind");
+        let handle = server.handle();
+        let addr = server.addr();
+        let runner = std::thread::spawn(move || server.run().expect("run"));
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let read_one = |stream: &mut TcpStream| -> String {
+            // Read exactly one response: headers, then Content-Length.
+            let mut bytes = Vec::new();
+            let mut byte = [0u8; 1];
+            while !bytes.ends_with(b"\r\n\r\n") {
+                stream.read_exact(&mut byte).expect("response head");
+                bytes.push(byte[0]);
+            }
+            let head = String::from_utf8_lossy(&bytes).to_string();
+            let length: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .expect("length header")
+                .trim()
+                .parse()
+                .unwrap();
+            let mut body = vec![0u8; length];
+            stream.read_exact(&mut body).expect("response body");
+            head + &String::from_utf8_lossy(&body)
+        };
+
+        // Two requests on one connection; the first stays open.
+        stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        let first = read_one(&mut stream);
+        assert!(first.contains("Connection: keep-alive"), "{first}");
+        assert!(first.contains("\"status\":\"ok\""), "{first}");
+        stream.write_all(b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        let second = read_one(&mut stream);
+        assert!(second.contains("Connection: close"), "{second}");
+        assert!(second.contains("\"requests_total\":2"), "{second}");
+
+        handle.shutdown();
+        let report = runner.join().expect("runner joins");
+        assert_eq!(report.connections, 1, "one connection carried both requests");
+        assert_eq!(report.requests, 2);
+    }
+
+    #[test]
+    fn idle_keep_alive_connections_close_on_the_short_timeout() {
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            keep_alive_timeout: Duration::from_millis(100),
+            io_timeout: Duration::from_secs(10),
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let handle = server.handle();
+        let addr = server.addr();
+        let runner = std::thread::spawn(move || server.run().expect("run"));
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        let started = Instant::now();
+        // One response arrives, then the server closes the idle
+        // connection after keep_alive_timeout — far sooner than the
+        // 10s io_timeout a silent peer used to be able to occupy.
+        let mut all = String::new();
+        stream.read_to_string(&mut all).expect("EOF when the server closes");
+        assert!(all.contains("Connection: keep-alive"), "{all}");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "idle close took {:?}; the keep-alive timeout did not apply",
+            started.elapsed()
+        );
+
+        handle.shutdown();
+        let report = runner.join().expect("runner joins");
+        assert_eq!(report.requests, 1);
+    }
+
+    #[test]
+    fn requests_per_connection_bound_forces_close() {
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            max_requests_per_connection: 2,
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let handle = server.handle();
+        let addr = server.addr();
+        let runner = std::thread::spawn(move || server.run().expect("run"));
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        // Pipeline three keep-alive requests: the second response closes
+        // the connection (bound reached), the third is never served.
+        stream
+            .write_all(
+                b"GET /healthz HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n",
+            )
+            .unwrap();
+        let mut all = String::new();
+        stream.read_to_string(&mut all).unwrap();
+        assert_eq!(all.matches("HTTP/1.1 200 OK").count(), 2, "{all}");
+        assert!(all.contains("Connection: keep-alive"), "{all}");
+        assert!(all.contains("Connection: close"), "{all}");
+
+        handle.shutdown();
+        let report = runner.join().expect("runner joins");
+        assert_eq!(report.requests, 2);
     }
 
     #[test]

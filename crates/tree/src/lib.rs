@@ -16,11 +16,21 @@
 //! Several path-selection strategies are provided, plus an exhaustive
 //! cover search for small trees; experiment E3 measures the gap between
 //! the best cover and the true tree optimum.
+//!
+//! The [`witness`] module closes the loop on verification: any
+//! assignment sequence — in particular the optimal one found by the
+//! exhaustive search of `mst-baselines` — replays into a full
+//! [`mst_schedule::TreeSchedule`] that the independent
+//! [`mst_schedule::check_tree`] oracle can falsify, and every cover
+//! schedule re-expresses as a tree schedule on the *full* tree through
+//! [`TreeScheduleOutcome::tree_schedule`].
 
 #![warn(missing_docs)]
 
 pub mod cover;
 pub mod schedule;
+pub mod witness;
 
 pub use cover::{all_covers, cover_tree, PathStrategy, SpiderCover};
 pub use schedule::{best_cover_schedule, schedule_tree, TreeScheduleOutcome};
+pub use witness::tree_schedule_from_sequence;

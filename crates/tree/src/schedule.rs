@@ -2,7 +2,7 @@
 
 use crate::cover::{all_covers, cover_tree, PathStrategy, SpiderCover};
 use mst_platform::{Time, Tree};
-use mst_schedule::SpiderSchedule;
+use mst_schedule::{SpiderSchedule, TreeSchedule, TreeTask};
 use mst_spider::schedule_spider;
 
 /// A tree schedule obtained through a spider cover.
@@ -15,6 +15,31 @@ pub struct TreeScheduleOutcome {
     /// The optimal spider schedule on the cover; node `(leg, depth)`
     /// means tree node `cover.node_map[leg][depth - 1]`.
     pub schedule: SpiderSchedule,
+}
+
+impl TreeScheduleOutcome {
+    /// Re-addresses the cover schedule by the **full tree's** node ids:
+    /// every spider placement `(leg, depth)` becomes the tree node
+    /// `cover.node_map[leg][depth - 1]`, times unchanged. The result is
+    /// feasible on the whole tree (off-cover nodes idle), so it passes
+    /// [`mst_schedule::check_tree`] without knowing the cover — the
+    /// lossless witness format for tree solutions.
+    pub fn tree_schedule(&self) -> TreeSchedule {
+        TreeSchedule::new(
+            self.schedule
+                .tasks()
+                .iter()
+                .map(|t| {
+                    TreeTask::new(
+                        self.cover.node_map[t.node.leg][t.node.depth - 1],
+                        t.start,
+                        t.comms.clone(),
+                        t.work,
+                    )
+                })
+                .collect(),
+        )
+    }
 }
 
 /// Schedules `n` tasks on the tree by covering it with `strategy` and
@@ -76,6 +101,22 @@ mod tests {
                 check_spider(&out.cover.spider, &out.schedule).assert_feasible();
                 assert_eq!(out.schedule.makespan(), out.makespan);
             }
+        }
+    }
+
+    #[test]
+    fn cover_schedules_re_address_to_feasible_tree_schedules() {
+        use mst_schedule::check_tree;
+        for seed in 0..20u64 {
+            let g = GeneratorConfig::new(HeterogeneityProfile::ALL[(seed % 5) as usize], seed);
+            let tree = g.tree(2 + (seed % 5) as usize);
+            let out = best_cover_schedule(&tree, 1 + (seed % 5) as usize);
+            let witness = out.tree_schedule();
+            assert_eq!(witness.n(), out.schedule.n());
+            assert_eq!(witness.makespan(), out.makespan);
+            let report = check_tree(&tree, &witness);
+            report.assert_feasible();
+            assert_eq!(report.makespan, out.makespan);
         }
     }
 

@@ -1,8 +1,12 @@
 //! Serve the solver API over HTTP and talk to it — in one process.
 //!
-//! Starts `mst-serve` on an ephemeral port, round-trips a `/solve` for
-//! the paper's Figure-2 chain, sweeps 500 generated instances through
-//! `/batch`, prints the live `/metrics`, then shuts down gracefully.
+//! Starts `mst-serve` on an ephemeral port with a config-driven
+//! registry set (an overlay solver on the default registry plus a
+//! pinned `"lean"` tenant registry), round-trips a `/solve` for the
+//! paper's Figure-2 chain, solves through the tenant registry, fetches
+//! an `exact` general-tree witness, sweeps 500 generated instances
+//! through `/batch`, prints the live `/metrics`, then shuts down
+//! gracefully.
 //!
 //! ```text
 //! cargo run --release --example serve_roundtrip
@@ -16,7 +20,7 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
     let mut stream = TcpStream::connect(addr).expect("connect");
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nHost: example\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: example\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     )
     .expect("send");
@@ -26,8 +30,26 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
 }
 
 fn main() {
-    let server = Server::bind(ServeConfig { addr: "127.0.0.1:0".into(), ..ServeConfig::default() })
-        .expect("bind");
+    // A config-driven registry set, exactly as `mst serve
+    // --solvers-config` would load it from a file.
+    let registries = RegistrySet::parse(
+        r#"{
+            "default": {"solvers": [{"solver": "random", "name": "random-7", "seed": 7}]},
+            "registries": {
+                "lean": {"base": "empty", "solvers": [
+                    {"solver": "optimal"},
+                    {"solver": "alias", "name": "best", "target": "optimal"}
+                ]}
+            }
+        }"#,
+    )
+    .expect("valid registry config");
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        registries: Some(registries),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
     let addr = server.addr();
     let handle = server.handle();
     let runner = std::thread::spawn(move || server.run().expect("server run"));
@@ -41,6 +63,30 @@ fn main() {
         r#"{"platform": "chain\n2 3\n3 5\n", "tasks": 5, "verify": true}"#,
     );
     println!("\nPOST /solve (Figure 2, 5 tasks):\n{solve}");
+    assert!(solve.contains("\"makespan\":14"), "Figure 2 optimum is 14");
+    assert!(solve.contains("\"feasible\":true"), "oracle-verified");
+
+    // The same solve pinned to the lean tenant registry, by alias.
+    let tenant = request(
+        addr,
+        "POST",
+        "/solve",
+        r#"{"platform": "chain\n2 3\n3 5\n", "tasks": 5, "solver": "best",
+            "registry": "lean", "verify": true}"#,
+    );
+    println!("\nPOST /solve (registry \"lean\", solver alias \"best\"):\n{tenant}");
+    assert!(tenant.contains("\"makespan\":14"), "tenant registry solves identically");
+
+    // An exact general-tree solve: the witness is a full tree schedule.
+    let tree = request(
+        addr,
+        "POST",
+        "/solve",
+        r#"{"platform": "tree\nnode 0 1 9\nnode 1 1 3\nnode 1 1 3\n", "tasks": 4,
+            "solver": "exact", "verify": true}"#,
+    );
+    println!("\nPOST /solve (exact on a general tree):\n{tree}");
+    assert!(tree.contains("\"repr\":\"tree\""), "tree witnesses travel on the wire");
 
     // A 500-instance sweep through the pooled batch engine.
     let batch = request(

@@ -58,14 +58,14 @@ pub use mst_tree as tree;
 /// points stay exported so existing code keeps compiling.
 pub mod prelude {
     pub use mst_api::{
-        verify, Batch, BatchSummary, Instance, Platform, ScheduleRepr, Solution, SolveError,
-        Solver, SolverRegistry, TopologyKind,
+        verify, Batch, BatchSummary, ConfigError, Instance, Platform, RegistrySet, ScheduleRepr,
+        Solution, SolveError, Solver, SolverRegistry, TopologyKind,
     };
     pub use mst_core::{schedule_chain, schedule_chain_by_deadline};
     pub use mst_platform::{
         Chain, Fork, GeneratorConfig, HeterogeneityProfile, NodeId, Processor, Spider, Time, Tree,
     };
-    pub use mst_schedule::{ChainSchedule, CommVector, SpiderSchedule};
+    pub use mst_schedule::{ChainSchedule, CommVector, SpiderSchedule, TreeSchedule};
     pub use mst_serve::{ServeConfig, Server, ServerHandle};
     pub use mst_sim::{run_parallel, shared_pool, WorkerPool};
     pub use mst_spider::{schedule_spider, schedule_spider_by_deadline};

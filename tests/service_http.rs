@@ -48,12 +48,18 @@ fn raw_request(addr: SocketAddr, raw: &[u8], half_close: bool) -> (u16, String) 
 }
 
 fn get(addr: SocketAddr, path: &str) -> (u16, String) {
-    raw_request(addr, format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(), false)
+    raw_request(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+        false,
+    )
 }
 
 fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
-    let raw =
-        format!("POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}", body.len());
+    let raw = format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
     raw_request(addr, raw.as_bytes(), false)
 }
 
@@ -357,6 +363,199 @@ fn thirty_two_concurrent_clients_match_direct_batch_results() {
     handle.shutdown();
     let report = runner.join().unwrap();
     assert!(report.solved >= 32);
+}
+
+/// Reads exactly one HTTP response (headers + `Content-Length` body)
+/// off a keep-alive stream.
+fn read_one_response(stream: &mut TcpStream) -> (u16, String, String) {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        stream.read_exact(&mut byte).expect("response head");
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8_lossy(&head).to_string();
+    let status: u16 = head.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("length header")
+        .trim()
+        .parse()
+        .unwrap();
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body).expect("response body");
+    (status, head, String::from_utf8_lossy(&body).to_string())
+}
+
+#[test]
+fn keep_alive_stream_reuse_matches_fresh_connections() {
+    let (addr, handle, runner) = start_server();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+
+    // Three sequential solves over ONE TcpStream.
+    let mut makespans = Vec::new();
+    for tasks in [1, 3, 5] {
+        let body = format!(r#"{{"platform": "chain\n2 3\n3 5\n", "tasks": {tasks}}}"#);
+        write!(
+            stream,
+            "POST /solve HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("send over reused stream");
+        let (status, head, body) = read_one_response(&mut stream);
+        assert_eq!(status, 200, "{body}");
+        assert!(head.contains("Connection: keep-alive"), "{head}");
+        makespans.push(Json::parse(&body).unwrap().get("makespan").unwrap().as_i64().unwrap());
+    }
+    assert_eq!(makespans, vec![5, 10, 14], "reused connections solve like fresh ones");
+
+    // An explicit close is honoured.
+    write!(stream, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+    let (status, head, _) = read_one_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(head.contains("Connection: close"), "{head}");
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("EOF after close");
+    assert!(rest.is_empty(), "server must close after Connection: close");
+
+    handle.shutdown();
+    let report = runner.join().unwrap();
+    assert_eq!(report.connections, 1, "all four requests shared one connection");
+    assert_eq!(report.requests, 4);
+}
+
+#[test]
+fn per_request_registries_pin_tenant_solver_sets() {
+    let config_text = r#"{
+        "default": {"solvers": [{"solver": "random", "name": "random-7", "seed": 7}]},
+        "registries": {
+            "lean": {"base": "empty", "solvers": [
+                {"solver": "optimal"},
+                {"solver": "alias", "name": "best", "target": "optimal"}
+            ]}
+        }
+    }"#;
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        registries: Some(RegistrySet::parse(config_text).expect("valid config")),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run().expect("server run"));
+
+    // The default registry gained the configured overlay solver.
+    let (status, body) = get(addr, "/solvers");
+    assert_eq!(status, 200);
+    let listing = Json::parse(&body).unwrap();
+    let names: Vec<&str> = listing
+        .get("solvers")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|s| s.get("name").unwrap().as_str().unwrap())
+        .collect();
+    assert!(names.contains(&"random-7"), "{names:?}");
+    let registries = listing.get("registries").unwrap().as_arr().unwrap();
+    assert_eq!(registries, [Json::str("lean")]);
+
+    // The tenant view lists exactly its pinned set.
+    let (status, body) = get(addr, "/solvers?registry=lean");
+    assert_eq!(status, 200, "{body}");
+    let listing = Json::parse(&body).unwrap();
+    let names: Vec<&str> = listing
+        .get("solvers")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|s| s.get("name").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(names, ["optimal", "best"]);
+
+    // Solving through the tenant registry: aliases resolve...
+    let (status, body) = post(
+        addr,
+        "/solve",
+        r#"{"platform": "chain\n2 3\n3 5\n", "tasks": 5, "solver": "best",
+            "registry": "lean", "verify": true}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let reply = Json::parse(&body).unwrap();
+    assert_eq!(reply.get("makespan").and_then(Json::as_i64), Some(14));
+    assert_eq!(reply.get("feasible").and_then(Json::as_bool), Some(true));
+
+    // ...unpinned solvers do not exist for the tenant...
+    let (status, body) = post(
+        addr,
+        "/solve",
+        r#"{"platform": "chain\n2 3\n3 5\n", "tasks": 5, "solver": "eager", "registry": "lean"}"#,
+    );
+    assert_eq!(status, 404, "{body}");
+    assert_eq!(error_kind_of(&body), "unknown-solver");
+
+    // ...but still exist in the default registry.
+    let (status, _) =
+        post(addr, "/solve", r#"{"platform": "chain\n2 3\n3 5\n", "tasks": 5, "solver": "eager"}"#);
+    assert_eq!(status, 200);
+
+    // Unknown registries are a structured 404, on /batch too.
+    let (status, body) =
+        post(addr, "/batch", r#"{"generate": {"kind": "chain", "count": 2}, "registry": "nope"}"#);
+    assert_eq!(status, 404, "{body}");
+    assert_eq!(error_kind_of(&body), "unknown-registry");
+    let (status, body) = get(addr, "/solvers?registry=nope");
+    assert_eq!(status, 404, "{body}");
+    assert_eq!(error_kind_of(&body), "unknown-registry");
+
+    // A tenant /batch sweep solves through the pinned set.
+    let (status, body) = post(
+        addr,
+        "/batch",
+        r#"{"generate": {"kind": "spider", "count": 16, "size": 3, "tasks": 5},
+            "registry": "lean", "solver": "best", "verify": true}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let reply = Json::parse(&body).unwrap();
+    assert_eq!(reply.get("solved").and_then(Json::as_i64), Some(16));
+    assert_eq!(reply.get("infeasible").and_then(Json::as_i64), Some(0));
+
+    handle.shutdown();
+    runner.join().unwrap();
+}
+
+#[test]
+fn exact_tree_solves_serve_checkable_witnesses() {
+    use master_slave_tasking::api::wire::tree_schedule_from_json;
+    let (addr, handle, runner) = start_server();
+
+    let (status, body) = post(
+        addr,
+        "/solve",
+        r#"{"platform": "tree\nnode 0 1 9\nnode 1 1 3\nnode 1 1 3\n", "tasks": 5,
+            "solver": "exact", "verify": true}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let reply = Json::parse(&body).unwrap();
+    assert_eq!(reply.get("witnessed").and_then(Json::as_bool), Some(true));
+    assert_eq!(reply.get("feasible").and_then(Json::as_bool), Some(true));
+    let schedule = reply.get("schedule").unwrap();
+    assert_eq!(schedule.get("repr").and_then(Json::as_str), Some("tree"));
+    // The served witness reconstructs losslessly and re-verifies
+    // client-side against the platform.
+    let decoded = tree_schedule_from_json(schedule).unwrap();
+    let tree = mst_platform::Tree::from_triples(&[(0, 1, 9), (1, 1, 3), (1, 1, 3)]).unwrap();
+    let report = mst_schedule::check_tree(&tree, &decoded);
+    report.assert_feasible();
+    assert_eq!(Some(report.makespan), reply.get("makespan").and_then(Json::as_i64));
+
+    handle.shutdown();
+    runner.join().unwrap();
 }
 
 #[test]

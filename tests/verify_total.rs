@@ -1,0 +1,163 @@
+//! Total verification: every `(registered solver × topology)` pair
+//! either errors with a **typed** `SolveError` up front or produces a
+//! solution the `verify()` oracle accepts — never an unverifiable
+//! answer, never an `Unsupported`-style hole. Plus proptest round-trips
+//! for the tree-schedule wire encoding.
+
+use master_slave_tasking::api::wire::{
+    solution_to_json, tree_schedule_from_json, tree_schedule_to_json, Json,
+};
+use master_slave_tasking::prelude::*;
+use mst_schedule::check_tree;
+use mst_tree::tree_schedule_from_sequence;
+use proptest::prelude::*;
+
+/// Exhaustive sweep of the acceptance criterion: every solver name in
+/// the default registry × every generator topology (including `exact`
+/// on general trees) yields a feasible report whose independently
+/// recomputed makespan matches the solution's claim.
+#[test]
+fn every_registry_solver_verifies_on_every_topology() {
+    let registry = SolverRegistry::global();
+    let mut verified = 0usize;
+    let mut rejected = 0usize;
+    for seed in 0..6u64 {
+        for kind in TopologyKind::ALL {
+            // Small instances: `exact` is exponential in the task count.
+            let instance = Instance::generate(
+                kind,
+                HeterogeneityProfile::ALL[(seed % 5) as usize],
+                seed,
+                2 + (seed % 3) as usize,
+                1 + (seed % 4) as usize,
+            );
+            for solver in registry.solvers() {
+                match solver.solve(&instance) {
+                    Ok(solution) => {
+                        let report = verify(&instance, &solution).unwrap_or_else(|e| {
+                            panic!("{} on {kind}: unverifiable solution: {e}", solver.name())
+                        });
+                        report.assert_feasible();
+                        assert_eq!(
+                            report.makespan,
+                            solution.makespan(),
+                            "{} on {kind} (seed {seed}): oracle recomputed a different makespan",
+                            solver.name()
+                        );
+                        verified += 1;
+                    }
+                    // The only permitted refusals are typed capability
+                    // errors reported before any work happens.
+                    Err(SolveError::UnsupportedTopology { .. }) => rejected += 1,
+                    Err(e) => {
+                        panic!("{} on {kind} (seed {seed}): unexpected error {e}", solver.name())
+                    }
+                }
+            }
+        }
+    }
+    assert!(verified > 0 && rejected > 0, "sweep exercised both outcomes");
+
+    // Deadline (T_lim) variants are total in the same sense.
+    for kind in TopologyKind::ALL {
+        let instance = Instance::generate(kind, HeterogeneityProfile::ALL[0], 3, 3, 4);
+        for solver in registry.solvers() {
+            match solver.solve_by_deadline(&instance, 12) {
+                Ok(solution) => {
+                    let report = verify(&instance, &solution).expect("verifiable");
+                    report.assert_feasible();
+                    assert_eq!(report.makespan, solution.makespan(), "{}", solver.name());
+                    assert!(solution.makespan() <= 12);
+                }
+                Err(
+                    SolveError::UnsupportedTopology { .. } | SolveError::DeadlineUnsupported { .. },
+                ) => {}
+                Err(e) => panic!("{} on {kind}: unexpected error {e}", solver.name()),
+            }
+        }
+    }
+}
+
+/// `exact` on general trees — the representative case the redesign
+/// closes — is witnessed, optimal, and strictly better than covering
+/// when the tree needs both branches of an interior fork.
+#[test]
+fn exact_tree_witnesses_are_checked_not_trusted() {
+    let registry = SolverRegistry::global();
+    for seed in 0..10u64 {
+        let g = GeneratorConfig::new(HeterogeneityProfile::ALL[(seed % 5) as usize], seed);
+        let tree = g.tree(2 + (seed % 4) as usize);
+        let instance = Instance::new(tree.clone(), 1 + (seed % 4) as usize);
+        let solution = registry.solve("exact", &instance).unwrap();
+        assert!(solution.is_witnessed(), "seed {seed}");
+        assert_eq!(solution.n(), instance.tasks);
+        assert_eq!(
+            solution.makespan(),
+            mst_baselines::optimal_tree_makespan(&tree, instance.tasks),
+            "the witness achieves the true optimum (seed {seed})"
+        );
+        let report = verify(&instance, &solution).unwrap();
+        report.assert_feasible();
+        assert_eq!(report.makespan, solution.makespan());
+        // No solver may beat the exhaustive optimum.
+        for solver in registry.supporting(TopologyKind::Tree) {
+            if let Ok(other) = solver.solve(&instance) {
+                assert!(
+                    other.makespan() >= solution.makespan(),
+                    "{} beat exact on seed {seed}",
+                    solver.name()
+                );
+            }
+        }
+    }
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    // (parent-picker, c, w) triples; parent-picker selects uniformly
+    // among valid (earlier) ids, so arbitrary branching shapes appear.
+    prop::collection::vec((0usize..=64, 1i64..=7, 1i64..=7), 1..=6).prop_map(|raw| {
+        let triples: Vec<(usize, Time, Time)> =
+            raw.iter().enumerate().map(|(idx, &(pick, c, w))| ((pick % (idx + 1)), c, w)).collect();
+        Tree::from_triples(&triples).expect("parents precede children by construction")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lossless wire round-trip for arbitrary feasible tree witnesses.
+    #[test]
+    fn tree_schedule_wire_round_trip(
+        tree in tree_strategy(),
+        picks in prop::collection::vec(0usize..=64, 0..=8),
+    ) {
+        let sequence: Vec<usize> = picks.iter().map(|p| 1 + p % tree.len()).collect();
+        let schedule = tree_schedule_from_sequence(&tree, &sequence);
+        check_tree(&tree, &schedule).assert_feasible();
+        let text = tree_schedule_to_json(&schedule).to_string();
+        let back = tree_schedule_from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(&back, &schedule, "decode(encode(s)) != s");
+        // The decoded witness still passes the oracle with the same
+        // independently recomputed makespan.
+        let report = check_tree(&tree, &back);
+        prop_assert!(report.is_feasible());
+        prop_assert_eq!(report.makespan, schedule.makespan());
+    }
+
+    /// Solutions of every witnessing representation survive the wire:
+    /// the encoded makespan/task counts match, and tree schedules decode
+    /// to the identical witness.
+    #[test]
+    fn solution_encodings_expose_witnesses(
+        tree in tree_strategy(),
+        n in 1usize..=4,
+    ) {
+        let instance = Instance::new(tree, n);
+        let solution = SolverRegistry::global().solve("exact", &instance).unwrap();
+        let json = solution_to_json(&solution);
+        prop_assert_eq!(json.get("makespan").and_then(Json::as_i64), Some(solution.makespan()));
+        prop_assert_eq!(json.get("scheduled").and_then(Json::as_i64), Some(n as i64));
+        let decoded = tree_schedule_from_json(json.get("schedule").unwrap()).unwrap();
+        prop_assert_eq!(Some(&decoded), solution.tree_schedule());
+    }
+}
