@@ -5,7 +5,7 @@ use crate::instance::Instance;
 use crate::registry::SolverRegistry;
 use crate::solution::Solution;
 use mst_platform::Time;
-use mst_sim::{shared_pool, WorkerPool};
+use mst_sim::{shared_pool, CancelToken, WorkerPool};
 use std::fmt;
 use std::sync::Arc;
 
@@ -107,6 +107,52 @@ impl Batch {
         }
     }
 
+    /// [`Batch::solve_all`] with a cooperative cancellation checkpoint
+    /// before every instance (see
+    /// [`WorkerPool::run_cancellable`]): once `cancel` fires —
+    /// explicitly, or past its deadline budget — remaining instances
+    /// come back as [`SolveError::Cancelled`] instead of burning cores.
+    /// Results stay in input order; instances already in flight finish
+    /// normally, so no worker is left stuck.
+    pub fn solve_all_cancellable(
+        &self,
+        instances: &[Instance],
+        cancel: &CancelToken,
+    ) -> Vec<Result<Solution, SolveError>> {
+        match self.registry.resolve(&self.solver) {
+            Ok(solver) => self
+                .pool
+                .run_cancellable(instances, |instance| solver.solve(instance), cancel)
+                .into_iter()
+                .map(|slot| slot.unwrap_or(Err(SolveError::Cancelled)))
+                .collect(),
+            Err(err) => instances.iter().map(|_| Err(err.clone())).collect(),
+        }
+    }
+
+    /// [`Batch::solve_all_by_deadline`] with the same cancellation
+    /// checkpoints as [`Batch::solve_all_cancellable`].
+    pub fn solve_all_by_deadline_cancellable(
+        &self,
+        instances: &[Instance],
+        deadline: Time,
+        cancel: &CancelToken,
+    ) -> Vec<Result<Solution, SolveError>> {
+        match self.registry.resolve(&self.solver) {
+            Ok(solver) => self
+                .pool
+                .run_cancellable(
+                    instances,
+                    |instance| solver.solve_by_deadline(instance, deadline),
+                    cancel,
+                )
+                .into_iter()
+                .map(|slot| slot.unwrap_or(Err(SolveError::Cancelled)))
+                .collect(),
+            Err(err) => instances.iter().map(|_| Err(err.clone())).collect(),
+        }
+    }
+
     /// Solves and folds the results into a [`BatchSummary`].
     pub fn run(&self, instances: &[Instance]) -> BatchSummary {
         BatchSummary::of(&self.solve_all(instances))
@@ -126,8 +172,12 @@ impl Default for Batch {
 pub struct BatchSummary {
     /// Instances solved successfully.
     pub solved: usize,
-    /// Instances that returned an error.
+    /// Instances that returned a genuine solver error (cancelled
+    /// instances are counted separately).
     pub failed: usize,
+    /// Instances skipped by a [`SolveError::Cancelled`] checkpoint —
+    /// never attempted, not failures.
+    pub cancelled: usize,
     /// Tasks scheduled across all solved instances, counted from the
     /// witness schedules — solvers that return unwitnessed solutions
     /// (relaxations, makespan-only exact results) contribute 0 here
@@ -145,6 +195,7 @@ impl BatchSummary {
         let mut summary = BatchSummary {
             solved: 0,
             failed: 0,
+            cancelled: 0,
             total_tasks: 0,
             total_makespan: 0,
             max_makespan: 0,
@@ -157,6 +208,7 @@ impl BatchSummary {
                     summary.total_makespan += solution.makespan();
                     summary.max_makespan = summary.max_makespan.max(solution.makespan());
                 }
+                Err(SolveError::Cancelled) => summary.cancelled += 1,
                 Err(_) => summary.failed += 1,
             }
         }
@@ -182,7 +234,11 @@ impl fmt::Display for BatchSummary {
             self.total_tasks,
             self.mean_makespan(),
             self.max_makespan
-        )
+        )?;
+        if self.cancelled > 0 {
+            write!(f, " ({} cancelled)", self.cancelled)?;
+        }
+        Ok(())
     }
 }
 
@@ -268,6 +324,31 @@ mod tests {
         assert_eq!(pool.workers(), 2, "no threads appear after construction");
         assert_eq!(pool.jobs_submitted(), 3, "three sweeps = three published jobs");
         assert!(Arc::ptr_eq(batch.pool(), &pool));
+    }
+
+    #[test]
+    fn cancellable_sweeps_match_plain_solves_and_honour_the_token() {
+        let instances = mixed_instances(64);
+        let batch = Batch::default();
+        // A live token executes everything, bit-identical to solve_all.
+        let live = CancelToken::new();
+        assert_eq!(batch.solve_all_cancellable(&instances, &live), batch.solve_all(&instances));
+        assert_eq!(
+            batch.solve_all_by_deadline_cancellable(&instances, 12, &live),
+            batch.solve_all_by_deadline(&instances, 12)
+        );
+        // A pre-cancelled token skips every instance as Cancelled.
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        let results = batch.solve_all_cancellable(&instances, &cancelled);
+        assert!(results.iter().all(|r| matches!(r, Err(SolveError::Cancelled))));
+        let summary = BatchSummary::of(&results);
+        assert_eq!((summary.solved, summary.failed, summary.cancelled), (0, 0, 64));
+        assert!(summary.to_string().contains("(64 cancelled)"), "{summary}");
+        // Unknown solvers still fail with their own error, not Cancelled.
+        let bad = Batch::default().with_solver("nope");
+        let results = bad.solve_all_cancellable(&instances, &CancelToken::new());
+        assert!(results.iter().all(|r| matches!(r, Err(SolveError::UnknownSolver { .. }))));
     }
 
     #[test]

@@ -42,6 +42,38 @@
 //! `mst-serve` resolves the `"registry"` field of `/solve` and `/batch`
 //! bodies against the set, so tenants can pin solver sets per request.
 //!
+//! Since the execution-policy redesign a registry spec is a full
+//! **tenant spec**: alongside the solver layering it may carry
+//! execution limits ([`TenantLimits`]) that `mst-serve` turns into a
+//! per-tenant [`crate::exec::TenantExec`]:
+//!
+//! ```json
+//! {
+//!   "registries": {
+//!     "acme": {
+//!       "only": ["optimal", "exact"],
+//!       "token": "acme-secret",
+//!       "threads": 2,
+//!       "quota": 4,
+//!       "max_instances": 50000,
+//!       "deadline_ms": 2000
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! * `"token"` — the `X-Api-Token` header value routing requests to
+//!   this tenant (defaults to the tenant's name);
+//! * `"threads"` — the tenant's dedicated solve parallelism
+//!   ([`mst_sim::WorkerPool::with_parallelism`]); absent means the
+//!   shared fallback pool;
+//! * `"quota"` — max concurrently admitted requests before the service
+//!   answers 429;
+//! * `"max_instances"` — per-request instance cap (tightens the
+//!   server-wide cap);
+//! * `"deadline_ms"` — wall-clock budget per request; past it the sweep
+//!   is cancelled at the next checkpoint.
+//!
 //! Because [`crate::Solver::name`] returns `&'static str` (names flow
 //! into [`crate::Solution`]s on hot paths), configured names are
 //! interned once into a process-wide leak-free-enough pool — config
@@ -180,12 +212,77 @@ fn check_keys(obj: &Json, allowed: &[&str], what: &str) -> Result<(), ConfigErro
     Ok(())
 }
 
-/// Builds one [`SolverRegistry`] from a registry-spec object.
+/// The execution-limit keys a tenant spec may carry alongside its
+/// registry layering (see [`TenantLimits`]).
+const EXEC_KEYS: [&str; 5] = ["token", "threads", "quota", "max_instances", "deadline_ms"];
+
+/// Execution limits of one tenant spec: everything about *how much
+/// machine* a tenant gets, as opposed to *which solvers* it sees.
+///
+/// All fields are optional; `None` means "the service default" (shared
+/// pool, unlimited admission, the server-wide instance cap, no
+/// per-request deadline budget). `mst-serve` resolves a parsed
+/// `TenantLimits` into an executable policy via
+/// [`crate::exec::ExecPolicy`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantLimits {
+    /// `X-Api-Token` header value routing to this tenant (defaults to
+    /// the tenant's configured name).
+    pub token: Option<String>,
+    /// Dedicated worker-pool parallelism; `None` shares the fallback
+    /// pool.
+    pub threads: Option<usize>,
+    /// Max concurrently admitted requests; `None` is unlimited.
+    pub quota: Option<usize>,
+    /// Per-request instance cap; `None` defers to the server-wide cap.
+    pub max_instances: Option<usize>,
+    /// Per-request wall-clock budget in milliseconds; `None` never
+    /// self-cancels.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Parses the [`TenantLimits`] members of a tenant spec (each optional,
+/// each strictly positive where numeric).
+fn limits_from_spec(spec: &Json) -> Result<TenantLimits, ConfigError> {
+    let positive = |key: &'static str| -> Result<Option<u64>, ConfigError> {
+        match spec.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(value) => match value.as_i64() {
+                Some(n) if n >= 1 => Ok(Some(n as u64)),
+                _ => Err(ConfigError::new(format!("\"{key}\" must be a positive integer"))),
+            },
+        }
+    };
+    let token = match spec.get("token") {
+        None | Some(Json::Null) => None,
+        Some(value) => {
+            let token =
+                value.as_str().ok_or_else(|| ConfigError::new("\"token\" must be a string"))?;
+            if token.is_empty() {
+                return Err(ConfigError::new("\"token\" must not be empty"));
+            }
+            Some(token.to_string())
+        }
+    };
+    Ok(TenantLimits {
+        token,
+        threads: positive("threads")?.map(|n| n as usize),
+        quota: positive("quota")?.map(|n| n as usize),
+        max_instances: positive("max_instances")?.map(|n| n as usize),
+        deadline_ms: positive("deadline_ms")?,
+    })
+}
+
+/// Builds one [`SolverRegistry`] from a registry-spec object (the
+/// solver-layering half of a tenant spec; execution-limit keys are
+/// accepted and handled by [`TenantLimits`] parsing).
 pub fn registry_from_spec(spec: &Json) -> Result<SolverRegistry, ConfigError> {
     if spec.as_obj().is_none() {
         return Err(ConfigError::new("a registry spec must be a JSON object"));
     }
-    check_keys(spec, &["base", "solvers", "only"], "registry spec")?;
+    let allowed: Vec<&str> =
+        ["base", "solvers", "only"].iter().chain(EXEC_KEYS.iter()).copied().collect();
+    check_keys(spec, &allowed, "registry spec")?;
     let mut registry = match spec.get("base").and_then(Json::as_str) {
         None | Some("defaults") => SolverRegistry::global().overlay(),
         Some("empty") => SolverRegistry::new(),
@@ -280,18 +377,24 @@ pub fn registry_from_spec(spec: &Json) -> Result<SolverRegistry, ConfigError> {
     Ok(registry)
 }
 
-/// A set of config-built registries: one default plus named per-tenant
-/// overlays, as served by `mst serve --solvers-config`.
+/// A set of config-built tenants: one default plus named per-tenant
+/// registries with execution limits, as served by `mst serve
+/// --solvers-config`.
 #[derive(Debug, Clone)]
 pub struct RegistrySet {
     default: SolverRegistry,
-    named: Vec<(String, SolverRegistry)>,
+    default_limits: TenantLimits,
+    named: Vec<(String, SolverRegistry, TenantLimits)>,
 }
 
 impl RegistrySet {
     /// A set holding just the built-in default registry.
     pub fn builtin() -> RegistrySet {
-        RegistrySet { default: SolverRegistry::global().clone(), named: Vec::new() }
+        RegistrySet {
+            default: SolverRegistry::global().clone(),
+            default_limits: TenantLimits::default(),
+            named: Vec::new(),
+        }
     }
 
     /// Parses a config document. Two shapes are accepted:
@@ -308,29 +411,61 @@ impl RegistrySet {
         if !is_set {
             // A bare registry spec; its own key whitelist rejects typos
             // like "registeries" instead of silently dropping tenants.
-            return Ok(RegistrySet { default: registry_from_spec(&json)?, named: Vec::new() });
+            let set = RegistrySet {
+                default: registry_from_spec(&json)?,
+                default_limits: limits_from_spec(&json)?,
+                named: Vec::new(),
+            };
+            if let Some(token) = &set.default_limits.token {
+                return Err(ConfigError::new(format!(
+                    "the default tenant takes no \"token\" ({token:?} would shadow anonymous \
+                     requests); give the tenant a name under \"registries\""
+                )));
+            }
+            return Ok(set);
         }
         check_keys(&json, &["default", "registries"], "config")?;
-        let default = match json.get("default") {
-            Some(spec) => registry_from_spec(spec)
-                .map_err(|e| ConfigError::new(format!("\"default\": {}", e.message)))?,
-            None => SolverRegistry::global().clone(),
+        let (default, default_limits) = match json.get("default") {
+            Some(spec) => {
+                let at = |e: ConfigError| ConfigError::new(format!("\"default\": {}", e.message));
+                (registry_from_spec(spec).map_err(at)?, limits_from_spec(spec).map_err(at)?)
+            }
+            None => (SolverRegistry::global().clone(), TenantLimits::default()),
         };
-        let mut named = Vec::new();
+        if let Some(token) = &default_limits.token {
+            return Err(ConfigError::new(format!(
+                "the default tenant takes no \"token\" ({token:?} would shadow anonymous \
+                 requests); give the tenant a name under \"registries\""
+            )));
+        }
+        let mut named: Vec<(String, SolverRegistry, TenantLimits)> = Vec::new();
         if let Some(registries) = json.get("registries") {
             let members = registries
                 .as_obj()
                 .ok_or_else(|| ConfigError::new("\"registries\" must be an object"))?;
             for (name, spec) in members {
-                if name == "default" || named.iter().any(|(n, _)| n == name) {
+                if name == "default" || named.iter().any(|(n, _, _)| n == name) {
                     return Err(ConfigError::new(format!("registry {name:?} defined twice")));
                 }
-                let registry = registry_from_spec(spec)
-                    .map_err(|e| ConfigError::new(format!("registry {name:?}: {}", e.message)))?;
-                named.push((name.clone(), registry));
+                let at =
+                    |e: ConfigError| ConfigError::new(format!("registry {name:?}: {}", e.message));
+                let registry = registry_from_spec(spec).map_err(at)?;
+                let limits = limits_from_spec(spec).map_err(at)?;
+                // Effective tokens must be unambiguous: two tenants
+                // answering the same `X-Api-Token` value cannot both
+                // win the route.
+                let token = limits.token.as_deref().unwrap_or(name);
+                if let Some((other, _, _)) =
+                    named.iter().find(|(n, _, l)| l.token.as_deref().unwrap_or(n) == token)
+                {
+                    return Err(ConfigError::new(format!(
+                        "tenants {other:?} and {name:?} share the API token {token:?}"
+                    )));
+                }
+                named.push((name.clone(), registry, limits));
             }
         }
-        Ok(RegistrySet { default, named })
+        Ok(RegistrySet { default, default_limits, named })
     }
 
     /// The default registry (requests that pin nothing).
@@ -338,15 +473,32 @@ impl RegistrySet {
         &self.default
     }
 
+    /// The default tenant's execution limits (anonymous requests).
+    pub fn default_limits(&self) -> &TenantLimits {
+        &self.default_limits
+    }
+
     /// A named tenant registry; `None` (not the default!) when unknown,
     /// so callers can distinguish a typo from an intentional fallback.
     pub fn get(&self, name: &str) -> Option<&SolverRegistry> {
-        self.named.iter().find(|(n, _)| n == name).map(|(_, r)| r)
+        self.named.iter().find(|(n, _, _)| n == name).map(|(_, r, _)| r)
+    }
+
+    /// A named tenant's execution limits.
+    pub fn limits(&self, name: &str) -> Option<&TenantLimits> {
+        self.named.iter().find(|(n, _, _)| n == name).map(|(_, _, l)| l)
     }
 
     /// The tenant registry names, in config order.
     pub fn names(&self) -> Vec<&str> {
-        self.named.iter().map(|(n, _)| n.as_str()).collect()
+        self.named.iter().map(|(n, _, _)| n.as_str()).collect()
+    }
+
+    /// Every named tenant as `(name, registry, limits)`, in config
+    /// order — what `mst-serve` and `mst tenants` resolve policies
+    /// from.
+    pub fn tenants(&self) -> impl Iterator<Item = (&str, &SolverRegistry, &TenantLimits)> {
+        self.named.iter().map(|(n, r, l)| (n.as_str(), r, l))
     }
 }
 
@@ -500,6 +652,70 @@ mod tests {
         assert!(err.to_string().contains("unknown key"), "{err}");
         let err = RegistrySet::parse(r#"{"default": {"base": "empty"}, "extra": 1}"#).unwrap_err();
         assert!(err.to_string().contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn tenant_specs_carry_execution_limits() {
+        let set = RegistrySet::parse(
+            r#"{
+                "default": {"quota": 16},
+                "registries": {
+                    "acme": {
+                        "only": ["optimal", "exact"],
+                        "token": "acme-secret",
+                        "threads": 2,
+                        "quota": 4,
+                        "max_instances": 50000,
+                        "deadline_ms": 2000
+                    },
+                    "lab": {"base": "empty", "solvers": [{"solver": "optimal"}]}
+                }
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(set.default_limits().quota, Some(16));
+        assert_eq!(set.default_limits().token, None);
+        let acme = set.limits("acme").unwrap();
+        assert_eq!(acme.token.as_deref(), Some("acme-secret"));
+        assert_eq!(acme.threads, Some(2));
+        assert_eq!(acme.quota, Some(4));
+        assert_eq!(acme.max_instances, Some(50_000));
+        assert_eq!(acme.deadline_ms, Some(2000));
+        // Limits default to None everywhere they are omitted.
+        assert_eq!(set.limits("lab"), Some(&TenantLimits::default()));
+        assert!(set.limits("nope").is_none());
+        let tenants: Vec<&str> = set.tenants().map(|(n, _, _)| n).collect();
+        assert_eq!(tenants, vec!["acme", "lab"]);
+        // The registry half of the tenant spec still applies.
+        assert_eq!(set.get("acme").unwrap().names(), vec!["optimal", "exact"]);
+    }
+
+    #[test]
+    fn bad_limits_report_typed_errors() {
+        for (text, needle) in [
+            (r#"{"registries": {"a": {"threads": 0}}}"#, "positive"),
+            (r#"{"registries": {"a": {"threads": -2}}}"#, "positive"),
+            (r#"{"registries": {"a": {"quota": "many"}}}"#, "positive"),
+            (r#"{"registries": {"a": {"max_instances": 0}}}"#, "positive"),
+            (r#"{"registries": {"a": {"deadline_ms": 1.5}}}"#, "positive"),
+            (r#"{"registries": {"a": {"token": 7}}}"#, "string"),
+            (r#"{"registries": {"a": {"token": ""}}}"#, "empty"),
+            (r#"{"registries": {"a": {"tokens": "x"}}}"#, "unknown key"),
+            (r#"{"default": {"token": "x"}}"#, "no \"token\""),
+            // Two tenants answering one token value is ambiguous routing,
+            // whether the clash is explicit or via the name fallback.
+            (
+                r#"{"registries": {"a": {"token": "k"}, "b": {"token": "k"}}}"#,
+                "share the API token",
+            ),
+            (r#"{"registries": {"a": {"token": "b"}, "b": {}}}"#, "share the API token"),
+        ] {
+            let err = RegistrySet::parse(text).expect_err(text).to_string();
+            assert!(err.contains(needle), "{text}: {err}");
+        }
+        // A bare spec may carry limits too (they apply to the default).
+        let bare = RegistrySet::parse(r#"{"base": "defaults", "quota": 3}"#).unwrap();
+        assert_eq!(bare.default_limits().quota, Some(3));
     }
 
     #[test]

@@ -36,6 +36,11 @@ pub enum SolveError {
         /// Human-readable description of the mismatch.
         reason: String,
     },
+    /// The sweep was cancelled before this instance was solved — by an
+    /// explicit [`mst_sim::CancelToken`] signal (client gone) or an
+    /// exhausted per-request deadline budget. Not a solver failure: the
+    /// instance was never attempted.
+    Cancelled,
 }
 
 impl fmt::Display for SolveError {
@@ -54,6 +59,9 @@ impl fmt::Display for SolveError {
             SolveError::Platform(e) => write!(f, "invalid platform: {e}"),
             SolveError::MalformedSolution { reason } => {
                 write!(f, "malformed solution: {reason}")
+            }
+            SolveError::Cancelled => {
+                write!(f, "solve cancelled before the instance was attempted")
             }
         }
     }

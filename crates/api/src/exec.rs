@@ -1,0 +1,438 @@
+//! Execution policies: *how much machine* a tenant gets.
+//!
+//! The registry layer ([`crate::config`]) lets a tenant pin *which
+//! solvers* it sees; this module adds the other half of multi-tenancy —
+//! thread budgets, admission control, per-request deadline budgets and
+//! cooperative cancellation — as a first-class API:
+//!
+//! * [`ExecPolicy`] — the resolved policy bundle: a registry, an
+//!   optional dedicated worker-thread budget, an admission quota, a
+//!   per-request instance cap and a wall-clock deadline budget;
+//! * [`TenantExec`] — a policy made executable: it owns the tenant's
+//!   [`Batch`] engine (over a **dedicated** [`WorkerPool`] when the
+//!   policy budgets threads, the shared fallback pool otherwise), an
+//!   admission counter and live per-tenant statistics;
+//! * [`AdmitGuard`] — an RAII admission slot: [`TenantExec::admit`]
+//!   takes one, dropping it releases it, so a slot can never leak on a
+//!   panicking or early-returning request path;
+//! * [`AdmissionError`] — the typed refusals (`quota exhausted`, `too
+//!   many instances`) that `mst-serve` maps to 429/400 responses.
+//!
+//! Isolation is structural: a tenant with `threads: 1` solves on its
+//! own single-executor pool, so however long its sweeps run they never
+//! occupy another tenant's workers — a heavy tenant cannot starve a
+//! light one. Cancellation is cooperative: [`TenantExec::cancel_token`]
+//! arms the policy's deadline budget, [`Batch::solve_all_cancellable`]
+//! polls it per instance, and whoever owns the request (e.g. a
+//! connection handler noticing its client disconnected) can fire the
+//! same token explicitly.
+//!
+//! ```
+//! use mst_api::exec::{ExecPolicy, TenantExec};
+//! use mst_api::{Instance, SolverRegistry, TopologyKind};
+//!
+//! let policy = ExecPolicy::new("acme", SolverRegistry::global().clone())
+//!     .threads(1)
+//!     .quota(2);
+//! let exec = TenantExec::new(policy, mst_sim::shared_pool());
+//!
+//! let _slot = exec.admit().unwrap();
+//! let instances: Vec<Instance> = (0..16)
+//!     .map(|seed| Instance::generate(
+//!         TopologyKind::Chain, mst_platform::HeterogeneityProfile::ALL[0], seed, 3, 5,
+//!     ))
+//!     .collect();
+//! let results = exec.batch().solve_all_cancellable(&instances, &exec.cancel_token());
+//! assert!(results.iter().all(|r| r.is_ok()));
+//! ```
+
+use crate::batch::Batch;
+use crate::config::TenantLimits;
+use crate::registry::SolverRegistry;
+use mst_sim::{CancelToken, WorkerPool};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The resolved execution policy of one tenant: registry plus machine
+/// budgets and admission limits.
+#[derive(Debug, Clone)]
+pub struct ExecPolicy {
+    /// Tenant name (also the default API token).
+    pub name: String,
+    /// Explicit API token; `None` falls back to the name.
+    pub token: Option<String>,
+    /// The solver registry requests resolve against.
+    pub registry: SolverRegistry,
+    /// Dedicated solve parallelism ([`WorkerPool::with_parallelism`]);
+    /// `None` shares the fallback pool.
+    pub threads: Option<usize>,
+    /// Max concurrently admitted requests; `None` is unlimited.
+    pub quota: Option<usize>,
+    /// Per-request instance cap; `None` defers to the service-wide cap.
+    pub max_instances: Option<usize>,
+    /// Per-request wall-clock budget; past it, sweeps cancel at the
+    /// next checkpoint.
+    pub deadline: Option<Duration>,
+}
+
+impl ExecPolicy {
+    /// An unrestricted policy over `registry`: shared pool, no quota,
+    /// no caps, no deadline budget.
+    pub fn new(name: impl Into<String>, registry: SolverRegistry) -> ExecPolicy {
+        ExecPolicy {
+            name: name.into(),
+            token: None,
+            registry,
+            threads: None,
+            quota: None,
+            max_instances: None,
+            deadline: None,
+        }
+    }
+
+    /// A policy resolved from a parsed config tenant spec.
+    pub fn from_limits(
+        name: impl Into<String>,
+        registry: SolverRegistry,
+        limits: &TenantLimits,
+    ) -> ExecPolicy {
+        ExecPolicy {
+            name: name.into(),
+            token: limits.token.clone(),
+            registry,
+            threads: limits.threads,
+            quota: limits.quota,
+            max_instances: limits.max_instances,
+            deadline: limits.deadline_ms.map(Duration::from_millis),
+        }
+    }
+
+    /// Budgets `threads` total solve parallelism on a dedicated pool.
+    pub fn threads(mut self, threads: usize) -> ExecPolicy {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Admits at most `quota` concurrent requests.
+    pub fn quota(mut self, quota: usize) -> ExecPolicy {
+        self.quota = Some(quota);
+        self
+    }
+
+    /// Caps a single request at `max_instances` instances.
+    pub fn max_instances(mut self, max_instances: usize) -> ExecPolicy {
+        self.max_instances = Some(max_instances);
+        self
+    }
+
+    /// Arms a per-request wall-clock deadline budget.
+    pub fn deadline(mut self, budget: Duration) -> ExecPolicy {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// The API token requests present to route here: the explicit token
+    /// when configured, the tenant name otherwise.
+    pub fn effective_token(&self) -> &str {
+        self.token.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// Why a request was refused at the door (before any solving).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// Every admission slot of the tenant's quota is taken.
+    QuotaExhausted {
+        /// The refusing tenant.
+        tenant: String,
+        /// Its configured quota.
+        quota: usize,
+    },
+    /// The request asks for more instances than the tenant's cap.
+    TooManyInstances {
+        /// The refusing tenant.
+        tenant: String,
+        /// Instances the request carried.
+        requested: usize,
+        /// The tenant's per-request cap.
+        cap: usize,
+    },
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::QuotaExhausted { tenant, quota } => write!(
+                f,
+                "tenant {tenant:?} has all {quota} admission slot(s) in use; retry shortly"
+            ),
+            AdmissionError::TooManyInstances { tenant, requested, cap } => write!(
+                f,
+                "{requested} instances exceed tenant {tenant:?}'s per-request cap of {cap}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Live per-tenant counters, surfaced by the service's `/metrics`.
+///
+/// All monotone atomics except the queue depth, which is read live from
+/// the admission counter ([`TenantExec::queue_depth`]).
+#[derive(Debug, Default)]
+pub struct TenantStats {
+    /// Requests routed to this tenant (admitted or not).
+    pub requests_total: AtomicU64,
+    /// Requests refused with a quota/cap admission error.
+    pub rejected_total: AtomicU64,
+    /// Instances solved successfully on this tenant's engine.
+    pub solved_total: AtomicU64,
+    /// Instances whose solve returned a genuine error.
+    pub failed_total: AtomicU64,
+    /// Instances skipped by cancellation (deadline budget or client
+    /// disconnect).
+    pub cancelled_total: AtomicU64,
+}
+
+impl TenantStats {
+    /// Folds one request's solve outcome into the counters.
+    pub fn record(&self, solved: u64, failed: u64, cancelled: u64) {
+        self.solved_total.fetch_add(solved, Ordering::Relaxed);
+        self.failed_total.fetch_add(failed, Ordering::Relaxed);
+        self.cancelled_total.fetch_add(cancelled, Ordering::Relaxed);
+    }
+}
+
+/// One tenant's executable policy: its [`Batch`] engine over its own
+/// (or the shared) worker pool, admission slots, and live statistics.
+///
+/// `TenantExec` is `Send + Sync`; one instance serves every connection
+/// handler concurrently.
+pub struct TenantExec {
+    policy: ExecPolicy,
+    batch: Batch,
+    in_flight: AtomicUsize,
+    stats: TenantStats,
+}
+
+impl TenantExec {
+    /// Builds the tenant's engine: a **dedicated**
+    /// [`WorkerPool::with_parallelism`] pool when the policy budgets
+    /// threads (structural isolation — its sweeps can never occupy
+    /// another tenant's workers), otherwise the supplied shared
+    /// fallback pool.
+    pub fn new(policy: ExecPolicy, fallback: Arc<WorkerPool>) -> TenantExec {
+        let pool = match policy.threads {
+            Some(threads) => Arc::new(WorkerPool::with_parallelism(threads)),
+            None => fallback,
+        };
+        let batch = Batch::new(policy.registry.clone()).with_pool(pool);
+        TenantExec { policy, batch, in_flight: AtomicUsize::new(0), stats: TenantStats::default() }
+    }
+
+    /// The policy this tenant executes under.
+    pub fn policy(&self) -> &ExecPolicy {
+        &self.policy
+    }
+
+    /// The tenant's batch engine (registry + pool per the policy).
+    pub fn batch(&self) -> &Batch {
+        &self.batch
+    }
+
+    /// Live per-tenant counters.
+    pub fn stats(&self) -> &TenantStats {
+        &self.stats
+    }
+
+    /// Currently admitted (in-flight) requests — the live queue-depth
+    /// gauge behind `/metrics`.
+    pub fn queue_depth(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Takes one admission slot, or refuses with
+    /// [`AdmissionError::QuotaExhausted`] when the quota is spent. The
+    /// returned guard releases the slot on drop — including on panic —
+    /// so refusal is always transient.
+    pub fn admit(&self) -> Result<AdmitGuard<'_>, AdmissionError> {
+        let quota = self.policy.quota.unwrap_or(usize::MAX);
+        let mut current = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            if current >= quota {
+                self.stats.rejected_total.fetch_add(1, Ordering::Relaxed);
+                return Err(AdmissionError::QuotaExhausted {
+                    tenant: self.policy.name.clone(),
+                    quota,
+                });
+            }
+            match self.in_flight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(AdmitGuard { exec: self }),
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Checks a request's instance count against the tenant's cap (the
+    /// service-wide cap still applies on top).
+    pub fn check_instances(&self, requested: usize) -> Result<(), AdmissionError> {
+        match self.policy.max_instances {
+            Some(cap) if requested > cap => {
+                self.stats.rejected_total.fetch_add(1, Ordering::Relaxed);
+                Err(AdmissionError::TooManyInstances {
+                    tenant: self.policy.name.clone(),
+                    requested,
+                    cap,
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// A fresh cancellation token for one request, with the policy's
+    /// deadline budget armed (if any). Hand it to
+    /// [`Batch::solve_all_cancellable`] and to whatever watches the
+    /// client connection.
+    pub fn cancel_token(&self) -> CancelToken {
+        match self.policy.deadline {
+            Some(budget) => CancelToken::with_budget(budget),
+            None => CancelToken::new(),
+        }
+    }
+}
+
+impl fmt::Debug for TenantExec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TenantExec")
+            .field("name", &self.policy.name)
+            .field("threads", &self.policy.threads)
+            .field("quota", &self.policy.quota)
+            .field("queue_depth", &self.queue_depth())
+            .finish()
+    }
+}
+
+/// An RAII admission slot from [`TenantExec::admit`].
+#[must_use = "dropping the guard releases the admission slot immediately"]
+#[derive(Debug)]
+pub struct AdmitGuard<'a> {
+    exec: &'a TenantExec,
+}
+
+impl Drop for AdmitGuard<'_> {
+    fn drop(&mut self) {
+        self.exec.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet;
+    use mst_sim::shared_pool;
+
+    fn policy() -> ExecPolicy {
+        ExecPolicy::new("t", SolverRegistry::global().clone())
+    }
+
+    #[test]
+    fn quota_slots_are_taken_released_and_reusable() {
+        let exec = TenantExec::new(policy().quota(2), shared_pool());
+        let a = exec.admit().unwrap();
+        let b = exec.admit().unwrap();
+        assert_eq!(exec.queue_depth(), 2);
+        let refused = exec.admit().unwrap_err();
+        assert!(matches!(refused, AdmissionError::QuotaExhausted { quota: 2, .. }), "{refused}");
+        assert_eq!(exec.stats().rejected_total.load(Ordering::Relaxed), 1);
+        drop(a);
+        // Releasing one slot re-admits immediately: refusal is transient.
+        let c = exec.admit().unwrap();
+        assert_eq!(exec.queue_depth(), 2);
+        drop(b);
+        drop(c);
+        assert_eq!(exec.queue_depth(), 0);
+        // No quota admits without bound.
+        let open = TenantExec::new(policy(), shared_pool());
+        let guards: Vec<_> = (0..64).map(|_| open.admit().unwrap()).collect();
+        assert_eq!(open.queue_depth(), 64);
+        drop(guards);
+    }
+
+    #[test]
+    fn instance_caps_refuse_oversized_requests() {
+        let exec = TenantExec::new(policy().max_instances(10), shared_pool());
+        assert!(exec.check_instances(10).is_ok());
+        let refused = exec.check_instances(11).unwrap_err();
+        assert!(
+            matches!(refused, AdmissionError::TooManyInstances { requested: 11, cap: 10, .. }),
+            "{refused}"
+        );
+        // Uncapped tenants defer to the service-wide cap.
+        let open = TenantExec::new(policy(), shared_pool());
+        assert!(open.check_instances(usize::MAX).is_ok());
+    }
+
+    #[test]
+    fn thread_budgets_build_dedicated_pools() {
+        let dedicated = TenantExec::new(policy().threads(3), shared_pool());
+        assert_eq!(dedicated.batch().pool().workers(), 2, "threads counts the caller");
+        assert!(!Arc::ptr_eq(dedicated.batch().pool(), &shared_pool()));
+        // threads: 1 is the fully inline pool — structural single-core.
+        let inline = TenantExec::new(policy().threads(1), shared_pool());
+        assert_eq!(inline.batch().pool().workers(), 0);
+        // No budget shares the fallback.
+        let fallback = TenantExec::new(policy(), shared_pool());
+        assert!(Arc::ptr_eq(fallback.batch().pool(), &shared_pool()));
+    }
+
+    #[test]
+    fn deadline_budgets_cancel_sweeps_midway() {
+        let exec =
+            TenantExec::new(policy().threads(1).deadline(Duration::from_millis(30)), shared_pool());
+        let instances = fleet::mixed_fleet(200_000);
+        let started = std::time::Instant::now();
+        let results = exec.batch().solve_all_cancellable(&instances, &exec.cancel_token());
+        let summary = crate::BatchSummary::of(&results);
+        assert!(
+            started.elapsed() < Duration::from_secs(20),
+            "a budgeted sweep must return promptly, took {:?}",
+            started.elapsed()
+        );
+        assert!(summary.cancelled > 0, "the 30ms budget cannot cover 200k instances");
+        assert!(summary.solved > 0, "instances before the deadline did solve");
+        assert_eq!(summary.failed, 0);
+        // The engine is fully reusable after a cancelled sweep.
+        let again = exec.batch().solve_all(&instances[..64]);
+        assert!(again.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn policies_resolve_from_config_limits() {
+        let limits = TenantLimits {
+            token: Some("key".into()),
+            threads: Some(2),
+            quota: Some(3),
+            max_instances: Some(1000),
+            deadline_ms: Some(250),
+        };
+        let p = ExecPolicy::from_limits("acme", SolverRegistry::global().clone(), &limits);
+        assert_eq!(p.effective_token(), "key");
+        assert_eq!(p.threads, Some(2));
+        assert_eq!(p.quota, Some(3));
+        assert_eq!(p.max_instances, Some(1000));
+        assert_eq!(p.deadline, Some(Duration::from_millis(250)));
+        // The name is the fallback token.
+        let bare = ExecPolicy::new("acme", SolverRegistry::global().clone());
+        assert_eq!(bare.effective_token(), "acme");
+        let token = TenantExec::new(bare, shared_pool()).cancel_token();
+        assert!(token.deadline().is_none(), "no budget, no deadline");
+    }
+}

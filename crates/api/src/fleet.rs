@@ -1,0 +1,185 @@
+//! Shared instance-fleet generators: one definition for every seeded
+//! sweep in the workspace.
+//!
+//! Three call sites used to roll their own generator loops — the
+//! `/batch` endpoint's `"generate"` spec in `mst-serve`, the `mst
+//! batch` CLI command, and the `mst-bench` perf tracker — and two of
+//! them drifted once already. They now all call this module, so a
+//! seeded spec names the same instance stream everywhere: a fleet
+//! benchmarked by `bench` is byte-for-byte the fleet a `/batch` request
+//! with the same parameters solves.
+//!
+//! * [`SweepSpec`] — a uniform sweep: one topology, one heterogeneity
+//!   profile, consecutive seeds (what `/batch {"generate": ...}` and
+//!   `mst batch` describe);
+//! * [`mixed_fleet`] — the benchmark's reproducible mixed workload:
+//!   chains/forks/spiders/trees rotating through every profile;
+//! * [`exact_tree_fleet`] — small general trees sized for the `exact`
+//!   branch-and-bound (exponential in the task count).
+
+use crate::instance::Instance;
+use crate::platform::TopologyKind;
+use mst_platform::HeterogeneityProfile;
+
+/// A uniform seeded sweep: `count` instances of one `(kind, profile,
+/// size, tasks)` shape with seeds `seed..seed + count`.
+///
+/// ```
+/// use mst_api::fleet::SweepSpec;
+/// use mst_api::TopologyKind;
+///
+/// let spec = SweepSpec::new(TopologyKind::Chain, 8).tasks(6).size(3);
+/// let instances = spec.instances();
+/// assert_eq!(instances.len(), 8);
+/// // The spec is deterministic: the same parameters regenerate the
+/// // same instances, wherever they are evaluated.
+/// assert_eq!(instances, spec.instances());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Topology family of every generated instance.
+    pub kind: TopologyKind,
+    /// Number of instances (seeds `seed..seed + count`).
+    pub count: u64,
+    /// Platform size (processors / nodes).
+    pub size: usize,
+    /// Task budget per instance.
+    pub tasks: usize,
+    /// Heterogeneity profile of every platform.
+    pub profile: HeterogeneityProfile,
+    /// First seed of the sweep.
+    pub seed: u64,
+}
+
+impl SweepSpec {
+    /// A spec with the workspace-wide defaults: size 4, 8 tasks, the
+    /// `uniform` profile, seed 0 — the same defaults the `/batch`
+    /// generator spec and `mst batch` document.
+    pub fn new(kind: TopologyKind, count: u64) -> SweepSpec {
+        SweepSpec { kind, count, size: 4, tasks: 8, profile: HeterogeneityProfile::ALL[0], seed: 0 }
+    }
+
+    /// Sets the platform size (processors / nodes; clamped to ≥ 1).
+    pub fn size(mut self, size: usize) -> SweepSpec {
+        self.size = size.max(1);
+        self
+    }
+
+    /// Sets the per-instance task budget (clamped to ≥ 1).
+    pub fn tasks(mut self, tasks: usize) -> SweepSpec {
+        self.tasks = tasks.max(1);
+        self
+    }
+
+    /// Sets the heterogeneity profile.
+    pub fn profile(mut self, profile: HeterogeneityProfile) -> SweepSpec {
+        self.profile = profile;
+        self
+    }
+
+    /// Sets the first seed.
+    pub fn seed(mut self, seed: u64) -> SweepSpec {
+        self.seed = seed;
+        self
+    }
+
+    /// Materialises the sweep.
+    pub fn instances(&self) -> Vec<Instance> {
+        (0..self.count)
+            .map(|i| {
+                Instance::generate(self.kind, self.profile, self.seed + i, self.size, self.tasks)
+            })
+            .collect()
+    }
+}
+
+/// The reproducible mixed fleet every batch benchmark uses: chains,
+/// forks, spiders and general trees rotating over all five
+/// heterogeneity profiles, sizes 1..=5 and task budgets 1..=9 (trees
+/// route through the spider-cover heuristic under the default
+/// `optimal` solver). This is the exact stream behind the committed
+/// `BENCH_batch.json` throughput keys — change it and the baseline
+/// must be regenerated.
+pub fn mixed_fleet(count: u64) -> Vec<Instance> {
+    (0..count)
+        .map(|seed| {
+            let kind =
+                [TopologyKind::Chain, TopologyKind::Fork, TopologyKind::Spider, TopologyKind::Tree]
+                    [(seed % 4) as usize];
+            Instance::generate(
+                kind,
+                HeterogeneityProfile::ALL[(seed % 5) as usize],
+                seed,
+                1 + (seed % 5) as usize,
+                1 + (seed % 9) as usize,
+            )
+        })
+        .collect()
+}
+
+/// Small general trees for the `exact` branch-and-bound sweep: the
+/// search is exponential in the task count, so sizes stay in the
+/// validation-experiment regime (2..=4 nodes, 1..=5 tasks) — the point
+/// is to guard the witness-reconstruction path, not to race the
+/// heuristics.
+pub fn exact_tree_fleet(count: u64) -> Vec<Instance> {
+    (0..count)
+        .map(|seed| {
+            Instance::generate(
+                TopologyKind::Tree,
+                HeterogeneityProfile::ALL[(seed % 5) as usize],
+                seed,
+                2 + (seed % 3) as usize,
+                1 + (seed % 5) as usize,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Batch;
+
+    #[test]
+    fn sweep_specs_are_deterministic_and_honour_every_knob() {
+        let spec = SweepSpec::new(TopologyKind::Spider, 6)
+            .size(3)
+            .tasks(5)
+            .profile(HeterogeneityProfile::ALL[2])
+            .seed(41);
+        let a = spec.instances();
+        assert_eq!(a.len(), 6);
+        assert_eq!(a, spec.instances());
+        for (i, instance) in a.iter().enumerate() {
+            assert_eq!(instance.tasks, 5);
+            // Same (kind, profile, seed, size) mapping as Instance::generate.
+            let direct = Instance::generate(
+                TopologyKind::Spider,
+                HeterogeneityProfile::ALL[2],
+                41 + i as u64,
+                3,
+                5,
+            );
+            assert_eq!(*instance, direct);
+        }
+        // Degenerate sizes clamp instead of panicking downstream.
+        let clamped = SweepSpec::new(TopologyKind::Chain, 1).size(0).tasks(0);
+        assert_eq!((clamped.size, clamped.tasks), (1, 1));
+    }
+
+    #[test]
+    fn shared_fleets_solve_cleanly() {
+        let fleet = mixed_fleet(40);
+        assert_eq!(fleet.len(), 40);
+        let kinds: std::collections::BTreeSet<&str> =
+            fleet.iter().map(|i| i.platform.kind().name()).collect();
+        assert_eq!(kinds.len(), 4, "all four topologies appear: {kinds:?}");
+        assert!(Batch::default().solve_all(&fleet).iter().all(|r| r.is_ok()));
+
+        let trees = exact_tree_fleet(10);
+        assert!(trees.iter().all(|i| i.platform.kind() == TopologyKind::Tree));
+        let exact = Batch::default().with_solver("exact");
+        assert!(exact.solve_all(&trees).iter().all(|r| r.is_ok()));
+    }
+}

@@ -20,7 +20,15 @@
 //!   over the per-topology schedule structs, checked by the single
 //!   [`verify`] oracle;
 //! * [`Batch`] — `Batch::new(registry).solve_all(&instances)` sweeps
-//!   instance sets across all cores;
+//!   instance sets across all cores, with cooperative cancellation
+//!   checkpoints ([`Batch::solve_all_cancellable`]);
+//! * [`exec`] — execution policies: [`exec::ExecPolicy`] bundles a
+//!   registry with thread budgets, admission quotas and deadline
+//!   budgets; [`exec::TenantExec`] makes it executable (dedicated or
+//!   shared worker pool, RAII admission slots, live stats) — the
+//!   multi-tenant layer behind `mst serve`;
+//! * [`fleet`] — the shared seeded instance-fleet generators behind
+//!   `/batch {"generate": ...}`, `mst batch` and the benchmark;
 //! * [`wire`] — the dependency-free JSON codec carrying instances,
 //!   solutions and errors over the `mst-serve` HTTP front-end.
 //!
@@ -45,6 +53,8 @@
 pub mod batch;
 pub mod config;
 pub mod error;
+pub mod exec;
+pub mod fleet;
 pub mod instance;
 pub mod platform;
 pub mod registry;
@@ -54,8 +64,9 @@ pub mod solvers;
 pub mod wire;
 
 pub use batch::{Batch, BatchSummary};
-pub use config::{ConfigError, RegistrySet};
+pub use config::{ConfigError, RegistrySet, TenantLimits};
 pub use error::SolveError;
+pub use exec::{AdmissionError, AdmitGuard, ExecPolicy, TenantExec, TenantStats};
 pub use instance::Instance;
 pub use platform::{Platform, TopologyKind};
 pub use registry::SolverRegistry;

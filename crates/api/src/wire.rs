@@ -598,6 +598,7 @@ pub fn error_kind(error: &SolveError) -> &'static str {
         SolveError::ZeroTasks => "zero-tasks",
         SolveError::Platform(_) => "invalid-platform",
         SolveError::MalformedSolution { .. } => "malformed-solution",
+        SolveError::Cancelled => "cancelled",
     }
 }
 

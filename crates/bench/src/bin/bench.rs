@@ -36,51 +36,13 @@
 //! The JSON is flat `{"key": number}` pairs — no serde dependency, just
 //! formatted text (read back via `mst_api::wire::Json`).
 
+use mst_api::fleet::{exact_tree_fleet, mixed_fleet};
 use mst_api::wire::Json;
-use mst_api::{Batch, Instance, SolverRegistry, TopologyKind};
+use mst_api::{Batch, SolverRegistry};
 use mst_fork::{max_tasks_fork_by_deadline, schedule_fork};
 use mst_platform::{GeneratorConfig, HeterogeneityProfile};
 use std::hint::black_box;
 use std::time::Instant;
-
-/// The reproducible mixed fleet every batch measurement uses: chains,
-/// forks, spiders and general trees over all five heterogeneity
-/// profiles (trees route through the spider-cover heuristic under the
-/// default `optimal` solver).
-fn fleet(count: u64) -> Vec<Instance> {
-    (0..count)
-        .map(|seed| {
-            let kind =
-                [TopologyKind::Chain, TopologyKind::Fork, TopologyKind::Spider, TopologyKind::Tree]
-                    [(seed % 4) as usize];
-            Instance::generate(
-                kind,
-                HeterogeneityProfile::ALL[(seed % 5) as usize],
-                seed,
-                1 + (seed % 5) as usize,
-                1 + (seed % 9) as usize,
-            )
-        })
-        .collect()
-}
-
-/// Small general trees for the `exact` branch-and-bound sweep: the
-/// search is exponential in the task count, so sizes stay in the
-/// validation-experiment regime (the point is to guard the witness
-/// reconstruction path, not to race the heuristics).
-fn exact_tree_fleet(count: u64) -> Vec<Instance> {
-    (0..count)
-        .map(|seed| {
-            Instance::generate(
-                TopologyKind::Tree,
-                HeterogeneityProfile::ALL[(seed % 5) as usize],
-                seed,
-                2 + (seed % 3) as usize, // 2..=4 nodes
-                1 + (seed % 5) as usize, // 1..=5 tasks
-            )
-        })
-        .collect()
-}
 
 /// Median of `runs` timings of `f`, in seconds.
 fn median_secs<F: FnMut()>(runs: usize, mut f: F) -> f64 {
@@ -151,8 +113,10 @@ fn main() {
     let (instances_n, runs, expansion_iters) =
         if smoke { (500u64, 3, 200u64) } else { (10_000u64, 5, 5_000u64) };
 
-    // --- Batch throughput: solve_all over the mixed fleet. -------------
-    let instances = fleet(instances_n);
+    // --- Batch throughput: solve_all over the shared mixed fleet
+    // (`mst_api::fleet::mixed_fleet` — the same stream the service's
+    // `/batch` generator path builds on). ------------------------------
+    let instances = mixed_fleet(instances_n);
     let batch = Batch::new(SolverRegistry::with_defaults());
     // Warm-up pass (pool construction, page faults) before measuring.
     let warm = batch.solve_all(&instances);

@@ -33,6 +33,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "diff" => cmd_diff(args),
         "curve" => cmd_curve(args),
         "solvers" => cmd_solvers(args),
+        "tenants" => cmd_tenants(args),
         "batch" => cmd_batch(args),
         "serve" => cmd_serve(args),
         "" | "help" | "--help" => Ok(usage()),
@@ -54,6 +55,10 @@ USAGE:
         List the solver registry: names, topologies, deadline support.
         --config loads a JSON registry config (overlays, aliases,
         restrictions); --registry picks one of its named registries.
+    mst tenants [--config FILE]
+        Inspect the resolved execution policies of a tenant config:
+        API token, thread budget, admission quota, per-request caps,
+        deadline budget and solver count per tenant.
     mst batch <chain|fork|spider|tree> --count K --tasks N [--size P]
               [--solver NAME] [--profile NAME] [--deadline T]
         Generate K seeded instances and sweep them across all cores.
@@ -227,6 +232,38 @@ fn cmd_solvers(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+fn cmd_tenants(args: &Args) -> Result<String, String> {
+    let set = load_registry_set(args, "config")?.unwrap_or_else(mst_api::RegistrySet::builtin);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<14} {:<16} {:<8} {:<6} {:<14} {:<12} solvers",
+        "tenant", "token", "threads", "quota", "max-instances", "deadline-ms"
+    )
+    .unwrap();
+    let fmt_opt = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |n| n.to_string());
+    let mut row =
+        |name: &str, registry: &mst_api::SolverRegistry, limits: &mst_api::TenantLimits| {
+            writeln!(
+                out,
+                "{:<14} {:<16} {:<8} {:<6} {:<14} {:<12} {}",
+                name,
+                limits.token.as_deref().unwrap_or(if name == "default" { "-" } else { name }),
+                limits.threads.map_or_else(|| "shared".to_string(), |n| n.to_string()),
+                fmt_opt(limits.quota.map(|n| n as u64)),
+                fmt_opt(limits.max_instances.map(|n| n as u64)),
+                fmt_opt(limits.deadline_ms),
+                registry.len(),
+            )
+            .unwrap();
+        };
+    row("default", set.default_registry(), set.default_limits());
+    for (name, registry, limits) in set.tenants() {
+        row(name, registry, limits);
+    }
+    Ok(out)
+}
+
 fn topology_by_name(name: &str) -> Result<TopologyKind, String> {
     TopologyKind::ALL
         .into_iter()
@@ -242,8 +279,13 @@ fn cmd_batch(args: &Args) -> Result<String, String> {
     let solver_name = args.opt("solver").unwrap_or("optimal").to_string();
     let profile = profile_by_name(args.opt("profile").unwrap_or("uniform"))?;
 
-    let instances: Vec<Instance> =
-        (0..count).map(|seed| Instance::generate(kind, profile, seed, size, tasks)).collect();
+    // The same shared generator the `/batch` endpoint and the benchmark
+    // use (`mst_api::fleet`), so a CLI sweep names the same instances.
+    let instances = mst_api::fleet::SweepSpec::new(kind, count)
+        .size(size)
+        .tasks(tasks)
+        .profile(profile)
+        .instances();
     let batch = Batch::default().with_solver(&solver_name);
     let started = std::time::Instant::now();
     let results = if args.opt("deadline").is_some() {
@@ -637,6 +679,40 @@ mod tests {
         let bad = tmp("solvers-bad.json", r#"{"solvers": [{"solver": "warp-drive"}]}"#);
         let err = run_line(&format!("solvers --config {}", bad.display())).unwrap_err();
         assert!(err.contains("unknown solver constructor"), "{err}");
+    }
+
+    #[test]
+    fn tenants_command_prints_resolved_policies() {
+        let config = tmp(
+            "tenants.json",
+            r#"{
+                "registries": {
+                    "acme": {
+                        "only": ["optimal", "exact"],
+                        "token": "acme-secret",
+                        "threads": 2,
+                        "quota": 4,
+                        "deadline_ms": 2000
+                    },
+                    "lab": {"base": "empty", "solvers": [{"solver": "optimal"}]}
+                }
+            }"#,
+        );
+        let out = run_line(&format!("tenants --config {}", config.display())).unwrap();
+        assert!(out.contains("acme"), "{out}");
+        assert!(out.contains("acme-secret"), "{out}");
+        assert!(out.lines().any(|l| l.starts_with("acme") && l.contains("2000")), "{out}");
+        // The unbudgeted tenant falls back to its name as token and the
+        // shared pool.
+        assert!(out.lines().any(|l| l.starts_with("lab") && l.contains("shared")), "{out}");
+        assert!(out.lines().any(|l| l.starts_with("default")), "{out}");
+        // Without --config the builtin default policy is the only row.
+        let bare = run_line("tenants").unwrap();
+        assert!(bare.lines().any(|l| l.starts_with("default") && l.contains("shared")), "{bare}");
+        // A broken config fails loudly.
+        let bad = tmp("tenants-bad.json", r#"{"registries": {"a": {"threads": 0}}}"#);
+        let err = run_line(&format!("tenants --config {}", bad.display())).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
     }
 
     #[test]

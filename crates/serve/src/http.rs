@@ -32,6 +32,9 @@ pub struct Request {
     pub path: String,
     /// The raw query string (without the `?`; empty when absent).
     pub query: String,
+    /// All request headers as `(lower-cased name, trimmed value)`
+    /// pairs, in arrival order.
+    pub headers: Vec<(String, String)>,
     /// Raw body bytes (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
     /// Whether the client may reuse the connection after the response:
@@ -49,6 +52,13 @@ impl Request {
             .filter_map(|pair| pair.split_once('='))
             .find(|(k, _)| *k == key)
             .map(|(_, v)| v)
+    }
+
+    /// The value of header `name` (case-insensitive, first occurrence)
+    /// — e.g. the `X-Api-Token` tenant routing header.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
     }
 }
 
@@ -179,6 +189,7 @@ impl RequestReader {
         // HTTP/1.1 keeps the connection alive by default; 1.0 closes.
         let mut keep_alive = version != "HTTP/1.0";
         let mut content_length = 0usize;
+        let mut headers = Vec::new();
         for line in lines {
             let Some((name, value)) = line.split_once(':') else { continue };
             let name = name.trim().to_ascii_lowercase();
@@ -198,6 +209,7 @@ impl RequestReader {
                     keep_alive = true;
                 }
             }
+            headers.push((name, value.to_string()));
         }
         if content_length > max_body {
             return Err(HttpError::PayloadTooLarge(max_body));
@@ -220,7 +232,7 @@ impl RequestReader {
             body.extend_from_slice(&chunk[..n]);
             remaining -= n;
         }
-        Ok(Request { method, path, query, body, keep_alive })
+        Ok(Request { method, path, query, headers, body, keep_alive })
     }
 }
 
@@ -234,19 +246,30 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// An HTTP response: a status code and a JSON body.
+/// An HTTP response: a status code, a JSON body and optional extra
+/// headers (currently `Retry-After`, for 429/503 refusals).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// Status code (200, 400, ...).
     pub status: u16,
     /// The serialized JSON body.
     pub body: String,
+    /// When set, a `Retry-After: N` header (seconds) telling refused
+    /// clients how long to back off — quota/overload refusals are
+    /// transient and should say so.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
     /// A JSON response with the given status.
     pub fn json(status: u16, body: impl std::fmt::Display) -> Response {
-        Response { status, body: body.to_string() }
+        Response { status, body: body.to_string(), retry_after: None }
+    }
+
+    /// Attaches a `Retry-After` header (seconds).
+    pub fn with_retry_after(mut self, secs: u64) -> Response {
+        self.retry_after = Some(secs);
+        self
     }
 
     /// The standard reason phrase for this response's status.
@@ -254,10 +277,12 @@ impl Response {
         match self.status {
             200 => "OK",
             400 => "Bad Request",
+            401 => "Unauthorized",
             404 => "Not Found",
             405 => "Method Not Allowed",
             408 => "Request Timeout",
             413 => "Payload Too Large",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "Unknown",
@@ -278,16 +303,67 @@ impl Response {
         stream: &mut impl Write,
         keep_alive: bool,
     ) -> std::io::Result<()> {
+        let retry_after = match self.retry_after {
+            Some(secs) => format!("Retry-After: {secs}\r\n"),
+            None => String::new(),
+        };
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n{}",
             self.status,
             self.reason(),
             self.body.len(),
+            retry_after,
             if keep_alive { "keep-alive" } else { "close" },
             self.body
         )?;
         stream.flush()
+    }
+}
+
+/// A chunked (`Transfer-Encoding: chunked`) response body writer, for
+/// replies whose length is unknown up front — the streamed `/batch`
+/// per-instance results. The server writes one NDJSON line per
+/// instance as it is solved, so a large sweep never materialises its
+/// whole response in memory and a disconnected client is noticed at
+/// the next write instead of after the full solve.
+///
+/// Write the head with [`ChunkedWriter::begin`], then any number of
+/// [`ChunkedWriter::chunk`] calls, then [`ChunkedWriter::finish`]. Any
+/// `Err` means the peer is gone — the caller should cancel the
+/// remaining work and drop the connection.
+#[derive(Debug)]
+pub struct ChunkedWriter<W: Write> {
+    stream: W,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Writes the response head (status 200, NDJSON content type,
+    /// `Connection: close`) and returns the writer.
+    pub fn begin(mut stream: W) -> std::io::Result<ChunkedWriter<W>> {
+        write!(
+            stream,
+            "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+        )?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Writes one chunk (empty input writes nothing — an empty HTTP
+    /// chunk would terminate the body).
+    pub fn chunk(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", bytes.len())?;
+        self.stream.write_all(bytes)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminates the chunked body.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
     }
 }
 
@@ -385,6 +461,44 @@ mod tests {
         assert_eq!(HttpError::PayloadTooLarge(1).status(), 413);
         assert_eq!(HttpError::Timeout.status(), 408);
         assert_eq!(HttpError::Disconnected.status(), 400);
+    }
+
+    #[test]
+    fn headers_are_kept_and_case_insensitive() {
+        let req = parse(b"GET / HTTP/1.1\r\nX-Api-Token:  acme-key \r\nHost: h\r\n\r\n").unwrap();
+        assert_eq!(req.header("x-api-token"), Some("acme-key"));
+        assert_eq!(req.header("X-Api-Token"), Some("acme-key"));
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.header("absent"), None);
+    }
+
+    #[test]
+    fn retry_after_is_emitted_when_set() {
+        let mut out = Vec::new();
+        Response::json(429, "{}").with_retry_after(2).write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 2\r\n"), "{text}");
+        // Unset means no header at all.
+        let mut out = Vec::new();
+        Response::json(200, "{}").write_to(&mut out).unwrap();
+        assert!(!String::from_utf8(out).unwrap().contains("Retry-After"));
+    }
+
+    #[test]
+    fn chunked_writer_frames_chunks_and_terminates() {
+        let mut out = Vec::new();
+        let mut writer = ChunkedWriter::begin(&mut out).unwrap();
+        writer.chunk(b"{\"a\":1}\n").unwrap();
+        writer.chunk(b"").unwrap(); // empty chunks are suppressed
+        writer.chunk(b"{\"b\":2}\n").unwrap();
+        writer.finish().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Transfer-Encoding: chunked"), "{text}");
+        assert!(text.contains("Connection: close"), "{text}");
+        assert!(text.contains("8\r\n{\"a\":1}\n\r\n"), "{text}");
+        assert!(text.ends_with("0\r\n\r\n"), "{text}");
     }
 
     #[test]

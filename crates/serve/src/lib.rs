@@ -8,19 +8,27 @@
 //! connection) and solving fans out through the same persistent
 //! [`mst_sim::WorkerPool`] the library's [`mst_api::Batch`] engine
 //! uses, so service traffic inherits every hot-path optimisation for
-//! free. With `--solvers-config`, requests can pin per-tenant solver
-//! registries (see [`mst_api::config`]).
+//! free. With `--solvers-config`, tenant specs become full **execution
+//! policies** ([`mst_api::exec`]): requests carrying an `X-Api-Token`
+//! header run under their tenant's solver registry, dedicated worker
+//! pool, admission quota (429 + `Retry-After` on exhaustion) and
+//! deadline budget, with client-disconnect cancellation and streamed
+//! batch results on top (see [`mst_api::config`]).
 //!
 //! Endpoints:
 //!
 //! * `GET /healthz` — liveness and uptime;
 //! * `GET /solvers` — the registry listing (names, topologies, `T_lim`
 //!   support);
-//! * `GET /metrics` — request/solve counters and instances/s;
+//! * `GET /metrics` — global and per-tenant counters, live queue
+//!   depth, instances/s;
+//! * `GET /tenants` — the resolved execution policies (token values
+//!   masked);
 //! * `POST /solve` — one instance, solver selectable by registry name,
 //!   optional deadline and oracle verification;
 //! * `POST /batch` — an instance sweep (explicit list or generator
-//!   spec) through the worker pool.
+//!   spec) through the worker pool, chunk-cancellable, optionally
+//!   streamed as NDJSON (`"stream": true`).
 //!
 //! Requests and responses use the JSON wire codec of [`mst_api::wire`];
 //! failures are structured `{"error": {"kind", "message"}}` bodies.

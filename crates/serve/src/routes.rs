@@ -1,13 +1,14 @@
 //! Endpoint routing and handlers: the service surface over the pooled
-//! [`Batch`](mst_api::Batch) engine.
+//! [`Batch`] engine.
 //!
-//! | Endpoint        | Body                                             |
-//! |-----------------|--------------------------------------------------|
-//! | `GET /healthz`  | liveness + uptime                                |
-//! | `GET /solvers`  | the solver registry (names, topologies, T_lim)   |
-//! | `GET /metrics`  | request/solve counters + instances/s             |
-//! | `POST /solve`   | one instance, solver selectable by registry name |
-//! | `POST /batch`   | an instance sweep through the worker pool        |
+//! | Endpoint        | Body                                              |
+//! |-----------------|---------------------------------------------------|
+//! | `GET /healthz`  | liveness + uptime                                 |
+//! | `GET /solvers`  | the solver registry (names, topologies, T_lim)    |
+//! | `GET /metrics`  | global + per-tenant counters, live queue depth    |
+//! | `GET /tenants`  | the resolved execution policies (tokens masked)   |
+//! | `POST /solve`   | one instance, solver selectable by registry name  |
+//! | `POST /batch`   | an instance sweep through the worker pool         |
 //!
 //! When the server was configured with named registries (`mst serve
 //! --solvers-config`), `/solve` and `/batch` accept a `"registry"` body
@@ -15,35 +16,78 @@
 //! `GET /solvers?registry=NAME` lists a tenant's view; unknown names
 //! answer 404 `unknown-registry` rather than silently falling back.
 //!
+//! Requests carrying an `X-Api-Token` header run under the matching
+//! tenant's **execution policy** ([`mst_api::exec`]): its registry,
+//! its dedicated worker pool, its admission quota (exhaustion answers
+//! 429 `quota-exhausted` with `Retry-After`), its per-request instance
+//! cap and its deadline budget. Unknown tokens answer 401
+//! `unknown-token`. `/batch` sweeps solve in chunks with cancellation
+//! checkpoints — a spent deadline budget or a disconnected client
+//! stops the remaining work — and `"stream": true` streams
+//! per-instance results as chunked NDJSON instead of buffering them.
+//!
 //! Every error is a structured JSON body `{"error": {"kind", "message"}}`
 //! with a 4xx status for client mistakes (malformed JSON, unknown
 //! solvers, oversized sweeps) and 5xx only for genuine server-side
 //! failures (an oracle-rejected solution, which would be a solver bug).
 
-use crate::http::{Request, Response};
+use crate::http::{ChunkedWriter, Request, Response};
 use crate::server::ServiceState;
+use mst_api::exec::{AdmissionError, TenantExec};
+use mst_api::fleet::SweepSpec;
 use mst_api::wire::{error_to_json, instance_from_json, solution_to_json, Json};
-use mst_api::{verify, BatchSummary, Instance, SolveError, TopologyKind};
+use mst_api::{verify, Batch, BatchSummary, Instance, Solution, SolveError, TopologyKind};
 use mst_platform::HeterogeneityProfile;
+use mst_sim::CancelToken;
+use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 use std::time::Instant;
 
-/// Dispatches one parsed request to its handler.
-pub fn route(request: &Request, state: &ServiceState) -> Response {
+/// How a request was answered: a buffered [`Response`] for the server
+/// loop to write, or already streamed to the client by the handler
+/// (chunked per-instance `/batch` results) — streamed connections
+/// always close.
+#[derive(Debug)]
+pub enum Routed {
+    /// Write this response (possibly keeping the connection).
+    Reply(Response),
+    /// The handler wrote a chunked response directly to the stream.
+    Streamed,
+}
+
+/// Dispatches one parsed request to its handler. `stream` is the
+/// client connection, when the caller can hand it over: the `/batch`
+/// handler uses it to probe for mid-request client disconnects and to
+/// stream large result sets; `None` (tests, embedding without a
+/// socket) degrades to fully buffered replies.
+pub fn route_on(request: &Request, state: &ServiceState, stream: Option<&mut TcpStream>) -> Routed {
     state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/") => index(),
-        ("GET", "/healthz") => healthz(state),
-        ("GET", "/solvers") => solvers(request, state),
-        ("GET", "/metrics") => metrics(state),
-        ("POST", "/solve") => solve(request, state),
-        ("POST", "/batch") => batch(request, state),
-        (_, "/" | "/healthz" | "/solvers" | "/metrics" | "/solve" | "/batch") => error_response(
-            405,
-            "method-not-allowed",
-            &format!("{} does not accept {}", request.path, request.method),
-        ),
-        (_, path) => error_response(404, "not-found", &format!("no endpoint {path}")),
+        ("GET", "/") => Routed::Reply(index()),
+        ("GET", "/healthz") => Routed::Reply(healthz(state)),
+        ("GET", "/solvers") => Routed::Reply(solvers(request, state)),
+        ("GET", "/metrics") => Routed::Reply(metrics(state)),
+        ("GET", "/tenants") => Routed::Reply(tenants(state)),
+        ("POST", "/solve") => Routed::Reply(solve(request, state)),
+        ("POST", "/batch") => batch(request, state, stream),
+        (_, "/" | "/healthz" | "/solvers" | "/metrics" | "/tenants" | "/solve" | "/batch") => {
+            Routed::Reply(error_response(
+                405,
+                "method-not-allowed",
+                &format!("{} does not accept {}", request.path, request.method),
+            ))
+        }
+        (_, path) => {
+            Routed::Reply(error_response(404, "not-found", &format!("no endpoint {path}")))
+        }
+    }
+}
+
+/// [`route_on`] without a client stream: every reply is buffered.
+pub fn route(request: &Request, state: &ServiceState) -> Response {
+    match route_on(request, state, None) {
+        Routed::Reply(response) => response,
+        Routed::Streamed => unreachable!("without a stream nothing can be streamed"),
     }
 }
 
@@ -69,6 +113,52 @@ fn solve_error_response(error: &SolveError) -> Response {
     Response::json(status, error_to_json(error))
 }
 
+/// Resolves the request's `X-Api-Token` header to the execution policy
+/// it runs under: the default tenant without a header, the matching
+/// named tenant otherwise. An unmatched token answers 401 rather than
+/// silently running as the default tenant, and a token combined with a
+/// `"registry"` body selector is rejected as ambiguous — the token
+/// already pins the registry.
+fn tenant_for<'a>(
+    request: &Request,
+    body: &Json,
+    state: &'a ServiceState,
+) -> Result<&'a TenantExec, Response> {
+    let token = request.header("x-api-token");
+    if token.is_some() && body.get("registry").is_some() {
+        return Err(error_response(
+            400,
+            "conflicting-selectors",
+            "a request cannot carry both an X-Api-Token header and a \"registry\" body field; \
+             the token already selects the tenant's registry",
+        ));
+    }
+    let tenant = state.tenant_for(token).map_err(|unknown| {
+        error_response(
+            401,
+            "unknown-token",
+            &format!("no tenant answers the API token {unknown:?}"),
+        )
+    })?;
+    tenant.stats().requests_total.fetch_add(1, Ordering::Relaxed);
+    Ok(tenant)
+}
+
+/// The refusal an [`AdmissionError`] maps to: quota exhaustion is 429
+/// with a `Retry-After` (the refusal is transient — slots free as
+/// in-flight requests finish), an oversized request is the client's
+/// mistake (400).
+fn admission_response(error: &AdmissionError) -> Response {
+    match error {
+        AdmissionError::QuotaExhausted { .. } => {
+            error_response(429, "quota-exhausted", &error.to_string()).with_retry_after(1)
+        }
+        AdmissionError::TooManyInstances { .. } => {
+            error_response(400, "too-many-instances", &error.to_string())
+        }
+    }
+}
+
 fn index() -> Response {
     Response::json(
         200,
@@ -77,10 +167,17 @@ fn index() -> Response {
             (
                 "endpoints",
                 Json::Arr(
-                    ["GET /healthz", "GET /solvers", "GET /metrics", "POST /solve", "POST /batch"]
-                        .iter()
-                        .map(|e| Json::str(*e))
-                        .collect(),
+                    [
+                        "GET /healthz",
+                        "GET /solvers",
+                        "GET /metrics",
+                        "GET /tenants",
+                        "POST /solve",
+                        "POST /batch",
+                    ]
+                    .iter()
+                    .map(|e| Json::str(*e))
+                    .collect(),
                 ),
             ),
         ]),
@@ -147,6 +244,30 @@ fn select_batch<'a>(body: &Json, state: &'a ServiceState) -> Result<&'a mst_api:
 fn metrics(state: &ServiceState) -> Response {
     let m = &state.metrics;
     let load = |c: &std::sync::atomic::AtomicU64| Json::int(c.load(Ordering::Relaxed) as i64);
+    let tenants: Vec<(String, Json)> = state
+        .execs()
+        .map(|tenant| {
+            let stats = tenant.stats();
+            (
+                tenant.policy().name.clone(),
+                Json::obj([
+                    ("requests_total", load(&stats.requests_total)),
+                    ("rejected_total", load(&stats.rejected_total)),
+                    ("solved_total", load(&stats.solved_total)),
+                    ("failed_total", load(&stats.failed_total)),
+                    ("cancelled_total", load(&stats.cancelled_total)),
+                    ("queue_depth", Json::int(tenant.queue_depth() as i64)),
+                    (
+                        "threads",
+                        match tenant.policy().threads {
+                            Some(threads) => Json::int(threads as i64),
+                            None => Json::Null,
+                        },
+                    ),
+                ]),
+            )
+        })
+        .collect();
     Response::json(
         200,
         Json::obj([
@@ -157,12 +278,49 @@ fn metrics(state: &ServiceState) -> Response {
             ("http_errors_total", load(&m.http_errors_total)),
             ("solved_total", load(&m.solved_total)),
             ("failed_total", load(&m.failed_total)),
+            ("cancelled_total", load(&m.cancelled_total)),
             ("solve_secs_total", Json::Num(m.solve_ns_total.load(Ordering::Relaxed) as f64 / 1e9)),
             ("instances_per_sec", Json::Num(m.instances_per_sec())),
+            ("queue_depth", Json::int(state.queue_depth() as i64)),
             ("pool_workers", Json::int(state.batch.pool().workers() as i64)),
             ("pool_jobs_submitted", Json::int(state.batch.pool().jobs_submitted() as i64)),
+            ("tenants", Json::Obj(tenants)),
         ]),
     )
+}
+
+/// `GET /tenants` — the resolved execution policies, for operators.
+/// Token *values* are deliberately not echoed (this endpoint is as
+/// public as the rest of the API); `"token"` only says whether a
+/// custom one is configured.
+fn tenants(state: &ServiceState) -> Response {
+    let list: Vec<Json> = state
+        .execs()
+        .map(|tenant| {
+            let policy = tenant.policy();
+            let opt_int = |v: Option<usize>| match v {
+                Some(n) => Json::int(n as i64),
+                None => Json::Null,
+            };
+            Json::obj([
+                ("name", Json::str(policy.name.clone())),
+                ("token", Json::Bool(policy.token.is_some())),
+                ("threads", opt_int(policy.threads)),
+                ("quota", opt_int(policy.quota)),
+                ("max_instances", opt_int(policy.max_instances)),
+                (
+                    "deadline_ms",
+                    match policy.deadline {
+                        Some(budget) => Json::int(budget.as_millis() as i64),
+                        None => Json::Null,
+                    },
+                ),
+                ("solvers", Json::int(policy.registry.len() as i64)),
+                ("queue_depth", Json::int(tenant.queue_depth() as i64)),
+            ])
+        })
+        .collect();
+    Response::json(200, Json::obj([("tenants", Json::Arr(list))]))
 }
 
 /// Parses the request body as a JSON object, with structured failures.
@@ -210,17 +368,29 @@ fn opt_flag(body: &Json, key: &str) -> Result<bool, Response> {
     }
 }
 
-/// `POST /solve` — one instance through a named solver.
+/// `POST /solve` — one instance through a named solver, under the
+/// requesting tenant's execution policy.
 ///
 /// Body: `{"platform": <text>, "tasks": N, "solver"?: name,
-/// "registry"?: name, "deadline"?: T, "verify"?: bool}`. With
-/// `"verify": true` the solution is checked by the [`verify`] oracle
-/// before it is returned and the response carries `"feasible": true` —
-/// an infeasible witness would be a solver bug and answers 500.
+/// "registry"?: name, "deadline"?: T, "verify"?: bool}`. An
+/// `X-Api-Token` header routes the request to its tenant (admission
+/// slots, registry); quota exhaustion answers 429 with `Retry-After`.
+/// With `"verify": true` the solution is checked by the [`verify`]
+/// oracle before it is returned and the response carries
+/// `"feasible": true` — an infeasible witness would be a solver bug
+/// and answers 500.
 fn solve(request: &Request, state: &ServiceState) -> Response {
     let body = match parse_body(request) {
         Ok(body) => body,
         Err(response) => return response,
+    };
+    let tenant = match tenant_for(request, &body, state) {
+        Ok(tenant) => tenant,
+        Err(response) => return response,
+    };
+    let _slot = match tenant.admit() {
+        Ok(slot) => slot,
+        Err(e) => return admission_response(&e),
     };
     let instance = match instance_from_json(&body) {
         Ok(instance) => instance,
@@ -234,9 +404,15 @@ fn solve(request: &Request, state: &ServiceState) -> Response {
             (Ok(s), Ok(d), Ok(v)) => (s.unwrap_or("optimal"), d, v),
             (Err(r), _, _) | (_, Err(r), _) | (_, _, Err(r)) => return r,
         };
-    let batch = match select_batch(&body, state) {
-        Ok(batch) => batch,
-        Err(response) => return response,
+    // Anonymous requests may still pin a configured registry by name
+    // (the pre-token selector); tokened requests already resolved one.
+    let batch = if request.header("x-api-token").is_some() {
+        tenant.batch()
+    } else {
+        match select_batch(&body, state) {
+            Ok(batch) => batch,
+            Err(response) => return response,
+        }
     };
     let registry = batch.registry();
     let started = Instant::now();
@@ -247,11 +423,13 @@ fn solve(request: &Request, state: &ServiceState) -> Response {
     let elapsed = started.elapsed();
     let solution = match result {
         Ok(solution) => {
-            state.metrics.record_solve(1, 0, elapsed);
+            state.metrics.record_solve(1, 0, 0, elapsed);
+            tenant.stats().record(1, 0, 0);
             solution
         }
         Err(e) => {
-            state.metrics.record_solve(0, 1, elapsed);
+            state.metrics.record_solve(0, 1, 0, elapsed);
+            tenant.stats().record(0, 1, 0);
             return solve_error_response(&e);
         }
     };
@@ -297,7 +475,16 @@ fn check_task_budget(instance: &Instance, state: &ServiceState) -> Result<(), Re
 /// Decodes the `/batch` instance set: either an explicit `"instances"`
 /// array or a `"generate"` sweep spec
 /// (`{"kind", "count", "size"?, "tasks"?, "profile"?, "seed"?}`).
-fn batch_instances(body: &Json, state: &ServiceState) -> Result<Vec<Instance>, Response> {
+///
+/// The requesting tenant's `max_instances` cap is checked against the
+/// *declared* count **before** anything is parsed or generated — a
+/// capped tenant must not be able to make the server materialise the
+/// full server-wide cap just to be refused.
+fn batch_instances(
+    body: &Json,
+    state: &ServiceState,
+    tenant: &TenantExec,
+) -> Result<Vec<Instance>, Response> {
     let cap = state.config.max_batch_instances;
     let too_many = |n: usize| {
         error_response(
@@ -313,6 +500,7 @@ fn batch_instances(body: &Json, state: &ServiceState) -> Result<Vec<Instance>, R
         if items.len() > cap {
             return Err(too_many(items.len()));
         }
+        tenant.check_instances(items.len()).map_err(|e| admission_response(&e))?;
         let mut instances = Vec::with_capacity(items.len());
         for (i, item) in items.iter().enumerate() {
             let instance = instance_from_json(item).map_err(|e| {
@@ -343,6 +531,7 @@ fn batch_instances(body: &Json, state: &ServiceState) -> Result<Vec<Instance>, R
     if count as usize > cap {
         return Err(too_many(count as usize));
     }
+    tenant.check_instances(count as usize).map_err(|e| admission_response(&e))?;
     let size = opt_int(spec, "size")?.unwrap_or(4).max(1) as usize;
     if size > state.config.max_platform_processors {
         return Err(error_response(
@@ -370,86 +559,248 @@ fn batch_instances(body: &Json, state: &ServiceState) -> Result<Vec<Instance>, R
     let profile = HeterogeneityProfile::by_name(profile_name).ok_or_else(|| {
         error_response(400, "bad-request", &format!("unknown profile {profile_name:?}"))
     })?;
-    Ok((0..count as u64)
-        .map(|i| Instance::generate(kind, profile, seed0 + i, size, tasks))
-        .collect())
+    // One shared generator for the whole workspace (`mst_api::fleet`):
+    // this spec names the same instance stream here, in `mst batch`
+    // and in the benchmark.
+    Ok(SweepSpec::new(kind, count as u64)
+        .size(size)
+        .tasks(tasks)
+        .profile(profile)
+        .seed(seed0)
+        .instances())
 }
 
-/// `POST /batch` — a sweep dispatched through the worker pool.
+/// Whether the peer of `stream` is gone: a non-blocking `peek` sees an
+/// orderly shutdown (`Ok(0)`) or a hard error; pipelined bytes or a
+/// clean `WouldBlock` mean the client is still there. The probe never
+/// consumes request bytes.
 ///
-/// Body: `{"instances": [...]} | {"generate": {...}}`, plus `"solver"?`,
-/// `"registry"?`, `"deadline"?`, `"verify"?` and `"include_results"?`.
-/// The response always carries the summary; per-instance solutions ride
-/// along only when `"include_results": true` (a 100k-instance sweep
-/// should not serialize 100k schedules by accident).
-fn batch(request: &Request, state: &ServiceState) -> Response {
-    let body = match parse_body(request) {
-        Ok(body) => body,
-        Err(response) => return response,
-    };
-    let instances = match batch_instances(&body, state) {
-        Ok(instances) => instances,
-        Err(response) => return response,
-    };
-    let (solver_name, deadline) = match (opt_str(&body, "solver"), opt_int(&body, "deadline")) {
-        (Ok(s), Ok(d)) => (s.unwrap_or("optimal"), d),
-        (Err(r), _) | (_, Err(r)) => return r,
-    };
-    let (check, include_results) =
-        match (opt_flag(&body, "verify"), opt_flag(&body, "include_results")) {
-            (Ok(c), Ok(i)) => (c, i),
-            (Err(r), _) | (_, Err(r)) => return r,
-        };
-    let tenant_batch = match select_batch(&body, state) {
-        Ok(batch) => batch,
-        Err(response) => return response,
-    };
-    // Resolve the name up front so an unknown solver is one 404, not a
-    // thousand per-instance errors.
-    if let Err(e) = tenant_batch.registry().resolve(solver_name) {
-        return solve_error_response(&e);
+/// Policy note: TCP cannot distinguish a closed connection from a
+/// half-close (`shutdown(SHUT_WR)`) — both deliver FIN. This service
+/// deliberately reads FIN as *abandoned*: a dropped `/batch` must stop
+/// burning cores, which matters more than supporting clients that
+/// half-close while still expecting a full sweep. Clients must keep
+/// their write side open until the response arrives.
+fn client_disconnected(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return true;
     }
-    let engine = tenant_batch.clone().with_solver(solver_name);
-    let started = Instant::now();
-    let results = match deadline {
-        Some(t) => engine.solve_all_by_deadline(&instances, t),
-        None => engine.solve_all(&instances),
+    let mut byte = [0u8; 1];
+    let gone = match stream.peek(&mut byte) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
+        Err(_) => true,
     };
-    let elapsed = started.elapsed();
-    let summary = BatchSummary::of(&results);
-    state.metrics.record_solve(summary.solved as u64, summary.failed as u64, elapsed);
+    let _ = stream.set_nonblocking(false);
+    gone
+}
 
-    let mut infeasible = 0usize;
-    if check {
-        for (instance, result) in instances.iter().zip(&results) {
-            if let Ok(solution) = result {
-                match verify(instance, solution) {
-                    Ok(report) if report.is_feasible() => {}
-                    _ => infeasible += 1,
+/// The chunk-by-chunk solve loop behind `/batch`: every
+/// [`ServeConfig::batch_chunk`](crate::server::ServeConfig) instances
+/// it polls the request's cancel token (deadline budget), probes the
+/// client socket (a disconnected client cancels the rest — an
+/// abandoned sweep must stop burning cores) and hands the chunk's
+/// results to `emit` (the streaming writer; `false` from it also
+/// cancels). Once cancelled, the remaining instances come back as
+/// [`SolveError::Cancelled`] without being solved — results stay one
+/// per instance, in input order.
+/// Per-chunk callback of [`solve_chunked`] (the streaming writer);
+/// returning `false` cancels the remaining sweep.
+type EmitChunk<'a> = dyn FnMut(&[Result<Solution, SolveError>]) -> bool + 'a;
+
+fn solve_chunked(
+    engine: &Batch,
+    instances: &[Instance],
+    deadline: Option<mst_platform::Time>,
+    cancel: &CancelToken,
+    probe: Option<&TcpStream>,
+    chunk: usize,
+    emit: &mut EmitChunk<'_>,
+) -> Vec<Result<Solution, SolveError>> {
+    let chunk = chunk.max(1);
+    let mut results: Vec<Result<Solution, SolveError>> = Vec::with_capacity(instances.len());
+    for slice in instances.chunks(chunk) {
+        if !cancel.is_cancelled() {
+            if let Some(stream) = probe {
+                if client_disconnected(stream) {
+                    cancel.cancel();
                 }
             }
         }
+        if cancel.is_cancelled() {
+            results.extend((results.len()..instances.len()).map(|_| Err(SolveError::Cancelled)));
+            break;
+        }
+        let part = match deadline {
+            Some(t) => engine.solve_all_by_deadline_cancellable(slice, t, cancel),
+            None => engine.solve_all_cancellable(slice, cancel),
+        };
+        let keep_going = emit(&part);
+        results.extend(part);
+        if !keep_going {
+            cancel.cancel();
+        }
     }
+    results
+}
 
-    let mut reply = vec![
+/// Folds one finished sweep into the global and per-tenant metrics and
+/// renders the summary fields **both** `/batch` reply shapes carry —
+/// one definition, so the streamed summary line can never drift from
+/// the buffered body (the buffered path appends makespan statistics
+/// and optional per-instance results on top).
+fn finish_sweep(
+    instances: &[Instance],
+    results: &[Result<Solution, SolveError>],
+    solver_name: &str,
+    check: bool,
+    elapsed: std::time::Duration,
+    state: &ServiceState,
+    tenant: &TenantExec,
+) -> (BatchSummary, usize, Vec<(String, Json)>) {
+    let summary = BatchSummary::of(results);
+    state.metrics.record_solve(
+        summary.solved as u64,
+        summary.failed as u64,
+        summary.cancelled as u64,
+        elapsed,
+    );
+    tenant.stats().record(summary.solved as u64, summary.failed as u64, summary.cancelled as u64);
+    let infeasible = if check { count_infeasible(instances, results) } else { 0 };
+    let mut members = vec![
         ("count".to_string(), Json::int(instances.len() as i64)),
         ("solver".to_string(), Json::str(solver_name)),
         ("solved".to_string(), Json::int(summary.solved as i64)),
         ("failed".to_string(), Json::int(summary.failed as i64)),
-        ("total_tasks".to_string(), Json::int(summary.total_tasks as i64)),
-        ("mean_makespan".to_string(), Json::Num(summary.mean_makespan())),
-        ("max_makespan".to_string(), Json::int(summary.max_makespan)),
+        ("cancelled".to_string(), Json::int(summary.cancelled as i64)),
+        ("complete".to_string(), Json::Bool(summary.cancelled == 0)),
         ("elapsed_secs".to_string(), Json::Num(elapsed.as_secs_f64())),
-        (
-            "instances_per_sec".to_string(),
-            Json::Num(instances.len() as f64 / elapsed.as_secs_f64().max(1e-9)),
-        ),
         ("verified".to_string(), Json::Bool(check)),
     ];
     if check {
-        reply.push(("infeasible".to_string(), Json::int(infeasible as i64)));
+        members.push(("infeasible".to_string(), Json::int(infeasible as i64)));
     }
-    if include_results {
+    (summary, infeasible, members)
+}
+
+/// Counts solutions the [`verify`] oracle rejects (solver bugs).
+fn count_infeasible(instances: &[Instance], results: &[Result<Solution, SolveError>]) -> usize {
+    instances
+        .iter()
+        .zip(results)
+        .filter(|(instance, result)| match result {
+            Ok(solution) => !matches!(verify(instance, solution), Ok(r) if r.is_feasible()),
+            Err(_) => false,
+        })
+        .count()
+}
+
+/// `POST /batch` — a sweep dispatched through the requesting tenant's
+/// worker pool under its execution policy.
+///
+/// Body: `{"instances": [...]} | {"generate": {...}}`, plus `"solver"?`,
+/// `"registry"?`, `"deadline"?`, `"verify"?`, `"include_results"?` and
+/// `"stream"?`. The response always carries the summary; per-instance
+/// solutions ride along only when `"include_results": true` (a
+/// 100k-instance sweep should not serialize 100k schedules by
+/// accident). With `"stream": true` the per-instance results are
+/// instead **streamed** as chunked NDJSON lines while the sweep runs —
+/// a large response never materialises in memory, and the summary
+/// arrives as the final line. Either way the sweep solves in chunks
+/// with cancellation checkpoints: an exhausted per-tenant deadline
+/// budget or a disconnected client stops the remaining work within one
+/// chunk.
+fn batch(request: &Request, state: &ServiceState, stream: Option<&mut TcpStream>) -> Routed {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(response) => return Routed::Reply(response),
+    };
+    let tenant = match tenant_for(request, &body, state) {
+        Ok(tenant) => tenant,
+        Err(response) => return Routed::Reply(response),
+    };
+    // The admission slot spans the whole request: parsing, solving,
+    // response writing. Dropped (slot released) on every return path.
+    let _slot = match tenant.admit() {
+        Ok(slot) => slot,
+        Err(e) => return Routed::Reply(admission_response(&e)),
+    };
+    let instances = match batch_instances(&body, state, tenant) {
+        Ok(instances) => instances,
+        Err(response) => return Routed::Reply(response),
+    };
+    let (solver_name, deadline) = match (opt_str(&body, "solver"), opt_int(&body, "deadline")) {
+        (Ok(s), Ok(d)) => (s.unwrap_or("optimal"), d),
+        (Err(r), _) | (_, Err(r)) => return Routed::Reply(r),
+    };
+    let (check, include_results, want_stream) = match (
+        opt_flag(&body, "verify"),
+        opt_flag(&body, "include_results"),
+        opt_flag(&body, "stream"),
+    ) {
+        (Ok(c), Ok(i), Ok(s)) => (c, i, s),
+        (Err(r), _, _) | (_, Err(r), _) | (_, _, Err(r)) => return Routed::Reply(r),
+    };
+    // Anonymous requests may still pin a configured registry by name
+    // (the pre-token selector); tokened requests already resolved one.
+    let tenant_batch = if request.header("x-api-token").is_some() {
+        tenant.batch()
+    } else {
+        match select_batch(&body, state) {
+            Ok(batch) => batch,
+            Err(response) => return Routed::Reply(response),
+        }
+    };
+    // Resolve the name up front so an unknown solver is one 404, not a
+    // thousand per-instance errors.
+    if let Err(e) = tenant_batch.registry().resolve(solver_name) {
+        return Routed::Reply(solve_error_response(&e));
+    }
+    let engine = tenant_batch.clone().with_solver(solver_name);
+    let cancel = tenant.cancel_token();
+    let chunk = state.config.batch_chunk;
+    let started = Instant::now();
+
+    if want_stream {
+        if let Some(stream) = stream {
+            return stream_batch(
+                &engine,
+                &instances,
+                deadline,
+                check,
+                &cancel,
+                stream,
+                chunk,
+                state,
+                tenant,
+                solver_name,
+            );
+        }
+        // No socket to stream over (embedded callers): fall through to
+        // the buffered reply with per-instance results included.
+    }
+
+    let results = solve_chunked(
+        &engine,
+        &instances,
+        deadline,
+        &cancel,
+        stream.as_deref(),
+        chunk,
+        &mut |_| true,
+    );
+    let elapsed = started.elapsed();
+    let (summary, infeasible, mut reply) =
+        finish_sweep(&instances, &results, solver_name, check, elapsed, state, tenant);
+    reply.push(("total_tasks".to_string(), Json::int(summary.total_tasks as i64)));
+    reply.push(("mean_makespan".to_string(), Json::Num(summary.mean_makespan())));
+    reply.push(("max_makespan".to_string(), Json::int(summary.max_makespan)));
+    reply.push((
+        "instances_per_sec".to_string(),
+        Json::Num(instances.len() as f64 / elapsed.as_secs_f64().max(1e-9)),
+    ));
+    if include_results || want_stream {
         let rendered: Vec<Json> = results
             .iter()
             .map(|r| match r {
@@ -475,7 +826,63 @@ fn batch(request: &Request, state: &ServiceState) -> Response {
                 ]),
             ),
         );
-        return Response::json(500, Json::Obj(reply));
+        return Routed::Reply(Response::json(500, Json::Obj(reply)));
     }
-    Response::json(200, Json::Obj(reply))
+    Routed::Reply(Response::json(200, Json::Obj(reply)))
+}
+
+/// The streamed `/batch` reply: chunked NDJSON, one
+/// `{"index": i, ...solution | error}` line per instance as its chunk
+/// completes, then one final `{"summary": {...}}` line. A failed write
+/// means the client is gone — the remaining sweep is cancelled and the
+/// connection dropped.
+#[allow(clippy::too_many_arguments)]
+fn stream_batch(
+    engine: &Batch,
+    instances: &[Instance],
+    deadline: Option<mst_platform::Time>,
+    check: bool,
+    cancel: &CancelToken,
+    stream: &mut TcpStream,
+    chunk: usize,
+    state: &ServiceState,
+    tenant: &TenantExec,
+    solver_name: &str,
+) -> Routed {
+    // The writer owns the stream borrow; disconnect probing between
+    // chunks goes through a dup'd handle of the same socket.
+    let probe = stream.try_clone().ok();
+    let started = Instant::now();
+    let mut writer = match ChunkedWriter::begin(stream) {
+        Ok(writer) => writer,
+        Err(_) => return Routed::Streamed, // peer gone before the head
+    };
+    let mut offset = 0usize;
+    let mut lines = String::new();
+    let results =
+        solve_chunked(engine, instances, deadline, cancel, probe.as_ref(), chunk, &mut |part| {
+            lines.clear();
+            for result in part {
+                let mut members = vec![("index".to_string(), Json::int(offset as i64))];
+                let rendered = match result {
+                    Ok(solution) => solution_to_json(solution),
+                    Err(e) => error_to_json(e),
+                };
+                match rendered {
+                    Json::Obj(obj) => members.extend(obj),
+                    other => members.push(("result".to_string(), other)),
+                }
+                lines.push_str(&Json::Obj(members).to_string());
+                lines.push('\n');
+                offset += 1;
+            }
+            writer.chunk(lines.as_bytes()).is_ok()
+        });
+    let elapsed = started.elapsed();
+    let (_, _, tail) =
+        finish_sweep(instances, &results, solver_name, check, elapsed, state, tenant);
+    let summary_line = Json::obj([("summary", Json::Obj(tail))]);
+    let _ = writer.chunk(format!("{summary_line}\n").as_bytes());
+    let _ = writer.finish();
+    Routed::Streamed
 }

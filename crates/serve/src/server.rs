@@ -23,9 +23,9 @@
 //!   and returns a [`ServeReport`] — no thread is left stuck.
 
 use crate::http::{HttpError, RequestReader, Response};
-use crate::routes;
+use crate::routes::{self, Routed};
 use mst_api::wire::Json;
-use mst_api::{Batch, RegistrySet};
+use mst_api::{Batch, ExecPolicy, RegistrySet, TenantExec};
 use mst_sim::{shared_pool, WorkerPool};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -74,10 +74,18 @@ pub struct ServeConfig {
     /// [`ServeConfig::keep_alive_timeout`], bounds how long one client
     /// can hold a handler thread.
     pub max_requests_per_connection: usize,
-    /// Config-driven solver registries (`mst serve --solvers-config`):
-    /// the set's default registry backs every request, and its named
-    /// registries are selectable per request via the `"registry"` body
-    /// field. `None` serves the built-in global registry.
+    /// Instances solved per chunk on the `/batch` path. Chunk
+    /// boundaries are the service's cancellation checkpoints: between
+    /// chunks the handler polls the request's deadline budget and
+    /// probes the client socket, so an abandoned or over-budget sweep
+    /// stops within one chunk of work.
+    pub batch_chunk: usize,
+    /// Config-driven tenants (`mst serve --solvers-config`): the set's
+    /// default registry backs anonymous requests; named tenant specs
+    /// become per-tenant [`TenantExec`]s routable by `X-Api-Token`
+    /// header (and their registries stay selectable per request via
+    /// the `"registry"` body field). `None` serves the built-in global
+    /// registry with no tenant policies.
     pub registries: Option<RegistrySet>,
 }
 
@@ -95,6 +103,7 @@ impl Default for ServeConfig {
             io_timeout: Duration::from_secs(5),
             keep_alive_timeout: Duration::from_secs(1),
             max_requests_per_connection: 256,
+            batch_chunk: 512,
             registries: None,
         }
     }
@@ -119,16 +128,20 @@ pub struct Metrics {
     pub solved_total: AtomicU64,
     /// Instances whose solve returned an error.
     pub failed_total: AtomicU64,
+    /// Instances skipped by cancellation (deadline budgets, client
+    /// disconnects).
+    pub cancelled_total: AtomicU64,
     /// Nanoseconds spent inside `Batch`/solver calls.
     pub solve_ns_total: AtomicU64,
 }
 
 impl Metrics {
-    /// Records one solving run: `solved`/`failed` instance outcomes and
-    /// the wall time the run took.
-    pub fn record_solve(&self, solved: u64, failed: u64, elapsed: Duration) {
+    /// Records one solving run: `solved`/`failed`/`cancelled` instance
+    /// outcomes and the wall time the run took.
+    pub fn record_solve(&self, solved: u64, failed: u64, cancelled: u64, elapsed: Duration) {
         self.solved_total.fetch_add(solved, Ordering::Relaxed);
         self.failed_total.fetch_add(failed, Ordering::Relaxed);
+        self.cancelled_total.fetch_add(cancelled, Ordering::Relaxed);
         self.solve_ns_total.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
     }
 
@@ -143,15 +156,27 @@ impl Metrics {
     }
 }
 
-/// Shared service state: the pooled batch engine, metrics, caps and the
-/// shutdown flag.
+/// Shared service state: the per-tenant execution policies, metrics,
+/// caps and the shutdown flag.
 pub struct ServiceState {
-    /// The pooled solve engine over the **default** registry.
+    /// The **default** tenant's solve engine (anonymous requests) —
+    /// kept as a direct field because most requests take it.
     pub batch: Batch,
-    /// Per-tenant engines keyed by configured registry name, all
-    /// sharing the default engine's worker pool — a tenant pins a
-    /// solver set, not a thread set.
-    tenants: Vec<(String, Batch)>,
+    /// The default tenant's executable policy (admission, deadline
+    /// budget, stats for anonymous traffic).
+    default_exec: TenantExec,
+    /// Named per-tenant execution policies, routable by `X-Api-Token`
+    /// header. Tenants with a `threads` budget solve on their own
+    /// dedicated [`WorkerPool`]; the rest share the default pool.
+    tenants: Vec<TenantExec>,
+    /// The legacy anonymous `"registry"` body selector's engines: each
+    /// named tenant's *registry* over the **default** tenant's pool.
+    /// Deliberately not the tenant's dedicated pool — an
+    /// unauthenticated request must never occupy (or starve) a pool a
+    /// tenant paid for with its token, and it runs under the default
+    /// tenant's admission policy, so it gets the default tenant's
+    /// machine.
+    selector_batches: Vec<(String, Batch)>,
     /// Live counters.
     pub metrics: Metrics,
     /// Config snapshot (caps consulted by the routes).
@@ -167,19 +192,51 @@ impl ServiceState {
         self.shutdown.load(Ordering::Relaxed) || SIGINT_RECEIVED.load(Ordering::Relaxed)
     }
 
-    /// The engine a request resolves against: the default batch, or the
-    /// named tenant registry's; `None` when the name is not configured
-    /// (the routes answer 404 rather than silently falling back).
+    /// The engine an anonymous request resolves against: the default
+    /// batch, or the named tenant *registry* over the default pool
+    /// (the registry selector pins a solver set, never another
+    /// tenant's machine); `None` when the name is not configured (the
+    /// routes answer 404 rather than silently falling back).
     pub fn batch_for(&self, registry: Option<&str>) -> Option<&Batch> {
         match registry {
             None => Some(&self.batch),
-            Some(name) => self.tenants.iter().find(|(n, _)| n == name).map(|(_, b)| b),
+            Some(name) => self.selector_batches.iter().find(|(n, _)| n == name).map(|(_, b)| b),
         }
+    }
+
+    /// The execution policy a request runs under: the default tenant
+    /// when no token is presented, the matching named tenant otherwise;
+    /// `Err` carries the unmatched token (the routes answer 401 rather
+    /// than silently running the request as the default tenant).
+    pub fn tenant_for<'t>(&self, token: Option<&'t str>) -> Result<&TenantExec, &'t str> {
+        match token {
+            None => Ok(&self.default_exec),
+            Some(token) => {
+                self.tenants.iter().find(|t| t.policy().effective_token() == token).ok_or(token)
+            }
+        }
+    }
+
+    /// The default tenant's executable policy.
+    pub fn default_exec(&self) -> &TenantExec {
+        &self.default_exec
+    }
+
+    /// Every tenant policy: the default first, then the named tenants
+    /// in config order (drives the per-tenant `/metrics` section).
+    pub fn execs(&self) -> impl Iterator<Item = &TenantExec> {
+        std::iter::once(&self.default_exec).chain(self.tenants.iter())
+    }
+
+    /// Requests currently admitted across all tenants — the service's
+    /// live queue-depth gauge.
+    pub fn queue_depth(&self) -> usize {
+        self.execs().map(TenantExec::queue_depth).sum()
     }
 
     /// The configured tenant registry names, in config order.
     pub fn tenant_names(&self) -> Vec<&str> {
-        self.tenants.iter().map(|(n, _)| n.as_str()).collect()
+        self.tenants.iter().map(|t| t.policy().name.as_str()).collect()
     }
 }
 
@@ -243,28 +300,53 @@ impl Server {
             Some(threads) => Arc::new(WorkerPool::with_parallelism(threads)),
             None => shared_pool(),
         };
-        let (batch, tenants) = match &config.registries {
+        let (default_exec, tenants) = match &config.registries {
             Some(set) => {
-                let default =
-                    Batch::new(set.default_registry().clone()).with_pool(Arc::clone(&pool));
+                let default = TenantExec::new(
+                    ExecPolicy::from_limits(
+                        "default",
+                        set.default_registry().clone(),
+                        set.default_limits(),
+                    ),
+                    Arc::clone(&pool),
+                );
                 let tenants = set
-                    .names()
-                    .iter()
-                    .map(|name| {
-                        let registry = set.get(name).expect("names() lists configured registries");
-                        (
-                            name.to_string(),
-                            Batch::new(registry.clone()).with_pool(Arc::clone(&pool)),
+                    .tenants()
+                    .map(|(name, registry, limits)| {
+                        TenantExec::new(
+                            ExecPolicy::from_limits(name, registry.clone(), limits),
+                            Arc::clone(&pool),
                         )
                     })
                     .collect();
                 (default, tenants)
             }
-            None => (Batch::default().with_pool(Arc::clone(&pool)), Vec::new()),
+            None => (
+                TenantExec::new(
+                    ExecPolicy::new("default", mst_api::SolverRegistry::global().clone()),
+                    Arc::clone(&pool),
+                ),
+                Vec::new(),
+            ),
+        };
+        let batch = default_exec.batch().clone();
+        let selector_batches = match &config.registries {
+            Some(set) => set
+                .tenants()
+                .map(|(name, registry, _)| {
+                    (
+                        name.to_string(),
+                        Batch::new(registry.clone()).with_pool(Arc::clone(batch.pool())),
+                    )
+                })
+                .collect(),
+            None => Vec::new(),
         };
         let state = Arc::new(ServiceState {
             batch,
+            default_exec,
             tenants,
+            selector_batches,
             metrics: Metrics::default(),
             config,
             started: Instant::now(),
@@ -313,9 +395,12 @@ impl Server {
                 Ok((stream, _peer)) => {
                     state.metrics.connections_total.fetch_add(1, Ordering::Relaxed);
                     if let Err(mpsc::TrySendError::Full(mut stream)) = queue.try_send(stream) {
-                        // Queue full: refuse loudly rather than buffer.
+                        // Queue full: refuse loudly rather than buffer —
+                        // structured body plus Retry-After, so clients
+                        // can tell a transient overload from a failure.
                         state.metrics.connections_rejected.fetch_add(1, Ordering::Relaxed);
                         let _ = error_body(503, "overloaded", "connection queue is full; retry")
+                            .with_retry_after(1)
                             .write_to(&mut stream);
                     }
                 }
@@ -378,17 +463,20 @@ fn serve_connection(mut stream: TcpStream, state: &ServiceState) {
             match reader.read_request(&mut stream, state.config.max_body_bytes) {
                 Ok(request) => {
                     let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        routes::route(&request, state)
+                        routes::route_on(&request, state, Some(&mut stream))
                     }));
                     match routed {
                         // The client may ask to keep the connection, but
                         // the server bounds it and closes on shutdown.
-                        Ok(response) => {
+                        Ok(Routed::Reply(response)) => {
                             let keep = request.keep_alive
                                 && served + 1 < max_requests
                                 && !state.shutdown_requested();
                             (response, keep)
                         }
+                        // The handler streamed its (chunked) response
+                        // directly; streamed replies always close.
+                        Ok(Routed::Streamed) => return,
                         Err(_) => (
                             error_body(
                                 500,
@@ -622,10 +710,42 @@ mod tests {
     }
 
     #[test]
+    fn anonymous_registry_selection_never_borrows_a_tenant_pool() {
+        // The legacy "registry" body selector pins a solver set; it
+        // must NOT hand an unauthenticated request a tenant's paid-for
+        // dedicated pool (nor bypass that tenant's policy).
+        let registries = mst_api::RegistrySet::parse(
+            r#"{"registries": {"vip": {"threads": 2, "only": ["optimal"]}}}"#,
+        )
+        .unwrap();
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            registries: Some(registries),
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let state = server.handle();
+        let state = state.state();
+        let selector = state.batch_for(Some("vip")).expect("configured name resolves");
+        let tenant = state.tenant_for(Some("vip")).expect("token routes");
+        assert!(
+            Arc::ptr_eq(selector.pool(), state.batch.pool()),
+            "the selector engine runs on the default tenant's pool"
+        );
+        assert!(
+            !Arc::ptr_eq(selector.pool(), tenant.batch().pool()),
+            "the tenant's dedicated pool stays its own"
+        );
+        // The solver *set* is still the tenant's.
+        assert_eq!(selector.registry().names(), vec!["optimal"]);
+        assert!(state.batch_for(Some("nope")).is_none());
+    }
+
+    #[test]
     fn metrics_throughput_is_zero_before_any_solve() {
         let metrics = Metrics::default();
         assert_eq!(metrics.instances_per_sec(), 0.0);
-        metrics.record_solve(100, 0, Duration::from_millis(10));
+        metrics.record_solve(100, 0, 0, Duration::from_millis(10));
         assert!(metrics.instances_per_sec() > 0.0);
     }
 }

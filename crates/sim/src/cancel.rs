@@ -1,0 +1,115 @@
+//! Cooperative cancellation for long-running sweeps.
+//!
+//! A [`CancelToken`] is the handshake between whoever *owns* a
+//! computation (a service handler watching its client, an execution
+//! policy enforcing a per-request deadline budget) and the worker
+//! threads actually burning cores on it. The workers never block on the
+//! token — they *poll* it at natural checkpoints (one check per claimed
+//! sweep item in [`crate::WorkerPool::run_cancellable`], one per chunk
+//! in the service's chunked batch loop), so cancellation costs one
+//! relaxed atomic load plus, when a deadline is armed, one monotonic
+//! clock read per checkpoint.
+//!
+//! Two independent triggers fold into the same signal:
+//!
+//! * **explicit** — [`CancelToken::cancel`], called from any thread
+//!   (e.g. the connection handler noticing its client hung up);
+//! * **deadline** — a token armed with [`CancelToken::with_budget`]
+//!   reports cancelled once the wall-clock budget has elapsed, with no
+//!   timer thread anywhere: the deadline is evaluated lazily at each
+//!   poll.
+//!
+//! Clones share the explicit flag (cancelling any clone cancels them
+//! all) and carry the same deadline, so a token can be handed to the
+//! pool, a watchdog and a response writer simultaneously.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A clonable, pollable cancellation signal with an optional deadline.
+///
+/// ```
+/// use mst_sim::CancelToken;
+/// let token = CancelToken::new();
+/// assert!(!token.is_cancelled());
+/// let observer = token.clone();
+/// token.cancel();
+/// assert!(observer.is_cancelled(), "clones share the flag");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A fresh token: not cancelled, no deadline.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that self-cancels once `budget` wall-clock time has
+    /// elapsed from now — the per-request deadline budget of an
+    /// execution policy. It can still be cancelled explicitly earlier.
+    pub fn with_budget(budget: Duration) -> CancelToken {
+        CancelToken { flag: Arc::default(), deadline: Some(Instant::now() + budget) }
+    }
+
+    /// Re-arms this token's deadline (keeping the shared explicit flag);
+    /// `None` removes it.
+    pub fn deadline_at(mut self, deadline: Option<Instant>) -> CancelToken {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Signals cancellation to every clone of this token. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the computation should stop: explicitly cancelled, or
+    /// past the armed deadline. Cheap enough to poll per work item.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+            || self.deadline.is_some_and(|deadline| Instant::now() >= deadline)
+    }
+
+    /// The armed deadline, if any (introspection for logs and tests).
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_cancellation_is_shared_by_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        token.cancel(); // idempotent
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn budget_tokens_expire_without_a_timer_thread() {
+        let token = CancelToken::with_budget(Duration::from_millis(20));
+        assert!(token.deadline().is_some());
+        assert!(!token.is_cancelled(), "fresh budget is not yet spent");
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(token.is_cancelled(), "the elapsed budget cancels lazily");
+    }
+
+    #[test]
+    fn deadlines_can_be_rearmed_and_cleared() {
+        let expired = CancelToken::with_budget(Duration::ZERO).deadline_at(None);
+        assert!(!expired.is_cancelled(), "clearing the deadline un-expires it");
+        let armed = CancelToken::new().deadline_at(Some(Instant::now()));
+        assert!(armed.is_cancelled());
+    }
+}

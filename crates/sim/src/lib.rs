@@ -19,7 +19,11 @@
 //!   what that assumption is worth).
 //! * [`pool`] — a persistent [`pool::WorkerPool`]: threads spawned
 //!   once, parked between sweeps, contention-free per-slot result
-//!   writes.
+//!   writes, cooperative cancellation checkpoints
+//!   ([`pool::WorkerPool::run_cancellable`]).
+//! * [`cancel`] — the [`cancel::CancelToken`] those checkpoints poll:
+//!   explicit cancellation plus lazy wall-clock deadline budgets, no
+//!   timer thread.
 //! * [`runner`] — the parallel sweep entry point used by the experiment
 //!   harness and the `mst-api` batch engine to evaluate thousands of
 //!   instances across cores, backed by one process-wide pool.
@@ -27,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod buffered;
+pub mod cancel;
 pub mod online;
 pub mod pool;
 pub mod replay;
@@ -34,6 +39,7 @@ pub mod runner;
 pub mod trace;
 
 pub use buffered::simulate_online_buffered;
+pub use cancel::CancelToken;
 pub use online::{simulate_online, OnlinePolicy};
 pub use pool::WorkerPool;
 pub use replay::{replay_chain, replay_spider, SimError};

@@ -34,6 +34,7 @@
 //! returns, but their claim counter is exhausted (`next >= len`), so no
 //! worker ever dereferences it again.
 
+use crate::cancel::CancelToken;
 use std::cell::{Cell, UnsafeCell};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -91,6 +92,9 @@ struct Job {
     next: Arc<AtomicUsize>,
     len: usize,
     status: Arc<JobStatus>,
+    /// Cooperative cancellation: polled once per claimed item. `None`
+    /// for plain [`WorkerPool::run`] sweeps.
+    cancel: Option<CancelToken>,
 }
 
 #[derive(Clone, Copy)]
@@ -189,15 +193,60 @@ impl WorkerPool {
         R: Send,
         F: Fn(&I) -> R + Sync,
     {
+        self.run_inner(items, f, None)
+            .into_iter()
+            .map(|slot| slot.expect("uncancellable sweeps execute every item"))
+            .collect()
+    }
+
+    /// [`WorkerPool::run`] with a cooperative cancellation checkpoint
+    /// before every item: once `cancel` reports cancelled (explicitly,
+    /// or past its deadline budget), no *further* item starts — items
+    /// already in flight finish normally, so the sweep returns within
+    /// one item's latency of the signal and no worker is left stuck.
+    ///
+    /// Executed items come back as `Some(result)` in input order;
+    /// skipped items as `None`. Panics propagate exactly as in `run`.
+    pub fn run_cancellable<I, R, F>(
+        &self,
+        items: &[I],
+        f: F,
+        cancel: &CancelToken,
+    ) -> Vec<Option<R>>
+    where
+        I: Sync,
+        R: Send,
+        F: Fn(&I) -> R + Sync,
+    {
+        self.run_inner(items, f, Some(cancel))
+    }
+
+    fn run_inner<I, R, F>(&self, items: &[I], f: F, cancel: Option<&CancelToken>) -> Vec<Option<R>>
+    where
+        I: Sync,
+        R: Send,
+        F: Fn(&I) -> R + Sync,
+    {
         if items.is_empty() {
             return Vec::new();
         }
         // Inline paths: nothing to fan out, or this thread is already
         // executing one of *this* pool's jobs (a same-pool nested sweep
         // would deadlock on the submit lock).
+        let inline = |items: &[I]| -> Vec<Option<R>> {
+            items
+                .iter()
+                .map(|item| {
+                    if cancel.is_some_and(CancelToken::is_cancelled) {
+                        return None;
+                    }
+                    Some(f(item))
+                })
+                .collect()
+        };
         let nested_in = ACTIVE_POOL.with(Cell::get);
         if items.len() == 1 || self.workers() == 0 || nested_in == self.id() {
-            return items.iter().map(f).collect();
+            return inline(items);
         }
 
         // One sweep owns the workers at a time. Top-level submitters
@@ -217,7 +266,7 @@ impl WorkerPool {
                 Ok(guard) => guard,
                 Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
                 Err(std::sync::TryLockError::WouldBlock) => {
-                    return items.iter().map(f).collect();
+                    return inline(items);
                 }
             }
         };
@@ -249,6 +298,7 @@ impl WorkerPool {
             next: Arc::new(AtomicUsize::new(0)),
             len: items.len(),
             status: Arc::clone(&status),
+            cancel: cancel.cloned(),
         };
 
         {
@@ -279,10 +329,7 @@ impl WorkerPool {
         if let Some(payload) = status.panic.lock().expect("panic slot").take() {
             resume_unwind(payload);
         }
-        slots
-            .into_iter()
-            .map(|slot| slot.0.into_inner().expect("every claimed index wrote its slot"))
-            .collect()
+        slots.into_iter().map(|slot| slot.0.into_inner()).collect()
     }
 }
 
@@ -347,6 +394,25 @@ fn execute(job: &Job, pool_id: usize) {
         let idx = job.next.fetch_add(1, Ordering::Relaxed);
         if idx >= job.len {
             break;
+        }
+        // Cancellation checkpoint: a cancelled sweep stops claiming new
+        // work. The claimed item's slot stays `None`; the unclaimed
+        // tail is drained exactly like the panic path below (this
+        // item's own countdown is still pending, so the completion
+        // signal cannot fire early).
+        if job.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            let claimed = job.next.swap(job.len, Ordering::Relaxed).min(job.len);
+            let unclaimed = job.len - claimed;
+            if unclaimed > 0 {
+                let before = job.status.remaining.fetch_sub(unclaimed, Ordering::AcqRel);
+                debug_assert!(before > unclaimed, "this item has not been counted down yet");
+            }
+            if job.status.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let mut done = job.status.done.lock().expect("completion flag");
+                *done = true;
+                job.status.finished.notify_all();
+            }
+            continue;
         }
         // SAFETY: `idx < len` is claimed exactly once, and the submitter
         // keeps `data` alive until `remaining` reaches zero.
@@ -450,6 +516,55 @@ mod tests {
         assert!((41..=256).contains(&ran), "claimed items only, got {ran}");
         // The pool survives a panicked sweep and serves the next one.
         assert_eq!(pool.run(&items, |&x| x)[10], 10);
+    }
+
+    #[test]
+    fn cancellation_stops_claiming_and_leaves_no_stuck_workers() {
+        let pool = WorkerPool::with_workers(2);
+        let items: Vec<u64> = (0..10_000).collect();
+        let token = CancelToken::new();
+        let executed = AtomicUsize::new(0);
+        let out = pool.run_cancellable(
+            &items,
+            |&x| {
+                let seen = executed.fetch_add(1, Ordering::Relaxed);
+                if seen == 64 {
+                    token.cancel();
+                }
+                x * 2
+            },
+            &token,
+        );
+        assert_eq!(out.len(), items.len(), "one slot per item, executed or not");
+        let ran = out.iter().filter(|r| r.is_some()).count();
+        assert!(ran >= 64, "items before the signal executed, got {ran}");
+        assert!(ran < items.len(), "the tail after the signal was skipped");
+        for (i, slot) in out.iter().enumerate() {
+            if let Some(value) = slot {
+                assert_eq!(*value, i as u64 * 2, "executed slots hold real results");
+            }
+        }
+        // The pool survives and serves uncancelled sweeps afterwards.
+        assert_eq!(pool.run(&items[..100], |&x| x + 1)[99], 100);
+    }
+
+    #[test]
+    fn pre_cancelled_and_deadline_tokens_skip_everything() {
+        let pool = WorkerPool::with_workers(2);
+        let items: Vec<u64> = (0..256).collect();
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(pool.run_cancellable(&items, |&x| x, &token).iter().all(Option::is_none));
+        // A spent deadline budget behaves the same, including on the
+        // inline (zero-worker) path.
+        let inline = WorkerPool::with_workers(0);
+        let expired = CancelToken::with_budget(std::time::Duration::ZERO);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(inline.run_cancellable(&items, |&x| x, &expired).iter().all(Option::is_none));
+        // An un-cancelled token executes every item.
+        let live = CancelToken::new();
+        let out = pool.run_cancellable(&items, |&x| x + 1, &live);
+        assert!(out.iter().enumerate().all(|(i, r)| *r == Some(i as u64 + 1)));
     }
 
     #[test]

@@ -58,8 +58,9 @@ pub use mst_tree as tree;
 /// points stay exported so existing code keeps compiling.
 pub mod prelude {
     pub use mst_api::{
-        verify, Batch, BatchSummary, ConfigError, Instance, Platform, RegistrySet, ScheduleRepr,
-        Solution, SolveError, Solver, SolverRegistry, TopologyKind,
+        verify, AdmissionError, Batch, BatchSummary, ConfigError, ExecPolicy, Instance, Platform,
+        RegistrySet, ScheduleRepr, Solution, SolveError, Solver, SolverRegistry, TenantExec,
+        TenantLimits, TopologyKind,
     };
     pub use mst_core::{schedule_chain, schedule_chain_by_deadline};
     pub use mst_platform::{
@@ -67,6 +68,6 @@ pub mod prelude {
     };
     pub use mst_schedule::{ChainSchedule, CommVector, SpiderSchedule, TreeSchedule};
     pub use mst_serve::{ServeConfig, Server, ServerHandle};
-    pub use mst_sim::{run_parallel, shared_pool, WorkerPool};
+    pub use mst_sim::{run_parallel, shared_pool, CancelToken, WorkerPool};
     pub use mst_spider::{schedule_spider, schedule_spider_by_deadline};
 }
