@@ -153,6 +153,36 @@ impl Batch {
         }
     }
 
+    /// Solves `(instance, deadline)` jobs with **per-job** deadlines and
+    /// the same cancellation checkpoints as
+    /// [`Batch::solve_all_cancellable`]; `None` means a plain makespan
+    /// solve. This is the engine call behind the canonical-form cache:
+    /// canonicalisation divides each instance's deadline by its own
+    /// extracted scale, so one batch of misses no longer shares a single
+    /// deadline value.
+    pub fn solve_each_cancellable(
+        &self,
+        jobs: &[(Instance, Option<Time>)],
+        cancel: &CancelToken,
+    ) -> Vec<Result<Solution, SolveError>> {
+        match self.registry.resolve(&self.solver) {
+            Ok(solver) => self
+                .pool
+                .run_cancellable(
+                    jobs,
+                    |(instance, deadline)| match deadline {
+                        Some(d) => solver.solve_by_deadline(instance, *d),
+                        None => solver.solve(instance),
+                    },
+                    cancel,
+                )
+                .into_iter()
+                .map(|slot| slot.unwrap_or(Err(SolveError::Cancelled)))
+                .collect(),
+            Err(err) => jobs.iter().map(|_| Err(err.clone())).collect(),
+        }
+    }
+
     /// Solves and folds the results into a [`BatchSummary`].
     pub fn run(&self, instances: &[Instance]) -> BatchSummary {
         BatchSummary::of(&self.solve_all(instances))
@@ -187,6 +217,10 @@ pub struct BatchSummary {
     pub total_makespan: Time,
     /// Largest single-instance makespan.
     pub max_makespan: Time,
+    /// Instances answered from the canonical solution cache instead of a
+    /// solver (a subset of `solved`). [`BatchSummary::of`] has no way to
+    /// know this and leaves it 0; cache-fronted callers fill it in.
+    pub cache_hits: usize,
 }
 
 impl BatchSummary {
@@ -199,6 +233,7 @@ impl BatchSummary {
             total_tasks: 0,
             total_makespan: 0,
             max_makespan: 0,
+            cache_hits: 0,
         };
         for result in results {
             match result {
@@ -237,6 +272,9 @@ impl fmt::Display for BatchSummary {
         )?;
         if self.cancelled > 0 {
             write!(f, " ({} cancelled)", self.cancelled)?;
+        }
+        if self.cache_hits > 0 {
+            write!(f, " ({} from cache)", self.cache_hits)?;
         }
         Ok(())
     }
@@ -349,6 +387,31 @@ mod tests {
         let bad = Batch::default().with_solver("nope");
         let results = bad.solve_all_cancellable(&instances, &CancelToken::new());
         assert!(results.iter().all(|r| matches!(r, Err(SolveError::UnknownSolver { .. }))));
+    }
+
+    #[test]
+    fn per_job_deadlines_solve_independently() {
+        let batch = Batch::default();
+        let jobs: Vec<(Instance, Option<Time>)> = mixed_instances(12)
+            .into_iter()
+            .enumerate()
+            .map(|(i, inst)| (inst, if i % 2 == 0 { None } else { Some(12) }))
+            .collect();
+        let results = batch.solve_each_cancellable(&jobs, &CancelToken::new());
+        for ((instance, deadline), result) in jobs.iter().zip(&results) {
+            let expected = match deadline {
+                Some(d) => batch.registry().solve_by_deadline("optimal", instance, *d),
+                None => batch.registry().solve("optimal", instance),
+            };
+            assert_eq!(result, &expected);
+        }
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        let skipped = batch.solve_each_cancellable(&jobs, &cancelled);
+        assert!(skipped.iter().all(|r| matches!(r, Err(SolveError::Cancelled))));
+        let bad = Batch::default().with_solver("nope");
+        let failed = bad.solve_each_cancellable(&jobs, &CancelToken::new());
+        assert!(failed.iter().all(|r| matches!(r, Err(SolveError::UnknownSolver { .. }))));
     }
 
     #[test]

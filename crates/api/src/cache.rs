@@ -1,0 +1,283 @@
+//! Sharded in-memory memo of solved canonical instances.
+//!
+//! Sits in front of [`crate::Batch`] / [`crate::TenantExec`]: requests
+//! are canonicalised ([`crate::canon`]), looked up by
+//! `(content hash, solver, deadline bucket)`, and only misses reach the
+//! worker pool — a hit is a lock-and-clone on one shard, takes no
+//! admission slot and wakes no worker. Entries store the solution of the
+//! *canonical* instance; callers restore it per request via
+//! [`crate::canon::CanonicalInstance::restore`], so hit and miss
+//! responses are bit-identical by construction.
+
+use crate::canon::CanonicalInstance;
+use crate::error::SolveError;
+use crate::instance::Instance;
+use crate::registry::SolverRegistry;
+use crate::solution::Solution;
+use mst_platform::Time;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of independently locked shards.
+const SHARDS: usize = 8;
+
+/// Default per-tenant capacity when the config does not set
+/// `cache_entries`.
+pub const DEFAULT_CACHE_ENTRIES: usize = 4096;
+
+/// Key of one memo entry. The deadline is the *canonical* deadline
+/// (already divided by the extracted scale), so every pure rescaling of a
+/// deadline sweep buckets onto the same entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Content hash of the canonical platform + task count.
+    pub hash: u128,
+    /// Solver name (part of the key: different solvers, different answers).
+    pub solver: String,
+    /// Canonical deadline bucket; `None` for plain makespan solves.
+    pub deadline: Option<Time>,
+}
+
+impl CacheKey {
+    /// The key under which `canon` would be cached for `solver`.
+    pub fn of(canon: &CanonicalInstance, solver: &str) -> CacheKey {
+        CacheKey { hash: canon.hash(), solver: solver.to_string(), deadline: canon.deadline() }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashMap<CacheKey, (u64, Solution)>,
+}
+
+/// A sharded LRU memo of canonical solutions.
+///
+/// Eviction is least-recently-*used* per shard, tracked by a global
+/// monotonic stamp; with `capacity == 0` the cache is disabled (every
+/// lookup misses, inserts are dropped).
+#[derive(Debug)]
+pub struct SolutionCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard: usize,
+    stamp: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SolutionCache {
+    /// A cache holding at most `capacity` entries (rounded up to a
+    /// multiple of the shard count; `0` disables caching entirely).
+    pub fn new(capacity: usize) -> SolutionCache {
+        let per_shard = capacity.div_ceil(SHARDS);
+        SolutionCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard: if capacity == 0 { 0 } else { per_shard },
+            stamp: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache that never stores anything.
+    pub fn disabled() -> SolutionCache {
+        SolutionCache::new(0)
+    }
+
+    /// Whether this cache can ever hold an entry.
+    pub fn is_enabled(&self) -> bool {
+        self.per_shard > 0
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.per_shard * SHARDS
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        // Mix the solver/deadline components in cheaply; the content hash
+        // already distributes well.
+        let mut h = key.hash as u64 ^ (key.hash >> 64) as u64;
+        for b in key.solver.as_bytes() {
+            h = h.wrapping_mul(31).wrapping_add(*b as u64);
+        }
+        if let Some(d) = key.deadline {
+            h = h.wrapping_mul(31).wrapping_add(d as u64);
+        }
+        &self.shards[(h % SHARDS as u64) as usize]
+    }
+
+    /// Looks up a canonical solution, refreshing its LRU stamp. Counts a
+    /// hit or miss.
+    pub fn get(&self, key: &CacheKey) -> Option<Solution> {
+        if !self.is_enabled() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let stamp = self.stamp.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        match shard.entries.get_mut(key) {
+            Some(entry) => {
+                entry.0 = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.1.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a canonical solution, evicting the shard's
+    /// least-recently-used entry when full.
+    pub fn insert(&self, key: CacheKey, solution: Solution) {
+        if !self.is_enabled() {
+            return;
+        }
+        let stamp = self.stamp.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        if !shard.entries.contains_key(&key) && shard.entries.len() >= self.per_shard {
+            if let Some(oldest) =
+                shard.entries.iter().min_by_key(|(_, (s, _))| *s).map(|(k, _)| k.clone())
+            {
+                shard.entries.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.entries.insert(key, (stamp, solution));
+    }
+
+    /// Number of live entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").entries.len()).sum()
+    }
+
+    /// Whether the cache currently holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing (including all lookups on a disabled
+    /// cache).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries displaced by the LRU policy.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for SolutionCache {
+    fn default() -> Self {
+        SolutionCache::new(DEFAULT_CACHE_ENTRIES)
+    }
+}
+
+/// Outcome of a cache-fronted solve: the restored solution plus whether
+/// it came from the memo.
+#[derive(Debug, Clone)]
+pub struct CachedSolve {
+    /// The solution, already mapped back onto the original instance.
+    pub solution: Solution,
+    /// `true` iff the memo supplied the canonical solution.
+    pub cache_hit: bool,
+}
+
+/// Solves `instance` through `cache`: canonicalise, look up, and only on
+/// a miss run `registry`'s solver **on the canonical instance** (so the
+/// cached entry — and therefore every future hit — is the exact solution
+/// a miss would produce). Errors are never cached; canonicalisation makes
+/// them scale-invariant, so retries fail identically.
+pub fn solve_through(
+    cache: &SolutionCache,
+    registry: &SolverRegistry,
+    solver: &str,
+    instance: &Instance,
+    deadline: Option<Time>,
+) -> Result<CachedSolve, SolveError> {
+    let canon = CanonicalInstance::of(instance, solver, deadline);
+    let key = CacheKey::of(&canon, solver);
+    if let Some(hit) = cache.get(&key) {
+        return Ok(CachedSolve { solution: canon.restore(&hit), cache_hit: true });
+    }
+    let solved = match canon.deadline() {
+        Some(d) => registry.solve_by_deadline(solver, canon.instance(), d)?,
+        None => registry.solve(solver, canon.instance())?,
+    };
+    cache.insert(key, solved.clone());
+    Ok(CachedSolve { solution: canon.restore(&solved), cache_hit: false })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mst_platform::Chain;
+
+    fn instance(scale: Time, tasks: usize) -> Instance {
+        Instance::new(
+            Chain::from_pairs(&[(2 * scale, 3 * scale), (3 * scale, 5 * scale)]).unwrap(),
+            tasks,
+        )
+    }
+
+    #[test]
+    fn repeat_solves_hit_and_match_the_direct_answer() {
+        let cache = SolutionCache::new(64);
+        let registry = SolverRegistry::with_defaults();
+        let inst = instance(3, 6);
+        let direct = registry.solve("optimal", &inst).unwrap();
+        let first = solve_through(&cache, &registry, "optimal", &inst, None).unwrap();
+        assert!(!first.cache_hit);
+        assert_eq!(first.solution.makespan(), direct.makespan());
+        // A rescaled equivalent hits the same entry.
+        let second = solve_through(&cache, &registry, "optimal", &instance(7, 6), None).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(second.solution.makespan() / 7, direct.makespan() / 3);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn deadline_buckets_key_separately_from_makespan_solves() {
+        let cache = SolutionCache::new(64);
+        let registry = SolverRegistry::with_defaults();
+        let inst = instance(1, 6);
+        solve_through(&cache, &registry, "optimal", &inst, None).unwrap();
+        let by_deadline = solve_through(&cache, &registry, "optimal", &inst, Some(19)).unwrap();
+        assert!(!by_deadline.cache_hit);
+        let again = solve_through(&cache, &registry, "optimal", &inst, Some(19)).unwrap();
+        assert!(again.cache_hit);
+        assert_eq!(again.solution.makespan(), by_deadline.solution.makespan());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn disabled_cache_never_stores_and_lru_evicts_oldest() {
+        let off = SolutionCache::disabled();
+        let registry = SolverRegistry::with_defaults();
+        let inst = instance(1, 3);
+        solve_through(&off, &registry, "optimal", &inst, None).unwrap();
+        let again = solve_through(&off, &registry, "optimal", &inst, None).unwrap();
+        assert!(!again.cache_hit);
+        assert_eq!(off.len(), 0);
+
+        // Tiny cache: capacity rounds to one entry per shard; hammering
+        // distinct task counts must evict rather than grow unboundedly.
+        let tiny = SolutionCache::new(1);
+        for tasks in 1..=64 {
+            solve_through(&tiny, &registry, "optimal", &instance(1, tasks), None).unwrap();
+        }
+        assert!(tiny.len() <= tiny.capacity());
+        assert!(tiny.evictions() > 0);
+    }
+}

@@ -72,7 +72,10 @@
 //! * `"max_instances"` — per-request instance cap (tightens the
 //!   server-wide cap);
 //! * `"deadline_ms"` — wall-clock budget per request; past it the sweep
-//!   is cancelled at the next checkpoint.
+//!   is cancelled at the next checkpoint;
+//! * `"cache_entries"` — capacity of the tenant's canonical solution
+//!   cache ([`crate::cache::SolutionCache`]); `0` disables caching,
+//!   absent uses the default budget.
 //!
 //! Because [`crate::Solver::name`] returns `&'static str` (names flow
 //! into [`crate::Solution`]s on hot paths), configured names are
@@ -113,8 +116,10 @@ impl fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// Interns a configured name, handing out a `&'static str` without
-/// leaking duplicates across repeated config loads.
-fn intern(name: &str) -> &'static str {
+/// leaking duplicates across repeated config loads. Also used by the
+/// wire codec to rebuild `&'static str` solver names when decoding
+/// persisted solutions.
+pub(crate) fn intern(name: &str) -> &'static str {
     static POOL: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
     let mut pool = POOL.lock().unwrap_or_else(|e| e.into_inner());
     if let Some(&existing) = pool.get(name) {
@@ -214,7 +219,8 @@ fn check_keys(obj: &Json, allowed: &[&str], what: &str) -> Result<(), ConfigErro
 
 /// The execution-limit keys a tenant spec may carry alongside its
 /// registry layering (see [`TenantLimits`]).
-const EXEC_KEYS: [&str; 5] = ["token", "threads", "quota", "max_instances", "deadline_ms"];
+const EXEC_KEYS: [&str; 6] =
+    ["token", "threads", "quota", "max_instances", "deadline_ms", "cache_entries"];
 
 /// Execution limits of one tenant spec: everything about *how much
 /// machine* a tenant gets, as opposed to *which solvers* it sees.
@@ -239,6 +245,9 @@ pub struct TenantLimits {
     /// Per-request wall-clock budget in milliseconds; `None` never
     /// self-cancels.
     pub deadline_ms: Option<u64>,
+    /// Canonical solution-cache capacity in entries; `Some(0)` disables
+    /// caching, `None` uses [`crate::cache::DEFAULT_CACHE_ENTRIES`].
+    pub cache_entries: Option<usize>,
 }
 
 /// Parses the [`TenantLimits`] members of a tenant spec (each optional,
@@ -264,12 +273,22 @@ fn limits_from_spec(spec: &Json) -> Result<TenantLimits, ConfigError> {
             Some(token.to_string())
         }
     };
+    // Unlike the limits above, `cache_entries: 0` is meaningful — it
+    // turns caching off for the tenant.
+    let cache_entries = match spec.get("cache_entries") {
+        None | Some(Json::Null) => None,
+        Some(value) => match value.as_i64() {
+            Some(n) if n >= 0 => Some(n as usize),
+            _ => return Err(ConfigError::new("\"cache_entries\" must be a non-negative integer")),
+        },
+    };
     Ok(TenantLimits {
         token,
         threads: positive("threads")?.map(|n| n as usize),
         quota: positive("quota")?.map(|n| n as usize),
         max_instances: positive("max_instances")?.map(|n| n as usize),
         deadline_ms: positive("deadline_ms")?,
+        cache_entries,
     })
 }
 
@@ -709,6 +728,8 @@ mod tests {
                 "share the API token",
             ),
             (r#"{"registries": {"a": {"token": "b"}, "b": {}}}"#, "share the API token"),
+            (r#"{"registries": {"a": {"cache_entries": -1}}}"#, "non-negative"),
+            (r#"{"registries": {"a": {"cache_entries": "big"}}}"#, "non-negative"),
         ] {
             let err = RegistrySet::parse(text).expect_err(text).to_string();
             assert!(err.contains(needle), "{text}: {err}");
@@ -716,6 +737,9 @@ mod tests {
         // A bare spec may carry limits too (they apply to the default).
         let bare = RegistrySet::parse(r#"{"base": "defaults", "quota": 3}"#).unwrap();
         assert_eq!(bare.default_limits().quota, Some(3));
+        // cache_entries: 0 is valid — it disables the tenant's cache.
+        let off = RegistrySet::parse(r#"{"registries": {"a": {"cache_entries": 0}}}"#).unwrap();
+        assert_eq!(off.limits("a").unwrap().cache_entries, Some(0));
     }
 
     #[test]

@@ -47,6 +47,7 @@
 //! ```
 
 use crate::batch::Batch;
+use crate::cache::{SolutionCache, DEFAULT_CACHE_ENTRIES};
 use crate::config::TenantLimits;
 use crate::registry::SolverRegistry;
 use mst_sim::{CancelToken, WorkerPool};
@@ -75,6 +76,10 @@ pub struct ExecPolicy {
     /// Per-request wall-clock budget; past it, sweeps cancel at the
     /// next checkpoint.
     pub deadline: Option<Duration>,
+    /// Capacity of the tenant's canonical solution cache; `Some(0)`
+    /// disables caching, `None` uses
+    /// [`crate::cache::DEFAULT_CACHE_ENTRIES`].
+    pub cache_entries: Option<usize>,
 }
 
 impl ExecPolicy {
@@ -89,6 +94,7 @@ impl ExecPolicy {
             quota: None,
             max_instances: None,
             deadline: None,
+            cache_entries: None,
         }
     }
 
@@ -106,6 +112,7 @@ impl ExecPolicy {
             quota: limits.quota,
             max_instances: limits.max_instances,
             deadline: limits.deadline_ms.map(Duration::from_millis),
+            cache_entries: limits.cache_entries,
         }
     }
 
@@ -130,6 +137,13 @@ impl ExecPolicy {
     /// Arms a per-request wall-clock deadline budget.
     pub fn deadline(mut self, budget: Duration) -> ExecPolicy {
         self.deadline = Some(budget);
+        self
+    }
+
+    /// Budgets the canonical solution cache at `entries` entries (`0`
+    /// disables caching for this tenant).
+    pub fn cache_entries(mut self, entries: usize) -> ExecPolicy {
+        self.cache_entries = Some(entries);
         self
     }
 
@@ -195,6 +209,13 @@ pub struct TenantStats {
     /// Instances skipped by cancellation (deadline budget or client
     /// disconnect).
     pub cancelled_total: AtomicU64,
+    /// Requests answered from the canonical solution cache.
+    pub cache_hits_total: AtomicU64,
+    /// Cache lookups that had to fall through to a solver.
+    pub cache_misses_total: AtomicU64,
+    /// Records appended to (or preloaded from) the persistent result
+    /// store on behalf of this tenant.
+    pub store_records: AtomicU64,
 }
 
 impl TenantStats {
@@ -216,6 +237,7 @@ pub struct TenantExec {
     batch: Batch,
     in_flight: AtomicUsize,
     stats: TenantStats,
+    cache: SolutionCache,
 }
 
 impl TenantExec {
@@ -230,7 +252,14 @@ impl TenantExec {
             None => fallback,
         };
         let batch = Batch::new(policy.registry.clone()).with_pool(pool);
-        TenantExec { policy, batch, in_flight: AtomicUsize::new(0), stats: TenantStats::default() }
+        let cache = SolutionCache::new(policy.cache_entries.unwrap_or(DEFAULT_CACHE_ENTRIES));
+        TenantExec {
+            policy,
+            batch,
+            in_flight: AtomicUsize::new(0),
+            stats: TenantStats::default(),
+            cache,
+        }
     }
 
     /// The policy this tenant executes under.
@@ -246,6 +275,12 @@ impl TenantExec {
     /// Live per-tenant counters.
     pub fn stats(&self) -> &TenantStats {
         &self.stats
+    }
+
+    /// The tenant's canonical solution cache (sized by the policy's
+    /// `cache_entries`; disabled when it is `0`).
+    pub fn cache(&self) -> &SolutionCache {
+        &self.cache
     }
 
     /// Currently admitted (in-flight) requests — the live queue-depth
@@ -422,6 +457,7 @@ mod tests {
             quota: Some(3),
             max_instances: Some(1000),
             deadline_ms: Some(250),
+            cache_entries: Some(128),
         };
         let p = ExecPolicy::from_limits("acme", SolverRegistry::global().clone(), &limits);
         assert_eq!(p.effective_token(), "key");
@@ -429,6 +465,8 @@ mod tests {
         assert_eq!(p.quota, Some(3));
         assert_eq!(p.max_instances, Some(1000));
         assert_eq!(p.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(p.cache_entries, Some(128));
+        assert_eq!(TenantExec::new(p, shared_pool()).cache().capacity(), 128);
         // The name is the fallback token.
         let bare = ExecPolicy::new("acme", SolverRegistry::global().clone());
         assert_eq!(bare.effective_token(), "acme");

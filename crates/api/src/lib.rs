@@ -29,6 +29,13 @@
 //!   multi-tenant layer behind `mst serve`;
 //! * [`fleet`] — the shared seeded instance-fleet generators behind
 //!   `/batch {"generate": ...}`, `mst batch` and the benchmark;
+//! * [`canon`] — canonical instance forms ([`canon::CanonicalInstance`]):
+//!   uniform time scale extracted, legs/children sorted where the solver
+//!   permits, a stable 128-bit content hash, and a proven
+//!   solution-restore round-trip;
+//! * [`cache`] — the sharded LRU memo of canonical solutions
+//!   ([`cache::SolutionCache`]) that lets repeat traffic skip the worker
+//!   pools entirely;
 //! * [`wire`] — the dependency-free JSON codec carrying instances,
 //!   solutions and errors over the `mst-serve` HTTP front-end.
 //!
@@ -51,6 +58,8 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod cache;
+pub mod canon;
 pub mod config;
 pub mod error;
 pub mod exec;
@@ -64,6 +73,8 @@ pub mod solvers;
 pub mod wire;
 
 pub use batch::{Batch, BatchSummary};
+pub use cache::{CacheKey, CachedSolve, SolutionCache};
+pub use canon::{CanonLevel, CanonicalInstance};
 pub use config::{ConfigError, RegistrySet, TenantLimits};
 pub use error::SolveError;
 pub use exec::{AdmissionError, AdmitGuard, ExecPolicy, TenantExec, TenantStats};

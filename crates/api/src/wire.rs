@@ -17,6 +17,13 @@
 //!   witnessed solutions) the full schedule, task by task, **losslessly**:
 //!   every task carries its complete communication vector and work time,
 //!   so clients can reconstruct and re-verify the witness;
+//! * [`solution_from_json`] — the full inverse: chain, spider (with or
+//!   without a recorded cover) and tree witnesses, relaxations and
+//!   makespan-only solutions all decode back to the identical
+//!   [`Solution`] — the persistent result store rides on this;
+//! * [`summary_to_json`] / [`summary_from_json`] — the
+//!   [`BatchSummary`] codec behind `/batch` replies (lossless,
+//!   `cache_hits` included);
 //! * [`tree_schedule_to_json`] / [`tree_schedule_from_json`] — the
 //!   round-trip for the universal tree witness format, validating types
 //!   without trusting the payload (feasibility stays the oracle's job);
@@ -37,10 +44,15 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use crate::batch::BatchSummary;
 use crate::error::SolveError;
 use crate::instance::Instance;
+use crate::platform::Platform;
 use crate::solution::{ScheduleRepr, Solution};
-use mst_schedule::{CommVector, TreeSchedule, TreeTask};
+use mst_platform::NodeId;
+use mst_schedule::{
+    ChainSchedule, CommVector, SpiderSchedule, SpiderTask, TaskAssignment, TreeSchedule, TreeTask,
+};
 use std::fmt;
 
 /// Deepest permitted nesting while parsing — adversarial `[[[[...]]]]`
@@ -54,7 +66,10 @@ pub struct WireError {
 }
 
 impl WireError {
-    fn new(message: impl Into<String>) -> WireError {
+    /// A decode failure with the given human-readable reason. Public so
+    /// downstream codecs (the `mst-store` record format) can reuse the
+    /// error type for their own envelope fields.
+    pub fn new(message: impl Into<String>) -> WireError {
         WireError { message: message.into() }
     }
 }
@@ -577,14 +592,210 @@ pub fn solution_to_json(solution: &Solution) -> Json {
         Some(t) => Json::Num(t),
         None => Json::Null,
     };
+    let cover = match solution.sub_platform() {
+        Some(spider) => Json::str(Platform::Spider(spider.clone()).to_text()),
+        None => Json::Null,
+    };
     Json::obj([
         ("solver", Json::str(solution.solver())),
         ("makespan", Json::int(solution.makespan())),
         ("scheduled", Json::int(solution.n() as i64)),
         ("witnessed", Json::Bool(solution.is_witnessed())),
         ("schedule", schedule),
+        ("cover", cover),
         ("relaxed_makespan", relaxed),
     ])
+}
+
+/// Reads one required integer field of a schedule task object.
+fn task_int(item: &Json, i: usize, key: &str) -> Result<i64, WireError> {
+    item.get(key)
+        .and_then(Json::as_i64)
+        .ok_or_else(|| WireError::new(format!("tasks[{i}]: missing integer \"{key}\"")))
+}
+
+/// Reads and validates the `"comms"` array of a schedule task object.
+fn task_comms(item: &Json, i: usize) -> Result<Vec<i64>, WireError> {
+    let comms = item
+        .get("comms")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| WireError::new(format!("tasks[{i}]: missing array \"comms\"")))?
+        .iter()
+        .map(|t| {
+            t.as_i64()
+                .ok_or_else(|| WireError::new(format!("tasks[{i}]: non-integer emission time")))
+        })
+        .collect::<Result<Vec<i64>, WireError>>()?;
+    if comms.is_empty() {
+        return Err(WireError::new(format!("tasks[{i}]: \"comms\" must not be empty")));
+    }
+    Ok(comms)
+}
+
+/// The `"tasks"` array of a schedule object.
+fn schedule_tasks(json: &Json) -> Result<&[Json], WireError> {
+    json.get("tasks")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| WireError::new("missing array field \"tasks\""))
+}
+
+fn chain_schedule_from_json(json: &Json) -> Result<ChainSchedule, WireError> {
+    let mut tasks: Vec<TaskAssignment> = Vec::new();
+    for (i, item) in schedule_tasks(json)?.iter().enumerate() {
+        let proc = task_int(item, i, "proc")?;
+        if proc < 1 {
+            return Err(WireError::new(format!("tasks[{i}]: proc must be at least 1, got {proc}")));
+        }
+        let start = task_int(item, i, "start")?;
+        let work = task_int(item, i, "work")?;
+        let comms = task_comms(item, i)?;
+        if comms.len() != proc as usize {
+            return Err(WireError::new(format!(
+                "tasks[{i}]: \"comms\" must carry exactly {proc} emission time(s), got {}",
+                comms.len()
+            )));
+        }
+        if let Some(prev) = tasks.last() {
+            if prev.comms.first() > comms[0] {
+                return Err(WireError::new(format!(
+                    "tasks[{i}]: tasks must be listed in master-emission order"
+                )));
+            }
+        }
+        tasks.push(TaskAssignment::new(proc as usize, start, CommVector::new(comms), work));
+    }
+    Ok(ChainSchedule::new(tasks))
+}
+
+fn spider_schedule_from_json(json: &Json) -> Result<SpiderSchedule, WireError> {
+    let mut tasks: Vec<SpiderTask> = Vec::new();
+    for (i, item) in schedule_tasks(json)?.iter().enumerate() {
+        let leg = task_int(item, i, "leg")?;
+        let depth = task_int(item, i, "depth")?;
+        if leg < 0 {
+            return Err(WireError::new(format!("tasks[{i}]: leg must be non-negative, got {leg}")));
+        }
+        if depth < 1 {
+            return Err(WireError::new(format!(
+                "tasks[{i}]: depth must be at least 1, got {depth}"
+            )));
+        }
+        let start = task_int(item, i, "start")?;
+        let work = task_int(item, i, "work")?;
+        let comms = task_comms(item, i)?;
+        if comms.len() != depth as usize {
+            return Err(WireError::new(format!(
+                "tasks[{i}]: \"comms\" must carry exactly {depth} emission time(s), got {}",
+                comms.len()
+            )));
+        }
+        tasks.push(SpiderTask::new(
+            NodeId { leg: leg as usize, depth: depth as usize },
+            start,
+            CommVector::new(comms),
+            work,
+        ));
+    }
+    Ok(SpiderSchedule::new(tasks))
+}
+
+/// Decodes a [`solution_to_json`] body back into a [`Solution`] — the
+/// inverse the persistent result store needs to warm-start the cache.
+///
+/// The decode is structural: field types, vector lengths and emission
+/// order are validated (malformed bodies error instead of panicking),
+/// but feasibility is **not** re-derived here — that stays
+/// [`crate::verify`]'s job. `makespan`/`scheduled`/`witnessed` are
+/// recomputed from the decoded schedule, so a tampered summary field
+/// cannot disagree with the witness it rides along.
+pub fn solution_from_json(json: &Json) -> Result<Solution, WireError> {
+    let solver = json
+        .get("solver")
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError::new("missing string field \"solver\""))?;
+    let solver: &'static str = crate::config::intern(solver);
+    let schedule = match json.get("schedule") {
+        None | Some(Json::Null) => None,
+        Some(schedule) => Some(schedule),
+    };
+    let Some(schedule) = schedule else {
+        if let Some(relaxed) = json.get("relaxed_makespan").and_then(Json::as_f64) {
+            return Ok(Solution::from_relaxation(solver, relaxed));
+        }
+        let makespan = json
+            .get("makespan")
+            .and_then(Json::as_i64)
+            .ok_or_else(|| WireError::new("missing integer field \"makespan\""))?;
+        return Ok(Solution::from_makespan(solver, makespan));
+    };
+    match schedule.get("repr").and_then(Json::as_str) {
+        Some("chain") => Ok(Solution::from_chain(solver, chain_schedule_from_json(schedule)?)),
+        Some("spider") => {
+            let decoded = spider_schedule_from_json(schedule)?;
+            match json.get("cover") {
+                None | Some(Json::Null) => Ok(Solution::from_spider(solver, decoded)),
+                Some(cover) => {
+                    let text = cover
+                        .as_str()
+                        .ok_or_else(|| WireError::new("\"cover\" must be a platform string"))?;
+                    let platform = Platform::parse(text)
+                        .map_err(|e| WireError::new(format!("invalid cover platform: {e}")))?;
+                    let spider = platform
+                        .as_spider()
+                        .cloned()
+                        .ok_or_else(|| WireError::new("\"cover\" must be a spider platform"))?;
+                    Ok(Solution::from_cover(solver, spider, decoded))
+                }
+            }
+        }
+        Some("tree") => Ok(Solution::from_tree(solver, tree_schedule_from_json(schedule)?)),
+        Some(other) => Err(WireError::new(format!("unknown schedule repr {other:?}"))),
+        None => Err(WireError::new("missing string field \"repr\"")),
+    }
+}
+
+/// Encodes a [`BatchSummary`] — the `"summary"` member of `/batch`
+/// replies and NDJSON trailer lines.
+pub fn summary_to_json(summary: &BatchSummary) -> Json {
+    Json::obj([
+        ("solved", Json::int(summary.solved as i64)),
+        ("failed", Json::int(summary.failed as i64)),
+        ("cancelled", Json::int(summary.cancelled as i64)),
+        ("cache_hits", Json::int(summary.cache_hits as i64)),
+        ("total_tasks", Json::int(summary.total_tasks as i64)),
+        ("total_makespan", Json::int(summary.total_makespan)),
+        ("max_makespan", Json::int(summary.max_makespan)),
+    ])
+}
+
+/// Decodes a [`summary_to_json`] body. Counters must be non-negative
+/// integers; `cache_hits` is optional (pre-cache producers omit it).
+pub fn summary_from_json(json: &Json) -> Result<BatchSummary, WireError> {
+    let count = |key: &str| -> Result<usize, WireError> {
+        match json.get(key) {
+            None if key == "cache_hits" => Ok(0),
+            value => {
+                value.and_then(Json::as_i64).filter(|&n| n >= 0).map(|n| n as usize).ok_or_else(
+                    || WireError::new(format!("missing non-negative integer field \"{key}\"")),
+                )
+            }
+        }
+    };
+    Ok(BatchSummary {
+        solved: count("solved")?,
+        failed: count("failed")?,
+        cancelled: count("cancelled")?,
+        cache_hits: count("cache_hits")?,
+        total_tasks: count("total_tasks")?,
+        total_makespan: json
+            .get("total_makespan")
+            .and_then(Json::as_i64)
+            .ok_or_else(|| WireError::new("missing integer field \"total_makespan\""))?,
+        max_makespan: json
+            .get("max_makespan")
+            .and_then(Json::as_i64)
+            .ok_or_else(|| WireError::new("missing integer field \"max_makespan\""))?,
+    })
 }
 
 /// The stable machine-readable kind string of a [`SolveError`], used by
@@ -764,6 +975,108 @@ mod tests {
             let comms = encoded.get("comms").unwrap().as_arr().unwrap();
             assert_eq!(comms.len(), task.comms.len());
             assert_eq!(comms[0].as_i64(), Some(task.comms.first()));
+        }
+    }
+
+    #[test]
+    fn solutions_decode_back_to_the_identical_value() {
+        let registry = SolverRegistry::global();
+        // One instance per witness shape: chain, spider, tree + cover
+        // (optimal on a tree), tree repr (exact on a tree), relaxation.
+        let tree = Platform::parse("tree\nnode 0 1 2\nnode 1 2 3\nnode 0 4 5\n").unwrap();
+        let cases: Vec<Solution> = vec![
+            registry
+                .solve("optimal", &Instance::new(Platform::parse("chain\n2 3\n3 5\n").unwrap(), 5))
+                .unwrap(),
+            registry
+                .solve(
+                    "spider-optimal",
+                    &Instance::new(Platform::parse("spider\nleg 2 3 3 5\nleg 1 4\n").unwrap(), 6),
+                )
+                .unwrap(),
+            registry.solve("optimal", &Instance::new(tree.clone(), 4)).unwrap(),
+            registry.solve("exact", &Instance::new(tree.clone(), 3)).unwrap(),
+            registry
+                .solve("divisible", &Instance::new(Platform::fork(&[(1, 2), (2, 2)]).unwrap(), 4))
+                .unwrap(),
+            Solution::from_makespan("optimal", 42),
+        ];
+        for solution in cases {
+            let json = solution_to_json(&solution);
+            let reparsed = Json::parse(&json.to_string()).unwrap();
+            let back = solution_from_json(&reparsed).unwrap();
+            assert_eq!(back, solution, "wire round-trip must be lossless");
+        }
+    }
+
+    #[test]
+    fn solution_decoding_rejects_malformed_witnesses() {
+        for body in [
+            // No solver name.
+            r#"{"makespan": 3}"#,
+            // Unwitnessed without a makespan.
+            r#"{"solver": "x", "schedule": null}"#,
+            // Unknown repr.
+            r#"{"solver": "x", "schedule": {"repr": "ring", "tasks": []}}"#,
+            r#"{"solver": "x", "schedule": {"tasks": []}}"#,
+            // Chain: comms length must equal proc (constructor asserts).
+            r#"{"solver": "x", "schedule": {"repr": "chain", "tasks": [
+                {"proc": 2, "start": 0, "work": 1, "comms": [0]}]}}"#,
+            r#"{"solver": "x", "schedule": {"repr": "chain", "tasks": [
+                {"proc": 0, "start": 0, "work": 1, "comms": []}]}}"#,
+            // Chain: emission order is part of the representation.
+            r#"{"solver": "x", "schedule": {"repr": "chain", "tasks": [
+                {"proc": 1, "start": 5, "work": 1, "comms": [5]},
+                {"proc": 1, "start": 0, "work": 1, "comms": [0]}]}}"#,
+            // Spider: depth/comms mismatch and bad coordinates.
+            r#"{"solver": "x", "schedule": {"repr": "spider", "tasks": [
+                {"leg": 0, "depth": 2, "start": 0, "work": 1, "comms": [0]}]}}"#,
+            r#"{"solver": "x", "schedule": {"repr": "spider", "tasks": [
+                {"leg": -1, "depth": 1, "start": 0, "work": 1, "comms": [0]}]}}"#,
+            r#"{"solver": "x", "schedule": {"repr": "spider", "tasks": [
+                {"leg": 0, "depth": 0, "start": 0, "work": 1, "comms": []}]}}"#,
+            // Bad cover payloads.
+            r#"{"solver": "x", "cover": 3,
+                "schedule": {"repr": "spider", "tasks": []}}"#,
+            r#"{"solver": "x", "cover": "chain\n1 1\n",
+                "schedule": {"repr": "spider", "tasks": []}}"#,
+            r#"{"solver": "x", "cover": "garbage",
+                "schedule": {"repr": "spider", "tasks": []}}"#,
+        ] {
+            let parsed = Json::parse(body).unwrap();
+            assert!(solution_from_json(&parsed).is_err(), "{body} must be rejected");
+        }
+    }
+
+    #[test]
+    fn summaries_round_trip_and_validate() {
+        let summary = BatchSummary {
+            solved: 7,
+            failed: 2,
+            cancelled: 1,
+            cache_hits: 4,
+            total_tasks: 35,
+            total_makespan: 480,
+            max_makespan: 99,
+        };
+        let json = summary_to_json(&summary);
+        let back = summary_from_json(&Json::parse(&json.to_string()).unwrap()).unwrap();
+        assert_eq!(back, summary);
+        // cache_hits is optional for pre-cache producers.
+        let legacy = Json::parse(
+            r#"{"solved": 1, "failed": 0, "cancelled": 0,
+                "total_tasks": 5, "total_makespan": 14, "max_makespan": 14}"#,
+        )
+        .unwrap();
+        assert_eq!(summary_from_json(&legacy).unwrap().cache_hits, 0);
+        for body in [
+            r#"{}"#,
+            r#"{"solved": -1, "failed": 0, "cancelled": 0, "cache_hits": 0,
+                "total_tasks": 0, "total_makespan": 0, "max_makespan": 0}"#,
+            r#"{"solved": 1, "failed": 0, "cancelled": 0, "cache_hits": 0,
+                "total_tasks": 0, "max_makespan": 0}"#,
+        ] {
+            assert!(summary_from_json(&Json::parse(body).unwrap()).is_err(), "{body}");
         }
     }
 

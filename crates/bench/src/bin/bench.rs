@@ -10,6 +10,11 @@
 //! * **tree exact** — `Batch::solve_all` with the `exact`
 //!   branch-and-bound over a fleet of small general trees (the witness
 //!   reconstruction path guarded end-to-end), instances per second;
+//! * **cached sweep** — a repeat-heavy stream (200 distinct instances
+//!   tiled out to the fleet size) answered by the canonical-form
+//!   [`SolutionCache`], instances per second, with the same stream
+//!   solved directly as the uncached reference — the cached number must
+//!   stay at least 5× the reference;
 //! * **fork expansion** — one `max_tasks_fork_by_deadline` selection on
 //!   a 16-slave star (the inner loop of every deadline sweep), reported
 //!   as nanoseconds per op;
@@ -36,9 +41,10 @@
 //! The JSON is flat `{"key": number}` pairs — no serde dependency, just
 //! formatted text (read back via `mst_api::wire::Json`).
 
+use mst_api::cache::solve_through;
 use mst_api::fleet::{exact_tree_fleet, mixed_fleet};
 use mst_api::wire::Json;
-use mst_api::{Batch, SolverRegistry};
+use mst_api::{Batch, SolutionCache, SolverRegistry};
 use mst_fork::{max_tasks_fork_by_deadline, schedule_fork};
 use mst_platform::{GeneratorConfig, HeterogeneityProfile};
 use std::hint::black_box;
@@ -59,10 +65,11 @@ fn median_secs<F: FnMut()>(runs: usize, mut f: F) -> f64 {
 
 /// The throughput keys guarded by `--check` (higher is better; the
 /// ns-per-op keys are too noisy on shared CI boxes to gate on).
-const GUARDED_KEYS: [&str; 3] = [
+const GUARDED_KEYS: [&str; 4] = [
     "solve_all_instances_per_sec",
     "solve_all_by_deadline_instances_per_sec",
     "tree_exact_instances_per_sec",
+    "cached_sweep_instances_per_sec",
 ];
 
 /// Compares fresh results against a recorded baseline; returns the
@@ -143,6 +150,40 @@ fn main() {
     });
     let exact_throughput = exact_n as f64 / secs;
 
+    // --- Canonical-form cache: a repeat-heavy sweep. -------------------
+    // 200 distinct instances tiled out to the fleet size — the shape of
+    // parameter scans and dashboard refreshes. The cache is warmed
+    // outside the timed region; the timed sweep is pure hits (lookup +
+    // restore). The same tiled stream solved directly, sequentially, is
+    // the apples-to-apples uncached reference.
+    let distinct = mixed_fleet(200.min(instances_n));
+    let tiled: Vec<&mst_api::Instance> =
+        (0..instances_n as usize).map(|i| &distinct[i % distinct.len()]).collect();
+    let registry = SolverRegistry::with_defaults();
+    let cache = SolutionCache::new(1024);
+    for inst in &distinct {
+        solve_through(&cache, &registry, "optimal", inst, None).expect("warm-up solves cleanly");
+    }
+    let secs = median_secs(runs, || {
+        for inst in &tiled {
+            black_box(solve_through(&cache, &registry, "optimal", black_box(inst), None))
+                .expect("cached sweep solves cleanly");
+        }
+    });
+    let cached_throughput = instances_n as f64 / secs;
+    let secs = median_secs(runs, || {
+        for inst in &tiled {
+            black_box(registry.solve("optimal", black_box(inst)))
+                .expect("uncached sweep solves cleanly");
+        }
+    });
+    let uncached_throughput = instances_n as f64 / secs;
+    assert!(
+        cached_throughput >= 5.0 * uncached_throughput,
+        "cached sweep must be at least 5x the uncached reference \
+         (cached {cached_throughput:.0}/s vs uncached {uncached_throughput:.0}/s)"
+    );
+
     // --- Fork expansion + selection: the deadline-sweep inner loop. ----
     let fork = GeneratorConfig::new(HeterogeneityProfile::ALL[0], 11).fork(16);
     let n = 256usize;
@@ -164,7 +205,7 @@ fn main() {
     let search_ns = secs * 1e9 / search_iters as f64;
 
     let json = format!(
-        "{{\n  \"instances\": {instances_n},\n  \"solve_all_instances_per_sec\": {solve_throughput:.0},\n  \"solve_all_by_deadline_instances_per_sec\": {deadline_throughput:.0},\n  \"tree_exact_instances\": {exact_n},\n  \"tree_exact_instances_per_sec\": {exact_throughput:.0},\n  \"fork_selection_ns_per_op\": {expansion_ns:.0},\n  \"schedule_fork_ns_per_op\": {search_ns:.0}\n}}\n"
+        "{{\n  \"instances\": {instances_n},\n  \"solve_all_instances_per_sec\": {solve_throughput:.0},\n  \"solve_all_by_deadline_instances_per_sec\": {deadline_throughput:.0},\n  \"tree_exact_instances\": {exact_n},\n  \"tree_exact_instances_per_sec\": {exact_throughput:.0},\n  \"cached_sweep_instances_per_sec\": {cached_throughput:.0},\n  \"repeat_sweep_uncached_instances_per_sec\": {uncached_throughput:.0},\n  \"fork_selection_ns_per_op\": {expansion_ns:.0},\n  \"schedule_fork_ns_per_op\": {search_ns:.0}\n}}\n"
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     print!("{json}");

@@ -36,6 +36,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "tenants" => cmd_tenants(args),
         "batch" => cmd_batch(args),
         "serve" => cmd_serve(args),
+        "history" => cmd_history(args),
         "" | "help" | "--help" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n\n{}", usage())),
     }
@@ -63,10 +64,17 @@ USAGE:
               [--solver NAME] [--profile NAME] [--deadline T]
         Generate K seeded instances and sweep them across all cores.
     mst serve [--addr HOST:PORT] [--threads N] [--solvers-config FILE]
+              [--store FILE]
         Serve the solver API over HTTP (default 127.0.0.1:8080):
-        POST /solve, POST /batch, GET /solvers, /healthz, /metrics.
-        --solvers-config loads per-tenant registries selectable by the
-        registry request field. Stops gracefully on ctrl-c.
+        POST /solve, POST /batch, GET /solvers, /healthz, /metrics,
+        /history. --solvers-config loads per-tenant registries
+        selectable by the registry request field. --store appends every
+        solved instance to a crash-safe record log, serves GET /history
+        from it and warm-starts the solution cache from prior records
+        on boot. Stops gracefully on ctrl-c.
+    mst history <store> [--tenant NAME] [--solver NAME] [--limit K]
+        Inspect a result store offline: the records a --store server
+        appended, newest first, filterable by tenant and solver.
     mst validate <instance> <schedule>
         Check a schedule file: Definition-1 oracle + event replay.
     mst gantt <instance> <schedule>
@@ -326,8 +334,17 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         Some(_) => Some(positive_opt(args, "threads", 1)? as usize),
     };
     let registries = load_registry_set(args, "solvers-config")?;
-    let config =
-        mst_serve::ServeConfig { addr, threads, registries, ..mst_serve::ServeConfig::default() };
+    let store = match args.opt("store") {
+        Some("") => return Err("--store expects a file path".into()),
+        other => other.map(String::from),
+    };
+    let config = mst_serve::ServeConfig {
+        addr,
+        threads,
+        registries,
+        store,
+        ..mst_serve::ServeConfig::default()
+    };
     let server = mst_serve::Server::bind(config).map_err(|e| format!("cannot serve: {e}"))?;
     mst_serve::install_sigint_handler();
     // Announce readiness before blocking so scripts (and the CI smoke)
@@ -338,6 +355,44 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         "shut down after {} connection(s), {} request(s), {} instance(s) solved\n",
         report.connections, report.requests, report.solved
     ))
+}
+
+/// `mst history <store>` — inspect a `--store` record log offline:
+/// which instances were solved, by which tenant and solver, how fast.
+fn cmd_history(args: &Args) -> Result<String, String> {
+    use mst_store::StoreBackend as _;
+    let path = args.pos(0, "store")?;
+    if !std::path::Path::new(path).is_file() {
+        return Err(format!("no result store at {path} (start one with mst serve --store {path})"));
+    }
+    let store = mst_store::FileStore::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let limit = positive_opt(args, "limit", 50)? as usize;
+    let records = store.records();
+    let page = mst_store::query(&records, args.opt("tenant"), args.opt("solver"), limit);
+    let mut out = String::new();
+    writeln!(out, "{} record(s) in {path} ({} shown, newest first)", records.len(), page.len())
+        .unwrap();
+    writeln!(
+        out,
+        "{:<12} {:<18} {:>6} {:>9} {:>9} {:>11}  platform",
+        "tenant", "solver", "tasks", "deadline", "makespan", "elapsed-us"
+    )
+    .unwrap();
+    for r in page {
+        writeln!(
+            out,
+            "{:<12} {:<18} {:>6} {:>9} {:>9} {:>11}  {}",
+            r.tenant,
+            r.solver,
+            r.tasks,
+            r.deadline.map_or_else(|| "-".to_string(), |d| d.to_string()),
+            r.makespan,
+            r.elapsed_us,
+            r.platform.lines().next().unwrap_or(""),
+        )
+        .unwrap();
+    }
+    Ok(out)
 }
 
 fn cmd_validate(args: &Args) -> Result<String, String> {
@@ -806,9 +861,60 @@ mod tests {
     }
 
     #[test]
+    fn history_command_reads_a_store_log() {
+        use mst_store::StoreBackend as _;
+        let path = std::env::temp_dir().join(format!("mst-cli-history-{}.log", std::process::id()));
+        let _ = fs::remove_file(&path);
+        // A missing store is a loud error, not an empty listing.
+        let err = run_line(&format!("history {}", path.display())).unwrap_err();
+        assert!(err.contains("no result store"), "{err}");
+        // Write records the way a --store server does, then read back.
+        let store = mst_store::FileStore::open(&path).unwrap();
+        let registry = SolverRegistry::global();
+        for (tenant, solver, tasks) in
+            [("default", "optimal", 5), ("acme", "eager", 3), ("default", "optimal", 7)]
+        {
+            let instance = Instance::new(Platform::parse("chain\n2 3\n3 5\n").unwrap(), tasks);
+            let solution = registry.solve(solver, &instance).unwrap();
+            store
+                .append(&mst_store::Record {
+                    tenant: tenant.into(),
+                    solver: solver.into(),
+                    platform: instance.platform.to_text(),
+                    tasks,
+                    deadline: None,
+                    canon_hash: format!("{:032x}", tasks),
+                    makespan: solution.makespan(),
+                    scheduled: solution.n(),
+                    elapsed_us: 10,
+                    solution: mst_api::wire::solution_to_json(&solution),
+                })
+                .unwrap();
+        }
+        drop(store);
+        let out = run_line(&format!("history {}", path.display())).unwrap();
+        assert!(out.contains("3 record(s)"), "{out}");
+        assert!(out.contains("acme"), "{out}");
+        let out =
+            run_line(&format!("history {} --tenant default --limit 1", path.display())).unwrap();
+        assert!(out.contains("1 shown"), "{out}");
+        assert!(!out.contains("acme"), "filtered out:\n{out}");
+        // Newest first: the limit-1 page shows the 7-task record.
+        assert!(out.lines().any(|l| l.contains("optimal") && l.contains(" 7 ")), "{out}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn serve_command_accepts_a_store_path() {
+        let err = run_line("serve --store").unwrap_err();
+        assert!(err.contains("--store expects"), "{err}");
+    }
+
+    #[test]
     fn help_and_unknown_commands() {
         assert!(run_line("help").unwrap().contains("USAGE"));
         assert!(run_line("help").unwrap().contains("serve"));
+        assert!(run_line("help").unwrap().contains("history"));
         assert!(run_line("frobnicate").unwrap_err().contains("unknown command"));
         assert!(run_line("").unwrap().contains("USAGE"));
     }

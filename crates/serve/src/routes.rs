@@ -7,8 +7,19 @@
 //! | `GET /solvers`  | the solver registry (names, topologies, T_lim)    |
 //! | `GET /metrics`  | global + per-tenant counters, live queue depth    |
 //! | `GET /tenants`  | the resolved execution policies (tokens masked)   |
+//! | `GET /history`  | the persistent result store (`--store` servers)   |
 //! | `POST /solve`   | one instance, solver selectable by registry name  |
 //! | `POST /batch`   | an instance sweep through the worker pool         |
+//!
+//! Both solve paths are fronted by the tenant's **canonical solution
+//! cache** ([`mst_api::cache`]): each instance is canonicalized
+//! ([`CanonicalInstance`]) and looked up first; a hit restores the
+//! cached canonical solution (rescale + leg/node remap, so `verify`
+//! still passes) **without taking an admission slot or waking a
+//! worker**. Misses solve the *canonical* instance, memoise it, and
+//! append a record to the persistent store when one is configured —
+//! which is what `GET /history` reads back and what a restarted server
+//! warm-starts its caches from.
 //!
 //! When the server was configured with named registries (`mst serve
 //! --solvers-config`), `/solve` and `/batch` accept a `"registry"` body
@@ -36,9 +47,13 @@ use crate::server::ServiceState;
 use mst_api::exec::{AdmissionError, TenantExec};
 use mst_api::fleet::SweepSpec;
 use mst_api::wire::{error_to_json, instance_from_json, solution_to_json, Json};
-use mst_api::{verify, Batch, BatchSummary, Instance, Solution, SolveError, TopologyKind};
+use mst_api::{
+    verify, Batch, BatchSummary, CacheKey, CanonicalInstance, Instance, Solution, SolveError,
+    TopologyKind,
+};
 use mst_platform::HeterogeneityProfile;
 use mst_sim::CancelToken;
+use mst_store::Record;
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 use std::time::Instant;
@@ -68,15 +83,18 @@ pub fn route_on(request: &Request, state: &ServiceState, stream: Option<&mut Tcp
         ("GET", "/solvers") => Routed::Reply(solvers(request, state)),
         ("GET", "/metrics") => Routed::Reply(metrics(state)),
         ("GET", "/tenants") => Routed::Reply(tenants(state)),
+        ("GET", "/history") => Routed::Reply(history(request, state)),
         ("POST", "/solve") => Routed::Reply(solve(request, state)),
         ("POST", "/batch") => batch(request, state, stream),
-        (_, "/" | "/healthz" | "/solvers" | "/metrics" | "/tenants" | "/solve" | "/batch") => {
-            Routed::Reply(error_response(
-                405,
-                "method-not-allowed",
-                &format!("{} does not accept {}", request.path, request.method),
-            ))
-        }
+        (
+            _,
+            "/" | "/healthz" | "/solvers" | "/metrics" | "/tenants" | "/history" | "/solve"
+            | "/batch",
+        ) => Routed::Reply(error_response(
+            405,
+            "method-not-allowed",
+            &format!("{} does not accept {}", request.path, request.method),
+        )),
         (_, path) => {
             Routed::Reply(error_response(404, "not-found", &format!("no endpoint {path}")))
         }
@@ -172,6 +190,7 @@ fn index() -> Response {
                         "GET /solvers",
                         "GET /metrics",
                         "GET /tenants",
+                        "GET /history",
                         "POST /solve",
                         "POST /batch",
                     ]
@@ -256,6 +275,10 @@ fn metrics(state: &ServiceState) -> Response {
                     ("solved_total", load(&stats.solved_total)),
                     ("failed_total", load(&stats.failed_total)),
                     ("cancelled_total", load(&stats.cancelled_total)),
+                    ("cache_hits_total", load(&stats.cache_hits_total)),
+                    ("cache_misses_total", load(&stats.cache_misses_total)),
+                    ("cache_entries", Json::int(tenant.cache().len() as i64)),
+                    ("store_records", load(&stats.store_records)),
                     ("queue_depth", Json::int(tenant.queue_depth() as i64)),
                     (
                         "threads",
@@ -282,6 +305,7 @@ fn metrics(state: &ServiceState) -> Response {
             ("solve_secs_total", Json::Num(m.solve_ns_total.load(Ordering::Relaxed) as f64 / 1e9)),
             ("instances_per_sec", Json::Num(m.instances_per_sec())),
             ("queue_depth", Json::int(state.queue_depth() as i64)),
+            ("store_records", Json::int(state.store.as_ref().map_or(0, |s| s.len()) as i64)),
             ("pool_workers", Json::int(state.batch.pool().workers() as i64)),
             ("pool_jobs_submitted", Json::int(state.batch.pool().jobs_submitted() as i64)),
             ("tenants", Json::Obj(tenants)),
@@ -379,6 +403,13 @@ fn opt_flag(body: &Json, key: &str) -> Result<bool, Response> {
 /// oracle before it is returned and the response carries
 /// `"feasible": true` — an infeasible witness would be a solver bug
 /// and answers 500.
+///
+/// The tenant's solution cache is consulted **before** admission: a
+/// hit answers immediately with `"cached": true`, takes no admission
+/// slot and wakes no worker. A miss admits, solves the *canonical*
+/// instance, memoises it, records it in the persistent store (when
+/// configured), and answers with the solution restored to the
+/// original instance's scale and numbering.
 fn solve(request: &Request, state: &ServiceState) -> Response {
     let body = match parse_body(request) {
         Ok(body) => body,
@@ -387,10 +418,6 @@ fn solve(request: &Request, state: &ServiceState) -> Response {
     let tenant = match tenant_for(request, &body, state) {
         Ok(tenant) => tenant,
         Err(response) => return response,
-    };
-    let _slot = match tenant.admit() {
-        Ok(slot) => slot,
-        Err(e) => return admission_response(&e),
     };
     let instance = match instance_from_json(&body) {
         Ok(instance) => instance,
@@ -415,30 +442,69 @@ fn solve(request: &Request, state: &ServiceState) -> Response {
         }
     };
     let registry = batch.registry();
+    let stats = tenant.stats();
+    let canon = CanonicalInstance::of(&instance, solver_name, deadline);
+    let key = CacheKey::of(&canon, solver_name);
+    if let Some(cached) = tenant.cache().get(&key) {
+        stats.cache_hits_total.fetch_add(1, Ordering::Relaxed);
+        return render_solution(canon.restore(&cached), &instance, solver_name, check, true);
+    }
+    stats.cache_misses_total.fetch_add(1, Ordering::Relaxed);
+    let _slot = match tenant.admit() {
+        Ok(slot) => slot,
+        Err(e) => return admission_response(&e),
+    };
     let started = Instant::now();
-    let result = match deadline {
-        Some(t) => registry.solve_by_deadline(solver_name, &instance, t),
-        None => registry.solve(solver_name, &instance),
+    let result = match canon.deadline() {
+        Some(t) => registry.solve_by_deadline(solver_name, canon.instance(), t),
+        None => registry.solve(solver_name, canon.instance()),
     };
     let elapsed = started.elapsed();
-    let solution = match result {
-        Ok(solution) => {
+    match result {
+        Ok(canonical) => {
             state.metrics.record_solve(1, 0, 0, elapsed);
-            tenant.stats().record(1, 0, 0);
-            solution
+            stats.record(1, 0, 0);
+            tenant.cache().insert(key, canonical.clone());
+            append_record(
+                state,
+                tenant,
+                solver_name,
+                &canon,
+                &canonical,
+                elapsed.as_micros() as u64,
+            );
+            render_solution(canon.restore(&canonical), &instance, solver_name, check, false)
         }
         Err(e) => {
+            // Errors are never cached: a transient refusal (or a fixed
+            // solver) must not be replayed forever.
             state.metrics.record_solve(0, 1, 0, elapsed);
-            tenant.stats().record(0, 1, 0);
-            return solve_error_response(&e);
+            stats.record(0, 1, 0);
+            solve_error_response(&e)
         }
-    };
+    }
+}
+
+/// Renders a `/solve` response body: the solution, `"cached": true`
+/// for cache hits, and the `"feasible"` flag when verification was
+/// requested (the oracle runs against the **original** instance, so a
+/// mis-restored cached solution would fail here, not pass silently).
+fn render_solution(
+    solution: Solution,
+    instance: &Instance,
+    solver_name: &str,
+    check: bool,
+    cached: bool,
+) -> Response {
     let mut reply = match solution_to_json(&solution) {
         Json::Obj(members) => members,
         other => return Response::json(200, other),
     };
+    if cached {
+        reply.push(("cached".to_string(), Json::Bool(true)));
+    }
     if check {
-        match verify(&instance, &solution) {
+        match verify(instance, &solution) {
             Ok(report) if report.is_feasible() => {
                 reply.push(("feasible".to_string(), Json::Bool(true)));
             }
@@ -456,6 +522,94 @@ fn solve(request: &Request, state: &ServiceState) -> Response {
         }
     }
     Response::json(200, Json::Obj(reply))
+}
+
+/// Appends one solved canonical instance to the persistent store (a
+/// no-op without `--store`) and bumps the tenant's record gauge.
+fn append_record(
+    state: &ServiceState,
+    tenant: &TenantExec,
+    solver_name: &str,
+    canon: &CanonicalInstance,
+    canonical: &Solution,
+    elapsed_us: u64,
+) {
+    let Some(store) = &state.store else { return };
+    let record = Record {
+        tenant: tenant.policy().name.clone(),
+        solver: solver_name.to_string(),
+        platform: canon.instance().platform.to_text(),
+        tasks: canon.instance().tasks,
+        deadline: canon.deadline(),
+        canon_hash: canon.hash_hex(),
+        makespan: canonical.makespan(),
+        scheduled: canonical.n(),
+        elapsed_us,
+        solution: solution_to_json(canonical),
+    };
+    if store.append(&record).is_ok() {
+        tenant.stats().store_records.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// `GET /history` — the persistent result store, newest records first.
+///
+/// Query params: `tenant=` and `solver=` filter by equality, `limit=`
+/// bounds the page (default 100). Solutions themselves are not echoed
+/// (a history page should stay a page); `POST /solve` the instance
+/// again to get one — it will be a cache hit. Servers started without
+/// `--store` answer 404 `no-store`.
+fn history(request: &Request, state: &ServiceState) -> Response {
+    let Some(store) = &state.store else {
+        return error_response(
+            404,
+            "no-store",
+            "the server was started without --store; no history is recorded",
+        );
+    };
+    let limit = match request.query_param("limit") {
+        None => 100,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                return error_response(
+                    400,
+                    "bad-request",
+                    "\"limit\" must be a non-negative integer",
+                )
+            }
+        },
+    };
+    let records = store.records();
+    let page: Vec<Json> = mst_store::query(
+        &records,
+        request.query_param("tenant"),
+        request.query_param("solver"),
+        limit,
+    )
+    .into_iter()
+    .map(|r| {
+        Json::obj([
+            ("tenant", Json::str(r.tenant.clone())),
+            ("solver", Json::str(r.solver.clone())),
+            ("platform", Json::str(r.platform.clone())),
+            ("tasks", Json::int(r.tasks as i64)),
+            ("deadline", r.deadline.map(Json::int).unwrap_or(Json::Null)),
+            ("canon_hash", Json::str(r.canon_hash.clone())),
+            ("makespan", Json::int(r.makespan)),
+            ("scheduled", Json::int(r.scheduled as i64)),
+            ("elapsed_us", Json::int(r.elapsed_us as i64)),
+        ])
+    })
+    .collect();
+    Response::json(
+        200,
+        Json::obj([
+            ("count", Json::int(page.len() as i64)),
+            ("total", Json::int(records.len() as i64)),
+            ("records", Json::Arr(page)),
+        ]),
+    )
 }
 
 /// Rejects task budgets beyond the configured cap — a bare number in
@@ -596,31 +750,81 @@ fn client_disconnected(stream: &TcpStream) -> bool {
     gone
 }
 
+/// One `/batch` instance after the cache-planning pass: either already
+/// answered from the tenant's solution cache (restored, ready to
+/// return) or a miss that still needs its **canonical** instance
+/// solved under its own canonical deadline.
+enum Planned {
+    /// A cache hit, restored to the original instance's scale and
+    /// numbering at plan time.
+    Hit(Solution),
+    /// A miss: the canonical instance to solve, and the key to memoise
+    /// the canonical solution under.
+    Miss(Box<CanonicalInstance>, CacheKey),
+}
+
+/// Canonicalizes every instance of a `/batch` sweep and answers what it
+/// can from the tenant's solution cache, counting hits and misses into
+/// the tenant's stats. Returns the per-instance plan (input order) and
+/// the hit count.
+fn plan_batch(
+    instances: &[Instance],
+    solver_name: &str,
+    deadline: Option<mst_platform::Time>,
+    tenant: &TenantExec,
+) -> (Vec<Planned>, usize) {
+    let stats = tenant.stats();
+    let mut hits = 0usize;
+    let jobs = instances
+        .iter()
+        .map(|instance| {
+            let canon = CanonicalInstance::of(instance, solver_name, deadline);
+            let key = CacheKey::of(&canon, solver_name);
+            match tenant.cache().get(&key) {
+                Some(cached) => {
+                    hits += 1;
+                    Planned::Hit(canon.restore(&cached))
+                }
+                None => Planned::Miss(Box::new(canon), key),
+            }
+        })
+        .collect();
+    stats.cache_hits_total.fetch_add(hits as u64, Ordering::Relaxed);
+    stats.cache_misses_total.fetch_add((instances.len() - hits) as u64, Ordering::Relaxed);
+    (jobs, hits)
+}
+
 /// The chunk-by-chunk solve loop behind `/batch`: every
-/// [`ServeConfig::batch_chunk`](crate::server::ServeConfig) instances
-/// it polls the request's cancel token (deadline budget), probes the
+/// [`ServeConfig::batch_chunk`](crate::server::ServeConfig) jobs it
+/// polls the request's cancel token (deadline budget), probes the
 /// client socket (a disconnected client cancels the rest — an
 /// abandoned sweep must stop burning cores) and hands the chunk's
 /// results to `emit` (the streaming writer; `false` from it also
-/// cancels). Once cancelled, the remaining instances come back as
-/// [`SolveError::Cancelled`] without being solved — results stay one
-/// per instance, in input order.
+/// cancels). Cache hits in a chunk cost a clone; only the chunk's
+/// misses go to the worker pool, each solving its **canonical**
+/// instance under its own canonical deadline, memoised and recorded
+/// in the persistent store on success, then restored. Once cancelled,
+/// the remaining jobs come back as [`SolveError::Cancelled`] without
+/// being solved — results stay one per instance, in input order.
 /// Per-chunk callback of [`solve_chunked`] (the streaming writer);
 /// returning `false` cancels the remaining sweep.
 type EmitChunk<'a> = dyn FnMut(&[Result<Solution, SolveError>]) -> bool + 'a;
 
+#[allow(clippy::too_many_arguments)]
 fn solve_chunked(
     engine: &Batch,
-    instances: &[Instance],
-    deadline: Option<mst_platform::Time>,
+    jobs: &[Planned],
     cancel: &CancelToken,
     probe: Option<&TcpStream>,
     chunk: usize,
+    state: &ServiceState,
+    tenant: &TenantExec,
+    solver_name: &str,
     emit: &mut EmitChunk<'_>,
 ) -> Vec<Result<Solution, SolveError>> {
     let chunk = chunk.max(1);
-    let mut results: Vec<Result<Solution, SolveError>> = Vec::with_capacity(instances.len());
-    for slice in instances.chunks(chunk) {
+    let mut results: Vec<Result<Solution, SolveError>> = Vec::with_capacity(jobs.len());
+    for slice in jobs.chunks(chunk) {
         if !cancel.is_cancelled() {
             if let Some(stream) = probe {
                 if client_disconnected(stream) {
@@ -629,13 +833,47 @@ fn solve_chunked(
             }
         }
         if cancel.is_cancelled() {
-            results.extend((results.len()..instances.len()).map(|_| Err(SolveError::Cancelled)));
+            results.extend((results.len()..jobs.len()).map(|_| Err(SolveError::Cancelled)));
             break;
         }
-        let part = match deadline {
-            Some(t) => engine.solve_all_by_deadline_cancellable(slice, t, cancel),
-            None => engine.solve_all_cancellable(slice, cancel),
+        let miss_jobs: Vec<(Instance, Option<mst_platform::Time>)> = slice
+            .iter()
+            .filter_map(|job| match job {
+                Planned::Miss(canon, _) => Some((canon.instance().clone(), canon.deadline())),
+                Planned::Hit(_) => None,
+            })
+            .collect();
+        let started = Instant::now();
+        let solved = if miss_jobs.is_empty() {
+            Vec::new()
+        } else {
+            engine.solve_each_cancellable(&miss_jobs, cancel)
         };
+        let per_miss_us = started.elapsed().as_micros() as u64 / miss_jobs.len().max(1) as u64;
+        let mut solved = solved.into_iter();
+        let part: Vec<Result<Solution, SolveError>> = slice
+            .iter()
+            .map(|job| match job {
+                Planned::Hit(solution) => Ok(solution.clone()),
+                Planned::Miss(canon, key) => {
+                    match solved.next().expect("one result per miss job") {
+                        Ok(canonical) => {
+                            tenant.cache().insert(key.clone(), canonical.clone());
+                            append_record(
+                                state,
+                                tenant,
+                                solver_name,
+                                canon,
+                                &canonical,
+                                per_miss_us,
+                            );
+                            Ok(canon.restore(&canonical))
+                        }
+                        Err(e) => Err(e),
+                    }
+                }
+            })
+            .collect();
         let keep_going = emit(&part);
         results.extend(part);
         if !keep_going {
@@ -650,23 +888,34 @@ fn solve_chunked(
 /// one definition, so the streamed summary line can never drift from
 /// the buffered body (the buffered path appends makespan statistics
 /// and optional per-instance results on top).
+#[allow(clippy::too_many_arguments)]
 fn finish_sweep(
     instances: &[Instance],
     results: &[Result<Solution, SolveError>],
     solver_name: &str,
     check: bool,
+    cache_hits: usize,
     elapsed: std::time::Duration,
     state: &ServiceState,
     tenant: &TenantExec,
 ) -> (BatchSummary, usize, Vec<(String, Json)>) {
-    let summary = BatchSummary::of(results);
+    let mut summary = BatchSummary::of(results);
+    summary.cache_hits = cache_hits;
+    // Cache hits ride along as Ok results but no worker solved them:
+    // the solve-throughput metrics count only genuine solves (a
+    // cancelled sweep may return fewer Ok hits than were planned,
+    // hence the saturation).
     state.metrics.record_solve(
-        summary.solved as u64,
+        (summary.solved.saturating_sub(cache_hits)) as u64,
         summary.failed as u64,
         summary.cancelled as u64,
         elapsed,
     );
-    tenant.stats().record(summary.solved as u64, summary.failed as u64, summary.cancelled as u64);
+    tenant.stats().record(
+        (summary.solved.saturating_sub(cache_hits)) as u64,
+        summary.failed as u64,
+        summary.cancelled as u64,
+    );
     let infeasible = if check { count_infeasible(instances, results) } else { 0 };
     let mut members = vec![
         ("count".to_string(), Json::int(instances.len() as i64)),
@@ -674,6 +923,7 @@ fn finish_sweep(
         ("solved".to_string(), Json::int(summary.solved as i64)),
         ("failed".to_string(), Json::int(summary.failed as i64)),
         ("cancelled".to_string(), Json::int(summary.cancelled as i64)),
+        ("cache_hits".to_string(), Json::int(summary.cache_hits as i64)),
         ("complete".to_string(), Json::Bool(summary.cancelled == 0)),
         ("elapsed_secs".to_string(), Json::Num(elapsed.as_secs_f64())),
         ("verified".to_string(), Json::Bool(check)),
@@ -720,12 +970,6 @@ fn batch(request: &Request, state: &ServiceState, stream: Option<&mut TcpStream>
         Ok(tenant) => tenant,
         Err(response) => return Routed::Reply(response),
     };
-    // The admission slot spans the whole request: parsing, solving,
-    // response writing. Dropped (slot released) on every return path.
-    let _slot = match tenant.admit() {
-        Ok(slot) => slot,
-        Err(e) => return Routed::Reply(admission_response(&e)),
-    };
     let instances = match batch_instances(&body, state, tenant) {
         Ok(instances) => instances,
         Err(response) => return Routed::Reply(response),
@@ -758,6 +1002,18 @@ fn batch(request: &Request, state: &ServiceState, stream: Option<&mut TcpStream>
         return Routed::Reply(solve_error_response(&e));
     }
     let engine = tenant_batch.clone().with_solver(solver_name);
+    // Plan against the tenant's solution cache first: a fully-cached
+    // sweep is answered without an admission slot at all, and a mixed
+    // one admits for the misses only.
+    let (jobs, cache_hits) = plan_batch(&instances, solver_name, deadline, tenant);
+    let _slot = if cache_hits < jobs.len() {
+        match tenant.admit() {
+            Ok(slot) => Some(slot),
+            Err(e) => return Routed::Reply(admission_response(&e)),
+        }
+    } else {
+        None
+    };
     let cancel = tenant.cancel_token();
     let chunk = state.config.batch_chunk;
     let started = Instant::now();
@@ -767,7 +1023,8 @@ fn batch(request: &Request, state: &ServiceState, stream: Option<&mut TcpStream>
             return stream_batch(
                 &engine,
                 &instances,
-                deadline,
+                &jobs,
+                cache_hits,
                 check,
                 &cancel,
                 stream,
@@ -783,16 +1040,18 @@ fn batch(request: &Request, state: &ServiceState, stream: Option<&mut TcpStream>
 
     let results = solve_chunked(
         &engine,
-        &instances,
-        deadline,
+        &jobs,
         &cancel,
         stream.as_deref(),
         chunk,
+        state,
+        tenant,
+        solver_name,
         &mut |_| true,
     );
     let elapsed = started.elapsed();
     let (summary, infeasible, mut reply) =
-        finish_sweep(&instances, &results, solver_name, check, elapsed, state, tenant);
+        finish_sweep(&instances, &results, solver_name, check, cache_hits, elapsed, state, tenant);
     reply.push(("total_tasks".to_string(), Json::int(summary.total_tasks as i64)));
     reply.push(("mean_makespan".to_string(), Json::Num(summary.mean_makespan())));
     reply.push(("max_makespan".to_string(), Json::int(summary.max_makespan)));
@@ -840,7 +1099,8 @@ fn batch(request: &Request, state: &ServiceState, stream: Option<&mut TcpStream>
 fn stream_batch(
     engine: &Batch,
     instances: &[Instance],
-    deadline: Option<mst_platform::Time>,
+    jobs: &[Planned],
+    cache_hits: usize,
     check: bool,
     cancel: &CancelToken,
     stream: &mut TcpStream,
@@ -859,8 +1119,16 @@ fn stream_batch(
     };
     let mut offset = 0usize;
     let mut lines = String::new();
-    let results =
-        solve_chunked(engine, instances, deadline, cancel, probe.as_ref(), chunk, &mut |part| {
+    let results = solve_chunked(
+        engine,
+        jobs,
+        cancel,
+        probe.as_ref(),
+        chunk,
+        state,
+        tenant,
+        solver_name,
+        &mut |part| {
             lines.clear();
             for result in part {
                 let mut members = vec![("index".to_string(), Json::int(offset as i64))];
@@ -877,10 +1145,11 @@ fn stream_batch(
                 offset += 1;
             }
             writer.chunk(lines.as_bytes()).is_ok()
-        });
+        },
+    );
     let elapsed = started.elapsed();
     let (_, _, tail) =
-        finish_sweep(instances, &results, solver_name, check, elapsed, state, tenant);
+        finish_sweep(instances, &results, solver_name, check, cache_hits, elapsed, state, tenant);
     let summary_line = Json::obj([("summary", Json::Obj(tail))]);
     let _ = writer.chunk(format!("{summary_line}\n").as_bytes());
     let _ = writer.finish();

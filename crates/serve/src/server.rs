@@ -24,9 +24,10 @@
 
 use crate::http::{HttpError, RequestReader, Response};
 use crate::routes::{self, Routed};
-use mst_api::wire::Json;
-use mst_api::{Batch, ExecPolicy, RegistrySet, TenantExec};
+use mst_api::wire::{solution_from_json, Json};
+use mst_api::{Batch, CacheKey, ExecPolicy, RegistrySet, TenantExec};
 use mst_sim::{shared_pool, WorkerPool};
+use mst_store::{FileStore, StoreBackend};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -87,6 +88,13 @@ pub struct ServeConfig {
     /// the `"registry"` body field). `None` serves the built-in global
     /// registry with no tenant policies.
     pub registries: Option<RegistrySet>,
+    /// Path of the persistent result store (`mst serve --store`). When
+    /// set, every solved instance is appended to an [`FileStore`]
+    /// record log, `GET /history` serves it, and binding **warm-starts**
+    /// each tenant's solution cache from the prior records — a
+    /// restarted server answers repeated instances from cache
+    /// immediately. `None` serves without persistence.
+    pub store: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -105,6 +113,7 @@ impl Default for ServeConfig {
             max_requests_per_connection: 256,
             batch_chunk: 512,
             registries: None,
+            store: None,
         }
     }
 }
@@ -177,6 +186,9 @@ pub struct ServiceState {
     /// tenant's admission policy, so it gets the default tenant's
     /// machine.
     selector_batches: Vec<(String, Batch)>,
+    /// The persistent result store (`--store`); `None` when the server
+    /// runs without persistence.
+    pub store: Option<Arc<dyn StoreBackend>>,
     /// Live counters.
     pub metrics: Metrics,
     /// Config snapshot (caps consulted by the routes).
@@ -342,11 +354,19 @@ impl Server {
                 .collect(),
             None => Vec::new(),
         };
+        let store: Option<Arc<dyn StoreBackend>> = match &config.store {
+            Some(path) => Some(Arc::new(FileStore::open(path)?)),
+            None => None,
+        };
+        if let Some(store) = &store {
+            warm_start(store.as_ref(), &default_exec, &tenants);
+        }
         let state = Arc::new(ServiceState {
             batch,
             default_exec,
             tenants,
             selector_batches,
+            store,
             metrics: Metrics::default(),
             config,
             started: Instant::now(),
@@ -430,6 +450,33 @@ impl Server {
             requests: state.metrics.requests_total.load(Ordering::Relaxed),
             solved: state.metrics.solved_total.load(Ordering::Relaxed),
         })
+    }
+}
+
+/// Preloads every tenant's solution cache from the persistent store's
+/// records, so a restarted server answers repeated instances from cache
+/// on its **first** request. Records are replayed oldest-first (the
+/// store's order), so when a cache is smaller than the history its LRU
+/// keeps the newest entries. Records for tenants that no longer exist
+/// in the config, or with undecodable payloads (a store written by a
+/// newer build), are skipped — warm start is best-effort by design.
+fn warm_start(store: &dyn StoreBackend, default_exec: &TenantExec, tenants: &[TenantExec]) {
+    for record in store.records() {
+        let tenant = if record.tenant == default_exec.policy().name {
+            default_exec
+        } else {
+            match tenants.iter().find(|t| t.policy().name == record.tenant) {
+                Some(tenant) => tenant,
+                None => continue,
+            }
+        };
+        tenant.stats().store_records.fetch_add(1, Ordering::Relaxed);
+        let Ok(hash) = u128::from_str_radix(&record.canon_hash, 16) else { continue };
+        let Ok(solution) = solution_from_json(&record.solution) else { continue };
+        tenant.cache().insert(
+            CacheKey { hash, solver: record.solver.clone(), deadline: record.deadline },
+            solution,
+        );
     }
 }
 

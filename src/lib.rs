@@ -49,6 +49,7 @@ pub use mst_schedule as schedule;
 pub use mst_serve as serve;
 pub use mst_sim as sim;
 pub use mst_spider as spider;
+pub use mst_store as store;
 pub use mst_tree as tree;
 
 /// Convenient glob import bringing the most common items into scope.
@@ -58,9 +59,9 @@ pub use mst_tree as tree;
 /// points stay exported so existing code keeps compiling.
 pub mod prelude {
     pub use mst_api::{
-        verify, AdmissionError, Batch, BatchSummary, ConfigError, ExecPolicy, Instance, Platform,
-        RegistrySet, ScheduleRepr, Solution, SolveError, Solver, SolverRegistry, TenantExec,
-        TenantLimits, TopologyKind,
+        verify, AdmissionError, Batch, BatchSummary, CacheKey, CanonicalInstance, ConfigError,
+        ExecPolicy, Instance, Platform, RegistrySet, ScheduleRepr, Solution, SolutionCache,
+        SolveError, Solver, SolverRegistry, TenantExec, TenantLimits, TopologyKind,
     };
     pub use mst_core::{schedule_chain, schedule_chain_by_deadline};
     pub use mst_platform::{
@@ -70,4 +71,5 @@ pub mod prelude {
     pub use mst_serve::{ServeConfig, Server, ServerHandle};
     pub use mst_sim::{run_parallel, shared_pool, CancelToken, WorkerPool};
     pub use mst_spider::{schedule_spider, schedule_spider_by_deadline};
+    pub use mst_store::{FileStore, MemoryStore, Record, StoreBackend};
 }

@@ -1,0 +1,347 @@
+//! The canonical-form solution cache, end to end:
+//!
+//! * **soundness of canonicalization** — for every registered solver and
+//!   every topology, solving the canonical instance and restoring the
+//!   result (rescale + leg/node remap) yields the same makespan and
+//!   task count as solving the instance directly, and the restored
+//!   witness passes the [`verify`] oracle against the *original*
+//!   instance — including degenerate scale factors (0 tasks, one
+//!   processor) and the deadline (`T_lim`) path;
+//! * **memoisation** — rescaled copies of one instance share a cache
+//!   entry through [`mst_api::cache::solve_through`];
+//! * **wire** — [`BatchSummary`] (now carrying `cache_hits`) round-trips
+//!   the summary codec losslessly;
+//! * **persistence** — a `--store` server killed and restarted serves
+//!   its **first** repeated `/batch` with a full cache-hit rate, and
+//!   `GET /history` returns the prior records.
+
+use master_slave_tasking::api::cache::solve_through;
+use master_slave_tasking::api::canon::level_for;
+use master_slave_tasking::api::wire::{summary_from_json, summary_to_json, Json};
+use master_slave_tasking::prelude::*;
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// The platform with every communication and work time multiplied by
+/// `g` — an instance the canonicalizer must map back onto the original.
+fn scale_platform(platform: &Platform, g: Time) -> Platform {
+    let proc = |p: &Processor| Processor::new(p.comm * g, p.work * g).expect("positive times");
+    match platform {
+        Platform::Chain(chain) => {
+            Chain::new(chain.processors().iter().map(proc).collect()).unwrap().into()
+        }
+        Platform::Fork(fork) => Fork::new(fork.slaves().iter().map(proc).collect()).unwrap().into(),
+        Platform::Spider(spider) => Spider::new(
+            spider
+                .legs()
+                .iter()
+                .map(|leg| Chain::new(leg.processors().iter().map(proc).collect()).unwrap())
+                .collect(),
+        )
+        .unwrap()
+        .into(),
+        Platform::Tree(tree) => Tree::from_triples(
+            &(1..=tree.len())
+                .map(|id| {
+                    let node = tree.node(id);
+                    (node.parent, node.comm * g, node.work * g)
+                })
+                .collect::<Vec<_>>(),
+        )
+        .unwrap()
+        .into(),
+    }
+}
+
+/// Asserts the canonical-solve round trip for one (instance, solver,
+/// deadline) triple: same outcome as the direct solve, same makespan
+/// and task count, and a restored witness the oracle accepts.
+fn assert_round_trip(instance: &Instance, solver: &str, deadline: Option<Time>) {
+    let registry = SolverRegistry::global();
+    let direct = match deadline {
+        Some(t) => registry.solve_by_deadline(solver, instance, t),
+        None => registry.solve(solver, instance),
+    };
+    let canon = CanonicalInstance::of(instance, solver, deadline);
+    let via_canon = match (deadline, canon.deadline()) {
+        (Some(_), Some(t)) => registry.solve_by_deadline(solver, canon.instance(), t),
+        _ => registry.solve(solver, canon.instance()),
+    };
+    match (direct, via_canon) {
+        (Ok(direct), Ok(canonical)) => {
+            let restored = canon.restore(&canonical);
+            assert_eq!(
+                restored.makespan(),
+                direct.makespan(),
+                "{solver} (level {:?}, deadline {deadline:?}) on {}",
+                level_for(solver),
+                instance.platform
+            );
+            assert_eq!(restored.n(), direct.n(), "{solver} on {}", instance.platform);
+            if restored.schedule().is_some() {
+                let report = verify(instance, &restored)
+                    .unwrap_or_else(|e| panic!("{solver} restored witness rejected: {e}"));
+                assert!(
+                    report.is_feasible(),
+                    "{solver} restored witness infeasible on {} ({} violations)",
+                    instance.platform,
+                    report.violations.len()
+                );
+            }
+        }
+        (Err(direct), Err(canonical)) => {
+            assert_eq!(direct.to_string(), canonical.to_string(), "{solver} error drift");
+        }
+        (direct, canonical) => panic!(
+            "{solver} diverges on {}: direct {direct:?} vs canonical {canonical:?}",
+            instance.platform
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every registered solver, every topology: a uniformly rescaled
+    /// instance solves identically through its canonical form.
+    #[test]
+    fn every_solver_round_trips_through_canonical_form(
+        seed in 0u64..1_000_000,
+        scale in 1i64..6,
+        tasks in 0usize..10,
+    ) {
+        let kind = TopologyKind::ALL[(seed % 4) as usize];
+        let profile = HeterogeneityProfile::ALL[(seed % 5) as usize];
+        let size = 1 + (seed % 4) as usize;
+        let base = Instance::generate(kind, profile, seed, size, tasks);
+        let scaled = Instance::new(scale_platform(&base.platform, scale), tasks);
+        for solver in SolverRegistry::global().names() {
+            assert_round_trip(&scaled, solver, None);
+        }
+    }
+
+    /// The deadline (`T_lim`) path: canonical deadlines divide by the
+    /// extracted scale, and the restored plan matches the direct one.
+    #[test]
+    fn deadline_solves_round_trip_through_canonical_form(
+        seed in 0u64..1_000_000,
+        scale in 1i64..6,
+        deadline in 0i64..60,
+    ) {
+        let kind = TopologyKind::ALL[(seed % 4) as usize];
+        let profile = HeterogeneityProfile::ALL[(seed % 5) as usize];
+        let base = Instance::generate(kind, profile, seed, 1 + (seed % 3) as usize, 8);
+        let scaled = Instance::new(scale_platform(&base.platform, scale), 8);
+        for solver in SolverRegistry::global().names() {
+            assert_round_trip(&scaled, solver, Some(deadline * scale));
+        }
+    }
+
+    /// The `/batch` summary codec (now carrying `cache_hits`) is
+    /// lossless through serialize → print → parse → decode.
+    #[test]
+    fn batch_summaries_round_trip_the_wire(
+        counts in (0usize..5000, 0usize..5000, 0usize..5000),
+        tasks in 0usize..100_000,
+        makespans in (0i64..1_000_000, 0i64..10_000),
+    ) {
+        let (solved, failed, cancelled) = counts;
+        let (total_makespan, max_makespan) = makespans;
+        let mut summary = BatchSummary::of(&[]);
+        summary.solved = solved;
+        summary.failed = failed;
+        summary.cancelled = cancelled;
+        summary.total_tasks = tasks;
+        summary.total_makespan = total_makespan;
+        summary.max_makespan = max_makespan;
+        summary.cache_hits = solved.min(997);
+        let text = summary_to_json(&summary).to_string();
+        let back = summary_from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(back, summary);
+    }
+}
+
+/// Regression: a covered-tree solution carries its spider cover as the
+/// verification platform, and restoring from the canonical form must
+/// rescale that cover *up* (multiply by the extracted scale) — an early
+/// version divided instead, collapsing the cover to zero-cost
+/// processors the oracle rejected.
+#[test]
+fn covered_tree_solutions_rescale_their_recorded_cover() {
+    let tree = Tree::from_triples(&[(0, 10, 15), (0, 10, 15), (0, 10, 15), (2, 10, 15)]).unwrap();
+    let instance = Instance::new(tree, 6);
+    let canon = CanonicalInstance::of(&instance, "optimal", None);
+    assert_eq!(canon.scale(), 5, "gcd of 10 and 15");
+    let solved = SolverRegistry::global().solve("optimal", canon.instance()).unwrap();
+    let restored = canon.restore(&solved);
+    let cover = restored.sub_platform().expect("tree solved through a spider cover");
+    assert!(
+        cover.legs().iter().all(|leg| leg.processors().iter().all(|p| p.comm == 10)),
+        "cover communication times must be back at the original scale"
+    );
+    assert_eq!(restored.makespan(), solved.makespan() * 5);
+    assert!(verify(&instance, &restored).unwrap().is_feasible());
+}
+
+#[test]
+fn degenerate_instances_round_trip_through_canonical_form() {
+    let registry = SolverRegistry::global();
+    // 0 tasks, a single processor, and both at once — the degenerate
+    // scale factors the canonicalizer must not trip over.
+    let single = Instance::new(Platform::parse("chain\n6 9\n").unwrap(), 0);
+    let one_proc = Instance::new(Platform::parse("chain\n6 9\n").unwrap(), 4);
+    let zero_tasks = Instance::new(Platform::parse("spider\nleg 4 6 2 8\nleg 2 2\n").unwrap(), 0);
+    let tiny_tree = Instance::new(Platform::parse("tree\nnode 0 3 3\n").unwrap(), 2);
+    for instance in [&single, &one_proc, &zero_tasks, &tiny_tree] {
+        for solver in registry.names() {
+            assert_round_trip(instance, solver, None);
+            assert_round_trip(instance, solver, Some(0));
+            assert_round_trip(instance, solver, Some(12));
+        }
+    }
+}
+
+#[test]
+fn rescaled_instances_share_one_cache_entry() {
+    let registry = SolverRegistry::global();
+    let cache = SolutionCache::new(64);
+    let base = Instance::new(Platform::parse("chain\n2 3\n3 5\n").unwrap(), 5);
+    let tripled = Instance::new(scale_platform(&base.platform, 3), 5);
+
+    let first = solve_through(&cache, registry, "optimal", &base, None).unwrap();
+    assert!(!first.cache_hit);
+    assert_eq!(first.solution.makespan(), 14);
+
+    // The ×3 copy is the same canonical instance: a hit, restored to
+    // the tripled scale, still oracle-approved.
+    let second = solve_through(&cache, registry, "optimal", &tripled, None).unwrap();
+    assert!(second.cache_hit, "rescaling must hit the same entry");
+    assert_eq!(second.solution.makespan(), 42);
+    assert!(verify(&tripled, &second.solution).unwrap().is_feasible());
+    assert_eq!(cache.len(), 1);
+
+    // Different solver, different entry; errors are never cached.
+    let eager = solve_through(&cache, registry, "eager", &base, None).unwrap();
+    assert!(!eager.cache_hit);
+    assert_eq!(cache.len(), 2);
+    assert!(solve_through(&cache, registry, "nope", &base, None).is_err());
+    assert_eq!(cache.len(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Persistence: kill a --store server, restart it on the same log, and
+// the first repeated sweep is answered from the warm-started cache.
+// ---------------------------------------------------------------------------
+
+fn start_store_server(
+    store: &std::path::Path,
+) -> (SocketAddr, ServerHandle, std::thread::JoinHandle<mst_serve::ServeReport>) {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        store: Some(store.display().to_string()),
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port with store");
+    let addr = server.addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, runner)
+}
+
+fn request(addr: SocketAddr, raw: String) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    stream.write_all(raw.as_bytes()).expect("send request");
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("read response");
+    let reply = String::from_utf8_lossy(&reply).to_string();
+    let status: u16 = reply.split_whitespace().nth(1).unwrap().parse().unwrap();
+    (status, reply.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default())
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    request(addr, format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    request(
+        addr,
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn int_field(body: &str, key: &str) -> i64 {
+    Json::parse(body)
+        .unwrap()
+        .get(key)
+        .and_then(Json::as_i64)
+        .unwrap_or_else(|| panic!("no integer {key} in {body}"))
+}
+
+#[test]
+fn restarted_store_server_hits_its_warm_cache() {
+    let path =
+        std::env::temp_dir().join(format!("mst-result-cache-restart-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let sweep = r#"{"generate": {"kind": "chain", "count": 20, "size": 3, "tasks": 12}}"#;
+    let one = r#"{"platform": "chain\n4 6\n6 10\n", "tasks": 7, "verify": true}"#;
+
+    // First life: a cold sweep misses, its repeat fully hits.
+    let (addr, handle, runner) = start_store_server(&path);
+    let (status, body) = post(addr, "/batch", sweep);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(int_field(&body, "cache_hits"), 0, "cold cache: {body}");
+    assert_eq!(int_field(&body, "solved"), 20, "{body}");
+    let (status, body) = post(addr, "/batch", sweep);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(int_field(&body, "cache_hits"), 20, "warm repeat: {body}");
+    let (_, body) = post(addr, "/solve", one);
+    assert!(!body.contains("\"cached\""), "first solve is a miss: {body}");
+    handle.shutdown();
+    runner.join().unwrap();
+
+    // Second life, same log: /history has the prior records and the
+    // FIRST repeated requests are answered from the warm-started cache.
+    let (addr, handle, runner) = start_store_server(&path);
+    let (status, body) = get(addr, "/history?limit=5");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(int_field(&body, "total"), 21, "20 sweep records + 1 solve: {body}");
+    assert_eq!(int_field(&body, "count"), 5, "{body}");
+    let (status, body) = post(addr, "/batch", sweep);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(int_field(&body, "cache_hits"), 20, "warm restart: {body}");
+    let (status, body) = post(addr, "/solve", one);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"cached\":true"), "warm restart solve: {body}");
+    assert!(body.contains("\"feasible\":true"), "cached witness verifies: {body}");
+
+    // The warm hits appended nothing new, and the metrics say so.
+    let (_, body) = get(addr, "/metrics");
+    assert_eq!(int_field(&body, "store_records"), 21, "{body}");
+    let tenants = Json::parse(&body).unwrap();
+    let default = tenants.get("tenants").and_then(|t| t.get("default")).expect("default tenant");
+    assert_eq!(default.get("cache_hits_total").and_then(Json::as_i64), Some(21), "{body}");
+    assert_eq!(default.get("store_records").and_then(Json::as_i64), Some(21), "{body}");
+    handle.shutdown();
+    runner.join().unwrap();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn history_endpoint_requires_a_store() {
+    let server = Server::bind(ServeConfig { addr: "127.0.0.1:0".into(), ..ServeConfig::default() })
+        .expect("bind");
+    let addr = server.addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run().expect("run"));
+    let (status, body) = get(addr, "/history");
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("no-store"), "{body}");
+    handle.shutdown();
+    runner.join().unwrap();
+}
