@@ -238,7 +238,12 @@ pub struct TenantExec {
     in_flight: AtomicUsize,
     stats: TenantStats,
     cache: SolutionCache,
+    rejection_streak: AtomicU64,
 }
+
+/// Cap on the escalating `Retry-After` hint, in seconds: a persistently
+/// saturated tenant is told to back off for at most a minute.
+pub const MAX_RETRY_AFTER_SECS: u64 = 60;
 
 impl TenantExec {
     /// Builds the tenant's engine: a **dedicated**
@@ -259,6 +264,7 @@ impl TenantExec {
             in_flight: AtomicUsize::new(0),
             stats: TenantStats::default(),
             cache,
+            rejection_streak: AtomicU64::new(0),
         }
     }
 
@@ -299,6 +305,7 @@ impl TenantExec {
         loop {
             if current >= quota {
                 self.stats.rejected_total.fetch_add(1, Ordering::Relaxed);
+                self.rejection_streak.fetch_add(1, Ordering::Relaxed);
                 return Err(AdmissionError::QuotaExhausted {
                     tenant: self.policy.name.clone(),
                     quota,
@@ -310,9 +317,28 @@ impl TenantExec {
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return Ok(AdmitGuard { exec: self }),
+                Ok(_) => {
+                    self.rejection_streak.store(0, Ordering::Relaxed);
+                    return Ok(AdmitGuard { exec: self });
+                }
                 Err(seen) => current = seen,
             }
+        }
+    }
+
+    /// The `Retry-After` hint (seconds) to attach to the tenant's next
+    /// 429: bounded exponential backoff over the **consecutive**
+    /// rejection streak — `1, 2, 4, 8, ...` capped at
+    /// [`MAX_RETRY_AFTER_SECS`] — reset to `1` as soon as an admission
+    /// succeeds. A client hammering a saturated tenant is told to back
+    /// off progressively harder; a recovered tenant immediately hints
+    /// short retries again.
+    pub fn retry_after_hint(&self) -> u64 {
+        let streak = self.rejection_streak.load(Ordering::Relaxed);
+        if streak <= 1 {
+            1
+        } else {
+            (1u64 << (streak - 1).min(6)).min(MAX_RETRY_AFTER_SECS)
         }
     }
 
@@ -399,6 +425,24 @@ mod tests {
         let guards: Vec<_> = (0..64).map(|_| open.admit().unwrap()).collect();
         assert_eq!(open.queue_depth(), 64);
         drop(guards);
+    }
+
+    #[test]
+    fn retry_after_escalates_exponentially_and_resets_on_admit() {
+        let exec = TenantExec::new(policy().quota(1), shared_pool());
+        assert_eq!(exec.retry_after_hint(), 1, "no rejections yet hints the minimum");
+        let held = exec.admit().unwrap();
+        let mut hints = Vec::new();
+        for _ in 0..9 {
+            exec.admit().unwrap_err();
+            hints.push(exec.retry_after_hint());
+        }
+        assert_eq!(hints, vec![1, 2, 4, 8, 16, 32, 60, 60, 60], "bounded exponential backoff");
+        drop(held);
+        // A successful admission resets the streak to the minimum hint.
+        let held = exec.admit().unwrap();
+        assert_eq!(exec.retry_after_hint(), 1);
+        drop(held);
     }
 
     #[test]

@@ -36,6 +36,11 @@
 //! * [`cache`] — the sharded LRU memo of canonical solutions
 //!   ([`cache::SolutionCache`]) that lets repeat traffic skip the worker
 //!   pools entirely;
+//! * [`mod@repair`] — degraded-mode schedule repair: after a processor
+//!   failure at time *t*, [`repair::degrade`] removes the failed subtree,
+//!   the committed prefix of the witness is kept, and only the surviving
+//!   suffix is re-solved (through the solution cache), yielding a witness
+//!   that verifies against the degraded platform;
 //! * [`wire`] — the dependency-free JSON codec carrying instances,
 //!   solutions and errors over the `mst-serve` HTTP front-end.
 //!
@@ -67,6 +72,7 @@ pub mod fleet;
 pub mod instance;
 pub mod platform;
 pub mod registry;
+pub mod repair;
 pub mod solution;
 pub mod solver;
 pub mod solvers;
@@ -81,5 +87,6 @@ pub use exec::{AdmissionError, AdmitGuard, ExecPolicy, TenantExec, TenantStats};
 pub use instance::Instance;
 pub use platform::{Platform, TopologyKind};
 pub use registry::SolverRegistry;
+pub use repair::{repair, FailureEvent, RepairError, Repaired};
 pub use solution::{verify, ScheduleRepr, Solution};
 pub use solver::Solver;

@@ -15,6 +15,11 @@
 //!   [`SolutionCache`], instances per second, with the same stream
 //!   solved directly as the uncached reference — the cached number must
 //!   stay at least 5× the reference;
+//! * **repair vs re-solve** — after a processor failure, repairing the
+//!   running schedule ([`mst_api::repair()`]: keep the committed prefix,
+//!   re-solve only the surviving suffix through the solution cache)
+//!   against solving the degraded instance from scratch; reported as
+//!   the speedup ratio, guarded so repair must stay faster;
 //! * **fork expansion** — one `max_tasks_fork_by_deadline` selection on
 //!   a 16-slave star (the inner loop of every deadline sweep), reported
 //!   as nanoseconds per op;
@@ -43,6 +48,7 @@
 
 use mst_api::cache::solve_through;
 use mst_api::fleet::{exact_tree_fleet, mixed_fleet};
+use mst_api::repair::{degrade, repair, FailureEvent};
 use mst_api::wire::Json;
 use mst_api::{Batch, SolutionCache, SolverRegistry};
 use mst_fork::{max_tasks_fork_by_deadline, schedule_fork};
@@ -65,11 +71,12 @@ fn median_secs<F: FnMut()>(runs: usize, mut f: F) -> f64 {
 
 /// The throughput keys guarded by `--check` (higher is better; the
 /// ns-per-op keys are too noisy on shared CI boxes to gate on).
-const GUARDED_KEYS: [&str; 4] = [
+const GUARDED_KEYS: [&str; 5] = [
     "solve_all_instances_per_sec",
     "solve_all_by_deadline_instances_per_sec",
     "tree_exact_instances_per_sec",
     "cached_sweep_instances_per_sec",
+    "repair_vs_resolve_speedup",
 ];
 
 /// Compares fresh results against a recorded baseline; returns the
@@ -184,6 +191,62 @@ fn main() {
          (cached {cached_throughput:.0}/s vs uncached {uncached_throughput:.0}/s)"
     );
 
+    // --- Schedule repair vs full re-solve after a processor failure. ---
+    // For every distinct instance: fail its last processor halfway
+    // through the verified schedule, then compare `repair` (committed
+    // prefix kept, surviving suffix re-solved through the warm solution
+    // cache) against solving the degraded instance from scratch. The
+    // repair side is timed end-to-end — degrade, committed-front scan,
+    // canonicalization, cache lookup, restore — and must still beat the
+    // bare re-solve (pre-degraded outside the timed loop, so the
+    // comparison is conservative).
+    let repair_pool: Vec<(&mst_api::Instance, mst_api::Solution, FailureEvent)> = distinct
+        .iter()
+        .filter(|inst| inst.platform.num_processors() >= 2)
+        .map(|inst| {
+            let solution = solve_through(&cache, &registry, "optimal", inst, None)
+                .expect("fleet solves cleanly")
+                .solution;
+            let event = FailureEvent {
+                processor: inst.platform.num_processors(),
+                at: solution.makespan() / 2,
+            };
+            (inst, solution, event)
+        })
+        .collect();
+    // Warm pass: the degraded suffixes enter the solution cache, the
+    // steady state a long-lived session reaches.
+    for (inst, solution, event) in &repair_pool {
+        repair(inst, solution, event, &registry, &cache, "optimal")
+            .expect("losing the last processor is always repairable");
+    }
+    let secs = median_secs(runs, || {
+        for (inst, solution, event) in &repair_pool {
+            black_box(repair(black_box(inst), solution, event, &registry, &cache, "optimal"))
+                .expect("repair stays clean");
+        }
+    });
+    let repair_ns = secs * 1e9 / repair_pool.len() as f64;
+    let degraded: Vec<mst_api::Instance> = repair_pool
+        .iter()
+        .map(|(inst, _, event)| {
+            let platform = degrade(&inst.platform, event.processor).expect("degradable");
+            mst_api::Instance::new(platform, inst.tasks)
+        })
+        .collect();
+    let secs = median_secs(runs, || {
+        for inst in &degraded {
+            black_box(registry.solve("optimal", black_box(inst))).expect("re-solves cleanly");
+        }
+    });
+    let resolve_ns = secs * 1e9 / degraded.len() as f64;
+    let repair_speedup = resolve_ns / repair_ns;
+    assert!(
+        repair_speedup > 1.0,
+        "schedule repair must beat a from-scratch re-solve \
+         (repair {repair_ns:.0} ns/op vs re-solve {resolve_ns:.0} ns/op)"
+    );
+
     // --- Fork expansion + selection: the deadline-sweep inner loop. ----
     let fork = GeneratorConfig::new(HeterogeneityProfile::ALL[0], 11).fork(16);
     let n = 256usize;
@@ -205,7 +268,7 @@ fn main() {
     let search_ns = secs * 1e9 / search_iters as f64;
 
     let json = format!(
-        "{{\n  \"instances\": {instances_n},\n  \"solve_all_instances_per_sec\": {solve_throughput:.0},\n  \"solve_all_by_deadline_instances_per_sec\": {deadline_throughput:.0},\n  \"tree_exact_instances\": {exact_n},\n  \"tree_exact_instances_per_sec\": {exact_throughput:.0},\n  \"cached_sweep_instances_per_sec\": {cached_throughput:.0},\n  \"repeat_sweep_uncached_instances_per_sec\": {uncached_throughput:.0},\n  \"fork_selection_ns_per_op\": {expansion_ns:.0},\n  \"schedule_fork_ns_per_op\": {search_ns:.0}\n}}\n"
+        "{{\n  \"instances\": {instances_n},\n  \"solve_all_instances_per_sec\": {solve_throughput:.0},\n  \"solve_all_by_deadline_instances_per_sec\": {deadline_throughput:.0},\n  \"tree_exact_instances\": {exact_n},\n  \"tree_exact_instances_per_sec\": {exact_throughput:.0},\n  \"cached_sweep_instances_per_sec\": {cached_throughput:.0},\n  \"repeat_sweep_uncached_instances_per_sec\": {uncached_throughput:.0},\n  \"repair_ns_per_op\": {repair_ns:.0},\n  \"resolve_ns_per_op\": {resolve_ns:.0},\n  \"repair_vs_resolve_speedup\": {repair_speedup:.2},\n  \"fork_selection_ns_per_op\": {expansion_ns:.0},\n  \"schedule_fork_ns_per_op\": {search_ns:.0}\n}}\n"
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     print!("{json}");

@@ -36,6 +36,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "tenants" => cmd_tenants(args),
         "batch" => cmd_batch(args),
         "serve" => cmd_serve(args),
+        "chaos" => cmd_chaos(args),
         "history" => cmd_history(args),
         "" | "help" | "--help" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n\n{}", usage())),
@@ -72,6 +73,14 @@ USAGE:
         solved instance to a crash-safe record log, serves GET /history
         from it and warm-starts the solution cache from prior records
         on boot. Stops gracefully on ctrl-c.
+    mst chaos [--addr HOST:PORT] [--seed S] [--minutes M]
+        Drive a live mst serve instance through a seeded fault plan:
+        session repairs, dropped connections mid-frame, poison-pill
+        requests and store-path probes, re-checking /healthz after
+        every action. Prints a structured JSON report; any violated
+        availability invariant makes the command exit non-zero with
+        the same report (fail closed). Same seed, same hostile
+        schedule — a failure reproduces from its seed.
     mst history <store> [--tenant NAME] [--solver NAME] [--limit K]
         Inspect a result store offline: the records a --store server
         appended, newest first, filterable by tenant and solver.
@@ -355,6 +364,31 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         "shut down after {} connection(s), {} request(s), {} instance(s) solved\n",
         report.connections, report.requests, report.solved
     ))
+}
+
+/// `mst chaos` — the seeded fault-injection harness of
+/// [`crate::chaos`]: hostile traffic against a live server, structured
+/// fail-closed report.
+fn cmd_chaos(args: &Args) -> Result<String, String> {
+    let addr = args.opt("addr").unwrap_or("127.0.0.1:8080");
+    let seed = args.int_opt("seed", 1)?;
+    if seed < 0 {
+        return Err("--seed must be non-negative".into());
+    }
+    let minutes: f64 = match args.opt("minutes") {
+        None => 0.25,
+        Some(raw) => raw.parse().map_err(|_| format!("--minutes must be a number, got {raw:?}"))?,
+    };
+    if !(0.0..=120.0).contains(&minutes) {
+        return Err("--minutes must be between 0 and 120".into());
+    }
+    let report = crate::chaos::run_chaos(addr, seed as u64, minutes);
+    let json = report.to_json();
+    if report.ok() {
+        Ok(json)
+    } else {
+        Err(json)
+    }
 }
 
 /// `mst history <store>` — inspect a `--store` record log offline:
@@ -911,9 +945,25 @@ mod tests {
     }
 
     #[test]
+    fn chaos_command_validates_arguments_and_fails_closed() {
+        let err = run_line("chaos --minutes nope").unwrap_err();
+        assert!(err.contains("must be a number"), "{err}");
+        let err = run_line("chaos --seed -1").unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
+        let err = run_line("chaos --minutes 500").unwrap_err();
+        assert!(err.contains("between 0 and 120"), "{err}");
+        // Nothing listens on the target: the run fails closed with the
+        // structured report as the error body.
+        let err = run_line("chaos --addr 127.0.0.1:1 --minutes 0").unwrap_err();
+        assert!(err.contains("\"ok\": false"), "{err}");
+        assert!(err.contains("\"violations\""), "{err}");
+    }
+
+    #[test]
     fn help_and_unknown_commands() {
         assert!(run_line("help").unwrap().contains("USAGE"));
         assert!(run_line("help").unwrap().contains("serve"));
+        assert!(run_line("help").unwrap().contains("chaos"));
         assert!(run_line("help").unwrap().contains("history"));
         assert!(run_line("frobnicate").unwrap_err().contains("unknown command"));
         assert!(run_line("").unwrap().contains("USAGE"));

@@ -3,6 +3,7 @@
 //! See [`commands::usage`] (or run `mst help`) for the subcommands.
 
 mod args;
+mod chaos;
 mod commands;
 
 use args::Args;

@@ -28,7 +28,16 @@
 //!   optional deadline and oracle verification;
 //! * `POST /batch` — an instance sweep (explicit list or generator
 //!   spec) through the worker pool, chunk-cancellable, optionally
-//!   streamed as NDJSON (`"stream": true`).
+//!   streamed as NDJSON (`"stream": true`);
+//! * `POST /session` — a long-lived evolving instance per tenant: task
+//!   arrivals trigger incremental re-solves and posted processor
+//!   failures trigger **schedule repair** ([`mst_api::repair()`]), so a
+//!   live schedule survives a degrading platform.
+//!
+//! The service itself degrades rather than fails: a broken persistent
+//! store ([`ServeConfig::store`]) flips `/healthz` to `store_degraded`
+//! and the append path to bounded-backoff retries
+//! ([`server::StoreHealth`]) while solves keep flowing.
 //!
 //! Requests and responses use the JSON wire codec of [`mst_api::wire`];
 //! failures are structured `{"error": {"kind", "message"}}` bodies.
@@ -62,8 +71,11 @@
 pub mod http;
 pub mod routes;
 pub mod server;
+pub mod session;
 
 pub use http::{HttpError, Request, RequestReader, Response};
 pub use server::{
     install_sigint_handler, Metrics, ServeConfig, ServeReport, Server, ServerHandle, ServiceState,
+    StoreHealth,
 };
+pub use session::{Session, SessionTable};

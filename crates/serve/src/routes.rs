@@ -3,13 +3,14 @@
 //!
 //! | Endpoint        | Body                                              |
 //! |-----------------|---------------------------------------------------|
-//! | `GET /healthz`  | liveness + uptime                                 |
+//! | `GET /healthz`  | structured liveness: status, uptime, queue depth  |
 //! | `GET /solvers`  | the solver registry (names, topologies, T_lim)    |
 //! | `GET /metrics`  | global + per-tenant counters, live queue depth    |
 //! | `GET /tenants`  | the resolved execution policies (tokens masked)   |
 //! | `GET /history`  | the persistent result store (`--store` servers)   |
 //! | `POST /solve`   | one instance, solver selectable by registry name  |
 //! | `POST /batch`   | an instance sweep through the worker pool         |
+//! | `POST /session` | a held evolving instance: arrivals + repairs      |
 //!
 //! Both solve paths are fronted by the tenant's **canonical solution
 //! cache** ([`mst_api::cache`]): each instance is canonicalized
@@ -46,6 +47,7 @@ use crate::http::{ChunkedWriter, Request, Response};
 use crate::server::ServiceState;
 use mst_api::exec::{AdmissionError, TenantExec};
 use mst_api::fleet::SweepSpec;
+use mst_api::repair::{FailureEvent, RepairError};
 use mst_api::wire::{error_to_json, instance_from_json, solution_to_json, Json};
 use mst_api::{
     verify, Batch, BatchSummary, CacheKey, CanonicalInstance, Instance, Solution, SolveError,
@@ -86,10 +88,11 @@ pub fn route_on(request: &Request, state: &ServiceState, stream: Option<&mut Tcp
         ("GET", "/history") => Routed::Reply(history(request, state)),
         ("POST", "/solve") => Routed::Reply(solve(request, state)),
         ("POST", "/batch") => batch(request, state, stream),
+        ("POST", "/session") => Routed::Reply(session(request, state)),
         (
             _,
             "/" | "/healthz" | "/solvers" | "/metrics" | "/tenants" | "/history" | "/solve"
-            | "/batch",
+            | "/batch" | "/session",
         ) => Routed::Reply(error_response(
             405,
             "method-not-allowed",
@@ -165,11 +168,16 @@ fn tenant_for<'a>(
 /// The refusal an [`AdmissionError`] maps to: quota exhaustion is 429
 /// with a `Retry-After` (the refusal is transient — slots free as
 /// in-flight requests finish), an oversized request is the client's
-/// mistake (400).
-fn admission_response(error: &AdmissionError) -> Response {
+/// mistake (400). The `Retry-After` **escalates** with the tenant's
+/// consecutive-rejection streak ([`TenantExec::retry_after_hint`]): a
+/// client hammering an exhausted quota is told to back off
+/// exponentially (1, 2, 4, ... capped), and the hint resets to 1 the
+/// moment one of its requests is admitted.
+fn admission_response(tenant: &TenantExec, error: &AdmissionError) -> Response {
     match error {
         AdmissionError::QuotaExhausted { .. } => {
-            error_response(429, "quota-exhausted", &error.to_string()).with_retry_after(1)
+            error_response(429, "quota-exhausted", &error.to_string())
+                .with_retry_after(tenant.retry_after_hint())
         }
         AdmissionError::TooManyInstances { .. } => {
             error_response(400, "too-many-instances", &error.to_string())
@@ -193,6 +201,7 @@ fn index() -> Response {
                         "GET /history",
                         "POST /solve",
                         "POST /batch",
+                        "POST /session",
                     ]
                     .iter()
                     .map(|e| Json::str(*e))
@@ -203,12 +212,22 @@ fn index() -> Response {
     )
 }
 
+/// `GET /healthz` — structured service state, not just liveness: the
+/// overall `"status"` is `"ok"` or `"store_degraded"` (a broken
+/// persistent store degrades the service, it does not kill it), plus
+/// uptime, the live admission queue depth and the open-session gauge.
+/// Always `200`: a degraded server is still *alive* — orchestrators
+/// keep it running, operators read the body.
 fn healthz(state: &ServiceState) -> Response {
+    let degraded = state.store_health.is_degraded();
     Response::json(
         200,
         Json::obj([
-            ("status", Json::str("ok")),
+            ("status", Json::str(if degraded { "store_degraded" } else { "ok" })),
             ("uptime_secs", Json::Num(state.started.elapsed().as_secs_f64())),
+            ("queue_depth", Json::int(state.queue_depth() as i64)),
+            ("sessions_open", Json::int(state.sessions.open_count() as i64)),
+            ("store_degraded", Json::Bool(degraded)),
         ]),
     )
 }
@@ -306,6 +325,11 @@ fn metrics(state: &ServiceState) -> Response {
             ("instances_per_sec", Json::Num(m.instances_per_sec())),
             ("queue_depth", Json::int(state.queue_depth() as i64)),
             ("store_records", Json::int(state.store.as_ref().map_or(0, |s| s.len()) as i64)),
+            ("store_degraded", Json::Bool(state.store_health.is_degraded())),
+            ("store_failures_total", Json::int(state.store_health.failures_total() as i64)),
+            ("store_retries_total", Json::int(state.store_health.retries_total() as i64)),
+            ("store_recoveries_total", Json::int(state.store_health.recoveries_total() as i64)),
+            ("sessions_open", Json::int(state.sessions.open_count() as i64)),
             ("pool_workers", Json::int(state.batch.pool().workers() as i64)),
             ("pool_jobs_submitted", Json::int(state.batch.pool().jobs_submitted() as i64)),
             ("tenants", Json::Obj(tenants)),
@@ -452,7 +476,7 @@ fn solve(request: &Request, state: &ServiceState) -> Response {
     stats.cache_misses_total.fetch_add(1, Ordering::Relaxed);
     let _slot = match tenant.admit() {
         Ok(slot) => slot,
-        Err(e) => return admission_response(&e),
+        Err(e) => return admission_response(tenant, &e),
     };
     let started = Instant::now();
     let result = match canon.deadline() {
@@ -526,6 +550,15 @@ fn render_solution(
 
 /// Appends one solved canonical instance to the persistent store (a
 /// no-op without `--store`) and bumps the tenant's record gauge.
+///
+/// **Graceful degradation:** a failing append never fails the solve
+/// that produced the record. The failure flips the service's
+/// [`StoreHealth`](crate::server::StoreHealth) to degraded — visible in
+/// `/healthz` and `/metrics` — and subsequent appends inside the
+/// bounded-backoff window are skipped outright (a dead disk must not
+/// tax every solve with an I/O timeout). The first probe that succeeds
+/// clears the state; records solved while degraded are simply absent
+/// from history, which warm start already tolerates.
 fn append_record(
     state: &ServiceState,
     tenant: &TenantExec,
@@ -547,8 +580,15 @@ fn append_record(
         elapsed_us,
         solution: solution_to_json(canonical),
     };
-    if store.append(&record).is_ok() {
-        tenant.stats().store_records.fetch_add(1, Ordering::Relaxed);
+    if !state.store_health.should_attempt() {
+        return;
+    }
+    match store.append(&record) {
+        Ok(()) => {
+            state.store_health.record_success();
+            tenant.stats().store_records.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(_) => state.store_health.record_failure(),
     }
 }
 
@@ -654,7 +694,7 @@ fn batch_instances(
         if items.len() > cap {
             return Err(too_many(items.len()));
         }
-        tenant.check_instances(items.len()).map_err(|e| admission_response(&e))?;
+        tenant.check_instances(items.len()).map_err(|e| admission_response(tenant, &e))?;
         let mut instances = Vec::with_capacity(items.len());
         for (i, item) in items.iter().enumerate() {
             let instance = instance_from_json(item).map_err(|e| {
@@ -685,7 +725,7 @@ fn batch_instances(
     if count as usize > cap {
         return Err(too_many(count as usize));
     }
-    tenant.check_instances(count as usize).map_err(|e| admission_response(&e))?;
+    tenant.check_instances(count as usize).map_err(|e| admission_response(tenant, &e))?;
     let size = opt_int(spec, "size")?.unwrap_or(4).max(1) as usize;
     if size > state.config.max_platform_processors {
         return Err(error_response(
@@ -1009,7 +1049,7 @@ fn batch(request: &Request, state: &ServiceState, stream: Option<&mut TcpStream>
     let _slot = if cache_hits < jobs.len() {
         match tenant.admit() {
             Ok(slot) => Some(slot),
-            Err(e) => return Routed::Reply(admission_response(&e)),
+            Err(e) => return Routed::Reply(admission_response(tenant, &e)),
         }
     } else {
         None
@@ -1154,4 +1194,304 @@ fn stream_batch(
     let _ = writer.chunk(format!("{summary_line}\n").as_bytes());
     let _ = writer.finish();
     Routed::Streamed
+}
+
+/// Required non-negative integer field.
+fn req_int(body: &Json, key: &str) -> Result<i64, Response> {
+    opt_int(body, key)?
+        .ok_or_else(|| error_response(400, "bad-request", &format!("\"{key}\" is required")))
+}
+
+/// 404 for a session the requesting tenant does not hold. Deliberately
+/// indistinguishable from a never-existing id: another tenant's live
+/// session must not be probeable.
+fn unknown_session(id: i64) -> Response {
+    error_response(404, "unknown-session", &format!("no open session {id} for this tenant"))
+}
+
+/// One solve on behalf of a session, with the same cache / admission /
+/// store plumbing as `POST /solve`: the tenant's solution cache is
+/// consulted first (a hit takes no admission slot), a miss admits,
+/// solves the canonical instance, memoises and records it. Returns the
+/// restored solution and whether it was a cache hit.
+fn session_solve(
+    state: &ServiceState,
+    tenant: &TenantExec,
+    solver_name: &str,
+    instance: &Instance,
+) -> Result<(Solution, bool), Response> {
+    let registry = tenant.batch().registry();
+    let stats = tenant.stats();
+    let canon = CanonicalInstance::of(instance, solver_name, None);
+    let key = CacheKey::of(&canon, solver_name);
+    if let Some(cached) = tenant.cache().get(&key) {
+        stats.cache_hits_total.fetch_add(1, Ordering::Relaxed);
+        return Ok((canon.restore(&cached), true));
+    }
+    stats.cache_misses_total.fetch_add(1, Ordering::Relaxed);
+    let _slot = tenant.admit().map_err(|e| admission_response(tenant, &e))?;
+    let started = Instant::now();
+    let result = registry.solve(solver_name, canon.instance());
+    let elapsed = started.elapsed();
+    match result {
+        Ok(canonical) => {
+            state.metrics.record_solve(1, 0, 0, elapsed);
+            stats.record(1, 0, 0);
+            tenant.cache().insert(key, canonical.clone());
+            append_record(
+                state,
+                tenant,
+                solver_name,
+                &canon,
+                &canonical,
+                elapsed.as_micros() as u64,
+            );
+            Ok((canon.restore(&canonical), false))
+        }
+        Err(e) => {
+            state.metrics.record_solve(0, 1, 0, elapsed);
+            stats.record(0, 1, 0);
+            Err(solve_error_response(&e))
+        }
+    }
+}
+
+/// Renders the session snapshot every `/session` op answers with, plus
+/// the op-specific `extra` fields.
+fn session_reply(s: &crate::session::Session, extra: Vec<(String, Json)>) -> Response {
+    let mut members = vec![
+        ("session".to_string(), Json::int(s.id as i64)),
+        ("solver".to_string(), Json::str(s.solver.as_str())),
+        ("tasks".to_string(), Json::int(s.instance.tasks as i64)),
+        ("processors".to_string(), Json::int(s.instance.platform.num_processors() as i64)),
+        ("makespan".to_string(), Json::int(s.solution.makespan())),
+        ("arrivals".to_string(), Json::int(s.arrivals as i64)),
+        ("failures".to_string(), Json::int(s.failures as i64)),
+        ("committed".to_string(), Json::int(s.committed as i64)),
+    ];
+    members.extend(extra);
+    Response::json(200, Json::Obj(members))
+}
+
+/// `POST /session` — a long-lived **evolving instance** held by the
+/// server for the requesting tenant, dispatched on the `"op"` field:
+///
+/// * `{"op": "create", "platform": <text>, "tasks": N, "solver"?}` —
+///   solve and hold; answers the session id;
+/// * `{"op": "arrive", "session": id, "tasks": K}` — K more tasks
+///   arrive; the grown instance is re-solved **incrementally** through
+///   the tenant's solution cache (a re-visited task count is a hit);
+/// * `{"op": "fail", "session": id, "processor": p, "at": t}` —
+///   processor `p` (1-based, flat order) died at time `t`: the witness
+///   is **repaired** ([`mst_api::repair()`]) — its committed prefix is
+///   kept, only the surviving suffix re-solves on the degraded
+///   platform, and the session *becomes* the degraded platform, so
+///   failures compound;
+/// * `{"op": "get", "session": id}` — the current snapshot;
+/// * `{"op": "close", "session": id}` — release it.
+///
+/// Sessions are tenant-scoped (another tenant's id answers 404) and
+/// the table is bounded (`429 too-many-sessions` beyond
+/// [`crate::session::MAX_OPEN_SESSIONS`]).
+fn session(request: &Request, state: &ServiceState) -> Response {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let tenant = match tenant_for(request, &body, state) {
+        Ok(tenant) => tenant,
+        Err(response) => return response,
+    };
+    let op = match opt_str(&body, "op") {
+        Ok(Some(op)) => op,
+        Ok(None) => {
+            return error_response(
+                400,
+                "bad-request",
+                "\"op\" is required: create | arrive | fail | get | close",
+            )
+        }
+        Err(response) => return response,
+    };
+    match op {
+        "create" => session_create(&body, state, tenant),
+        "arrive" => session_arrive(&body, state, tenant),
+        "fail" => session_fail(&body, state, tenant),
+        "get" => session_get(&body, state, tenant),
+        "close" => session_close(&body, state, tenant),
+        other => error_response(400, "bad-request", &format!("unknown session op {other:?}")),
+    }
+}
+
+fn session_create(body: &Json, state: &ServiceState, tenant: &TenantExec) -> Response {
+    let instance = match instance_from_json(body) {
+        Ok(instance) => instance,
+        Err(e) => return error_response(400, "bad-instance", &e.to_string()),
+    };
+    if let Err(response) = check_task_budget(&instance, state) {
+        return response;
+    }
+    let solver_name = match opt_str(body, "solver") {
+        Ok(name) => name.unwrap_or("optimal"),
+        Err(response) => return response,
+    };
+    if let Err(e) = tenant.batch().registry().resolve(solver_name) {
+        return solve_error_response(&e);
+    }
+    let (solution, cached) = match session_solve(state, tenant, solver_name, &instance) {
+        Ok(solved) => solved,
+        Err(response) => return response,
+    };
+    let tenant_name = tenant.policy().name.as_str();
+    let Ok(id) = state.sessions.create(tenant_name, solver_name, instance, solution) else {
+        return error_response(
+            429,
+            "too-many-sessions",
+            &format!(
+                "the server holds its maximum of {} open sessions; close one and retry",
+                crate::session::MAX_OPEN_SESSIONS
+            ),
+        )
+        .with_retry_after(1);
+    };
+    state
+        .sessions
+        .with(tenant_name, id, |s| {
+            session_reply(s, vec![("cached".to_string(), Json::Bool(cached))])
+        })
+        .unwrap_or_else(|| unknown_session(id as i64))
+}
+
+fn session_arrive(body: &Json, state: &ServiceState, tenant: &TenantExec) -> Response {
+    let (id, arriving) = match (req_int(body, "session"), req_int(body, "tasks")) {
+        (Ok(id), Ok(k)) => (id, k),
+        (Err(r), _) | (_, Err(r)) => return r,
+    };
+    if arriving < 1 {
+        return error_response(400, "bad-request", "\"tasks\" must be at least 1");
+    }
+    let tenant_name = tenant.policy().name.as_str();
+    // Snapshot outside the solve: the table lock must not be held while
+    // a worker pool churns.
+    let Some((solver, old)) =
+        state.sessions.with(tenant_name, id as u64, |s| (s.solver.clone(), s.instance.clone()))
+    else {
+        return unknown_session(id);
+    };
+    let grown = Instance::new(old.platform.clone(), old.tasks + arriving as usize);
+    if let Err(response) = check_task_budget(&grown, state) {
+        return response;
+    }
+    let (solution, cached) = match session_solve(state, tenant, &solver, &grown) {
+        Ok(solved) => solved,
+        Err(response) => return response,
+    };
+    state
+        .sessions
+        .with(tenant_name, id as u64, |s| {
+            s.instance = grown.clone();
+            s.solution = solution.clone();
+            s.arrivals += 1;
+            session_reply(s, vec![("cached".to_string(), Json::Bool(cached))])
+        })
+        .unwrap_or_else(|| unknown_session(id))
+}
+
+fn session_fail(body: &Json, state: &ServiceState, tenant: &TenantExec) -> Response {
+    let (id, processor, at) =
+        match (req_int(body, "session"), req_int(body, "processor"), req_int(body, "at")) {
+            (Ok(id), Ok(p), Ok(t)) => (id, p, t),
+            (Err(r), _, _) | (_, Err(r), _) | (_, _, Err(r)) => return r,
+        };
+    let tenant_name = tenant.policy().name.as_str();
+    let Some((solver, instance, solution)) = state.sessions.with(tenant_name, id as u64, |s| {
+        (s.solver.clone(), s.instance.clone(), s.solution.clone())
+    }) else {
+        return unknown_session(id);
+    };
+    let event = FailureEvent { processor: processor as usize, at };
+    let _slot = match tenant.admit() {
+        Ok(slot) => slot,
+        Err(e) => return admission_response(tenant, &e),
+    };
+    let stats = tenant.stats();
+    let started = Instant::now();
+    let repaired = mst_api::repair(
+        &instance,
+        &solution,
+        &event,
+        tenant.batch().registry(),
+        tenant.cache(),
+        &solver,
+    );
+    let elapsed = started.elapsed();
+    match repaired {
+        Ok(repaired) => {
+            state.metrics.record_solve(1, 0, 0, elapsed);
+            stats.record(1, 0, 0);
+            if repaired.cache_hit {
+                stats.cache_hits_total.fetch_add(1, Ordering::Relaxed);
+            } else {
+                stats.cache_misses_total.fetch_add(1, Ordering::Relaxed);
+            }
+            let committed = repaired.committed;
+            let remaining = repaired.remaining;
+            let cache_hit = repaired.cache_hit;
+            state
+                .sessions
+                .with(tenant_name, id as u64, |s| {
+                    s.instance = repaired.degraded.clone();
+                    s.solution = repaired.solution.clone();
+                    s.failures += 1;
+                    s.committed += committed as u64;
+                    session_reply(
+                        s,
+                        vec![
+                            ("event_committed".to_string(), Json::int(committed as i64)),
+                            ("event_remaining".to_string(), Json::int(remaining as i64)),
+                            ("cached".to_string(), Json::Bool(cache_hit)),
+                        ],
+                    )
+                })
+                .unwrap_or_else(|| unknown_session(id))
+        }
+        Err(e @ RepairError::BadProcessor { .. }) => {
+            error_response(400, "bad-processor", &e.to_string())
+        }
+        Err(RepairError::NoSurvivors { .. }) => error_response(
+            409,
+            "no-survivors",
+            &format!(
+                "losing processor {processor} leaves no platform to repair onto; \
+                 the session is unchanged"
+            ),
+        ),
+        Err(RepairError::Solve(e)) => {
+            state.metrics.record_solve(0, 1, 0, elapsed);
+            stats.record(0, 1, 0);
+            solve_error_response(&e)
+        }
+    }
+}
+
+fn session_get(body: &Json, state: &ServiceState, tenant: &TenantExec) -> Response {
+    let id = match req_int(body, "session") {
+        Ok(id) => id,
+        Err(response) => return response,
+    };
+    state
+        .sessions
+        .with(tenant.policy().name.as_str(), id as u64, |s| session_reply(s, Vec::new()))
+        .unwrap_or_else(|| unknown_session(id))
+}
+
+fn session_close(body: &Json, state: &ServiceState, tenant: &TenantExec) -> Response {
+    let id = match req_int(body, "session") {
+        Ok(id) => id,
+        Err(response) => return response,
+    };
+    match state.sessions.close(tenant.policy().name.as_str(), id as u64) {
+        Some(closed) => session_reply(&closed, vec![("closed".to_string(), Json::Bool(true))]),
+        None => unknown_session(id),
+    }
 }

@@ -95,6 +95,12 @@ pub struct ServeConfig {
     /// restarted server answers repeated instances from cache
     /// immediately. `None` serves without persistence.
     pub store: Option<String>,
+    /// A pre-built store backend, taking precedence over
+    /// [`ServeConfig::store`] when set. This is the injection point for
+    /// degraded-mode tests and embedders: hand the server a
+    /// [`mst_store::FlakyStore`] (or any custom backend) and watch the
+    /// solve path keep serving while appends fail.
+    pub store_backend: Option<Arc<dyn StoreBackend>>,
 }
 
 impl Default for ServeConfig {
@@ -114,7 +120,95 @@ impl Default for ServeConfig {
             batch_chunk: 512,
             registries: None,
             store: None,
+            store_backend: None,
         }
+    }
+}
+
+/// Live health of the persistent-store write path.
+///
+/// A failing append must never fail the solve that produced the record:
+/// the service flips to **store-degraded** instead — results keep
+/// flowing, `/healthz` reports `"store_degraded"`, and the append path
+/// retries with bounded exponential backoff (attempts inside the
+/// backoff window are skipped outright, so a dead disk cannot add an
+/// I/O error's latency to every solve). The first successful append
+/// clears the state.
+#[derive(Debug, Default)]
+pub struct StoreHealth {
+    degraded: AtomicBool,
+    consecutive_failures: AtomicU64,
+    /// Appends that returned an error.
+    failures_total: AtomicU64,
+    /// Append attempts made while degraded (recovery probes).
+    retries_total: AtomicU64,
+    /// Times the store came back after being degraded.
+    recoveries_total: AtomicU64,
+    backoff_until: Mutex<Option<Instant>>,
+}
+
+/// Longest the degraded store waits between recovery probes.
+const STORE_BACKOFF_CAP: Duration = Duration::from_secs(8);
+/// Backoff after the first failure; doubles per consecutive failure.
+const STORE_BACKOFF_BASE: Duration = Duration::from_millis(250);
+
+impl StoreHealth {
+    /// Whether the append path should try the store right now: always
+    /// when healthy; while degraded, only once the current backoff
+    /// window has elapsed (such an attempt is counted as a retry).
+    pub fn should_attempt(&self) -> bool {
+        if !self.degraded.load(Ordering::Relaxed) {
+            return true;
+        }
+        let until = *self.backoff_until.lock().unwrap_or_else(|e| e.into_inner());
+        match until {
+            Some(until) if Instant::now() < until => false,
+            _ => {
+                self.retries_total.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+        }
+    }
+
+    /// Records a successful append; clears degradation if present.
+    pub fn record_success(&self) {
+        if self.degraded.swap(false, Ordering::Relaxed) {
+            self.recoveries_total.fetch_add(1, Ordering::Relaxed);
+        }
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        *self.backoff_until.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    /// Records a failed append: enters (or deepens) degradation and arms
+    /// the next bounded-backoff window.
+    pub fn record_failure(&self) {
+        self.failures_total.fetch_add(1, Ordering::Relaxed);
+        let streak = self.consecutive_failures.fetch_add(1, Ordering::Relaxed);
+        self.degraded.store(true, Ordering::Relaxed);
+        let backoff = STORE_BACKOFF_BASE.saturating_mul(1u32 << streak.min(5) as u32);
+        let backoff = backoff.min(STORE_BACKOFF_CAP);
+        *self.backoff_until.lock().unwrap_or_else(|e| e.into_inner()) =
+            Some(Instant::now() + backoff);
+    }
+
+    /// Whether the store write path is currently degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Appends that returned an error, lifetime total.
+    pub fn failures_total(&self) -> u64 {
+        self.failures_total.load(Ordering::Relaxed)
+    }
+
+    /// Recovery probes attempted while degraded, lifetime total.
+    pub fn retries_total(&self) -> u64 {
+        self.retries_total.load(Ordering::Relaxed)
+    }
+
+    /// Times the store recovered from degradation, lifetime total.
+    pub fn recoveries_total(&self) -> u64 {
+        self.recoveries_total.load(Ordering::Relaxed)
     }
 }
 
@@ -189,6 +283,11 @@ pub struct ServiceState {
     /// The persistent result store (`--store`); `None` when the server
     /// runs without persistence.
     pub store: Option<Arc<dyn StoreBackend>>,
+    /// Degradation state of the store write path: a failing append
+    /// never fails a solve, it flips this instead.
+    pub store_health: StoreHealth,
+    /// Live sessions held by `POST /session` tenants.
+    pub sessions: crate::session::SessionTable,
     /// Live counters.
     pub metrics: Metrics,
     /// Config snapshot (caps consulted by the routes).
@@ -354,9 +453,10 @@ impl Server {
                 .collect(),
             None => Vec::new(),
         };
-        let store: Option<Arc<dyn StoreBackend>> = match &config.store {
-            Some(path) => Some(Arc::new(FileStore::open(path)?)),
-            None => None,
+        let store: Option<Arc<dyn StoreBackend>> = match (&config.store_backend, &config.store) {
+            (Some(backend), _) => Some(Arc::clone(backend)),
+            (None, Some(path)) => Some(Arc::new(FileStore::open(path)?)),
+            (None, None) => None,
         };
         if let Some(store) = &store {
             warm_start(store.as_ref(), &default_exec, &tenants);
@@ -367,6 +467,8 @@ impl Server {
             tenants,
             selector_batches,
             store,
+            store_health: StoreHealth::default(),
+            sessions: crate::session::SessionTable::default(),
             metrics: Metrics::default(),
             config,
             started: Instant::now(),
@@ -606,6 +708,18 @@ mod tests {
         out
     }
 
+    fn post(addr: SocketAddr, path: &str, body: &str) -> String {
+        let raw = format!(
+            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        request(addr, &raw)
+    }
+
+    fn healthz(addr: SocketAddr) -> String {
+        request(addr, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+    }
+
     #[test]
     fn binds_serves_and_shuts_down_cleanly() {
         let server =
@@ -786,6 +900,123 @@ mod tests {
         // The solver *set* is still the tenant's.
         assert_eq!(selector.registry().names(), vec!["optimal"]);
         assert!(state.batch_for(Some("nope")).is_none());
+    }
+
+    #[test]
+    fn store_health_backoff_skips_attempts_then_recovers() {
+        let health = StoreHealth::default();
+        assert!(health.should_attempt(), "a healthy store is always attempted");
+        health.record_failure();
+        assert!(health.is_degraded());
+        assert_eq!(health.failures_total(), 1);
+        assert!(!health.should_attempt(), "inside the armed backoff window");
+        std::thread::sleep(Duration::from_millis(300));
+        assert!(health.should_attempt(), "window elapsed: a recovery probe is allowed");
+        assert_eq!(health.retries_total(), 1);
+        health.record_success();
+        assert!(!health.is_degraded());
+        assert_eq!(health.recoveries_total(), 1);
+        assert!(health.should_attempt());
+    }
+
+    #[test]
+    fn a_failing_store_degrades_the_service_instead_of_failing_solves() {
+        let flaky = Arc::new(mst_store::FlakyStore::new(Arc::new(mst_store::MemoryStore::new())));
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            store_backend: Some(flaky.clone() as Arc<dyn StoreBackend>),
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let handle = server.handle();
+        let addr = server.addr();
+        let runner = std::thread::spawn(move || server.run().expect("run"));
+
+        // Healthy: a solve lands one record.
+        let ok = post(addr, "/solve", r#"{"platform": "chain\n2 3\n3 5\n", "tasks": 5}"#);
+        assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
+        assert_eq!(flaky.len(), 1);
+        assert!(healthz(addr).contains("\"status\":\"ok\""));
+
+        // Break the store: solves keep answering 200, health flips.
+        flaky.set_failing(true);
+        let degraded = post(addr, "/solve", r#"{"platform": "chain\n2 3\n3 5\n", "tasks": 6}"#);
+        assert!(degraded.starts_with("HTTP/1.1 200"), "a dead store must not fail the solve");
+        let health = healthz(addr);
+        assert!(health.contains("\"status\":\"store_degraded\""), "{health}");
+        assert!(health.contains("\"store_degraded\":true"), "{health}");
+        assert!(handle.state().store_health.is_degraded());
+        assert!(flaky.failed_appends() >= 1);
+
+        // Heal the store: within a few backoff windows a probe append
+        // succeeds and the service recovers on its own.
+        flaky.set_failing(false);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut tasks = 7usize;
+        loop {
+            std::thread::sleep(Duration::from_millis(150));
+            let body = format!(r#"{{"platform": "chain\n2 3\n3 5\n", "tasks": {tasks}}}"#);
+            let reply = post(addr, "/solve", &body);
+            assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+            tasks += 1;
+            let health = healthz(addr);
+            if health.contains("\"status\":\"ok\"") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "store never recovered: {health}");
+        }
+        assert!(flaky.len() >= 2, "post-recovery solves append again");
+        assert_eq!(handle.state().store_health.recoveries_total(), 1);
+
+        handle.shutdown();
+        runner.join().expect("runner joins");
+    }
+
+    #[test]
+    fn sessions_absorb_arrivals_and_repair_processor_failures() {
+        let server =
+            Server::bind(ServeConfig { addr: "127.0.0.1:0".into(), ..ServeConfig::default() })
+                .expect("bind");
+        let handle = server.handle();
+        let addr = server.addr();
+        let runner = std::thread::spawn(move || server.run().expect("run"));
+
+        let created = post(
+            addr,
+            "/session",
+            r#"{"op": "create", "platform": "chain\n2 3\n3 5\n", "tasks": 5, "solver": "optimal"}"#,
+        );
+        assert!(created.starts_with("HTTP/1.1 200"), "{created}");
+        assert!(created.contains("\"session\":1"), "{created}");
+        assert!(created.contains("\"processors\":2"), "{created}");
+        assert!(healthz(addr).contains("\"sessions_open\":1"));
+
+        // Three more tasks arrive: the held instance grows and re-solves.
+        let grown = post(addr, "/session", r#"{"op": "arrive", "session": 1, "tasks": 3}"#);
+        assert!(grown.starts_with("HTTP/1.1 200"), "{grown}");
+        assert!(grown.contains("\"tasks\":8"), "{grown}");
+        assert!(grown.contains("\"arrivals\":1"), "{grown}");
+
+        // Processor 2 dies at t=0: the schedule is repaired onto the
+        // surviving single-processor chain and the session becomes it.
+        let repaired =
+            post(addr, "/session", r#"{"op": "fail", "session": 1, "processor": 2, "at": 0}"#);
+        assert!(repaired.starts_with("HTTP/1.1 200"), "{repaired}");
+        assert!(repaired.contains("\"processors\":1"), "{repaired}");
+        assert!(repaired.contains("\"failures\":1"), "{repaired}");
+        assert!(repaired.contains("\"event_remaining\":8"), "{repaired}");
+
+        // Snapshot, close, and a closed session is gone.
+        let got = post(addr, "/session", r#"{"op": "get", "session": 1}"#);
+        assert!(got.contains("\"failures\":1"), "{got}");
+        let closed = post(addr, "/session", r#"{"op": "close", "session": 1}"#);
+        assert!(closed.contains("\"closed\":true"), "{closed}");
+        let gone = post(addr, "/session", r#"{"op": "get", "session": 1}"#);
+        assert!(gone.starts_with("HTTP/1.1 404"), "{gone}");
+        assert!(healthz(addr).contains("\"sessions_open\":0"));
+
+        handle.shutdown();
+        runner.join().expect("runner joins");
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! Seeded, deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a reproducible schedule of failure events — processor
+//! deaths, store write failures, connection drops, worker panics — generated
+//! from a single `u64` seed by a hand-rolled xorshift PRNG (no external
+//! dependencies, no wall-clock entropy). The same seed always yields the
+//! same plan, so every chaos run, degraded-mode test, and repair scenario
+//! can be replayed exactly from its seed alone.
+//!
+//! Consumers:
+//!
+//! * `mst_api::repair` — takes a [`FaultKind::ProcessorDown`] event and
+//!   splits a verified schedule at the failure front.
+//! * `mst-serve` tests — drive the store-degradation path with
+//!   [`FaultKind::StoreWriteFail`] windows.
+//! * `mst chaos` — walks a plan against a live server, mapping each event
+//!   kind to a concrete hostile action (dropped socket, injected panic,
+//!   posted failure event), and asserts availability invariants.
+
+use mst_platform::Time;
+
+/// What kind of failure an event injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A processor (1-based flat index into the platform's processor
+    /// order) dies at the event time; tasks not yet completed there are
+    /// lost and the schedule must be repaired on the surviving platform.
+    ProcessorDown {
+        /// 1-based flat processor index.
+        processor: usize,
+    },
+    /// The result-store append path starts failing; writes return errors
+    /// until the window closes. The solve path must keep serving.
+    StoreWriteFail {
+        /// How many consecutive appends fail before writes recover.
+        writes: usize,
+    },
+    /// A client connection is dropped mid-request (socket closed after the
+    /// request line, before the response is read).
+    ConnectionDrop,
+    /// A worker handling the request panics; the server must convert the
+    /// panic into a structured 500 and keep the listener alive.
+    WorkerPanic,
+}
+
+/// One scheduled failure: a kind plus the simulated time it fires at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the fault fires, in simulated time units (monotone
+    /// non-decreasing within a plan).
+    pub at: Time,
+    /// What fails.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, seeded schedule of [`FaultEvent`]s.
+///
+/// ```
+/// use mst_sim::faults::FaultPlan;
+/// let a = FaultPlan::seeded(42, 10, 4, 100);
+/// let b = FaultPlan::seeded(42, 10, 4, 100);
+/// assert_eq!(a.events(), b.events()); // same seed, same plan
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+/// Minimal xorshift64* PRNG: deterministic, dependency-free, good enough
+/// to spread fault times and kinds. Not cryptographic, not meant to be.
+#[derive(Debug, Clone)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// Seeds the generator. A zero seed is remapped to a fixed non-zero
+    /// constant (xorshift has an all-zero fixed point).
+    pub fn new(seed: u64) -> Self {
+        FaultRng { state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed } }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `0..bound` (`bound == 0` yields 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Generates a deterministic plan of `events` faults over the time
+    /// range `1..=horizon`, targeting a platform with `processors`
+    /// processors. Event times are sorted non-decreasing; kinds cycle
+    /// through the four failure families with seeded parameters.
+    pub fn seeded(seed: u64, events: usize, processors: usize, horizon: Time) -> Self {
+        let mut rng = FaultRng::new(seed);
+        let span = horizon.max(1) as u64;
+        let mut planned: Vec<FaultEvent> = (0..events)
+            .map(|_| {
+                let at = 1 + rng.below(span) as Time;
+                let kind = match rng.below(4) {
+                    0 => FaultKind::ProcessorDown {
+                        processor: 1 + rng.below(processors.max(1) as u64) as usize,
+                    },
+                    1 => FaultKind::StoreWriteFail { writes: 1 + rng.below(8) as usize },
+                    2 => FaultKind::ConnectionDrop,
+                    _ => FaultKind::WorkerPanic,
+                };
+                FaultEvent { at, kind }
+            })
+            .collect();
+        planned.sort_by_key(|e| e.at);
+        FaultPlan { seed, events: planned }
+    }
+
+    /// Builds a plan from an explicit event list (sorted by time).
+    pub fn from_events(seed: u64, mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        FaultPlan { seed, events }
+    }
+
+    /// The seed this plan was generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The scheduled events, sorted by firing time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The first processor-down event, if any — the common entry point for
+    /// schedule repair, which handles one failure at a time.
+    pub fn first_processor_down(&self) -> Option<(usize, Time)> {
+        self.events.iter().find_map(|e| match e.kind {
+            FaultKind::ProcessorDown { processor } => Some((processor, e.at)),
+            _ => None,
+        })
+    }
+
+    /// Iterates events that fire at or before `t`, in firing order.
+    pub fn fired_by(&self, t: Time) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter().take_while(move |e| e.at <= t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = FaultPlan::seeded(7, 32, 5, 1000);
+        let b = FaultPlan::seeded(7, 32, 5, 1000);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 32);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::seeded(1, 32, 5, 1000);
+        let b = FaultPlan::seeded(2, 32, 5, 1000);
+        assert_ne!(a.events(), b.events());
+    }
+
+    #[test]
+    fn events_are_time_sorted_and_in_range() {
+        let plan = FaultPlan::seeded(99, 64, 3, 500);
+        let mut last = 0;
+        for e in plan.events() {
+            assert!(e.at >= last, "events must be non-decreasing in time");
+            assert!(e.at >= 1 && e.at <= 500);
+            if let FaultKind::ProcessorDown { processor } = e.kind {
+                assert!((1..=3).contains(&processor));
+            }
+            last = e.at;
+        }
+    }
+
+    #[test]
+    fn all_kinds_appear_in_a_long_plan() {
+        let plan = FaultPlan::seeded(123, 256, 4, 10_000);
+        let mut down = false;
+        let mut store = false;
+        let mut drop = false;
+        let mut panic = false;
+        for e in plan.events() {
+            match e.kind {
+                FaultKind::ProcessorDown { .. } => down = true,
+                FaultKind::StoreWriteFail { .. } => store = true,
+                FaultKind::ConnectionDrop => drop = true,
+                FaultKind::WorkerPanic => panic = true,
+            }
+        }
+        assert!(down && store && drop && panic);
+    }
+
+    #[test]
+    fn first_processor_down_finds_the_earliest() {
+        let plan = FaultPlan::from_events(
+            0,
+            vec![
+                FaultEvent { at: 9, kind: FaultKind::ProcessorDown { processor: 2 } },
+                FaultEvent { at: 3, kind: FaultKind::ConnectionDrop },
+                FaultEvent { at: 5, kind: FaultKind::ProcessorDown { processor: 1 } },
+            ],
+        );
+        assert_eq!(plan.first_processor_down(), Some((1, 5)));
+        assert_eq!(plan.fired_by(5).count(), 2);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let plan = FaultPlan::seeded(0, 8, 2, 100);
+        assert_eq!(plan.len(), 8);
+    }
+}

@@ -24,6 +24,11 @@
 //! * [`cancel`] — the [`cancel::CancelToken`] those checkpoints poll:
 //!   explicit cancellation plus lazy wall-clock deadline budgets, no
 //!   timer thread.
+//! * [`faults`] — seeded, deterministic fault injection: a
+//!   [`faults::FaultPlan`] reproducibly schedules processor deaths, store
+//!   write failures, connection drops and worker panics from a single
+//!   seed, consumed by schedule repair, degraded-mode server tests and
+//!   the `mst chaos` harness.
 //! * [`runner`] — the parallel sweep entry point used by the experiment
 //!   harness and the `mst-api` batch engine to evaluate thousands of
 //!   instances across cores, backed by one process-wide pool.
@@ -32,6 +37,7 @@
 
 pub mod buffered;
 pub mod cancel;
+pub mod faults;
 pub mod online;
 pub mod pool;
 pub mod replay;
@@ -40,6 +46,7 @@ pub mod trace;
 
 pub use buffered::simulate_online_buffered;
 pub use cancel::CancelToken;
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultRng};
 pub use online::{simulate_online, OnlinePolicy};
 pub use pool::WorkerPool;
 pub use replay::{replay_chain, replay_spider, SimError};

@@ -14,6 +14,11 @@
 //!   `SIGKILL` mid-append, so recovery is automatic: everything before
 //!   the first bad byte survives, everything after it is dropped.
 //!
+//! [`FlakyStore`] wraps either backend with a toggleable write-failure
+//! injection point, so degraded-mode tests and the chaos harness can
+//! force the append path to fail deterministically and watch the service
+//! keep serving.
+//!
 //! Records store the *canonical* form of each instance (see
 //! `mst_api::canon`): the platform text and deadline are
 //! post-normalisation, and `canon_hash` is the cache key's content hash,
@@ -124,7 +129,7 @@ impl Record {
 
 /// An append-only store of [`Record`]s. Implementations are thread-safe;
 /// one instance serves every connection handler concurrently.
-pub trait StoreBackend: Send + Sync {
+pub trait StoreBackend: Send + Sync + std::fmt::Debug {
     /// Appends one record durably (for file-backed stores, flushed
     /// before returning).
     fn append(&self, record: &Record) -> io::Result<()>;
@@ -192,6 +197,63 @@ impl StoreBackend for MemoryStore {
 
     fn len(&self) -> usize {
         self.records.lock().expect("store poisoned").len()
+    }
+}
+
+/// A fault-injection wrapper around any backend: while
+/// [`FlakyStore::set_failing`] is on, every append returns an I/O error
+/// without touching the inner store. This is the write-failure injection
+/// point behind the degraded-mode server tests and the chaos harness —
+/// a solve path in front of a `FlakyStore` must keep serving results
+/// while the store is down and resume persisting when it recovers.
+#[derive(Debug)]
+pub struct FlakyStore {
+    inner: std::sync::Arc<dyn StoreBackend>,
+    failing: std::sync::atomic::AtomicBool,
+    failed_appends: std::sync::atomic::AtomicU64,
+}
+
+impl FlakyStore {
+    /// Wraps `inner`; writes succeed until [`FlakyStore::set_failing`].
+    pub fn new(inner: std::sync::Arc<dyn StoreBackend>) -> FlakyStore {
+        FlakyStore {
+            inner,
+            failing: std::sync::atomic::AtomicBool::new(false),
+            failed_appends: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Turns write failure injection on or off.
+    pub fn set_failing(&self, failing: bool) {
+        self.failing.store(failing, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Whether appends currently fail.
+    pub fn is_failing(&self) -> bool {
+        self.failing.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// How many appends were refused by injection so far.
+    pub fn failed_appends(&self) -> u64 {
+        self.failed_appends.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
+impl StoreBackend for FlakyStore {
+    fn append(&self, record: &Record) -> io::Result<()> {
+        if self.is_failing() {
+            self.failed_appends.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            return Err(io::Error::other("injected store write failure"));
+        }
+        self.inner.append(record)
+    }
+
+    fn records(&self) -> Vec<Record> {
+        self.inner.records()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
     }
 }
 
@@ -444,6 +506,62 @@ mod tests {
         assert_eq!(recovered.len(), 1);
         assert_eq!(recovered.records()[0].tenant, "a");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn crash_at_every_byte_offset_of_a_frame_recovers_and_appends() {
+        // Drive the torn-tail recovery through every possible crash
+        // point: a log of two good records plus the first k bytes of a
+        // third frame, for every k short of the full frame. Reopening
+        // must keep exactly the two good records, truncate the torn
+        // prefix, and accept fresh appends afterwards.
+        let path = tmp("every-offset");
+        {
+            let store = FileStore::open(&path).unwrap();
+            store.append_all(&[sample("a", "optimal", 3), sample("a", "optimal", 4)]).unwrap();
+        }
+        let base = std::fs::read(&path).unwrap();
+        let frame = encode_frame(&sample("b", "exact", 5));
+        for cut in 0..frame.len() {
+            let mut torn = base.clone();
+            torn.extend_from_slice(&frame[..cut]);
+            std::fs::write(&path, &torn).unwrap();
+            let recovered = FileStore::open(&path).unwrap();
+            assert_eq!(recovered.len(), 2, "cut at byte {cut}: good records survive");
+            assert_eq!(
+                std::fs::metadata(&path).unwrap().len(),
+                base.len() as u64,
+                "cut at byte {cut}: torn prefix truncated"
+            );
+            recovered.append(&sample("c", "optimal", 6)).unwrap();
+            drop(recovered);
+            assert_eq!(
+                FileStore::open(&path).unwrap().len(),
+                3,
+                "cut at byte {cut}: append after recovery persists"
+            );
+        }
+        // The full frame, untorn, is of course kept.
+        let mut whole = base.clone();
+        whole.extend_from_slice(&frame);
+        std::fs::write(&path, &whole).unwrap();
+        assert_eq!(FileStore::open(&path).unwrap().len(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flaky_store_injects_and_clears_write_failures() {
+        let inner = std::sync::Arc::new(MemoryStore::new());
+        let store = FlakyStore::new(inner.clone());
+        store.append(&sample("a", "optimal", 3)).unwrap();
+        store.set_failing(true);
+        assert!(store.append(&sample("a", "optimal", 4)).is_err());
+        assert!(store.append_all(&[sample("a", "optimal", 5)]).is_err());
+        assert_eq!(store.failed_appends(), 2);
+        assert_eq!(store.len(), 1, "failed appends never reach the inner store");
+        store.set_failing(false);
+        store.append(&sample("b", "exact", 6)).unwrap();
+        assert_eq!(inner.len(), 2, "recovery resumes persisting");
     }
 
     #[test]
