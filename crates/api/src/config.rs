@@ -75,7 +75,12 @@
 //!   is cancelled at the next checkpoint;
 //! * `"cache_entries"` — capacity of the tenant's canonical solution
 //!   cache ([`crate::cache::SolutionCache`]); `0` disables caching,
-//!   absent uses the default budget.
+//!   absent uses the default budget;
+//! * `"requests_per_window"` / `"window_ms"` — a time-windowed rate
+//!   limit: at most that many requests per window (token bucket, so
+//!   short bursts up to the full window allowance are fine), answered
+//!   with 429 and an accurate `Retry-After` past it. The window
+//!   defaults to one second when only the rate is given.
 //!
 //! Because [`crate::Solver::name`] returns `&'static str` (names flow
 //! into [`crate::Solution`]s on hot paths), configured names are
@@ -219,8 +224,16 @@ fn check_keys(obj: &Json, allowed: &[&str], what: &str) -> Result<(), ConfigErro
 
 /// The execution-limit keys a tenant spec may carry alongside its
 /// registry layering (see [`TenantLimits`]).
-const EXEC_KEYS: [&str; 6] =
-    ["token", "threads", "quota", "max_instances", "deadline_ms", "cache_entries"];
+const EXEC_KEYS: [&str; 8] = [
+    "token",
+    "threads",
+    "quota",
+    "max_instances",
+    "deadline_ms",
+    "cache_entries",
+    "requests_per_window",
+    "window_ms",
+];
 
 /// Execution limits of one tenant spec: everything about *how much
 /// machine* a tenant gets, as opposed to *which solvers* it sees.
@@ -248,6 +261,13 @@ pub struct TenantLimits {
     /// Canonical solution-cache capacity in entries; `Some(0)` disables
     /// caching, `None` uses [`crate::cache::DEFAULT_CACHE_ENTRIES`].
     pub cache_entries: Option<usize>,
+    /// Time-windowed rate limit: requests admitted per
+    /// [`TenantLimits::window_ms`] window; `None` is unlimited.
+    pub requests_per_window: Option<u64>,
+    /// The rate-limit window in milliseconds; `None` with a rate set
+    /// uses a one-second window. Setting a window without
+    /// `requests_per_window` is a config error.
+    pub window_ms: Option<u64>,
 }
 
 /// Parses the [`TenantLimits`] members of a tenant spec (each optional,
@@ -282,6 +302,13 @@ fn limits_from_spec(spec: &Json) -> Result<TenantLimits, ConfigError> {
             _ => return Err(ConfigError::new("\"cache_entries\" must be a non-negative integer")),
         },
     };
+    let requests_per_window = positive("requests_per_window")?;
+    let window_ms = positive("window_ms")?;
+    if window_ms.is_some() && requests_per_window.is_none() {
+        return Err(ConfigError::new(
+            "\"window_ms\" without \"requests_per_window\" limits nothing; set both",
+        ));
+    }
     Ok(TenantLimits {
         token,
         threads: positive("threads")?.map(|n| n as usize),
@@ -289,6 +316,8 @@ fn limits_from_spec(spec: &Json) -> Result<TenantLimits, ConfigError> {
         max_instances: positive("max_instances")?.map(|n| n as usize),
         deadline_ms: positive("deadline_ms")?,
         cache_entries,
+        requests_per_window,
+        window_ms,
     })
 }
 
@@ -740,6 +769,29 @@ mod tests {
         // cache_entries: 0 is valid — it disables the tenant's cache.
         let off = RegistrySet::parse(r#"{"registries": {"a": {"cache_entries": 0}}}"#).unwrap();
         assert_eq!(off.limits("a").unwrap().cache_entries, Some(0));
+    }
+
+    #[test]
+    fn rate_limit_keys_parse_and_validate() {
+        let set = RegistrySet::parse(
+            r#"{"registries": {"a": {"requests_per_window": 100, "window_ms": 250}}}"#,
+        )
+        .unwrap();
+        let limits = set.limits("a").unwrap();
+        assert_eq!(limits.requests_per_window, Some(100));
+        assert_eq!(limits.window_ms, Some(250));
+        // The window defaults (to one second) when only the rate is set.
+        let rate_only =
+            RegistrySet::parse(r#"{"registries": {"a": {"requests_per_window": 5}}}"#).unwrap();
+        assert_eq!(rate_only.limits("a").unwrap().window_ms, None);
+        for (text, needle) in [
+            (r#"{"registries": {"a": {"requests_per_window": 0}}}"#, "positive"),
+            (r#"{"registries": {"a": {"window_ms": -5, "requests_per_window": 1}}}"#, "positive"),
+            (r#"{"registries": {"a": {"window_ms": 1000}}}"#, "limits nothing"),
+        ] {
+            let err = RegistrySet::parse(text).expect_err(text).to_string();
+            assert!(err.contains(needle), "{text}: {err}");
+        }
     }
 
     #[test]

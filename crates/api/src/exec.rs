@@ -16,7 +16,9 @@
 //!   takes one, dropping it releases it, so a slot can never leak on a
 //!   panicking or early-returning request path;
 //! * [`AdmissionError`] — the typed refusals (`quota exhausted`, `too
-//!   many instances`) that `mst-serve` maps to 429/400 responses.
+//!   many instances`, `rate limited`) that `mst-serve` maps to 429/400
+//!   responses; rate refusals carry an accurate `Retry-After` computed
+//!   from the token bucket's refill rate.
 //!
 //! Isolation is structural: a tenant with `threads: 1` solves on its
 //! own single-executor pool, so however long its sweeps run they never
@@ -53,8 +55,8 @@ use crate::registry::SolverRegistry;
 use mst_sim::{CancelToken, WorkerPool};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// The resolved execution policy of one tenant: registry plus machine
 /// budgets and admission limits.
@@ -80,6 +82,26 @@ pub struct ExecPolicy {
     /// disables caching, `None` uses
     /// [`crate::cache::DEFAULT_CACHE_ENTRIES`].
     pub cache_entries: Option<usize>,
+    /// Time-windowed request-rate limit; `None` is unlimited.
+    pub rate: Option<RateLimit>,
+}
+
+/// A time-windowed request-rate limit: at most `requests` admissions
+/// per `window`, enforced as a token bucket (continuous refill at
+/// `requests / window`, burst capacity of one full window's allowance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimit {
+    /// Requests allowed per window.
+    pub requests: u64,
+    /// The averaging window.
+    pub window: Duration,
+}
+
+impl RateLimit {
+    /// The continuous refill rate, in tokens per second.
+    pub fn per_second(&self) -> f64 {
+        self.requests as f64 / self.window.as_secs_f64().max(1e-9)
+    }
 }
 
 impl ExecPolicy {
@@ -95,6 +117,7 @@ impl ExecPolicy {
             max_instances: None,
             deadline: None,
             cache_entries: None,
+            rate: None,
         }
     }
 
@@ -113,6 +136,10 @@ impl ExecPolicy {
             max_instances: limits.max_instances,
             deadline: limits.deadline_ms.map(Duration::from_millis),
             cache_entries: limits.cache_entries,
+            rate: limits.requests_per_window.map(|requests| RateLimit {
+                requests,
+                window: Duration::from_millis(limits.window_ms.unwrap_or(1_000)),
+            }),
         }
     }
 
@@ -147,6 +174,13 @@ impl ExecPolicy {
         self
     }
 
+    /// Caps the tenant at `requests` admissions per `window` (token
+    /// bucket; see [`RateLimit`]).
+    pub fn rate_limit(mut self, requests: u64, window: Duration) -> ExecPolicy {
+        self.rate = Some(RateLimit { requests, window });
+        self
+    }
+
     /// The API token requests present to route here: the explicit token
     /// when configured, the tenant name otherwise.
     pub fn effective_token(&self) -> &str {
@@ -173,6 +207,16 @@ pub enum AdmissionError {
         /// The tenant's per-request cap.
         cap: usize,
     },
+    /// The tenant's time-windowed rate limit is spent.
+    RateLimited {
+        /// The refusing tenant.
+        tenant: String,
+        /// The configured limit.
+        limit: RateLimit,
+        /// Whole seconds until a token is available again — the
+        /// accurate `Retry-After` value.
+        retry_after: u64,
+    },
 }
 
 impl fmt::Display for AdmissionError {
@@ -185,6 +229,13 @@ impl fmt::Display for AdmissionError {
             AdmissionError::TooManyInstances { tenant, requested, cap } => write!(
                 f,
                 "{requested} instances exceed tenant {tenant:?}'s per-request cap of {cap}"
+            ),
+            AdmissionError::RateLimited { tenant, limit, retry_after } => write!(
+                f,
+                "tenant {tenant:?} exceeded its rate limit of {} request(s) per {}ms; retry in \
+                 {retry_after}s",
+                limit.requests,
+                limit.window.as_millis()
             ),
         }
     }
@@ -202,6 +253,9 @@ pub struct TenantStats {
     pub requests_total: AtomicU64,
     /// Requests refused with a quota/cap admission error.
     pub rejected_total: AtomicU64,
+    /// Requests refused because the tenant's time-windowed rate limit
+    /// was spent.
+    pub rate_limited_total: AtomicU64,
     /// Instances solved successfully on this tenant's engine.
     pub solved_total: AtomicU64,
     /// Instances whose solve returned a genuine error.
@@ -239,6 +293,16 @@ pub struct TenantExec {
     stats: TenantStats,
     cache: SolutionCache,
     rejection_streak: AtomicU64,
+    bucket: Option<Mutex<TokenBucket>>,
+}
+
+/// Live state of one tenant's rate-limit token bucket: fractional
+/// tokens plus the instant of the last refill. Refill is continuous at
+/// [`RateLimit::per_second`], capped at one full window's allowance.
+#[derive(Debug)]
+struct TokenBucket {
+    tokens: f64,
+    last: Instant,
 }
 
 /// Cap on the escalating `Retry-After` hint, in seconds: a persistently
@@ -258,6 +322,11 @@ impl TenantExec {
         };
         let batch = Batch::new(policy.registry.clone()).with_pool(pool);
         let cache = SolutionCache::new(policy.cache_entries.unwrap_or(DEFAULT_CACHE_ENTRIES));
+        // The bucket starts full: a fresh tenant may burst one whole
+        // window's allowance immediately.
+        let bucket = policy.rate.map(|limit| {
+            Mutex::new(TokenBucket { tokens: limit.requests as f64, last: Instant::now() })
+        });
         TenantExec {
             policy,
             batch,
@@ -265,6 +334,7 @@ impl TenantExec {
             stats: TenantStats::default(),
             cache,
             rejection_streak: AtomicU64::new(0),
+            bucket,
         }
     }
 
@@ -358,6 +428,33 @@ impl TenantExec {
         }
     }
 
+    /// Spends one rate-limit token, or refuses with
+    /// [`AdmissionError::RateLimited`] when the bucket is empty. The
+    /// bucket refills continuously at the policy's `requests / window`
+    /// rate (burst capacity: one full window's allowance), so the
+    /// refusal carries an **accurate** `Retry-After`: the whole seconds
+    /// until the next token exists, not a guess. Tenants without a
+    /// configured [`ExecPolicy::rate`] always pass.
+    pub fn check_rate(&self) -> Result<(), AdmissionError> {
+        let (bucket, limit) = match (&self.bucket, self.policy.rate) {
+            (Some(bucket), Some(limit)) => (bucket, limit),
+            _ => return Ok(()),
+        };
+        let mut state = bucket.lock().unwrap_or_else(|e| e.into_inner());
+        let now = Instant::now();
+        let refill = now.duration_since(state.last).as_secs_f64() * limit.per_second();
+        state.tokens = (state.tokens + refill).min(limit.requests as f64);
+        state.last = now;
+        if state.tokens >= 1.0 {
+            state.tokens -= 1.0;
+            return Ok(());
+        }
+        self.stats.rate_limited_total.fetch_add(1, Ordering::Relaxed);
+        let deficit = 1.0 - state.tokens;
+        let retry_after = (deficit / limit.per_second()).ceil().max(1.0) as u64;
+        Err(AdmissionError::RateLimited { tenant: self.policy.name.clone(), limit, retry_after })
+    }
+
     /// A fresh cancellation token for one request, with the policy's
     /// deadline budget armed (if any). Hand it to
     /// [`Batch::solve_all_cancellable`] and to whatever watches the
@@ -446,6 +543,43 @@ mod tests {
     }
 
     #[test]
+    fn rate_limits_spend_a_token_bucket_and_hint_accurate_retries() {
+        // 2 requests per 10-second window: the bucket starts full, so
+        // exactly two requests pass before the first refusal.
+        let exec = TenantExec::new(policy().rate_limit(2, Duration::from_secs(10)), shared_pool());
+        assert!(exec.check_rate().is_ok());
+        assert!(exec.check_rate().is_ok());
+        let refused = exec.check_rate().unwrap_err();
+        match refused {
+            AdmissionError::RateLimited { ref tenant, limit, retry_after } => {
+                assert_eq!(tenant, "t");
+                assert_eq!(limit.requests, 2);
+                // One token regrows in 5s; the hint must say so (give
+                // or take the ceil and the time spent in the test).
+                assert!((4..=5).contains(&retry_after), "retry_after = {retry_after}");
+            }
+            other => panic!("expected RateLimited, got {other:?}"),
+        }
+        assert!(refused.to_string().contains("rate limit"), "{refused}");
+        assert_eq!(exec.stats().rate_limited_total.load(Ordering::Relaxed), 1);
+        // Rate refusals are not quota refusals.
+        assert_eq!(exec.stats().rejected_total.load(Ordering::Relaxed), 0);
+
+        // A fast window refills: 1000 requests/s regrows a token within
+        // a few milliseconds.
+        let fast = TenantExec::new(policy().rate_limit(1, Duration::from_millis(1)), shared_pool());
+        assert!(fast.check_rate().is_ok());
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(fast.check_rate().is_ok(), "the bucket must refill with time");
+
+        // No configured rate never refuses.
+        let open = TenantExec::new(policy(), shared_pool());
+        for _ in 0..1000 {
+            assert!(open.check_rate().is_ok());
+        }
+    }
+
+    #[test]
     fn instance_caps_refuse_oversized_requests() {
         let exec = TenantExec::new(policy().max_instances(10), shared_pool());
         assert!(exec.check_instances(10).is_ok());
@@ -502,6 +636,8 @@ mod tests {
             max_instances: Some(1000),
             deadline_ms: Some(250),
             cache_entries: Some(128),
+            requests_per_window: Some(40),
+            window_ms: Some(500),
         };
         let p = ExecPolicy::from_limits("acme", SolverRegistry::global().clone(), &limits);
         assert_eq!(p.effective_token(), "key");
@@ -510,6 +646,15 @@ mod tests {
         assert_eq!(p.max_instances, Some(1000));
         assert_eq!(p.deadline, Some(Duration::from_millis(250)));
         assert_eq!(p.cache_entries, Some(128));
+        assert_eq!(
+            p.rate,
+            Some(RateLimit { requests: 40, window: Duration::from_millis(500) }),
+            "rate limits resolve from the config keys"
+        );
+        // The window defaults to one second when only the rate is set.
+        let rate_only = TenantLimits { requests_per_window: Some(7), ..TenantLimits::default() };
+        let q = ExecPolicy::from_limits("x", SolverRegistry::global().clone(), &rate_only);
+        assert_eq!(q.rate, Some(RateLimit { requests: 7, window: Duration::from_secs(1) }));
         assert_eq!(TenantExec::new(p, shared_pool()).cache().capacity(), 128);
         // The name is the fallback token.
         let bare = ExecPolicy::new("acme", SolverRegistry::global().clone());

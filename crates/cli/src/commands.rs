@@ -36,6 +36,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "tenants" => cmd_tenants(args),
         "batch" => cmd_batch(args),
         "serve" => cmd_serve(args),
+        "loadgen" => crate::loadgen::cmd_loadgen(args),
         "chaos" => cmd_chaos(args),
         "history" => cmd_history(args),
         "" | "help" | "--help" => Ok(usage()),
@@ -65,14 +66,27 @@ USAGE:
               [--solver NAME] [--profile NAME] [--deadline T]
         Generate K seeded instances and sweep them across all cores.
     mst serve [--addr HOST:PORT] [--threads N] [--solvers-config FILE]
-              [--store FILE]
+              [--store FILE] [--io event|threads]
         Serve the solver API over HTTP (default 127.0.0.1:8080):
         POST /solve, POST /batch, GET /solvers, /healthz, /metrics,
         /history. --solvers-config loads per-tenant registries
         selectable by the registry request field. --store appends every
         solved instance to a crash-safe record log, serves GET /history
         from it and warm-starts the solution cache from prior records
-        on boot. Stops gracefully on ctrl-c.
+        on boot. --io picks the transport: the epoll event loop
+        (default) or the thread-per-connection fallback. Stops
+        gracefully on ctrl-c.
+    mst loadgen [--addr HOST:PORT] [--tenants N] [--rate R] [--seconds S]
+                [--seed S] [--out FILE] [--check BASELINE]
+                [--tolerance F] [--p99-limit MS]
+        Open-loop capacity probe against a live mst serve: a seeded
+        Poisson arrival schedule of mixed solve/batch/session traffic
+        over N keep-alive connections, latencies measured from each
+        request's *scheduled* arrival (no coordinated omission).
+        Prints a flat JSON report (throughput, p50/p99/p999). With
+        --check it becomes a gate: non-zero exit on any error, on
+        throughput below baseline*(1-tolerance), or on p99 over the
+        limit.
     mst chaos [--addr HOST:PORT] [--seed S] [--minutes M]
         Drive a live mst serve instance through a seeded fault plan:
         session repairs, dropped connections mid-frame, poison-pill
@@ -347,11 +361,17 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         Some("") => return Err("--store expects a file path".into()),
         other => other.map(String::from),
     };
+    let io = match args.opt("io") {
+        None | Some("event") => mst_serve::IoModel::Event,
+        Some("threads") => mst_serve::IoModel::Threads,
+        Some(other) => return Err(format!("--io must be \"event\" or \"threads\", got {other:?}")),
+    };
     let config = mst_serve::ServeConfig {
         addr,
         threads,
         registries,
         store,
+        io,
         ..mst_serve::ServeConfig::default()
     };
     let server = mst_serve::Server::bind(config).map_err(|e| format!("cannot serve: {e}"))?;
@@ -870,6 +890,24 @@ mod tests {
         assert!(err.contains("cannot serve"), "{err}");
         let err = run_line("serve --threads 0").unwrap_err();
         assert!(err.contains("at least 1"), "{err}");
+        let err = run_line("serve --io fibers").unwrap_err();
+        assert!(err.contains("--io"), "{err}");
+    }
+
+    #[test]
+    fn loadgen_command_rejects_bad_arguments() {
+        let err = run_line("loadgen --tenants 0").unwrap_err();
+        assert!(err.contains("--tenants"), "{err}");
+        let err = run_line("loadgen --rate -3").unwrap_err();
+        assert!(err.contains("--rate"), "{err}");
+        let err = run_line("loadgen --seconds 0").unwrap_err();
+        assert!(err.contains("--seconds"), "{err}");
+        let err = run_line("loadgen --tolerance 1.5").unwrap_err();
+        assert!(err.contains("--tolerance"), "{err}");
+        let err = run_line("loadgen --p99-limit nope").unwrap_err();
+        assert!(err.contains("--p99-limit"), "{err}");
+        let err = run_line("loadgen --addr not-an-address").unwrap_err();
+        assert!(err.contains("resolve"), "{err}");
     }
 
     #[test]
@@ -964,6 +1002,7 @@ mod tests {
         assert!(run_line("help").unwrap().contains("USAGE"));
         assert!(run_line("help").unwrap().contains("serve"));
         assert!(run_line("help").unwrap().contains("chaos"));
+        assert!(run_line("help").unwrap().contains("loadgen"));
         assert!(run_line("help").unwrap().contains("history"));
         assert!(run_line("frobnicate").unwrap_err().contains("unknown command"));
         assert!(run_line("").unwrap().contains("USAGE"));

@@ -5,6 +5,7 @@
 mod args;
 mod chaos;
 mod commands;
+mod loadgen;
 
 use args::Args;
 

@@ -1,0 +1,283 @@
+//! The epoll readiness poller and its cross-thread waker.
+//!
+//! [`Poller`] owns one epoll instance. File descriptors are registered
+//! with a caller-chosen [`Token`] and an [`Interest`] (readable,
+//! writable, level- or edge-triggered); [`Poller::wait`] parks the
+//! calling thread until readiness or a timeout, filling a reusable
+//! [`Event`] buffer. [`Waker`] is an `eventfd` registered like any
+//! other fd: any thread can [`Waker::wake`] to pop the loop out of
+//! `wait`, which is how dispatch workers tell the loop that response
+//! bytes are ready to flush.
+
+use crate::sys;
+use std::io;
+use std::os::unix::io::RawFd;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Caller-owned cookie identifying a registered fd — typically a
+/// connection slab index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub u64);
+
+/// What readiness to ask for when registering an fd.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd has bytes to read (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd can accept writes.
+    pub writable: bool,
+    /// Edge-triggered: report a readiness transition once, not while
+    /// the condition holds. The caller must then drain to `WouldBlock`.
+    pub edge: bool,
+}
+
+impl Interest {
+    /// Level-triggered read interest.
+    pub const READ: Interest = Interest { readable: true, writable: false, edge: false };
+    /// Level-triggered write interest.
+    pub const WRITE: Interest = Interest { readable: false, writable: true, edge: false };
+    /// Level-triggered read + write interest.
+    pub const READ_WRITE: Interest = Interest { readable: true, writable: true, edge: false };
+
+    /// The same interest, edge-triggered.
+    pub fn edge_triggered(mut self) -> Interest {
+        self.edge = true;
+        self
+    }
+
+    fn mask(self) -> u32 {
+        let mut mask = sys::EPOLLRDHUP;
+        if self.readable {
+            mask |= sys::EPOLLIN;
+        }
+        if self.writable {
+            mask |= sys::EPOLLOUT;
+        }
+        if self.edge {
+            mask |= sys::EPOLLET;
+        }
+        mask
+    }
+}
+
+/// One readiness notification out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: Token,
+    /// Bytes are readable (or the peer closed — read to find out).
+    pub readable: bool,
+    /// The fd accepts writes.
+    pub writable: bool,
+    /// Error or hangup: the connection is dead or dying.
+    pub hangup: bool,
+    /// The peer shut down its writing half (half-closed socket).
+    pub read_closed: bool,
+}
+
+/// An epoll instance plus a reusable event buffer.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+    events: Vec<sys::epoll_event>,
+}
+
+impl Poller {
+    /// Creates the epoll instance. Fails with `Unsupported` off Linux.
+    pub fn new() -> io::Result<Poller> {
+        let epfd = sys::sys_epoll_create()?;
+        Ok(Poller { epfd, events: vec![sys::epoll_event { events: 0, u64: 0 }; 1024] })
+    }
+
+    /// Registers `fd` for `interest`, tagged with `token`.
+    pub fn add(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        sys::sys_epoll_ctl(self.epfd, sys::EPOLL_CTL_ADD, fd, interest.mask(), token.0)
+    }
+
+    /// Changes the interest of an already-registered `fd`.
+    pub fn modify(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        sys::sys_epoll_ctl(self.epfd, sys::EPOLL_CTL_MOD, fd, interest.mask(), token.0)
+    }
+
+    /// Unregisters `fd`. Closing the fd drops the registration too, so
+    /// this is only needed to park an fd while keeping it open.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        sys::sys_epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks until readiness or `timeout` (None = forever), then calls
+    /// `sink` once per ready fd. Returns the number of events seen.
+    pub fn wait(
+        &mut self,
+        timeout: Option<Duration>,
+        mut sink: impl FnMut(Event),
+    ) -> io::Result<usize> {
+        let timeout_ms = match timeout {
+            // epoll_wait rounds 0 to "return immediately"; clamp
+            // sub-millisecond waits up to 1ms so they still park.
+            Some(t) => i32::try_from(t.as_millis().clamp(1, i32::MAX as u128)).unwrap_or(i32::MAX),
+            None => -1,
+        };
+        let n = sys::sys_epoll_wait(self.epfd, &mut self.events, timeout_ms)?;
+        for ev in &self.events[..n] {
+            let bits = ev.events;
+            sink(Event {
+                token: Token(ev.u64),
+                readable: bits & sys::EPOLLIN != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                hangup: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+                read_closed: bits & sys::EPOLLRDHUP != 0,
+            });
+        }
+        Ok(n)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        sys::sys_close(self.epfd);
+    }
+}
+
+/// A cross-thread wake-up line into a [`Poller`]: an `eventfd`
+/// registered with the poller under a reserved token. Cloneable and
+/// cheap; `wake` is async-signal-safe in spirit (one `write` syscall).
+#[derive(Debug, Clone)]
+pub struct Waker {
+    inner: Arc<WakerFd>,
+}
+
+#[derive(Debug)]
+struct WakerFd(RawFd);
+
+impl Drop for WakerFd {
+    fn drop(&mut self) {
+        sys::sys_close(self.0);
+    }
+}
+
+impl Waker {
+    /// Creates the eventfd and registers it with `poller` under
+    /// `token` (level-triggered read).
+    pub fn new(poller: &Poller, token: Token) -> io::Result<Waker> {
+        let fd = sys::sys_eventfd()?;
+        poller.add(fd, token, Interest::READ)?;
+        Ok(Waker { inner: Arc::new(WakerFd(fd)) })
+    }
+
+    /// Pops the poller out of `wait`. Safe from any thread.
+    pub fn wake(&self) {
+        sys::sys_eventfd_write(self.inner.0);
+    }
+
+    /// Clears the pending wake-up; the loop calls this when the waker's
+    /// token shows up readable, before draining whatever queue the
+    /// wake-up advertised.
+    pub fn drain(&self) {
+        sys::sys_eventfd_drain(self.inner.0);
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::time::Instant;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn readiness_fires_on_data_and_not_before() {
+        let mut poller = Poller::new().unwrap();
+        let (mut client, server) = pair();
+        server.set_nonblocking(true).unwrap();
+        poller.add(server.as_raw_fd(), Token(7), Interest::READ).unwrap();
+
+        let n = poller.wait(Some(Duration::from_millis(30)), |_| {}).unwrap();
+        assert_eq!(n, 0, "no data yet, no events");
+
+        client.write_all(b"hi").unwrap();
+        let mut seen = Vec::new();
+        poller.wait(Some(Duration::from_millis(1000)), |ev| seen.push(ev)).unwrap();
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].token, Token(7));
+        assert!(seen[0].readable);
+    }
+
+    #[test]
+    fn edge_triggered_reports_once_until_drained() {
+        let mut poller = Poller::new().unwrap();
+        let (mut client, mut server) = pair();
+        server.set_nonblocking(true).unwrap();
+        poller.add(server.as_raw_fd(), Token(1), Interest::READ.edge_triggered()).unwrap();
+        client.write_all(b"edge").unwrap();
+
+        let n = poller.wait(Some(Duration::from_millis(1000)), |_| {}).unwrap();
+        assert_eq!(n, 1, "the transition is reported");
+        let n = poller.wait(Some(Duration::from_millis(30)), |_| {}).unwrap();
+        assert_eq!(n, 0, "not re-reported while undrained (edge semantics)");
+
+        let mut buf = [0u8; 16];
+        let got = server.read(&mut buf).unwrap();
+        assert_eq!(&buf[..got], b"edge");
+    }
+
+    #[test]
+    fn hangup_and_half_close_are_distinguished() {
+        let mut poller = Poller::new().unwrap();
+        let (client, server) = pair();
+        server.set_nonblocking(true).unwrap();
+        poller.add(server.as_raw_fd(), Token(3), Interest::READ).unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut seen = Vec::new();
+        poller.wait(Some(Duration::from_millis(1000)), |ev| seen.push(ev)).unwrap();
+        assert_eq!(seen.len(), 1);
+        assert!(seen[0].read_closed, "peer write-shutdown shows as EPOLLRDHUP");
+        drop(client);
+    }
+
+    #[test]
+    fn waker_pops_the_loop_from_another_thread() {
+        let mut poller = Poller::new().unwrap();
+        let waker = Waker::new(&poller, Token(u64::MAX)).unwrap();
+        let remote = waker.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            remote.wake();
+        });
+        let start = Instant::now();
+        let mut tokens = Vec::new();
+        poller.wait(Some(Duration::from_secs(10)), |ev| tokens.push(ev.token)).unwrap();
+        assert!(start.elapsed() < Duration::from_secs(5), "woke early, not at timeout");
+        assert_eq!(tokens, vec![Token(u64::MAX)]);
+        waker.drain();
+        handle.join().unwrap();
+        let n = poller.wait(Some(Duration::from_millis(30)), |_| {}).unwrap();
+        assert_eq!(n, 0, "drained waker is quiet");
+    }
+
+    #[test]
+    fn modify_switches_interest() {
+        let mut poller = Poller::new().unwrap();
+        let (_client, server) = pair();
+        server.set_nonblocking(true).unwrap();
+        poller.add(server.as_raw_fd(), Token(9), Interest::READ).unwrap();
+        // A fresh socket with an empty send buffer is instantly writable.
+        poller.modify(server.as_raw_fd(), Token(9), Interest::WRITE).unwrap();
+        let mut seen = Vec::new();
+        poller.wait(Some(Duration::from_millis(1000)), |ev| seen.push(ev)).unwrap();
+        assert!(seen.iter().any(|e| e.writable));
+        poller.delete(server.as_raw_fd()).unwrap();
+        let n = poller.wait(Some(Duration::from_millis(30)), |_| {}).unwrap();
+        assert_eq!(n, 0, "deleted fd no longer reports");
+    }
+}

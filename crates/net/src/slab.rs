@@ -1,0 +1,103 @@
+//! A slot allocator for connection state.
+//!
+//! The event loop needs a dense `token -> connection` map with O(1)
+//! insert/remove and stable indices; a `Vec<Option<T>>` with a free
+//! list is exactly that. Slots are reused, so the loop pairs each slot
+//! with a generation counter to reject late cross-thread messages
+//! addressed to a previous occupant.
+
+/// The slab. `T` is the per-connection state.
+#[derive(Debug)]
+pub struct Slab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<usize>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Slab<T> {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Slab<T> {
+        Slab { slots: Vec::new(), free: Vec::new(), len: 0 }
+    }
+
+    /// Stores `value`, returning its slot index.
+    pub fn insert(&mut self, value: T) -> usize {
+        self.len += 1;
+        match self.free.pop() {
+            Some(at) => {
+                self.slots[at] = Some(value);
+                at
+            }
+            None => {
+                self.slots.push(Some(value));
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    /// Removes and returns the value at `at`, freeing the slot.
+    pub fn remove(&mut self, at: usize) -> Option<T> {
+        let value = self.slots.get_mut(at)?.take()?;
+        self.free.push(at);
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Borrows the value at `at`.
+    pub fn get(&self, at: usize) -> Option<&T> {
+        self.slots.get(at)?.as_ref()
+    }
+
+    /// Mutably borrows the value at `at`.
+    pub fn get_mut(&mut self, at: usize) -> Option<&mut T> {
+        self.slots.get_mut(at)?.as_mut()
+    }
+
+    /// Occupied slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates occupied slots as `(index, &value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|v| (i, v)))
+    }
+
+    /// The occupied slot indices, collected. Taken before a mutating
+    /// sweep so the sweep can call `remove` freely.
+    pub fn keys(&self) -> Vec<usize> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|_| i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_reuses_slots() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_ne!(a, b);
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.remove(a), None, "double-remove is a no-op");
+        let c = slab.insert("c");
+        assert_eq!(c, a, "freed slot is reused");
+        assert_eq!(slab.get(b), Some(&"b"));
+        assert_eq!(slab.keys().len(), 2);
+        assert_eq!(slab.iter().count(), 2);
+    }
+}

@@ -1,0 +1,166 @@
+//! A hashed timer wheel for connection deadlines.
+//!
+//! The event loop arms one timer per connection (keep-alive idle
+//! timeout, or the per-request I/O budget) and re-arms it every time
+//! the connection changes state. Cancellation is *lazy*: the loop keeps
+//! a generation counter per connection and bumps it instead of removing
+//! the wheel entry; when a stale entry fires, the generations disagree
+//! and it is ignored. That makes `schedule` O(1) with no lookup
+//! structure, which matters when thousands of keep-alive sockets re-arm
+//! on every request.
+//!
+//! Precision is one tick (see [`TimerWheel::new`]); timeouts fire on
+//! the first tick boundary at or after their deadline, never before.
+
+use crate::poller::Token;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Entry {
+    token: Token,
+    generation: u64,
+    at_tick: u64,
+}
+
+/// The wheel: `slots.len()` buckets, each holding the entries whose
+/// deadline tick hashes onto it (deadlines beyond one rotation simply
+/// stay in their bucket until their tick comes around).
+#[derive(Debug)]
+pub struct TimerWheel {
+    tick: Duration,
+    slots: Vec<Vec<Entry>>,
+    epoch: Instant,
+    /// Ticks fully processed so far.
+    done: u64,
+    armed: usize,
+}
+
+impl TimerWheel {
+    /// A wheel with the given tick granularity and bucket count.
+    pub fn new(tick: Duration, slots: usize) -> TimerWheel {
+        assert!(!tick.is_zero() && slots > 0);
+        TimerWheel {
+            tick,
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            epoch: Instant::now(),
+            done: 0,
+            armed: 0,
+        }
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let elapsed = at.saturating_duration_since(self.epoch);
+        // Round up: a timer never fires before its deadline.
+        let ticks = elapsed.as_nanos().div_ceil(self.tick.as_nanos().max(1));
+        (ticks as u64).max(self.done + 1)
+    }
+
+    /// Arms a timer for `(token, generation)` at `deadline`. The caller
+    /// re-checks `generation` when the timer fires; bumping it is how a
+    /// timer is cancelled or superseded.
+    pub fn schedule(&mut self, token: Token, generation: u64, deadline: Instant) {
+        let at_tick = self.tick_of(deadline);
+        let slot = (at_tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry { token, generation, at_tick });
+        self.armed += 1;
+    }
+
+    /// Advances the wheel to `now`, calling `sink(token, generation)`
+    /// for every entry whose deadline passed.
+    pub fn poll(&mut self, now: Instant, mut sink: impl FnMut(Token, u64)) {
+        let target = (now.saturating_duration_since(self.epoch).as_nanos()
+            / self.tick.as_nanos().max(1)) as u64;
+        while self.done < target {
+            self.done += 1;
+            let done = self.done;
+            let slot = (done % self.slots.len() as u64) as usize;
+            let bucket = &mut self.slots[slot];
+            let mut i = 0;
+            while i < bucket.len() {
+                if bucket[i].at_tick <= done {
+                    let entry = bucket.swap_remove(i);
+                    self.armed -= 1;
+                    sink(entry.token, entry.generation);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// How long the poller may sleep before the wheel needs another
+    /// [`poll`](TimerWheel::poll): until the next tick boundary, or
+    /// `None` when nothing is armed.
+    pub fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        if self.armed == 0 {
+            return None;
+        }
+        let next_boundary = self.epoch + self.tick * (self.done as u32 + 1);
+        Some(next_boundary.saturating_duration_since(now).max(Duration::from_millis(1)))
+    }
+
+    /// Entries currently armed (live and lazily-cancelled alike).
+    pub fn armed(&self) -> usize {
+        self.armed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_at_or_after_the_deadline_never_before() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 16);
+        let start = Instant::now();
+        wheel.schedule(Token(1), 0, start + Duration::from_millis(35));
+        let mut fired = Vec::new();
+        wheel.poll(start + Duration::from_millis(30), |t, g| fired.push((t, g)));
+        assert!(fired.is_empty(), "not yet due");
+        wheel.poll(start + Duration::from_millis(60), |t, g| fired.push((t, g)));
+        assert_eq!(fired, vec![(Token(1), 0)]);
+        assert_eq!(wheel.armed(), 0);
+    }
+
+    #[test]
+    fn deadlines_beyond_one_rotation_wait_their_round() {
+        // 8 slots x 10ms = 80ms rotation; 250ms is three rotations out.
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 8);
+        let start = Instant::now();
+        wheel.schedule(Token(2), 0, start + Duration::from_millis(250));
+        let mut fired = 0;
+        wheel.poll(start + Duration::from_millis(100), |_, _| fired += 1);
+        assert_eq!(fired, 0, "same slot, earlier round: must not fire");
+        wheel.poll(start + Duration::from_millis(260), |_, _| fired += 1);
+        assert_eq!(fired, 1);
+    }
+
+    #[test]
+    fn stale_generations_surface_for_the_caller_to_ignore() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(5), 32);
+        let start = Instant::now();
+        // The connection re-armed: generation 0 is stale, 1 is live.
+        wheel.schedule(Token(3), 0, start + Duration::from_millis(10));
+        wheel.schedule(Token(3), 1, start + Duration::from_millis(20));
+        let live_generation = 1u64;
+        let mut live_fires = 0;
+        wheel.poll(start + Duration::from_millis(50), |_, g| {
+            if g == live_generation {
+                live_fires += 1;
+            }
+        });
+        assert_eq!(live_fires, 1, "exactly the live arm fires");
+    }
+
+    #[test]
+    fn next_timeout_tracks_armed_state() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 16);
+        let start = Instant::now();
+        assert!(wheel.next_timeout(start).is_none(), "idle wheel: sleep forever");
+        wheel.schedule(Token(4), 0, start + Duration::from_millis(15));
+        let sleep = wheel.next_timeout(start).unwrap();
+        assert!(sleep <= Duration::from_millis(10), "wake within one tick");
+        wheel.poll(start + Duration::from_millis(30), |_, _| {});
+        assert!(wheel.next_timeout(start + Duration::from_millis(30)).is_none());
+    }
+}

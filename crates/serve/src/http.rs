@@ -112,6 +112,92 @@ fn io_error(e: std::io::Error) -> HttpError {
     }
 }
 
+/// Outcome of one incremental parse attempt over buffered bytes.
+#[derive(Debug)]
+pub enum Parsed {
+    /// A complete request was parsed; its bytes were drained from the
+    /// buffer (pipelined surplus stays buffered).
+    Complete(Request),
+    /// The buffer holds only a request prefix so far — feed more bytes.
+    Partial,
+}
+
+/// Attempts to parse one complete request out of `buf` without any
+/// I/O: the **incremental** entry point the event-driven transport
+/// feeds socket bytes into as they arrive. Returns
+/// [`Parsed::Partial`] until the head *and* the declared body are
+/// fully buffered; caps (head size, `max_body`) are enforced as soon
+/// as they are decidable, so a hostile peer cannot make the caller
+/// buffer without bound. The blocking [`RequestReader`] is a read
+/// loop over this same function — one parser, two transports.
+pub fn try_parse(buf: &mut Vec<u8>, max_body: usize) -> Result<Parsed, HttpError> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::BadRequest("request head too large".to_string()));
+        }
+        return Ok(Parsed::Partial);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::BadRequest("request head is not UTF-8".to_string()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request line".to_string()))?
+        .to_ascii_uppercase();
+    let target =
+        parts.next().ok_or_else(|| HttpError::BadRequest("missing request path".to_string()))?;
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!("unsupported protocol {version:?}")));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    // HTTP/1.1 keeps the connection alive by default; 1.0 closes.
+    let mut keep_alive = version != "HTTP/1.0";
+    let mut content_length = 0usize;
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::BadRequest(format!("bad Content-Length {value:?}")))?;
+        } else if name == "transfer-encoding" && value.to_ascii_lowercase().contains("chunked") {
+            return Err(HttpError::BadRequest("chunked bodies are not supported".to_string()));
+        } else if name == "connection" {
+            let value = value.to_ascii_lowercase();
+            if value.contains("close") {
+                keep_alive = false;
+            } else if value.contains("keep-alive") {
+                keep_alive = true;
+            }
+        }
+        headers.push((name, value.to_string()));
+    }
+    if content_length > max_body {
+        return Err(HttpError::PayloadTooLarge(max_body));
+    }
+    if buf.len() < head_end + 4 + content_length {
+        return Ok(Parsed::Partial);
+    }
+
+    // Drain exactly this request; a pipelined follow-up stays buffered.
+    let mut body: Vec<u8> = buf.split_off(head_end + 4);
+    buf.clear(); // the consumed head
+    if body.len() > content_length {
+        *buf = body.split_off(content_length);
+    }
+    Ok(Parsed::Complete(Request { method, path, query, headers, body, keep_alive }))
+}
+
 /// A per-connection request parser: bytes read past the end of one
 /// request (a pipelined follow-up) carry over to the next call, which
 /// is what makes keep-alive connections parse every request cleanly.
@@ -143,96 +229,26 @@ impl RequestReader {
         stream: &mut impl Read,
         max_body: usize,
     ) -> Result<Request, HttpError> {
-        // Accumulate until the blank line ending the head. A peer that
+        // Accumulate until try_parse has a whole request. A peer that
         // trickles garbage runs into MAX_HEAD_BYTES; one that stalls
         // runs into the socket timeout.
         let mut chunk = [0u8; 1024];
-        let head_end = loop {
-            if let Some(end) = find_head_end(&self.buf) {
-                break end;
-            }
-            if self.buf.len() > MAX_HEAD_BYTES {
-                return Err(HttpError::BadRequest("request head too large".to_string()));
+        loop {
+            if let Parsed::Complete(request) = try_parse(&mut self.buf, max_body)? {
+                return Ok(request);
             }
             let n = stream.read(&mut chunk).map_err(io_error)?;
             if n == 0 {
                 return Err(if self.buf.is_empty() {
                     HttpError::Disconnected
+                } else if find_head_end(&self.buf).is_some() {
+                    HttpError::BadRequest("truncated request body".to_string())
                 } else {
                     HttpError::BadRequest("truncated request head".to_string())
                 });
             }
             self.buf.extend_from_slice(&chunk[..n]);
-        };
-
-        let head = std::str::from_utf8(&self.buf[..head_end])
-            .map_err(|_| HttpError::BadRequest("request head is not UTF-8".to_string()))?;
-        let mut lines = head.split("\r\n");
-        let request_line = lines.next().unwrap_or("");
-        let mut parts = request_line.split_whitespace();
-        let method = parts
-            .next()
-            .ok_or_else(|| HttpError::BadRequest("empty request line".to_string()))?
-            .to_ascii_uppercase();
-        let target = parts
-            .next()
-            .ok_or_else(|| HttpError::BadRequest("missing request path".to_string()))?;
-        let version = parts.next().unwrap_or("");
-        if !version.starts_with("HTTP/1.") {
-            return Err(HttpError::BadRequest(format!("unsupported protocol {version:?}")));
         }
-        let (path, query) = match target.split_once('?') {
-            Some((p, q)) => (p.to_string(), q.to_string()),
-            None => (target.to_string(), String::new()),
-        };
-
-        // HTTP/1.1 keeps the connection alive by default; 1.0 closes.
-        let mut keep_alive = version != "HTTP/1.0";
-        let mut content_length = 0usize;
-        let mut headers = Vec::new();
-        for line in lines {
-            let Some((name, value)) = line.split_once(':') else { continue };
-            let name = name.trim().to_ascii_lowercase();
-            let value = value.trim();
-            if name == "content-length" {
-                content_length = value
-                    .parse()
-                    .map_err(|_| HttpError::BadRequest(format!("bad Content-Length {value:?}")))?;
-            } else if name == "transfer-encoding" && value.to_ascii_lowercase().contains("chunked")
-            {
-                return Err(HttpError::BadRequest("chunked bodies are not supported".to_string()));
-            } else if name == "connection" {
-                let value = value.to_ascii_lowercase();
-                if value.contains("close") {
-                    keep_alive = false;
-                } else if value.contains("keep-alive") {
-                    keep_alive = true;
-                }
-            }
-            headers.push((name, value.to_string()));
-        }
-        if content_length > max_body {
-            return Err(HttpError::PayloadTooLarge(max_body));
-        }
-
-        // The buffer may already hold a body prefix — and beyond it, the
-        // head of a pipelined next request, which must stay buffered.
-        let mut body: Vec<u8> = self.buf.split_off(head_end + 4);
-        self.buf.clear(); // the consumed head
-        if body.len() > content_length {
-            self.buf = body.split_off(content_length);
-        }
-        let mut remaining = content_length - body.len();
-        while remaining > 0 {
-            let want = remaining.min(chunk.len());
-            let n = stream.read(&mut chunk[..want]).map_err(io_error)?;
-            if n == 0 {
-                return Err(HttpError::BadRequest("truncated request body".to_string()));
-            }
-            body.extend_from_slice(&chunk[..n]);
-            remaining -= n;
-        }
-        Ok(Request { method, path, query, headers, body, keep_alive })
     }
 }
 
@@ -294,6 +310,15 @@ impl Response {
     /// peer may legitimately have hung up already.
     pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
         self.write_with_connection(stream, false)
+    }
+
+    /// The response serialized to wire bytes with the given
+    /// `Connection` header — what the event-driven transport queues
+    /// onto a connection's outbound buffer.
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        self.write_with_connection(&mut out, keep_alive).expect("writing to a Vec cannot fail");
+        out
     }
 
     /// Writes the response, advertising `Connection: keep-alive` or
@@ -453,6 +478,52 @@ mod tests {
     #[test]
     fn empty_connection_is_a_disconnect() {
         assert!(matches!(parse(b""), Err(HttpError::Disconnected)));
+    }
+
+    #[test]
+    fn try_parse_is_incremental_byte_by_byte() {
+        // Feed a request one byte at a time: Partial until the last
+        // body byte lands, then Complete with nothing left over.
+        let raw = b"POST /solve HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+        let mut buf = Vec::new();
+        for (i, byte) in raw.iter().enumerate() {
+            buf.push(*byte);
+            match try_parse(&mut buf, 1024).unwrap() {
+                Parsed::Complete(req) => {
+                    assert_eq!(i, raw.len() - 1, "complete only on the final byte");
+                    assert_eq!(req.path, "/solve");
+                    assert_eq!(req.body, b"body");
+                    assert!(buf.is_empty());
+                }
+                Parsed::Partial => assert!(i < raw.len() - 1),
+            }
+        }
+    }
+
+    #[test]
+    fn try_parse_leaves_pipelined_bytes_buffered() {
+        let mut buf = b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n".to_vec();
+        let Parsed::Complete(first) = try_parse(&mut buf, 1024).unwrap() else {
+            panic!("first request is complete")
+        };
+        assert_eq!(first.path, "/healthz");
+        let Parsed::Complete(second) = try_parse(&mut buf, 1024).unwrap() else {
+            panic!("second request is complete")
+        };
+        assert_eq!(second.path, "/metrics");
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn try_parse_enforces_caps_before_completion() {
+        // Oversized declared body: rejected as soon as the head parses,
+        // without waiting for (or buffering) the body.
+        let mut buf = b"POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n".to_vec();
+        assert!(matches!(try_parse(&mut buf, 1024), Err(HttpError::PayloadTooLarge(1024))));
+        // A never-ending head trips the head cap mid-accumulation.
+        let mut junk = b"GET /".to_vec();
+        junk.extend(std::iter::repeat_n(b'a', 64 * 1024));
+        assert!(matches!(try_parse(&mut junk, 1024), Err(HttpError::BadRequest(_))));
     }
 
     #[test]

@@ -1,17 +1,38 @@
 //! # mst-serve — the HTTP front-end over the pooled solve engine
 //!
 //! Turns the workspace into a deployable service: a dependency-free
-//! HTTP/1.1 server on `std::net` (the build environment is offline, so
-//! no hyper/tokio) exposing the unified [`mst_api`] surface over the
-//! network. A bounded accept loop feeds a fixed set of handler threads;
-//! connections are persistent (keep-alive, bounded requests per
-//! connection) and solving fans out through the same persistent
+//! HTTP/1.1 server (the build environment is offline, so no
+//! hyper/tokio) exposing the unified [`mst_api`] surface over the
+//! network.
+//!
+//! The crate is split along a **transport-agnostic boundary**
+//! ([`service`]): request handling ([`routes`], [`session`]) is pure —
+//! no sockets, no threads — and a transport's only job is to move
+//! bytes between the wire and [`Service::call`]. Two transports
+//! drive it ([`IoModel`]):
+//!
+//! * **event** (the default) — an epoll readiness loop ([`event`],
+//!   built on the dependency-free [`mst_net`] crate) holding one small
+//!   state machine per connection. Idle keep-alive sockets cost a slab
+//!   entry instead of a parked thread, streamed responses flow through
+//!   a bounded mailbox (a slow consumer blocks the producer at
+//!   [`ServeConfig::stream_high_water`], a vanished one unwinds it),
+//!   and the hostile-client policies live in the loop: a dripped
+//!   request head is answered `408` once [`ServeConfig::io_timeout`]
+//!   expires, overflow past [`ServeConfig::max_connections`] is
+//!   answered `503` + `Retry-After: 1` at accept, and half-closed
+//!   clients still receive their answer.
+//! * **threads** — the classic bounded accept loop feeding a fixed set
+//!   of handler threads, kept as the `--io threads` fallback.
+//!
+//! Solving fans out through the same persistent
 //! [`mst_sim::WorkerPool`] the library's [`mst_api::Batch`] engine
-//! uses, so service traffic inherits every hot-path optimisation for
-//! free. With `--solvers-config`, tenant specs become full **execution
-//! policies** ([`mst_api::exec`]): requests carrying an `X-Api-Token`
-//! header run under their tenant's solver registry, dedicated worker
-//! pool, admission quota (429 + `Retry-After` on exhaustion) and
+//! uses (never on the event-loop thread), so service traffic inherits
+//! every hot-path optimisation for free. With `--solvers-config`,
+//! tenant specs become full **execution policies** ([`mst_api::exec`]):
+//! requests carrying an `X-Api-Token` header run under their tenant's
+//! solver registry, dedicated worker pool, admission quota and
+//! token-bucket rate limit (429 + `Retry-After` on either), and
 //! deadline budget, with client-disconnect cancellation and streamed
 //! batch results on top (see [`mst_api::config`]).
 //!
@@ -68,14 +89,18 @@
 
 #![warn(missing_docs)]
 
+#[cfg(target_os = "linux")]
+pub mod event;
 pub mod http;
 pub mod routes;
 pub mod server;
+pub mod service;
 pub mod session;
 
 pub use http::{HttpError, Request, RequestReader, Response};
 pub use server::{
-    install_sigint_handler, Metrics, ServeConfig, ServeReport, Server, ServerHandle, ServiceState,
-    StoreHealth,
+    install_sigint_handler, IoModel, Metrics, ServeConfig, ServeReport, Server, ServerHandle,
+    ServiceState, StoreHealth,
 };
+pub use service::{BufferedStream, MstService, ResponseBody, Service, StreamWriter};
 pub use session::{Session, SessionTable};

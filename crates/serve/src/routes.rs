@@ -43,8 +43,9 @@
 //! solvers, oversized sweeps) and 5xx only for genuine server-side
 //! failures (an oracle-rejected solution, which would be a solver bug).
 
-use crate::http::{ChunkedWriter, Request, Response};
+use crate::http::{Request, Response};
 use crate::server::ServiceState;
+use crate::service::{ResponseBody, StreamWriter};
 use mst_api::exec::{AdmissionError, TenantExec};
 use mst_api::fleet::SweepSpec;
 use mst_api::repair::{FailureEvent, RepairError};
@@ -56,59 +57,54 @@ use mst_api::{
 use mst_platform::HeterogeneityProfile;
 use mst_sim::CancelToken;
 use mst_store::Record;
-use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 use std::time::Instant;
 
-/// How a request was answered: a buffered [`Response`] for the server
-/// loop to write, or already streamed to the client by the handler
-/// (chunked per-instance `/batch` results) — streamed connections
-/// always close.
-#[derive(Debug)]
-pub enum Routed {
-    /// Write this response (possibly keeping the connection).
-    Reply(Response),
-    /// The handler wrote a chunked response directly to the stream.
-    Streamed,
-}
-
 /// Dispatches one parsed request to its handler. `stream` is the
-/// client connection, when the caller can hand it over: the `/batch`
-/// handler uses it to probe for mid-request client disconnects and to
-/// stream large result sets; `None` (tests, embedding without a
-/// socket) degrades to fully buffered replies.
-pub fn route_on(request: &Request, state: &ServiceState, stream: Option<&mut TcpStream>) -> Routed {
+/// transport's [`StreamWriter`], when the caller can hand one over:
+/// the `/batch` handler uses it to probe for mid-request client
+/// disconnects and to stream large result sets; `None` (tests,
+/// embedding without a transport) degrades to fully buffered replies.
+///
+/// This is the whole **Service boundary**: nothing below this function
+/// knows what a socket is, so the threaded and the event-driven
+/// transports (and any future one) drive identical handler code.
+pub fn route_on(
+    request: &Request,
+    state: &ServiceState,
+    stream: Option<&mut dyn StreamWriter>,
+) -> ResponseBody {
     state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/") => Routed::Reply(index()),
-        ("GET", "/healthz") => Routed::Reply(healthz(state)),
-        ("GET", "/solvers") => Routed::Reply(solvers(request, state)),
-        ("GET", "/metrics") => Routed::Reply(metrics(state)),
-        ("GET", "/tenants") => Routed::Reply(tenants(state)),
-        ("GET", "/history") => Routed::Reply(history(request, state)),
-        ("POST", "/solve") => Routed::Reply(solve(request, state)),
+        ("GET", "/") => ResponseBody::Full(index()),
+        ("GET", "/healthz") => ResponseBody::Full(healthz(state)),
+        ("GET", "/solvers") => ResponseBody::Full(solvers(request, state)),
+        ("GET", "/metrics") => ResponseBody::Full(metrics(state)),
+        ("GET", "/tenants") => ResponseBody::Full(tenants(state)),
+        ("GET", "/history") => ResponseBody::Full(history(request, state)),
+        ("POST", "/solve") => ResponseBody::Full(solve(request, state)),
         ("POST", "/batch") => batch(request, state, stream),
-        ("POST", "/session") => Routed::Reply(session(request, state)),
+        ("POST", "/session") => ResponseBody::Full(session(request, state)),
         (
             _,
             "/" | "/healthz" | "/solvers" | "/metrics" | "/tenants" | "/history" | "/solve"
             | "/batch" | "/session",
-        ) => Routed::Reply(error_response(
+        ) => ResponseBody::Full(error_response(
             405,
             "method-not-allowed",
             &format!("{} does not accept {}", request.path, request.method),
         )),
         (_, path) => {
-            Routed::Reply(error_response(404, "not-found", &format!("no endpoint {path}")))
+            ResponseBody::Full(error_response(404, "not-found", &format!("no endpoint {path}")))
         }
     }
 }
 
-/// [`route_on`] without a client stream: every reply is buffered.
+/// [`route_on`] without a stream writer: every reply is buffered.
 pub fn route(request: &Request, state: &ServiceState) -> Response {
     match route_on(request, state, None) {
-        Routed::Reply(response) => response,
-        Routed::Streamed => unreachable!("without a stream nothing can be streamed"),
+        ResponseBody::Full(response) => response,
+        ResponseBody::Streamed => unreachable!("without a stream nothing can be streamed"),
     }
 }
 
@@ -162,6 +158,10 @@ fn tenant_for<'a>(
         )
     })?;
     tenant.stats().requests_total.fetch_add(1, Ordering::Relaxed);
+    // The time-windowed rate limit is enforced at routing time, so it
+    // covers every tenant-scoped endpoint (/solve, /batch, /session)
+    // uniformly, before any admission slot or solving work is taken.
+    tenant.check_rate().map_err(|e| admission_response(tenant, &e))?;
     Ok(tenant)
 }
 
@@ -172,7 +172,9 @@ fn tenant_for<'a>(
 /// consecutive-rejection streak ([`TenantExec::retry_after_hint`]): a
 /// client hammering an exhausted quota is told to back off
 /// exponentially (1, 2, 4, ... capped), and the hint resets to 1 the
-/// moment one of its requests is admitted.
+/// moment one of its requests is admitted. A spent rate limit is also
+/// 429, but its `Retry-After` is **computed**, not escalated: the
+/// token bucket knows exactly how long until the next token regrows.
 fn admission_response(tenant: &TenantExec, error: &AdmissionError) -> Response {
     match error {
         AdmissionError::QuotaExhausted { .. } => {
@@ -181,6 +183,9 @@ fn admission_response(tenant: &TenantExec, error: &AdmissionError) -> Response {
         }
         AdmissionError::TooManyInstances { .. } => {
             error_response(400, "too-many-instances", &error.to_string())
+        }
+        AdmissionError::RateLimited { retry_after, .. } => {
+            error_response(429, "rate-limited", &error.to_string()).with_retry_after(*retry_after)
         }
     }
 }
@@ -291,6 +296,7 @@ fn metrics(state: &ServiceState) -> Response {
                 Json::obj([
                     ("requests_total", load(&stats.requests_total)),
                     ("rejected_total", load(&stats.rejected_total)),
+                    ("rate_limited_total", load(&stats.rate_limited_total)),
                     ("solved_total", load(&stats.solved_total)),
                     ("failed_total", load(&stats.failed_total)),
                     ("cancelled_total", load(&stats.cancelled_total)),
@@ -360,6 +366,16 @@ fn tenants(state: &ServiceState) -> Response {
                     "deadline_ms",
                     match policy.deadline {
                         Some(budget) => Json::int(budget.as_millis() as i64),
+                        None => Json::Null,
+                    },
+                ),
+                (
+                    "rate_limit",
+                    match policy.rate {
+                        Some(rate) => Json::obj([
+                            ("requests_per_window", Json::int(rate.requests as i64)),
+                            ("window_ms", Json::int(rate.window.as_millis() as i64)),
+                        ]),
                         None => Json::Null,
                     },
                 ),
@@ -764,30 +780,71 @@ fn batch_instances(
         .instances())
 }
 
-/// Whether the peer of `stream` is gone: a non-blocking `peek` sees an
-/// orderly shutdown (`Ok(0)`) or a hard error; pipelined bytes or a
-/// clean `WouldBlock` mean the client is still there. The probe never
-/// consumes request bytes.
-///
-/// Policy note: TCP cannot distinguish a closed connection from a
-/// half-close (`shutdown(SHUT_WR)`) — both deliver FIN. This service
-/// deliberately reads FIN as *abandoned*: a dropped `/batch` must stop
-/// burning cores, which matters more than supporting clients that
-/// half-close while still expecting a full sweep. Clients must keep
-/// their write side open until the response arrives.
-fn client_disconnected(stream: &TcpStream) -> bool {
-    if stream.set_nonblocking(true).is_err() {
-        return true;
+/// The per-chunk callbacks of [`solve_chunked`]: a client-liveness
+/// probe polled between chunks and a result emitter. Both `/batch`
+/// paths implement it over the transport's [`StreamWriter`] — the
+/// buffered path probes only, the streamed path also renders and
+/// writes NDJSON result lines.
+trait BatchSink {
+    /// Whether the client has abandoned the sweep.
+    fn client_gone(&mut self) -> bool;
+    /// Hands over one chunk's results; `false` cancels the rest.
+    fn emit(&mut self, part: &[Result<Solution, SolveError>]) -> bool;
+}
+
+/// The buffered `/batch` sink: probes for disconnects (when the
+/// transport gave us a writer at all) and discards chunk results —
+/// `solve_chunked` accumulates them for the JSON reply.
+struct ProbeOnly<'a> {
+    stream: Option<&'a mut (dyn StreamWriter + 'a)>,
+}
+
+impl BatchSink for ProbeOnly<'_> {
+    fn client_gone(&mut self) -> bool {
+        match &mut self.stream {
+            Some(stream) => stream.client_gone(),
+            None => false,
+        }
     }
-    let mut byte = [0u8; 1];
-    let gone = match stream.peek(&mut byte) {
-        Ok(0) => true,
-        Ok(_) => false,
-        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
-        Err(_) => true,
-    };
-    let _ = stream.set_nonblocking(false);
-    gone
+
+    fn emit(&mut self, _part: &[Result<Solution, SolveError>]) -> bool {
+        true
+    }
+}
+
+/// The streaming `/batch` sink: renders each chunk's results as
+/// `{"index": i, ...}` NDJSON lines and writes them through the
+/// transport's [`StreamWriter`]. A failed write means the client is
+/// gone — the sweep is cancelled.
+struct NdjsonSink<'a> {
+    writer: &'a mut (dyn StreamWriter + 'a),
+    offset: usize,
+    lines: String,
+}
+
+impl BatchSink for NdjsonSink<'_> {
+    fn client_gone(&mut self) -> bool {
+        self.writer.client_gone()
+    }
+
+    fn emit(&mut self, part: &[Result<Solution, SolveError>]) -> bool {
+        self.lines.clear();
+        for result in part {
+            let mut members = vec![("index".to_string(), Json::int(self.offset as i64))];
+            let rendered = match result {
+                Ok(solution) => solution_to_json(solution),
+                Err(e) => error_to_json(e),
+            };
+            match rendered {
+                Json::Obj(obj) => members.extend(obj),
+                other => members.push(("result".to_string(), other)),
+            }
+            self.lines.push_str(&Json::Obj(members).to_string());
+            self.lines.push('\n');
+            self.offset += 1;
+        }
+        self.writer.chunk(self.lines.as_bytes()).is_ok()
+    }
 }
 
 /// One `/batch` instance after the cache-planning pass: either already
@@ -837,40 +894,31 @@ fn plan_batch(
 /// The chunk-by-chunk solve loop behind `/batch`: every
 /// [`ServeConfig::batch_chunk`](crate::server::ServeConfig) jobs it
 /// polls the request's cancel token (deadline budget), probes the
-/// client socket (a disconnected client cancels the rest — an
-/// abandoned sweep must stop burning cores) and hands the chunk's
-/// results to `emit` (the streaming writer; `false` from it also
-/// cancels). Cache hits in a chunk cost a clone; only the chunk's
-/// misses go to the worker pool, each solving its **canonical**
-/// instance under its own canonical deadline, memoised and recorded
-/// in the persistent store on success, then restored. Once cancelled,
-/// the remaining jobs come back as [`SolveError::Cancelled`] without
-/// being solved — results stay one per instance, in input order.
-/// Per-chunk callback of [`solve_chunked`] (the streaming writer);
-/// returning `false` cancels the remaining sweep.
-type EmitChunk<'a> = dyn FnMut(&[Result<Solution, SolveError>]) -> bool + 'a;
-
+/// sink for client liveness (a disconnected client cancels the rest —
+/// an abandoned sweep must stop burning cores) and hands the chunk's
+/// results to the sink (`false` from it also cancels). Cache hits in
+/// a chunk cost a clone; only the chunk's misses go to the worker
+/// pool, each solving its **canonical** instance under its own
+/// canonical deadline, memoised and recorded in the persistent store
+/// on success, then restored. Once cancelled, the remaining jobs come
+/// back as [`SolveError::Cancelled`] without being solved — results
+/// stay one per instance, in input order.
 #[allow(clippy::too_many_arguments)]
 fn solve_chunked(
     engine: &Batch,
     jobs: &[Planned],
     cancel: &CancelToken,
-    probe: Option<&TcpStream>,
+    sink: &mut dyn BatchSink,
     chunk: usize,
     state: &ServiceState,
     tenant: &TenantExec,
     solver_name: &str,
-    emit: &mut EmitChunk<'_>,
 ) -> Vec<Result<Solution, SolveError>> {
     let chunk = chunk.max(1);
     let mut results: Vec<Result<Solution, SolveError>> = Vec::with_capacity(jobs.len());
     for slice in jobs.chunks(chunk) {
-        if !cancel.is_cancelled() {
-            if let Some(stream) = probe {
-                if client_disconnected(stream) {
-                    cancel.cancel();
-                }
-            }
+        if !cancel.is_cancelled() && sink.client_gone() {
+            cancel.cancel();
         }
         if cancel.is_cancelled() {
             results.extend((results.len()..jobs.len()).map(|_| Err(SolveError::Cancelled)));
@@ -914,7 +962,7 @@ fn solve_chunked(
                 }
             })
             .collect();
-        let keep_going = emit(&part);
+        let keep_going = sink.emit(&part);
         results.extend(part);
         if !keep_going {
             cancel.cancel();
@@ -1001,22 +1049,26 @@ fn count_infeasible(instances: &[Instance], results: &[Result<Solution, SolveErr
 /// with cancellation checkpoints: an exhausted per-tenant deadline
 /// budget or a disconnected client stops the remaining work within one
 /// chunk.
-fn batch(request: &Request, state: &ServiceState, stream: Option<&mut TcpStream>) -> Routed {
+fn batch(
+    request: &Request,
+    state: &ServiceState,
+    stream: Option<&mut dyn StreamWriter>,
+) -> ResponseBody {
     let body = match parse_body(request) {
         Ok(body) => body,
-        Err(response) => return Routed::Reply(response),
+        Err(response) => return ResponseBody::Full(response),
     };
     let tenant = match tenant_for(request, &body, state) {
         Ok(tenant) => tenant,
-        Err(response) => return Routed::Reply(response),
+        Err(response) => return ResponseBody::Full(response),
     };
     let instances = match batch_instances(&body, state, tenant) {
         Ok(instances) => instances,
-        Err(response) => return Routed::Reply(response),
+        Err(response) => return ResponseBody::Full(response),
     };
     let (solver_name, deadline) = match (opt_str(&body, "solver"), opt_int(&body, "deadline")) {
         (Ok(s), Ok(d)) => (s.unwrap_or("optimal"), d),
-        (Err(r), _) | (_, Err(r)) => return Routed::Reply(r),
+        (Err(r), _) | (_, Err(r)) => return ResponseBody::Full(r),
     };
     let (check, include_results, want_stream) = match (
         opt_flag(&body, "verify"),
@@ -1024,7 +1076,7 @@ fn batch(request: &Request, state: &ServiceState, stream: Option<&mut TcpStream>
         opt_flag(&body, "stream"),
     ) {
         (Ok(c), Ok(i), Ok(s)) => (c, i, s),
-        (Err(r), _, _) | (_, Err(r), _) | (_, _, Err(r)) => return Routed::Reply(r),
+        (Err(r), _, _) | (_, Err(r), _) | (_, _, Err(r)) => return ResponseBody::Full(r),
     };
     // Anonymous requests may still pin a configured registry by name
     // (the pre-token selector); tokened requests already resolved one.
@@ -1033,13 +1085,13 @@ fn batch(request: &Request, state: &ServiceState, stream: Option<&mut TcpStream>
     } else {
         match select_batch(&body, state) {
             Ok(batch) => batch,
-            Err(response) => return Routed::Reply(response),
+            Err(response) => return ResponseBody::Full(response),
         }
     };
     // Resolve the name up front so an unknown solver is one 404, not a
     // thousand per-instance errors.
     if let Err(e) = tenant_batch.registry().resolve(solver_name) {
-        return Routed::Reply(solve_error_response(&e));
+        return ResponseBody::Full(solve_error_response(&e));
     }
     let engine = tenant_batch.clone().with_solver(solver_name);
     // Plan against the tenant's solution cache first: a fully-cached
@@ -1049,7 +1101,7 @@ fn batch(request: &Request, state: &ServiceState, stream: Option<&mut TcpStream>
     let _slot = if cache_hits < jobs.len() {
         match tenant.admit() {
             Ok(slot) => Some(slot),
-            Err(e) => return Routed::Reply(admission_response(tenant, &e)),
+            Err(e) => return ResponseBody::Full(admission_response(tenant, &e)),
         }
     } else {
         None
@@ -1058,8 +1110,9 @@ fn batch(request: &Request, state: &ServiceState, stream: Option<&mut TcpStream>
     let chunk = state.config.batch_chunk;
     let started = Instant::now();
 
+    let mut stream = stream;
     if want_stream {
-        if let Some(stream) = stream {
+        if let Some(stream) = stream.take() {
             return stream_batch(
                 &engine,
                 &instances,
@@ -1074,21 +1127,13 @@ fn batch(request: &Request, state: &ServiceState, stream: Option<&mut TcpStream>
                 solver_name,
             );
         }
-        // No socket to stream over (embedded callers): fall through to
-        // the buffered reply with per-instance results included.
+        // No transport to stream over (embedded callers): fall through
+        // to the buffered reply with per-instance results included.
     }
 
-    let results = solve_chunked(
-        &engine,
-        &jobs,
-        &cancel,
-        stream.as_deref(),
-        chunk,
-        state,
-        tenant,
-        solver_name,
-        &mut |_| true,
-    );
+    let mut sink = ProbeOnly { stream };
+    let results =
+        solve_chunked(&engine, &jobs, &cancel, &mut sink, chunk, state, tenant, solver_name);
     let elapsed = started.elapsed();
     let (summary, infeasible, mut reply) =
         finish_sweep(&instances, &results, solver_name, check, cache_hits, elapsed, state, tenant);
@@ -1125,9 +1170,9 @@ fn batch(request: &Request, state: &ServiceState, stream: Option<&mut TcpStream>
                 ]),
             ),
         );
-        return Routed::Reply(Response::json(500, Json::Obj(reply)));
+        return ResponseBody::Full(Response::json(500, Json::Obj(reply)));
     }
-    Routed::Reply(Response::json(200, Json::Obj(reply)))
+    ResponseBody::Full(Response::json(200, Json::Obj(reply)))
 }
 
 /// The streamed `/batch` reply: chunked NDJSON, one
@@ -1143,57 +1188,25 @@ fn stream_batch(
     cache_hits: usize,
     check: bool,
     cancel: &CancelToken,
-    stream: &mut TcpStream,
+    stream: &mut dyn StreamWriter,
     chunk: usize,
     state: &ServiceState,
     tenant: &TenantExec,
     solver_name: &str,
-) -> Routed {
-    // The writer owns the stream borrow; disconnect probing between
-    // chunks goes through a dup'd handle of the same socket.
-    let probe = stream.try_clone().ok();
+) -> ResponseBody {
     let started = Instant::now();
-    let mut writer = match ChunkedWriter::begin(stream) {
-        Ok(writer) => writer,
-        Err(_) => return Routed::Streamed, // peer gone before the head
-    };
-    let mut offset = 0usize;
-    let mut lines = String::new();
-    let results = solve_chunked(
-        engine,
-        jobs,
-        cancel,
-        probe.as_ref(),
-        chunk,
-        state,
-        tenant,
-        solver_name,
-        &mut |part| {
-            lines.clear();
-            for result in part {
-                let mut members = vec![("index".to_string(), Json::int(offset as i64))];
-                let rendered = match result {
-                    Ok(solution) => solution_to_json(solution),
-                    Err(e) => error_to_json(e),
-                };
-                match rendered {
-                    Json::Obj(obj) => members.extend(obj),
-                    other => members.push(("result".to_string(), other)),
-                }
-                lines.push_str(&Json::Obj(members).to_string());
-                lines.push('\n');
-                offset += 1;
-            }
-            writer.chunk(lines.as_bytes()).is_ok()
-        },
-    );
+    if stream.begin().is_err() {
+        return ResponseBody::Streamed; // peer gone before the head
+    }
+    let mut sink = NdjsonSink { writer: stream, offset: 0, lines: String::new() };
+    let results = solve_chunked(engine, jobs, cancel, &mut sink, chunk, state, tenant, solver_name);
     let elapsed = started.elapsed();
     let (_, _, tail) =
         finish_sweep(instances, &results, solver_name, check, cache_hits, elapsed, state, tenant);
     let summary_line = Json::obj([("summary", Json::Obj(tail))]);
-    let _ = writer.chunk(format!("{summary_line}\n").as_bytes());
-    let _ = writer.finish();
-    Routed::Streamed
+    let _ = sink.writer.chunk(format!("{summary_line}\n").as_bytes());
+    let _ = sink.writer.end();
+    ResponseBody::Streamed
 }
 
 /// Required non-negative integer field.

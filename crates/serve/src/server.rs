@@ -1,17 +1,24 @@
-//! The [`Server`]: a bounded accept loop on `std::net` feeding handler
-//! threads, with live metrics and graceful shutdown.
+//! The [`Server`]: bind, shared [`ServiceState`], and the two I/O
+//! transports that drive the [`crate::service`] boundary — the default
+//! **event-driven** readiness loop ([`crate::event`], Linux) and the
+//! legacy **thread-per-connection** loop kept here as the
+//! `--io threads` fallback.
 //!
 //! Architecture (everything `std`, nothing async):
 //!
-//! * the **accept loop** polls a non-blocking [`TcpListener`] and pushes
-//!   connections into a **bounded** queue (`mpsc::sync_channel`); when
-//!   the queue is full the connection is answered `503` immediately
-//!   instead of piling up — backpressure by refusal, not by buffering;
-//! * a fixed set of **connection threads** drains the queue, parses
-//!   requests ([`crate::http`]) and routes them ([`crate::routes`]);
-//!   connections are **persistent** (HTTP/1.1 keep-alive) up to
-//!   [`ServeConfig::max_requests_per_connection`], so a client sweeping
-//!   many instances pays the TCP handshake once;
+//! * under [`IoModel::Event`] one loop thread owns every socket via
+//!   [`mst_net::Poller`]; parked keep-alive connections cost bytes, not
+//!   threads, and handlers run on a small dispatch pool;
+//! * under [`IoModel::Threads`] the **accept loop** polls a
+//!   non-blocking [`TcpListener`] and pushes connections into a
+//!   **bounded** queue (`mpsc::sync_channel`); when the queue is full
+//!   the connection is answered `503` immediately instead of piling up
+//!   — backpressure by refusal, not by buffering; a fixed set of
+//!   **connection threads** drains the queue, parses requests
+//!   ([`crate::http`]) and routes them ([`crate::routes`]);
+//! * either way connections are **persistent** (HTTP/1.1 keep-alive)
+//!   up to [`ServeConfig::max_requests_per_connection`], so a client
+//!   sweeping many instances pays the TCP handshake once;
 //! * **solving** goes through the pooled [`mst_api::Batch`] engine — the
 //!   same persistent [`mst_sim::WorkerPool`] the library batch path
 //!   uses, sized by [`ServeConfig::threads`] (or the process-wide shared
@@ -19,20 +26,36 @@
 //! * **shutdown** is a flag checked every accept-poll tick: set by
 //!   [`ServerHandle::shutdown`], or by SIGINT/ctrl-c once
 //!   [`install_sigint_handler`] is active. The loop then stops
-//!   accepting, drains queued connections, joins every handler thread
+//!   accepting, drains in-flight work, joins every handler thread
 //!   and returns a [`ServeReport`] — no thread is left stuck.
 
 use crate::http::{HttpError, RequestReader, Response};
-use crate::routes::{self, Routed};
+use crate::routes;
+use crate::service::{ResponseBody, StreamWriter};
 use mst_api::wire::{solution_from_json, Json};
 use mst_api::{Batch, CacheKey, ExecPolicy, RegistrySet, TenantExec};
 use mst_sim::{shared_pool, WorkerPool};
 use mst_store::{FileStore, StoreBackend};
-use std::io;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Which I/O transport drives client connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoModel {
+    /// The `mst-net` epoll readiness loop: one loop thread owns all
+    /// sockets, handlers run on a dispatch pool, and a parked
+    /// keep-alive connection costs bytes instead of a thread. The
+    /// default; on platforms without epoll the server silently falls
+    /// back to [`IoModel::Threads`].
+    #[default]
+    Event,
+    /// The legacy thread-per-connection loop (`mst serve --io
+    /// threads`), kept as a fallback for one release.
+    Threads,
+}
 
 /// How the service is wired: address, parallelism and safety caps.
 #[derive(Debug, Clone)]
@@ -101,6 +124,19 @@ pub struct ServeConfig {
     /// [`mst_store::FlakyStore`] (or any custom backend) and watch the
     /// solve path keep serving while appends fail.
     pub store_backend: Option<Arc<dyn StoreBackend>>,
+    /// Which I/O transport serves connections.
+    pub io: IoModel,
+    /// Most connections the event transport holds open at once; beyond
+    /// it, new connections get an immediate `503`. (The threaded
+    /// transport is bounded by [`ServeConfig::backlog`] plus its
+    /// handler threads instead.) The server raises `RLIMIT_NOFILE`
+    /// toward this at startup.
+    pub max_connections: usize,
+    /// Per-connection outbound high-water mark, in bytes, for the
+    /// event transport. A streaming handler that outruns its client
+    /// blocks once this much output is buffered — backpressure instead
+    /// of unbounded server memory.
+    pub stream_high_water: usize,
 }
 
 impl Default for ServeConfig {
@@ -121,6 +157,9 @@ impl Default for ServeConfig {
             registries: None,
             store: None,
             store_backend: None,
+            io: IoModel::default(),
+            max_connections: 10_000,
+            stream_high_water: 256 * 1024,
         }
     }
 }
@@ -374,6 +413,12 @@ impl ServerHandle {
     pub fn state(&self) -> &ServiceState {
         &self.state
     }
+
+    /// The shared state as its `Arc` — what
+    /// [`MstService::new`](crate::service::MstService) wants.
+    pub fn state_arc(&self) -> &Arc<ServiceState> {
+        &self.state
+    }
 }
 
 /// What a completed [`Server::run`] saw, for operator logs.
@@ -488,71 +533,85 @@ impl Server {
     }
 
     /// Serves until shutdown is requested, then drains and joins every
-    /// handler thread before returning the lifetime counters.
+    /// handler thread before returning the lifetime counters. Which
+    /// loop runs is [`ServeConfig::io`]; [`IoModel::Event`] falls back
+    /// to the threaded loop on platforms without epoll.
     pub fn run(self) -> io::Result<ServeReport> {
         let Server { listener, state, .. } = self;
-        let (queue, rx) = mpsc::sync_channel::<TcpStream>(state.config.backlog);
-        let rx = Arc::new(Mutex::new(rx));
-        let handlers: Vec<_> = (0..state.config.conn_threads.max(1))
-            .map(|_| {
-                let rx = Arc::clone(&rx);
-                let state = Arc::clone(&state);
-                std::thread::Builder::new()
-                    .name("mst-serve-conn".into())
-                    .spawn(move || loop {
-                        // Holding the lock only for the dequeue keeps the
-                        // other handlers runnable while this one serves.
-                        let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
-                        match next {
-                            Ok(stream) => serve_connection(stream, &state),
-                            Err(_) => return, // queue closed: shutdown
-                        }
-                    })
-                    .expect("spawn connection handler")
-            })
-            .collect();
+        match state.config.io {
+            #[cfg(target_os = "linux")]
+            IoModel::Event => crate::event::run_event(listener, state),
+            #[cfg(not(target_os = "linux"))]
+            IoModel::Event => run_threads(listener, state),
+            IoModel::Threads => run_threads(listener, state),
+        }
+    }
+}
 
-        while !state.shutdown_requested() {
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    state.metrics.connections_total.fetch_add(1, Ordering::Relaxed);
-                    if let Err(mpsc::TrySendError::Full(mut stream)) = queue.try_send(stream) {
-                        // Queue full: refuse loudly rather than buffer —
-                        // structured body plus Retry-After, so clients
-                        // can tell a transient overload from a failure.
-                        state.metrics.connections_rejected.fetch_add(1, Ordering::Relaxed);
-                        let _ = error_body(503, "overloaded", "connection queue is full; retry")
-                            .with_retry_after(1)
-                            .write_to(&mut stream);
+/// The thread-per-connection transport: a bounded queue of accepted
+/// sockets drained by [`ServeConfig::conn_threads`] handler threads.
+fn run_threads(listener: TcpListener, state: Arc<ServiceState>) -> io::Result<ServeReport> {
+    let (queue, rx) = mpsc::sync_channel::<TcpStream>(state.config.backlog);
+    let rx = Arc::new(Mutex::new(rx));
+    let handlers: Vec<_> = (0..state.config.conn_threads.max(1))
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("mst-serve-conn".into())
+                .spawn(move || loop {
+                    // Holding the lock only for the dequeue keeps the
+                    // other handlers runnable while this one serves.
+                    let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                    match next {
+                        Ok(stream) => serve_connection(stream, &state),
+                        Err(_) => return, // queue closed: shutdown
                     }
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(2));
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => {
-                    // Listener failure: shut down cleanly rather than spin.
-                    drop(queue);
-                    for handle in handlers {
-                        let _ = handle.join();
-                    }
-                    return Err(e);
+                })
+                .expect("spawn connection handler")
+        })
+        .collect();
+
+    while !state.shutdown_requested() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                state.metrics.connections_total.fetch_add(1, Ordering::Relaxed);
+                if let Err(mpsc::TrySendError::Full(mut stream)) = queue.try_send(stream) {
+                    // Queue full: refuse loudly rather than buffer —
+                    // structured body plus Retry-After, so clients
+                    // can tell a transient overload from a failure.
+                    state.metrics.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                    let _ = error_body(503, "overloaded", "connection queue is full; retry")
+                        .with_retry_after(1)
+                        .write_to(&mut stream);
                 }
             }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                // Listener failure: shut down cleanly rather than spin.
+                drop(queue);
+                for handle in handlers {
+                    let _ = handle.join();
+                }
+                return Err(e);
+            }
         }
-
-        // Graceful exit: close the queue (handlers finish in-flight and
-        // queued requests, then see the hangup) and join them all.
-        drop(queue);
-        for handle in handlers {
-            handle.join().expect("connection handler exits cleanly");
-        }
-        Ok(ServeReport {
-            connections: state.metrics.connections_total.load(Ordering::Relaxed),
-            requests: state.metrics.requests_total.load(Ordering::Relaxed),
-            solved: state.metrics.solved_total.load(Ordering::Relaxed),
-        })
     }
+
+    // Graceful exit: close the queue (handlers finish in-flight and
+    // queued requests, then see the hangup) and join them all.
+    drop(queue);
+    for handle in handlers {
+        handle.join().expect("connection handler exits cleanly");
+    }
+    Ok(ServeReport {
+        connections: state.metrics.connections_total.load(Ordering::Relaxed),
+        requests: state.metrics.requests_total.load(Ordering::Relaxed),
+        solved: state.metrics.solved_total.load(Ordering::Relaxed),
+    })
 }
 
 /// Preloads every tenant's solution cache from the persistent store's
@@ -612,12 +671,13 @@ fn serve_connection(mut stream: TcpStream, state: &ServiceState) {
             match reader.read_request(&mut stream, state.config.max_body_bytes) {
                 Ok(request) => {
                     let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        routes::route_on(&request, state, Some(&mut stream))
+                        let mut writer = TcpStreamWriter { stream: &mut stream };
+                        routes::route_on(&request, state, Some(&mut writer))
                     }));
                     match routed {
                         // The client may ask to keep the connection, but
                         // the server bounds it and closes on shutdown.
-                        Ok(Routed::Reply(response)) => {
+                        Ok(ResponseBody::Full(response)) => {
                             let keep = request.keep_alive
                                 && served + 1 < max_requests
                                 && !state.shutdown_requested();
@@ -625,7 +685,7 @@ fn serve_connection(mut stream: TcpStream, state: &ServiceState) {
                         }
                         // The handler streamed its (chunked) response
                         // directly; streamed replies always close.
-                        Ok(Routed::Streamed) => return,
+                        Ok(ResponseBody::Streamed) => return,
                         Err(_) => (
                             error_body(
                                 500,
@@ -656,8 +716,71 @@ fn serve_connection(mut stream: TcpStream, state: &ServiceState) {
     }
 }
 
+/// The threaded transport's [`StreamWriter`]: chunked NDJSON framing
+/// written straight to the connection's socket, with the disconnect
+/// probe peeking the same socket between chunks of work.
+struct TcpStreamWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl StreamWriter for TcpStreamWriter<'_> {
+    fn client_gone(&mut self) -> bool {
+        client_disconnected(self.stream)
+    }
+
+    fn begin(&mut self) -> io::Result<()> {
+        self.stream.write_all(
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+              Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+        )?;
+        self.stream.flush()
+    }
+
+    fn chunk(&mut self, bytes: &[u8]) -> io::Result<()> {
+        if bytes.is_empty() {
+            // An empty chunk would terminate the chunked body.
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", bytes.len())?;
+        self.stream.write_all(bytes)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    fn end(&mut self) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+/// Whether the peer of `stream` is gone: a non-blocking `peek` sees an
+/// orderly shutdown (`Ok(0)`) or a hard error; pipelined bytes or a
+/// clean `WouldBlock` mean the client is still there. The probe never
+/// consumes request bytes.
+///
+/// Policy note: TCP cannot distinguish a closed connection from a
+/// half-close (`shutdown(SHUT_WR)`) — both deliver FIN. This service
+/// deliberately reads FIN as *abandoned*: a dropped `/batch` must stop
+/// burning cores, which matters more than supporting clients that
+/// half-close while still expecting a full sweep. Clients must keep
+/// their write side open until the response arrives.
+pub(crate) fn client_disconnected(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut byte = [0u8; 1];
+    let gone = match stream.peek(&mut byte) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => false,
+        Err(_) => true,
+    };
+    let _ = stream.set_nonblocking(false);
+    gone
+}
+
 /// A structured `{"error": {"kind", "message"}}` response.
-fn error_body(status: u16, kind: &str, message: &str) -> Response {
+pub(crate) fn error_body(status: u16, kind: &str, message: &str) -> Response {
     Response::json(
         status,
         Json::obj([(
@@ -697,7 +820,7 @@ pub fn install_sigint_handler() {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::{Read as _, Write as _};
+    use std::io::Read as _;
 
     fn request(addr: SocketAddr, raw: &str) -> String {
         let mut stream = TcpStream::connect(addr).expect("connect");

@@ -20,14 +20,17 @@ use std::time::{Duration, Instant};
 /// * `fast` — three solve threads, no quota (the tenant that must not
 ///   be starved);
 /// * `budget` — a 150 ms per-request deadline budget and a small
-///   per-request instance cap.
+///   per-request instance cap;
+/// * `metered` — a time-windowed rate limit of 3 requests per minute
+///   (the window is long so tokens do not regrow mid-test).
 fn tenant_config() -> RegistrySet {
     RegistrySet::parse(
         r#"{
             "registries": {
                 "slow": {"threads": 1, "quota": 1, "token": "slow-key"},
                 "fast": {"threads": 3},
-                "budget": {"threads": 2, "deadline_ms": 150, "max_instances": 50000}
+                "budget": {"threads": 2, "deadline_ms": 150, "max_instances": 50000},
+                "metered": {"requests_per_window": 3, "window_ms": 60000}
             }
         }"#,
     )
@@ -311,6 +314,58 @@ fn streamed_batches_deliver_ndjson_lines_and_a_summary() {
     let summary = lines[100].get("summary").expect("final summary line");
     assert_eq!(summary.get("solved").and_then(Json::as_i64), Some(100));
     assert_eq!(summary.get("complete").and_then(Json::as_bool), Some(true));
+
+    handle.shutdown();
+    runner.join().expect("server joins cleanly");
+}
+
+#[test]
+fn rate_limits_answer_429_with_an_accurate_retry_after() {
+    let (addr, handle, runner) = start_server();
+
+    // The bucket starts full: the whole 3-request window allowance may
+    // burst immediately.
+    for i in 0..3 {
+        let reply = post(addr, "/solve", Some("metered"), SMALL_SOLVE);
+        assert_eq!(status_of(&reply), 200, "burst request {i}: {reply}");
+    }
+
+    // The fourth request is refused with the computed Retry-After: one
+    // token regrows in window/requests = 20s (the handful of seconds
+    // the burst itself took may already have refilled part of it).
+    let reply = post(addr, "/solve", Some("metered"), SMALL_SOLVE);
+    assert_eq!(status_of(&reply), 429, "{reply}");
+    assert!(body_of(&reply).contains("\"kind\":\"rate-limited\""), "{reply}");
+    let retry_after: u64 = reply
+        .lines()
+        .find_map(|l| l.strip_prefix("Retry-After: "))
+        .expect("a rate-limited refusal carries Retry-After")
+        .trim()
+        .parse()
+        .expect("Retry-After is an integer");
+    assert!((1..=20).contains(&retry_after), "Retry-After = {retry_after}");
+
+    // The rate limit is per tenant: others are unaffected, and the
+    // refusal shows in the tenant's /metrics counters.
+    let reply = post(addr, "/solve", Some("fast"), SMALL_SOLVE);
+    assert_eq!(status_of(&reply), 200, "{reply}");
+    let metrics = Json::parse(&body_of(&get(addr, "/metrics"))).unwrap();
+    let metered = metrics.get("tenants").and_then(|t| t.get("metered")).expect("metered metrics");
+    assert!(metered.get("rate_limited_total").and_then(Json::as_i64).unwrap() >= 1);
+    assert_eq!(
+        metrics
+            .get("tenants")
+            .and_then(|t| t.get("fast"))
+            .and_then(|t| t.get("rate_limited_total"))
+            .and_then(Json::as_i64),
+        Some(0),
+        "rate refusals are per tenant"
+    );
+
+    // /tenants surfaces the configured limit (but no token values).
+    let tenants = body_of(&get(addr, "/tenants"));
+    assert!(tenants.contains("\"requests_per_window\":3"), "{tenants}");
+    assert!(tenants.contains("\"window_ms\":60000"), "{tenants}");
 
     handle.shutdown();
     runner.join().expect("server joins cleanly");
