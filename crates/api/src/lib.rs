@@ -61,6 +61,7 @@
 //! this crate wraps them, so downstream code migrates at its own pace.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod batch;
 pub mod cache;

@@ -25,6 +25,7 @@ use mst_tree::{best_cover_schedule, cover_tree, tree_schedule_from_sequence, Pat
 /// * forks → Beaumont et al.'s expansion + Jackson selection (optimal);
 /// * spiders → the Section-7 composition (optimal, Theorem 3);
 /// * trees → the best spider-cover heuristic (optimal *for the cover*).
+#[derive(Debug)]
 pub struct OptimalSolver;
 
 impl Solver for OptimalSolver {
@@ -107,6 +108,7 @@ fn best_cover_by_deadline(
 }
 
 /// The chain algorithm of the paper (Section 3), chains only.
+#[derive(Debug)]
 pub struct ChainOptimalSolver;
 
 impl Solver for ChainOptimalSolver {
@@ -148,6 +150,7 @@ impl Solver for ChainOptimalSolver {
 
 /// The prefix-min ablation variant of the chain algorithm — bit-identical
 /// schedules, different candidate evaluation.
+#[derive(Debug)]
 pub struct ChainFastSolver;
 
 impl Solver for ChainFastSolver {
@@ -171,6 +174,7 @@ impl Solver for ChainFastSolver {
 }
 
 /// The fork-graph algorithm of Beaumont et al. (IPDPS 2002), forks only.
+#[derive(Debug)]
 pub struct ForkOptimalSolver;
 
 impl Solver for ForkOptimalSolver {
@@ -213,6 +217,7 @@ impl Solver for ForkOptimalSolver {
 /// The spider algorithm of Section 7. Accepts spiders and, since chains
 /// and forks are one-leg / length-one-leg spiders, those too — the
 /// degenerate cases exercise the full pipeline and stay optimal.
+#[derive(Debug)]
 pub struct SpiderOptimalSolver;
 
 impl SpiderOptimalSolver {
@@ -260,6 +265,7 @@ impl Solver for SpiderOptimalSolver {
 
 /// The spider-cover tree heuristic, trees only (the paper's future-work
 /// programme as implemented by `mst-tree`).
+#[derive(Debug)]
 pub struct TreeCoverSolver;
 
 impl Solver for TreeCoverSolver {
@@ -299,6 +305,7 @@ impl Solver for TreeCoverSolver {
 
 /// Which forward policy an [`OnlineHeuristicSolver`] plays for non-chain
 /// platforms, and which chain heuristic it falls back to.
+#[derive(Debug)]
 enum HeuristicKind {
     Eager,
     RoundRobin,
@@ -309,6 +316,7 @@ enum HeuristicKind {
 
 /// The forward heuristics a deployed master would actually run,
 /// representing what the paper's backward construction buys.
+#[derive(Debug)]
 pub struct HeuristicSolver {
     kind: HeuristicKind,
 }
@@ -413,6 +421,7 @@ impl Solver for HeuristicSolver {
 /// sequence through the same greedy evaluator the search uses) — so all
 /// its solutions pass the same [`crate::verify`] oracle as everyone
 /// else's.
+#[derive(Debug)]
 pub struct ExactSolver;
 
 impl Solver for ExactSolver {
@@ -541,6 +550,7 @@ fn spider_schedule_from_sequence(
 /// model the paper's introduction contrasts its quantised tasks with.
 /// Returns an unwitnessed lower-bound-style solution
 /// ([`Solution::relaxed_makespan`] carries the exact fluid time).
+#[derive(Debug)]
 pub struct DivisibleSolver;
 
 impl Solver for DivisibleSolver {

@@ -24,6 +24,7 @@
 //!   introduction contrasts with its quantised tasks).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod asap;
 pub mod bounds;

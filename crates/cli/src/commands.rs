@@ -38,6 +38,8 @@ pub fn run(args: &Args) -> Result<String, String> {
         "serve" => cmd_serve(args),
         "loadgen" => crate::loadgen::cmd_loadgen(args),
         "chaos" => cmd_chaos(args),
+        "check-model" => cmd_check_model(args),
+        "fuzz" => cmd_fuzz(args),
         "history" => cmd_history(args),
         "" | "help" | "--help" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n\n{}", usage())),
@@ -95,6 +97,23 @@ USAGE:
         availability invariant makes the command exit non-zero with
         the same report (fail closed). Same seed, same hostile
         schedule — a failure reproduces from its seed.
+    mst check-model [--max-procs P] [--max-tasks N] [--max-weight W]
+        Bounded model check of the oracle gate: exhaustively enumerate
+        every chain, fork, spider and tree up to P processors (default
+        3) with weights 1..=W (default 2) and task counts up to N
+        (default 3), asserting on each that solver makespans are never
+        below the exact branch-and-bound, that the Definition-1 oracle
+        and the independent reference simulator agree on every witness
+        and every mutation of it, and that canonical-form restore
+        round-trips feasibility. Prints a JSON report; any violation
+        makes the command exit non-zero with the same report.
+    mst fuzz [--minutes M] [--seed S] [--corpus DIR]
+        Differential fuzzing of the same properties on seeded random
+        instances beyond the model checker's bounds. Failures are
+        minimized (task / processor / leg / leaf deletion) before they
+        are reported; with --corpus, minimized failures are persisted
+        and replayed on the next run. Fail-closed JSON report like
+        check-model.
     mst history <store> [--tenant NAME] [--solver NAME] [--limit K]
         Inspect a result store offline: the records a --store server
         appended, newest first, filterable by tenant and solver.
@@ -403,6 +422,58 @@ fn cmd_chaos(args: &Args) -> Result<String, String> {
         return Err("--minutes must be between 0 and 120".into());
     }
     let report = crate::chaos::run_chaos(addr, seed as u64, minutes);
+    let json = report.to_json();
+    if report.ok() {
+        Ok(json)
+    } else {
+        Err(json)
+    }
+}
+
+/// `mst check-model` — the exhaustive bounded model check of
+/// [`mst_verify`]: every platform within the bounds, every gate
+/// property, fail-closed JSON verdict.
+fn cmd_check_model(args: &Args) -> Result<String, String> {
+    let bounds = mst_verify::ModelBounds {
+        max_procs: positive_opt(args, "max-procs", 3)? as usize,
+        max_tasks: positive_opt(args, "max-tasks", 3)? as usize,
+        max_weight: positive_opt(args, "max-weight", 2)?,
+    };
+    if bounds.max_procs > 6 {
+        return Err("--max-procs above 6 would enumerate millions of trees; stay within 6".into());
+    }
+    let registry = SolverRegistry::with_defaults();
+    let report = mst_verify::check_model(&registry, &bounds);
+    let json = report.to_json();
+    if report.ok() {
+        Ok(json)
+    } else {
+        Err(json)
+    }
+}
+
+/// `mst fuzz` — the seeded differential fuzzer of [`mst_verify`]:
+/// random instances against the gate properties for a wall-clock
+/// budget, minimized failures, fail-closed JSON verdict.
+fn cmd_fuzz(args: &Args) -> Result<String, String> {
+    let seed = args.int_opt("seed", 42)?;
+    if seed < 0 {
+        return Err("--seed must be non-negative".into());
+    }
+    let minutes: f64 = match args.opt("minutes") {
+        None => 1.0,
+        Some(raw) => raw.parse().map_err(|_| format!("--minutes must be a number, got {raw:?}"))?,
+    };
+    if !(0.0..=120.0).contains(&minutes) {
+        return Err("--minutes must be between 0 and 120".into());
+    }
+    let config = mst_verify::FuzzConfig {
+        seed: seed as u64,
+        minutes,
+        corpus: args.opt("corpus").map(std::path::PathBuf::from),
+    };
+    let registry = SolverRegistry::with_defaults();
+    let report = mst_verify::run_fuzz(&registry, &config);
     let json = report.to_json();
     if report.ok() {
         Ok(json)
@@ -998,8 +1069,36 @@ mod tests {
     }
 
     #[test]
+    fn check_model_command_runs_tiny_bounds_and_validates_arguments() {
+        let out = run_line("check-model --max-procs 2 --max-tasks 1 --max-weight 1").unwrap();
+        assert!(out.contains("\"command\":\"check-model\""), "{out}");
+        assert!(out.contains("\"ok\":true"), "{out}");
+        assert!(out.contains("\"platforms\":8"), "{out}");
+        let err = run_line("check-model --max-procs 0").unwrap_err();
+        assert!(err.contains("must be at least 1"), "{err}");
+        let err = run_line("check-model --max-procs 9").unwrap_err();
+        assert!(err.contains("stay within 6"), "{err}");
+    }
+
+    #[test]
+    fn fuzz_command_runs_zero_budget_and_validates_arguments() {
+        let out = run_line("fuzz --minutes 0 --seed 7").unwrap();
+        assert!(out.contains("\"command\":\"fuzz\""), "{out}");
+        assert!(out.contains("\"seed\":7"), "{out}");
+        assert!(out.contains("\"ok\":true"), "{out}");
+        let err = run_line("fuzz --minutes nope").unwrap_err();
+        assert!(err.contains("must be a number"), "{err}");
+        let err = run_line("fuzz --seed -3").unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
+        let err = run_line("fuzz --minutes 500").unwrap_err();
+        assert!(err.contains("between 0 and 120"), "{err}");
+    }
+
+    #[test]
     fn help_and_unknown_commands() {
         assert!(run_line("help").unwrap().contains("USAGE"));
+        assert!(run_line("help").unwrap().contains("check-model"));
+        assert!(run_line("help").unwrap().contains("fuzz"));
         assert!(run_line("help").unwrap().contains("serve"));
         assert!(run_line("help").unwrap().contains("chaos"));
         assert!(run_line("help").unwrap().contains("loadgen"));

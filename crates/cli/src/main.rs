@@ -2,6 +2,8 @@
 //!
 //! See [`commands::usage`] (or run `mst help`) for the subcommands.
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod chaos;
 mod commands;

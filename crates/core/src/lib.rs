@@ -31,6 +31,7 @@
 //! benchmarks.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod algorithm;
 pub mod analysis;

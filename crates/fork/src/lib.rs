@@ -30,6 +30,7 @@
 //! schedule for `n` tasks ([`algorithm::schedule_fork`]).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod algorithm;
 pub mod expand;

@@ -46,13 +46,16 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod poller;
+pub mod signal;
 pub mod slab;
 pub(crate) mod sys;
 pub mod timer;
 
 pub use poller::{Event, Interest, Poller, Token, Waker};
+pub use signal::{install_sigint_handler, sigint_received};
 pub use slab::Slab;
 pub use sys::raise_nofile_limit;
 pub use timer::TimerWheel;

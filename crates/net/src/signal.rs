@@ -1,0 +1,59 @@
+//! Process signal plumbing (SIGINT → atomic flag).
+//!
+//! Lives here rather than in `mst-serve` because registering a handler
+//! means calling into libc, and this crate is the workspace's single
+//! home for foreign-function unsafety (everything else is
+//! `#![forbid(unsafe_code)]`). The handler itself does the only thing
+//! an async-signal-safe handler may: one atomic store.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the SIGINT handler; polled by cooperative shutdown loops.
+static SIGINT_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_sigint(_signum: i32) {
+    // Only async-signal-safe work here: one atomic store.
+    SIGINT_RECEIVED.store(true, Ordering::Relaxed);
+}
+
+/// Installs a SIGINT (ctrl-c) handler that flips the flag read by
+/// [`sigint_received`]. Call once at process start; a no-op on
+/// non-unix targets.
+pub fn install_sigint_handler() {
+    #[cfg(unix)]
+    {
+        const SIGINT: i32 = 2;
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        // SAFETY: registering an async-signal-safe handler (it performs
+        // a single atomic store) for a standard signal number.
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+}
+
+/// Whether SIGINT has been received since the handler was installed.
+pub fn sigint_received() -> bool {
+    SIGINT_RECEIVED.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_handler_sets_it() {
+        // Installing must not flip the flag by itself.
+        install_sigint_handler();
+        #[cfg(unix)]
+        {
+            // Simulate delivery by invoking the handler directly — the
+            // real signal path runs the same function.
+            on_sigint(2);
+            assert!(sigint_received());
+        }
+    }
+}

@@ -69,6 +69,8 @@ mod imp {
     }
 
     pub fn sys_epoll_create() -> io::Result<i32> {
+        // SAFETY: epoll_create1 takes a flags word and touches no
+        // caller memory; the return value is checked below.
         let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
         if fd < 0 {
             return Err(io::Error::last_os_error());
@@ -78,6 +80,8 @@ mod imp {
 
     pub fn sys_epoll_ctl(epfd: i32, op: i32, fd: i32, events: u32, token: u64) -> io::Result<()> {
         let mut ev = epoll_event { events, u64: token };
+        // SAFETY: `ev` is a live, properly laid out (`repr(C)`, packed
+        // to the kernel ABI) epoll_event for the duration of the call.
         let rc = unsafe { epoll_ctl(epfd, op, fd, &mut ev) };
         if rc < 0 {
             return Err(io::Error::last_os_error());
@@ -90,6 +94,9 @@ mod imp {
         events: &mut [epoll_event],
         timeout_ms: i32,
     ) -> io::Result<usize> {
+        // SAFETY: the pointer/length pair comes from a live `&mut`
+        // slice, so the kernel writes at most `events.len()` entries
+        // into memory we exclusively own.
         let rc = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms) };
         if rc < 0 {
             let err = io::Error::last_os_error();
@@ -103,6 +110,8 @@ mod imp {
     }
 
     pub fn sys_eventfd() -> io::Result<i32> {
+        // SAFETY: eventfd takes two scalars and touches no caller
+        // memory; the return value is checked below.
         let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
         if fd < 0 {
             return Err(io::Error::last_os_error());
@@ -111,6 +120,8 @@ mod imp {
     }
 
     pub fn sys_close(fd: i32) {
+        // SAFETY: close takes an fd by value; callers pass fds they
+        // own (from sys_epoll_create / sys_eventfd) exactly once.
         unsafe {
             close(fd);
         }
@@ -118,15 +129,19 @@ mod imp {
 
     pub fn sys_eventfd_write(fd: i32) {
         let one: u64 = 1;
+        // SAFETY: the buffer is the 8 bytes of the local `one`, live
+        // for the whole call. Failure means the counter is saturated —
+        // the loop is already guaranteed to wake, so the signal is
+        // delivered.
         unsafe {
-            // Failure means the counter is saturated — the loop is
-            // already guaranteed to wake, so the signal is delivered.
             write(fd, &one as *const u64 as *const u8, 8);
         }
     }
 
     pub fn sys_eventfd_drain(fd: i32) {
         let mut buf = [0u8; 8];
+        // SAFETY: the kernel writes at most 8 bytes into the 8-byte
+        // local buffer; the counter value itself is discarded.
         unsafe {
             read(fd, buf.as_mut_ptr(), 8);
         }
@@ -134,11 +149,14 @@ mod imp {
 
     pub fn sys_raise_nofile(want: u64) -> io::Result<u64> {
         let mut lim = rlimit { rlim_cur: 0, rlim_max: 0 };
+        // SAFETY: `lim` is a live, `repr(C)` rlimit the kernel fills.
         if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } < 0 {
             return Err(io::Error::last_os_error());
         }
         if lim.rlim_cur < want && lim.rlim_max >= want {
             let raised = rlimit { rlim_cur: want, rlim_max: lim.rlim_max };
+            // SAFETY: `raised` is a live, `repr(C)` rlimit read by the
+            // kernel for the duration of the call.
             if unsafe { setrlimit(RLIMIT_NOFILE, &raised) } < 0 {
                 return Err(io::Error::last_os_error());
             }

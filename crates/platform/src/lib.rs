@@ -26,6 +26,7 @@
 //! serialization framework.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod chain;
 pub mod error;

@@ -19,6 +19,7 @@
 //! * [`metrics`] — utilization / idle-time / throughput summaries.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod comm_vector;
 pub mod compare;
@@ -26,6 +27,8 @@ pub mod feasibility;
 pub mod format;
 pub mod gantt;
 pub mod metrics;
+#[doc(hidden)]
+pub mod mutate;
 pub mod schedule;
 pub mod tree_schedule;
 

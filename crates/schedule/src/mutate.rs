@@ -1,0 +1,270 @@
+//! Schedule mutations for the verification gate.
+//!
+//! The differential fuzzer and the bounded model checker need to feed
+//! the oracle *broken* schedules — swapped sends, double-booked ports,
+//! shifted starts — and compare its verdicts against the reference
+//! simulator. These helpers live here, next to the real wire types,
+//! so the mutations can never drift from what `TreeSchedule`,
+//! `ChainSchedule` and `SpiderSchedule` actually are: a mutation is a
+//! value-level edit of the genuine schedule types, not a re-encoding.
+//!
+//! The module is `#[doc(hidden)]`: it is test support for `mst-verify`
+//! and the fuzz harness, not part of the crate's public contract.
+
+use crate::comm_vector::CommVector;
+use crate::schedule::{ChainSchedule, SpiderSchedule, SpiderTask, TaskAssignment};
+use crate::tree_schedule::{TreeSchedule, TreeTask};
+use mst_platform::Time;
+
+/// One structural edit of a schedule. Task indices are **1-based**
+/// (matching the schedule types); applying a mutation whose indices do
+/// not exist in the target schedule yields `None` rather than panicking,
+/// so callers can enumerate a catalog blindly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Swap the first-link emission times of tasks `a` and `b` — the
+    /// classic "two sends traded places" error.
+    SwapSends {
+        /// First task (1-based).
+        a: usize,
+        /// Second task (1-based).
+        b: usize,
+    },
+    /// Set task `b`'s first emission equal to task `a`'s, double-booking
+    /// the master's out-port (always infeasible under positive latency).
+    OverlapPort {
+        /// The task whose emission is copied.
+        a: usize,
+        /// The task whose emission is overwritten.
+        b: usize,
+    },
+    /// Shift one task's execution start by `delta` (negative deltas
+    /// typically break reception-before-execution, positive ones may
+    /// stay feasible — both directions exercise verdict agreement).
+    ShiftStart {
+        /// Task (1-based).
+        task: usize,
+        /// Shift applied to `T(i)`.
+        delta: Time,
+    },
+    /// Shift one emission of one task's communication vector.
+    ShiftEmission {
+        /// Task (1-based).
+        task: usize,
+        /// Link index within the vector (**1-based**).
+        link: usize,
+        /// Shift applied to the emission time.
+        delta: Time,
+    },
+}
+
+impl Mutation {
+    /// A short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mutation::SwapSends { .. } => "swap-sends",
+            Mutation::OverlapPort { .. } => "overlap-port",
+            Mutation::ShiftStart { .. } => "shift-start",
+            Mutation::ShiftEmission { .. } => "shift-emission",
+        }
+    }
+}
+
+/// A deterministic mutation catalog for a schedule of `n` tasks:
+/// adjacent send swaps and port overlaps, both-direction start shifts,
+/// and first/second-link emission shifts. The catalog is a function of
+/// `n` alone so model-check runs are reproducible by construction.
+pub fn catalog(n: usize) -> Vec<Mutation> {
+    let mut out = Vec::new();
+    for i in 1..n {
+        out.push(Mutation::SwapSends { a: i, b: i + 1 });
+        out.push(Mutation::OverlapPort { a: i, b: i + 1 });
+    }
+    for i in 1..=n {
+        out.push(Mutation::ShiftStart { task: i, delta: -1 });
+        out.push(Mutation::ShiftStart { task: i, delta: 1 });
+        out.push(Mutation::ShiftEmission { task: i, link: 1, delta: -1 });
+        out.push(Mutation::ShiftEmission { task: i, link: 2, delta: -1 });
+    }
+    out
+}
+
+fn edit_first(comms: &CommVector, value: Time) -> CommVector {
+    let mut times = comms.times().to_vec();
+    times[0] = value;
+    CommVector::new(times)
+}
+
+fn edit_link(comms: &CommVector, link: usize, delta: Time) -> Option<CommVector> {
+    if link < 1 || link > comms.len() {
+        return None;
+    }
+    let mut times = comms.times().to_vec();
+    times[link - 1] += delta;
+    Some(CommVector::new(times))
+}
+
+/// Applies a mutation to a tree schedule. `None` when the mutation's
+/// indices fall outside the schedule (or touch an empty vector).
+pub fn tree(schedule: &TreeSchedule, m: Mutation) -> Option<TreeSchedule> {
+    let mut tasks: Vec<TreeTask> = schedule.tasks().to_vec();
+    apply(&mut tasks, m, |t| &mut t.comms, |t| &mut t.start)?;
+    Some(TreeSchedule::new(tasks))
+}
+
+/// Applies a mutation to a chain schedule (route lengths are preserved,
+/// so the `P(i) == |C(i)|` structural invariant survives every edit).
+pub fn chain(schedule: &ChainSchedule, m: Mutation) -> Option<ChainSchedule> {
+    let mut tasks: Vec<TaskAssignment> = schedule.tasks().to_vec();
+    apply(&mut tasks, m, |t| &mut t.comms, |t| &mut t.start)?;
+    // The chain constructor requires master-emission order; mutations
+    // reorder first emissions, so restore it.
+    tasks.sort_by_key(|t| t.comms.first());
+    Some(ChainSchedule::new(tasks))
+}
+
+/// Applies a mutation to a spider schedule.
+pub fn spider(schedule: &SpiderSchedule, m: Mutation) -> Option<SpiderSchedule> {
+    let mut tasks: Vec<SpiderTask> = schedule.tasks().to_vec();
+    apply(&mut tasks, m, |t| &mut t.comms, |t| &mut t.start)?;
+    Some(SpiderSchedule::new(tasks))
+}
+
+fn apply<T>(
+    tasks: &mut [T],
+    m: Mutation,
+    comms_of: impl Fn(&mut T) -> &mut CommVector,
+    start_of: impl Fn(&mut T) -> &mut Time,
+) -> Option<()> {
+    let n = tasks.len();
+    let in_range = |i: usize| i >= 1 && i <= n;
+    match m {
+        Mutation::SwapSends { a, b } => {
+            if !in_range(a) || !in_range(b) || a == b {
+                return None;
+            }
+            let ea = comms_of(&mut tasks[a - 1]);
+            if ea.is_empty() {
+                return None;
+            }
+            let va = ea.first();
+            let eb = comms_of(&mut tasks[b - 1]);
+            if eb.is_empty() {
+                return None;
+            }
+            let vb = eb.first();
+            *comms_of(&mut tasks[a - 1]) = edit_first(comms_of(&mut tasks[a - 1]), vb);
+            *comms_of(&mut tasks[b - 1]) = edit_first(comms_of(&mut tasks[b - 1]), va);
+        }
+        Mutation::OverlapPort { a, b } => {
+            if !in_range(a) || !in_range(b) || a == b {
+                return None;
+            }
+            let ea = comms_of(&mut tasks[a - 1]);
+            if ea.is_empty() {
+                return None;
+            }
+            let va = ea.first();
+            let eb = comms_of(&mut tasks[b - 1]);
+            if eb.is_empty() {
+                return None;
+            }
+            *comms_of(&mut tasks[b - 1]) = edit_first(comms_of(&mut tasks[b - 1]), va);
+        }
+        Mutation::ShiftStart { task, delta } => {
+            if !in_range(task) {
+                return None;
+            }
+            *start_of(&mut tasks[task - 1]) += delta;
+        }
+        Mutation::ShiftEmission { task, link, delta } => {
+            if !in_range(task) {
+                return None;
+            }
+            let edited = edit_link(comms_of(&mut tasks[task - 1]), link, delta)?;
+            *comms_of(&mut tasks[task - 1]) = edited;
+        }
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cv(times: &[Time]) -> CommVector {
+        CommVector::new(times.to_vec())
+    }
+
+    fn two_task_tree() -> TreeSchedule {
+        TreeSchedule::new(vec![TreeTask::new(1, 2, cv(&[0]), 3), TreeTask::new(1, 5, cv(&[2]), 3)])
+    }
+
+    #[test]
+    fn swap_sends_exchanges_first_emissions() {
+        let m = tree(&two_task_tree(), Mutation::SwapSends { a: 1, b: 2 }).unwrap();
+        // TreeSchedule re-sorts by first emission, so the emission times
+        // still read 0 then 2 — but they moved to the *other* starts.
+        assert_eq!(m.task(1).start, 5);
+        assert_eq!(m.task(2).start, 2);
+    }
+
+    #[test]
+    fn overlap_port_duplicates_an_emission() {
+        let m = tree(&two_task_tree(), Mutation::OverlapPort { a: 1, b: 2 }).unwrap();
+        assert_eq!(m.task(1).comms.first(), m.task(2).comms.first());
+    }
+
+    #[test]
+    fn shifts_edit_one_task_only() {
+        let m = tree(&two_task_tree(), Mutation::ShiftStart { task: 2, delta: -4 }).unwrap();
+        assert_eq!(m.task(2).start, 1);
+        assert_eq!(m.task(1).start, 2);
+        let m =
+            tree(&two_task_tree(), Mutation::ShiftEmission { task: 1, link: 1, delta: 1 }).unwrap();
+        assert_eq!(m.task(1).comms.first(), 1);
+    }
+
+    #[test]
+    fn out_of_range_mutations_are_none_not_panics() {
+        let s = two_task_tree();
+        assert!(tree(&s, Mutation::SwapSends { a: 1, b: 9 }).is_none());
+        assert!(tree(&s, Mutation::SwapSends { a: 2, b: 2 }).is_none());
+        assert!(tree(&s, Mutation::ShiftStart { task: 0, delta: 1 }).is_none());
+        assert!(tree(&s, Mutation::ShiftEmission { task: 1, link: 5, delta: 1 }).is_none());
+    }
+
+    #[test]
+    fn chain_mutations_preserve_route_invariant_and_order() {
+        let s = ChainSchedule::new(vec![
+            TaskAssignment::new(1, 2, cv(&[0]), 3),
+            TaskAssignment::new(2, 9, cv(&[4, 6]), 5),
+        ]);
+        let m = chain(&s, Mutation::SwapSends { a: 1, b: 2 }).unwrap();
+        assert_eq!(m.task(1).comms.first(), 0);
+        assert_eq!(m.task(2).comms.first(), 4);
+        // The proc-1 task now carries emission 4; order was restored.
+        assert_eq!(m.task(2).proc, 1);
+    }
+
+    #[test]
+    fn catalog_is_deterministic_and_covers_all_kinds() {
+        let c = catalog(3);
+        assert_eq!(c, catalog(3));
+        for kind in ["swap-sends", "overlap-port", "shift-start", "shift-emission"] {
+            assert!(c.iter().any(|m| m.name() == kind), "missing {kind}");
+        }
+        assert!(catalog(1).iter().all(|m| !matches!(m, Mutation::SwapSends { .. })));
+    }
+
+    #[test]
+    fn spider_mutations_apply() {
+        use mst_platform::NodeId;
+        let s = SpiderSchedule::new(vec![
+            SpiderTask::new(NodeId { leg: 0, depth: 1 }, 2, cv(&[0]), 3),
+            SpiderTask::new(NodeId { leg: 1, depth: 1 }, 5, cv(&[2]), 4),
+        ]);
+        let m = spider(&s, Mutation::OverlapPort { a: 1, b: 2 }).unwrap();
+        assert_eq!(m.task(2).comms.first(), 0);
+    }
+}

@@ -88,6 +88,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 #[cfg(target_os = "linux")]
 pub mod event;

@@ -336,10 +336,16 @@ pub struct ServiceState {
     shutdown: AtomicBool,
 }
 
+impl std::fmt::Debug for ServiceState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceState").field("config", &self.config).finish_non_exhaustive()
+    }
+}
+
 impl ServiceState {
     /// Whether shutdown has been requested (handle or SIGINT).
     pub fn shutdown_requested(&self) -> bool {
-        self.shutdown.load(Ordering::Relaxed) || SIGINT_RECEIVED.load(Ordering::Relaxed)
+        self.shutdown.load(Ordering::Relaxed) || mst_net::sigint_received()
     }
 
     /// The engine an anonymous request resolves against: the default
@@ -397,6 +403,12 @@ pub struct ServerHandle {
     addr: SocketAddr,
 }
 
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle").field("addr", &self.addr).finish_non_exhaustive()
+    }
+}
+
 impl ServerHandle {
     /// The address the server actually bound (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
@@ -437,6 +449,12 @@ pub struct Server {
     listener: TcpListener,
     state: Arc<ServiceState>,
     addr: SocketAddr,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish_non_exhaustive()
+    }
 }
 
 impl Server {
@@ -790,32 +808,11 @@ pub(crate) fn error_body(status: u16, kind: &str, message: &str) -> Response {
     )
 }
 
-/// Set by the SIGINT handler; checked by every running server.
-static SIGINT_RECEIVED: AtomicBool = AtomicBool::new(false);
-
-#[cfg(unix)]
-extern "C" fn on_sigint(_signum: i32) {
-    // Only async-signal-safe work here: one atomic store.
-    SIGINT_RECEIVED.store(true, Ordering::Relaxed);
-}
-
 /// Installs a SIGINT (ctrl-c) handler that gracefully stops every
 /// running [`Server`] in the process. Call once before [`Server::run`];
-/// a no-op on non-unix targets.
-pub fn install_sigint_handler() {
-    #[cfg(unix)]
-    {
-        const SIGINT: i32 = 2;
-        extern "C" {
-            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
-        }
-        // SAFETY: registering an async-signal-safe handler (it performs
-        // a single atomic store) for a standard signal number.
-        unsafe {
-            signal(SIGINT, on_sigint);
-        }
-    }
-}
+/// a no-op on non-unix targets. The libc registration itself lives in
+/// [`mst_net::signal`] — this crate is `#![forbid(unsafe_code)]`.
+pub use mst_net::install_sigint_handler;
 
 #[cfg(test)]
 mod tests {

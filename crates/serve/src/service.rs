@@ -73,6 +73,12 @@ pub struct MstService {
     state: Arc<ServiceState>,
 }
 
+impl std::fmt::Debug for MstService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MstService").finish_non_exhaustive()
+    }
+}
+
 impl MstService {
     /// Wraps the shared state as a callable service.
     pub fn new(state: Arc<ServiceState>) -> MstService {

@@ -34,6 +34,7 @@
 //!   instances across cores, backed by one process-wide pool.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod buffered;
 pub mod cancel;

@@ -280,9 +280,15 @@ impl WorkerPool {
         /// SAFETY: `data` must point at a live `Ctx<I, R, F>` and `idx`
         /// must be claimed by exactly one caller.
         unsafe fn call_one<I, R, F: Fn(&I) -> R>(data: *const (), idx: usize) {
-            let ctx = &*data.cast::<Ctx<'_, I, R, F>>();
-            let result = (ctx.f)(&ctx.items[idx]);
-            *ctx.slots[idx].0.get() = Some(result);
+            // SAFETY: the caller guarantees `data` points at the live
+            // `Ctx` this job was built from (it outlives the scoped
+            // wait below) and that `idx` was claimed by exactly one
+            // worker, so the slot write is exclusive.
+            unsafe {
+                let ctx = &*data.cast::<Ctx<'_, I, R, F>>();
+                let result = (ctx.f)(&ctx.items[idx]);
+                *ctx.slots[idx].0.get() = Some(result);
+            }
         }
 
         let ctx = Ctx { items, f: &f, slots: &slots };

@@ -25,6 +25,7 @@
 //! `O(n^2 p^2 log)` overall.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod algorithm;
 pub mod transform;

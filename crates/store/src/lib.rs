@@ -26,6 +26,7 @@
 //! re-solving or re-canonicalising anything.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use mst_api::wire::{solution_from_json, Json, WireError};
 use mst_platform::Time;

@@ -26,6 +26,7 @@
 //! [`TreeScheduleOutcome::tree_schedule`].
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod cover;
 pub mod schedule;

@@ -1,0 +1,391 @@
+//! The gate properties, shared by the model checker and the fuzzer.
+//!
+//! [`check_instance`] runs every property the gate asserts against one
+//! instance and returns structured violations instead of panicking:
+//!
+//! * **solve-total** — every registry solver supporting the topology
+//!   returns a solution (no errors, no panics reach the caller);
+//! * **solver-below-exact** — no solver beats the exact
+//!   branch-and-bound makespan (soundness of the search space);
+//! * **optimal-not-exact** — the provably optimal algorithms (chain,
+//!   fork, spider; Theorems 1 and 3) match branch-and-bound exactly;
+//! * **verify-total / oracle-rejects-witness / makespan-mismatch** —
+//!   `verify()` accepts every produced witness and recomputes its
+//!   claimed makespan;
+//! * **oracle-sim-disagreement / check-sim-disagreement** — the
+//!   Definition-1 oracle (`check_tree`, and natively `check_chain` /
+//!   `check_spider`) returns the same verdict as the reference
+//!   simulator on the produced witness *and* on every mutation of it
+//!   (accept/accept and reject/reject both count);
+//! * **canon-roundtrip** — solving the canonical form and restoring the
+//!   witness yields a feasible schedule; where the default solver is
+//!   provably optimal (chains, forks, spiders) the restored makespan
+//!   must equal the direct solve's (trees run a label-sensitive cover
+//!   heuristic, so only feasibility is owed there — a distinction the
+//!   model checker itself surfaced at 3-processor bounds).
+
+use crate::sim::{embed_chain, embed_spider, simulate, tree_witness};
+use mst_api::wire::Json;
+use mst_api::{verify, CanonicalInstance, Instance, ScheduleRepr, SolverRegistry, TopologyKind};
+use mst_platform::Tree;
+use mst_schedule::{check_chain, check_spider, check_tree, mutate};
+
+/// Branch-and-bound comparisons are gated to instances this small (the
+/// search is exponential in the task count).
+pub const BNB_MAX_PROCS: usize = 4;
+/// Task-count cap for branch-and-bound comparisons.
+pub const BNB_MAX_TASKS: usize = 5;
+
+/// One violated gate property, with everything needed to reproduce it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyViolation {
+    /// Stable property name (see the module docs).
+    pub property: &'static str,
+    /// The solver involved (empty when the property is solver-free).
+    pub solver: String,
+    /// The platform in the instance text format (`Platform::parse`able).
+    pub platform: String,
+    /// The instance's task budget.
+    pub tasks: usize,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl PropertyViolation {
+    /// The violation as a JSON object for reports.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("property", Json::str(self.property)),
+            ("solver", Json::str(self.solver.clone())),
+            ("platform", Json::str(self.platform.clone())),
+            ("tasks", Json::int(self.tasks as i64)),
+            ("detail", Json::str(self.detail.clone())),
+        ])
+    }
+}
+
+/// Tally of one [`check_instance`] run.
+#[derive(Debug, Clone, Default)]
+pub struct Outcome {
+    /// Solver invocations that returned a solution.
+    pub solves: usize,
+    /// Mutated schedules cross-checked oracle-vs-simulator.
+    pub mutations: usize,
+    /// Whether the exact branch-and-bound bound was applied.
+    pub bnb_checked: bool,
+    /// Every property violation found.
+    pub violations: Vec<PropertyViolation>,
+}
+
+impl Outcome {
+    /// Folds another outcome into this one.
+    pub fn absorb(&mut self, other: Outcome) {
+        self.solves += other.solves;
+        self.mutations += other.mutations;
+        self.bnb_checked |= other.bnb_checked;
+        self.violations.extend(other.violations);
+    }
+}
+
+/// Whether `solver` is proven optimal on `kind` (so its makespan must
+/// *equal* branch-and-bound, not merely bound it from above).
+fn proven_optimal(kind: TopologyKind, solver: &str) -> bool {
+    match kind {
+        TopologyKind::Chain => {
+            matches!(solver, "optimal" | "chain-optimal" | "chain-fast" | "spider-optimal")
+        }
+        TopologyKind::Fork => matches!(solver, "optimal" | "fork-optimal" | "spider-optimal"),
+        TopologyKind::Spider => matches!(solver, "optimal" | "spider-optimal"),
+        TopologyKind::Tree => false,
+    }
+}
+
+/// Runs every gate property against one instance.
+pub fn check_instance(registry: &SolverRegistry, instance: &Instance) -> Outcome {
+    let mut out = Outcome::default();
+    let kind = instance.kind();
+    let platform_text = instance.platform.to_text();
+    let fail = |out: &mut Outcome, property: &'static str, solver: &str, detail: String| {
+        out.violations.push(PropertyViolation {
+            property,
+            solver: solver.to_string(),
+            platform: platform_text.clone(),
+            tasks: instance.tasks,
+            detail,
+        });
+    };
+
+    // Ground truth, where the search is affordable.
+    let small = instance.platform.num_processors() <= BNB_MAX_PROCS
+        && instance.tasks <= BNB_MAX_TASKS
+        && registry.get("exact").is_some();
+    let exact_makespan = if small {
+        match registry.solve("exact", instance) {
+            Ok(sol) => {
+                out.bnb_checked = true;
+                Some(sol.makespan())
+            }
+            Err(e) => {
+                fail(&mut out, "solve-total", "exact", format!("exact solver failed: {e}"));
+                None
+            }
+        }
+    } else {
+        None
+    };
+
+    let names: Vec<&'static str> = registry.supporting(kind).iter().map(|s| s.name()).collect();
+    for name in names {
+        let sol = match registry.solve(name, instance) {
+            Ok(sol) => sol,
+            Err(e) => {
+                fail(&mut out, "solve-total", name, format!("solver error: {e}"));
+                continue;
+            }
+        };
+        out.solves += 1;
+
+        if let Some(exact) = exact_makespan {
+            // The divisible relaxation is a fluid lower bound, exempt by
+            // construction; everything else must sit at or above exact.
+            if name != "divisible" && sol.makespan() < exact {
+                fail(
+                    &mut out,
+                    "solver-below-exact",
+                    name,
+                    format!("makespan {} below exact {exact}", sol.makespan()),
+                );
+            }
+            if proven_optimal(kind, name) && sol.makespan() != exact {
+                fail(
+                    &mut out,
+                    "optimal-not-exact",
+                    name,
+                    format!("claims optimality but got {} vs exact {exact}", sol.makespan()),
+                );
+            }
+        }
+
+        let report = match verify(instance, &sol) {
+            Ok(report) => report,
+            Err(e) => {
+                fail(&mut out, "verify-total", name, format!("verify() errored: {e}"));
+                continue;
+            }
+        };
+        if !report.is_feasible() {
+            let first = report.violations.first().map(|v| v.to_string()).unwrap_or_default();
+            fail(&mut out, "oracle-rejects-witness", name, first);
+        }
+        if sol.is_witnessed() && report.makespan != sol.makespan() {
+            fail(
+                &mut out,
+                "makespan-mismatch",
+                name,
+                format!("claimed {} but oracle recomputed {}", sol.makespan(), report.makespan),
+            );
+        }
+
+        let Some((tree, ts)) = tree_witness(&instance.platform, &sol) else { continue };
+
+        // The tree oracle, the native oracle and the simulator must all
+        // agree on the untouched witness...
+        let tree_verdict = check_tree(&tree, &ts);
+        if tree_verdict.is_feasible() != report.is_feasible() {
+            fail(
+                &mut out,
+                "oracle-sim-disagreement",
+                name,
+                format!(
+                    "check_tree on the embedded witness says feasible={}, verify() says {}",
+                    tree_verdict.is_feasible(),
+                    report.is_feasible()
+                ),
+            );
+        }
+        let sim_verdict = simulate(&tree, &ts);
+        if sim_verdict.accepted() != tree_verdict.is_feasible() {
+            fail(
+                &mut out,
+                "oracle-sim-disagreement",
+                name,
+                format!(
+                    "witness: oracle feasible={}, simulator accepted={}",
+                    tree_verdict.is_feasible(),
+                    sim_verdict.accepted()
+                ),
+            );
+        } else if sim_verdict.accepted() && sim_verdict.makespan != tree_verdict.makespan {
+            fail(
+                &mut out,
+                "oracle-sim-disagreement",
+                name,
+                format!(
+                    "accepted with different makespans: oracle {}, simulator {}",
+                    tree_verdict.makespan, sim_verdict.makespan
+                ),
+            );
+        }
+
+        // ...and on every mutation of it, whichever way the verdict goes.
+        for m in mutate::catalog(ts.n()) {
+            let Some(mutated) = mutate::tree(&ts, m) else { continue };
+            out.mutations += 1;
+            let oracle = check_tree(&tree, &mutated).is_feasible();
+            let sim = simulate(&tree, &mutated).accepted();
+            if oracle != sim {
+                fail(
+                    &mut out,
+                    "oracle-sim-disagreement",
+                    name,
+                    format!(
+                        "{} mutation: check_tree feasible={oracle}, simulator accepted={sim}",
+                        m.name()
+                    ),
+                );
+            }
+        }
+
+        // Native chain/spider checkers against the simulator, mutated in
+        // the native representation so `check` itself is on trial.
+        match sol.schedule() {
+            Some(ScheduleRepr::Chain(cs)) => {
+                if let Some(chain) = instance.platform.as_chain() {
+                    let chain_tree = Tree::from_chain(chain);
+                    for m in mutate::catalog(cs.n()) {
+                        let Some(mutated) = mutate::chain(cs, m) else { continue };
+                        out.mutations += 1;
+                        let oracle = check_chain(chain, &mutated).is_feasible();
+                        let sim = simulate(&chain_tree, &embed_chain(&mutated)).accepted();
+                        if oracle != sim {
+                            fail(
+                                &mut out,
+                                "check-sim-disagreement",
+                                name,
+                                format!(
+                                    "{} mutation: check_chain feasible={oracle}, \
+                                     simulator accepted={sim}",
+                                    m.name()
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            Some(ScheduleRepr::Spider(ss)) => {
+                let spider = sol.sub_platform().cloned().or_else(|| instance.platform.to_spider());
+                if let Some(spider) = spider {
+                    let spider_tree = Tree::from_spider(&spider);
+                    for m in mutate::catalog(ss.n()) {
+                        let Some(mutated) = mutate::spider(ss, m) else { continue };
+                        out.mutations += 1;
+                        let oracle = check_spider(&spider, &mutated).is_feasible();
+                        let sim =
+                            simulate(&spider_tree, &embed_spider(&spider, &mutated)).accepted();
+                        if oracle != sim {
+                            fail(
+                                &mut out,
+                                "check-sim-disagreement",
+                                name,
+                                format!(
+                                    "{} mutation: check_spider feasible={oracle}, \
+                                     simulator accepted={sim}",
+                                    m.name()
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Canonical-form round-trip through the default solver.
+    if registry.get("optimal").is_some() {
+        let canon = CanonicalInstance::of(instance, "optimal", None);
+        if let (Ok(orig), Ok(canonical)) =
+            (registry.solve("optimal", instance), registry.solve("optimal", canon.instance()))
+        {
+            let restored = canon.restore(&canonical);
+            match verify(instance, &restored) {
+                Ok(report) if report.is_feasible() => {
+                    // Makespan equality is only promised where "optimal"
+                    // is provably optimal: an optimum is invariant under
+                    // the canonicalization's label permutation, but the
+                    // tree cover heuristic is label-sensitive, so there
+                    // only feasibility of the restored witness is owed.
+                    let kind = instance.platform.kind();
+                    if proven_optimal(kind, "optimal") && restored.makespan() != orig.makespan() {
+                        fail(
+                            &mut out,
+                            "canon-roundtrip",
+                            "optimal",
+                            format!(
+                                "restored makespan {} differs from direct {}",
+                                restored.makespan(),
+                                orig.makespan()
+                            ),
+                        );
+                    }
+                }
+                Ok(report) => {
+                    let first =
+                        report.violations.first().map(|v| v.to_string()).unwrap_or_default();
+                    fail(
+                        &mut out,
+                        "canon-roundtrip",
+                        "optimal",
+                        format!("restored witness infeasible: {first}"),
+                    );
+                }
+                Err(e) => {
+                    fail(
+                        &mut out,
+                        "canon-roundtrip",
+                        "optimal",
+                        format!("verify() of restored witness errored: {e}"),
+                    );
+                }
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mst_platform::{Chain, Spider};
+
+    #[test]
+    fn clean_instances_have_no_violations() {
+        let registry = SolverRegistry::with_defaults();
+        for instance in [
+            Instance::new(Chain::paper_figure2(), 4),
+            Instance::new(Spider::from_legs(&[&[(2, 3)], &[(1, 1), (2, 2)]]).unwrap(), 3),
+            Instance::new(Tree::from_triples(&[(0, 1, 2), (1, 2, 3), (1, 1, 1)]).unwrap(), 3),
+        ] {
+            let out = check_instance(&registry, &instance);
+            assert!(out.violations.is_empty(), "{instance}: {:?}", out.violations);
+            assert!(out.solves > 0);
+            assert!(out.mutations > 0);
+            assert!(out.bnb_checked);
+        }
+    }
+
+    #[test]
+    fn violations_serialize_with_property_names() {
+        let v = PropertyViolation {
+            property: "solver-below-exact",
+            solver: "eager".into(),
+            platform: "chain\n1 1\n".into(),
+            tasks: 2,
+            detail: "makespan 3 below exact 4".into(),
+        };
+        let json = v.to_json().to_string();
+        assert!(json.contains("\"solver-below-exact\""));
+        assert!(json.contains("\"tasks\":2"));
+    }
+}

@@ -1,0 +1,463 @@
+//! The brute-force one-port reference simulator.
+//!
+//! [`simulate`] replays a [`TreeSchedule`] against a [`Tree`] platform
+//! from first principles: each task's journey is walked hop by hop down
+//! its route (arrival must precede re-emission, reception must precede
+//! execution — properties 1 and 2 of Definition 1), and every resource
+//! claim — one **out-port** per sending node (the master included), one
+//! **executor** per node — is swept in time order with a running
+//! high-water mark (properties 3 and 4 plus the one-port rule). The
+//! implementation deliberately shares no code with
+//! [`mst_schedule::feasibility`]: no `Interval`, no pairwise loops, no
+//! route helper — see the crate-level docs for why.
+//!
+//! Chains and spiders embed into trees losslessly ([`tree_witness`]),
+//! so this single simulator arbitrates every witness format in the
+//! workspace.
+
+use mst_api::{Instance, Platform, ScheduleRepr, Solution};
+use mst_platform::{Spider, Time, Tree};
+use mst_schedule::{ChainSchedule, SpiderSchedule, TreeSchedule, TreeTask};
+use std::fmt;
+
+/// One reason the simulator rejected a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejection {
+    /// The task names a node the tree does not have.
+    UnknownNode {
+        /// Task index (1-based).
+        task: usize,
+        /// The offending node id.
+        node: usize,
+    },
+    /// The communication vector's length differs from the route depth.
+    RouteMismatch {
+        /// Task index.
+        task: usize,
+        /// Route depth of the executing node.
+        expected: usize,
+        /// Stored vector length.
+        got: usize,
+    },
+    /// The first emission happens before time zero.
+    NegativeTime {
+        /// Task index.
+        task: usize,
+    },
+    /// The stored per-task work disagrees with the platform.
+    WorkMismatch {
+        /// Task index.
+        task: usize,
+        /// Stored work value.
+        stored: Time,
+        /// The platform's value.
+        actual: Time,
+    },
+    /// Property 1: a hop re-emitted the task before holding it.
+    LateHop {
+        /// Task index.
+        task: usize,
+        /// Route position (1-based) of the premature emission.
+        hop: usize,
+    },
+    /// Property 2: execution starts before the task arrives.
+    StartBeforeArrival {
+        /// Task index.
+        task: usize,
+        /// Arrival time at the executing node.
+        arrival: Time,
+        /// Claimed start.
+        start: Time,
+    },
+    /// Property 3: a node executes two tasks at once.
+    ExecutorBusy {
+        /// The double-booked node.
+        node: usize,
+        /// Earlier task holding the executor.
+        holder: usize,
+        /// Task claiming it while busy.
+        claimer: usize,
+    },
+    /// Property 4 / one-port: a node's out-port carries two
+    /// communications at once (node 0 is the master).
+    PortBusy {
+        /// The double-booked sender.
+        node: usize,
+        /// Earlier task holding the port.
+        holder: usize,
+        /// Task claiming it while busy.
+        claimer: usize,
+    },
+}
+
+impl fmt::Display for Rejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejection::UnknownNode { task, node } => {
+                write!(f, "task {task}: node {node} does not exist")
+            }
+            Rejection::RouteMismatch { task, expected, got } => {
+                write!(f, "task {task}: route needs {expected} emissions, got {got}")
+            }
+            Rejection::NegativeTime { task } => {
+                write!(f, "task {task}: emitted before time zero")
+            }
+            Rejection::WorkMismatch { task, stored, actual } => {
+                write!(f, "task {task}: stored work {stored}, platform says {actual}")
+            }
+            Rejection::LateHop { task, hop } => {
+                write!(f, "task {task}: re-emitted at hop {hop} before arriving there")
+            }
+            Rejection::StartBeforeArrival { task, arrival, start } => {
+                write!(f, "task {task}: starts at {start} but arrives at {arrival}")
+            }
+            Rejection::ExecutorBusy { node, holder, claimer } => {
+                write!(f, "node {node}: executing task {holder} when task {claimer} starts")
+            }
+            Rejection::PortBusy { node, holder, claimer } => {
+                write!(f, "node {node}: sending task {holder} when task {claimer} is emitted")
+            }
+        }
+    }
+}
+
+/// The simulator's verdict on one schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimVerdict {
+    /// Every reason for rejection (empty means accepted).
+    pub rejections: Vec<Rejection>,
+    /// Makespan recomputed from the replay (platform work values, not
+    /// the stored hints).
+    pub makespan: Time,
+    /// Number of task placements replayed.
+    pub tasks: usize,
+}
+
+impl SimVerdict {
+    /// `true` iff the schedule survived the replay unchallenged.
+    #[inline]
+    pub fn accepted(&self) -> bool {
+        self.rejections.is_empty()
+    }
+}
+
+/// A claim on one exclusive resource: `port` claims hold a node's
+/// out-port, `!port` claims hold its executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Claim {
+    port: bool,
+    node: usize,
+    start: Time,
+    end: Time,
+    task: usize,
+}
+
+/// Replays `schedule` on `tree` and returns the verdict.
+pub fn simulate(tree: &Tree, schedule: &TreeSchedule) -> SimVerdict {
+    let n = schedule.n();
+    let p = tree.len();
+    let mut rejections = Vec::new();
+    let mut claims: Vec<Claim> = Vec::new();
+    let mut makespan: Time = 0;
+
+    for i in 1..=n {
+        let t = schedule.task(i);
+        if t.node < 1 || t.node > p {
+            rejections.push(Rejection::UnknownNode { task: i, node: t.node });
+            continue;
+        }
+        let work = tree.node(t.node).work;
+        makespan = makespan.max(t.start + work);
+
+        // Reconstruct the route by walking parent pointers up from the
+        // executing node (the simulator trusts nothing precomputed).
+        let mut route = Vec::new();
+        let mut cur = t.node;
+        while cur != 0 {
+            route.push(cur);
+            cur = tree.node(cur).parent;
+        }
+        route.reverse();
+        if t.comms.len() != route.len() {
+            rejections.push(Rejection::RouteMismatch {
+                task: i,
+                expected: route.len(),
+                got: t.comms.len(),
+            });
+            continue;
+        }
+        if t.work != work {
+            rejections.push(Rejection::WorkMismatch { task: i, stored: t.work, actual: work });
+        }
+
+        // Replay the journey: the master holds the task from time zero;
+        // each hop must be emitted no earlier than the sender holds it,
+        // and holds it itself once the transfer completes.
+        let mut held_since: Time = 0;
+        for (d, &hop) in route.iter().enumerate() {
+            let emission = t.comms.get(d + 1);
+            if d == 0 {
+                if emission < 0 {
+                    rejections.push(Rejection::NegativeTime { task: i });
+                }
+            } else if emission < held_since {
+                rejections.push(Rejection::LateHop { task: i, hop: d + 1 });
+            }
+            let latency = tree.node(hop).comm;
+            claims.push(Claim {
+                port: true,
+                node: tree.node(hop).parent,
+                start: emission,
+                end: emission + latency,
+                task: i,
+            });
+            held_since = emission + latency;
+        }
+        if t.start < held_since {
+            rejections.push(Rejection::StartBeforeArrival {
+                task: i,
+                arrival: held_since,
+                start: t.start,
+            });
+        }
+        claims.push(Claim {
+            port: false,
+            node: t.node,
+            start: t.start,
+            end: t.start + work,
+            task: i,
+        });
+    }
+
+    // Sweep every resource's timeline: claims sorted by (resource,
+    // start); a claim beginning before the running high-water mark of
+    // its resource means two holders at once.
+    claims.sort();
+    let mut idx = 0;
+    while idx < claims.len() {
+        let head = claims[idx];
+        let mut high = head.end;
+        let mut holder = head.task;
+        let mut j = idx + 1;
+        while j < claims.len() && claims[j].port == head.port && claims[j].node == head.node {
+            let c = claims[j];
+            if c.start < high {
+                rejections.push(if head.port {
+                    Rejection::PortBusy { node: head.node, holder, claimer: c.task }
+                } else {
+                    Rejection::ExecutorBusy { node: head.node, holder, claimer: c.task }
+                });
+            }
+            if c.end > high {
+                high = c.end;
+                holder = c.task;
+            }
+            j += 1;
+        }
+        idx = j;
+    }
+
+    SimVerdict { rejections, makespan, tasks: n }
+}
+
+/// Re-addresses a chain schedule as a tree schedule on
+/// [`Tree::from_chain`]'s numbering (node id = processor index).
+pub fn embed_chain(schedule: &ChainSchedule) -> TreeSchedule {
+    TreeSchedule::new(
+        schedule
+            .tasks()
+            .iter()
+            .map(|t| TreeTask::new(t.proc, t.start, t.comms.clone(), t.work))
+            .collect(),
+    )
+}
+
+/// Re-addresses a spider schedule as a tree schedule on
+/// [`Tree::from_spider`]'s numbering (legs laid out one after another).
+pub fn embed_spider(spider: &Spider, schedule: &SpiderSchedule) -> TreeSchedule {
+    let mut offsets = Vec::with_capacity(spider.num_legs());
+    let mut total = 0usize;
+    for leg in spider.legs() {
+        offsets.push(total);
+        total += leg.len();
+    }
+    TreeSchedule::new(
+        schedule
+            .tasks()
+            .iter()
+            .map(|t| {
+                let node = match offsets.get(t.node.leg) {
+                    Some(off) => off + t.node.depth,
+                    None => usize::MAX, // rejected as UnknownNode downstream
+                };
+                TreeTask::new(node, t.start, t.comms.clone(), t.work)
+            })
+            .collect(),
+    )
+}
+
+/// Builds the `(tree, schedule)` pair the simulator can replay for any
+/// witnessed solution: chains and spiders embed losslessly, cover
+/// witnesses replay on their recorded cover, tree witnesses replay
+/// as-is. `None` for unwitnessed solutions (nothing to simulate).
+pub fn tree_witness(platform: &Platform, solution: &Solution) -> Option<(Tree, TreeSchedule)> {
+    match solution.schedule()? {
+        ScheduleRepr::Chain(s) => {
+            let chain = platform.as_chain()?;
+            Some((Tree::from_chain(chain), embed_chain(s)))
+        }
+        ScheduleRepr::Spider(s) => {
+            let spider = match solution.sub_platform() {
+                Some(cover) => cover.clone(),
+                None => platform.to_spider()?,
+            };
+            Some((Tree::from_spider(&spider), embed_spider(&spider, s)))
+        }
+        ScheduleRepr::Tree(s) => Some((platform.to_tree(), s.clone())),
+    }
+}
+
+/// Replays a solution's witness against its instance. `None` when the
+/// solution carries no schedule (relaxations and bare makespans).
+pub fn simulate_solution(instance: &Instance, solution: &Solution) -> Option<SimVerdict> {
+    let (tree, schedule) = tree_witness(&instance.platform, solution)?;
+    Some(simulate(&tree, &schedule))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mst_platform::{Chain, NodeId};
+    use mst_schedule::{CommVector, SpiderTask, TaskAssignment};
+
+    fn cv(times: &[Time]) -> CommVector {
+        CommVector::new(times.to_vec())
+    }
+
+    fn tt(node: usize, start: Time, times: &[Time], work: Time) -> TreeTask {
+        TreeTask::new(node, start, cv(times), work)
+    }
+
+    /// master -> 1 -> {2, 3} with (c, w) = (1,2), (2,3), (1,1).
+    fn fork_tree() -> Tree {
+        Tree::from_triples(&[(0, 1, 2), (1, 2, 3), (1, 1, 1)]).unwrap()
+    }
+
+    #[test]
+    fn accepts_known_feasible_tree_schedule() {
+        let s =
+            TreeSchedule::new(vec![tt(2, 3, &[0, 1], 3), tt(3, 4, &[1, 3], 1), tt(1, 3, &[2], 2)]);
+        let v = simulate(&fork_tree(), &s);
+        assert!(v.accepted(), "{:?}", v.rejections);
+        assert_eq!(v.makespan, 6);
+        assert_eq!(v.tasks, 3);
+    }
+
+    #[test]
+    fn accepts_chain_figure2_embedding() {
+        let chain = Chain::paper_figure2();
+        let s = ChainSchedule::new(vec![
+            TaskAssignment::new(1, 2, cv(&[0]), 3),
+            TaskAssignment::new(1, 5, cv(&[2]), 3),
+            TaskAssignment::new(2, 9, cv(&[4, 6]), 5),
+            TaskAssignment::new(1, 8, cv(&[6]), 3),
+            TaskAssignment::new(1, 11, cv(&[9]), 3),
+        ]);
+        let v = simulate(&Tree::from_chain(&chain), &embed_chain(&s));
+        assert!(v.accepted(), "{:?}", v.rejections);
+        assert_eq!(v.makespan, 14);
+    }
+
+    #[test]
+    fn rejects_master_port_overlap_on_spider() {
+        let spider = Spider::from_legs(&[&[(2, 3)], &[(3, 4)]]).unwrap();
+        let s = SpiderSchedule::new(vec![
+            SpiderTask::new(NodeId { leg: 0, depth: 1 }, 2, cv(&[0]), 3),
+            SpiderTask::new(NodeId { leg: 1, depth: 1 }, 4, cv(&[1]), 4),
+        ]);
+        let v = simulate(&Tree::from_spider(&spider), &embed_spider(&spider, &s));
+        assert!(v.rejections.iter().any(|r| matches!(r, Rejection::PortBusy { node: 0, .. })));
+    }
+
+    #[test]
+    fn accepts_serialized_spider_emissions() {
+        let spider = Spider::from_legs(&[&[(2, 3)], &[(3, 4)]]).unwrap();
+        let s = SpiderSchedule::new(vec![
+            SpiderTask::new(NodeId { leg: 0, depth: 1 }, 2, cv(&[0]), 3),
+            SpiderTask::new(NodeId { leg: 1, depth: 1 }, 5, cv(&[2]), 4),
+        ]);
+        let v = simulate(&Tree::from_spider(&spider), &embed_spider(&spider, &s));
+        assert!(v.accepted(), "{:?}", v.rejections);
+    }
+
+    #[test]
+    fn rejects_interior_port_overlap() {
+        let s = TreeSchedule::new(vec![tt(2, 5, &[0, 3], 3), tt(3, 5, &[1, 3], 1)]);
+        let v = simulate(&fork_tree(), &s);
+        assert!(v.rejections.iter().any(|r| matches!(r, Rejection::PortBusy { node: 1, .. })));
+    }
+
+    #[test]
+    fn rejects_route_mismatch_and_unknown_node() {
+        let v = simulate(&fork_tree(), &TreeSchedule::new(vec![tt(2, 5, &[0], 3)]));
+        assert_eq!(v.rejections, vec![Rejection::RouteMismatch { task: 1, expected: 2, got: 1 }]);
+        let v = simulate(&fork_tree(), &TreeSchedule::new(vec![tt(9, 5, &[0], 3)]));
+        assert_eq!(v.rejections, vec![Rejection::UnknownNode { task: 1, node: 9 }]);
+    }
+
+    #[test]
+    fn rejects_causality_violations() {
+        // Re-emitted at hop 2 (emission 0) before arriving at node 1 (time 1).
+        let v = simulate(&fork_tree(), &TreeSchedule::new(vec![tt(2, 9, &[0, 0], 3)]));
+        assert!(v.rejections.iter().any(|r| matches!(r, Rejection::LateHop { hop: 2, .. })));
+        // Starts before arrival (arrives 1 + 2 = 3, starts at 2).
+        let v = simulate(&fork_tree(), &TreeSchedule::new(vec![tt(2, 2, &[0, 1], 3)]));
+        assert!(v
+            .rejections
+            .iter()
+            .any(|r| matches!(r, Rejection::StartBeforeArrival { start: 2, .. })));
+    }
+
+    #[test]
+    fn rejects_executor_and_link_overlaps() {
+        // Two executions on node 1 at overlapping times.
+        let s = TreeSchedule::new(vec![tt(1, 3, &[0], 2), tt(1, 4, &[1], 2)]);
+        let v = simulate(&fork_tree(), &s);
+        assert!(v.rejections.iter().any(|r| matches!(r, Rejection::ExecutorBusy { node: 1, .. })));
+        // Same link used twice, overlapping: port 0 double-booked.
+        let tree = Tree::from_triples(&[(0, 3, 1)]).unwrap();
+        let s = TreeSchedule::new(vec![tt(1, 3, &[0], 1), tt(1, 7, &[1], 1)]);
+        let v = simulate(&tree, &s);
+        assert!(v.rejections.iter().any(|r| matches!(r, Rejection::PortBusy { node: 0, .. })));
+    }
+
+    #[test]
+    fn rejects_work_mismatch_and_negative_emission() {
+        let v = simulate(&fork_tree(), &TreeSchedule::new(vec![tt(1, 3, &[-1], 99)]));
+        assert!(v.rejections.iter().any(|r| matches!(r, Rejection::WorkMismatch { .. })));
+        assert!(v.rejections.iter().any(|r| matches!(r, Rejection::NegativeTime { .. })));
+    }
+
+    #[test]
+    fn boundary_touching_claims_are_accepted() {
+        // Emissions exactly c apart, executions exactly w apart.
+        let tree = Tree::from_triples(&[(0, 2, 3)]).unwrap();
+        let s = TreeSchedule::new(vec![tt(1, 2, &[0], 3), tt(1, 5, &[2], 3)]);
+        let v = simulate(&tree, &s);
+        assert!(v.accepted(), "{:?}", v.rejections);
+        assert_eq!(v.makespan, 8);
+    }
+
+    #[test]
+    fn empty_schedule_is_accepted() {
+        let v = simulate(&fork_tree(), &TreeSchedule::empty());
+        assert!(v.accepted());
+        assert_eq!(v.makespan, 0);
+    }
+
+    #[test]
+    fn rejection_display_names_the_resource() {
+        let out = Rejection::PortBusy { node: 0, holder: 1, claimer: 2 }.to_string();
+        assert!(out.contains("node 0"), "{out}");
+    }
+}

@@ -11,7 +11,10 @@
 //! * the **fork-graph** substrate of Beaumont et al. (IPDPS 2002),
 //! * the **spider** algorithm combining both (optimal, polynomial),
 //! * exhaustive and heuristic **baselines**, a discrete-event **simulator**
-//!   and a **tree-covering** extension.
+//!   and a **tree-covering** extension,
+//! * a fail-closed **verification gate** — an independent reference
+//!   simulator, a bounded model checker and a differential fuzzer
+//!   ([`mst_verify`], re-exported as [`verify`]).
 //!
 //! Since the unified-API redesign, the primary public surface is
 //! [`mst_api`] (re-exported as [`api`]): any topology, any algorithm,
@@ -40,6 +43,8 @@
 //! assert_eq!(schedule.makespan(), 14);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use mst_api as api;
 pub use mst_baselines as baselines;
 pub use mst_core as core_algorithm;
@@ -51,6 +56,7 @@ pub use mst_sim as sim;
 pub use mst_spider as spider;
 pub use mst_store as store;
 pub use mst_tree as tree;
+pub use mst_verify as verify;
 
 /// Convenient glob import bringing the most common items into scope.
 ///
