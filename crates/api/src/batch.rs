@@ -88,7 +88,16 @@ impl Batch {
     /// order.
     pub fn solve_all(&self, instances: &[Instance]) -> Vec<Result<Solution, SolveError>> {
         match self.registry.resolve(&self.solver) {
-            Ok(solver) => self.pool.run(instances, |instance| solver.solve(instance)),
+            Ok(solver) => {
+                // One map lookup per sweep; each sample records lock-free.
+                let hist = mst_obs::kernel_hist(mst_obs::Kernel::Solve, &self.solver);
+                self.pool.run(instances, |instance| {
+                    let start = std::time::Instant::now();
+                    let result = solver.solve(instance);
+                    hist.record(start.elapsed().as_micros() as u64);
+                    result
+                })
+            }
             Err(err) => instances.iter().map(|_| Err(err.clone())).collect(),
         }
     }
@@ -101,7 +110,13 @@ impl Batch {
     ) -> Vec<Result<Solution, SolveError>> {
         match self.registry.resolve(&self.solver) {
             Ok(solver) => {
-                self.pool.run(instances, |instance| solver.solve_by_deadline(instance, deadline))
+                let hist = mst_obs::kernel_hist(mst_obs::Kernel::Probe, &self.solver);
+                self.pool.run(instances, |instance| {
+                    let start = std::time::Instant::now();
+                    let result = solver.solve_by_deadline(instance, deadline);
+                    hist.record(start.elapsed().as_micros() as u64);
+                    result
+                })
             }
             Err(err) => instances.iter().map(|_| Err(err.clone())).collect(),
         }
@@ -120,12 +135,23 @@ impl Batch {
         cancel: &CancelToken,
     ) -> Vec<Result<Solution, SolveError>> {
         match self.registry.resolve(&self.solver) {
-            Ok(solver) => self
-                .pool
-                .run_cancellable(instances, |instance| solver.solve(instance), cancel)
-                .into_iter()
-                .map(|slot| slot.unwrap_or(Err(SolveError::Cancelled)))
-                .collect(),
+            Ok(solver) => {
+                let hist = mst_obs::kernel_hist(mst_obs::Kernel::Solve, &self.solver);
+                self.pool
+                    .run_cancellable(
+                        instances,
+                        |instance| {
+                            let start = std::time::Instant::now();
+                            let result = solver.solve(instance);
+                            hist.record(start.elapsed().as_micros() as u64);
+                            result
+                        },
+                        cancel,
+                    )
+                    .into_iter()
+                    .map(|slot| slot.unwrap_or(Err(SolveError::Cancelled)))
+                    .collect()
+            }
             Err(err) => instances.iter().map(|_| Err(err.clone())).collect(),
         }
     }
@@ -139,16 +165,23 @@ impl Batch {
         cancel: &CancelToken,
     ) -> Vec<Result<Solution, SolveError>> {
         match self.registry.resolve(&self.solver) {
-            Ok(solver) => self
-                .pool
-                .run_cancellable(
-                    instances,
-                    |instance| solver.solve_by_deadline(instance, deadline),
-                    cancel,
-                )
-                .into_iter()
-                .map(|slot| slot.unwrap_or(Err(SolveError::Cancelled)))
-                .collect(),
+            Ok(solver) => {
+                let hist = mst_obs::kernel_hist(mst_obs::Kernel::Probe, &self.solver);
+                self.pool
+                    .run_cancellable(
+                        instances,
+                        |instance| {
+                            let start = std::time::Instant::now();
+                            let result = solver.solve_by_deadline(instance, deadline);
+                            hist.record(start.elapsed().as_micros() as u64);
+                            result
+                        },
+                        cancel,
+                    )
+                    .into_iter()
+                    .map(|slot| slot.unwrap_or(Err(SolveError::Cancelled)))
+                    .collect()
+            }
             Err(err) => instances.iter().map(|_| Err(err.clone())).collect(),
         }
     }
@@ -166,19 +199,27 @@ impl Batch {
         cancel: &CancelToken,
     ) -> Vec<Result<Solution, SolveError>> {
         match self.registry.resolve(&self.solver) {
-            Ok(solver) => self
-                .pool
-                .run_cancellable(
-                    jobs,
-                    |(instance, deadline)| match deadline {
-                        Some(d) => solver.solve_by_deadline(instance, *d),
-                        None => solver.solve(instance),
-                    },
-                    cancel,
-                )
-                .into_iter()
-                .map(|slot| slot.unwrap_or(Err(SolveError::Cancelled)))
-                .collect(),
+            Ok(solver) => {
+                let solve_hist = mst_obs::kernel_hist(mst_obs::Kernel::Solve, &self.solver);
+                let probe_hist = mst_obs::kernel_hist(mst_obs::Kernel::Probe, &self.solver);
+                self.pool
+                    .run_cancellable(
+                        jobs,
+                        |(instance, deadline)| {
+                            let start = std::time::Instant::now();
+                            let (result, hist) = match deadline {
+                                Some(d) => (solver.solve_by_deadline(instance, *d), &probe_hist),
+                                None => (solver.solve(instance), &solve_hist),
+                            };
+                            hist.record(start.elapsed().as_micros() as u64);
+                            result
+                        },
+                        cancel,
+                    )
+                    .into_iter()
+                    .map(|slot| slot.unwrap_or(Err(SolveError::Cancelled)))
+                    .collect()
+            }
             Err(err) => jobs.iter().map(|_| Err(err.clone())).collect(),
         }
     }

@@ -205,15 +205,25 @@ pub fn solve_through(
     instance: &Instance,
     deadline: Option<Time>,
 ) -> Result<CachedSolve, SolveError> {
+    let cache_span = mst_obs::span(mst_obs::Stage::Cache);
     let canon = CanonicalInstance::of(instance, solver, deadline);
     let key = CacheKey::of(&canon, solver);
     if let Some(hit) = cache.get(&key) {
+        mst_obs::note_cached(true);
         return Ok(CachedSolve { solution: canon.restore(&hit), cache_hit: true });
     }
+    drop(cache_span);
+    mst_obs::note_cached(false);
+    let kernel =
+        if canon.deadline().is_some() { mst_obs::Kernel::Probe } else { mst_obs::Kernel::Solve };
+    let solve_span = mst_obs::span(mst_obs::Stage::Solve);
+    let solve_start = std::time::Instant::now();
     let solved = match canon.deadline() {
         Some(d) => registry.solve_by_deadline(solver, canon.instance(), d)?,
         None => registry.solve(solver, canon.instance())?,
     };
+    mst_obs::kernel_observe(kernel, solver, solve_start.elapsed().as_micros() as u64);
+    drop(solve_span);
     cache.insert(key, solved.clone());
     Ok(CachedSolve { solution: canon.restore(&solved), cache_hit: false })
 }

@@ -20,6 +20,11 @@
 //!   re-solve only the surviving suffix through the solution cache)
 //!   against solving the degraded instance from scratch; reported as
 //!   the speedup ratio, guarded so repair must stay faster;
+//! * **observability overhead** — the full per-request `mst-obs` span
+//!   lifecycle (trace allocation, six stage spans, one kernel histogram
+//!   sample, the finish record), nanoseconds per request and as a
+//!   fraction of the committed `BENCH_serve.json` median request time,
+//!   guarded at 5%;
 //! * **fork expansion** — one `max_tasks_fork_by_deadline` selection on
 //!   a 16-slave star (the inner loop of every deadline sweep), reported
 //!   as nanoseconds per op;
@@ -247,6 +252,57 @@ fn main() {
          (repair {repair_ns:.0} ns/op vs re-solve {resolve_ns:.0} ns/op)"
     );
 
+    // --- Observability overhead: the full per-request span lifecycle. --
+    // One serve request costs a trace allocation, six stage spans, one
+    // kernel histogram sample and the finish record. Timed here as a
+    // tight loop and expressed as a fraction of the committed
+    // `BENCH_serve.json` median request time — the tracing tax on a
+    // served request must stay within the 5% budget the baseline gates
+    // allow, independent of how noisy this box is.
+    let obs_iters = expansion_iters * 10;
+    let secs = median_secs(runs, || {
+        for _ in 0..obs_iters {
+            let trace = mst_obs::begin_trace();
+            let scope = mst_obs::enter_trace(trace);
+            for stage in [
+                mst_obs::Stage::Parse,
+                mst_obs::Stage::Queue,
+                mst_obs::Stage::Admit,
+                mst_obs::Stage::Cache,
+                mst_obs::Stage::Solve,
+                mst_obs::Stage::Write,
+            ] {
+                drop(black_box(mst_obs::span(stage)));
+            }
+            mst_obs::kernel_observe(mst_obs::Kernel::Solve, "optimal", 42);
+            drop(scope);
+            mst_obs::finish_trace(mst_obs::TraceMeta {
+                id: trace,
+                route: "/solve".to_string(),
+                status: 200,
+                start_ns: 0,
+                total_ns: 1,
+                notes: mst_obs::take_notes(),
+            });
+        }
+    });
+    let obs_ns = secs * 1e9 / obs_iters as f64;
+    // Denominator: the committed serve baseline's median request time
+    // (1 ms when the baseline is absent — still far above the real
+    // cost, so the guard cannot silently vanish).
+    let serve_p50_ns =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json"))
+            .ok()
+            .and_then(|text| Json::parse(&text).ok())
+            .and_then(|baseline| baseline.get("p50_ms").and_then(Json::as_f64))
+            .map_or(1e6, |p50_ms| p50_ms * 1e6);
+    let obs_overhead_frac = obs_ns / serve_p50_ns;
+    assert!(
+        obs_overhead_frac <= 0.05,
+        "the span lifecycle must cost at most 5% of the baseline request time \
+         (obs {obs_ns:.0} ns/request vs p50 {serve_p50_ns:.0} ns)"
+    );
+
     // --- Fork expansion + selection: the deadline-sweep inner loop. ----
     let fork = GeneratorConfig::new(HeterogeneityProfile::ALL[0], 11).fork(16);
     let n = 256usize;
@@ -268,7 +324,7 @@ fn main() {
     let search_ns = secs * 1e9 / search_iters as f64;
 
     let json = format!(
-        "{{\n  \"instances\": {instances_n},\n  \"solve_all_instances_per_sec\": {solve_throughput:.0},\n  \"solve_all_by_deadline_instances_per_sec\": {deadline_throughput:.0},\n  \"tree_exact_instances\": {exact_n},\n  \"tree_exact_instances_per_sec\": {exact_throughput:.0},\n  \"cached_sweep_instances_per_sec\": {cached_throughput:.0},\n  \"repeat_sweep_uncached_instances_per_sec\": {uncached_throughput:.0},\n  \"repair_ns_per_op\": {repair_ns:.0},\n  \"resolve_ns_per_op\": {resolve_ns:.0},\n  \"repair_vs_resolve_speedup\": {repair_speedup:.2},\n  \"fork_selection_ns_per_op\": {expansion_ns:.0},\n  \"schedule_fork_ns_per_op\": {search_ns:.0}\n}}\n"
+        "{{\n  \"instances\": {instances_n},\n  \"solve_all_instances_per_sec\": {solve_throughput:.0},\n  \"solve_all_by_deadline_instances_per_sec\": {deadline_throughput:.0},\n  \"tree_exact_instances\": {exact_n},\n  \"tree_exact_instances_per_sec\": {exact_throughput:.0},\n  \"cached_sweep_instances_per_sec\": {cached_throughput:.0},\n  \"repeat_sweep_uncached_instances_per_sec\": {uncached_throughput:.0},\n  \"repair_ns_per_op\": {repair_ns:.0},\n  \"resolve_ns_per_op\": {resolve_ns:.0},\n  \"repair_vs_resolve_speedup\": {repair_speedup:.2},\n  \"obs_span_lifecycle_ns_per_request\": {obs_ns:.0},\n  \"obs_overhead_frac_of_request\": {obs_overhead_frac:.4},\n  \"fork_selection_ns_per_op\": {expansion_ns:.0},\n  \"schedule_fork_ns_per_op\": {search_ns:.0}\n}}\n"
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     print!("{json}");

@@ -37,6 +37,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "batch" => cmd_batch(args),
         "serve" => cmd_serve(args),
         "loadgen" => crate::loadgen::cmd_loadgen(args),
+        "top" => crate::top::cmd_top(args),
         "chaos" => cmd_chaos(args),
         "check-model" => cmd_check_model(args),
         "fuzz" => cmd_fuzz(args),
@@ -81,14 +82,27 @@ USAGE:
     mst loadgen [--addr HOST:PORT] [--tenants N] [--rate R] [--seconds S]
                 [--seed S] [--out FILE] [--check BASELINE]
                 [--tolerance F] [--p99-limit MS]
+                [--solvers-config FILE] [--server-metrics]
         Open-loop capacity probe against a live mst serve: a seeded
         Poisson arrival schedule of mixed solve/batch/session traffic
         over N keep-alive connections, latencies measured from each
         request's *scheduled* arrival (no coordinated omission).
-        Prints a flat JSON report (throughput, p50/p99/p999). With
-        --check it becomes a gate: non-zero exit on any error, on
-        throughput below baseline*(1-tolerance), or on p99 over the
-        limit.
+        Prints a flat JSON report (throughput, p50/p99/p999); a live
+        one-line progress ticker shows on stderr when it is a
+        terminal. --solvers-config authenticates the workers with the
+        named tenants' real X-Api-Token values from the same config
+        mst serve loads. --server-metrics scrapes the target's
+        Prometheus exposition after the run and adds server-side
+        /solve quantiles plus client-overhead attribution to the
+        report. With --check it becomes a gate: non-zero exit on any
+        error, on throughput below baseline*(1-tolerance), or on p99
+        over the limit.
+    mst top [--addr HOST:PORT] [--interval-ms N] [--iterations K]
+        Live top(1)-style view over a serve instance's /metrics:
+        per-route, per-solver-kernel and per-tenant latency summaries
+        (count, p50/p99/p999/max) refreshed every interval. Redraws in
+        place at a terminal; redirected output prints one plain frame
+        (or K frames with --iterations).
     mst chaos [--addr HOST:PORT] [--seed S] [--minutes M]
         Drive a live mst serve instance through a seeded fault plan:
         session repairs, dropped connections mid-frame, poison-pill

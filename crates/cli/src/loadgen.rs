@@ -31,12 +31,28 @@
 //! when p99 exceeds `--p99-limit` milliseconds — the CI smoke boots a
 //! server, runs a short fixed-seed load, and compares against the
 //! committed `BENCH_serve.json`.
+//!
+//! Three optional layers on top of the base run:
+//!
+//! * `--solvers-config <file>` parses the same tenant config `mst
+//!   serve` loads and spreads the workers across the named tenants'
+//!   real `X-Api-Token` values, so per-tenant admission, quotas, and
+//!   the per-tenant latency histograms all see authenticated traffic.
+//! * `--server-metrics` scrapes `GET /metrics?format=prometheus` after
+//!   the run and attributes latency: the report gains the server-side
+//!   `/solve` p50/p99 (from the in-server `mst-obs` histograms) next
+//!   to the client-observed quantiles, so "is the time in the server
+//!   or in the client/network/queueing?" is answered by one artifact.
+//! * While the run is in flight a one-line status ticker
+//!   (`sent/ok/errors`) redraws on stderr — only when stderr is a real
+//!   terminal, so piped CI logs stay clean.
 
 use crate::args::Args;
 use mst_api::wire::Json;
 use std::fmt::Write as _;
-use std::io::{Read as _, Write as _};
+use std::io::{IsTerminal as _, Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -151,11 +167,37 @@ pub struct LoadReport {
     pub p999_ms: f64,
     /// Worst observed latency, milliseconds.
     pub max_ms: f64,
+    /// Server-side attribution (`--server-metrics`); `None` when the
+    /// run did not scrape the target's `/metrics` endpoint.
+    pub server: Option<ServerSample>,
+}
+
+/// Server-side latency attribution, scraped from the target's
+/// `GET /metrics?format=prometheus` exposition after the run.
+///
+/// The server quantiles come from the in-process `mst-obs` route
+/// histogram for `/solve` (measured parse-to-write inside the server),
+/// while the client quantiles in [`LoadReport`] are measured from the
+/// *scheduled* arrival. The gap between them is connect/queueing/
+/// network/client time — the attribution the CI artifact records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerSample {
+    /// Server-side `/solve` median latency, milliseconds.
+    pub solve_p50_ms: f64,
+    /// Server-side `/solve` 99th-percentile latency, milliseconds.
+    pub solve_p99_ms: f64,
+    /// `mst_requests_total` at scrape time (includes the scrape itself).
+    pub requests_total: u64,
+    /// `mst_obs_dropped_spans_total` at scrape time — non-zero means
+    /// the span rings overflowed and some traces are incomplete.
+    pub dropped_spans: u64,
 }
 
 impl LoadReport {
     /// Renders the flat `{"key": number}` JSON document (the
-    /// `BENCH_serve.json` format; parse back with [`Json`]).
+    /// `BENCH_serve.json` format; parse back with [`Json`]). The
+    /// `server_*` attribution keys appear only on `--server-metrics`
+    /// runs, so committed baselines stay minimal.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         writeln!(out, "{{").unwrap();
@@ -170,9 +212,84 @@ impl LoadReport {
         writeln!(out, "  \"p50_ms\": {:.3},", self.p50_ms).unwrap();
         writeln!(out, "  \"p99_ms\": {:.3},", self.p99_ms).unwrap();
         writeln!(out, "  \"p999_ms\": {:.3},", self.p999_ms).unwrap();
-        writeln!(out, "  \"max_ms\": {:.3}", self.max_ms).unwrap();
+        match &self.server {
+            None => writeln!(out, "  \"max_ms\": {:.3}", self.max_ms).unwrap(),
+            Some(server) => {
+                writeln!(out, "  \"max_ms\": {:.3},", self.max_ms).unwrap();
+                writeln!(out, "  \"server_solve_p50_ms\": {:.3},", server.solve_p50_ms).unwrap();
+                writeln!(out, "  \"server_solve_p99_ms\": {:.3},", server.solve_p99_ms).unwrap();
+                let overhead_p50 = (self.p50_ms - server.solve_p50_ms).max(0.0);
+                let overhead_p99 = (self.p99_ms - server.solve_p99_ms).max(0.0);
+                writeln!(out, "  \"client_overhead_p50_ms\": {overhead_p50:.3},").unwrap();
+                writeln!(out, "  \"client_overhead_p99_ms\": {overhead_p99:.3},").unwrap();
+                writeln!(out, "  \"server_requests_total\": {},", server.requests_total).unwrap();
+                writeln!(out, "  \"server_dropped_spans\": {}", server.dropped_spans).unwrap();
+            }
+        }
         writeln!(out, "}}").unwrap();
         out
+    }
+}
+
+/// The value of one Prometheus sample line: the first line whose name
+/// is `metric` and whose label set contains every `(key, value)` pair.
+fn prom_value(text: &str, metric: &str, labels: &[(&str, &str)]) -> Option<f64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(metric)?;
+        // The name must end exactly here: at a label block or the
+        // value separator (so `mst_requests_total` never matches
+        // `mst_requests_total_sum`-style longer names).
+        if !rest.starts_with('{') && !rest.starts_with(' ') {
+            return None;
+        }
+        let (label_part, value) = rest.rsplit_once(' ')?;
+        let matches_all = labels.iter().all(|(k, v)| label_part.contains(&format!("{k}=\"{v}\"")));
+        if !matches_all {
+            return None;
+        }
+        value.trim().parse().ok()
+    })
+}
+
+/// Fetches the raw Prometheus text exposition from a live server
+/// (shared by the attribution scrape and `mst top`).
+pub(crate) fn fetch_metrics_text(addr: &str) -> Result<String, String> {
+    let resolved: SocketAddr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr} resolves to nothing"))?;
+    let mut conn = TenantConn { addr: resolved, stream: None };
+    let raw = b"GET /metrics?format=prometheus HTTP/1.1\r\nHost: loadgen\r\n\r\n".to_vec();
+    let (status, body) =
+        conn.exchange(&raw).map_err(|e| format!("metrics scrape of {addr} failed: {e}"))?;
+    if !(200..300).contains(&status) {
+        return Err(format!("metrics scrape of {addr} answered {status}"));
+    }
+    Ok(String::from_utf8_lossy(&body).to_string())
+}
+
+/// Scrapes the target's Prometheus exposition and extracts the
+/// server-side `/solve` latency quantiles for the attribution report.
+pub fn fetch_server_sample(addr: &str) -> Result<ServerSample, String> {
+    let text = fetch_metrics_text(addr)?;
+    // Histogram quantiles are recorded in microseconds server-side.
+    let p50_us =
+        prom_value(&text, "mst_route_latency_us", &[("route", "/solve"), ("quantile", "0.5")]);
+    let p99_us =
+        prom_value(&text, "mst_route_latency_us", &[("route", "/solve"), ("quantile", "0.99")]);
+    match (p50_us, p99_us) {
+        (Some(p50), Some(p99)) => Ok(ServerSample {
+            solve_p50_ms: p50 / 1e3,
+            solve_p99_ms: p99 / 1e3,
+            requests_total: prom_value(&text, "mst_requests_total", &[]).unwrap_or(0.0) as u64,
+            dropped_spans: prom_value(&text, "mst_obs_dropped_spans_total", &[]).unwrap_or(0.0)
+                as u64,
+        }),
+        _ => Err(format!(
+            "metrics scrape of {addr} carries no /solve latency summary (did any /solve \
+             requests land?)"
+        )),
     }
 }
 
@@ -320,15 +437,23 @@ fn read_one_response(stream: &mut TcpStream) -> std::io::Result<(u16, Vec<u8>, b
     Ok((status, body, close))
 }
 
-/// Frames a keep-alive `POST` request.
-fn post(path: &str, body: &str) -> Vec<u8> {
-    format!("POST {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}", body.len())
-        .into_bytes()
+/// Frames a keep-alive `POST` request, with an `X-Api-Token` header
+/// when the worker impersonates a named tenant.
+fn post(path: &str, body: &str, token: Option<&str>) -> Vec<u8> {
+    let auth = match token {
+        Some(token) => format!("X-Api-Token: {token}\r\n"),
+        None => String::new(),
+    };
+    format!(
+        "POST {path} HTTP/1.1\r\nHost: loadgen\r\n{auth}Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
 }
 
 /// The first (or only) request of one op. `salt` varies the solve
 /// sizes deterministically across the schedule.
-fn request_bytes(op: Op, salt: u64) -> Vec<u8> {
+fn request_bytes(op: Op, salt: u64, token: Option<&str>) -> Vec<u8> {
     match op {
         Op::Solve => {
             // Vary the task count so the solve path sees distinct work.
@@ -336,35 +461,63 @@ fn request_bytes(op: Op, salt: u64) -> Vec<u8> {
             post(
                 "/solve",
                 &format!("{{\"platform\": \"chain\\n2 3\\n3 5\\n\", \"tasks\": {tasks}}}"),
+                token,
             )
         }
         Op::Batch => post(
             "/batch",
             "{\"generate\": {\"kind\": \"chain\", \"count\": 16, \"size\": 3, \"tasks\": 5}}",
+            token,
         ),
         Op::Session => post(
             "/session",
             "{\"op\": \"create\", \"platform\": \"chain\\n2 3\\n3 5\\n\", \"tasks\": 5}",
+            token,
         ),
     }
 }
 
 /// The close request for the `"session": N` id a create reply carried,
 /// so a session op never leaks a table slot.
-fn close_request(create_body: &[u8]) -> Option<Vec<u8>> {
+fn close_request(create_body: &[u8], token: Option<&str>) -> Option<Vec<u8>> {
     let body = std::str::from_utf8(create_body).ok()?;
     let id = Json::parse(body).ok()?.get("session")?.as_i64()?;
-    Some(post("/session", &format!("{{\"op\": \"close\", \"session\": {id}}}")))
+    Some(post("/session", &format!("{{\"op\": \"close\", \"session\": {id}}}"), token))
+}
+
+/// Live progress counters shared between the workers and the status
+/// ticker thread.
+#[derive(Debug, Default)]
+struct LiveCounters {
+    sent: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    done: AtomicBool,
+}
+
+/// Optional layers over the base [`run_load_with`] behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct LoadOptions {
+    /// `X-Api-Token` values distributed round-robin across the tenant
+    /// workers (from `--solvers-config`); empty means every request is
+    /// unauthenticated default-tenant traffic.
+    pub tokens: Vec<String>,
+    /// Redraw a one-line `sent/ok/errors` ticker on stderr during the
+    /// run. Callers gate this on stderr being a terminal.
+    pub live_status: bool,
 }
 
 /// Runs the schedule against `addr`: `tenants` workers, each owning a
-/// keep-alive connection and its own slice of the arrival schedule.
-pub fn run_load(
+/// keep-alive connection and its own slice of the arrival schedule,
+/// with the optional layers in [`LoadOptions`] (tenant tokens
+/// round-robined across workers, the live stderr status ticker).
+pub fn run_load_with(
     addr: &str,
     tenants: usize,
     rate: f64,
     seconds: f64,
     seed: u64,
+    options: &LoadOptions,
 ) -> Result<LoadReport, String> {
     let resolved: SocketAddr = addr
         .to_socket_addrs()
@@ -382,12 +535,38 @@ pub fn run_load(
         slices[i % tenants].push(*arrival);
     }
     let tally = Arc::new(Mutex::new(Tally::default()));
+    let live = Arc::new(LiveCounters::default());
+    let total = arrivals.len() as u64;
+    let ticker = options.live_status.then(|| {
+        let live = Arc::clone(&live);
+        std::thread::spawn(move || {
+            while !live.done.load(Ordering::Acquire) {
+                eprint!(
+                    "\r  loadgen: {}/{total} sent, {} ok, {} errors   ",
+                    live.sent.load(Ordering::Relaxed),
+                    live.ok.load(Ordering::Relaxed),
+                    live.errors.load(Ordering::Relaxed),
+                );
+                let _ = std::io::stderr().flush();
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            // Blank the ticker line so the report starts on a clean row.
+            eprint!("\r{:64}\r", "");
+            let _ = std::io::stderr().flush();
+        })
+    });
     let started = Instant::now();
     let start_at = started + Duration::from_millis(20); // workers align on one epoch
     let workers: Vec<_> = slices
         .into_iter()
-        .map(|slice| {
+        .enumerate()
+        .map(|(worker_idx, slice)| {
             let tally = Arc::clone(&tally);
+            let live = Arc::clone(&live);
+            // Worker i impersonates tenant token i mod N; no tokens
+            // means plain default-tenant traffic.
+            let token = (!options.tokens.is_empty())
+                .then(|| options.tokens[worker_idx % options.tokens.len()].clone());
             std::thread::spawn(move || {
                 let mut conn = TenantConn { addr: resolved, stream: None };
                 let mut local = Tally::default();
@@ -403,12 +582,15 @@ pub fn run_load(
                     // inside the one timed arrival, and the close
                     // targets the id the create just returned so no
                     // table slot leaks into later arrivals.
-                    let frame = request_bytes(arrival.op, arrival.offset_us);
+                    let frame = request_bytes(arrival.op, arrival.offset_us, token.as_deref());
+                    live.sent.fetch_add(1, Ordering::Relaxed);
                     let mut ok = true;
                     match conn.exchange(&frame) {
                         Ok((status, body)) if (200..300).contains(&status) => {
                             if arrival.op == Op::Session {
-                                match close_request(&body).map(|f| conn.exchange(&f)) {
+                                match close_request(&body, token.as_deref())
+                                    .map(|f| conn.exchange(&f))
+                                {
                                     Some(Ok((status, _))) if (200..300).contains(&status) => {}
                                     Some(Ok(_)) | None => {
                                         ok = false;
@@ -431,8 +613,11 @@ pub fn run_load(
                         }
                     }
                     if ok {
+                        live.ok.fetch_add(1, Ordering::Relaxed);
                         let latency = Instant::now().saturating_duration_since(scheduled);
                         local.latencies_us.push(latency.as_micros() as u64);
+                    } else {
+                        live.errors.fetch_add(1, Ordering::Relaxed);
                     }
                 }
                 let mut merged = tally.lock().unwrap_or_else(|e| e.into_inner());
@@ -446,6 +631,10 @@ pub fn run_load(
         worker.join().map_err(|_| "a loadgen worker panicked".to_string())?;
     }
     let elapsed = started.elapsed().as_secs_f64();
+    live.done.store(true, Ordering::Release);
+    if let Some(ticker) = ticker {
+        let _ = ticker.join();
+    }
     let mut tally = Arc::try_unwrap(tally)
         .map_err(|_| "tally still shared".to_string())?
         .into_inner()
@@ -466,6 +655,7 @@ pub fn run_load(
         p99_ms: percentile_us(&tally.latencies_us, 99.0) as f64 / 1e3,
         p999_ms: percentile_us(&tally.latencies_us, 99.9) as f64 / 1e3,
         max_ms: tally.latencies_us.last().copied().unwrap_or(0) as f64 / 1e3,
+        server: None,
     })
 }
 
@@ -514,7 +704,37 @@ pub fn cmd_loadgen(args: &Args) -> Result<String, String> {
         }
     };
 
-    let report = run_load(&addr, tenants, rate, seconds, seed)?;
+    let mut options = LoadOptions {
+        tokens: Vec::new(),
+        // Only a human at a terminal sees the ticker; piped CI logs
+        // and redirected output stay line-oriented.
+        live_status: std::io::stderr().is_terminal(),
+    };
+    if let Some(config_path) = args.opt("solvers-config") {
+        if config_path.is_empty() {
+            return Err("--solvers-config expects a file path".into());
+        }
+        let text = std::fs::read_to_string(config_path)
+            .map_err(|e| format!("cannot read {config_path}: {e}"))?;
+        let set =
+            mst_api::RegistrySet::parse(&text).map_err(|e| format!("config {config_path}: {e}"))?;
+        // Each named tenant's effective X-Api-Token (explicit `token =`
+        // or the tenant name), same resolution the server applies.
+        options.tokens = set
+            .tenants()
+            .map(|(name, _, limits)| limits.token.clone().unwrap_or_else(|| name.to_string()))
+            .collect();
+        if options.tokens.is_empty() {
+            return Err(format!(
+                "--solvers-config {config_path} defines no named tenants to authenticate as"
+            ));
+        }
+    }
+
+    let mut report = run_load_with(&addr, tenants, rate, seconds, seed, &options)?;
+    if args.flag("server-metrics") {
+        report.server = Some(fetch_server_sample(&addr)?);
+    }
     let json = report.to_json();
     if let Some(path) = args.opt("out") {
         if path.is_empty() {
@@ -549,6 +769,17 @@ pub fn cmd_loadgen(args: &Args) -> Result<String, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The base run: no tokens, no ticker.
+    fn run_load(
+        addr: &str,
+        tenants: usize,
+        rate: f64,
+        seconds: f64,
+        seed: u64,
+    ) -> Result<LoadReport, String> {
+        run_load_with(addr, tenants, rate, seconds, seed, &LoadOptions::default())
+    }
 
     #[test]
     fn arrival_schedules_are_seeded_and_dense() {
@@ -594,12 +825,66 @@ mod tests {
             p99_ms: 8.5,
             p999_ms: 12.0,
             max_ms: 15.75,
+            server: None,
         };
         let json = Json::parse(&report.to_json()).expect("report is valid JSON");
         assert_eq!(json.get("requests_sent").and_then(Json::as_i64), Some(250));
         assert_eq!(json.get("errors").and_then(Json::as_i64), Some(0));
         assert_eq!(json.get("throughput_per_sec").and_then(Json::as_f64), Some(49.8));
         assert_eq!(json.get("p99_ms").and_then(Json::as_f64), Some(8.5));
+        assert!(json.get("server_solve_p50_ms").is_none(), "no server keys without a scrape");
+
+        let attributed = LoadReport {
+            server: Some(ServerSample {
+                solve_p50_ms: 0.75,
+                solve_p99_ms: 6.0,
+                requests_total: 251,
+                dropped_spans: 0,
+            }),
+            ..report
+        };
+        let json = Json::parse(&attributed.to_json()).expect("attributed report is valid JSON");
+        assert_eq!(json.get("server_solve_p50_ms").and_then(Json::as_f64), Some(0.75));
+        assert_eq!(json.get("server_solve_p99_ms").and_then(Json::as_f64), Some(6.0));
+        // Client overhead = client quantile minus server quantile.
+        assert_eq!(json.get("client_overhead_p50_ms").and_then(Json::as_f64), Some(0.5));
+        assert_eq!(json.get("client_overhead_p99_ms").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(json.get("server_requests_total").and_then(Json::as_i64), Some(251));
+        assert_eq!(json.get("server_dropped_spans").and_then(Json::as_i64), Some(0));
+    }
+
+    #[test]
+    fn prom_value_matches_exact_names_and_label_subsets() {
+        let text = "mst_requests_total 42\n\
+                    mst_route_latency_us{route=\"/solve\",quantile=\"0.5\"} 750\n\
+                    mst_route_latency_us{route=\"/solve\",quantile=\"0.99\"} 6000\n\
+                    mst_route_latency_us{route=\"/batch\",quantile=\"0.5\"} 9000\n\
+                    mst_route_latency_us_sum{route=\"/solve\"} 123456\n";
+        assert_eq!(prom_value(text, "mst_requests_total", &[]), Some(42.0));
+        assert_eq!(
+            prom_value(text, "mst_route_latency_us", &[("route", "/solve"), ("quantile", "0.5")]),
+            Some(750.0)
+        );
+        assert_eq!(
+            prom_value(text, "mst_route_latency_us", &[("route", "/batch"), ("quantile", "0.5")]),
+            Some(9000.0)
+        );
+        // `_sum` is a longer metric name, not a label variant of the base.
+        assert_eq!(
+            prom_value(text, "mst_route_latency_us_sum", &[("route", "/solve")]),
+            Some(123456.0)
+        );
+        assert_eq!(prom_value(text, "mst_route_latency", &[]), None);
+        assert_eq!(prom_value(text, "mst_missing_total", &[]), None);
+    }
+
+    #[test]
+    fn post_frames_carry_the_tenant_token_only_when_given() {
+        let plain = String::from_utf8(post("/solve", "{}", None)).unwrap();
+        assert!(!plain.contains("X-Api-Token"), "{plain}");
+        let authed = String::from_utf8(post("/solve", "{}", Some("acme-key"))).unwrap();
+        assert!(authed.contains("X-Api-Token: acme-key\r\n"), "{authed}");
+        assert!(authed.ends_with("\r\n\r\n{}"), "{authed}");
     }
 
     #[test]
@@ -617,6 +902,7 @@ mod tests {
             p99_ms: 10.0,
             p999_ms: 20.0,
             max_ms: 30.0,
+            server: None,
         };
         let baseline = Json::parse(r#"{"throughput_per_sec": 50.0, "p99_ms": 9.0}"#).unwrap();
         assert!(gate_failures(&good, &baseline, 0.30, 1000.0).is_empty());
@@ -671,6 +957,12 @@ mod tests {
         assert_eq!(report.ok, report.sent, "{report:?}");
         assert!(report.p50_ms <= report.p99_ms && report.p99_ms <= report.max_ms, "{report:?}");
         assert!(report.throughput > 0.0, "{report:?}");
+
+        // The attribution scrape sees the traffic the run just sent.
+        let sample = fetch_server_sample(&addr.to_string()).expect("metrics scrape");
+        assert!(sample.requests_total > 0, "{sample:?}");
+        assert!(sample.solve_p50_ms <= sample.solve_p99_ms, "{sample:?}");
+        assert!(sample.solve_p99_ms > 0.0, "{sample:?}");
 
         handle.shutdown();
         runner.join().expect("server joins");

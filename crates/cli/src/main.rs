@@ -8,6 +8,7 @@ mod args;
 mod chaos;
 mod commands;
 mod loadgen;
+mod top;
 
 use args::Args;
 

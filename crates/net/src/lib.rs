@@ -54,7 +54,7 @@ pub mod slab;
 pub(crate) mod sys;
 pub mod timer;
 
-pub use poller::{Event, Interest, Poller, Token, Waker};
+pub use poller::{Event, Interest, PollStats, Poller, Token, Waker};
 pub use signal::{install_sigint_handler, sigint_received};
 pub use slab::Slab;
 pub use sys::raise_nofile_limit;

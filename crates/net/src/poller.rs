@@ -12,8 +12,9 @@
 use crate::sys;
 use std::io;
 use std::os::unix::io::RawFd;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Caller-owned cookie identifying a registered fd — typically a
 /// connection slab index.
@@ -76,18 +77,53 @@ pub struct Event {
     pub read_closed: bool,
 }
 
+/// Cumulative counters one [`Poller`] keeps about its own activity —
+/// how often the loop parks, for how long, and how many readiness
+/// events it has delivered. Reads are `Relaxed` snapshots (the
+/// counters are written by the loop thread only).
+#[derive(Debug, Default)]
+pub struct PollStats {
+    /// `wait` calls made.
+    pub polls: AtomicU64,
+    /// Total time spent parked inside `wait`, in microseconds.
+    pub wait_us: AtomicU64,
+    /// Readiness events delivered to the sink.
+    pub events: AtomicU64,
+}
+
+impl PollStats {
+    /// A `(polls, wait_us, events)` snapshot.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.polls.load(Ordering::Relaxed),
+            self.wait_us.load(Ordering::Relaxed),
+            self.events.load(Ordering::Relaxed),
+        )
+    }
+}
+
 /// An epoll instance plus a reusable event buffer.
 #[derive(Debug)]
 pub struct Poller {
     epfd: RawFd,
     events: Vec<sys::epoll_event>,
+    stats: Arc<PollStats>,
 }
 
 impl Poller {
     /// Creates the epoll instance. Fails with `Unsupported` off Linux.
     pub fn new() -> io::Result<Poller> {
         let epfd = sys::sys_epoll_create()?;
-        Ok(Poller { epfd, events: vec![sys::epoll_event { events: 0, u64: 0 }; 1024] })
+        Ok(Poller {
+            epfd,
+            events: vec![sys::epoll_event { events: 0, u64: 0 }; 1024],
+            stats: Arc::new(PollStats::default()),
+        })
+    }
+
+    /// A shared handle to this poller's activity counters.
+    pub fn stats(&self) -> Arc<PollStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Registers `fd` for `interest`, tagged with `token`.
@@ -119,7 +155,11 @@ impl Poller {
             Some(t) => i32::try_from(t.as_millis().clamp(1, i32::MAX as u128)).unwrap_or(i32::MAX),
             None => -1,
         };
+        let parked = Instant::now();
         let n = sys::sys_epoll_wait(self.epfd, &mut self.events, timeout_ms)?;
+        self.stats.polls.fetch_add(1, Ordering::Relaxed);
+        self.stats.wait_us.fetch_add(parked.elapsed().as_micros() as u64, Ordering::Relaxed);
+        self.stats.events.fetch_add(n as u64, Ordering::Relaxed);
         for ev in &self.events[..n] {
             let bits = ev.events;
             sink(Event {

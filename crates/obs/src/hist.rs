@@ -1,0 +1,297 @@
+//! Log-linear (HDR-style) latency histograms.
+//!
+//! Values (microseconds throughout the workspace) are bucketed into
+//! [`SUB`] linear sub-buckets per power of two: exact below `2*SUB`,
+//! and within a relative error of `1/SUB` (~3.1%) everywhere else.
+//! Recording is lock-free — three relaxed atomic adds and a
+//! `fetch_max` — so a histogram can be shared by every worker thread
+//! and scraped concurrently. [`Histogram::snapshot`] produces an
+//! internally consistent frozen copy ([`HistSnapshot`]): its `count`
+//! is recomputed from the copied buckets, so percentile extraction
+//! never chases a moving total. Snapshots merge losslessly
+//! ([`HistSnapshot::merge`]): bucketing is deterministic, so the merge
+//! of shard snapshots equals the histogram of the concatenated
+//! samples.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution bits: `2^SUB_BITS` linear sub-buckets per
+/// power of two.
+const SUB_BITS: u32 = 5;
+
+/// Linear sub-buckets per power of two (32): the quantization error
+/// bound is `1/SUB` of the value.
+pub const SUB: u64 = 1 << SUB_BITS;
+
+/// Total bucket count covering the full `u64` range.
+pub const BUCKETS: usize = ((64 - SUB_BITS + 1) * SUB as u32) as usize;
+
+/// The bucket a value falls into.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < 2 * SUB {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let shift = msb - SUB_BITS;
+    (u64::from(shift) * SUB + (value >> shift)) as usize
+}
+
+/// Inclusive lower bound of bucket `idx`.
+#[inline]
+pub fn bucket_low(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < 2 * SUB {
+        return idx;
+    }
+    let shift = (idx / SUB - 1) as u32;
+    (idx - u64::from(shift) * SUB) << shift
+}
+
+/// Inclusive upper bound of bucket `idx` (the value a percentile
+/// query reports for a rank landing in this bucket).
+#[inline]
+pub fn bucket_high(idx: usize) -> u64 {
+    let idx_u = idx as u64;
+    if idx_u < 2 * SUB {
+        return idx_u;
+    }
+    let shift = (idx_u / SUB - 1) as u32;
+    bucket_low(idx) + ((1u64 << shift) - 1)
+}
+
+/// A concurrent log-linear histogram of `u64` samples.
+pub struct Histogram {
+    counts: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &snap.count())
+            .field("sum", &snap.sum)
+            .field("max", &snap.max)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free; callable from any thread.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A frozen, internally consistent copy for percentile extraction
+    /// and merging.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let counts: Vec<u64> = self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        HistSnapshot {
+            counts,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen histogram: plain counters, mergeable, queryable.
+#[derive(Debug, Clone)]
+pub struct HistSnapshot {
+    counts: Vec<u64>,
+    /// Sum of all recorded samples.
+    pub sum: u64,
+    /// Largest recorded sample (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot::empty()
+    }
+}
+
+impl HistSnapshot {
+    /// A snapshot with no samples.
+    pub fn empty() -> HistSnapshot {
+        HistSnapshot { counts: vec![0; BUCKETS], sum: 0, max: 0 }
+    }
+
+    /// Number of recorded samples (recomputed from the buckets, so it
+    /// is always consistent with percentile walks).
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Adds every bucket of `other` into `self`. Because bucketing is
+    /// deterministic, merging shard snapshots is exactly the histogram
+    /// of the concatenated sample streams.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        // Wrapping, matching the recorder's atomic fetch_add: a merge
+        // of snapshots must equal one histogram fed both streams even
+        // when the sums saturate the counter.
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Nearest-rank percentile over the exact bucket counts: `q` in
+    /// `(0, 1]` (e.g. `0.99`). Returns the inclusive upper bound of
+    /// the bucket holding the rank, clamped to the observed maximum —
+    /// exact for values below `2*SUB`, within one bucket width above.
+    /// Returns 0 on an empty snapshot.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_high(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The raw bucket counts (index → count), for exposition formats
+    /// that want cumulative buckets.
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_ordered() {
+        let mut prev_high = None;
+        for idx in 0..BUCKETS {
+            let (lo, hi) = (bucket_low(idx), bucket_high(idx));
+            assert!(lo <= hi, "bucket {idx}: {lo} > {hi}");
+            if let Some(p) = prev_high {
+                assert_eq!(lo, p + 1, "gap before bucket {idx}");
+            }
+            prev_high = Some(hi);
+        }
+        assert_eq!(prev_high, Some(u64::MAX));
+    }
+
+    #[test]
+    fn every_value_lands_in_its_own_bucket() {
+        for v in (0..4096).chain([u64::MAX, u64::MAX / 2, 1 << 40, (1 << 40) + 12345]) {
+            let idx = bucket_index(v);
+            assert!(bucket_low(idx) <= v && v <= bucket_high(idx), "value {v} bucket {idx}");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact_and_large_values_bounded() {
+        let h = Histogram::new();
+        for v in [0, 1, 17, 63, 100, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 7);
+        assert_eq!(s.sum, 1 + 17 + 63 + 100 + 1000 + 1_000_000);
+        assert_eq!(s.max, 1_000_000);
+        // p50 over 7 samples is rank 4 → value 63 (exact: < 2*SUB).
+        assert_eq!(s.percentile(0.5), 63);
+        // The top percentile is clamped to the true max.
+        assert_eq!(s.percentile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn empty_snapshot_is_quiet() {
+        let s = HistSnapshot::empty();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.percentile(0.99), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in 0..500u64 {
+            let v = v * v % 7919;
+            if v % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        let whole = all.snapshot();
+        assert_eq!(merged.buckets(), whole.buckets());
+        assert_eq!(merged.sum, whole.sum);
+        assert_eq!(merged.max, whole.max);
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(merged.percentile(q), whole.percentile(q));
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1000 + i % 997);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count(), 40_000);
+    }
+}

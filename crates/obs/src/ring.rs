@@ -1,0 +1,253 @@
+//! Per-thread fixed-capacity lock-free span rings.
+//!
+//! Every recording thread owns one [`Ring`]: a fixed array of seqlock
+//! slots plus a monotonically increasing head. The owning thread is
+//! the only writer, so a push is wait-free — claim the next position,
+//! mark the slot odd, store the four event words, mark it even — and
+//! allocates nothing. The ring **overwrites oldest**: a collector
+//! that falls more than one capacity behind simply loses the overrun
+//! (counted in [`Ring::dropped`]), never the producer.
+//!
+//! The collector (`drain_all`) walks every registered ring from its
+//! drain cursor to the head snapshot, validating each slot's sequence
+//! before and after copying it — a slot overwritten mid-read is
+//! skipped, not misread. Rings register themselves in a process-wide
+//! list on first use and live for the life of the process (threads in
+//! this workspace are pooled, so the list stays small); draining is
+//! serialized by the caller ([`crate::trace`] holds its table lock).
+
+use crate::span::Stage;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Events each thread can buffer between collector drains.
+pub const RING_CAPACITY: usize = 4096;
+
+/// One drained span event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// The trace the span belongs to.
+    pub trace: u64,
+    /// The lifecycle stage measured.
+    pub stage: Stage,
+    /// Start time, nanoseconds on the [`crate::span::now_ns`] clock.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+struct Slot {
+    /// Seqlock word: position `p` is published as `2p + 2`; odd means
+    /// a write is in progress.
+    seq: AtomicU64,
+    trace: AtomicU64,
+    stage: AtomicU64,
+    start: AtomicU64,
+    dur: AtomicU64,
+}
+
+/// A single-writer, multi-reader span ring.
+pub struct Ring {
+    slots: Box<[Slot]>,
+    /// Total events ever pushed; the next write position.
+    head: AtomicU64,
+    /// Collector cursor: events before this position were delivered.
+    drained: AtomicU64,
+    /// Events lost to overwrite-oldest before the collector caught up.
+    dropped: AtomicU64,
+}
+
+impl std::fmt::Debug for Ring {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ring")
+            .field("capacity", &self.slots.len())
+            .field("head", &self.head.load(Ordering::Relaxed))
+            .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        Ring {
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    trace: AtomicU64::new(0),
+                    stage: AtomicU64::new(0),
+                    start: AtomicU64::new(0),
+                    dur: AtomicU64::new(0),
+                })
+                .collect(),
+            head: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Events lost to overwrite-oldest so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Appends one event. Must only be called by the owning thread.
+    fn push(&self, ev: SpanEvent) {
+        let p = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(p % self.slots.len() as u64) as usize];
+        // Seqlock write: mark odd, publish fields, mark even. The
+        // fences order the field stores between the two seq stores for
+        // any concurrent reader.
+        slot.seq.store(2 * p + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        slot.trace.store(ev.trace, Ordering::Relaxed);
+        slot.stage.store(ev.stage.to_u64(), Ordering::Relaxed);
+        slot.start.store(ev.start_ns, Ordering::Relaxed);
+        slot.dur.store(ev.dur_ns, Ordering::Relaxed);
+        fence(Ordering::Release);
+        slot.seq.store(2 * p + 2, Ordering::Release);
+        self.head.store(p + 1, Ordering::Release);
+    }
+
+    /// Delivers every undrained, still-valid event to `sink` and
+    /// advances the cursor. Callers serialize drains externally.
+    fn drain(&self, sink: &mut impl FnMut(SpanEvent)) {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let mut from = self.drained.load(Ordering::Relaxed);
+        if head.saturating_sub(from) > cap {
+            self.dropped.fetch_add(head - from - cap, Ordering::Relaxed);
+            from = head - cap;
+        }
+        for p in from..head {
+            let slot = &self.slots[(p % cap) as usize];
+            let want = 2 * p + 2;
+            if slot.seq.load(Ordering::Acquire) != want {
+                // Overwritten (or mid-write) since the head snapshot.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let ev = SpanEvent {
+                trace: slot.trace.load(Ordering::Relaxed),
+                stage: Stage::from_u64(slot.stage.load(Ordering::Relaxed)).unwrap_or(Stage::Parse),
+                start_ns: slot.start.load(Ordering::Relaxed),
+                dur_ns: slot.dur.load(Ordering::Relaxed),
+            };
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != want {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            sink(ev);
+        }
+        self.drained.store(head, Ordering::Relaxed);
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<Ring>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: Arc<Ring> = {
+        let ring = Arc::new(Ring::new(RING_CAPACITY));
+        registry().lock().expect("ring registry poisoned").push(Arc::clone(&ring));
+        ring
+    };
+}
+
+/// Pushes a span event into the calling thread's ring (creating and
+/// registering the ring on first use).
+pub(crate) fn push(trace: u64, stage: Stage, start_ns: u64, dur_ns: u64) {
+    LOCAL.with(|ring| ring.push(SpanEvent { trace, stage, start_ns, dur_ns }));
+}
+
+/// Drains every thread's ring into `sink`. The caller must serialize
+/// concurrent drains (the trace table's lock does).
+pub(crate) fn drain_all(mut sink: impl FnMut(SpanEvent)) {
+    let rings: Vec<Arc<Ring>> = registry().lock().expect("ring registry poisoned").clone();
+    for ring in rings {
+        ring.drain(&mut sink);
+    }
+}
+
+/// Total events lost to overwrite-oldest across all rings.
+pub fn dropped_events() -> u64 {
+    registry().lock().expect("ring registry poisoned").iter().map(|r| r.dropped()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_drain_round_trip() {
+        let ring = Ring::new(8);
+        for i in 0..5 {
+            ring.push(SpanEvent {
+                trace: 100 + i,
+                stage: Stage::Solve,
+                start_ns: i * 10,
+                dur_ns: i,
+            });
+        }
+        let mut seen = Vec::new();
+        ring.drain(&mut |ev| seen.push(ev));
+        assert_eq!(seen.len(), 5);
+        assert_eq!(seen[0].trace, 100);
+        assert_eq!(seen[4].dur_ns, 4);
+        // A second drain delivers nothing new.
+        let mut again = Vec::new();
+        ring.drain(&mut |ev| again.push(ev));
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn overwrite_oldest_drops_the_overrun_not_the_producer() {
+        let ring = Ring::new(4);
+        for i in 0..11u64 {
+            ring.push(SpanEvent { trace: i, stage: Stage::Parse, start_ns: i, dur_ns: 1 });
+        }
+        let mut seen = Vec::new();
+        ring.drain(&mut |ev| seen.push(ev));
+        assert_eq!(seen.len(), 4, "only the newest capacity worth survives");
+        assert_eq!(seen.iter().map(|e| e.trace).collect::<Vec<_>>(), vec![7, 8, 9, 10]);
+        assert_eq!(ring.dropped(), 7);
+    }
+
+    #[test]
+    fn concurrent_producer_and_collector_never_misread() {
+        use std::sync::atomic::AtomicBool;
+        let ring = Arc::new(Ring::new(64));
+        let stop = Arc::new(AtomicBool::new(false));
+        let producer = {
+            let (ring, stop) = (Arc::clone(&ring), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Invariant under test: start == trace * 3, dur == trace + 7.
+                    ring.push(SpanEvent {
+                        trace: i + 1,
+                        stage: Stage::Queue,
+                        start_ns: (i + 1) * 3,
+                        dur_ns: i + 1 + 7,
+                    });
+                    i += 1;
+                }
+                i
+            })
+        };
+        let mut checked = 0u64;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while checked < 1000 && std::time::Instant::now() < deadline {
+            ring.drain(&mut |ev| {
+                assert_eq!(ev.start_ns, ev.trace * 3, "torn read");
+                assert_eq!(ev.dur_ns, ev.trace + 7, "torn read");
+                checked += 1;
+            });
+        }
+        stop.store(true, Ordering::Relaxed);
+        let produced = producer.join().unwrap();
+        assert!(checked > 0, "collector saw events ({produced} produced)");
+    }
+}

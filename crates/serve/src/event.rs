@@ -104,6 +104,10 @@ struct Conn {
     timer_gen: u64,
     /// The interest currently registered with the poller.
     interest: Interest,
+    /// When the first byte of the *current* request arrived
+    /// ([`mst_obs::now_ns`]); the parse span starts here, not at the
+    /// end of an idle keep-alive wait.
+    req_start_ns: Option<u64>,
 }
 
 impl Conn {
@@ -119,6 +123,7 @@ impl Conn {
             read_closed: false,
             timer_gen: 0,
             interest: Interest::READ,
+            req_start_ns: None,
         }
     }
 
@@ -246,6 +251,12 @@ struct Job {
     /// Whether the connection may stay open after this response
     /// (keep-alive asked, per-connection request bound not reached).
     may_keep: bool,
+    /// The request's trace id, allocated at parse completion.
+    trace: u64,
+    /// First byte arrival ([`mst_obs::now_ns`]) — the trace's origin.
+    start_ns: u64,
+    /// Parse completion; the dispatch-queue wait starts here.
+    parsed_ns: u64,
 }
 
 /// Dispatch-pool worker: routes jobs through the service boundary.
@@ -260,27 +271,61 @@ fn dispatch_worker(rx: Arc<Mutex<mpsc::Receiver<Job>>>, state: Arc<ServiceState>
 }
 
 fn handle_job(job: Job, state: &ServiceState) {
-    let Job { request, shared, may_keep } = job;
+    let Job { request, shared, may_keep, trace, start_ns, parsed_ns } = job;
+    let queue_end = mst_obs::now_ns();
+    mst_obs::record_span(
+        trace,
+        mst_obs::Stage::Queue,
+        parsed_ns,
+        queue_end.saturating_sub(parsed_ns),
+    );
     let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _scope = mst_obs::enter_trace(trace);
         let mut writer = EventWriter { shared: &shared };
         routes::route_on(&request, state, Some(&mut writer))
     }));
+    // The handler ran on this thread: harvest its ambient annotations.
+    let notes = mst_obs::take_notes();
+    let route = routes::route_label(&request.method, &request.path);
     match routed {
         Ok(ResponseBody::Full(response)) => {
             let keep = may_keep && !state.shutdown_requested();
-            if response.status >= 400 {
+            let status = response.status;
+            if status >= 400 {
                 state.metrics.http_errors_total.fetch_add(1, Ordering::Relaxed);
             }
-            let _ = shared.push(&response.to_bytes(keep), true);
+            // The write span covers serialization + the mailbox handoff
+            // (including any backpressure wait); the socket flush itself
+            // happens later on the loop thread.
+            let write_start = mst_obs::now_ns();
+            let _ = shared.push(&response.with_trace_id(trace).to_bytes(keep), true);
+            mst_obs::record_span(
+                trace,
+                mst_obs::Stage::Write,
+                write_start,
+                mst_obs::now_ns().saturating_sub(write_start),
+            );
+            crate::server::finish_request(state, trace, start_ns, status, notes, route);
             shared.finish(keep);
         }
         // Streamed responses wrote their own head and always close.
-        Ok(ResponseBody::Streamed) => shared.finish(false),
+        Ok(ResponseBody::Streamed) => {
+            crate::server::finish_request(state, trace, start_ns, 200, notes, route);
+            shared.finish(false);
+        }
         Err(_) => {
             state.metrics.http_errors_total.fetch_add(1, Ordering::Relaxed);
             let response =
                 error_body(500, "internal-error", "request handler panicked; see server logs");
-            let _ = shared.push(&response.to_bytes(false), true);
+            let write_start = mst_obs::now_ns();
+            let _ = shared.push(&response.with_trace_id(trace).to_bytes(false), true);
+            mst_obs::record_span(
+                trace,
+                mst_obs::Stage::Write,
+                write_start,
+                mst_obs::now_ns().saturating_sub(write_start),
+            );
+            crate::server::finish_request(state, trace, start_ns, 500, notes, route);
             shared.finish(false);
         }
     }
@@ -296,6 +341,7 @@ pub(crate) fn run_event(
     // Thousands of parked keep-alive sockets need the descriptors.
     let _ = mst_net::raise_nofile_limit(state.config.max_connections as u64 + 64);
     let poller = Poller::new()?;
+    let _ = state.poll_stats.set(poller.stats());
     poller.add(listener.as_raw_fd(), LISTENER, Interest::READ)?;
     let waker = Waker::new(&poller, WAKER)?;
     let (ready_tx, ready_rx) = mpsc::channel();
@@ -563,6 +609,9 @@ impl EventLoop {
             self.teardown(slot);
             return;
         }
+        if conn.req_start_ns.is_none() && !conn.buf.is_empty() {
+            conn.req_start_ns = Some(mst_obs::now_ns());
+        }
         let reading = {
             let conn = self.conns.get_mut(slot).expect("checked above");
             conn.phase == Phase::Reading
@@ -630,6 +679,20 @@ impl EventLoop {
             Ok(Parsed::Partial) => {}
             Ok(Parsed::Complete(request)) => {
                 conn.served += 1;
+                let parsed_ns = mst_obs::now_ns();
+                let start_ns = conn.req_start_ns.take().unwrap_or(parsed_ns);
+                // Leftover buffered bytes are the next pipelined
+                // request: they have already "arrived".
+                if !conn.buf.is_empty() {
+                    conn.req_start_ns = Some(parsed_ns);
+                }
+                let trace = mst_obs::begin_trace();
+                mst_obs::record_span(
+                    trace,
+                    mst_obs::Stage::Parse,
+                    start_ns,
+                    parsed_ns.saturating_sub(start_ns),
+                );
                 let may_keep = request.keep_alive
                     && conn.served < self.state.config.max_requests_per_connection.max(1)
                     && !conn.read_closed
@@ -648,7 +711,8 @@ impl EventLoop {
                 conn.phase = Phase::Dispatched;
                 conn.shared = Some(Arc::clone(&shared));
                 self.disarm(slot);
-                match self.dispatch.try_send(Job { request, shared, may_keep }) {
+                let job = Job { request, shared, may_keep, trace, start_ns, parsed_ns };
+                match self.dispatch.try_send(job) {
                     Ok(()) => {}
                     Err(mpsc::TrySendError::Full(_job)) => {
                         // Dispatch queue full: refuse loudly rather than

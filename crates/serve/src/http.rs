@@ -204,17 +204,29 @@ pub fn try_parse(buf: &mut Vec<u8>, max_body: usize) -> Result<Parsed, HttpError
 #[derive(Debug, Default)]
 pub struct RequestReader {
     buf: Vec<u8>,
+    /// When the first byte of the in-flight request landed (ns on the
+    /// [`mst_obs::now_ns`] clock); moves to `last_started_ns` when the
+    /// request completes.
+    started_ns: Option<u64>,
+    last_started_ns: Option<u64>,
 }
 
 impl RequestReader {
     /// A fresh reader with an empty carry-over buffer.
     pub fn new() -> RequestReader {
-        RequestReader { buf: Vec::with_capacity(1024) }
+        RequestReader { buf: Vec::with_capacity(1024), started_ns: None, last_started_ns: None }
     }
 
     /// Whether a previous read left buffered (pipelined) bytes behind.
     pub fn has_buffered(&self) -> bool {
         !self.buf.is_empty()
+    }
+
+    /// When the most recently returned request's first byte arrived
+    /// (ns on the [`mst_obs::now_ns`] clock) — the transport's trace
+    /// start time. `None` before the first completed request.
+    pub fn last_started_ns(&self) -> Option<u64> {
+        self.last_started_ns
     }
 
     /// Reads and parses one request, enforcing the head cap and
@@ -234,7 +246,11 @@ impl RequestReader {
         // runs into the socket timeout.
         let mut chunk = [0u8; 1024];
         loop {
+            if !self.buf.is_empty() && self.started_ns.is_none() {
+                self.started_ns = Some(mst_obs::now_ns());
+            }
             if let Parsed::Complete(request) = try_parse(&mut self.buf, max_body)? {
+                self.last_started_ns = self.started_ns.take();
                 return Ok(request);
             }
             let n = stream.read(&mut chunk).map_err(io_error)?;
@@ -262,29 +278,59 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// An HTTP response: a status code, a JSON body and optional extra
-/// headers (currently `Retry-After`, for 429/503 refusals).
+/// An HTTP response: a status code, a body and optional extra
+/// headers (`Retry-After` for 429/503 refusals, `X-Trace-Id` for
+/// request-trace correlation).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// Status code (200, 400, ...).
     pub status: u16,
-    /// The serialized JSON body.
+    /// The serialized body.
     pub body: String,
     /// When set, a `Retry-After: N` header (seconds) telling refused
     /// clients how long to back off — quota/overload refusals are
     /// transient and should say so.
     pub retry_after: Option<u64>,
+    /// The `Content-Type` advertised (JSON unless overridden — the
+    /// Prometheus exposition is plain text).
+    pub content_type: &'static str,
+    /// When set, an `X-Trace-Id` header correlating the response with
+    /// its entry in the `/trace` table.
+    pub trace_id: Option<u64>,
 }
 
 impl Response {
     /// A JSON response with the given status.
     pub fn json(status: u16, body: impl std::fmt::Display) -> Response {
-        Response { status, body: body.to_string(), retry_after: None }
+        Response {
+            status,
+            body: body.to_string(),
+            retry_after: None,
+            content_type: "application/json",
+            trace_id: None,
+        }
+    }
+
+    /// A plain-text response (the Prometheus exposition format).
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+            retry_after: None,
+            content_type: "text/plain; version=0.0.4",
+            trace_id: None,
+        }
     }
 
     /// Attaches a `Retry-After` header (seconds).
     pub fn with_retry_after(mut self, secs: u64) -> Response {
         self.retry_after = Some(secs);
+        self
+    }
+
+    /// Attaches the `X-Trace-Id` correlation header.
+    pub fn with_trace_id(mut self, id: u64) -> Response {
+        self.trace_id = Some(id);
         self
     }
 
@@ -328,17 +374,22 @@ impl Response {
         stream: &mut impl Write,
         keep_alive: bool,
     ) -> std::io::Result<()> {
-        let retry_after = match self.retry_after {
+        let mut extra = match self.retry_after {
             Some(secs) => format!("Retry-After: {secs}\r\n"),
             None => String::new(),
         };
+        if let Some(id) = self.trace_id {
+            use std::fmt::Write as _;
+            write!(extra, "X-Trace-Id: {id}\r\n").expect("write to String");
+        }
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n{}",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n{}",
             self.status,
             self.reason(),
+            self.content_type,
             self.body.len(),
-            retry_after,
+            extra,
             if keep_alive { "keep-alive" } else { "close" },
             self.body
         )?;
@@ -554,6 +605,20 @@ mod tests {
         let mut out = Vec::new();
         Response::json(200, "{}").write_to(&mut out).unwrap();
         assert!(!String::from_utf8(out).unwrap().contains("Retry-After"));
+    }
+
+    #[test]
+    fn trace_id_and_content_type_are_emitted() {
+        let mut out = Vec::new();
+        Response::json(200, "{}").with_trace_id(42).write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("X-Trace-Id: 42\r\n"), "{text}");
+        assert!(text.contains("Content-Type: application/json\r\n"), "{text}");
+        let mut out = Vec::new();
+        Response::text(200, "mst_up 1\n").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"), "{text}");
+        assert!(!text.contains("X-Trace-Id"), "unset means no header");
     }
 
     #[test]

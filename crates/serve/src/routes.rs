@@ -6,8 +6,11 @@
 //! | `GET /healthz`  | structured liveness: status, uptime, queue depth  |
 //! | `GET /solvers`  | the solver registry (names, topologies, T_lim)    |
 //! | `GET /metrics`  | global + per-tenant counters, live queue depth    |
+//! |                 | (`?format=prometheus` for the text exposition)    |
 //! | `GET /tenants`  | the resolved execution policies (tokens masked)   |
 //! | `GET /history`  | the persistent result store (`--store` servers)   |
+//! | `GET /trace`    | one request's span tree by `?id=` (`X-Trace-Id`)  |
+//! | `GET /trace/slow` | the slowest recent requests (`?limit=`)         |
 //! | `POST /solve`   | one instance, solver selectable by registry name  |
 //! | `POST /batch`   | an instance sweep through the worker pool         |
 //! | `POST /session` | a held evolving instance: arrivals + repairs      |
@@ -79,16 +82,18 @@ pub fn route_on(
         ("GET", "/") => ResponseBody::Full(index()),
         ("GET", "/healthz") => ResponseBody::Full(healthz(state)),
         ("GET", "/solvers") => ResponseBody::Full(solvers(request, state)),
-        ("GET", "/metrics") => ResponseBody::Full(metrics(state)),
+        ("GET", "/metrics") => ResponseBody::Full(metrics(request, state)),
         ("GET", "/tenants") => ResponseBody::Full(tenants(state)),
         ("GET", "/history") => ResponseBody::Full(history(request, state)),
+        ("GET", "/trace") => ResponseBody::Full(trace_lookup(request)),
+        ("GET", "/trace/slow") => ResponseBody::Full(trace_slow(request)),
         ("POST", "/solve") => ResponseBody::Full(solve(request, state)),
         ("POST", "/batch") => batch(request, state, stream),
         ("POST", "/session") => ResponseBody::Full(session(request, state)),
         (
             _,
             "/" | "/healthz" | "/solvers" | "/metrics" | "/tenants" | "/history" | "/solve"
-            | "/batch" | "/session",
+            | "/batch" | "/session" | "/trace" | "/trace/slow",
         ) => ResponseBody::Full(error_response(
             405,
             "method-not-allowed",
@@ -106,6 +111,83 @@ pub fn route(request: &Request, state: &ServiceState) -> Response {
         ResponseBody::Full(response) => response,
         ResponseBody::Streamed => unreachable!("without a stream nothing can be streamed"),
     }
+}
+
+/// The bounded label a request is observed under in the per-route
+/// latency histograms: known endpoints keep their path, everything
+/// else collapses to `"other"` so an attacker scanning random paths
+/// cannot grow the label set (and the `/metrics` exposition) without
+/// bound.
+pub fn route_label(_method: &str, path: &str) -> &'static str {
+    match path {
+        "/" => "/",
+        "/healthz" => "/healthz",
+        "/solvers" => "/solvers",
+        "/metrics" => "/metrics",
+        "/tenants" => "/tenants",
+        "/history" => "/history",
+        "/trace" => "/trace",
+        "/trace/slow" => "/trace/slow",
+        "/solve" => "/solve",
+        "/batch" => "/batch",
+        "/session" => "/session",
+        _ => "other",
+    }
+}
+
+/// `GET /trace?id=N` — the full span tree of one recent request, as
+/// collected by [`mst_obs`]: metadata (route, tenant, solver, status,
+/// cache outcome) plus every recorded `(stage, start_ns, dur_ns)`
+/// span sorted by start time. The id is the `X-Trace-Id` header every
+/// response carries. Traces are held in a bounded table; an evicted
+/// or unknown id answers 404.
+fn trace_lookup(request: &Request) -> Response {
+    let Some(raw) = request.query_param("id") else {
+        return error_response(400, "bad-request", "\"id\" query parameter is required");
+    };
+    let Ok(id) = raw.parse::<u64>() else {
+        return error_response(400, "bad-request", "\"id\" must be an unsigned integer");
+    };
+    match mst_obs::lookup(id) {
+        Some(trace) => Response::json(200, rendered_trace(&trace)),
+        None => error_response(
+            404,
+            "unknown-trace",
+            &format!("no trace {id} is held (it may have been evicted)"),
+        ),
+    }
+}
+
+/// `GET /trace/slow?limit=N` — the slowest finished traces, slowest
+/// first (default 10, capped at the trace table size).
+fn trace_slow(request: &Request) -> Response {
+    let limit = match request.query_param("limit") {
+        None => 10,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => n.min(mst_obs::trace::TRACE_TABLE_CAP),
+            Err(_) => {
+                return error_response(
+                    400,
+                    "bad-request",
+                    "\"limit\" must be a non-negative integer",
+                )
+            }
+        },
+    };
+    let traces = mst_obs::slowest(limit);
+    let rendered: Vec<Json> = traces.iter().map(rendered_trace).collect();
+    Response::json(
+        200,
+        Json::obj([("count", Json::int(rendered.len() as i64)), ("traces", Json::Arr(rendered))]),
+    )
+}
+
+/// Re-parses a trace's self-rendered JSON into the wire [`Json`] type
+/// so it composes with the rest of the response body. The trace JSON
+/// is machine-generated and always valid; every number in it fits an
+/// `f64` exactly until ~104 days of process uptime.
+fn rendered_trace(trace: &mst_obs::Trace) -> Json {
+    Json::parse(&trace.to_json()).unwrap_or(Json::Null)
 }
 
 /// A structured error response: `{"error": {"kind", "message"}}`.
@@ -158,6 +240,7 @@ fn tenant_for<'a>(
         )
     })?;
     tenant.stats().requests_total.fetch_add(1, Ordering::Relaxed);
+    mst_obs::note_tenant(&tenant.policy().name);
     // The time-windowed rate limit is enforced at routing time, so it
     // covers every tenant-scoped endpoint (/solve, /batch, /session)
     // uniformly, before any admission slot or solving work is taken.
@@ -204,6 +287,8 @@ fn index() -> Response {
                         "GET /metrics",
                         "GET /tenants",
                         "GET /history",
+                        "GET /trace",
+                        "GET /trace/slow",
                         "POST /solve",
                         "POST /batch",
                         "POST /session",
@@ -284,10 +369,18 @@ fn select_batch<'a>(body: &Json, state: &'a ServiceState) -> Result<&'a mst_api:
     state.batch_for(selector).ok_or_else(|| unknown_registry(selector.unwrap_or(""), state))
 }
 
-fn metrics(state: &ServiceState) -> Response {
+/// `GET /metrics` — global + per-tenant counters as JSON, or the
+/// Prometheus text exposition with `?format=prometheus` (counters,
+/// gauges and the per-route / per-tenant / per-solver-kernel latency
+/// summaries collected by [`mst_obs`]). Both shapes iterate sorted
+/// key sets, so consecutive scrapes diff cleanly.
+fn metrics(request: &Request, state: &ServiceState) -> Response {
+    if request.query_param("format") == Some("prometheus") {
+        return prometheus_metrics(state);
+    }
     let m = &state.metrics;
     let load = |c: &std::sync::atomic::AtomicU64| Json::int(c.load(Ordering::Relaxed) as i64);
-    let tenants: Vec<(String, Json)> = state
+    let mut tenants: Vec<(String, Json)> = state
         .execs()
         .map(|tenant| {
             let stats = tenant.stats();
@@ -316,6 +409,9 @@ fn metrics(state: &ServiceState) -> Response {
             )
         })
         .collect();
+    // Config order is an accident of the tenant file; scrape output
+    // must not reshuffle when the file is reordered.
+    tenants.sort_by(|a, b| a.0.cmp(&b.0));
     Response::json(
         200,
         Json::obj([
@@ -341,6 +437,120 @@ fn metrics(state: &ServiceState) -> Response {
             ("tenants", Json::Obj(tenants)),
         ]),
     )
+}
+
+/// The Prometheus text exposition behind `GET /metrics?format=prometheus`.
+///
+/// Latency summaries come from the [`mst_obs`] histograms: one
+/// `mst_route_latency_us` family per route label, one
+/// `mst_tenant_latency_us` per tenant, and one
+/// `mst_kernel_latency_us{kernel,solver}` per solver-kernel family
+/// (solve / probe / verify) — all in microseconds, with
+/// p50/p99/p999/max quantile samples plus `_sum` and `_count`. Every
+/// key set iterates a `BTreeMap` (or is pre-sorted), so the scrape is
+/// byte-deterministic for a given counter state.
+fn prometheus_metrics(state: &ServiceState) -> Response {
+    use mst_obs::{write_prom_counter, write_prom_gauge, write_prom_summary};
+    let m = &state.metrics;
+    let load = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
+    let mut out = String::with_capacity(4096);
+    write_prom_gauge(&mut out, "mst_uptime_secs", &[], state.started.elapsed().as_secs_f64());
+    write_prom_counter(&mut out, "mst_connections_total", &[], load(&m.connections_total));
+    write_prom_counter(&mut out, "mst_connections_rejected", &[], load(&m.connections_rejected));
+    write_prom_counter(&mut out, "mst_requests_total", &[], load(&m.requests_total));
+    write_prom_counter(&mut out, "mst_http_errors_total", &[], load(&m.http_errors_total));
+    write_prom_counter(&mut out, "mst_solved_total", &[], load(&m.solved_total));
+    write_prom_counter(&mut out, "mst_failed_total", &[], load(&m.failed_total));
+    write_prom_counter(&mut out, "mst_cancelled_total", &[], load(&m.cancelled_total));
+    write_prom_gauge(
+        &mut out,
+        "mst_solve_secs_total",
+        &[],
+        m.solve_ns_total.load(Ordering::Relaxed) as f64 / 1e9,
+    );
+    write_prom_gauge(&mut out, "mst_instances_per_sec", &[], m.instances_per_sec());
+    write_prom_gauge(&mut out, "mst_queue_depth", &[], state.queue_depth() as f64);
+    write_prom_gauge(
+        &mut out,
+        "mst_store_records",
+        &[],
+        state.store.as_ref().map_or(0, |s| s.len()) as f64,
+    );
+    write_prom_gauge(
+        &mut out,
+        "mst_store_degraded",
+        &[],
+        if state.store_health.is_degraded() { 1.0 } else { 0.0 },
+    );
+    write_prom_gauge(&mut out, "mst_sessions_open", &[], state.sessions.open_count() as f64);
+    write_prom_gauge(&mut out, "mst_pool_workers", &[], state.batch.pool().workers() as f64);
+    write_prom_counter(
+        &mut out,
+        "mst_pool_jobs_submitted",
+        &[],
+        state.batch.pool().jobs_submitted(),
+    );
+    write_prom_counter(&mut out, "mst_obs_dropped_spans_total", &[], mst_obs::dropped_events());
+    if let Some(poll) = state.poll_stats.get() {
+        let (polls, wait_us, events) = poll.snapshot();
+        write_prom_counter(&mut out, "mst_poll_waits_total", &[], polls);
+        write_prom_counter(&mut out, "mst_poll_wait_us_total", &[], wait_us);
+        write_prom_counter(&mut out, "mst_poll_events_total", &[], events);
+    }
+
+    // Per-tenant counters, sorted by tenant name (config order is not
+    // deterministic across restarts with a reordered file).
+    let mut tenants: Vec<&TenantExec> = state.execs().collect();
+    tenants.sort_by(|a, b| a.policy().name.cmp(&b.policy().name));
+    for tenant in tenants {
+        let name = tenant.policy().name.as_str();
+        let stats = tenant.stats();
+        let labels = [("tenant", name)];
+        write_prom_counter(
+            &mut out,
+            "mst_tenant_requests_total",
+            &labels,
+            load(&stats.requests_total),
+        );
+        write_prom_counter(
+            &mut out,
+            "mst_tenant_rejected_total",
+            &labels,
+            load(&stats.rejected_total),
+        );
+        write_prom_counter(&mut out, "mst_tenant_solved_total", &labels, load(&stats.solved_total));
+        write_prom_counter(
+            &mut out,
+            "mst_tenant_cache_hits_total",
+            &labels,
+            load(&stats.cache_hits_total),
+        );
+        write_prom_counter(
+            &mut out,
+            "mst_tenant_cache_misses_total",
+            &labels,
+            load(&stats.cache_misses_total),
+        );
+        write_prom_gauge(&mut out, "mst_tenant_queue_depth", &labels, tenant.queue_depth() as f64);
+    }
+
+    // Latency summaries (µs). Route and tenant histograms are this
+    // server's; kernel histograms are process-global.
+    for (route, snap) in state.obs.route_snapshots() {
+        write_prom_summary(&mut out, "mst_route_latency_us", &[("route", &route)], &snap);
+    }
+    for (tenant, snap) in state.obs.tenant_snapshots() {
+        write_prom_summary(&mut out, "mst_tenant_latency_us", &[("tenant", &tenant)], &snap);
+    }
+    for ((kernel, solver), snap) in mst_obs::kernel_snapshots() {
+        write_prom_summary(
+            &mut out,
+            "mst_kernel_latency_us",
+            &[("kernel", kernel.name()), ("solver", &solver)],
+            &snap,
+        );
+    }
+    Response::text(200, out)
 }
 
 /// `GET /tenants` — the resolved execution policies, for operators.
@@ -483,23 +693,38 @@ fn solve(request: &Request, state: &ServiceState) -> Response {
     };
     let registry = batch.registry();
     let stats = tenant.stats();
+    mst_obs::note_solver(solver_name);
+    let cache_span = mst_obs::span(mst_obs::Stage::Cache);
     let canon = CanonicalInstance::of(&instance, solver_name, deadline);
     let key = CacheKey::of(&canon, solver_name);
     if let Some(cached) = tenant.cache().get(&key) {
         stats.cache_hits_total.fetch_add(1, Ordering::Relaxed);
+        mst_obs::note_cached(true);
+        drop(cache_span);
         return render_solution(canon.restore(&cached), &instance, solver_name, check, true);
     }
     stats.cache_misses_total.fetch_add(1, Ordering::Relaxed);
+    mst_obs::note_cached(false);
+    drop(cache_span);
+    let admit_span = mst_obs::span(mst_obs::Stage::Admit);
     let _slot = match tenant.admit() {
         Ok(slot) => slot,
         Err(e) => return admission_response(tenant, &e),
     };
+    drop(admit_span);
+    let kernel = match canon.deadline() {
+        Some(_) => mst_obs::Kernel::Probe,
+        None => mst_obs::Kernel::Solve,
+    };
+    let solve_span = mst_obs::span(mst_obs::Stage::Solve);
     let started = Instant::now();
     let result = match canon.deadline() {
         Some(t) => registry.solve_by_deadline(solver_name, canon.instance(), t),
         None => registry.solve(solver_name, canon.instance()),
     };
     let elapsed = started.elapsed();
+    mst_obs::kernel_observe(kernel, solver_name, elapsed.as_micros() as u64);
+    drop(solve_span);
     match result {
         Ok(canonical) => {
             state.metrics.record_solve(1, 0, 0, elapsed);
@@ -544,7 +769,15 @@ fn render_solution(
         reply.push(("cached".to_string(), Json::Bool(true)));
     }
     if check {
-        match verify(instance, &solution) {
+        let _verify_span = mst_obs::span(mst_obs::Stage::Verify);
+        let verify_start = Instant::now();
+        let report = verify(instance, &solution);
+        mst_obs::kernel_observe(
+            mst_obs::Kernel::Verify,
+            solver_name,
+            verify_start.elapsed().as_micros() as u64,
+        );
+        match report {
             Ok(report) if report.is_feasible() => {
                 reply.push(("feasible".to_string(), Json::Bool(true)));
             }
@@ -584,6 +817,7 @@ fn append_record(
     elapsed_us: u64,
 ) {
     let Some(store) = &state.store else { return };
+    let _store_span = mst_obs::span(mst_obs::Stage::Store);
     let record = Record {
         tenant: tenant.policy().name.clone(),
         solver: solver_name.to_string(),
@@ -935,6 +1169,7 @@ fn solve_chunked(
         let solved = if miss_jobs.is_empty() {
             Vec::new()
         } else {
+            let _solve_span = mst_obs::span(mst_obs::Stage::Solve);
             engine.solve_each_cancellable(&miss_jobs, cancel)
         };
         let per_miss_us = started.elapsed().as_micros() as u64 / miss_jobs.len().max(1) as u64;
@@ -1004,7 +1239,19 @@ fn finish_sweep(
         summary.failed as u64,
         summary.cancelled as u64,
     );
-    let infeasible = if check { count_infeasible(instances, results) } else { 0 };
+    let infeasible = if check {
+        let _verify_span = mst_obs::span(mst_obs::Stage::Verify);
+        let verify_start = Instant::now();
+        let n = count_infeasible(instances, results);
+        mst_obs::kernel_observe(
+            mst_obs::Kernel::Verify,
+            solver_name,
+            verify_start.elapsed().as_micros() as u64,
+        );
+        n
+    } else {
+        0
+    };
     let mut members = vec![
         ("count".to_string(), Json::int(instances.len() as i64)),
         ("solver".to_string(), Json::str(solver_name)),
@@ -1093,11 +1340,16 @@ fn batch(
     if let Err(e) = tenant_batch.registry().resolve(solver_name) {
         return ResponseBody::Full(solve_error_response(&e));
     }
+    mst_obs::note_solver(solver_name);
     let engine = tenant_batch.clone().with_solver(solver_name);
     // Plan against the tenant's solution cache first: a fully-cached
     // sweep is answered without an admission slot at all, and a mixed
     // one admits for the misses only.
+    let cache_span = mst_obs::span(mst_obs::Stage::Cache);
     let (jobs, cache_hits) = plan_batch(&instances, solver_name, deadline, tenant);
+    mst_obs::note_cached(!jobs.is_empty() && cache_hits == jobs.len());
+    drop(cache_span);
+    let admit_span = mst_obs::span(mst_obs::Stage::Admit);
     let _slot = if cache_hits < jobs.len() {
         match tenant.admit() {
             Ok(slot) => Some(slot),
@@ -1106,6 +1358,7 @@ fn batch(
     } else {
         None
     };
+    drop(admit_span);
     let cancel = tenant.cancel_token();
     let chunk = state.config.batch_chunk;
     let started = Instant::now();
@@ -1235,17 +1488,27 @@ fn session_solve(
 ) -> Result<(Solution, bool), Response> {
     let registry = tenant.batch().registry();
     let stats = tenant.stats();
+    mst_obs::note_solver(solver_name);
+    let cache_span = mst_obs::span(mst_obs::Stage::Cache);
     let canon = CanonicalInstance::of(instance, solver_name, None);
     let key = CacheKey::of(&canon, solver_name);
     if let Some(cached) = tenant.cache().get(&key) {
         stats.cache_hits_total.fetch_add(1, Ordering::Relaxed);
+        mst_obs::note_cached(true);
         return Ok((canon.restore(&cached), true));
     }
     stats.cache_misses_total.fetch_add(1, Ordering::Relaxed);
+    mst_obs::note_cached(false);
+    drop(cache_span);
+    let admit_span = mst_obs::span(mst_obs::Stage::Admit);
     let _slot = tenant.admit().map_err(|e| admission_response(tenant, &e))?;
+    drop(admit_span);
+    let solve_span = mst_obs::span(mst_obs::Stage::Solve);
     let started = Instant::now();
     let result = registry.solve(solver_name, canon.instance());
     let elapsed = started.elapsed();
+    mst_obs::kernel_observe(mst_obs::Kernel::Solve, solver_name, elapsed.as_micros() as u64);
+    drop(solve_span);
     match result {
         Ok(canonical) => {
             state.metrics.record_solve(1, 0, 0, elapsed);
@@ -1356,6 +1619,7 @@ fn session_create(body: &Json, state: &ServiceState, tenant: &TenantExec) -> Res
         Err(response) => return response,
     };
     let tenant_name = tenant.policy().name.as_str();
+    let _session_span = mst_obs::span(mst_obs::Stage::Session);
     let Ok(id) = state.sessions.create(tenant_name, solver_name, instance, solution) else {
         return error_response(
             429,
@@ -1399,6 +1663,7 @@ fn session_arrive(body: &Json, state: &ServiceState, tenant: &TenantExec) -> Res
         Ok(solved) => solved,
         Err(response) => return response,
     };
+    let _session_span = mst_obs::span(mst_obs::Stage::Session);
     state
         .sessions
         .with(tenant_name, id as u64, |s| {
@@ -1423,11 +1688,18 @@ fn session_fail(body: &Json, state: &ServiceState, tenant: &TenantExec) -> Respo
         return unknown_session(id);
     };
     let event = FailureEvent { processor: processor as usize, at };
+    mst_obs::note_solver(&solver);
+    let admit_span = mst_obs::span(mst_obs::Stage::Admit);
     let _slot = match tenant.admit() {
         Ok(slot) => slot,
         Err(e) => return admission_response(tenant, &e),
     };
+    drop(admit_span);
     let stats = tenant.stats();
+    // The repair span wraps a cache-fronted re-solve, which records
+    // its own cache/solve spans; Stage::Repair is therefore excluded
+    // from Stage::SEQUENTIAL.
+    let repair_span = mst_obs::span(mst_obs::Stage::Repair);
     let started = Instant::now();
     let repaired = mst_api::repair(
         &instance,
@@ -1438,6 +1710,7 @@ fn session_fail(body: &Json, state: &ServiceState, tenant: &TenantExec) -> Respo
         &solver,
     );
     let elapsed = started.elapsed();
+    drop(repair_span);
     match repaired {
         Ok(repaired) => {
             state.metrics.record_solve(1, 0, 0, elapsed);
@@ -1450,6 +1723,7 @@ fn session_fail(body: &Json, state: &ServiceState, tenant: &TenantExec) -> Respo
             let committed = repaired.committed;
             let remaining = repaired.remaining;
             let cache_hit = repaired.cache_hit;
+            let _session_span = mst_obs::span(mst_obs::Stage::Session);
             state
                 .sessions
                 .with(tenant_name, id as u64, |s| {
@@ -1492,6 +1766,7 @@ fn session_get(body: &Json, state: &ServiceState, tenant: &TenantExec) -> Respon
         Ok(id) => id,
         Err(response) => return response,
     };
+    let _session_span = mst_obs::span(mst_obs::Stage::Session);
     state
         .sessions
         .with(tenant.policy().name.as_str(), id as u64, |s| session_reply(s, Vec::new()))
@@ -1503,6 +1778,7 @@ fn session_close(body: &Json, state: &ServiceState, tenant: &TenantExec) -> Resp
         Ok(id) => id,
         Err(response) => return response,
     };
+    let _session_span = mst_obs::span(mst_obs::Stage::Session);
     match state.sessions.close(tenant.policy().name.as_str(), id as u64) {
         Some(closed) => session_reply(&closed, vec![("closed".to_string(), Json::Bool(true))]),
         None => unknown_session(id),

@@ -329,6 +329,12 @@ pub struct ServiceState {
     pub sessions: crate::session::SessionTable,
     /// Live counters.
     pub metrics: Metrics,
+    /// Per-route and per-tenant latency histograms (`/metrics`,
+    /// `mst top`).
+    pub obs: mst_obs::Obs,
+    /// The event transport's poller activity counters; empty under the
+    /// threaded transport (set once by the event loop at boot).
+    pub poll_stats: std::sync::OnceLock<Arc<mst_net::PollStats>>,
     /// Config snapshot (caps consulted by the routes).
     pub config: ServeConfig,
     /// When the server started (uptime reporting).
@@ -533,6 +539,8 @@ impl Server {
             store_health: StoreHealth::default(),
             sessions: crate::session::SessionTable::default(),
             metrics: Metrics::default(),
+            obs: mst_obs::Obs::new(),
+            poll_stats: std::sync::OnceLock::new(),
             config,
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
@@ -685,13 +693,37 @@ fn serve_connection(mut stream: TcpStream, state: &ServiceState) {
         } else {
             state.config.io_timeout
         }));
+        let mut traced: Option<(u64, u64, mst_obs::Notes, String)> = None;
         let (response, keep_alive) =
             match reader.read_request(&mut stream, state.config.max_body_bytes) {
                 Ok(request) => {
+                    // The request became a trace when its first byte
+                    // landed; the Parse span covers read + parse, the
+                    // Queue span the (inline) handoff to routing.
+                    let now = mst_obs::now_ns();
+                    let start_ns = reader.last_started_ns().unwrap_or(now);
+                    let trace = mst_obs::begin_trace();
+                    mst_obs::record_span(
+                        trace,
+                        mst_obs::Stage::Parse,
+                        start_ns,
+                        now.saturating_sub(start_ns),
+                    );
                     let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let _scope = mst_obs::enter_trace(trace);
+                        mst_obs::record_span(
+                            trace,
+                            mst_obs::Stage::Queue,
+                            now,
+                            mst_obs::now_ns().saturating_sub(now),
+                        );
                         let mut writer = TcpStreamWriter { stream: &mut stream };
                         routes::route_on(&request, state, Some(&mut writer))
                     }));
+                    // Handler annotations stay on this thread; harvest
+                    // them before the next request overwrites them.
+                    let notes = mst_obs::take_notes();
+                    let route = routes::route_label(&request.method, &request.path).to_string();
                     match routed {
                         // The client may ask to keep the connection, but
                         // the server bounds it and closes on shutdown.
@@ -699,19 +731,27 @@ fn serve_connection(mut stream: TcpStream, state: &ServiceState) {
                             let keep = request.keep_alive
                                 && served + 1 < max_requests
                                 && !state.shutdown_requested();
-                            (response, keep)
+                            traced = Some((trace, start_ns, notes, route));
+                            (response.with_trace_id(trace), keep)
                         }
                         // The handler streamed its (chunked) response
                         // directly; streamed replies always close.
-                        Ok(ResponseBody::Streamed) => return,
-                        Err(_) => (
-                            error_body(
-                                500,
-                                "internal-error",
-                                "request handler panicked; see server logs",
-                            ),
-                            false,
-                        ),
+                        Ok(ResponseBody::Streamed) => {
+                            finish_request(state, trace, start_ns, 200, notes, &route);
+                            return;
+                        }
+                        Err(_) => {
+                            traced = Some((trace, start_ns, notes, route));
+                            (
+                                error_body(
+                                    500,
+                                    "internal-error",
+                                    "request handler panicked; see server logs",
+                                )
+                                .with_trace_id(trace),
+                                false,
+                            )
+                        }
                     }
                 }
                 // A connection that never sent a byte (port scanners, load
@@ -728,10 +768,45 @@ fn serve_connection(mut stream: TcpStream, state: &ServiceState) {
         if response.status >= 400 {
             state.metrics.http_errors_total.fetch_add(1, Ordering::Relaxed);
         }
-        if response.write_with_connection(&mut stream, keep_alive).is_err() || !keep_alive {
+        let write_start = mst_obs::now_ns();
+        let write_ok = response.write_with_connection(&mut stream, keep_alive).is_ok();
+        if let Some((trace, start_ns, notes, route)) = traced {
+            mst_obs::record_span(
+                trace,
+                mst_obs::Stage::Write,
+                write_start,
+                mst_obs::now_ns().saturating_sub(write_start),
+            );
+            finish_request(state, trace, start_ns, response.status, notes, &route);
+        }
+        if !write_ok || !keep_alive {
             return;
         }
     }
+}
+
+/// Completes a request's observability bookkeeping: latency histograms
+/// (route + tenant, µs) and the trace table's finish record.
+pub(crate) fn finish_request(
+    state: &ServiceState,
+    trace: u64,
+    start_ns: u64,
+    status: u16,
+    notes: mst_obs::Notes,
+    route: &str,
+) {
+    let total_ns = mst_obs::now_ns().saturating_sub(start_ns);
+    let us = total_ns / 1_000;
+    state.obs.observe_route(route, us);
+    state.obs.observe_tenant(notes.tenant.as_deref().unwrap_or("default"), us);
+    mst_obs::finish_trace(mst_obs::TraceMeta {
+        id: trace,
+        route: route.to_string(),
+        status,
+        start_ns,
+        total_ns,
+        notes,
+    });
 }
 
 /// The threaded transport's [`StreamWriter`]: chunked NDJSON framing

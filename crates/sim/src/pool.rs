@@ -95,6 +95,10 @@ struct Job {
     /// Cooperative cancellation: polled once per claimed item. `None`
     /// for plain [`WorkerPool::run`] sweeps.
     cancel: Option<CancelToken>,
+    /// The submitter's ambient trace id (0: none). Workers enter it
+    /// while executing this job so their spans attach to the request
+    /// that triggered the sweep.
+    trace: u64,
 }
 
 #[derive(Clone, Copy)]
@@ -234,6 +238,7 @@ impl WorkerPool {
         // executing one of *this* pool's jobs (a same-pool nested sweep
         // would deadlock on the submit lock).
         let inline = |items: &[I]| -> Vec<Option<R>> {
+            let _pool = mst_obs::span(mst_obs::Stage::Pool);
             items
                 .iter()
                 .map(|item| {
@@ -305,6 +310,7 @@ impl WorkerPool {
             len: items.len(),
             status: Arc::clone(&status),
             cancel: cancel.cloned(),
+            trace: mst_obs::current_trace(),
         };
 
         {
@@ -396,6 +402,12 @@ fn worker_loop(shared: &Shared) {
 /// correctly).
 fn execute(job: &Job, pool_id: usize) {
     let previous = ACTIVE_POOL.with(|active| active.replace(pool_id));
+    // Adopt the submitter's trace for the duration of this job so any
+    // span recorded inside the closure attaches to the right request;
+    // the Pool span itself measures this thread's share of the sweep.
+    let _trace = mst_obs::enter_trace(job.trace);
+    let pool_start = mst_obs::now_ns();
+    let mut executed = 0u64;
     loop {
         let idx = job.next.fetch_add(1, Ordering::Relaxed);
         if idx >= job.len {
@@ -423,6 +435,7 @@ fn execute(job: &Job, pool_id: usize) {
         // SAFETY: `idx < len` is claimed exactly once, and the submitter
         // keeps `data` alive until `remaining` reaches zero.
         let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (job.call)(job.data.0, idx) }));
+        executed += 1;
         if let Err(payload) = outcome {
             {
                 let mut slot = job.status.panic.lock().expect("panic slot");
@@ -449,6 +462,10 @@ fn execute(job: &Job, pool_id: usize) {
             *done = true;
             job.status.finished.notify_all();
         }
+    }
+    if job.trace != 0 && executed > 0 {
+        let now = mst_obs::now_ns();
+        mst_obs::record_span(job.trace, mst_obs::Stage::Pool, pool_start, now - pool_start);
     }
     ACTIVE_POOL.with(|active| active.set(previous));
 }

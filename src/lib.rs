@@ -14,7 +14,12 @@
 //!   and a **tree-covering** extension,
 //! * a fail-closed **verification gate** — an independent reference
 //!   simulator, a bounded model checker and a differential fuzzer
-//!   ([`mst_verify`], re-exported as [`verify`]).
+//!   ([`mst_verify`], re-exported as [`verify`]),
+//! * a dependency-free **observability** layer — request-lifecycle span
+//!   traces, log-linear latency histograms and Prometheus text
+//!   exposition ([`mst_obs`], re-exported as [`obs`]), surfaced live by
+//!   the server's `/metrics`, `/trace` and `/trace/slow` endpoints and
+//!   the `mst top` terminal view.
 //!
 //! Since the unified-API redesign, the primary public surface is
 //! [`mst_api`] (re-exported as [`api`]): any topology, any algorithm,
@@ -49,6 +54,7 @@ pub use mst_api as api;
 pub use mst_baselines as baselines;
 pub use mst_core as core_algorithm;
 pub use mst_fork as fork;
+pub use mst_obs as obs;
 pub use mst_platform as platform;
 pub use mst_schedule as schedule;
 pub use mst_serve as serve;
@@ -70,6 +76,7 @@ pub mod prelude {
         SolveError, Solver, SolverRegistry, TenantExec, TenantLimits, TopologyKind,
     };
     pub use mst_core::{schedule_chain, schedule_chain_by_deadline};
+    pub use mst_obs::{HistSnapshot, Histogram, Kernel, Obs, Stage, Trace};
     pub use mst_platform::{
         Chain, Fork, GeneratorConfig, HeterogeneityProfile, NodeId, Processor, Spider, Time, Tree,
     };

@@ -1,0 +1,109 @@
+//! Property tests of the `mst-obs` log-linear histogram: the bucketed
+//! percentile stays within one bucket width of the exact nearest-rank
+//! sample for arbitrary sample sets, and snapshot merging is lossless
+//! (the merge of per-shard histograms equals the histogram of the
+//! concatenated samples — the property that makes per-thread sharding
+//! and cross-scrape aggregation sound).
+
+use master_slave_tasking::obs::hist::{bucket_high, bucket_index};
+use master_slave_tasking::obs::{HistSnapshot, Histogram};
+use proptest::prelude::*;
+
+/// Exact nearest-rank percentile over raw samples, `q` in `(0, 1]`.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// A sample strategy spanning the exact region (below `2*SUB`), the
+/// microsecond range real latencies live in, and huge outliers: each
+/// raw draw deterministically lands in one of the three regimes.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..u64::MAX / 2, 1..300).prop_map(|raw| {
+        raw.into_iter()
+            .map(|x| match x % 3 {
+                0 => x / 3 % 64,
+                1 => x / 3 % 1_000_000,
+                _ => x / 3,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn percentiles_stay_within_one_bucket_of_nearest_rank(values in samples()) {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.count(), values.len() as u64);
+
+        let mut sorted = values;
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_percentile(&sorted, q);
+            let bucketed = snap.percentile(q);
+            // The estimate is the upper bound of the exact sample's
+            // bucket, clamped to the observed max: never below the
+            // exact value, never further above it than the bucket is
+            // wide (and exact in the low linear region).
+            prop_assert!(
+                bucketed >= exact,
+                "q={q}: bucketed {bucketed} < exact {exact}"
+            );
+            prop_assert!(
+                bucketed <= bucket_high(bucket_index(exact)),
+                "q={q}: bucketed {bucketed} beyond the bucket holding exact {exact}"
+            );
+            prop_assert!(bucketed <= *sorted.last().unwrap(), "clamped to the observed max");
+        }
+    }
+
+    #[test]
+    fn merged_shards_equal_the_histogram_of_concatenated_samples(
+        shards in prop::collection::vec(samples(), 1..6),
+    ) {
+        // Shard-wise: one histogram per shard, merged afterwards.
+        let mut merged = HistSnapshot::empty();
+        for shard in &shards {
+            let hist = Histogram::new();
+            for &v in shard {
+                hist.record(v);
+            }
+            merged.merge(&hist.snapshot());
+        }
+
+        // Reference: every sample into one histogram.
+        let whole_hist = Histogram::new();
+        for &v in shards.iter().flatten() {
+            whole_hist.record(v);
+        }
+        let whole = whole_hist.snapshot();
+
+        prop_assert_eq!(merged.buckets(), whole.buckets());
+        prop_assert_eq!(merged.sum, whole.sum);
+        prop_assert_eq!(merged.max, whole.max);
+        for q in [0.5, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(merged.percentile(q), whole.percentile(q));
+        }
+    }
+
+    #[test]
+    fn merging_an_empty_snapshot_is_the_identity(values in samples()) {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        let mut merged = snap.clone();
+        merged.merge(&HistSnapshot::empty());
+        prop_assert_eq!(merged.buckets(), snap.buckets());
+        prop_assert_eq!(merged.sum, snap.sum);
+        prop_assert_eq!(merged.max, snap.max);
+    }
+}
